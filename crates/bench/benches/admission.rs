@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the admission controller (incremental
+//! vs full re-analysis) and of the routing algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtwc_core::{determine_feasibility, AdmissionController, StreamSet, StreamSpec};
+use wormnet_topology::{BfsRouting, Mesh, NodeId, Path, Routing, Topology, XyRouting};
+
+/// A deterministic set of admissible requests spread over the mesh.
+fn requests(mesh: &Mesh, n: usize) -> Vec<(StreamSpec, Path)> {
+    (0..n)
+        .map(|i| {
+            let w = mesh.dims()[0];
+            let h = mesh.dims()[1];
+            let sx = (i as u32 * 3) % w;
+            let sy = (i as u32 * 5) % h;
+            let dx = (sx + 1 + (i as u32 % (w - 1))) % w;
+            let dy = (sy + 2) % h;
+            let s = mesh.node_at(&[sx, sy]).unwrap();
+            let d = mesh.node_at(&[dx, dy]).unwrap();
+            let (s, d) = if s == d {
+                (s, NodeId((d.0 + 1) % mesh.num_nodes() as u32))
+            } else {
+                (s, d)
+            };
+            let path = XyRouting.route(mesh, s, d).unwrap();
+            let priority = (i as u32 % 4) + 1;
+            (
+                StreamSpec::new(s, d, priority, 500 + (i as u64 * 17) % 300, 8, 800),
+                path,
+            )
+        })
+        .collect()
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mesh = Mesh::mesh2d(10, 10);
+    let mut g = c.benchmark_group("admission");
+    g.sample_size(10);
+    for &n in &[10usize, 20, 40] {
+        let reqs = requests(&mesh, n);
+        g.bench_with_input(BenchmarkId::new("incremental", n), &reqs, |b, reqs| {
+            b.iter(|| {
+                let mut ctl = AdmissionController::new();
+                for (spec, path) in reqs {
+                    let _ = ctl.admit(spec.clone(), path.clone());
+                }
+                ctl.recomputations()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full_reanalysis", n), &reqs, |b, reqs| {
+            b.iter(|| {
+                // What a naive controller does: rebuild + full analysis
+                // after every request.
+                let mut parts: Vec<(StreamSpec, Path)> = Vec::new();
+                let mut verdicts = 0usize;
+                for (spec, path) in reqs {
+                    parts.push((spec.clone(), path.clone()));
+                    let set = StreamSet::from_parts(parts.clone()).unwrap();
+                    if determine_feasibility(&set).is_feasible() {
+                        verdicts += 1;
+                    } else {
+                        parts.pop();
+                    }
+                }
+                verdicts
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mesh = Mesh::mesh2d(16, 16);
+    let pairs: Vec<(NodeId, NodeId)> = (0..64u32)
+        .map(|i| (NodeId(i * 4 % 256), NodeId((i * 7 + 13) % 256)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let mut g = c.benchmark_group("routing_64_pairs_16x16");
+    g.bench_function("xy", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, d)| XyRouting.route(&mesh, s, d).unwrap().hops())
+                .sum::<u32>()
+        })
+    });
+    let bfs = BfsRouting::new();
+    g.bench_function("bfs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, d)| bfs.route(&mesh, s, d).unwrap().hops())
+                .sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_routing);
+criterion_main!(benches);

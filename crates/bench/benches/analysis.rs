@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the feasibility analysis: HP-set
+//! construction and `Cal_U` as the stream count and priority-level
+//! count scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtwc_core::{cal_u, determine_feasibility, generate_hp_sets};
+use rtwc_workload::{generate, PaperWorkloadConfig};
+
+fn workload(streams: usize, plevels: u32, seed: u64) -> rtwc_workload::GeneratedWorkload {
+    generate(PaperWorkloadConfig {
+        num_streams: streams,
+        priority_levels: plevels,
+        seed,
+        ..PaperWorkloadConfig::default()
+    })
+}
+
+fn bench_hp_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_hp_sets");
+    for &n in &[10usize, 20, 40, 60] {
+        let w = workload(n, 4, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| generate_hp_sets(&w.set))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cal_u(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cal_u_lowest_priority");
+    for &n in &[10usize, 20, 40, 60] {
+        let w = workload(n, 4, 13);
+        // The lowest-priority stream has the largest HP set.
+        let target = *w.set.by_decreasing_priority().last().unwrap();
+        let horizon = w.set.get(target).deadline();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| cal_u(&w.set, target, horizon))
+        });
+    }
+    g.finish();
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("determine_feasibility");
+    g.sample_size(10);
+    for &(n, p) in &[(20usize, 1u32), (20, 5), (60, 10)] {
+        let w = workload(n, p, 17);
+        g.bench_with_input(
+            BenchmarkId::new("streams_plevels", format!("{n}x{p}")),
+            &w,
+            |b, w| b.iter(|| determine_feasibility(&w.set)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hp_sets, bench_cal_u, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+use rtwc_bench::{run_experiment, ExperimentConfig};
+fn main() {
+    for (c, t) in [((1u64, 40u64), (40u64, 90u64)), ((1, 40), (60, 150))] {
+        println!("C={c:?} T={t:?}");
+        for (n, p) in [(20usize, 1u32), (20, 5), (60, 1), (60, 10)] {
+            let mut cfg = ExperimentConfig::table(n, p, 4);
+            cfg.c_range = c;
+            cfg.t_range = t;
+            let rows = run_experiment(&cfg);
+            let cells: Vec<String> = rows
+                .iter()
+                .filter(|r| r.streams > 0)
+                .map(|r| format!("P{}: m={:.3}/p={:.3}", r.priority, r.mean_ratio, r.pooled_ratio))
+                .collect();
+            println!("  {n}x{p}: {}", cells.join("  "));
+        }
+    }
+}

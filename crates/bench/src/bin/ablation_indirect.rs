@@ -1,0 +1,75 @@
+//! Ablation: how much does `Modify_Diagram` (indirect-blocking
+//! instance removal) tighten the bound over treating every HP element
+//! as direct?
+//!
+//! For each paper workload, compares the full `Cal_U` bound with the
+//! direct-only ablation and the classical busy-window bound.
+
+use rtwc_core::{busy_window_bound, cal_u, direct_only_bound, DelayBound};
+use rtwc_workload::{generate, PaperWorkloadConfig};
+
+fn main() {
+    println!("Ablation: full Cal_U vs direct-only vs busy-window bound");
+    println!(
+        "{:>8} {:>8} | {:>10} {:>12} {:>12} | {:>9} {:>9}",
+        "streams", "plevels", "mean U", "mean direct", "mean busy", "dir/full", "busy/full"
+    );
+    println!("{}", "-".repeat(86));
+    for &(streams, plevels) in &[(20usize, 4u32), (20, 5), (40, 5), (60, 10)] {
+        // Means are taken over streams where ALL THREE bounds exist, so
+        // the columns are directly comparable.
+        let mut full_sum = 0.0f64;
+        let mut direct_sum = 0.0f64;
+        let mut busy_sum = 0.0f64;
+        let mut n = 0usize;
+        for seed in 0..5u64 {
+            let w = generate(PaperWorkloadConfig {
+                num_streams: streams,
+                priority_levels: plevels,
+                seed: seed * 7 + 1,
+                ..PaperWorkloadConfig::default()
+            });
+            let horizon = 200_000u64;
+            for id in w.set.ids() {
+                let full = cal_u(&w.set, id, horizon);
+                let direct = direct_only_bound(&w.set, id, horizon);
+                let busy = busy_window_bound(&w.set, id, horizon);
+                if let (
+                    DelayBound::Bounded(f),
+                    DelayBound::Bounded(d),
+                    DelayBound::Bounded(bw),
+                ) = (full, direct, busy)
+                {
+                    full_sum += f as f64;
+                    direct_sum += d as f64;
+                    busy_sum += bw as f64;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            continue;
+        }
+        let (fm, dm, bm) = (
+            full_sum / n as f64,
+            direct_sum / n as f64,
+            busy_sum / n as f64,
+        );
+        println!(
+            "{:>8} {:>8} | {:>10.1} {:>12.1} {:>12.1} | {:>9.3} {:>9.3}  (n={n})",
+            streams,
+            plevels,
+            fm,
+            dm,
+            bm,
+            dm / fm,
+            bm / fm
+        );
+    }
+    println!();
+    println!(
+        "dir/full > 1 quantifies the tightening contributed by Modify_Diagram;\n\
+         busy/full > 1 shows the window-structured diagram beating classical\n\
+         response-time analysis over the same HP sets."
+    );
+}

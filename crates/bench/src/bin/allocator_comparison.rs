@@ -1,0 +1,78 @@
+//! Node-allocation study: the paper notes that "jobs which communicate
+//! each other frequently could be mapped to relatively nearby
+//! processing nodes. But job allocation is another problem" — this bin
+//! quantifies how much the allocation choice matters for how many jobs
+//! a mesh can *guarantee*.
+//!
+//! Identical pipelines are deployed until admission or allocation
+//! fails, per allocator, at several traffic intensities.
+
+use rtwc_bench::ExperimentConfig;
+use rtwc_host::{
+    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec,
+    MessageRequirement, RandomPlacement, TaskId,
+};
+
+fn pipeline(name: &str, priority: u32, period: u64, length: u64) -> JobSpec {
+    let mut msgs: Vec<MessageRequirement> = (0..4)
+        .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), priority, period, length))
+        .collect();
+    msgs.push(MessageRequirement::new(TaskId(0), TaskId(4), 1, period * 5, length * 2));
+    JobSpec::new(name, 5, msgs).unwrap()
+}
+
+fn capacity(allocator: &dyn Allocator, period: u64, length: u64) -> (usize, usize) {
+    let mut host = HostProcessor::new(10, 10);
+    let mut jobs = 0usize;
+    loop {
+        let job = pipeline(&format!("j{jobs}"), 2 + (jobs as u32 % 3), period, length);
+        if host.deploy(&job, allocator).is_err() {
+            break;
+        }
+        jobs += 1;
+        if jobs > 50 {
+            break; // safety
+        }
+    }
+    (jobs, host.admitted_streams())
+}
+
+fn main() {
+    // Unused but keeps the crate-level experiment config conventions in
+    // one place.
+    let _ = ExperimentConfig::table(20, 1, 1);
+    println!("Allocator comparison on a 10x10 mesh: 5-task pipelines deployed");
+    println!("until the first failure (jobs / guaranteed streams)\n");
+    println!(
+        "{:>22} | {:>12} | {:>12} | {:>12}",
+        "allocator", "light", "medium", "heavy"
+    );
+    println!("{}", "-".repeat(70));
+    let loads = [(160u64, 8u64), (80, 12), (40, 16)];
+    let allocators: Vec<(&str, Box<dyn Allocator>)> = vec![
+        ("first-fit", Box::new(FirstFit)),
+        ("clustered", Box::new(Clustered)),
+        ("communication-aware", Box::new(CommunicationAware)),
+        ("random (seed 1)", Box::new(RandomPlacement { seed: 1 })),
+        ("random (seed 2)", Box::new(RandomPlacement { seed: 2 })),
+    ];
+    for (label, alloc) in &allocators {
+        print!("{label:>22}");
+        for &(t, c) in &loads {
+            let (jobs, streams) = capacity(alloc.as_ref(), t, c);
+            print!(" | {:>6}/{:<5}", jobs, streams);
+        }
+        println!();
+    }
+    println!(
+        "\nReading: at light/medium load the locality-aware allocators are\n\
+         node-limited (20 jobs = 100 nodes / 5 tasks) while random placement\n\
+         is feasibility-limited — scattered tasks make long colliding routes,\n\
+         exactly the paper's 'map communicating jobs to nearby nodes' advice.\n\
+         At heavy load the *shape* of the region matters too: first-fit's\n\
+         straight-line placements overlap every stage stream with the\n\
+         monitor stream and admit nothing, while clustered 2-D regions\n\
+         spread the stages across different channels and keep almost full\n\
+         capacity."
+    );
+}

@@ -1,0 +1,71 @@
+//! Priority-assignment study: the paper draws priorities uniformly at
+//! random; rate-monotonic assignment (shortest period = highest
+//! priority, the policy Mutka imports from processor scheduling) is the
+//! principled alternative. Same traffic, two assignments — who
+//! guarantees more?
+
+use rtwc_core::{cal_u, StreamSet, StreamSpec};
+use rtwc_workload::{assign_rate_monotonic, generate, PaperWorkloadConfig};
+use wormnet_topology::XyRouting;
+
+/// Fraction of streams with U <= D under the given specs.
+fn acceptance(mesh: &wormnet_topology::Mesh, specs: &[StreamSpec]) -> f64 {
+    let set = StreamSet::resolve(mesh, &XyRouting, specs).unwrap();
+    let ok = set
+        .ids()
+        .filter(|&id| {
+            cal_u(&set, id, set.get(id).deadline()).meets(set.get(id).deadline())
+        })
+        .count();
+    ok as f64 / set.len() as f64
+}
+
+fn main() {
+    println!("Priority assignment: random (the paper's) vs rate-monotonic,");
+    println!("same traffic, acceptance = fraction of streams with U <= D\n");
+    println!(
+        "{:>10} {:>8} | {:>9} | {:>9} | {:>9}",
+        "T range", "levels", "random", "RM", "RM gain"
+    );
+    println!("{}", "-".repeat(58));
+    for (lo, hi) in [(80u64, 180u64), (40, 90), (20, 45)] {
+        for levels in [4u32, 10] {
+            let mut rnd_sum = 0.0;
+            let mut rm_sum = 0.0;
+            let seeds = 6u64;
+            for seed in 0..seeds {
+                let w = generate(PaperWorkloadConfig {
+                    num_streams: 40,
+                    priority_levels: levels,
+                    t_range: (lo, hi),
+                    inflate_periods: false,
+                    seed: seed * 11 + 3,
+                    ..PaperWorkloadConfig::default()
+                });
+                let specs: Vec<StreamSpec> = w.set.iter().map(|s| s.spec.clone()).collect();
+                rnd_sum += acceptance(&w.mesh, &specs);
+                let rm_specs = assign_rate_monotonic(&specs, levels);
+                rm_sum += acceptance(&w.mesh, &rm_specs);
+            }
+            let (rnd, rm) = (rnd_sum / seeds as f64, rm_sum / seeds as f64);
+            println!(
+                "{:>10} {:>8} | {:>9.3} | {:>9.3} | {:>+9.3}",
+                format!("[{lo},{hi}]"),
+                levels,
+                rnd,
+                rm,
+                rm - rnd
+            );
+        }
+    }
+    println!(
+        "\nObserved (and worth knowing): RM is NOT consistently better here —\n\
+         gains are within a few percent either way. Unlike a processor, a\n\
+         wormhole network is many parallel resources: RM concentrates every\n\
+         short-period (high-demand) stream in the top band, where they block\n\
+         each other and everything below on shared channels, cancelling the\n\
+         processor-style optimality. Priority assignment on networks must\n\
+         consider *paths*, not just periods — which is why the paper treats\n\
+         priorities as application-given."
+    );
+}

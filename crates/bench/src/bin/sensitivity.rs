@@ -1,0 +1,96 @@
+//! Sensitivity study for the two router/simulation parameters the paper
+//! does *not* publish: the VC buffer depth and the stream release
+//! phases. The headline ratio (Table 1's single-level pooled actual/U)
+//! should be robust to both — this binary quantifies that.
+
+use rtwc_bench::aggregate;
+use rtwc_workload::{generate, random_phases, PaperWorkloadConfig};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::Topology;
+
+fn pooled_ratio_with(
+    buffer_depth: usize,
+    phases_seed: Option<u64>,
+    seeds: &[u64],
+) -> f64 {
+    let mut all = Vec::new();
+    for &seed in seeds {
+        let w = generate(PaperWorkloadConfig {
+            num_streams: 20,
+            priority_levels: 1,
+            seed,
+            ..PaperWorkloadConfig::default()
+        });
+        // Like harness::measure_workload but with custom depth/phases.
+        let cfg = SimConfig::paper(1)
+            .with_cycles(30_000, 2_000)
+            .with_buffer_depth(buffer_depth);
+        let phases = match phases_seed {
+            Some(ps) => random_phases(w.set.len(), 90, ps),
+            None => vec![0; w.set.len()],
+        };
+        let mut sim =
+            Simulator::with_phases(w.mesh.num_links(), &w.set, cfg, &phases).unwrap();
+        sim.run();
+        // Reuse the harness measurement shape by re-measuring manually:
+        let _ = &sim;
+        let measurements = {
+            // measure via the shared helper (phases unsupported there),
+            // so compute inline:
+            use rtwc_bench::StreamMeasurement;
+            w.set
+                .ids()
+                .map(|id| {
+                    let bound = w.bounds[id.index()];
+                    let stats = sim.stats();
+                    let (mean_actual, samples) = match stats.mean_latency(id, 2_000) {
+                        Some(m) => (Some(m), stats.latencies(id, 2_000).len()),
+                        None => (stats.mean_latency(id, 0), stats.latencies(id, 0).len()),
+                    };
+                    let ratio = match (mean_actual, bound.value()) {
+                        (Some(m), Some(u)) if u > 0 => Some(m / u as f64),
+                        _ => None,
+                    };
+                    StreamMeasurement {
+                        stream: id,
+                        priority: w.set.get(id).priority(),
+                        bound,
+                        mean_actual,
+                        samples,
+                        ratio,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        all.extend(measurements);
+    }
+    aggregate(&all, 1)[0].pooled_ratio
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..6).map(|s| 100 + s * 13).collect();
+    println!("Sensitivity of the Table-1 pooled ratio (20 streams, 1 level)");
+    println!();
+    println!("VC buffer depth (phases = 0):");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let r = pooled_ratio_with(depth, None, &seeds);
+        println!("  depth {depth:>2}: pooled ratio {r:.3}");
+    }
+    println!();
+    println!("Release phases (depth = 4):");
+    let base = pooled_ratio_with(4, None, &seeds);
+    println!("  all zero       : pooled ratio {base:.3}");
+    for ps in [7u64, 8, 9] {
+        let r = pooled_ratio_with(4, Some(ps), &seeds);
+        println!("  random (seed {ps}): pooled ratio {r:.3}");
+    }
+    println!();
+    println!(
+        "Shape target: for depth >= 2 the ratio moves only mildly with either\n\
+         knob — the paper's conclusions do not hinge on its unpublished router\n\
+         buffer depth or phase alignment. Depth 1 is the exception and is\n\
+         expected to blow up: a single-flit VC buffer halves the pipeline rate\n\
+         (credit turnaround), violating the analysis's full-rate assumption\n\
+         L = hops + C - 1 — i.e. the scheme *requires* >= 2-flit buffers."
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's §5 headline claim: "we found that at least
+//! |M|/4 priority levels are needed to have the ratio of the highest
+//! priority level be higher than 0.9", and "when more priority levels
+//! are allowed, the ratio value of the lowest priority one also
+//! increases".
+//!
+//! Sweeps the number of priority levels for |M| in {20, 40, 60} and
+//! prints, per point, the top and bottom priority-level ratios.
+
+use rtwc_bench::{run_experiment, ExperimentConfig};
+
+fn main() {
+    println!("Priority-level sweep: top-class and bottom-class actual/U ratio");
+    println!("(paper claim: top ratio crosses 0.9 around |M|/4 levels)");
+    println!();
+    for &streams in &[20usize, 40, 60] {
+        println!("|M| = {streams}:");
+        println!(
+            "{:>8} | {:>10} | {:>10} | {:>14}",
+            "plevels", "top ratio", "low ratio", "top > 0.9?"
+        );
+        println!("{}", "-".repeat(52));
+        let mut crossover: Option<u32> = None;
+        let candidate_levels: Vec<u32> = [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20]
+            .into_iter()
+            .filter(|&p| p as usize <= streams)
+            .collect();
+        for plevels in candidate_levels {
+            let cfg = ExperimentConfig::table(streams, plevels, 6);
+            let rows = run_experiment(&cfg);
+            let top = rows.iter().find(|r| r.streams > 0);
+            let bottom = rows.iter().rev().find(|r| r.streams > 0);
+            match (top, bottom) {
+                (Some(t), Some(b)) => {
+                    let pass = t.pooled_ratio > 0.9;
+                    if pass && crossover.is_none() {
+                        crossover = Some(plevels);
+                    }
+                    println!(
+                        "{:>8} | {:>10.3} | {:>10.3} | {:>14}",
+                        plevels,
+                        t.pooled_ratio,
+                        b.pooled_ratio,
+                        if pass { "yes" } else { "no" }
+                    );
+                }
+                _ => println!("{plevels:>8} | {:>10} | {:>10} |", "-", "-"),
+            }
+        }
+        match crossover {
+            Some(p) => println!(
+                "-> first plevels with top ratio > 0.9: {p} (paper predicts ~|M|/4 = {})",
+                streams / 4
+            ),
+            None => println!("-> top ratio never crossed 0.9 in the sweep"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Load sweep: the ratio-vs-|M| curve that Tables 1 and 2 sample at two
+//! points (20 and 60 streams). For fixed priority-level counts, sweeps
+//! the number of streams and reports the pooled top-class and
+//! bottom-class ratios — showing *where* the single-level bound
+//! collapses and how priority levels delay the collapse.
+
+use rtwc_bench::{run_experiment, ExperimentConfig};
+
+fn main() {
+    println!("Stream-count sweep: pooled actual/U ratio vs |M|");
+    println!("(Tables 1 and 2 are the plevels=1 column at |M| = 20 and 60)");
+    println!();
+    let stream_counts = [10usize, 20, 30, 40, 50, 60, 80, 100];
+    let plevel_choices = [1u32, 5, 10];
+    print!("{:>6}", "|M|");
+    for p in plevel_choices {
+        print!(" | {:>9} {:>9}", format!("p{p} top"), format!("p{p} low"));
+    }
+    println!();
+    println!("{}", "-".repeat(6 + plevel_choices.len() * 22));
+    for &m in &stream_counts {
+        print!("{m:>6}");
+        for &p in &plevel_choices {
+            if p as usize > m {
+                print!(" | {:>9} {:>9}", "-", "-");
+                continue;
+            }
+            let cfg = ExperimentConfig::table(m, p, 4);
+            let rows = run_experiment(&cfg);
+            let top = rows.iter().find(|r| r.streams > 0);
+            let low = rows.iter().rev().find(|r| r.streams > 0);
+            match (top, low) {
+                (Some(t), Some(b)) => {
+                    print!(" | {:>9.3} {:>9.3}", t.pooled_ratio, b.pooled_ratio)
+                }
+                _ => print!(" | {:>9} {:>9}", "-", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "Shape target: the plevels=1 column decays monotonically with |M|\n\
+         (0.44 at 20 -> 0.06 at 60 reproduces Tables 1-2); more levels keep\n\
+         the top class's ratio high far deeper into the load range."
+    );
+}

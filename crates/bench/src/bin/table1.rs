@@ -1,0 +1,26 @@
+//! Regenerates **Table 1**: 1 priority level, 20 message streams.
+//!
+//! Paper shape target: "The ratio between the calculated delay upper
+//! bound and the actual latency is less than 0.5."
+
+use rtwc_bench::{render_table, run_experiment, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::table(20, 1, 10);
+    let rows = run_experiment(&cfg);
+    print!(
+        "{}",
+        render_table("Table 1 — 1 priority level, 20 message streams", &cfg, &rows)
+    );
+    println!();
+    println!("Paper shape target: ratio < 0.5 with a single priority level.");
+    if let Some(r) = rows.first() {
+        if r.streams > 0 {
+            println!(
+                "Measured: mean actual/U = {:.3} -> {}",
+                r.pooled_ratio,
+                if r.pooled_ratio < 0.5 { "MATCHES" } else { "DIFFERS" }
+            );
+        }
+    }
+}

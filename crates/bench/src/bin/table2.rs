@@ -1,0 +1,33 @@
+//! Regenerates **Table 2**: 1 priority level, 60 message streams.
+//!
+//! Paper shape target: "If more message streams are generated, the
+//! ratio is extremely exacerbated" — far below Table 1's.
+
+use rtwc_bench::{render_table, run_experiment, ExperimentConfig};
+
+fn main() {
+    let cfg20 = ExperimentConfig::table(20, 1, 10);
+    let rows20 = run_experiment(&cfg20);
+    let cfg = ExperimentConfig::table(60, 1, 10);
+    let rows = run_experiment(&cfg);
+    print!(
+        "{}",
+        render_table("Table 2 — 1 priority level, 60 message streams", &cfg, &rows)
+    );
+    println!();
+    println!("Paper shape target: ratio collapses well below the 20-stream case.");
+    if let (Some(r60), Some(r20)) = (rows.first(), rows20.first()) {
+        if r60.streams > 0 && r20.streams > 0 {
+            println!(
+                "Measured: 60-stream ratio {:.3} vs 20-stream ratio {:.3} -> {}",
+                r60.pooled_ratio,
+                r20.pooled_ratio,
+                if r60.pooled_ratio < r20.pooled_ratio {
+                    "MATCHES"
+                } else {
+                    "DIFFERS"
+                }
+            );
+        }
+    }
+}

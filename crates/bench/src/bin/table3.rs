@@ -1,0 +1,32 @@
+//! Regenerates **Table 3**: 4 priority levels, 20 message streams.
+//!
+//! Paper shape target: ratios improve over the single-level Table 1,
+//! and higher priority levels get tighter bounds.
+
+use rtwc_bench::{render_table, run_experiment, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::table(20, 4, 10);
+    let rows = run_experiment(&cfg);
+    print!(
+        "{}",
+        render_table("Table 3 — 4 priority levels, 20 message streams", &cfg, &rows)
+    );
+    println!();
+    println!(
+        "Paper shape target: the more priority levels, the better the ratio;\n\
+         the top level's ratio dominates the bottom's."
+    );
+    let top = rows.first().filter(|r| r.streams > 0);
+    let bottom = rows.last().filter(|r| r.streams > 0);
+    if let (Some(t), Some(b)) = (top, bottom) {
+        println!(
+            "Measured: P={} ratio {:.3} vs P={} ratio {:.3} -> {}",
+            t.priority,
+            t.pooled_ratio,
+            b.priority,
+            b.pooled_ratio,
+            if t.pooled_ratio > b.pooled_ratio { "MATCHES" } else { "DIFFERS" }
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Tightness certificate: for small stream sets, search release-phase
+//! space exhaustively for the worst *actual* latency the preemptive
+//! network can produce, and compare it against the analytical bound U.
+//!
+//! `max over phases (actual) <= U` re-validates soundness against an
+//! adversarial (not just synchronized) release pattern;
+//! `max / U` close to 1 certifies that the bound is nearly attained by
+//! a real schedule — the strongest tightness statement short of an
+//! exact analysis.
+
+use rtwc_core::{cal_u, StreamId, StreamSet};
+use rtwc_workload::ScenarioBuilder;
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::{Mesh, Topology};
+
+/// Worst observed latency of `target` over every phase combination of
+/// the interfering streams (phases in `0..T_i` stepped by `step`).
+fn worst_case_search(
+    mesh: &Mesh,
+    set: &StreamSet,
+    target: StreamId,
+    step: u64,
+    cycles: u64,
+) -> (u64, usize) {
+    let periods: Vec<u64> = set.iter().map(|s| s.period()).collect();
+    let n = set.len();
+    let mut phases = vec![0u64; n];
+    let mut worst = 0u64;
+    let mut combos = 0usize;
+    // Odometer over phase vectors; the target's phase stays 0 (only
+    // relative offsets matter).
+    loop {
+        combos += 1;
+        let cfg = SimConfig::paper(
+            set.iter().map(|s| s.priority()).max().unwrap() as usize,
+        )
+        .with_cycles(cycles, 0);
+        let mut sim = Simulator::with_phases(mesh.num_links(), set, cfg, &phases)
+            .expect("valid scenario");
+        sim.run();
+        if let Some(m) = sim.stats().max_latency(target, 0) {
+            worst = worst.max(m);
+        }
+        // Advance the odometer (skip the target's digit).
+        let mut i = 0;
+        loop {
+            if i == target.index() {
+                i += 1;
+                if i >= n {
+                    return (worst, combos);
+                }
+            }
+            phases[i] += step;
+            if phases[i] < periods[i] {
+                break;
+            }
+            phases[i] = 0;
+            i += 1;
+            if i >= n {
+                return (worst, combos);
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("Tightness search: exhaustive phase sweep vs the analytical bound\n");
+    // Three compact scenarios with known interesting structure.
+    let scenarios: Vec<(&str, StreamSet, Mesh)> = vec![
+        {
+            let (mesh, set) = ScenarioBuilder::mesh2d(10, 2)
+                .stream((0, 0), (5, 0), 2, 12, 3)
+                .stream((1, 0), (6, 0), 1, 40, 4)
+                .build_with_mesh()
+                .unwrap();
+            ("two streams, one blocker", set, mesh)
+        },
+        {
+            let (mesh, set) = ScenarioBuilder::mesh2d(10, 2)
+                .stream((0, 0), (5, 0), 3, 10, 2)
+                .stream((1, 0), (6, 0), 2, 15, 3)
+                .stream((2, 0), (7, 0), 1, 60, 5)
+                .build_with_mesh()
+                .unwrap();
+            ("three direct blockers", set, mesh)
+        },
+        {
+            // Indirect chain: T <- M3 <- M2 (the Figure 6 shape).
+            let (mesh, set) = ScenarioBuilder::mesh2d(20, 2)
+                .stream((4, 0), (7, 0), 3, 14, 3)
+                .stream((2, 0), (5, 0), 2, 13, 4)
+                .stream((0, 0), (3, 0), 1, 60, 4)
+                .build_with_mesh()
+                .unwrap();
+            ("indirect chain", set, mesh)
+        },
+    ];
+    for (name, set, mesh) in scenarios {
+        let target = StreamId(set.len() as u32 - 1);
+        let u = cal_u(&set, target, 10_000).value().expect("bounded");
+        let (worst, combos) = worst_case_search(&mesh, &set, target, 1, 400);
+        println!("{name}:");
+        println!(
+            "  U = {u}, worst actual over {combos} phase combinations = {worst}  ({})",
+            if worst <= u {
+                format!("sound; attained {:.0}% of the bound", 100.0 * worst as f64 / u as f64)
+            } else {
+                "VIOLATION!".to_string()
+            }
+        );
+    }
+    println!(
+        "\nShape target: no phase combination beats U, and the worst case\n\
+         lands close to it — the timing-diagram bound is both safe and tight\n\
+         at small scale."
+    );
+}

@@ -1,0 +1,83 @@
+//! How many virtual channels does priority handling actually need?
+//!
+//! The paper assumes one VC per priority level and notes "it is
+//! difficult to have too many virtual channels due to practical
+//! resource constraints". This ablation fixes a 10-priority-level
+//! workload and sweeps the VC count under two ways of spending scarce
+//! VCs:
+//!
+//! * `li` — Li & Mutka's allocation (VC index capped by priority) with
+//!   fair bandwidth;
+//! * `shared` — a shared VC pool with strictly priority-preemptive
+//!   bandwidth (allocation inversion possible when VCs run out).
+//!
+//! The full paper scheme (`preemptive`, one VC per level) anchors the
+//! top of the range.
+
+use rtwc_workload::{generate, GeneratedWorkload, PaperWorkloadConfig};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::Topology;
+
+/// Mean normalized latency (actual / network latency) of the top
+/// priority class.
+fn top_class_normalized(w: &GeneratedWorkload, cfg: SimConfig) -> Option<f64> {
+    let mut sim = Simulator::new(w.mesh.num_links(), &w.set, cfg).ok()?;
+    sim.run();
+    let mut vals = Vec::new();
+    let top = w.set.iter().map(|s| s.priority()).max()?;
+    for id in w.set.ids() {
+        let s = w.set.get(id);
+        if s.priority() != top {
+            continue;
+        }
+        for lat in sim.stats().latencies(id, 2_000) {
+            vals.push(lat as f64 / s.latency as f64);
+        }
+    }
+    (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+fn main() {
+    let plevels = 10u32;
+    println!("VC-count ablation: top-class mean latency / L (10 priority levels,");
+    println!("30 streams, raw load). 1.0 = perfect isolation.\n");
+    println!(
+        "{:>6} | {:>10} | {:>10}",
+        "VCs", "li", "shared"
+    );
+    println!("{}", "-".repeat(34));
+    let workloads: Vec<GeneratedWorkload> = (0..4u64)
+        .map(|seed| {
+            generate(PaperWorkloadConfig {
+                num_streams: 30,
+                priority_levels: plevels,
+                inflate_periods: false,
+                t_range: (50, 110),
+                seed: seed * 3 + 1,
+                ..PaperWorkloadConfig::default()
+            })
+        })
+        .collect();
+    let avg = |cfg_of: &dyn Fn() -> SimConfig| -> f64 {
+        let vals: Vec<f64> = workloads
+            .iter()
+            .filter_map(|w| top_class_normalized(w, cfg_of().with_cycles(30_000, 2_000)))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    for vcs in [1usize, 2, 4, 6, 8, 10] {
+        let li = avg(&|| SimConfig::li(vcs));
+        let shared = avg(&|| SimConfig::shared_pool(vcs));
+        println!("{vcs:>6} | {li:>10.3} | {shared:>10.3}");
+    }
+    let full = avg(&|| SimConfig::paper(plevels as usize));
+    println!("\nanchor: full paper scheme (10 VCs, one per level): {full:.3}");
+    println!(
+        "\nShape target: the shared pool converges toward the anchor as VCs\n\
+         grow (residual gap = allocation inversion when every VC is held by\n\
+         lower traffic), while Li's fair bandwidth sharing leaves the top\n\
+         class paying for others no matter how many VCs exist — i.e.\n\
+         *preemptive bandwidth arbitration* is the load-bearing half of the\n\
+         paper's scheme, and one-VC-per-priority removes the last gap."
+    );
+}

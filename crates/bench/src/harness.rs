@@ -1,0 +1,255 @@
+//! The bound-vs-actual experiment harness behind every table of the
+//! paper's evaluation (§5).
+//!
+//! One experiment: generate the paper workload (`N` streams, `p`
+//! priority levels, seeded), compute every stream's delay upper bound
+//! `U_i`, simulate 30000 flit times of the preemptive network, and
+//! report — per priority level — the ratio between the actual average
+//! message latency and `U`. A ratio near 1 means the bound is tight;
+//! the paper's tables are exactly these rows.
+
+use rtwc_core::{DelayBound, Priority, StreamId};
+use rtwc_workload::{generate, GeneratedWorkload, PaperWorkloadConfig};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::Topology;
+
+/// Parameters of one table experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of message streams (|M|).
+    pub num_streams: usize,
+    /// Number of priority levels (= virtual channels per channel).
+    pub priority_levels: u32,
+    /// Seeds to average over; each seed is an independent workload.
+    pub seeds: Vec<u64>,
+    /// Simulated flit times (paper: 30000).
+    pub cycles: u64,
+    /// Start-up flit times excluded from statistics (paper: 2000).
+    pub warmup: u64,
+    /// Inclusive range of message sizes (paper: 1..=40 flits).
+    pub c_range: (u64, u64),
+    /// Inclusive range of periods (paper: 40..=90 flit times, before
+    /// inflation).
+    pub t_range: (u64, u64),
+}
+
+impl ExperimentConfig {
+    /// The paper's setup for a table: `|M|` streams, `p` levels,
+    /// averaged over `n_seeds` independent workloads.
+    pub fn table(num_streams: usize, priority_levels: u32, n_seeds: u64) -> Self {
+        ExperimentConfig {
+            num_streams,
+            priority_levels,
+            seeds: (0..n_seeds).map(|s| 0x9e37_79b9 ^ (s * 0x85eb_ca6b + 1)).collect(),
+            cycles: 30_000,
+            warmup: 2_000,
+            c_range: (1, 40),
+            t_range: (40, 90),
+        }
+    }
+}
+
+/// One stream's measurement within a run.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamMeasurement {
+    /// The stream.
+    pub stream: StreamId,
+    /// Its priority level.
+    pub priority: Priority,
+    /// The computed delay upper bound.
+    pub bound: DelayBound,
+    /// Mean actual latency over measured messages (post-warm-up when
+    /// available, otherwise all completed messages), if any completed.
+    pub mean_actual: Option<f64>,
+    /// Number of messages behind `mean_actual`.
+    pub samples: usize,
+    /// `mean_actual / U`, when both exist.
+    pub ratio: Option<f64>,
+}
+
+/// Aggregate over all streams of one priority level (possibly across
+/// several seeds) — one row of a paper table.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityRow {
+    /// The priority level (larger = more urgent).
+    pub priority: Priority,
+    /// Streams contributing (with both a bound and measurements).
+    pub streams: usize,
+    /// Streams of this priority lacking a bound or any completed
+    /// message (excluded from the ratio).
+    pub excluded: usize,
+    /// Mean of per-stream `actual / U` ratios.
+    pub mean_ratio: f64,
+    /// Pooled ratio `sum(actual means) / sum(U)` — weights streams by
+    /// their bound, so heavily-blocked streams dominate.
+    pub pooled_ratio: f64,
+    /// Smallest per-stream ratio.
+    pub min_ratio: f64,
+    /// Largest per-stream ratio.
+    pub max_ratio: f64,
+}
+
+/// Simulates one generated workload and measures every stream.
+pub fn measure_workload(
+    w: &GeneratedWorkload,
+    cycles: u64,
+    warmup: u64,
+) -> Vec<StreamMeasurement> {
+    let cfg = SimConfig::paper(w.config.priority_levels as usize).with_cycles(cycles, warmup);
+    let mut sim = Simulator::new(w.mesh.num_links(), &w.set, cfg)
+        .expect("generated workload is simulable");
+    sim.run();
+    let stats = sim.stats();
+    w.set
+        .ids()
+        .map(|id| {
+            let bound = w.bounds[id.index()];
+            // Prefer post-warm-up samples; long-period streams (period
+            // inflated past the horizon) may only have their first
+            // message, which we then use rather than report nothing.
+            let (mean_actual, samples) = match stats.mean_latency(id, warmup) {
+                Some(m) => (Some(m), stats.latencies(id, warmup).len()),
+                None => (
+                    stats.mean_latency(id, 0),
+                    stats.latencies(id, 0).len(),
+                ),
+            };
+            let ratio = match (mean_actual, bound) {
+                (Some(m), DelayBound::Bounded(u)) if u > 0 => Some(m / u as f64),
+                _ => None,
+            };
+            StreamMeasurement {
+                stream: id,
+                priority: w.set.get(id).priority(),
+                bound,
+                mean_actual,
+                samples,
+                ratio,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full experiment: every seed, pooled per-priority rows,
+/// highest priority first (the paper's row order).
+pub fn run_experiment(cfg: &ExperimentConfig) -> Vec<PriorityRow> {
+    let mut all: Vec<StreamMeasurement> = Vec::new();
+    // Seeds are independent; run them on scoped threads.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let w = generate(PaperWorkloadConfig {
+                        num_streams: cfg.num_streams,
+                        priority_levels: cfg.priority_levels,
+                        c_range: cfg.c_range,
+                        t_range: cfg.t_range,
+                        seed,
+                        ..PaperWorkloadConfig::default()
+                    });
+                    measure_workload(&w, cfg.cycles, cfg.warmup)
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("experiment thread"));
+        }
+    });
+    aggregate(&all, cfg.priority_levels)
+}
+
+/// Pools measurements into per-priority rows.
+pub fn aggregate(measurements: &[StreamMeasurement], priority_levels: u32) -> Vec<PriorityRow> {
+    (1..=priority_levels)
+        .rev()
+        .map(|p| {
+            let of_p: Vec<&StreamMeasurement> =
+                measurements.iter().filter(|m| m.priority == p).collect();
+            let ratios: Vec<f64> = of_p.iter().filter_map(|m| m.ratio).collect();
+            let excluded = of_p.len() - ratios.len();
+            let (mut actual_sum, mut bound_sum) = (0.0f64, 0.0f64);
+            for m in &of_p {
+                if let (Some(a), Some(u)) = (m.mean_actual, m.bound.value()) {
+                    actual_sum += a;
+                    bound_sum += u as f64;
+                }
+            }
+            let (mean, min, max) = if ratios.is_empty() {
+                (f64::NAN, f64::NAN, f64::NAN)
+            } else {
+                (
+                    ratios.iter().sum::<f64>() / ratios.len() as f64,
+                    ratios.iter().copied().fold(f64::INFINITY, f64::min),
+                    ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
+            };
+            PriorityRow {
+                priority: p,
+                streams: ratios.len(),
+                excluded,
+                mean_ratio: mean,
+                pooled_ratio: if bound_sum > 0.0 {
+                    actual_sum / bound_sum
+                } else {
+                    f64::NAN
+                },
+                min_ratio: min,
+                max_ratio: max,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_experiment_produces_rows() {
+        let cfg = ExperimentConfig {
+            num_streams: 8,
+            priority_levels: 2,
+            seeds: vec![1],
+            cycles: 8_000,
+            warmup: 1_000,
+            ..ExperimentConfig::table(8, 2, 1)
+        };
+        let rows = run_experiment(&cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].priority, 2, "highest priority first");
+        assert_eq!(rows[1].priority, 1);
+    }
+
+    #[test]
+    fn ratios_are_at_most_one_for_bounded_streams() {
+        // U is an upper bound: mean actual latency can never exceed it.
+        let cfg = ExperimentConfig {
+            num_streams: 12,
+            priority_levels: 3,
+            seeds: vec![2, 3],
+            cycles: 10_000,
+            warmup: 1_000,
+            ..ExperimentConfig::table(12, 3, 1)
+        };
+        let rows = run_experiment(&cfg);
+        for r in &rows {
+            if r.streams > 0 {
+                assert!(
+                    r.max_ratio <= 1.0 + 1e-9,
+                    "P={}: max ratio {} exceeds 1",
+                    r.priority,
+                    r.max_ratio
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_handles_empty_level() {
+        let rows = aggregate(&[], 3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.streams == 0 && r.mean_ratio.is_nan()));
+    }
+}

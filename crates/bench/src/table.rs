@@ -1,0 +1,123 @@
+//! Plain-text rendering of experiment results in the paper's table
+//! style.
+
+use crate::harness::{ExperimentConfig, PriorityRow};
+use std::fmt::Write as _;
+
+/// Renders one table: header describing the experiment, then one row
+/// per priority level (highest first) with the actual/U ratio, exactly
+/// the quantity the paper's Tables 1-5 report.
+pub fn render_table(title: &str, cfg: &ExperimentConfig, rows: &[PriorityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{} priority level(s), {} message streams, {} seed(s), {} cycles ({} warm-up)",
+        cfg.priority_levels,
+        cfg.num_streams,
+        cfg.seeds.len(),
+        cfg.cycles,
+        cfg.warmup
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} | {:>8} | {:>11} | {:>9} | {:>9} | {:>9} | {:>8}",
+        "priority", "ratio", "mean ratio", "min", "max", "streams", "excluded"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    for r in rows {
+        if r.streams == 0 {
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>8} | {:>11} | {:>9} | {:>9} | {:>9} | {:>8}",
+                format!("P = {}", r.priority),
+                "-",
+                "-",
+                "-",
+                "-",
+                0,
+                r.excluded
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>9} | {:>8.3} | {:>11.3} | {:>9.3} | {:>9.3} | {:>9} | {:>8}",
+                format!("P = {}", r.priority),
+                r.pooled_ratio,
+                r.mean_ratio,
+                r.min_ratio,
+                r.max_ratio,
+                r.streams,
+                r.excluded
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "('ratio' pools actual/U over the level's streams — the paper's quantity;\n\
+         'mean ratio' averages per-stream ratios)"
+    );
+    out
+}
+
+/// Renders a compact one-line summary (used by the sweep binary).
+pub fn summary_line(rows: &[PriorityRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            if r.streams == 0 {
+                format!("P{}: -", r.priority)
+            } else {
+                format!("P{}: {:.3}", r.priority, r.pooled_ratio)
+            }
+        })
+        .collect();
+    cells.join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::PriorityRow;
+
+    fn row(p: u32, ratio: f64, n: usize) -> PriorityRow {
+        PriorityRow {
+            priority: p,
+            streams: n,
+            excluded: 0,
+            mean_ratio: ratio,
+            pooled_ratio: ratio,
+            min_ratio: ratio - 0.1,
+            max_ratio: ratio + 0.1,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let cfg = ExperimentConfig::table(20, 2, 3);
+        let rows = vec![row(2, 0.9, 11), row(1, 0.4, 9)];
+        let text = render_table("Table X", &cfg, &rows);
+        assert!(text.contains("Table X"));
+        assert!(text.contains("P = 2"));
+        assert!(text.contains("P = 1"));
+        assert!(text.contains("0.900"));
+        assert!(text.contains("0.400"));
+    }
+
+    #[test]
+    fn empty_level_renders_dash() {
+        let cfg = ExperimentConfig::table(20, 1, 1);
+        let mut r = row(1, f64::NAN, 0);
+        r.streams = 0;
+        r.excluded = 4;
+        let text = render_table("T", &cfg, &[r]);
+        assert!(text.contains('-'));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn summary_line_compact() {
+        let rows = vec![row(2, 0.95, 5), row(1, 0.5, 5)];
+        assert_eq!(summary_line(&rows), "P2: 0.950  P1: 0.500");
+    }
+}

@@ -1,0 +1,343 @@
+//! The `analyze`, `simulate`, and `check` commands, factored out of
+//! `main` so they are testable without a process boundary.
+
+use crate::spec::SpecFile;
+use rtwc_core::{
+    analyze_all, determine_feasibility, explain as explain_bound, render_analysis,
+    render_explanation, DelayBound,
+};
+use wormnet_sim::{Policy, SimConfig, Simulator};
+use wormnet_topology::Topology;
+
+/// Options shared by the simulation-backed commands.
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// Arbitration policy.
+    pub policy: Policy,
+    /// Cycles to simulate.
+    pub cycles: u64,
+    /// Warm-up cycles excluded from statistics.
+    pub warmup: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            policy: Policy::PreemptivePriority,
+            cycles: 30_000,
+            warmup: 2_000,
+        }
+    }
+}
+
+impl SimOptions {
+    fn config(&self, priority_levels: usize) -> SimConfig {
+        let base = match self.policy {
+            Policy::PreemptivePriority => SimConfig::paper(priority_levels),
+            Policy::LiPriorityVc => SimConfig::li(priority_levels.max(1)),
+            Policy::ClassicFifo => SimConfig::classic(),
+            Policy::SharedPoolPriority => SimConfig::shared_pool(priority_levels.max(1)),
+        };
+        base.with_cycles(self.cycles, self.warmup)
+    }
+}
+
+fn max_priority(spec: &SpecFile) -> usize {
+    spec.set.iter().map(|s| s.priority()).max().unwrap_or(1) as usize
+}
+
+/// `rtwc analyze`: run Determine-Feasibility and report every bound;
+/// with `diagrams`, also render each stream's timing diagrams; with
+/// `explain`, decompose every bound into per-blocker contributions.
+pub fn analyze_with(spec: &SpecFile, diagrams: bool, explain: bool) -> String {
+    let mut out = analyze(spec, diagrams);
+    if explain {
+        out.push('\n');
+        for analysis in analyze_all(&spec.set) {
+            let e = explain_bound(&spec.set, &analysis);
+            out.push_str(&render_explanation(&spec.set, &e));
+        }
+    }
+    out
+}
+
+/// `rtwc analyze` without bound attribution (see [`analyze_with`]).
+pub fn analyze(spec: &SpecFile, diagrams: bool) -> String {
+    let mut out = String::new();
+    let report = determine_feasibility(&spec.set);
+    out.push_str(&format!(
+        "{} streams on a {}x{} mesh, {} priority level(s)\n\n",
+        spec.set.len(),
+        spec.mesh.dims()[0],
+        spec.mesh.dims()[1],
+        spec.set.priority_level_count(),
+    ));
+    for s in spec.set.iter() {
+        let bound = report.bound(s.id);
+        out.push_str(&format!(
+            "  {}: P={} T={} C={} D={} L={}  U = {}  [{}]\n",
+            s.id,
+            s.priority(),
+            s.period(),
+            s.max_length(),
+            s.deadline(),
+            s.latency,
+            bound,
+            if bound.meets(s.deadline()) {
+                "guaranteed"
+            } else {
+                "NOT guaranteed"
+            },
+        ));
+    }
+    out.push_str(&format!(
+        "\nDetermine-Feasibility: {}\n",
+        if report.is_feasible() { "success" } else { "fail" }
+    ));
+    if diagrams {
+        out.push('\n');
+        for analysis in analyze_all(&spec.set) {
+            out.push_str(&render_analysis(&spec.set, &analysis));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `rtwc simulate`: run the flit-level simulator and report per-stream
+/// latency statistics.
+pub fn simulate(spec: &SpecFile, opts: &SimOptions) -> Result<String, String> {
+    let cfg = opts.config(max_priority(spec));
+    let mut sim = Simulator::new(spec.mesh.num_links(), &spec.set, cfg)?;
+    sim.run();
+    let stats = sim.stats();
+    let mut out = format!(
+        "simulated {} cycles ({} warm-up) under {:?}\n\n",
+        stats.cycles_run, opts.warmup, opts.policy
+    );
+    for s in spec.set.iter() {
+        let n = stats.latencies(s.id, opts.warmup).len();
+        let mean = stats.mean_latency(s.id, opts.warmup);
+        let max = stats.max_latency(s.id, opts.warmup);
+        match (mean, max) {
+            (Some(mean), Some(max)) => out.push_str(&format!(
+                "  {}: {} msgs, latency mean {:.1} / max {} (L = {})\n",
+                s.id, n, mean, max, s.latency
+            )),
+            _ => out.push_str(&format!("  {}: no completed messages\n", s.id)),
+        }
+    }
+    if let Some(t) = stats.stalled_at {
+        out.push_str(&format!("\nWARNING: stall watchdog fired at cycle {t}\n"));
+    }
+    out.push_str(&format!(
+        "\n{} released, {} completed\n",
+        stats.total_released(),
+        stats.total_completed()
+    ));
+    Ok(out)
+}
+
+/// `rtwc check`: analyze + simulate, and verify every observed latency
+/// stays within its bound. Returns `(report, ok)`.
+pub fn check(spec: &SpecFile, opts: &SimOptions) -> Result<(String, bool), String> {
+    let report = determine_feasibility(&spec.set);
+    let cfg = opts.config(max_priority(spec));
+    let mut sim = Simulator::new(spec.mesh.num_links(), &spec.set, cfg)?;
+    sim.run();
+    let stats = sim.stats();
+    let mut out = String::from("bound vs simulation:\n");
+    let mut ok = true;
+    for s in spec.set.iter() {
+        let bound = report.bound(s.id);
+        let max = stats.max_latency(s.id, opts.warmup);
+        let verdict = match (bound, max) {
+            (DelayBound::Bounded(u), Some(m)) if m <= u => "ok",
+            (DelayBound::Bounded(_), Some(_)) => {
+                ok = false;
+                "VIOLATION"
+            }
+            (DelayBound::Exceeded, _) => "no bound",
+            (_, None) => "no samples",
+        };
+        out.push_str(&format!(
+            "  {}: U = {:>6}  max actual = {:>6}  {}\n",
+            s.id,
+            bound.to_string(),
+            max.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            verdict
+        ));
+    }
+    out.push_str(&format!(
+        "\nresult: {}\n",
+        if ok { "all observed latencies within bounds" } else { "BOUND VIOLATIONS" }
+    ));
+    Ok((out, ok))
+}
+
+/// `rtwc deploy`: submit every job of a `.jobs` file to a fresh host
+/// processor, printing placements, guarantees, and failures.
+pub fn deploy(file: &crate::jobs::JobsFile, allocator: &dyn rtwc_host::Allocator) -> String {
+    use std::fmt::Write as _;
+    let mut host = rtwc_host::HostProcessor::new(file.width, file.height);
+    let mut out = format!(
+        "host: {}x{} mesh, {} job(s) to deploy\n\n",
+        file.width,
+        file.height,
+        file.jobs.len()
+    );
+    for job in &file.jobs {
+        match host.deploy(job, allocator) {
+            Ok(id) => {
+                let deployed = host
+                    .jobs()
+                    .iter()
+                    .find(|j| j.id == id)
+                    .expect("just deployed");
+                let nodes: Vec<String> = deployed
+                    .placement
+                    .nodes()
+                    .iter()
+                    .map(|n| {
+                        let c = host.mesh().coord(*n);
+                        format!("({},{})", c.get(0), c.get(1))
+                    })
+                    .collect();
+                let _ = writeln!(out, "{}: deployed on [{}]", job.name, nodes.join(", "));
+                for (m, &s) in job.messages.iter().zip(&deployed.streams) {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {}: U = {} (D = {})",
+                        m.from,
+                        m.to,
+                        host.bound(s),
+                        m.deadline
+                    );
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{}: REJECTED ({e})", job.name);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n{} job(s) running, {} stream(s) guaranteed, {} node(s) free",
+        host.jobs().len(),
+        host.admitted_streams(),
+        host.free_nodes().len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse;
+
+    fn paper_spec() -> SpecFile {
+        parse(
+            "mesh 10 10\n\
+             stream 7,3 7,7 5 15 4\n\
+             stream 1,1 5,4 4 10 2\n\
+             stream 2,1 7,5 3 40 4\n\
+             stream 4,1 8,5 2 45 9\n\
+             stream 6,1 9,3 1 50 6\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_reports_bounds() {
+        let out = analyze(&paper_spec(), false);
+        assert!(out.contains("M0: P=5"));
+        assert!(out.contains("U = 7"));
+        assert!(out.contains("Determine-Feasibility: success"));
+        assert!(!out.contains("Initial timing diagram"));
+    }
+
+    #[test]
+    fn analyze_with_diagrams() {
+        let out = analyze(&paper_spec(), true);
+        assert!(out.contains("Initial timing diagram"));
+        assert!(out.contains("Removed instances"));
+    }
+
+    #[test]
+    fn analyze_with_explanations() {
+        let out = analyze_with(&paper_spec(), false, true);
+        assert!(out.contains("U(M4) = 33 = L(10) + 23"));
+        assert!(out.contains("discounted as indirect"));
+    }
+
+    #[test]
+    fn simulate_reports_latencies() {
+        let opts = SimOptions {
+            cycles: 2_000,
+            warmup: 0,
+            ..SimOptions::default()
+        };
+        let out = simulate(&paper_spec(), &opts).unwrap();
+        assert!(out.contains("M0:"));
+        assert!(out.contains("released"));
+        assert!(!out.contains("WARNING"));
+    }
+
+    #[test]
+    fn check_paper_example_passes() {
+        let opts = SimOptions {
+            cycles: 5_000,
+            warmup: 0,
+            ..SimOptions::default()
+        };
+        let (out, ok) = check(&paper_spec(), &opts).unwrap();
+        assert!(ok, "{out}");
+        assert!(out.contains("all observed latencies within bounds"));
+    }
+
+    #[test]
+    fn deploy_reports_placements_and_bounds() {
+        let file = crate::jobs::parse_jobs(
+            "mesh 8 8\n\
+             job control 3\n  msg 0 1 2 100 8\n  msg 1 2 2 100 8\n\
+             job bulk 2\n  msg 0 1 1 400 32\n",
+        )
+        .unwrap();
+        let out = deploy(&file, &rtwc_host::CommunicationAware);
+        assert!(out.contains("control: deployed on ["), "{out}");
+        assert!(out.contains("t0 -> t1: U = "));
+        assert!(out.contains("2 job(s) running"));
+        assert!(out.contains("3 stream(s) guaranteed"));
+    }
+
+    #[test]
+    fn deploy_reports_rejections() {
+        // Second job cannot fit on a 2x1 mesh.
+        let file = crate::jobs::parse_jobs(
+            "mesh 2 1\n\
+             job a 2\n  msg 0 1 1 100 4\n\
+             job b 2\n  msg 0 1 1 100 4\n",
+        )
+        .unwrap();
+        let out = deploy(&file, &rtwc_host::FirstFit);
+        assert!(out.contains("b: REJECTED"), "{out}");
+        assert!(out.contains("1 job(s) running"));
+    }
+
+    #[test]
+    fn simulate_under_each_policy() {
+        for policy in [
+            Policy::PreemptivePriority,
+            Policy::LiPriorityVc,
+            Policy::ClassicFifo,
+        ] {
+            let opts = SimOptions {
+                policy,
+                cycles: 1_000,
+                warmup: 0,
+            };
+            let out = simulate(&paper_spec(), &opts).unwrap();
+            assert!(out.contains("completed"), "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The `.jobs` spec format: a mesh plus a sequence of real-time jobs
+//! for the host processor to deploy.
+//!
+//! ```text
+//! mesh 10 10
+//! # job NAME NUM_TASKS
+//! job control 3
+//!   # msg FROM_TASK TO_TASK PRIORITY PERIOD LENGTH [DEADLINE]
+//!   msg 0 1 2 100 8
+//!   msg 1 2 2 100 8
+//! job telemetry 2
+//!   msg 0 1 1 400 32 300
+//! ```
+
+use crate::spec::ParseError;
+use rtwc_host::{JobSpec, MessageRequirement, TaskId};
+
+/// A parsed `.jobs` file: the mesh dimensions and the jobs in
+/// submission order.
+#[derive(Clone, Debug)]
+pub struct JobsFile {
+    /// Mesh width.
+    pub width: u32,
+    /// Mesh height.
+    pub height: u32,
+    /// Jobs in submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn num<T: std::str::FromStr>(line: usize, token: &str, what: &str) -> Result<T, ParseError> {
+    token
+        .parse::<T>()
+        .map_err(|_| err(line, format!("bad {what} '{token}'")))
+}
+
+/// Parses a `.jobs` file.
+pub fn parse_jobs(input: &str) -> Result<JobsFile, ParseError> {
+    let mut dims: Option<(u32, u32)> = None;
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    // The job currently being assembled: (line, name, tasks, messages).
+    let mut current: Option<(usize, String, usize, Vec<MessageRequirement>)> = None;
+
+    let finish =
+        |cur: &mut Option<(usize, String, usize, Vec<MessageRequirement>)>,
+         jobs: &mut Vec<JobSpec>|
+         -> Result<(), ParseError> {
+            if let Some((line, name, tasks, msgs)) = cur.take() {
+                let job = JobSpec::new(name, tasks, msgs)
+                    .map_err(|e| err(line, format!("invalid job: {e}")))?;
+                jobs.push(job);
+            }
+            Ok(())
+        };
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().unwrap();
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "mesh" => {
+                if dims.is_some() {
+                    return Err(err(lineno, "duplicate 'mesh' line"));
+                }
+                if rest.len() != 2 {
+                    return Err(err(lineno, "usage: mesh WIDTH HEIGHT"));
+                }
+                dims = Some((
+                    num(lineno, rest[0], "width")?,
+                    num(lineno, rest[1], "height")?,
+                ));
+            }
+            "job" => {
+                finish(&mut current, &mut jobs)?;
+                if rest.len() != 2 {
+                    return Err(err(lineno, "usage: job NAME NUM_TASKS"));
+                }
+                let tasks: usize = num(lineno, rest[1], "task count")?;
+                current = Some((lineno, rest[0].to_string(), tasks, Vec::new()));
+            }
+            "msg" => {
+                let Some((_, _, _, msgs)) = current.as_mut() else {
+                    return Err(err(lineno, "'msg' outside a job"));
+                };
+                if rest.len() < 5 || rest.len() > 6 {
+                    return Err(err(
+                        lineno,
+                        "usage: msg FROM TO PRIORITY PERIOD LENGTH [DEADLINE]",
+                    ));
+                }
+                let from = TaskId(num(lineno, rest[0], "from-task")?);
+                let to = TaskId(num(lineno, rest[1], "to-task")?);
+                let priority: u32 = num(lineno, rest[2], "priority")?;
+                let period: u64 = num(lineno, rest[3], "period")?;
+                let length: u64 = num(lineno, rest[4], "length")?;
+                let mut m = MessageRequirement::new(from, to, priority, period, length);
+                if rest.len() == 6 {
+                    m = m.with_deadline(num(lineno, rest[5], "deadline")?);
+                }
+                msgs.push(m);
+            }
+            other => return Err(err(lineno, format!("unknown keyword '{other}'"))),
+        }
+    }
+    finish(&mut current, &mut jobs)?;
+
+    let (width, height) = dims.ok_or_else(|| err(0, "missing 'mesh WIDTH HEIGHT' line"))?;
+    if jobs.is_empty() {
+        return Err(err(0, "file declares no jobs"));
+    }
+    Ok(JobsFile {
+        width,
+        height,
+        jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+mesh 10 10
+job control 3
+  msg 0 1 2 100 8
+  msg 1 2 2 100 8
+job telemetry 2
+  msg 0 1 1 400 32 300
+";
+
+    #[test]
+    fn parses_jobs() {
+        let f = parse_jobs(SAMPLE).unwrap();
+        assert_eq!((f.width, f.height), (10, 10));
+        assert_eq!(f.jobs.len(), 2);
+        assert_eq!(f.jobs[0].name, "control");
+        assert_eq!(f.jobs[0].num_tasks, 3);
+        assert_eq!(f.jobs[0].messages.len(), 2);
+        assert_eq!(f.jobs[1].messages[0].deadline, 300);
+    }
+
+    #[test]
+    fn msg_outside_job_rejected() {
+        let e = parse_jobs("mesh 4 4\nmsg 0 1 1 10 2\n").unwrap_err();
+        assert!(e.message.contains("outside a job"));
+    }
+
+    #[test]
+    fn invalid_job_reported_at_job_line() {
+        let e = parse_jobs("mesh 4 4\njob broken 2\n  msg 0 5 1 10 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid job"));
+    }
+
+    #[test]
+    fn missing_mesh_or_jobs() {
+        assert!(parse_jobs("job a 1\n").unwrap_err().message.contains("missing 'mesh"));
+        assert!(parse_jobs("mesh 4 4\n").unwrap_err().message.contains("no jobs"));
+    }
+
+    #[test]
+    fn comments_ok() {
+        let f = parse_jobs("# hi\nmesh 4 4\njob a 2 # two tasks\n  msg 0 1 1 10 2\n").unwrap();
+        assert_eq!(f.jobs.len(), 1);
+    }
+}

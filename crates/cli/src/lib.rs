@@ -1,0 +1,21 @@
+//! # rtwc-cli
+//!
+//! Library backing the `rtwc` command-line tool: a plain-text spec
+//! format for stream sets ([`spec`]) and the `analyze` / `simulate` /
+//! `check` commands ([`commands`]).
+//!
+//! ```text
+//! rtwc analyze  set.streams [--diagrams]
+//! rtwc simulate set.streams [--policy preemptive|li|classic] [--cycles N] [--warmup N]
+//! rtwc check    set.streams [--policy ...] [--cycles N] [--warmup N]
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod jobs;
+pub mod spec;
+
+pub use commands::{analyze, analyze_with, check, deploy, simulate, SimOptions};
+pub use jobs::{parse_jobs, JobsFile};
+pub use spec::{parse, render, ParseError, SpecFile};

@@ -1,0 +1,140 @@
+//! The `rtwc` command-line tool.
+
+use rtwc_cli::{check, simulate, SimOptions};
+use std::process::ExitCode;
+use wormnet_sim::Policy;
+
+const USAGE: &str = "\
+rtwc — real-time wormhole communication toolkit (ICPP'98 reproduction)
+
+USAGE:
+    rtwc analyze  <SPEC> [--diagrams] [--explain]
+    rtwc simulate <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N]
+    rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N]
+    rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
+
+SPEC is a .streams file:
+    mesh 10 10
+    # stream SX,SY DX,DY PRIORITY PERIOD LENGTH [DEADLINE]
+    stream 7,3 7,7 5 15 4
+
+JOBS is a .jobs file:
+    mesh 10 10
+    job control 3
+      msg 0 1 2 100 8      # FROM TO PRIORITY PERIOD LENGTH [DEADLINE]
+
+COMMANDS:
+    analyze    run Determine-Feasibility and print every delay bound U_i
+    simulate   run the flit-level wormhole simulator and print latencies
+    check      analyze + simulate, verifying max latency <= U for all streams
+    deploy     allocate nodes and admit each job's streams with guarantees
+";
+
+fn parse_allocator(s: &str) -> Result<Box<dyn rtwc_host::Allocator>, String> {
+    if let Some(seed) = s.strip_prefix("random:") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad random seed '{seed}'"))?;
+        return Ok(Box::new(rtwc_host::RandomPlacement { seed }));
+    }
+    match s {
+        "first-fit" => Ok(Box::new(rtwc_host::FirstFit)),
+        "clustered" => Ok(Box::new(rtwc_host::Clustered)),
+        "comm" => Ok(Box::new(rtwc_host::CommunicationAware)),
+        "random" => Ok(Box::new(rtwc_host::RandomPlacement { seed: 0 })),
+        other => Err(format!(
+            "unknown allocator '{other}' (first-fit|clustered|comm|random[:SEED])"
+        )),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<Policy, String> {
+    match s {
+        "preemptive" => Ok(Policy::PreemptivePriority),
+        "li" => Ok(Policy::LiPriorityVc),
+        "classic" => Ok(Policy::ClassicFifo),
+        "shared" => Ok(Policy::SharedPoolPriority),
+        other => Err(format!(
+            "unknown policy '{other}' (preemptive|li|classic|shared)"
+        )),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return Err(USAGE.to_string()),
+    };
+    if matches!(command, "-h" | "--help" | "help") {
+        println!("{USAGE}");
+        return Ok(true);
+    }
+    let (path, flags) = match rest.split_first() {
+        Some((p, flags)) if !p.starts_with('-') => (p.clone(), flags.to_vec()),
+        _ => return Err(format!("missing SPEC file\n\n{USAGE}")),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut opts = SimOptions::default();
+    let mut diagrams = false;
+    let mut explain_flag = false;
+    let mut allocator = "comm".to_string();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--diagrams" => diagrams = true,
+            "--explain" => explain_flag = true,
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                opts.policy = parse_policy(v)?;
+            }
+            "--cycles" => {
+                let v = it.next().ok_or("--cycles needs a value")?;
+                opts.cycles = v.parse().map_err(|_| format!("bad --cycles '{v}'"))?;
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a value")?;
+                opts.warmup = v.parse().map_err(|_| format!("bad --warmup '{v}'"))?;
+            }
+            "--allocator" => {
+                allocator = it.next().ok_or("--allocator needs a value")?.clone();
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    if command == "deploy" {
+        let file = rtwc_cli::parse_jobs(&text).map_err(|e| format!("{path}: {e}"))?;
+        let alloc = parse_allocator(&allocator)?;
+        print!("{}", rtwc_cli::deploy(&file, alloc.as_ref()));
+        return Ok(true);
+    }
+
+    let spec = rtwc_cli::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match command {
+        "analyze" => {
+            print!("{}", rtwc_cli::analyze_with(&spec, diagrams, explain_flag));
+            Ok(true)
+        }
+        "simulate" => {
+            print!("{}", simulate(&spec, &opts)?);
+            Ok(true)
+        }
+        "check" => {
+            let (out, ok) = check(&spec, &opts)?;
+            print!("{out}");
+            Ok(ok)
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

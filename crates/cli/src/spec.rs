@@ -1,0 +1,245 @@
+//! The `.streams` spec file format: a plain-text description of a mesh
+//! and its periodic real-time message streams.
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored
+//! mesh 10 10
+//! # stream SX,SY DX,DY PRIORITY PERIOD LENGTH [DEADLINE]
+//! stream 7,3 7,7 5 15 4
+//! stream 1,1 5,4 4 10 2 10
+//! ```
+//!
+//! Coordinates are `x,y` on the mesh; priorities are 1-based (larger =
+//! more urgent); the deadline defaults to the period. Routing is always
+//! X-Y (the paper's assumption for meshes).
+
+use rtwc_core::{StreamSet, StreamSpec};
+use std::fmt;
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+/// A parsed spec file: the mesh and the resolved stream set.
+#[derive(Clone, Debug)]
+pub struct SpecFile {
+    /// The mesh declared by the `mesh` line.
+    pub mesh: Mesh,
+    /// The streams, in file order (ids follow file order).
+    pub set: StreamSet,
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_coord(line: usize, token: &str) -> Result<(u32, u32), ParseError> {
+    let (x, y) = token
+        .split_once(',')
+        .ok_or_else(|| err(line, format!("expected X,Y coordinate, got '{token}'")))?;
+    let x = x
+        .parse::<u32>()
+        .map_err(|_| err(line, format!("bad X coordinate '{x}'")))?;
+    let y = y
+        .parse::<u32>()
+        .map_err(|_| err(line, format!("bad Y coordinate '{y}'")))?;
+    Ok((x, y))
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, token: &str, what: &str) -> Result<T, ParseError> {
+    token
+        .parse::<T>()
+        .map_err(|_| err(line, format!("bad {what} '{token}'")))
+}
+
+/// Parses a spec file's contents.
+pub fn parse(input: &str) -> Result<SpecFile, ParseError> {
+    let mut mesh: Option<Mesh> = None;
+    // (line, src, dst, priority, period, length, deadline)
+    type RawStream = (usize, (u32, u32), (u32, u32), u32, u64, u64, u64);
+    let mut raw_streams: Vec<RawStream> = Vec::new();
+
+    for (i, raw_line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().unwrap();
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "mesh" => {
+                if mesh.is_some() {
+                    return Err(err(lineno, "duplicate 'mesh' line"));
+                }
+                if rest.len() != 2 {
+                    return Err(err(lineno, "usage: mesh WIDTH HEIGHT"));
+                }
+                let w: u32 = parse_num(lineno, rest[0], "width")?;
+                let h: u32 = parse_num(lineno, rest[1], "height")?;
+                if w == 0 || h == 0 {
+                    return Err(err(lineno, "mesh dimensions must be positive"));
+                }
+                mesh = Some(Mesh::mesh2d(w, h));
+            }
+            "stream" => {
+                if rest.len() < 5 || rest.len() > 6 {
+                    return Err(err(
+                        lineno,
+                        "usage: stream SX,SY DX,DY PRIORITY PERIOD LENGTH [DEADLINE]",
+                    ));
+                }
+                let src = parse_coord(lineno, rest[0])?;
+                let dst = parse_coord(lineno, rest[1])?;
+                let priority: u32 = parse_num(lineno, rest[2], "priority")?;
+                let period: u64 = parse_num(lineno, rest[3], "period")?;
+                let length: u64 = parse_num(lineno, rest[4], "length")?;
+                let deadline: u64 = if rest.len() == 6 {
+                    parse_num(lineno, rest[5], "deadline")?
+                } else {
+                    period
+                };
+                if priority == 0 {
+                    return Err(err(lineno, "priorities are 1-based"));
+                }
+                raw_streams.push((lineno, src, dst, priority, period, length, deadline));
+            }
+            other => return Err(err(lineno, format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    let mesh = mesh.ok_or_else(|| err(0, "missing 'mesh WIDTH HEIGHT' line"))?;
+    if raw_streams.is_empty() {
+        return Err(err(0, "spec declares no streams"));
+    }
+
+    let mut specs = Vec::with_capacity(raw_streams.len());
+    for (lineno, src, dst, priority, period, length, deadline) in raw_streams {
+        let s = mesh
+            .node_at(&[src.0, src.1])
+            .ok_or_else(|| err(lineno, format!("source ({},{}) outside mesh", src.0, src.1)))?;
+        let d = mesh
+            .node_at(&[dst.0, dst.1])
+            .ok_or_else(|| err(lineno, format!("dest ({},{}) outside mesh", dst.0, dst.1)))?;
+        specs.push(StreamSpec::new(s, d, priority, period, length, deadline));
+    }
+    let set = StreamSet::resolve(&mesh, &XyRouting, &specs)
+        .map_err(|e| err(0, format!("invalid stream set: {e}")))?;
+    Ok(SpecFile { mesh, set })
+}
+
+/// Serializes a spec back to the file format (round-trip support).
+pub fn render(spec: &SpecFile) -> String {
+    let dims = spec.mesh.dims();
+    let mut out = format!("mesh {} {}\n", dims[0], dims[1]);
+    for s in spec.set.iter() {
+        let sc = spec.mesh.coord(s.path.source());
+        let dc = spec.mesh.coord(s.path.dest());
+        out.push_str(&format!(
+            "stream {},{} {},{} {} {} {} {}\n",
+            sc.get(0),
+            sc.get(1),
+            dc.get(0),
+            dc.get(1),
+            s.priority(),
+            s.period(),
+            s.max_length(),
+            s.deadline(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::StreamId;
+
+    const PAPER: &str = "\
+# the paper's worked example
+mesh 10 10
+stream 7,3 7,7 5 15 4
+stream 1,1 5,4 4 10 2
+stream 2,1 7,5 3 40 4
+stream 4,1 8,5 2 45 9
+stream 6,1 9,3 1 50 6 50
+";
+
+    #[test]
+    fn parses_paper_example() {
+        let spec = parse(PAPER).unwrap();
+        assert_eq!(spec.set.len(), 5);
+        assert_eq!(spec.set.get(StreamId(0)).latency, 7);
+        assert_eq!(spec.set.get(StreamId(1)).deadline(), 10, "defaults to T");
+        assert_eq!(spec.set.get(StreamId(4)).deadline(), 50);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spec = parse(PAPER).unwrap();
+        let text = render(&spec);
+        let again = parse(&text).unwrap();
+        assert_eq!(again.set.len(), spec.set.len());
+        for (a, b) in again.set.iter().zip(spec.set.iter()) {
+            assert_eq!(a.spec, b.spec);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = parse("\n# hi\nmesh 4 4\n\nstream 0,0 3,0 1 10 2 # trailing\n").unwrap();
+        assert_eq!(spec.set.len(), 1);
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let e = parse("mesh 4 4\nstream 0,0 3,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("usage"));
+
+        let e = parse("mesh 4 4\nstream 9,0 3,0 1 10 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("outside mesh"));
+
+        let e = parse("stream 0,0 1,0 1 10 2\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("missing 'mesh"));
+
+        let e = parse("mesh 4 4\nbogus 1 2\n").unwrap_err();
+        assert!(e.message.contains("unknown keyword"));
+
+        let e = parse("mesh 4 4\nmesh 4 4\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse("mesh 4 4\nstream 0,0 1,0 0 10 2\n").unwrap_err();
+        assert!(e.message.contains("1-based"));
+
+        let e = parse("mesh 4 4\nstream 0x0 1,0 1 10 2\n").unwrap_err();
+        assert!(e.message.contains("coordinate"));
+
+        let e = parse("mesh 4 4\n").unwrap_err();
+        assert!(e.message.contains("no streams"));
+    }
+}

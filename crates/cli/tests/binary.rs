@@ -1,0 +1,113 @@
+//! End-to-end tests of the compiled `rtwc` binary: argument handling,
+//! output, and exit codes.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn rtwc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtwc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rtwc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const STREAMS: &str = "mesh 10 10\nstream 7,3 7,7 5 15 4\nstream 6,1 9,3 1 50 6\n";
+
+#[test]
+fn help_prints_usage() {
+    let out = rtwc().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("analyze"));
+    assert!(text.contains("deploy"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = rtwc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn analyze_success() {
+    let path = write_temp("ok.streams", STREAMS);
+    let out = rtwc().arg("analyze").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("U = 7"));
+    assert!(text.contains("Determine-Feasibility: success"));
+}
+
+#[test]
+fn check_exit_code_reflects_verdict() {
+    let path = write_temp("check.streams", STREAMS);
+    let out = rtwc()
+        .args(["check"])
+        .arg(&path)
+        .args(["--cycles", "2000", "--warmup", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("within bounds"));
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let path = write_temp("bad.streams", "mesh 10 10\nstream bogus\n");
+    let out = rtwc().arg("analyze").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let path = write_temp("flag.streams", STREAMS);
+    let out = rtwc()
+        .arg("simulate")
+        .arg(&path)
+        .arg("--frobnicate")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn deploy_jobs_file() {
+    let path = write_temp(
+        "demo.jobs",
+        "mesh 8 8\njob a 3\n  msg 0 1 2 100 8\n  msg 1 2 2 100 8\n",
+    );
+    let out = rtwc()
+        .args(["deploy"])
+        .arg(&path)
+        .args(["--allocator", "clustered"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("a: deployed on ["), "{text}");
+    assert!(text.contains("1 job(s) running"));
+}
+
+#[test]
+fn bad_allocator_rejected() {
+    let path = write_temp("alloc.jobs", "mesh 4 4\njob a 2\n  msg 0 1 1 100 4\n");
+    let out = rtwc()
+        .args(["deploy"])
+        .arg(&path)
+        .args(["--allocator", "quantum"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown allocator"));
+}

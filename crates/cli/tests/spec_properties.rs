@@ -1,0 +1,54 @@
+//! Property tests of the spec-file parser: render/parse round-trips and
+//! rejection of malformed input.
+
+use proptest::prelude::*;
+use rtwc_cli::{parse, render};
+
+/// Random well-formed spec-file text.
+fn spec_text() -> impl Strategy<Value = String> {
+    let stream = (0u32..8, 0u32..8, 0u32..8, 0u32..8, 1u32..6, 1u64..200, 1u64..40)
+        .prop_filter("distinct endpoints", |(sx, sy, dx, dy, ..)| {
+            (sx, sy) != (dx, dy)
+        });
+    prop::collection::vec(stream, 1..12).prop_map(|streams| {
+        let mut text = String::from("mesh 8 8\n");
+        for (sx, sy, dx, dy, p, t, c) in streams {
+            text.push_str(&format!("stream {sx},{sy} {dx},{dy} {p} {t} {c}\n"));
+        }
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_render_roundtrip(text in spec_text()) {
+        let spec = parse(&text).unwrap();
+        let rendered = render(&spec);
+        let again = parse(&rendered).unwrap();
+        prop_assert_eq!(again.set.len(), spec.set.len());
+        for (a, b) in again.set.iter().zip(spec.set.iter()) {
+            prop_assert_eq!(&a.spec, &b.spec);
+            prop_assert_eq!(a.path.links(), b.path.links());
+        }
+    }
+
+    #[test]
+    fn junk_lines_never_panic(junk in "[ -~]{0,60}") {
+        // Arbitrary printable junk: parser returns Ok or Err, never
+        // panics.
+        let _ = parse(&junk);
+        let _ = parse(&format!("mesh 4 4\n{junk}\nstream 0,0 1,0 1 10 2\n"));
+    }
+
+    #[test]
+    fn whitespace_and_comments_are_invisible(extra_ws in 1usize..5) {
+        let pad = " ".repeat(extra_ws);
+        let text = format!(
+            "# header\n\nmesh{pad}6 6\n{pad}stream{pad}0,0{pad}5,0{pad}2{pad}30{pad}4 # tail\n"
+        );
+        let spec = parse(&text).unwrap();
+        prop_assert_eq!(spec.set.len(), 1);
+    }
+}

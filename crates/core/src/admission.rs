@@ -1,0 +1,339 @@
+//! Incremental admission control — the host processor's run-time use of
+//! the feasibility test.
+//!
+//! The paper's host processor re-runs `Determine-Feasibility` whenever a
+//! job asks for a new real-time channel. A naive re-run recomputes every
+//! `U_i`; but admitting a stream of priority `p` can only change the
+//! bounds of streams it can (transitively) block — its *downstream* in
+//! the directly-affects graph — so the controller recomputes exactly
+//! those and keeps every other cached bound.
+
+use crate::calu::{cal_u_with_hp, DelayBound};
+use crate::hpset::generate_hp;
+use crate::stream::{StreamId, StreamSet, StreamSpec};
+use std::collections::VecDeque;
+use wormnet_topology::Path;
+
+/// Why a stream was refused admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The candidate itself cannot meet its deadline.
+    CandidateInfeasible {
+        /// The candidate's bound within its deadline horizon.
+        bound: DelayBound,
+    },
+    /// Admitting the candidate would break already-admitted streams.
+    BreaksExisting {
+        /// The admitted streams (by their current ids) that would miss
+        /// their deadlines.
+        victims: Vec<StreamId>,
+    },
+    /// The stream spec is invalid (zero period, self delivery, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::CandidateInfeasible { bound } => {
+                write!(f, "candidate cannot meet its deadline (U = {bound})")
+            }
+            AdmissionError::BreaksExisting { victims } => {
+                write!(f, "admission would break {} existing stream(s)", victims.len())
+            }
+            AdmissionError::Invalid(e) => write!(f, "invalid stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// An incremental feasibility-preserving admission controller.
+///
+/// Invariant: after every successful [`AdmissionController::admit`] (and
+/// after construction), every admitted stream's cached bound satisfies
+/// `U_i <= D_i`.
+///
+/// # Examples
+///
+/// ```
+/// use rtwc_core::{AdmissionController, StreamSpec};
+/// use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+///
+/// let mesh = Mesh::mesh2d(10, 10);
+/// let node = |x, y| mesh.node_at(&[x, y]).unwrap();
+/// let mut ctl = AdmissionController::new();
+///
+/// let (src, dst) = (node(0, 0), node(5, 0));
+/// let path = XyRouting.route(&mesh, src, dst).unwrap();
+/// let id = ctl
+///     .admit(StreamSpec::new(src, dst, 2, 50, 4, 50), path)
+///     .expect("lone stream is always admissible");
+/// assert!(ctl.bound(id).meets(50));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionController {
+    parts: Vec<(StreamSpec, Path)>,
+    set: Option<StreamSet>,
+    bounds: Vec<DelayBound>,
+    /// Bound recomputations performed over the controller's lifetime
+    /// (instrumentation: shows the saving vs full re-analysis).
+    recomputations: u64,
+}
+
+impl AdmissionController {
+    /// An empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admitted streams as a stream set (`None` when empty).
+    pub fn set(&self) -> Option<&StreamSet> {
+        self.set.as_ref()
+    }
+
+    /// Number of admitted streams.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when nothing is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The cached bound of an admitted stream.
+    pub fn bound(&self, id: StreamId) -> DelayBound {
+        self.bounds[id.index()]
+    }
+
+    /// Total `Cal_U` invocations so far (instrumentation).
+    pub fn recomputations(&self) -> u64 {
+        self.recomputations
+    }
+
+    /// Streams of the trial set whose bound can change when `changed`
+    /// is added or removed: `changed` itself plus everything reachable
+    /// from it through directly-affects edges.
+    fn affected(trial: &StreamSet, changed: StreamId) -> Vec<StreamId> {
+        let mut seen = vec![false; trial.len()];
+        seen[changed.index()] = true;
+        let mut queue = VecDeque::from([changed]);
+        while let Some(x) = queue.pop_front() {
+            for s in trial.iter() {
+                if !seen[s.id.index()] && trial.get(x).directly_affects(s) {
+                    seen[s.id.index()] = true;
+                    queue.push_back(s.id);
+                }
+            }
+        }
+        trial.ids().filter(|id| seen[id.index()]).collect()
+    }
+
+    /// Tries to admit `(spec, path)`; on success the stream gets the
+    /// next dense id and its bound is cached. On failure the controller
+    /// is unchanged.
+    pub fn admit(&mut self, spec: StreamSpec, path: Path) -> Result<StreamId, AdmissionError> {
+        let mut parts = self.parts.clone();
+        parts.push((spec, path));
+        let trial = StreamSet::from_parts(parts.clone())
+            .map_err(|e| AdmissionError::Invalid(e.to_string()))?;
+        let new_id = StreamId(trial.len() as u32 - 1);
+
+        // Recompute only the affected bounds.
+        let mut new_bounds = self.bounds.clone();
+        new_bounds.push(DelayBound::Exceeded);
+        let mut victims = Vec::new();
+        let mut candidate_bound = DelayBound::Exceeded;
+        for id in Self::affected(&trial, new_id) {
+            let hp = generate_hp(&trial, id);
+            let bound = cal_u_with_hp(&trial, hp, trial.get(id).deadline()).bound;
+            self.recomputations += 1;
+            new_bounds[id.index()] = bound;
+            if !bound.meets(trial.get(id).deadline()) {
+                if id == new_id {
+                    candidate_bound = bound;
+                } else {
+                    victims.push(id);
+                }
+            }
+        }
+        if !victims.is_empty() {
+            return Err(AdmissionError::BreaksExisting { victims });
+        }
+        if !new_bounds[new_id.index()].meets(trial.get(new_id).deadline()) {
+            return Err(AdmissionError::CandidateInfeasible {
+                bound: candidate_bound,
+            });
+        }
+        self.parts = parts;
+        self.set = Some(trial);
+        self.bounds = new_bounds;
+        Ok(new_id)
+    }
+
+    /// Removes an admitted stream. Remaining streams keep their cached
+    /// bounds except those the removed stream could block, which are
+    /// refreshed (they can only improve). Ids above `id` shift down by
+    /// one, mirroring `StreamSet`'s dense ids.
+    pub fn remove(&mut self, id: StreamId) {
+        assert!(id.index() < self.parts.len(), "unknown stream {id}");
+        // Compute the affected set while the stream is still present.
+        let old_set = self.set.as_ref().expect("non-empty controller has a set");
+        let affected_old: Vec<StreamId> = Self::affected(old_set, id)
+            .into_iter()
+            .filter(|&x| x != id)
+            .collect();
+
+        self.parts.remove(id.index());
+        self.bounds.remove(id.index());
+        if self.parts.is_empty() {
+            self.set = None;
+            return;
+        }
+        let new_set = StreamSet::from_parts(self.parts.clone())
+            .expect("remaining parts stay valid");
+        // Map old ids to new ids (everything above `id` shifts down).
+        let remap = |old: StreamId| -> StreamId {
+            if old.index() > id.index() {
+                StreamId(old.0 - 1)
+            } else {
+                old
+            }
+        };
+        for old in affected_old {
+            let new_id = remap(old);
+            let hp = generate_hp(&new_set, new_id);
+            let bound = cal_u_with_hp(&new_set, hp, new_set.get(new_id).deadline()).bound;
+            self.recomputations += 1;
+            self.bounds[new_id.index()] = bound;
+        }
+        self.set = Some(new_set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::determine_feasibility;
+    use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(10, 10)
+    }
+
+    fn routed(m: &Mesh, s: [u32; 2], d: [u32; 2], p: u32, t: u64, c: u64, dl: u64) -> (StreamSpec, Path) {
+        let src = m.node_at(&s).unwrap();
+        let dst = m.node_at(&d).unwrap();
+        let path = XyRouting.route(m, src, dst).unwrap();
+        (StreamSpec::new(src, dst, p, t, c, dl), path)
+    }
+
+    #[test]
+    fn admits_feasible_streams() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let (s0, p0) = routed(&m, [0, 0], [5, 0], 2, 50, 4, 50);
+        let (s1, p1) = routed(&m, [1, 0], [6, 0], 1, 80, 4, 80);
+        let id0 = ctl.admit(s0, p0).unwrap();
+        let id1 = ctl.admit(s1, p1).unwrap();
+        assert_eq!(ctl.len(), 2);
+        assert!(ctl.bound(id0).is_bounded());
+        assert!(ctl.bound(id1).is_bounded());
+    }
+
+    #[test]
+    fn rejects_candidate_that_cannot_meet_deadline() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let (s0, p0) = routed(&m, [0, 0], [5, 0], 2, 20, 10, 20);
+        ctl.admit(s0, p0).unwrap();
+        // Candidate shares the row, low priority, impossible deadline.
+        let (s1, p1) = routed(&m, [1, 0], [6, 0], 1, 100, 8, 12);
+        let err = ctl.admit(s1, p1).unwrap_err();
+        assert!(matches!(err, AdmissionError::CandidateInfeasible { .. }));
+        assert_eq!(ctl.len(), 1, "controller unchanged on rejection");
+    }
+
+    #[test]
+    fn rejects_candidate_that_breaks_existing() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        // Existing low-priority stream with a tight-ish deadline.
+        let (s0, p0) = routed(&m, [0, 0], [5, 0], 1, 100, 8, 14);
+        let id0 = ctl.admit(s0, p0).unwrap();
+        assert!(ctl.bound(id0).meets(14));
+        // High-priority heavyweight newcomer on the same row.
+        let (s1, p1) = routed(&m, [1, 0], [6, 0], 2, 30, 20, 30);
+        let err = ctl.admit(s1, p1).unwrap_err();
+        match err {
+            AdmissionError::BreaksExisting { victims } => assert_eq!(victims, vec![id0]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cached_bounds_match_full_analysis() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let streams = [
+            ([0u32, 0u32], [5u32, 0u32], 3u32, 60u64, 4u64),
+            ([1, 0], [6, 0], 2, 90, 6),
+            ([0, 2], [7, 2], 3, 70, 8),
+            ([2, 0], [2, 5], 1, 120, 10),
+            ([1, 2], [6, 2], 1, 150, 6),
+        ];
+        for (s, d, p, t, c) in streams {
+            let (spec, path) = routed(&m, s, d, p, t, c, t);
+            ctl.admit(spec, path).unwrap();
+        }
+        let set = ctl.set().unwrap();
+        let full = determine_feasibility(set);
+        for id in set.ids() {
+            assert_eq!(ctl.bound(id), full.bound(id), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn admission_skips_unaffected_recomputation() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        // Two streams in disjoint corners.
+        let (s0, p0) = routed(&m, [0, 0], [3, 0], 1, 50, 4, 50);
+        ctl.admit(s0, p0).unwrap();
+        let before = ctl.recomputations();
+        // A new stream nowhere near stream 0: only itself is recomputed.
+        let (s1, p1) = routed(&m, [6, 6], [9, 6], 1, 50, 4, 50);
+        ctl.admit(s1, p1).unwrap();
+        assert_eq!(ctl.recomputations() - before, 1);
+    }
+
+    #[test]
+    fn removal_refreshes_victims() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let (hi, hi_p) = routed(&m, [0, 0], [5, 0], 2, 40, 10, 40);
+        let (lo, lo_p) = routed(&m, [1, 0], [6, 0], 1, 100, 4, 100);
+        let hi_id = ctl.admit(hi, hi_p).unwrap();
+        let lo_id = ctl.admit(lo, lo_p).unwrap();
+        let blocked = ctl.bound(lo_id).value().unwrap();
+        let l = ctl.set().unwrap().get(lo_id).latency;
+        assert!(blocked > l);
+        ctl.remove(hi_id);
+        // lo shifted down to id 0 and is now unblocked.
+        let new_lo = StreamId(0);
+        assert_eq!(ctl.len(), 1);
+        assert_eq!(ctl.bound(new_lo).value().unwrap(), l);
+    }
+
+    #[test]
+    fn remove_to_empty() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let (s0, p0) = routed(&m, [0, 0], [3, 0], 1, 50, 4, 50);
+        let id = ctl.admit(s0, p0).unwrap();
+        ctl.remove(id);
+        assert!(ctl.is_empty());
+        assert!(ctl.set().is_none());
+    }
+}

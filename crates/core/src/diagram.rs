@@ -1,0 +1,481 @@
+//! Timing diagrams: the worst-case schedule of higher-priority traffic
+//! from which the delay upper bound is read off (paper §4.2-4.3,
+//! `Generate_Init_Diagram`).
+//!
+//! # The worst-case model
+//!
+//! The diagram abstracts the whole network, from the analyzed stream's
+//! point of view, as **one shared timeline**: while any HP-set member
+//! transmits anywhere on (or upstream of) the target's path, the target
+//! makes no progress; every column in which no member transmits
+//! contributes one flit time of progress, and the target completes once
+//! it has accumulated `L = hops + C - 1` such columns. The worst case
+//! is constructed, critical-instant style, by releasing an instance of
+//! every HP element at the start of each of its period windows and
+//! letting strictly-higher rows preempt lower ones — exactly what
+//! flit-level preemptive switching does on a single contended channel.
+//!
+//! This is *pessimistic* in two ways (interference on disjoint channels
+//! is serialized even when it could overlap the target's pipeline, and
+//! every instance is assumed maximal and maximally aligned) and
+//! *optimistic* in none that we could exhibit: across 200 random
+//! workloads and an exhaustive small-scale phase search, no simulated
+//! latency ever exceeded the bound (EXPERIMENTS.md, "End-to-end
+//! soundness" and "Tightness search"). The one modelling precondition
+//! is that the router sustains one flit per cycle per channel — with
+//! credit-based VC buffers this requires depth >= 2 (see the
+//! sensitivity study; at depth 1 the bound is genuinely violated
+//! because `L` itself is wrong).
+//!
+//! Within one row, same-priority instances serialize FIFO; rows are
+//! sorted by decreasing priority so a `Busy` mark only ever flows
+//! downward. `Waiting` marks record preemption and matter to
+//! `Modify_Diagram`: an indirect element's instance whose active span
+//! sees no intermediate-stream activity cannot reach the target and is
+//! discounted.
+
+use crate::hpset::HpSet;
+use crate::stream::{StreamId, StreamSet};
+use std::collections::HashSet;
+
+/// State of one (row, time-slot) cell, exactly the paper's four values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Usable by lower-priority traffic (and ultimately the target).
+    Free,
+    /// A higher-priority row transmits here; unusable.
+    Busy,
+    /// This row's message is preempted here (it wants the slot but a
+    /// higher-priority row holds it).
+    Waiting,
+    /// This row's message transmits here.
+    Allocated,
+}
+
+/// One periodic instance of an HP element inside the diagram horizon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Zero-based instance number `k` (release at `k * T`).
+    pub index: usize,
+    /// First slot of the period window (1-based, inclusive).
+    pub window_start: u64,
+    /// Last slot of the period window (inclusive, clipped to horizon).
+    pub window_end: u64,
+    /// Slots this instance transmits in, ascending.
+    pub slots: Vec<u64>,
+    /// True when the instance obtained all `C` slots inside its window.
+    /// `false` means the window (or horizon) ended first — the network
+    /// is overloaded at this priority and the bound is reported
+    /// infeasible by the caller.
+    pub complete: bool,
+    /// True when `Modify_Diagram` removed this instance (its indirect
+    /// blocking cannot propagate to the target).
+    pub removed: bool,
+}
+
+impl Instance {
+    /// Last slot at which this instance is present in the network
+    /// (transmitting or preempted). The greedy allocation marks every
+    /// slot from the window start up to the completion slot as either
+    /// `Allocated` or `Waiting`, so the instance's *active span* is
+    /// `[window_start, active_end()]`; an incomplete instance stays
+    /// active through its whole window.
+    pub fn active_end(&self) -> u64 {
+        if self.complete {
+            *self.slots.last().expect("complete instance has slots")
+        } else {
+            self.window_end
+        }
+    }
+}
+
+/// One row of the diagram: an HP element and its instances.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The HP element occupying this row.
+    pub stream: StreamId,
+    /// Instances in window order.
+    pub instances: Vec<Instance>,
+}
+
+/// Instances deleted by `Modify_Diagram`, keyed by (stream, instance
+/// number).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RemovedInstances(HashSet<(StreamId, usize)>);
+
+impl RemovedInstances {
+    /// No removals (the initial diagram).
+    pub fn none() -> Self {
+        RemovedInstances(HashSet::new())
+    }
+
+    /// Marks instance `index` of `stream` as removed.
+    pub fn insert(&mut self, stream: StreamId, index: usize) {
+        self.0.insert((stream, index));
+    }
+
+    /// True when instance `index` of `stream` is removed.
+    pub fn contains(&self, stream: StreamId, index: usize) -> bool {
+        self.0.contains(&(stream, index))
+    }
+
+    /// Number of removed instances.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing was removed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// All removed (stream, instance) pairs, sorted.
+    pub fn entries(&self) -> Vec<(StreamId, usize)> {
+        let mut v: Vec<_> = self.0.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// The worst-case timing diagram of one target stream's HP set over
+/// slots `1..=horizon`.
+///
+/// Rows are the HP elements in decreasing-priority order; the target's
+/// own row is implicit (a slot is usable by the target iff no HP row is
+/// `Allocated` in it).
+#[derive(Clone, Debug)]
+pub struct TimingDiagram {
+    target: StreamId,
+    horizon: u64,
+    rows: Vec<Row>,
+    /// Flat row-major cell matrix, `rows.len() * horizon` entries.
+    cells: Vec<Slot>,
+    /// Per-column: true when some row transmits there (column busy for
+    /// the target).
+    column_taken: Vec<bool>,
+}
+
+impl TimingDiagram {
+    /// Runs `Generate_Init_Diagram`: greedily schedules every HP
+    /// element's periodic instances over `1..=horizon`, honoring
+    /// `removed` (pass [`RemovedInstances::none`] for the initial
+    /// diagram).
+    ///
+    /// Every instance of an element with period `T` and length `C`
+    /// claims the first `C` free slots in its window
+    /// `[kT+1, (k+1)T]`; slots already taken by higher rows are marked
+    /// [`Slot::Waiting`] (the element is preempted there) until the
+    /// instance completes, and claimed slots mark every lower row
+    /// [`Slot::Busy`].
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`.
+    pub fn generate(
+        set: &StreamSet,
+        hp: &HpSet,
+        horizon: u64,
+        removed: &RemovedInstances,
+    ) -> Self {
+        assert!(horizon > 0, "diagram horizon must be positive");
+        let n_rows = hp.len();
+        let h = horizon as usize;
+        let mut cells = vec![Slot::Free; n_rows * h];
+        let mut column_taken = vec![false; h];
+        let mut rows = Vec::with_capacity(n_rows);
+
+        // Cell addressing: row-major, slot t (1-based) at column t-1.
+        let idx = |r: usize, t: u64| -> usize { r * h + (t as usize - 1) };
+
+        for (r, elem) in hp.elements().iter().enumerate() {
+            let stream = set.get(elem.stream);
+            let period = stream.period();
+            let length = stream.max_length();
+            let n_instances = horizon.div_ceil(period) as usize;
+            let mut instances = Vec::with_capacity(n_instances);
+            for k in 0..n_instances {
+                let window_start = k as u64 * period + 1;
+                let window_end = ((k as u64 + 1) * period).min(horizon);
+                if removed.contains(elem.stream, k) {
+                    instances.push(Instance {
+                        index: k,
+                        window_start,
+                        window_end,
+                        slots: Vec::new(),
+                        complete: false,
+                        removed: true,
+                    });
+                    continue;
+                }
+                let mut slots = Vec::with_capacity(length as usize);
+                for t in window_start..=window_end {
+                    match cells[idx(r, t)] {
+                        Slot::Free => {
+                            cells[idx(r, t)] = Slot::Allocated;
+                            column_taken[t as usize - 1] = true;
+                            for lower in (r + 1)..n_rows {
+                                if cells[idx(lower, t)] == Slot::Free {
+                                    cells[idx(lower, t)] = Slot::Busy;
+                                }
+                            }
+                            slots.push(t);
+                        }
+                        Slot::Busy => cells[idx(r, t)] = Slot::Waiting,
+                        Slot::Allocated | Slot::Waiting => {
+                            unreachable!("row cell visited twice")
+                        }
+                    }
+                    if slots.len() as u64 == length {
+                        break;
+                    }
+                }
+                let complete = slots.len() as u64 == length;
+                instances.push(Instance {
+                    index: k,
+                    window_start,
+                    window_end,
+                    slots,
+                    complete,
+                    removed: false,
+                });
+            }
+            rows.push(Row {
+                stream: elem.stream,
+                instances,
+            });
+        }
+
+        TimingDiagram {
+            target: hp.target,
+            horizon,
+            rows,
+            cells,
+            column_taken,
+        }
+    }
+
+    /// The analyzed stream.
+    pub fn target(&self) -> StreamId {
+        self.target
+    }
+
+    /// Number of time slots.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The rows in decreasing-priority order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Cell state of `row` at 1-based slot `t`.
+    pub fn slot(&self, row: usize, t: u64) -> Slot {
+        assert!(t >= 1 && t <= self.horizon, "slot {t} out of range");
+        self.cells[row * self.horizon as usize + (t as usize - 1)]
+    }
+
+    /// True when slot `t` is usable by the target (no HP row transmits).
+    pub fn free_for_target(&self, t: u64) -> bool {
+        assert!(t >= 1 && t <= self.horizon, "slot {t} out of range");
+        !self.column_taken[t as usize - 1]
+    }
+
+    /// True when `row`'s message is present (transmitting or preempted)
+    /// anywhere in slots `from..=to` — the `Modify_Diagram` activity
+    /// test for intermediate streams.
+    pub fn row_active_in(&self, row: usize, from: u64, to: u64) -> bool {
+        let to = to.min(self.horizon);
+        (from..=to).any(|t| matches!(self.slot(row, t), Slot::Allocated | Slot::Waiting))
+    }
+
+    /// Slots usable by the target, ascending.
+    pub fn free_slots(&self) -> impl Iterator<Item = u64> + '_ {
+        (1..=self.horizon).filter(move |&t| self.free_for_target(t))
+    }
+
+    /// The time at which the target has accumulated `needed` free slots,
+    /// or `None` if the horizon is exhausted first. This is the delay
+    /// upper bound when `needed` is the target's network latency.
+    pub fn accumulate_free(&self, needed: u64) -> Option<u64> {
+        if needed == 0 {
+            return Some(0);
+        }
+        let mut got = 0u64;
+        for t in self.free_slots() {
+            got += 1;
+            if got == needed {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// True when some non-removed instance failed to complete within its
+    /// window — the schedule is saturated at this priority level and
+    /// bounds read from the diagram would be unsound.
+    pub fn saturated(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.instances.iter().any(|i| !i.removed && !i.complete))
+    }
+
+    /// Row index of `stream`, if it is an HP element.
+    pub fn row_of(&self, stream: StreamId) -> Option<usize> {
+        self.rows.iter().position(|r| r.stream == stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpset::generate_hp;
+    use crate::stream::{StreamSpec, StreamSet};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    /// Figure 4's abstract streams, realized on one mesh row so that all
+    /// HP elements are direct: M1 (T=10, C=2), M2 (T=15, C=3),
+    /// M3 (T=13, C=4), target M4.
+    fn figure4() -> StreamSet {
+        let m = Mesh::mesh2d(20, 2);
+        let mk = |x0: u32, x1: u32, p: u32, t: u64, c: u64| {
+            StreamSpec::new(
+                m.node_at(&[x0, 0]).unwrap(),
+                m.node_at(&[x1, 0]).unwrap(),
+                p,
+                t,
+                c,
+                200,
+            )
+        };
+        StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                mk(0, 6, 4, 10, 2),  // M1
+                mk(1, 7, 3, 15, 3),  // M2
+                mk(2, 8, 2, 13, 4),  // M3
+                mk(3, 9, 1, 50, 6),  // M4 (target)
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_initial_diagram() {
+        // Reproduces the shape of paper Figure 4: with M1, M2, M3 all
+        // direct, the free slots accumulate so that a network latency of
+        // 6 is reached at slot 26.
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        assert_eq!(hp.len(), 3);
+        assert!(!hp.has_indirect());
+        let d = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
+
+        // M1 (row 0): slots 1-2, 11-12, 21-22, 31-32, 41-42.
+        assert_eq!(d.rows()[0].instances[0].slots, vec![1, 2]);
+        assert_eq!(d.rows()[0].instances[1].slots, vec![11, 12]);
+        // M2 (row 1): first instance blocked at 1-2, takes 3-5.
+        assert_eq!(d.rows()[1].instances[0].slots, vec![3, 4, 5]);
+        assert_eq!(d.slot(1, 1), Slot::Waiting);
+        assert_eq!(d.slot(1, 2), Slot::Waiting);
+        // M3 (row 2): blocked 1-5, takes 6-9.
+        assert_eq!(d.rows()[2].instances[0].slots, vec![6, 7, 8, 9]);
+
+        // Paper: "if the network latency of M4 is 6, then time 26 is the
+        // delay upper bound of M4".
+        assert_eq!(d.accumulate_free(6), Some(26));
+    }
+
+    #[test]
+    fn columns_taken_match_allocations() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let d = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
+        for t in 1..=50u64 {
+            let any_alloc =
+                (0..3).any(|r| d.slot(r, t) == Slot::Allocated);
+            assert_eq!(!d.free_for_target(t), any_alloc, "slot {t}");
+        }
+    }
+
+    #[test]
+    fn removal_leaves_window_free() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let mut removed = RemovedInstances::none();
+        removed.insert(StreamId(0), 1); // drop M1's second instance
+        let d = TimingDiagram::generate(&set, &hp, 50, &removed);
+        let inst = &d.rows()[0].instances[1];
+        assert!(inst.removed);
+        assert!(inst.slots.is_empty());
+        // M2's second instance may now start at 16 instead of 18... M2's
+        // window [16,30] was previously cut by M1 at 21-22; verify M1's
+        // slots 11-12 are gone and the column is reusable.
+        assert_eq!(d.slot(0, 11), Slot::Free);
+        assert!(d.free_for_target(11) || d.slot(1, 11) == Slot::Allocated || d.slot(2, 11) == Slot::Allocated);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        // A stream whose window cannot hold its own length after
+        // interference: M-high takes 8 of every 10 slots, M-low needs 5
+        // of every 10 -> incomplete.
+        let m = Mesh::mesh2d(10, 2);
+        let mk = |x0: u32, x1: u32, p: u32, t: u64, c: u64| {
+            StreamSpec::new(
+                m.node_at(&[x0, 0]).unwrap(),
+                m.node_at(&[x1, 0]).unwrap(),
+                p,
+                t,
+                c,
+                100,
+            )
+        };
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                mk(0, 6, 3, 10, 8),
+                mk(1, 7, 2, 10, 5),
+                mk(2, 8, 1, 100, 2), // target
+            ],
+        )
+        .unwrap();
+        let hp = generate_hp(&set, StreamId(2));
+        let d = TimingDiagram::generate(&set, &hp, 100, &RemovedInstances::none());
+        assert!(d.saturated());
+        assert_eq!(d.accumulate_free(2), None);
+    }
+
+    #[test]
+    fn window_clipped_to_horizon() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let d = TimingDiagram::generate(&set, &hp, 25, &RemovedInstances::none());
+        // M1 period 10: instances [1,10], [11,20], [21,25] (clipped).
+        let insts = &d.rows()[0].instances;
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[2].window_start, 21);
+        assert_eq!(insts[2].window_end, 25);
+    }
+
+    #[test]
+    fn accumulate_zero_is_immediate() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let d = TimingDiagram::generate(&set, &hp, 10, &RemovedInstances::none());
+        assert_eq!(d.accumulate_free(0), Some(0));
+    }
+
+    #[test]
+    fn row_active_covers_waiting() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let d = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
+        // M2 waits at 1-2 and transmits 3-5: active through [1,5].
+        assert!(d.row_active_in(1, 1, 2));
+        assert!(d.row_active_in(1, 3, 5));
+        // M2's first instance is done by 5; inactive in [6,10].
+        assert!(!d.row_active_in(1, 6, 10));
+    }
+}

@@ -1,0 +1,80 @@
+//! Errors raised while building or analyzing stream sets.
+
+use std::fmt;
+
+/// Why a stream set could not be built or analyzed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A feasibility instance needs at least one stream.
+    EmptySet,
+    /// A stream's source equals its destination; wormhole delivery is
+    /// only defined across the network.
+    SelfDelivery {
+        /// Index of the offending spec.
+        stream: usize,
+    },
+    /// A stream's period `T_i` is zero.
+    ZeroPeriod {
+        /// Index of the offending spec.
+        stream: usize,
+    },
+    /// A stream's maximum message length `C_i` is zero flits.
+    ZeroLength {
+        /// Index of the offending spec.
+        stream: usize,
+    },
+    /// A stream's deadline `D_i` is zero.
+    ZeroDeadline {
+        /// Index of the offending spec.
+        stream: usize,
+    },
+    /// The deterministic routing algorithm failed for a stream.
+    RouteFailed {
+        /// Index of the offending spec.
+        stream: usize,
+        /// The routing error's description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptySet => write!(f, "stream set is empty"),
+            AnalysisError::SelfDelivery { stream } => {
+                write!(f, "stream {stream}: source equals destination")
+            }
+            AnalysisError::ZeroPeriod { stream } => {
+                write!(f, "stream {stream}: period T must be positive")
+            }
+            AnalysisError::ZeroLength { stream } => {
+                write!(f, "stream {stream}: message length C must be positive")
+            }
+            AnalysisError::ZeroDeadline { stream } => {
+                write!(f, "stream {stream}: deadline D must be positive")
+            }
+            AnalysisError::RouteFailed { stream, reason } => {
+                write!(f, "stream {stream}: routing failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::ZeroPeriod { stream: 3 };
+        assert!(e.to_string().contains("stream 3"));
+        assert!(e.to_string().contains("period"));
+        let e = AnalysisError::RouteFailed {
+            stream: 1,
+            reason: "no channel".into(),
+        };
+        assert!(e.to_string().contains("no channel"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bound attribution: *why* is a stream's delay upper bound what it is?
+//!
+//! For a finished [`CalUAnalysis`], decomposes `U = L + interference`
+//! and attributes every interference slot to the HP element that
+//! transmits in it, together with how many of that element's instances
+//! `Modify_Diagram` discounted. This is the diagnostic an admission
+//! operator needs when a request is rejected: *which* existing streams
+//! to re-prioritize or re-place.
+
+use crate::calu::{CalUAnalysis, DelayBound};
+use crate::diagram::Slot;
+use crate::stream::{StreamId, StreamSet};
+use std::fmt::Write as _;
+
+/// One HP element's share of the bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contribution {
+    /// The blocking stream.
+    pub stream: StreamId,
+    /// Slots it transmits in before the target's bound (its share of
+    /// the interference).
+    pub slots: u64,
+    /// Instances `Modify_Diagram` removed (blocking that could *not*
+    /// propagate).
+    pub removed_instances: usize,
+}
+
+/// The decomposition `U = L + sum(contributions)`.
+#[derive(Clone, Debug)]
+pub struct BoundExplanation {
+    /// The analyzed stream.
+    pub target: StreamId,
+    /// Its network latency `L`.
+    pub latency: u64,
+    /// The delay upper bound.
+    pub bound: DelayBound,
+    /// Per-element interference, sorted by decreasing slot share (ties
+    /// by stream id).
+    pub contributions: Vec<Contribution>,
+}
+
+impl BoundExplanation {
+    /// Total interference slots (equals `U - L` for bounded results).
+    pub fn interference(&self) -> u64 {
+        self.contributions.iter().map(|c| c.slots).sum()
+    }
+}
+
+/// Decomposes a finished analysis into per-element contributions.
+pub fn explain(set: &StreamSet, analysis: &CalUAnalysis) -> BoundExplanation {
+    let latency = set.get(analysis.target).latency;
+    let horizon = match analysis.bound {
+        DelayBound::Bounded(u) => u,
+        // Unbounded: attribute over the whole analyzed horizon.
+        DelayBound::Exceeded => analysis.horizon,
+    };
+    let diagram = &analysis.finalized;
+    let mut contributions: Vec<Contribution> = diagram
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(r, row)| {
+            let slots = (1..=horizon.min(diagram.horizon()))
+                .filter(|&t| diagram.slot(r, t) == Slot::Allocated)
+                .count() as u64;
+            let removed_instances = row.instances.iter().filter(|i| i.removed).count();
+            Contribution {
+                stream: row.stream,
+                slots,
+                removed_instances,
+            }
+        })
+        .collect();
+    contributions.sort_by_key(|c| (std::cmp::Reverse(c.slots), c.stream));
+    BoundExplanation {
+        target: analysis.target,
+        latency,
+        bound: analysis.bound,
+        contributions,
+    }
+}
+
+/// Renders an explanation as text.
+pub fn render_explanation(set: &StreamSet, e: &BoundExplanation) -> String {
+    let mut out = String::new();
+    match e.bound {
+        DelayBound::Bounded(u) => {
+            let _ = writeln!(
+                out,
+                "U({}) = {} = L({}) + {} interference slot(s)",
+                e.target,
+                u,
+                e.latency,
+                e.interference()
+            );
+        }
+        DelayBound::Exceeded => {
+            let _ = writeln!(
+                out,
+                "U({}) exceeds the analysis horizon; interference within it: {} slot(s)",
+                e.target,
+                e.interference()
+            );
+        }
+    }
+    for c in &e.contributions {
+        let s = set.get(c.stream);
+        let _ = write!(
+            out,
+            "  {}: {:>4} slot(s)  (P={}, T={}, C={}",
+            c.stream,
+            c.slots,
+            s.priority(),
+            s.period(),
+            s.max_length()
+        );
+        if c.removed_instances > 0 {
+            let _ = write!(out, "; {} instance(s) discounted as indirect", c.removed_instances);
+        }
+        let _ = writeln!(out, ")");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::cal_u_detailed;
+    use crate::stream::{StreamSpec, StreamSet};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn paper_like() -> StreamSet {
+        let m = Mesh::mesh2d(10, 10);
+        let mk = |s: [u32; 2], d: [u32; 2], p: u32, t: u64, c: u64| {
+            StreamSpec::new(m.node_at(&s).unwrap(), m.node_at(&d).unwrap(), p, t, c, t)
+        };
+        StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                mk([7, 3], [7, 7], 5, 15, 4),
+                mk([1, 1], [5, 4], 4, 10, 2),
+                mk([2, 1], [7, 5], 3, 40, 4),
+                mk([4, 1], [8, 5], 2, 45, 9),
+                mk([6, 1], [9, 3], 1, 50, 6),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interference_accounts_for_u_minus_l() {
+        let set = paper_like();
+        for id in set.ids() {
+            let a = cal_u_detailed(&set, id, set.get(id).deadline());
+            let e = explain(&set, &a);
+            if let DelayBound::Bounded(u) = a.bound {
+                assert_eq!(
+                    e.interference(),
+                    u - set.get(id).latency,
+                    "{id:?}: contributions must sum to U - L"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_m4_attribution() {
+        // Final diagram of HP_4: M0 transmits 1-4, M1 5-6/11-12/21-22,
+        // M2 7-10, M3 13-20+23; U = 33. Slots before 33: M0 4, M1 6,
+        // M2 4, M3 9 -> 23 = 33 - 10.
+        let set = paper_like();
+        let a = cal_u_detailed(&set, crate::StreamId(4), 50);
+        let e = explain(&set, &a);
+        assert_eq!(e.interference(), 23);
+        let by_stream = |id: u32| {
+            e.contributions
+                .iter()
+                .find(|c| c.stream == crate::StreamId(id))
+                .unwrap()
+        };
+        assert_eq!(by_stream(0).slots, 4);
+        assert_eq!(by_stream(1).slots, 6);
+        assert_eq!(by_stream(2).slots, 4);
+        assert_eq!(by_stream(3).slots, 9);
+        assert!(by_stream(0).removed_instances >= 2);
+        assert!(by_stream(1).removed_instances >= 1);
+        // Sorted by decreasing share: M3 first.
+        assert_eq!(e.contributions[0].stream, crate::StreamId(3));
+    }
+
+    #[test]
+    fn render_mentions_discounts() {
+        let set = paper_like();
+        let a = cal_u_detailed(&set, crate::StreamId(4), 50);
+        let e = explain(&set, &a);
+        let text = render_explanation(&set, &e);
+        assert!(text.contains("U(M4) = 33 = L(10) + 23"));
+        assert!(text.contains("discounted as indirect"));
+    }
+
+    #[test]
+    fn unblocked_stream_has_no_contributions() {
+        let set = paper_like();
+        let a = cal_u_detailed(&set, crate::StreamId(0), 15);
+        let e = explain(&set, &a);
+        assert!(e.contributions.is_empty());
+        assert_eq!(e.interference(), 0);
+        let text = render_explanation(&set, &e);
+        assert!(text.contains("U(M0) = 7 = L(7) + 0"));
+    }
+}

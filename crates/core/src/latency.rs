@@ -1,0 +1,51 @@
+//! Network latency: delivery time of a message on an idle network.
+//!
+//! In wormhole switching the header flit takes one flit time per hop and
+//! the remaining `C - 1` flits follow in pipeline, so a `C`-flit message
+//! over `h` channels completes at `h + C - 1` flit times after injection.
+//! Every `L_i` in the paper's worked example is consistent with this
+//! formula (e.g. `M_0`: 4 hops, `C = 4`, `L = 7`), which is how we pinned
+//! down the convention.
+
+/// Network latency `L = hops + C - 1` of a `c`-flit message over `hops`
+/// directed channels, in flit times.
+///
+/// # Panics
+/// Panics if `c == 0` or `hops == 0` (a message must contain at least one
+/// flit and cross at least one channel).
+#[inline]
+pub fn network_latency(hops: u32, c: u64) -> u64 {
+    assert!(c > 0, "message length must be positive");
+    assert!(hops > 0, "message must traverse at least one channel");
+    hops as u64 + c - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_latencies() {
+        // (hops, C, L) for the worked example's five streams.
+        for (hops, c, l) in [(4, 4, 7), (7, 2, 8), (9, 4, 12), (8, 9, 16), (5, 6, 10)] {
+            assert_eq!(network_latency(hops, c), l);
+        }
+    }
+
+    #[test]
+    fn single_flit_single_hop() {
+        assert_eq!(network_latency(1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        network_latency(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_hops_panics() {
+        network_latency(0, 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Static channel-load accounting: how much bandwidth each directed
+//! channel carries if every stream releases at its minimum period.
+//!
+//! A stream of length `C` and period `T` puts `C / T` flits per flit
+//! time on every channel of its path. Loads above 1.0 are unsustainable
+//! no matter the switching discipline; the feasibility test will
+//! eventually report `Exceeded` for some stream crossing such a
+//! channel. This module exists for capacity diagnostics (and is
+//! cross-validated against the simulator's measured utilization in the
+//! workspace tests).
+
+use crate::stream::StreamSet;
+use wormnet_topology::LinkId;
+
+/// Offered load per directed channel, indexed by `LinkId`.
+///
+/// `num_links` must come from the topology the set was routed on.
+pub fn channel_loads(set: &StreamSet, num_links: usize) -> Vec<f64> {
+    let mut load = vec![0.0f64; num_links];
+    for s in set.iter() {
+        let per_channel = s.max_length() as f64 / s.period() as f64;
+        for l in s.path.links() {
+            load[l.index()] += per_channel;
+        }
+    }
+    load
+}
+
+/// The most loaded channel and its offered load, if any stream exists.
+pub fn hottest_channel(set: &StreamSet, num_links: usize) -> Option<(LinkId, f64)> {
+    channel_loads(set, num_links)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, l)| l > 0.0)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, l)| (LinkId(i as u32), l))
+}
+
+/// Channels whose offered load exceeds capacity (1 flit per flit time).
+pub fn oversubscribed_channels(set: &StreamSet, num_links: usize) -> Vec<(LinkId, f64)> {
+    channel_loads(set, num_links)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, l)| l > 1.0)
+        .map(|(i, l)| (LinkId(i as u32), l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamId, StreamSpec};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn set(specs: &[(u32, u32, u64, u64)]) -> (Mesh, StreamSet) {
+        let m = Mesh::mesh2d(10, 2);
+        let specs: Vec<StreamSpec> = specs
+            .iter()
+            .map(|&(x0, x1, t, c)| {
+                StreamSpec::new(
+                    m.node_at(&[x0, 0]).unwrap(),
+                    m.node_at(&[x1, 0]).unwrap(),
+                    1,
+                    t,
+                    c,
+                    t,
+                )
+            })
+            .collect();
+        let s = StreamSet::resolve(&m, &XyRouting, &specs).unwrap();
+        (m, s)
+    }
+
+    #[test]
+    fn loads_accumulate_on_shared_channels() {
+        let (m, s) = set(&[(0, 4, 10, 2), (2, 6, 20, 4)]);
+        let loads = channel_loads(&s, m.num_links());
+        // Channel 2->3 carries both: 2/10 + 4/20 = 0.4.
+        let shared = m
+            .link_between(m.node_at(&[2, 0]).unwrap(), m.node_at(&[3, 0]).unwrap())
+            .unwrap();
+        assert!((loads[shared.index()] - 0.4).abs() < 1e-12);
+        // Channel 0->1 carries only the first: 0.2.
+        let solo = m
+            .link_between(m.node_at(&[0, 0]).unwrap(), m.node_at(&[1, 0]).unwrap())
+            .unwrap();
+        assert!((loads[solo.index()] - 0.2).abs() < 1e-12);
+        let _ = StreamId(0);
+    }
+
+    #[test]
+    fn hottest_and_oversubscription() {
+        let (m, s) = set(&[(0, 4, 10, 6), (2, 6, 10, 6)]);
+        // Shared channels carry 1.2 > 1.0.
+        let (hot, load) = hottest_channel(&s, m.num_links()).unwrap();
+        assert!((load - 1.2).abs() < 1e-12);
+        let over = oversubscribed_channels(&s, m.num_links());
+        assert!(!over.is_empty());
+        assert!(over.iter().any(|&(l, _)| l == hot));
+    }
+
+    #[test]
+    fn empty_channels_have_zero_load() {
+        let (m, s) = set(&[(0, 2, 10, 2)]);
+        let loads = channel_loads(&s, m.num_links());
+        let nonzero = loads.iter().filter(|&&l| l > 0.0).count();
+        assert_eq!(nonzero, 2, "exactly the two routed channels are loaded");
+    }
+}

@@ -1,0 +1,177 @@
+//! Human-readable rendering of timing diagrams and analyses — the same
+//! pictures as the paper's Figures 4, 6, 7 and 9.
+
+use crate::calu::CalUAnalysis;
+use crate::diagram::{Slot, TimingDiagram};
+use crate::stream::StreamSet;
+use std::fmt::Write as _;
+
+/// One character per cell, matching the paper's legend:
+/// `#` ALLOCATED, `.` FREE, `x` BUSY, `w` WAITING.
+pub fn slot_char(s: Slot) -> char {
+    match s {
+        Slot::Allocated => '#',
+        Slot::Free => '.',
+        Slot::Busy => 'x',
+        Slot::Waiting => 'w',
+    }
+}
+
+/// Renders a timing diagram as fixed-width ASCII art: one row per HP
+/// element (labelled with its stream id) plus the implicit target row
+/// (`.` where usable, `x` where some HP row transmits), with a time
+/// ruler every 10 slots.
+pub fn render_diagram(set: &StreamSet, diagram: &TimingDiagram) -> String {
+    let mut out = String::new();
+    let horizon = diagram.horizon();
+
+    // Ruler.
+    let label_width = 6;
+    let _ = write!(out, "{:label_width$}", "");
+    for t in 1..=horizon {
+        if t % 10 == 0 {
+            let s = t.to_string();
+            // Right-align the tick label at column t.
+            let pad = s.len().saturating_sub(1);
+            for _ in 0..pad {
+                out.pop();
+            }
+            let _ = write!(out, "{s}");
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push('\n');
+
+    for (r, row) in diagram.rows().iter().enumerate() {
+        let _ = write!(out, "{:<label_width$}", format!("{}", row.stream));
+        for t in 1..=horizon {
+            out.push(slot_char(diagram.slot(r, t)));
+        }
+        out.push('\n');
+    }
+
+    // Implicit target row.
+    let _ = write!(out, "{:<label_width$}", format!("{}*", diagram.target()));
+    for t in 1..=horizon {
+        out.push(if diagram.free_for_target(t) { '.' } else { 'x' });
+    }
+    out.push('\n');
+    let _ = set;
+    out
+}
+
+/// Renders a complete `Cal_U` analysis: HP set, initial diagram, removed
+/// instances, final diagram, and the bound.
+pub fn render_analysis(set: &StreamSet, analysis: &CalUAnalysis) -> String {
+    let mut out = String::new();
+    let target = set.get(analysis.target);
+    let _ = writeln!(
+        out,
+        "== Cal_U for {} (P={}, T={}, C={}, D={}, L={}) over horizon {} ==",
+        analysis.target,
+        target.priority(),
+        target.period(),
+        target.max_length(),
+        target.deadline(),
+        target.latency,
+        analysis.horizon,
+    );
+    let _ = writeln!(out, "HP set:");
+    if analysis.hp.is_empty() {
+        let _ = writeln!(out, "  (empty — nothing can block this stream)");
+    }
+    for e in analysis.hp.elements() {
+        if e.is_direct() {
+            let _ = writeln!(out, "  {} DIRECT", e.stream);
+        } else {
+            let ins: Vec<String> = e.intermediates.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "  {} INDIRECT via {{{}}}", e.stream, ins.join(", "));
+        }
+    }
+    if !analysis.hp.is_empty() {
+        let _ = writeln!(out, "\nInitial timing diagram (all elements direct):");
+        out.push_str(&render_diagram(set, &analysis.initial));
+        if !analysis.removed.is_empty() {
+            let entries: Vec<String> = analysis
+                .removed
+                .entries()
+                .iter()
+                .map(|(s, k)| format!("{s}#{}", k + 1))
+                .collect();
+            let _ = writeln!(out, "\nRemoved instances: {}", entries.join(", "));
+            let _ = writeln!(out, "\nFinal timing diagram:");
+            out.push_str(&render_diagram(set, &analysis.finalized));
+        }
+    }
+    let _ = writeln!(out, "\nU({}) = {}", analysis.target, analysis.bound);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::cal_u_detailed;
+    use crate::stream::{StreamId, StreamSpec, StreamSet};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn small_set() -> StreamSet {
+        let m = Mesh::mesh2d(10, 2);
+        let mk = |x0: u32, x1: u32, p: u32, t: u64, c: u64| {
+            StreamSpec::new(
+                m.node_at(&[x0, 0]).unwrap(),
+                m.node_at(&[x1, 0]).unwrap(),
+                p,
+                t,
+                c,
+                40,
+            )
+        };
+        StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)])
+            .unwrap()
+    }
+
+    #[test]
+    fn slot_chars_distinct() {
+        let chars = [
+            slot_char(Slot::Free),
+            slot_char(Slot::Busy),
+            slot_char(Slot::Waiting),
+            slot_char(Slot::Allocated),
+        ];
+        let mut dedup = chars.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn render_contains_rows_and_bound() {
+        let set = small_set();
+        let analysis = cal_u_detailed(&set, StreamId(1), 40);
+        let text = render_analysis(&set, &analysis);
+        assert!(text.contains("M0 DIRECT"));
+        assert!(text.contains("U(M1) = 11"));
+        assert!(text.contains("Initial timing diagram"));
+        // Diagram body: allocations of M0 at slots 1-3.
+        assert!(text.contains("###"));
+    }
+
+    #[test]
+    fn render_diagram_row_lengths_match_horizon() {
+        let set = small_set();
+        let analysis = cal_u_detailed(&set, StreamId(1), 40);
+        let text = render_diagram(&set, &analysis.initial);
+        for line in text.lines().skip(1) {
+            assert_eq!(line.chars().count(), 6 + 40, "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn empty_hp_renders_note() {
+        let set = small_set();
+        let analysis = cal_u_detailed(&set, StreamId(0), 40);
+        let text = render_analysis(&set, &analysis);
+        assert!(text.contains("empty"));
+    }
+}

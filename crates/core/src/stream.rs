@@ -1,0 +1,404 @@
+//! Real-time message streams — the seven-tuple of the paper's problem
+//! instance — and validated stream sets.
+
+use crate::error::AnalysisError;
+use crate::latency::network_latency;
+use std::fmt;
+use wormnet_topology::{NodeId, Path, Routing, Topology};
+
+/// Stream priority. **Larger values are more urgent**, following the
+/// paper (its worked example gives the most urgent stream `P = 5`).
+pub type Priority = u32;
+
+/// Index of a message stream within a [`StreamSet`], dense in
+/// `0..StreamSet::len()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// The user-supplied part of a message stream: everything except the
+/// routed path and the derived network latency.
+///
+/// Mirrors the paper's seven-tuple
+/// `M_i = (S_id, R_id, P_i, T_i, C_i, D_i, L_i)` with `L_i` derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Source node `S_id`.
+    pub source: NodeId,
+    /// Destination node `R_id`.
+    pub dest: NodeId,
+    /// Priority `P_i` (larger = more urgent).
+    pub priority: Priority,
+    /// Minimum message inter-generation time `T_i`, in flit times.
+    pub period: u64,
+    /// Maximum message length `C_i`, in flits.
+    pub max_length: u64,
+    /// Relative deadline `D_i`, in flit times.
+    pub deadline: u64,
+}
+
+impl StreamSpec {
+    /// Convenience constructor.
+    pub fn new(
+        source: NodeId,
+        dest: NodeId,
+        priority: Priority,
+        period: u64,
+        max_length: u64,
+        deadline: u64,
+    ) -> Self {
+        StreamSpec {
+            source,
+            dest,
+            priority,
+            period,
+            max_length,
+            deadline,
+        }
+    }
+
+    fn validate(&self, index: usize) -> Result<(), AnalysisError> {
+        if self.source == self.dest {
+            return Err(AnalysisError::SelfDelivery { stream: index });
+        }
+        if self.period == 0 {
+            return Err(AnalysisError::ZeroPeriod { stream: index });
+        }
+        if self.max_length == 0 {
+            return Err(AnalysisError::ZeroLength { stream: index });
+        }
+        if self.deadline == 0 {
+            return Err(AnalysisError::ZeroDeadline { stream: index });
+        }
+        Ok(())
+    }
+}
+
+/// A fully-resolved message stream: spec + deterministic route + network
+/// latency `L_i = hops + C_i - 1`.
+#[derive(Clone, Debug)]
+pub struct MessageStream {
+    /// Dense id within the owning [`StreamSet`].
+    pub id: StreamId,
+    /// The user-supplied parameters.
+    pub spec: StreamSpec,
+    /// The deterministic route the header flit acquires.
+    pub path: Path,
+    /// Network latency `L_i`: delivery time with no contention.
+    pub latency: u64,
+}
+
+impl MessageStream {
+    /// Priority `P_i`.
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        self.spec.priority
+    }
+
+    /// Period `T_i`.
+    #[inline]
+    pub fn period(&self) -> u64 {
+        self.spec.period
+    }
+
+    /// Maximum message length `C_i` in flits.
+    #[inline]
+    pub fn max_length(&self) -> u64 {
+        self.spec.max_length
+    }
+
+    /// Relative deadline `D_i`.
+    #[inline]
+    pub fn deadline(&self) -> u64 {
+        self.spec.deadline
+    }
+
+    /// True when this stream can *directly block* `other`: it has
+    /// higher-or-equal priority, is a different stream, and the two
+    /// routed paths share a directed channel (paper §4.1).
+    ///
+    /// Equal priorities block each other because they share the same
+    /// virtual channel and arbitration between them is non-preemptive.
+    pub fn directly_affects(&self, other: &MessageStream) -> bool {
+        self.id != other.id
+            && self.priority() >= other.priority()
+            && self.path.shares_link(&other.path)
+    }
+}
+
+/// A validated, immutable set of message streams with dense ids — the
+/// problem instance of message-stream feasibility testing.
+#[derive(Clone, Debug)]
+pub struct StreamSet {
+    streams: Vec<MessageStream>,
+}
+
+impl StreamSet {
+    /// Resolves `specs` against a topology and a deterministic routing
+    /// algorithm, computing each stream's path and network latency.
+    pub fn resolve<T, R>(topo: &T, routing: &R, specs: &[StreamSpec]) -> Result<Self, AnalysisError>
+    where
+        T: Topology,
+        R: Routing<T>,
+    {
+        if specs.is_empty() {
+            return Err(AnalysisError::EmptySet);
+        }
+        let mut streams = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            spec.validate(i)?;
+            let path = routing
+                .route(topo, spec.source, spec.dest)
+                .map_err(|e| AnalysisError::RouteFailed {
+                    stream: i,
+                    reason: e.to_string(),
+                })?;
+            let latency = network_latency(path.hops(), spec.max_length);
+            streams.push(MessageStream {
+                id: StreamId(i as u32),
+                spec: spec.clone(),
+                path,
+                latency,
+            });
+        }
+        Ok(StreamSet { streams })
+    }
+
+    /// Builds a set from pre-routed streams (used by tests and by
+    /// callers with custom routing). Ids are reassigned densely in
+    /// order.
+    pub fn from_parts(parts: Vec<(StreamSpec, Path)>) -> Result<Self, AnalysisError> {
+        if parts.is_empty() {
+            return Err(AnalysisError::EmptySet);
+        }
+        let mut streams = Vec::with_capacity(parts.len());
+        for (i, (spec, path)) in parts.into_iter().enumerate() {
+            spec.validate(i)?;
+            let latency = network_latency(path.hops(), spec.max_length);
+            streams.push(MessageStream {
+                id: StreamId(i as u32),
+                spec,
+                path,
+                latency,
+            });
+        }
+        Ok(StreamSet { streams })
+    }
+
+    /// Number of streams.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the set holds no streams (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The stream with the given id.
+    #[inline]
+    pub fn get(&self, id: StreamId) -> &MessageStream {
+        &self.streams[id.index()]
+    }
+
+    /// All streams in id order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &MessageStream> {
+        self.streams.iter()
+    }
+
+    /// All stream ids.
+    pub fn ids(&self) -> impl Iterator<Item = StreamId> {
+        (0..self.streams.len() as u32).map(StreamId)
+    }
+
+    /// The number of distinct priority values in use.
+    pub fn priority_level_count(&self) -> usize {
+        let mut prios: Vec<Priority> = self.streams.iter().map(|s| s.priority()).collect();
+        prios.sort_unstable();
+        prios.dedup();
+        prios.len()
+    }
+
+    /// Stream ids sorted by decreasing priority, ties broken by id —
+    /// the canonical processing order of the analysis.
+    pub fn by_decreasing_priority(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self.ids().collect();
+        ids.sort_by(|&a, &b| {
+            self.get(b)
+                .priority()
+                .cmp(&self.get(a).priority())
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+
+    /// Returns a copy of the set with stream `id`'s period and deadline
+    /// replaced (used by the paper's "inflate `T_i` to accommodate all
+    /// generated traffic" rule).
+    pub fn with_period(&self, id: StreamId, period: u64, deadline: u64) -> StreamSet {
+        let mut streams = self.streams.clone();
+        streams[id.index()].spec.period = period;
+        streams[id.index()].spec.deadline = deadline;
+        StreamSet { streams }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet_topology::{Mesh, XyRouting};
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(10, 10)
+    }
+
+    fn spec(mesh: &Mesh, s: [u32; 2], d: [u32; 2], p: Priority, t: u64, c: u64) -> StreamSpec {
+        StreamSpec::new(
+            mesh.node_at(&s).unwrap(),
+            mesh.node_at(&d).unwrap(),
+            p,
+            t,
+            c,
+            t,
+        )
+    }
+
+    #[test]
+    fn resolve_computes_latency() {
+        let m = mesh();
+        let set = StreamSet::resolve(&m, &XyRouting, &[spec(&m, [7, 3], [7, 7], 5, 150, 4)])
+            .unwrap();
+        assert_eq!(set.len(), 1);
+        let s = set.get(StreamId(0));
+        assert_eq!(s.path.hops(), 4);
+        assert_eq!(s.latency, 7); // hops + C - 1
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let m = mesh();
+        let err = StreamSet::resolve(&m, &XyRouting, &[]).unwrap_err();
+        assert_eq!(err, AnalysisError::EmptySet);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let m = mesh();
+        let good = spec(&m, [0, 0], [1, 0], 1, 10, 2);
+        let mut self_loop = good.clone();
+        self_loop.dest = self_loop.source;
+        let mut zero_t = good.clone();
+        zero_t.period = 0;
+        let mut zero_c = good.clone();
+        zero_c.max_length = 0;
+        let mut zero_d = good.clone();
+        zero_d.deadline = 0;
+        for (bad, name) in [
+            (self_loop, "self"),
+            (zero_t, "period"),
+            (zero_c, "length"),
+            (zero_d, "deadline"),
+        ] {
+            assert!(
+                StreamSet::resolve(&m, &XyRouting, &[good.clone(), bad]).is_err(),
+                "{name} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn directly_affects_needs_priority_and_overlap() {
+        let m = mesh();
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                spec(&m, [0, 0], [5, 0], 3, 100, 4), // high prio, row 0
+                spec(&m, [2, 0], [7, 0], 1, 100, 4), // low prio, overlaps
+                spec(&m, [0, 5], [5, 5], 1, 100, 4), // low prio, disjoint
+            ],
+        )
+        .unwrap();
+        let (a, b, c) = (set.get(StreamId(0)), set.get(StreamId(1)), set.get(StreamId(2)));
+        assert!(a.directly_affects(b));
+        assert!(!b.directly_affects(a), "lower priority cannot block higher");
+        assert!(!a.directly_affects(c), "no overlap, no blocking");
+        assert!(!a.directly_affects(a), "a stream does not block itself");
+    }
+
+    #[test]
+    fn equal_priority_blocks_both_ways() {
+        let m = mesh();
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                spec(&m, [0, 0], [5, 0], 2, 100, 4),
+                spec(&m, [2, 0], [7, 0], 2, 100, 4),
+            ],
+        )
+        .unwrap();
+        let (a, b) = (set.get(StreamId(0)), set.get(StreamId(1)));
+        assert!(a.directly_affects(b));
+        assert!(b.directly_affects(a));
+    }
+
+    #[test]
+    fn priority_order_is_decreasing_with_id_ties() {
+        let m = mesh();
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                spec(&m, [0, 0], [1, 0], 1, 10, 2),
+                spec(&m, [0, 1], [1, 1], 5, 10, 2),
+                spec(&m, [0, 2], [1, 2], 5, 10, 2),
+                spec(&m, [0, 3], [1, 3], 3, 10, 2),
+            ],
+        )
+        .unwrap();
+        let order = set.by_decreasing_priority();
+        assert_eq!(order, vec![StreamId(1), StreamId(2), StreamId(3), StreamId(0)]);
+        assert_eq!(set.priority_level_count(), 3);
+    }
+
+    #[test]
+    fn with_period_replaces_only_target() {
+        let m = mesh();
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                spec(&m, [0, 0], [1, 0], 1, 10, 2),
+                spec(&m, [0, 1], [1, 1], 2, 20, 2),
+            ],
+        )
+        .unwrap();
+        let set2 = set.with_period(StreamId(0), 99, 99);
+        assert_eq!(set2.get(StreamId(0)).period(), 99);
+        assert_eq!(set2.get(StreamId(0)).deadline(), 99);
+        assert_eq!(set2.get(StreamId(1)).period(), 20);
+    }
+}

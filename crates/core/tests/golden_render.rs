@@ -1,0 +1,67 @@
+//! Golden-output test: the rendered analysis of the paper example's
+//! lowest-priority stream, pinned slot by slot. If the diagram
+//! generator, the modifier, or the renderer drifts, this fails with a
+//! readable diff.
+
+use rtwc_core::{cal_u_detailed, render_diagram, StreamId, StreamSet, StreamSpec};
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+fn paper_set() -> StreamSet {
+    let mesh = Mesh::mesh2d(10, 10);
+    let node = |x: u32, y: u32| mesh.node_at(&[x, y]).unwrap();
+    StreamSet::resolve(
+        &mesh,
+        &XyRouting,
+        &[
+            StreamSpec::new(node(7, 3), node(7, 7), 5, 15, 4, 15),
+            StreamSpec::new(node(1, 1), node(5, 4), 4, 10, 2, 10),
+            StreamSpec::new(node(2, 1), node(7, 5), 3, 40, 4, 40),
+            StreamSpec::new(node(4, 1), node(8, 5), 2, 45, 9, 45),
+            StreamSpec::new(node(6, 1), node(9, 3), 1, 50, 6, 50),
+        ],
+    )
+    .unwrap()
+}
+
+/// Paper Figure 7 — the initial (all-direct) diagram of HP_4.
+/// Legend: `#` transmitting, `w` preempted, `x` blocked by a higher
+/// row, `.` free; the `M4*` row marks the slots usable by the target.
+/// The slot content of the first instances is independently pinned by
+/// `paper_example.rs::figure7_initial_diagram_of_hp4`; the free columns
+/// are exactly the paper's "7 free time slots" {28-30, 37-40}.
+const FIGURE7: &str = "              10        20        30        40        50
+M0    ####...........####...........####...........####.
+M1    wwww##....##...xxxx.##........wwww##....##...xxxx.
+M2    wwwwww####xx...xxxx.xx........xxxxxx....ww###wwww#
+M3    wwwwwwwwwwww###wwww#ww#####...xxxxxx....xxxxxwwwww
+M4*   xxxxxxxxxxxxxxxxxxxxxxxxxxx...xxxxxx....xxxxxxxxxx
+";
+
+/// Paper Figure 9 — after `Modify_Diagram` removes M0's instances 2-3
+/// and M1's instance 4 (M0's 4th and M1's 5th instances *stay*: M2 is
+/// present — waiting — inside their spans); M3's first instance
+/// compacts to 13-20 + 23, and the 10 free slots for L = 10 accumulate
+/// by slot 33 = U_4.
+const FIGURE9: &str = "              10        20        30        40        50
+M0    ####.........................................####.
+M1    wwww##....##........##..................##...xxxx.
+M2    wwwwww####xx........xx..................ww###wwww#
+M3    wwwwwwwwwwww########ww#.................xxxxxwwwww
+M4*   xxxxxxxxxxxxxxxxxxxxxxx.................xxxxxxxxxx
+";
+
+#[test]
+fn figure7_golden() {
+    let set = paper_set();
+    let a = cal_u_detailed(&set, StreamId(4), 50);
+    let text = render_diagram(&set, &a.initial);
+    assert_eq!(text, FIGURE7, "\nrendered:\n{text}");
+}
+
+#[test]
+fn figure9_golden() {
+    let set = paper_set();
+    let a = cal_u_detailed(&set, StreamId(4), 50);
+    let text = render_diagram(&set, &a.finalized);
+    assert_eq!(text, FIGURE9, "\nrendered:\n{text}");
+}

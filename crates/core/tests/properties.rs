@@ -1,0 +1,228 @@
+//! Property-based tests of the feasibility analysis: ordering,
+//! monotonicity, and structural invariants of HP sets, timing diagrams,
+//! and bounds over randomized stream sets.
+
+use proptest::prelude::*;
+use rtwc_core::{
+    cal_u, cal_u_detailed, determine_feasibility, direct_only_bound, explain, generate_hp,
+    is_deadlock_free, single_vc_cycle, DelayBound, Slot, StreamId, StreamSet, StreamSpec,
+};
+use wormnet_topology::{Mesh, NodeId, XyRouting};
+
+/// Strategy: a random stream set of 2..=8 streams on an 8x8 mesh with
+/// small periods/lengths so diagrams stay cheap.
+fn stream_sets() -> impl Strategy<Value = StreamSet> {
+    let spec = (0u32..64, 0u32..64, 1u32..5, 10u64..60, 1u64..8)
+        .prop_filter("distinct endpoints", |(s, d, ..)| s != d);
+    prop::collection::vec(spec, 2..=8).prop_map(|raw| {
+        let mesh = Mesh::mesh2d(8, 8);
+        let specs: Vec<StreamSpec> = raw
+            .into_iter()
+            .map(|(s, d, p, t, c)| {
+                StreamSpec::new(NodeId(s), NodeId(d), p, t, c, 4 * t)
+            })
+            .collect();
+        StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bound_is_at_least_network_latency(set in stream_sets()) {
+        for id in set.ids() {
+            if let DelayBound::Bounded(u) = cal_u(&set, id, set.get(id).deadline()) {
+                prop_assert!(u >= set.get(id).latency, "{:?}", id);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_hp_means_bound_equals_latency(set in stream_sets()) {
+        for id in set.ids() {
+            if generate_hp(&set, id).is_empty() {
+                prop_assert_eq!(
+                    cal_u(&set, id, set.get(id).deadline()),
+                    DelayBound::Bounded(set.get(id).latency)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_only_is_never_tighter(set in stream_sets()) {
+        for id in set.ids() {
+            let h = set.get(id).deadline();
+            match (cal_u(&set, id, h), direct_only_bound(&set, id, h)) {
+                (DelayBound::Bounded(full), DelayBound::Bounded(direct)) => {
+                    prop_assert!(direct >= full, "{:?}: direct {} < full {}", id, direct, full);
+                }
+                (DelayBound::Exceeded, DelayBound::Bounded(_)) => {
+                    prop_assert!(false, "{:?}: ablation bounded, full not", id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_stream_never_hurts(set in stream_sets()) {
+        prop_assume!(set.len() >= 3);
+        // Drop the last stream; every surviving stream keeps its id.
+        let parts: Vec<(StreamSpec, wormnet_topology::Path)> = set
+            .iter()
+            .take(set.len() - 1)
+            .map(|s| (s.spec.clone(), s.path.clone()))
+            .collect();
+        let smaller = StreamSet::from_parts(parts).unwrap();
+        for id in smaller.ids() {
+            let h = set.get(id).deadline();
+            let before = cal_u(&set, id, h);
+            let after = cal_u(&smaller, id, h);
+            match (before, after) {
+                (DelayBound::Bounded(b), DelayBound::Bounded(a)) => {
+                    prop_assert!(a <= b, "{:?}: {} -> {} after removal", id, b, a);
+                }
+                (DelayBound::Exceeded, _) => {}
+                (DelayBound::Bounded(b), DelayBound::Exceeded) => {
+                    prop_assert!(false, "{:?}: bounded {} became unbounded", id, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hp_sets_respect_priorities(set in stream_sets()) {
+        for id in set.ids() {
+            let hp = generate_hp(&set, id);
+            for e in hp.elements() {
+                prop_assert!(e.stream != id, "self in HP set");
+                prop_assert!(
+                    set.get(e.stream).priority() >= set.get(id).priority(),
+                    "lower-priority blocker in HP set"
+                );
+                if !e.is_direct() {
+                    prop_assert!(!e.intermediates.is_empty(), "indirect without chain");
+                    for &im in &e.intermediates {
+                        prop_assert!(hp.element(im).is_some(), "intermediate outside HP");
+                        prop_assert!(
+                            set.get(e.stream).directly_affects(set.get(im)),
+                            "intermediate not directly affected"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagram_structure_invariants(set in stream_sets()) {
+        for id in set.ids() {
+            let a = cal_u_detailed(&set, id, set.get(id).deadline());
+            for d in [&a.initial, &a.finalized] {
+                // At most one transmission per column.
+                for t in 1..=d.horizon() {
+                    let allocs = (0..d.rows().len())
+                        .filter(|&r| d.slot(r, t) == Slot::Allocated)
+                        .count();
+                    prop_assert!(allocs <= 1, "column {} double-booked", t);
+                    prop_assert_eq!(d.free_for_target(t), allocs == 0);
+                }
+                // Instances stay inside their windows and carry at most
+                // C slots, in order.
+                for row in d.rows() {
+                    let c = set.get(row.stream).max_length();
+                    for inst in &row.instances {
+                        prop_assert!(inst.slots.len() as u64 <= c);
+                        prop_assert!(inst.slots.windows(2).all(|w| w[0] < w[1]));
+                        for &s in &inst.slots {
+                            prop_assert!(s >= inst.window_start && s <= inst.window_end);
+                        }
+                        if inst.removed {
+                            prop_assert!(inst.slots.is_empty());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_report_consistent_with_bounds(set in stream_sets()) {
+        let report = determine_feasibility(&set);
+        for id in set.ids() {
+            let expected = cal_u(&set, id, set.get(id).deadline());
+            prop_assert_eq!(report.bound(id), expected);
+            let feasible_here = expected.meets(set.get(id).deadline());
+            prop_assert_eq!(report.infeasible.contains(&id), !feasible_here);
+        }
+        prop_assert_eq!(report.is_feasible(), report.infeasible.is_empty());
+    }
+
+    #[test]
+    fn analysis_is_deterministic(set in stream_sets()) {
+        for id in set.ids() {
+            let a = cal_u(&set, id, set.get(id).deadline());
+            let b = cal_u(&set, id, set.get(id).deadline());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn xy_routed_sets_are_deadlock_free(set in stream_sets()) {
+        // The theorem the paper leans on: X-Y routing admits no cyclic
+        // channel dependency — under per-priority VCs *or* a single
+        // shared VC — for any stream set whatsoever.
+        prop_assert!(is_deadlock_free(&set, None));
+        prop_assert!(single_vc_cycle(&set, None).is_none());
+    }
+
+    #[test]
+    fn explanation_accounts_for_every_interference_slot(set in stream_sets()) {
+        for id in set.ids() {
+            let a = cal_u_detailed(&set, id, set.get(id).deadline());
+            let e = explain(&set, &a);
+            if let DelayBound::Bounded(u) = a.bound {
+                prop_assert_eq!(e.interference(), u - set.get(id).latency, "{:?}", id);
+                // Contributions are sorted by decreasing share.
+                prop_assert!(e
+                    .contributions
+                    .windows(2)
+                    .all(|w| w[0].slots >= w[1].slots));
+            }
+        }
+    }
+
+    #[test]
+    fn raising_priority_never_hurts_self(set in stream_sets()) {
+        // Bump stream 0's priority above everyone: its bound can only
+        // shrink (it sheds blockers and gains none it didn't have).
+        let id = StreamId(0);
+        let before = cal_u(&set, id, 10_000);
+        let max_p = set.iter().map(|s| s.priority()).max().unwrap();
+        let parts: Vec<(StreamSpec, wormnet_topology::Path)> = set
+            .iter()
+            .map(|s| {
+                let mut spec = s.spec.clone();
+                if s.id == id {
+                    spec.priority = max_p + 1;
+                }
+                (spec, s.path.clone())
+            })
+            .collect();
+        let boosted = StreamSet::from_parts(parts).unwrap();
+        let after = cal_u(&boosted, id, 10_000);
+        match (before, after) {
+            (DelayBound::Bounded(b), DelayBound::Bounded(a)) => {
+                prop_assert!(a <= b, "boosting priority worsened bound {} -> {}", b, a);
+            }
+            (DelayBound::Exceeded, _) => {}
+            (DelayBound::Bounded(_), DelayBound::Exceeded) => {
+                prop_assert!(false, "boosting priority lost the bound");
+            }
+        }
+        // With the unique top priority, nothing blocks it at all.
+        prop_assert_eq!(after, DelayBound::Bounded(boosted.get(id).latency));
+    }
+}

@@ -1,0 +1,316 @@
+//! The host processor: owns the mesh, allocates nodes to jobs, admits
+//! their message streams with hard guarantees, and reclaims resources
+//! when jobs finish — the management layer of the paper's Figure 1.
+
+use crate::placement::{Allocator, Placement};
+use crate::task::JobSpec;
+use rtwc_core::{AdmissionController, AdmissionError, DelayBound, StreamId, StreamSpec};
+use std::collections::BTreeSet;
+use std::fmt;
+use wormnet_topology::{Mesh, NodeId, Routing, Topology, XyRouting};
+
+/// Handle to a deployed job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+/// A successfully deployed job.
+#[derive(Clone, Debug)]
+pub struct DeployedJob {
+    /// The handle.
+    pub id: JobId,
+    /// The job's name.
+    pub name: String,
+    /// Where each task runs.
+    pub placement: Placement,
+    /// The admitted streams, in message-requirement order. Ids track
+    /// the host's admission controller and are remapped when other
+    /// jobs are removed.
+    pub streams: Vec<StreamId>,
+}
+
+/// Why a job could not be deployed. Deployment is atomic: on any
+/// error the host is left exactly as before the call.
+#[derive(Clone, Debug)]
+pub enum DeployError {
+    /// The allocator found no placement (not enough free nodes).
+    NoPlacement,
+    /// A message stream was refused admission.
+    Rejected {
+        /// Index of the refused message requirement.
+        message: usize,
+        /// The admission failure.
+        reason: AdmissionError,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::NoPlacement => write!(f, "no feasible node allocation"),
+            DeployError::Rejected { message, reason } => {
+                write!(f, "message {message} refused admission: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The host processor of a real-time wormhole multicomputer.
+#[derive(Clone, Debug)]
+pub struct HostProcessor {
+    mesh: Mesh,
+    free: BTreeSet<NodeId>,
+    admission: AdmissionController,
+    jobs: Vec<DeployedJob>,
+    next_job: u32,
+}
+
+impl HostProcessor {
+    /// A host managing an empty `width x height` mesh.
+    pub fn new(width: u32, height: u32) -> Self {
+        let mesh = Mesh::mesh2d(width, height);
+        let free = mesh.nodes().into_iter().collect();
+        HostProcessor {
+            mesh,
+            free,
+            admission: AdmissionController::new(),
+            jobs: Vec::new(),
+            next_job: 0,
+        }
+    }
+
+    /// The managed mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Unoccupied nodes, ascending.
+    pub fn free_nodes(&self) -> Vec<NodeId> {
+        self.free.iter().copied().collect()
+    }
+
+    /// Deployed jobs.
+    pub fn jobs(&self) -> &[DeployedJob] {
+        &self.jobs
+    }
+
+    /// The guaranteed bound of one admitted stream.
+    pub fn bound(&self, id: StreamId) -> DelayBound {
+        self.admission.bound(id)
+    }
+
+    /// Deploys `job`: allocate nodes with `allocator`, route every
+    /// message with X-Y routing, and admit each stream while preserving
+    /// all existing guarantees. Atomic: on failure nothing changes.
+    pub fn deploy(
+        &mut self,
+        job: &JobSpec,
+        allocator: &dyn Allocator,
+    ) -> Result<JobId, DeployError> {
+        let free = self.free_nodes();
+        let placement = allocator
+            .place(job, &self.mesh, &free)
+            .ok_or(DeployError::NoPlacement)?;
+        let mut admitted: Vec<StreamId> = Vec::with_capacity(job.messages.len());
+        for (i, m) in job.messages.iter().enumerate() {
+            let src = placement.node_of(m.from);
+            let dst = placement.node_of(m.to);
+            let path = XyRouting
+                .route(&self.mesh, src, dst)
+                .expect("mesh routes always exist");
+            let spec = StreamSpec::new(src, dst, m.priority, m.period, m.length, m.deadline);
+            match self.admission.admit(spec, path) {
+                Ok(id) => admitted.push(id),
+                Err(reason) => {
+                    // Roll back this job's already-admitted streams
+                    // (descending ids, so earlier ids stay stable).
+                    for &id in admitted.iter().rev() {
+                        self.admission.remove(id);
+                    }
+                    return Err(DeployError::Rejected { message: i, reason });
+                }
+            }
+        }
+        for &n in placement.nodes() {
+            self.free.remove(&n);
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.push(DeployedJob {
+            id,
+            name: job.name.clone(),
+            placement,
+            streams: admitted,
+        });
+        Ok(id)
+    }
+
+    /// Removes a deployed job, releasing its nodes and withdrawing its
+    /// streams (remaining jobs keep their guarantees — bounds can only
+    /// improve).
+    ///
+    /// # Panics
+    /// Panics on an unknown job id.
+    pub fn remove_job(&mut self, id: JobId) {
+        let pos = self
+            .jobs
+            .iter()
+            .position(|j| j.id == id)
+            .unwrap_or_else(|| panic!("unknown job {id:?}"));
+        let job = self.jobs.remove(pos);
+        for &n in job.placement.nodes() {
+            self.free.insert(n);
+        }
+        // Withdraw streams in descending id order; after each removal,
+        // every stored id above it (in any job) shifts down by one.
+        let mut ids = job.streams.clone();
+        ids.sort_unstable();
+        for &removed in ids.iter().rev() {
+            self.admission.remove(removed);
+            for j in &mut self.jobs {
+                for s in &mut j.streams {
+                    debug_assert_ne!(*s, removed, "stream owned by two jobs");
+                    if *s > removed {
+                        *s = StreamId(s.0 - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total streams currently guaranteed.
+    pub fn admitted_streams(&self) -> usize {
+        self.admission.len()
+    }
+
+    /// The admitted streams as an analyzable/simulable stream set
+    /// (`None` when nothing is deployed). Stream ids match
+    /// [`DeployedJob::streams`].
+    pub fn stream_set(&self) -> Option<&rtwc_core::StreamSet> {
+        self.admission.set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{CommunicationAware, FirstFit};
+    use crate::task::{JobSpec, MessageRequirement, TaskId};
+
+    fn pipeline_job(name: &str, tasks: usize, priority: u32) -> JobSpec {
+        let msgs = (0..tasks as u32 - 1)
+            .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), priority, 200, 10))
+            .collect();
+        JobSpec::new(name, tasks, msgs).unwrap()
+    }
+
+    #[test]
+    fn deploy_and_guarantee() {
+        let mut host = HostProcessor::new(8, 8);
+        let job = pipeline_job("j", 4, 2);
+        let id = host.deploy(&job, &CommunicationAware).unwrap();
+        assert_eq!(host.jobs().len(), 1);
+        assert_eq!(host.free_nodes().len(), 60);
+        let deployed = &host.jobs()[0];
+        assert_eq!(deployed.id, id);
+        assert_eq!(deployed.streams.len(), 3);
+        for &s in &deployed.streams {
+            assert!(host.bound(s).is_bounded());
+        }
+    }
+
+    #[test]
+    fn deploy_is_atomic_on_rejection() {
+        let mut host = HostProcessor::new(4, 1); // a line of 4 nodes
+        // One job, two messages: the first saturates the row channels,
+        // the second (lower priority, tight deadline, same channels)
+        // is then unadmittable — the WHOLE job must roll back.
+        let job = JobSpec::new(
+            "doomed",
+            4,
+            vec![
+                MessageRequirement::new(TaskId(0), TaskId(3), 2, 20, 18),
+                MessageRequirement::new(TaskId(1), TaskId(2), 1, 100, 10).with_deadline(12),
+            ],
+        )
+        .unwrap();
+        let err = host.deploy(&job, &FirstFit).unwrap_err();
+        assert!(matches!(err, DeployError::Rejected { message: 1, .. }));
+        assert_eq!(host.admitted_streams(), 0, "first stream rolled back");
+        assert_eq!(host.free_nodes().len(), 4, "no nodes leaked");
+        assert!(host.jobs().is_empty());
+    }
+
+    #[test]
+    fn no_placement_when_mesh_full() {
+        let mut host = HostProcessor::new(2, 2);
+        host.deploy(&pipeline_job("a", 3, 1), &FirstFit).unwrap();
+        let err = host.deploy(&pipeline_job("b", 2, 1), &FirstFit).unwrap_err();
+        assert!(matches!(err, DeployError::NoPlacement));
+    }
+
+    #[test]
+    fn remove_job_releases_and_remaps() {
+        let mut host = HostProcessor::new(8, 8);
+        let a = host.deploy(&pipeline_job("a", 3, 3), &FirstFit).unwrap();
+        let b = host.deploy(&pipeline_job("b", 3, 2), &FirstFit).unwrap();
+        let c = host.deploy(&pipeline_job("c", 3, 1), &FirstFit).unwrap();
+        assert_eq!(host.admitted_streams(), 6);
+
+        // Remove the middle job: c's stream ids shift down.
+        host.remove_job(b);
+        assert_eq!(host.admitted_streams(), 4);
+        assert_eq!(host.free_nodes().len(), 64 - 6);
+        let ids: Vec<JobId> = host.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![a, c]);
+        // All remapped stream ids resolve and are bounded.
+        for j in host.jobs() {
+            for &s in &j.streams {
+                assert!(host.bound(s).is_bounded(), "{s} of job {:?}", j.id);
+            }
+        }
+        // And they are exactly 0..4.
+        let mut all: Vec<StreamId> = host
+            .jobs()
+            .iter()
+            .flat_map(|j| j.streams.clone())
+            .collect();
+        all.sort();
+        assert_eq!(all, (0..4).map(StreamId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn removing_a_heavy_job_improves_survivors() {
+        let mut host = HostProcessor::new(6, 1);
+        let heavy = JobSpec::new(
+            "heavy",
+            2,
+            vec![MessageRequirement::new(TaskId(0), TaskId(1), 2, 40, 20)],
+        )
+        .unwrap();
+        // Place heavy on nodes 0..2, light on 2..4 — their streams
+        // share row channels.
+        let h = host.deploy(&heavy, &FirstFit).unwrap();
+        let light = JobSpec::new(
+            "light",
+            2,
+            vec![MessageRequirement::new(TaskId(0), TaskId(1), 1, 200, 6)],
+        )
+        .unwrap();
+        host.deploy(&light, &FirstFit).unwrap();
+        let light_stream = host.jobs()[1].streams[0];
+        let before = host.bound(light_stream).value().unwrap();
+        host.remove_job(h);
+        let light_stream = host.jobs()[0].streams[0];
+        let after = host.bound(light_stream).value().unwrap();
+        assert!(after <= before, "removal must not hurt: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown job")]
+    fn remove_unknown_job_panics() {
+        let mut host = HostProcessor::new(2, 2);
+        host.remove_job(JobId(7));
+    }
+}

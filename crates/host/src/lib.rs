@@ -1,0 +1,52 @@
+//! # rtwc-host
+//!
+//! The host processor of the ICPP'98 system model (paper Fig. 1): "the
+//! host processor is in charge of overall system management such as job
+//! scheduling, node allocation, and schedulability testing of real-time
+//! jobs."
+//!
+//! This crate is the management layer above `rtwc-core`:
+//!
+//! * [`JobSpec`] — a real-time job: cooperating tasks plus the periodic
+//!   [`MessageRequirement`]s between them;
+//! * [`Allocator`]s — node-allocation strategies ([`FirstFit`],
+//!   [`Clustered`], [`CommunicationAware`], [`RandomPlacement`]); the
+//!   paper observes that "jobs which communicate each other frequently
+//!   could be mapped to relatively nearby processing nodes" but leaves
+//!   allocation open — these let you quantify the choice;
+//! * [`HostProcessor`] — owns the mesh, deploys jobs atomically with
+//!   feasibility-preserving admission control (every admitted stream
+//!   keeps `U <= D`), and reclaims resources on job completion.
+//!
+//! ```
+//! use rtwc_host::{CommunicationAware, HostProcessor, JobSpec, MessageRequirement, TaskId};
+//!
+//! let mut host = HostProcessor::new(8, 8);
+//! let job = JobSpec::new(
+//!     "control-loop",
+//!     3,
+//!     vec![
+//!         MessageRequirement::new(TaskId(0), TaskId(1), 2, 100, 8),
+//!         MessageRequirement::new(TaskId(1), TaskId(2), 2, 100, 8),
+//!     ],
+//! )
+//! .unwrap();
+//! let id = host.deploy(&job, &CommunicationAware).unwrap();
+//! assert_eq!(host.jobs()[0].id, id);
+//! // Every stream of the job now carries a hard delay guarantee.
+//! for &s in &host.jobs()[0].streams {
+//!     assert!(host.bound(s).is_bounded());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod placement;
+pub mod task;
+
+pub use host::{DeployError, DeployedJob, HostProcessor, JobId};
+pub use placement::{
+    Allocator, Clustered, CommunicationAware, FirstFit, Placement, RandomPlacement,
+};
+pub use task::{JobSpec, JobSpecError, MessageRequirement, TaskId};

@@ -1,0 +1,330 @@
+//! Node allocation: mapping a job's tasks onto free processing nodes.
+//!
+//! The paper leaves this open ("the jobs which communicate each other
+//! frequently could be mapped to relatively nearby processing nodes.
+//! But job allocation is another problem") — so this module provides
+//! the standard spectrum of allocators to study exactly that trade-off:
+//! arbitrary, clustered, communication-aware, and random placement.
+
+use crate::task::{JobSpec, TaskId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use wormnet_topology::{Mesh, NodeId, Topology};
+
+/// A complete assignment of a job's tasks to distinct nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    nodes: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Builds a placement; one distinct node per task.
+    ///
+    /// # Panics
+    /// Panics if nodes repeat.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nodes.len(), "placement repeats a node");
+        Placement { nodes }
+    }
+
+    /// The node hosting `task`.
+    pub fn node_of(&self, task: TaskId) -> NodeId {
+        self.nodes[task.index()]
+    }
+
+    /// All nodes used, in task order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Total communication cost: sum over message requirements of
+    /// `rate x hop distance` — the objective communication-aware
+    /// placement minimizes.
+    pub fn communication_cost(&self, job: &JobSpec, mesh: &Mesh) -> f64 {
+        job.messages
+            .iter()
+            .map(|m| m.rate() * mesh.distance(self.node_of(m.from), self.node_of(m.to)) as f64)
+            .sum()
+    }
+}
+
+/// A node-allocation strategy. `free` is the currently unoccupied node
+/// list in ascending id order; returns `None` when the job cannot be
+/// placed (not enough free nodes).
+pub trait Allocator {
+    /// Chooses nodes for every task of `job`.
+    fn place(&self, job: &JobSpec, mesh: &Mesh, free: &[NodeId]) -> Option<Placement>;
+}
+
+/// Takes the first `num_tasks` free nodes in id order — the baseline
+/// that ignores communication entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFit;
+
+impl Allocator for FirstFit {
+    fn place(&self, job: &JobSpec, _mesh: &Mesh, free: &[NodeId]) -> Option<Placement> {
+        (free.len() >= job.num_tasks)
+            .then(|| Placement::new(free[..job.num_tasks].to_vec()))
+    }
+}
+
+/// Grows a connected region by BFS from the first free node and fills
+/// it in discovery order — tasks land near each other, but without
+/// looking at *which* tasks talk.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Clustered;
+
+impl Allocator for Clustered {
+    fn place(&self, job: &JobSpec, mesh: &Mesh, free: &[NodeId]) -> Option<Placement> {
+        if free.len() < job.num_tasks {
+            return None;
+        }
+        let is_free = {
+            let mut v = vec![false; mesh.num_nodes()];
+            for &n in free {
+                v[n.index()] = true;
+            }
+            v
+        };
+        let mut picked = Vec::with_capacity(job.num_tasks);
+        let mut seen = vec![false; mesh.num_nodes()];
+        // BFS over free nodes from the lowest-id free seed; if the free
+        // region is disconnected, restart from the next unseen free
+        // node.
+        for &seed in free {
+            if picked.len() >= job.num_tasks {
+                break;
+            }
+            if seen[seed.index()] {
+                continue;
+            }
+            let mut queue = VecDeque::from([seed]);
+            seen[seed.index()] = true;
+            while let Some(n) = queue.pop_front() {
+                picked.push(n);
+                if picked.len() >= job.num_tasks {
+                    break;
+                }
+                for nb in mesh.neighbors(n) {
+                    if is_free[nb.index()] && !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        (picked.len() >= job.num_tasks).then(|| Placement::new(picked))
+    }
+}
+
+/// Greedy communication-aware placement: tasks are placed in decreasing
+/// order of total communication rate; each goes to the free node
+/// minimizing `sum(rate x distance)` to its already-placed partners
+/// (ties: lowest node id). The first task takes the most central free
+/// node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommunicationAware;
+
+impl Allocator for CommunicationAware {
+    fn place(&self, job: &JobSpec, mesh: &Mesh, free: &[NodeId]) -> Option<Placement> {
+        if free.len() < job.num_tasks {
+            return None;
+        }
+        // Order tasks by total communication, heaviest first.
+        let mut weight = vec![0.0f64; job.num_tasks];
+        for m in &job.messages {
+            weight[m.from.index()] += m.rate();
+            weight[m.to.index()] += m.rate();
+        }
+        let mut order: Vec<TaskId> = (0..job.num_tasks as u32).map(TaskId).collect();
+        order.sort_by(|a, b| {
+            weight[b.index()]
+                .total_cmp(&weight[a.index()])
+                .then(a.cmp(b))
+        });
+
+        let mut assigned: Vec<Option<NodeId>> = vec![None; job.num_tasks];
+        let mut available: Vec<NodeId> = free.to_vec();
+        for &task in &order {
+            let best = if assigned.iter().all(Option::is_none) {
+                // First task: most central free node (minimum total
+                // distance to all free nodes).
+                available
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let cost = |n: NodeId| -> u64 {
+                            available.iter().map(|&m| mesh.distance(n, m) as u64).sum()
+                        };
+                        cost(a).cmp(&cost(b)).then(a.cmp(&b))
+                    })?
+            } else {
+                available
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let cost = |n: NodeId| -> f64 {
+                            job.messages
+                                .iter()
+                                .filter_map(|m| {
+                                    let partner = if m.from == task {
+                                        assigned[m.to.index()]
+                                    } else if m.to == task {
+                                        assigned[m.from.index()]
+                                    } else {
+                                        None
+                                    };
+                                    partner
+                                        .map(|p| m.rate() * mesh.distance(n, p) as f64)
+                                })
+                                .sum()
+                        };
+                        cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
+                    })?
+            };
+            assigned[task.index()] = Some(best);
+            available.retain(|&n| n != best);
+        }
+        Some(Placement::new(
+            assigned.into_iter().map(Option::unwrap).collect(),
+        ))
+    }
+}
+
+/// Uniform random placement (seeded) — the pessimistic baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPlacement {
+    /// RNG seed; the placement is a pure function of (job, free, seed).
+    pub seed: u64,
+}
+
+impl Allocator for RandomPlacement {
+    fn place(&self, job: &JobSpec, _mesh: &Mesh, free: &[NodeId]) -> Option<Placement> {
+        if free.len() < job.num_tasks {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pool = free.to_vec();
+        pool.shuffle(&mut rng);
+        Some(Placement::new(pool[..job.num_tasks].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::MessageRequirement;
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(8, 8)
+    }
+
+    fn line_job(n: usize) -> JobSpec {
+        let msgs = (0..n as u32 - 1)
+            .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), 1, 100, 20))
+            .collect();
+        JobSpec::new("line", n, msgs).unwrap()
+    }
+
+    fn all_free(mesh: &Mesh) -> Vec<NodeId> {
+        mesh.nodes()
+    }
+
+    #[test]
+    fn first_fit_uses_lowest_ids() {
+        let m = mesh();
+        let p = FirstFit.place(&line_job(4), &m, &all_free(&m)).unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn insufficient_nodes_rejected() {
+        let m = mesh();
+        let free = vec![NodeId(0), NodeId(1)];
+        assert!(FirstFit.place(&line_job(4), &m, &free).is_none());
+        assert!(Clustered.place(&line_job(4), &m, &free).is_none());
+        assert!(CommunicationAware.place(&line_job(4), &m, &free).is_none());
+        assert!(RandomPlacement { seed: 1 }.place(&line_job(4), &m, &free).is_none());
+    }
+
+    #[test]
+    fn clustered_region_is_connected_under_full_freedom() {
+        let m = mesh();
+        let p = Clustered.place(&line_job(9), &m, &all_free(&m)).unwrap();
+        // Every placed node is adjacent to at least one other placed
+        // node (region connectivity).
+        for &n in p.nodes() {
+            let near = m
+                .neighbors(n)
+                .iter()
+                .any(|nb| p.nodes().contains(nb));
+            assert!(near || p.nodes().len() == 1, "{n:?} isolated");
+        }
+    }
+
+    #[test]
+    fn communication_aware_beats_random_on_cost() {
+        let m = mesh();
+        let job = line_job(10);
+        let free = all_free(&m);
+        let smart = CommunicationAware.place(&job, &m, &free).unwrap();
+        let mut random_costs = Vec::new();
+        for seed in 0..10 {
+            let r = RandomPlacement { seed }.place(&job, &m, &free).unwrap();
+            random_costs.push(r.communication_cost(&job, &m));
+        }
+        let avg_random: f64 = random_costs.iter().sum::<f64>() / random_costs.len() as f64;
+        let smart_cost = smart.communication_cost(&job, &m);
+        assert!(
+            smart_cost < avg_random,
+            "communication-aware {smart_cost} should beat random avg {avg_random}"
+        );
+        // For a 10-task line, adjacent placement costs 9 * rate = 1.8.
+        assert!(smart_cost <= 2.5, "near-optimal expected, got {smart_cost}");
+    }
+
+    #[test]
+    fn placements_are_injective_and_free_only() {
+        let m = mesh();
+        let job = line_job(6);
+        let free: Vec<NodeId> = m.nodes().into_iter().filter(|n| n.0 % 2 == 0).collect();
+        for alloc in [
+            &FirstFit as &dyn Allocator,
+            &Clustered,
+            &CommunicationAware,
+            &RandomPlacement { seed: 3 },
+        ] {
+            if let Some(p) = alloc.place(&job, &m, &free) {
+                let mut ns = p.nodes().to_vec();
+                ns.sort();
+                ns.dedup();
+                assert_eq!(ns.len(), job.num_tasks);
+                assert!(ns.iter().all(|n| free.contains(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let m = mesh();
+        let job = line_job(5);
+        let free = all_free(&m);
+        let a = RandomPlacement { seed: 9 }.place(&job, &m, &free).unwrap();
+        let b = RandomPlacement { seed: 9 }.place(&job, &m, &free).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats a node")]
+    fn duplicate_nodes_panic() {
+        Placement::new(vec![NodeId(1), NodeId(1)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Real-time jobs: cooperating tasks and the periodic message streams
+//! between them (the paper's §2 system model: "a real-time application
+//! consists of several cooperating jobs, and each job is executed on a
+//! different processing node. Real-time message traffic flows are
+//! required between such jobs").
+
+use rtwc_core::Priority;
+use std::fmt;
+
+/// A task within a job, dense in `0..JobSpec::num_tasks`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A periodic communication requirement between two tasks of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageRequirement {
+    /// Producing task.
+    pub from: TaskId,
+    /// Consuming task.
+    pub to: TaskId,
+    /// Stream priority (larger = more urgent).
+    pub priority: Priority,
+    /// Minimum inter-generation time `T`, in flit times.
+    pub period: u64,
+    /// Maximum message length `C`, in flits.
+    pub length: u64,
+    /// Relative deadline `D`.
+    pub deadline: u64,
+}
+
+impl MessageRequirement {
+    /// Convenience constructor with `D = T`.
+    pub fn new(from: TaskId, to: TaskId, priority: Priority, period: u64, length: u64) -> Self {
+        MessageRequirement {
+            from,
+            to,
+            priority,
+            period,
+            length,
+            deadline: period,
+        }
+    }
+
+    /// Sets an explicit deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Average bandwidth demand, flits per flit time.
+    pub fn rate(&self) -> f64 {
+        self.length as f64 / self.period as f64
+    }
+}
+
+/// A job the host processor can deploy: `num_tasks` tasks (one per
+/// allocated node) plus the message streams between them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Number of tasks; each occupies one processing node.
+    pub num_tasks: usize,
+    /// The inter-task streams.
+    pub messages: Vec<MessageRequirement>,
+}
+
+/// Why a job spec is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSpecError {
+    /// A job needs at least one task.
+    NoTasks,
+    /// A message references a task outside `0..num_tasks`.
+    UnknownTask {
+        /// Index of the offending message.
+        message: usize,
+        /// The missing task.
+        task: TaskId,
+    },
+    /// A message's producer equals its consumer (same node — no network
+    /// traffic; model it as local computation instead).
+    SelfMessage {
+        /// Index of the offending message.
+        message: usize,
+    },
+    /// A message has a zero period, length, or deadline.
+    ZeroParameter {
+        /// Index of the offending message.
+        message: usize,
+    },
+}
+
+impl fmt::Display for JobSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobSpecError::NoTasks => write!(f, "job has no tasks"),
+            JobSpecError::UnknownTask { message, task } => {
+                write!(f, "message {message} references unknown task {task}")
+            }
+            JobSpecError::SelfMessage { message } => {
+                write!(f, "message {message} is a self-message")
+            }
+            JobSpecError::ZeroParameter { message } => {
+                write!(f, "message {message} has a zero period/length/deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobSpecError {}
+
+impl JobSpec {
+    /// Builds and validates a job spec.
+    pub fn new(
+        name: impl Into<String>,
+        num_tasks: usize,
+        messages: Vec<MessageRequirement>,
+    ) -> Result<Self, JobSpecError> {
+        let job = JobSpec {
+            name: name.into(),
+            num_tasks,
+            messages,
+        };
+        job.validate()?;
+        Ok(job)
+    }
+
+    fn validate(&self) -> Result<(), JobSpecError> {
+        if self.num_tasks == 0 {
+            return Err(JobSpecError::NoTasks);
+        }
+        for (i, m) in self.messages.iter().enumerate() {
+            for t in [m.from, m.to] {
+                if t.index() >= self.num_tasks {
+                    return Err(JobSpecError::UnknownTask { message: i, task: t });
+                }
+            }
+            if m.from == m.to {
+                return Err(JobSpecError::SelfMessage { message: i });
+            }
+            if m.period == 0 || m.length == 0 || m.deadline == 0 {
+                return Err(JobSpecError::ZeroParameter { message: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bandwidth demand between each (unordered) task pair —
+    /// the affinity weights communication-aware placement optimizes.
+    pub fn affinity(&self) -> Vec<((TaskId, TaskId), f64)> {
+        let mut pairs: Vec<((TaskId, TaskId), f64)> = Vec::new();
+        for m in &self.messages {
+            let key = if m.from <= m.to {
+                (m.from, m.to)
+            } else {
+                (m.to, m.from)
+            };
+            match pairs.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, w)) => *w += m.rate(),
+                None => pairs.push((key, m.rate())),
+            }
+        }
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: u32, to: u32) -> MessageRequirement {
+        MessageRequirement::new(TaskId(from), TaskId(to), 1, 100, 10)
+    }
+
+    #[test]
+    fn valid_job() {
+        let job = JobSpec::new("pipeline", 3, vec![msg(0, 1), msg(1, 2)]).unwrap();
+        assert_eq!(job.num_tasks, 3);
+        assert_eq!(job.messages.len(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(JobSpec::new("x", 0, vec![]).unwrap_err(), JobSpecError::NoTasks);
+        assert!(matches!(
+            JobSpec::new("x", 2, vec![msg(0, 5)]).unwrap_err(),
+            JobSpecError::UnknownTask { message: 0, .. }
+        ));
+        assert!(matches!(
+            JobSpec::new("x", 2, vec![msg(1, 1)]).unwrap_err(),
+            JobSpecError::SelfMessage { message: 0 }
+        ));
+        let mut bad = msg(0, 1);
+        bad.period = 0;
+        assert!(matches!(
+            JobSpec::new("x", 2, vec![bad]).unwrap_err(),
+            JobSpecError::ZeroParameter { message: 0 }
+        ));
+    }
+
+    #[test]
+    fn affinity_merges_directions_and_sorts() {
+        let mut a = msg(0, 1);
+        a.length = 30; // rate 0.3
+        let mut b = msg(1, 0);
+        b.length = 20; // rate 0.2 -> pair (0,1) total 0.5
+        let c = msg(1, 2); // rate 0.1
+        let job = JobSpec::new("x", 3, vec![a, b, c]).unwrap();
+        let aff = job.affinity();
+        assert_eq!(aff.len(), 2);
+        assert_eq!(aff[0].0, (TaskId(0), TaskId(1)));
+        assert!((aff[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(aff[1].0, (TaskId(1), TaskId(2)));
+    }
+
+    #[test]
+    fn deadline_builder() {
+        let m = msg(0, 1).with_deadline(40);
+        assert_eq!(m.deadline, 40);
+        assert!((m.rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of node allocation and host deployment.
+
+use proptest::prelude::*;
+use rtwc_host::{
+    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec,
+    MessageRequirement, RandomPlacement, TaskId,
+};
+use wormnet_topology::{Mesh, NodeId, Topology};
+
+/// Random small jobs: chains with a few extra random edges.
+fn jobs() -> impl Strategy<Value = JobSpec> {
+    (2usize..8, prop::collection::vec((0u32..8, 0u32..8, 1u32..4, 20u64..200, 1u64..20), 0..5))
+        .prop_map(|(tasks, extra)| {
+            let mut msgs: Vec<MessageRequirement> = (0..tasks as u32 - 1)
+                .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), 1, 100, 8))
+                .collect();
+            for (a, b, p, t, c) in extra {
+                let a = a % tasks as u32;
+                let b = b % tasks as u32;
+                if a != b {
+                    msgs.push(MessageRequirement::new(TaskId(a), TaskId(b), p, t, c));
+                }
+            }
+            JobSpec::new("rand", tasks, msgs).unwrap()
+        })
+}
+
+fn free_subsets() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::btree_set(0u32..36, 8..36)
+        .prop_map(|s| s.into_iter().map(NodeId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placements_valid_for_all_allocators(job in jobs(), free in free_subsets()) {
+        let mesh = Mesh::mesh2d(6, 6);
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(FirstFit),
+            Box::new(Clustered),
+            Box::new(CommunicationAware),
+            Box::new(RandomPlacement { seed: 5 }),
+        ];
+        for alloc in &allocators {
+            match alloc.place(&job, &mesh, &free) {
+                Some(p) => {
+                    prop_assert_eq!(p.nodes().len(), job.num_tasks);
+                    let mut ns = p.nodes().to_vec();
+                    ns.sort();
+                    ns.dedup();
+                    prop_assert_eq!(ns.len(), job.num_tasks, "distinct nodes");
+                    prop_assert!(ns.iter().all(|n| free.contains(n)), "free nodes only");
+                }
+                None => prop_assert!(
+                    free.len() < job.num_tasks || job.num_tasks > mesh.num_nodes(),
+                    "refused despite sufficient nodes"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn communication_aware_never_worse_than_first_fit_on_chains(
+        tasks in 3usize..9
+    ) {
+        // For pure chains with uniform rates on an empty mesh, the
+        // greedy allocator's cost must not exceed first-fit's (which is
+        // already a line — near optimal — so equality is common).
+        let mesh = Mesh::mesh2d(8, 8);
+        let msgs = (0..tasks as u32 - 1)
+            .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), 1, 100, 10))
+            .collect();
+        let job = JobSpec::new("chain", tasks, msgs).unwrap();
+        let free = mesh.nodes();
+        let ff = FirstFit.place(&job, &mesh, &free).unwrap();
+        let ca = CommunicationAware.place(&job, &mesh, &free).unwrap();
+        prop_assert!(
+            ca.communication_cost(&job, &mesh) <= ff.communication_cost(&job, &mesh) + 1e-9
+        );
+    }
+
+    #[test]
+    fn deploy_remove_roundtrip_restores_host(seed in 0u64..50) {
+        let mut host = HostProcessor::new(6, 6);
+        let baseline_free = host.free_nodes();
+        let job = JobSpec::new(
+            "j",
+            3,
+            vec![
+                MessageRequirement::new(TaskId(0), TaskId(1), 2, 100, 8),
+                MessageRequirement::new(TaskId(1), TaskId(2), 1, 150, 10),
+            ],
+        )
+        .unwrap();
+        let alloc = RandomPlacement { seed };
+        if let Ok(id) = host.deploy(&job, &alloc) {
+            prop_assert_eq!(host.admitted_streams(), 2);
+            host.remove_job(id);
+        }
+        prop_assert_eq!(host.admitted_streams(), 0);
+        prop_assert_eq!(host.free_nodes(), baseline_free);
+        prop_assert!(host.jobs().is_empty());
+    }
+
+    #[test]
+    fn interleaved_deploys_keep_ids_consistent(remove_first in proptest::bool::ANY) {
+        let mut host = HostProcessor::new(8, 8);
+        let mk = |p: u32| {
+            JobSpec::new(
+                "j",
+                2,
+                vec![MessageRequirement::new(TaskId(0), TaskId(1), p, 120, 8)],
+            )
+            .unwrap()
+        };
+        let a = host.deploy(&mk(3), &FirstFit).unwrap();
+        let b = host.deploy(&mk(2), &FirstFit).unwrap();
+        let c = host.deploy(&mk(1), &FirstFit).unwrap();
+        host.remove_job(if remove_first { a } else { b });
+        let _ = c;
+        // Every surviving job's stream ids resolve to bounded streams
+        // and are dense.
+        let mut all: Vec<u32> = host
+            .jobs()
+            .iter()
+            .flat_map(|j| j.streams.iter().map(|s| s.0))
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, vec![0, 1]);
+        for j in host.jobs() {
+            for &s in &j.streams {
+                prop_assert!(host.bound(s).is_bounded());
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulator configuration.
+
+use crate::arbiter::Policy;
+
+/// Configuration of a flit-level wormhole simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Virtual channels per directed physical channel *per layer*. For
+    /// [`Policy::PreemptivePriority`] this must equal the number of
+    /// priority levels (the paper assumes "as many virtual channels as
+    /// priority levels"); for [`Policy::ClassicFifo`] it is forced to 1.
+    pub num_vcs: usize,
+    /// Dateline layers per priority class. Meshes and hypercubes need 1
+    /// (the default). Tori need 2 with per-hop layers from
+    /// `Torus::dateline_layers` to keep dimension-order routing
+    /// deadlock-free; the total VC count per channel is then
+    /// `num_vcs * num_layers`.
+    pub num_layers: usize,
+    /// Flit-buffer capacity of each virtual channel at the downstream
+    /// router, in flits. The paper does not publish its router's buffer
+    /// depth; 4 flits is a conventional wormhole choice and the headline
+    /// ratios are insensitive to it (see EXPERIMENTS.md).
+    pub buffer_depth: usize,
+    /// Channel arbitration / VC allocation policy.
+    pub policy: Policy,
+    /// Cycles to simulate after warm-up.
+    pub cycles: u64,
+    /// Warm-up cycles: messages *released* during warm-up are simulated
+    /// but excluded from statistics (the paper omits 2000 start-up flit
+    /// times from its 30000).
+    pub warmup: u64,
+    /// Record a detailed event trace (for debugging and the
+    /// priority-inversion walkthrough); costs memory.
+    pub trace: bool,
+    /// Abort and report if no flit moves for this many consecutive
+    /// cycles while packets are in flight — a deadlock/livelock
+    /// watchdog. Deterministic X-Y routing should never trip it.
+    pub stall_limit: u64,
+}
+
+impl SimConfig {
+    /// The paper's evaluation configuration: preemptive priorities,
+    /// one VC per priority level, 30000 cycles with 2000 warm-up.
+    pub fn paper(priority_levels: usize) -> Self {
+        SimConfig {
+            num_vcs: priority_levels,
+            num_layers: 1,
+            buffer_depth: 4,
+            policy: Policy::PreemptivePriority,
+            cycles: 30_000,
+            warmup: 2_000,
+            trace: false,
+            stall_limit: 100_000,
+        }
+    }
+
+    /// Classic non-prioritized wormhole switching (single VC, FCFS) —
+    /// the baseline in which priority inversion is possible.
+    pub fn classic() -> Self {
+        SimConfig {
+            num_vcs: 1,
+            num_layers: 1,
+            buffer_depth: 4,
+            policy: Policy::ClassicFifo,
+            cycles: 30_000,
+            warmup: 2_000,
+            trace: false,
+            stall_limit: 100_000,
+        }
+    }
+
+    /// Li & Mutka's scheme: a packet of priority `p` may use any VC
+    /// numbered `<= p`, with fair (round-robin) channel bandwidth.
+    pub fn li(num_vcs: usize) -> Self {
+        SimConfig {
+            num_vcs,
+            num_layers: 1,
+            buffer_depth: 4,
+            policy: Policy::LiPriorityVc,
+            cycles: 30_000,
+            warmup: 2_000,
+            trace: false,
+            stall_limit: 100_000,
+        }
+    }
+
+    /// Priority-preemptive bandwidth over a shared pool of `num_vcs`
+    /// VCs (possibly fewer than the priority levels) — the
+    /// VC-scarcity regime the paper's one-VC-per-priority assumption
+    /// avoids.
+    pub fn shared_pool(num_vcs: usize) -> Self {
+        SimConfig {
+            num_vcs,
+            num_layers: 1,
+            buffer_depth: 4,
+            policy: Policy::SharedPoolPriority,
+            cycles: 30_000,
+            warmup: 2_000,
+            trace: false,
+            stall_limit: 100_000,
+        }
+    }
+
+    /// Builder-style override of the simulated horizon.
+    pub fn with_cycles(mut self, cycles: u64, warmup: u64) -> Self {
+        self.cycles = cycles;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Builder-style override of the VC buffer depth.
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Builder-style trace enable.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style dateline layer count (2 for torus dimension-order
+    /// routing).
+    pub fn with_layers(mut self, num_layers: usize) -> Self {
+        self.num_layers = num_layers;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.num_vcs == 0 {
+            return Err("num_vcs must be positive".into());
+        }
+        if self.num_layers == 0 {
+            return Err("num_layers must be positive".into());
+        }
+        if self.buffer_depth == 0 {
+            return Err("buffer_depth must be positive".into());
+        }
+        if self.policy == Policy::ClassicFifo && self.num_vcs != 1 {
+            return Err("ClassicFifo uses exactly one VC class".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_evaluation() {
+        let c = SimConfig::paper(5);
+        assert_eq!(c.num_vcs, 5);
+        assert_eq!(c.cycles, 30_000);
+        assert_eq!(c.warmup, 2_000);
+        assert_eq!(c.policy, Policy::PreemptivePriority);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn classic_is_single_vc() {
+        let c = SimConfig::classic();
+        assert_eq!(c.num_vcs, 1);
+        assert!(c.validate().is_ok());
+        let mut bad = c;
+        bad.num_vcs = 3;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::li(4).with_cycles(100, 10).with_buffer_depth(2).with_trace();
+        assert_eq!(c.cycles, 100);
+        assert_eq!(c.warmup, 10);
+        assert_eq!(c.buffer_depth, 2);
+        assert!(c.trace);
+    }
+
+    #[test]
+    fn zero_vcs_invalid() {
+        let mut c = SimConfig::paper(1);
+        c.num_vcs = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper(1);
+        c.buffer_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper(1);
+        c.num_layers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn layer_builder() {
+        let c = SimConfig::paper(3).with_layers(2);
+        assert_eq!(c.num_layers, 2);
+        assert!(c.validate().is_ok());
+    }
+}

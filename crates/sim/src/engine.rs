@@ -1,0 +1,870 @@
+//! The cycle-driven flit-level wormhole simulation engine.
+//!
+//! Each cycle has four phases, all decided against the cycle-start
+//! snapshot so that a flit advances at most one hop per cycle (giving
+//! exactly the paper's network latency `L = hops + C - 1` on an idle
+//! network):
+//!
+//! 1. **Release** — sources inject messages whose release time has
+//!    passed; a message released at `r` first participates in cycle
+//!    `r + 1`.
+//! 2. **VC allocation** — head flits request the virtual channel of
+//!    their next channel; grants follow the configured [`Policy`]
+//!    (priority class then FCFS for the prioritized schemes, pure FCFS
+//!    for classic wormhole).
+//! 3. **Channel arbitration & transmission** — every physical channel
+//!    independently picks one ready VC ([`Policy::pick_winner`]) and
+//!    moves one flit. Under `PreemptivePriority` the highest-priority
+//!    ready VC always wins: this *is* the paper's flit-level preemption.
+//! 4. **Finalize** — drained VCs are released (a VC is held from head
+//!    allocation until the tail has left its downstream buffer),
+//!    completions are recorded, and the stall watchdog advances.
+
+use crate::arbiter::{Policy, VcRequest};
+use crate::config::SimConfig;
+use crate::stats::{MessageRecord, SimStats};
+use crate::trace::Event;
+use crate::traffic::Source;
+use crate::worm::{PacketId, Worm};
+use rtwc_core::StreamSet;
+use wormnet_topology::LinkId;
+
+/// One virtual channel of a physical channel: at most one owning packet
+/// (plus the index of the channel within the owner's route), and the
+/// occupancy of its downstream flit buffer. Occupancy is shared state —
+/// flits of a previous owner may still be draining while a successor
+/// owns the VC, exactly as with credit-based flow control.
+#[derive(Clone, Copy, Debug, Default)]
+struct Vc {
+    owner: Option<(PacketId, usize)>,
+    occupancy: u64,
+}
+
+/// Per-physical-channel state.
+#[derive(Clone, Debug)]
+struct LinkState {
+    vcs: Vec<Vc>,
+    /// Round-robin cursor for [`Policy::LiPriorityVc`].
+    rr: usize,
+    /// VCs currently owned — arbitration skips channels with none
+    /// (most channels are idle most cycles; this is the engine's main
+    /// hot-path filter).
+    owned: u32,
+}
+
+/// A flit-level wormhole network simulator bound to a stream set.
+///
+/// The simulator is fully deterministic: given the same stream set,
+/// configuration, and phases, it produces identical statistics. All
+/// randomness lives in workload generation.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    set: &'a StreamSet,
+    cfg: SimConfig,
+    time: u64,
+    links: Vec<LinkState>,
+    worms: Vec<Worm>,
+    active: Vec<PacketId>,
+    sources: Vec<Source>,
+    /// Per-stream dateline layers (one entry per hop; all zero off-torus).
+    stream_layers: Vec<Vec<u8>>,
+    releases_frozen: bool,
+    idle_cycles: u64,
+    stats: SimStats,
+    trace: Vec<Event>,
+    /// Scratch: request lists per link touched this cycle.
+    pending: Vec<(LinkId, Vec<VcRequest>)>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over `num_links` directed channels (from
+    /// `Topology::num_links`) with all stream phases zero.
+    pub fn new(num_links: usize, set: &'a StreamSet, cfg: SimConfig) -> Result<Self, String> {
+        let phases = vec![0u64; set.len()];
+        Self::with_phases(num_links, set, cfg, &phases)
+    }
+
+    /// Creates a simulator with per-stream release phases (dateline
+    /// layers all zero).
+    pub fn with_phases(
+        num_links: usize,
+        set: &'a StreamSet,
+        cfg: SimConfig,
+        phases: &[u64],
+    ) -> Result<Self, String> {
+        let layers: Vec<Vec<u8>> = set
+            .iter()
+            .map(|s| vec![0u8; s.path.hops() as usize])
+            .collect();
+        Self::with_phases_and_layers(num_links, set, cfg, phases, &layers)
+    }
+
+    /// Creates a simulator with per-stream release phases and per-hop
+    /// dateline VC layers (from `Torus::dateline_layers`; required for
+    /// deadlock-free torus simulation with `num_layers = 2`).
+    pub fn with_phases_and_layers(
+        num_links: usize,
+        set: &'a StreamSet,
+        cfg: SimConfig,
+        phases: &[u64],
+        layers: &[Vec<u8>],
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if layers.len() != set.len() {
+            return Err(format!(
+                "need one layer vector per stream: got {}, want {}",
+                layers.len(),
+                set.len()
+            ));
+        }
+        for (s, ls) in set.iter().zip(layers) {
+            if ls.len() != s.path.hops() as usize {
+                return Err(format!(
+                    "{}: layer vector length {} != {} hops",
+                    s.id,
+                    ls.len(),
+                    s.path.hops()
+                ));
+            }
+            if ls.iter().any(|&l| l as usize >= cfg.num_layers) {
+                return Err(format!(
+                    "{}: layer out of range (num_layers = {})",
+                    s.id, cfg.num_layers
+                ));
+            }
+        }
+        if phases.len() != set.len() {
+            return Err(format!(
+                "need one phase per stream: got {}, want {}",
+                phases.len(),
+                set.len()
+            ));
+        }
+        for s in set.iter() {
+            if s.priority() == 0 {
+                return Err(format!("{}: priorities are 1-based", s.id));
+            }
+            if cfg.policy == Policy::PreemptivePriority && s.priority() as usize > cfg.num_vcs {
+                return Err(format!(
+                    "{}: priority {} exceeds the {} priority-level virtual channels",
+                    s.id,
+                    s.priority(),
+                    cfg.num_vcs
+                ));
+            }
+            for l in s.path.links() {
+                if l.index() >= num_links {
+                    return Err(format!("{}: path uses unknown channel {l:?}", s.id));
+                }
+            }
+        }
+        let sources = set
+            .iter()
+            .zip(phases)
+            .map(|(s, &p)| Source::new(s, p))
+            .collect();
+        let stats = SimStats {
+            link_flits: vec![0; num_links],
+            vc_wait_cycles: vec![0; set.len()],
+            ..SimStats::default()
+        };
+        Ok(Simulator {
+            set,
+            cfg: cfg.clone(),
+            time: 0,
+            links: vec![
+                LinkState {
+                    vcs: vec![Vc::default(); cfg.num_vcs * cfg.num_layers],
+                    rr: 0,
+                    owned: 0,
+                };
+                num_links
+            ],
+            worms: Vec::new(),
+            active: Vec::new(),
+            sources,
+            stream_layers: layers.to_vec(),
+            releases_frozen: false,
+            idle_cycles: 0,
+            stats,
+            trace: Vec::new(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// The current simulation time (cycles elapsed).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Collected statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The event trace (empty unless `SimConfig::trace`).
+    pub fn trace(&self) -> &[Event] {
+        &self.trace
+    }
+
+    /// Runs the configured horizon (`cfg.cycles` cycles), stopping early
+    /// only if the stall watchdog fires. Returns the statistics.
+    pub fn run(&mut self) -> &SimStats {
+        for _ in 0..self.cfg.cycles {
+            self.step();
+            if self.stats.stalled_at.is_some() {
+                break;
+            }
+        }
+        self.stats.cycles_run = self.time;
+        &self.stats
+    }
+
+    /// Stops releasing new messages and runs until every in-flight
+    /// message completes (or `max_extra` cycles pass). Useful for
+    /// examples that want every latency recorded.
+    pub fn drain(&mut self, max_extra: u64) -> &SimStats {
+        self.releases_frozen = true;
+        for _ in 0..max_extra {
+            if self.active.is_empty() || self.stats.stalled_at.is_some() {
+                break;
+            }
+            self.step();
+        }
+        self.stats.cycles_run = self.time;
+        &self.stats
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.time += 1;
+        let now = self.time;
+
+        // Phase 1: releases (messages released at r participate from
+        // cycle r + 1).
+        if !self.releases_frozen {
+            for si in 0..self.sources.len() {
+                for r in self.sources[si].releases_through(now - 1) {
+                    let stream = self.set.get(self.sources[si].stream);
+                    let id = PacketId(self.worms.len() as u32);
+                    let class = self.cfg.policy.class_of(stream.priority(), self.cfg.num_vcs);
+                    self.worms.push(Worm::new(
+                        id,
+                        stream.id,
+                        class,
+                        stream.max_length(),
+                        stream.path.links().to_vec(),
+                        self.stream_layers[stream.id.index()].clone(),
+                        r,
+                    ));
+                    self.active.push(id);
+                    self.stats.records.push(MessageRecord {
+                        stream: stream.id,
+                        released: r,
+                        completed: None,
+                    });
+                    if self.cfg.trace {
+                        self.trace.push(Event::Released { time: now, packet: id });
+                    }
+                }
+            }
+        }
+
+        // Phase 2: snapshot, then VC allocation.
+        for &id in &self.active {
+            self.worms[id.index()].snapshot();
+        }
+        self.pending.clear();
+        for &id in &self.active {
+            let w = &mut self.worms[id.index()];
+            if w.completed.is_some() || w.next_link().is_none() || !w.head_ready() {
+                continue;
+            }
+            let link = w.next_link().unwrap();
+            let since = *w.requesting_since.get_or_insert(now);
+            match self.pending.iter_mut().find(|(l, _)| *l == link) {
+                Some((_, reqs)) => reqs.push(VcRequest {
+                    packet: id.0,
+                    class: w.class,
+                    since,
+                }),
+                None => self.pending.push((
+                    link,
+                    vec![VcRequest {
+                        packet: id.0,
+                        class: w.class,
+                        since,
+                    }],
+                )),
+            }
+        }
+        // Deterministic link processing order.
+        self.pending.sort_by_key(|(l, _)| *l);
+        let mut pending = std::mem::take(&mut self.pending);
+        for (link, reqs) in &mut pending {
+            self.cfg.policy.sort_requests(reqs);
+            let state = &mut self.links[link.index()];
+            let nl = self.cfg.num_layers;
+            let mut free: Vec<bool> = state.vcs.iter().map(|vc| vc.owner.is_none()).collect();
+            for req in reqs.iter() {
+                let pid = PacketId(req.packet);
+                // Policies see only the requester's dateline layer: one
+                // free slot per priority class.
+                let layer = self.worms[pid.index()].layers
+                    [self.worms[pid.index()].acquired] as usize;
+                let projected: Vec<bool> = (0..self.cfg.num_vcs)
+                    .map(|c| free[c * nl + layer])
+                    .collect();
+                if let Some(class_vc) = self.cfg.policy.pick_vc(req.class, &projected) {
+                    let vc = class_vc * nl + layer;
+                    free[vc] = false;
+                    let w = &mut self.worms[pid.index()];
+                    state.vcs[vc].owner = Some((pid, w.acquired));
+                    state.owned += 1;
+                    w.vcs.push(vc);
+                    w.acquired += 1;
+                    w.requesting_since = None;
+                    if self.cfg.trace {
+                        self.trace.push(Event::VcGranted {
+                            time: now,
+                            packet: pid,
+                            link: *link,
+                            vc,
+                        });
+                    }
+                }
+            }
+        }
+        self.pending = pending;
+
+        // Unserved requesters accumulate VC-wait time (the blocking the
+        // priority-inversion analysis cares about).
+        for &id in &self.active {
+            let w = &self.worms[id.index()];
+            if w.requesting_since.is_some() {
+                self.stats.vc_wait_cycles[w.stream.index()] += 1;
+            }
+        }
+
+        // Phase 3: channel arbitration (decisions on pre-move state),
+        // then apply all moves. `Vc::occupancy` is only mutated in the
+        // apply loop, so reads during arbitration see cycle-start
+        // credit state.
+        let mut moves: Vec<(PacketId, usize, LinkId)> = Vec::new();
+        let depth = self.cfg.buffer_depth as u64;
+        for (li, link) in self.links.iter().enumerate() {
+            if link.owned == 0 {
+                continue;
+            }
+            let mut ready: Vec<(usize, u32)> = Vec::new();
+            for (vi, vc) in link.vcs.iter().enumerate() {
+                if let Some((pid, ri)) = vc.owner {
+                    let w = &self.worms[pid.index()];
+                    // Downstream credit: the flit needs a buffer slot
+                    // unless this is the worm's final hop (ejection).
+                    let has_credit = !w.enters_buffer(ri) || vc.occupancy < depth;
+                    if w.wants_cross(ri) && has_credit {
+                        ready.push((vi, w.class));
+                    }
+                }
+            }
+            if let Some(win) = self.cfg.policy.pick_winner(&ready, link.rr) {
+                let (pid, ri) = link.vcs[win].owner.expect("winner has owner");
+                moves.push((pid, ri, LinkId(li as u32)));
+            }
+        }
+        let moved = !moves.is_empty();
+        for (pid, ri, link) in moves {
+            // Advance the round-robin cursor of the serving channel.
+            let vc_here = self.worms[pid.index()].vcs[ri];
+            self.links[link.index()].rr = vc_here;
+            // Credit bookkeeping: the flit leaves the buffer of the
+            // previous channel and (unless ejected) enters this one's.
+            if ri > 0 {
+                let prev_link = self.worms[pid.index()].route[ri - 1];
+                let prev_vc = self.worms[pid.index()].vcs[ri - 1];
+                let occ = &mut self.links[prev_link.index()].vcs[prev_vc].occupancy;
+                debug_assert!(*occ > 0, "flit departed an empty buffer");
+                *occ -= 1;
+            }
+            if self.worms[pid.index()].enters_buffer(ri) {
+                self.links[link.index()].vcs[vc_here].occupancy += 1;
+            }
+            self.worms[pid.index()].apply_cross(ri);
+            self.stats.flit_hops += 1;
+            self.stats.link_flits[link.index()] += 1;
+            if self.cfg.trace {
+                self.trace.push(Event::FlitCrossed {
+                    time: now,
+                    packet: pid,
+                    link,
+                });
+            }
+        }
+
+        // Phase 4: VC release, completion, watchdog.
+        let mut still_active = Vec::with_capacity(self.active.len());
+        for &id in &self.active {
+            let w = &mut self.worms[id.index()];
+            for i in 0..w.acquired {
+                if w.vc_releasable(i) {
+                    let link = w.route[i];
+                    let vc = w.vcs[i];
+                    let state = &mut self.links[link.index()];
+                    if state.vcs[vc].owner == Some((id, i)) {
+                        state.vcs[vc].owner = None;
+                        state.owned -= 1;
+                    }
+                }
+            }
+            if w.completed.is_none() && w.is_done() {
+                w.completed = Some(now);
+                self.stats.records[id.index()].completed = Some(now);
+                if self.cfg.trace {
+                    self.trace.push(Event::Completed { time: now, packet: id });
+                }
+            }
+            if w.completed.is_none() {
+                still_active.push(id);
+            }
+        }
+        self.active = still_active;
+
+        if moved || self.active.is_empty() {
+            self.idle_cycles = 0;
+        } else {
+            self.idle_cycles += 1;
+            if self.idle_cycles >= self.cfg.stall_limit {
+                self.stats.stalled_at = Some(now);
+            }
+        }
+    }
+
+    /// Packets currently in flight (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Renders a measured Gantt chart over cycles `from..=to` — the
+    /// empirical counterpart of the analysis timing diagrams. One row
+    /// per stream: `#` a flit of the stream crossed a channel that
+    /// cycle, `w` a message was in flight but completely stalled, `.`
+    /// nothing in flight. Requires `SimConfig::trace`.
+    ///
+    /// # Panics
+    /// Panics when tracing was not enabled or `from > to`.
+    pub fn render_gantt(&self, from: u64, to: u64) -> String {
+        assert!(self.cfg.trace, "render_gantt requires SimConfig::trace");
+        assert!(from <= to, "empty window");
+        use std::fmt::Write as _;
+        let width = (to - from + 1) as usize;
+        // Per stream, per cycle: did any flit move?
+        let mut moved = vec![vec![false; width]; self.set.len()];
+        for e in &self.trace {
+            if let Event::FlitCrossed { time, packet, .. } = *e {
+                if time >= from && time <= to {
+                    let stream = self.worms[packet.index()].stream;
+                    moved[stream.index()][(time - from) as usize] = true;
+                }
+            }
+        }
+        // Per stream, per cycle: was some message in flight?
+        let mut in_flight = vec![vec![false; width]; self.set.len()];
+        for w in &self.worms {
+            let start = (w.released + 1).max(from);
+            let end = w.completed.unwrap_or(u64::MAX).min(to);
+            for t in start..=end.min(to) {
+                if t >= from {
+                    in_flight[w.stream.index()][(t - from) as usize] = true;
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles {from}..={to}:");
+        for s in self.set.iter() {
+            let _ = write!(out, "{:<6}", s.id.to_string());
+            for i in 0..width {
+                out.push(if moved[s.id.index()][i] {
+                    '#'
+                } else if in_flight[s.id.index()][i] {
+                    'w'
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Read access to a worm (diagnostics, tests).
+    pub fn worm(&self, id: PacketId) -> &Worm {
+        &self.worms[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::{StreamId, StreamSpec};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(10, 10)
+    }
+
+    fn resolve(m: &Mesh, specs: &[StreamSpec]) -> StreamSet {
+        StreamSet::resolve(m, &XyRouting, specs).unwrap()
+    }
+
+    fn spec(m: &Mesh, s: [u32; 2], d: [u32; 2], p: u32, t: u64, c: u64) -> StreamSpec {
+        StreamSpec::new(m.node_at(&s).unwrap(), m.node_at(&d).unwrap(), p, t, c, t)
+    }
+
+    #[test]
+    fn idle_network_latency_equals_l() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [1, 1], [5, 4], 1, 10_000, 4)]);
+        let cfg = SimConfig::paper(1).with_cycles(200, 0);
+        let mut sim = Simulator::new(m.num_links(), &set, cfg).unwrap();
+        sim.run();
+        let l = set.get(StreamId(0)).latency;
+        assert_eq!(l, 10); // 7 hops + 4 - 1
+        assert_eq!(sim.stats().latencies(StreamId(0), 0), vec![l]);
+    }
+
+    #[test]
+    fn every_stream_meets_latency_when_alone() {
+        let m = mesh();
+        for (s, d, c) in [([0, 0], [9, 9], 1), ([3, 2], [3, 3], 7), ([9, 0], [0, 0], 12)] {
+            let set = resolve(&m, &[spec(&m, s, d, 1, 100_000, c)]);
+            let mut sim = Simulator::new(
+                m.num_links(),
+                &set,
+                SimConfig::paper(1).with_cycles(300, 0),
+            )
+            .unwrap();
+            sim.run();
+            assert_eq!(
+                sim.stats().latencies(StreamId(0), 0),
+                vec![set.get(StreamId(0)).latency],
+                "{s:?}->{d:?} C={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_stream_completes_every_period() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [0, 0], [4, 0], 1, 50, 3)]);
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(1).with_cycles(500, 0),
+        )
+        .unwrap();
+        sim.run();
+        let ls = sim.stats().latencies(StreamId(0), 0);
+        assert_eq!(ls.len(), 10);
+        assert!(ls.iter().all(|&l| l == 6), "{ls:?}");
+    }
+
+    #[test]
+    fn high_priority_unaffected_by_low() {
+        // Two streams sharing a row; the high-priority one must see pure
+        // network latency under preemption despite saturating low
+        // traffic.
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [6, 0], 2, 40, 4),
+                spec(&m, [1, 0], [7, 0], 1, 12, 10), // nearly saturating
+            ],
+        );
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(2).with_cycles(2_000, 0),
+        )
+        .unwrap();
+        sim.run();
+        let hi = set.get(StreamId(0)).latency;
+        let ls = sim.stats().latencies(StreamId(0), 0);
+        assert!(!ls.is_empty());
+        // Preemption is flit-level: the only residual interference is a
+        // same-cycle tie that priority arbitration resolves in the high
+        // stream's favor, so every latency equals L exactly.
+        assert!(
+            ls.iter().all(|&l| l == hi),
+            "high-priority latencies {ls:?} != {hi}"
+        );
+    }
+
+    #[test]
+    fn low_priority_blocked_by_high() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [6, 0], 2, 20, 8),
+                spec(&m, [1, 0], [7, 0], 1, 100, 4),
+            ],
+        );
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(2).with_cycles(1_000, 0),
+        )
+        .unwrap();
+        sim.run();
+        let low = set.get(StreamId(1));
+        let ls = sim.stats().latencies(StreamId(1), 0);
+        assert!(!ls.is_empty());
+        assert!(
+            ls.iter().any(|&l| l > low.latency),
+            "low priority must see interference: {ls:?}"
+        );
+    }
+
+    #[test]
+    fn vc_wait_shows_same_class_blocking() {
+        // VC-allocation waiting only occurs *within* a priority class
+        // (each class has its own VC): two equal-priority streams
+        // sharing a row must queue for the shared VC, while a
+        // higher-priority stream on its own VC never does.
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [6, 0], 2, 200, 4),
+                spec(&m, [0, 1], [6, 1], 1, 20, 8), // same class, shared row
+                spec(&m, [1, 1], [7, 1], 1, 20, 8),
+            ],
+        );
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(2).with_cycles(1_000, 0),
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(sim.stats().vc_wait(StreamId(0)), 0, "own VC, no wait");
+        assert!(
+            sim.stats().vc_wait(StreamId(1)) + sim.stats().vc_wait(StreamId(2)) > 0,
+            "equal-priority streams queue for the shared VC"
+        );
+    }
+
+    #[test]
+    fn link_flits_sum_to_flit_hops() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [5, 5], 2, 37, 5),
+                spec(&m, [2, 1], [7, 3], 1, 53, 7),
+            ],
+        );
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(2).with_cycles(1_000, 0),
+        )
+        .unwrap();
+        sim.run();
+        let total: u64 = sim.stats().link_flits.iter().sum();
+        assert_eq!(total, sim.stats().flit_hops);
+        let (_, util) = sim.stats().hottest_link().unwrap();
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn flit_conservation() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [5, 5], 2, 37, 5),
+                spec(&m, [2, 1], [7, 3], 1, 53, 7),
+            ],
+        );
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(2).with_cycles(1_000, 0),
+        )
+        .unwrap();
+        sim.run();
+        sim.drain(1_000);
+        // Every completed message moved exactly C * hops flit-hops.
+        let expected: u64 = sim
+            .stats()
+            .records
+            .iter()
+            .filter(|r| r.completed.is_some())
+            .map(|r| {
+                let s = set.get(r.stream);
+                s.max_length() * s.path.hops() as u64
+            })
+            .sum();
+        assert_eq!(sim.stats().flit_hops, expected);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [5, 5], 3, 37, 5),
+                spec(&m, [2, 1], [7, 3], 2, 53, 7),
+                spec(&m, [5, 5], [0, 2], 1, 41, 3),
+            ],
+        );
+        let run = || {
+            let mut sim = Simulator::new(
+                m.num_links(),
+                &set,
+                SimConfig::paper(3).with_cycles(3_000, 0),
+            )
+            .unwrap();
+            sim.run();
+            (sim.stats().flit_hops, sim.stats().records.clone())
+        };
+        let (h1, r1) = run();
+        let (h2, r2) = run();
+        assert_eq!(h1, h2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn priority_out_of_range_rejected() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [0, 0], [4, 0], 5, 50, 3)]);
+        let err = Simulator::new(m.num_links(), &set, SimConfig::paper(2)).unwrap_err();
+        assert!(err.contains("priority"), "{err}");
+    }
+
+    #[test]
+    fn phases_must_match_stream_count() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [0, 0], [4, 0], 1, 50, 3)]);
+        let err =
+            Simulator::with_phases(m.num_links(), &set, SimConfig::paper(1), &[0, 0]).unwrap_err();
+        assert!(err.contains("phase"), "{err}");
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [0, 0], [2, 0], 1, 10_000, 2)]);
+        let cfg = SimConfig::paper(1).with_cycles(50, 0).with_trace();
+        let mut sim = Simulator::new(m.num_links(), &set, cfg).unwrap();
+        sim.run();
+        let trace = sim.trace();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, Event::Released { .. })));
+        let grants = trace
+            .iter()
+            .filter(|e| matches!(e, Event::VcGranted { .. }))
+            .count();
+        assert_eq!(grants, 2, "one grant per hop");
+        let crossings = trace
+            .iter()
+            .filter(|e| matches!(e, Event::FlitCrossed { .. }))
+            .count();
+        assert_eq!(crossings, 4, "C * hops flit crossings");
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, Event::Completed { .. })));
+    }
+
+    #[test]
+    fn shared_pool_exposes_allocation_inversion() {
+        // Two low-priority worms hold both shared VCs of the row; a
+        // high-priority message must wait for a VC (allocation
+        // inversion) — under the paper's scheme its own VC is always
+        // free and it never waits.
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [7, 0], 1, 60, 40),
+                spec(&m, [1, 0], [8, 0], 1, 60, 40),
+                spec(&m, [2, 0], [9, 0], 3, 300, 6),
+            ],
+        );
+        let run = |cfg: SimConfig| {
+            let mut sim =
+                Simulator::new(m.num_links(), &set, cfg.with_cycles(2_000, 0)).unwrap();
+            sim.run();
+            sim.stats().vc_wait(StreamId(2))
+        };
+        let shared = run(SimConfig::shared_pool(2));
+        let paper = run(SimConfig::paper(3));
+        assert!(shared > 0, "scarce shared VCs must make the top class wait");
+        assert_eq!(paper, 0, "a dedicated VC per priority never waits");
+    }
+
+    #[test]
+    fn gantt_shows_transmission_and_stalls() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [6, 0], 2, 40, 8),
+                spec(&m, [1, 0], [7, 0], 1, 1_000, 4),
+            ],
+        );
+        let cfg = SimConfig::paper(2).with_cycles(60, 0).with_trace();
+        let mut sim = Simulator::new(m.num_links(), &set, cfg).unwrap();
+        sim.run();
+        let g = sim.render_gantt(1, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "{g}");
+        let m0 = lines[1];
+        let m1 = lines[2];
+        assert!(m0.starts_with("M0"));
+        // The top stream transmits from cycle 1; the low one is
+        // preempted at some point (a 'w' appears) but transmits too.
+        assert!(m0.contains('#'));
+        assert!(m1.contains('#'));
+        assert!(m1.contains('w'), "low stream should stall: {m1}");
+        assert!(!m0.contains('w'), "top stream never stalls: {m0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires SimConfig::trace")]
+    fn gantt_requires_trace() {
+        let m = mesh();
+        let set = resolve(&m, &[spec(&m, [0, 0], [2, 0], 1, 100, 2)]);
+        let sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::paper(1).with_cycles(10, 0),
+        )
+        .unwrap();
+        let _ = sim.render_gantt(1, 5);
+    }
+
+    #[test]
+    fn classic_fifo_runs_and_finishes() {
+        let m = mesh();
+        let set = resolve(
+            &m,
+            &[
+                spec(&m, [0, 0], [6, 0], 3, 40, 4),
+                spec(&m, [1, 0], [7, 0], 1, 40, 4),
+            ],
+        );
+        let mut sim =
+            Simulator::new(m.num_links(), &set, SimConfig::classic().with_cycles(500, 0))
+                .unwrap();
+        sim.run();
+        assert!(sim.stats().total_completed() > 0);
+        assert!(sim.stats().stalled_at.is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-message latency records and aggregate statistics.
+
+use rtwc_core::{Priority, StreamId, StreamSet};
+
+/// One simulated message's lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Release (generation) time.
+    pub released: u64,
+    /// Completion time (tail ejected), if it finished in the horizon.
+    pub completed: Option<u64>,
+}
+
+impl MessageRecord {
+    /// Transmission latency, if completed.
+    pub fn latency(&self) -> Option<u64> {
+        self.completed.map(|c| c - self.released)
+    }
+}
+
+/// All measurements of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Every message, in release order.
+    pub records: Vec<MessageRecord>,
+    /// Cycles actually simulated.
+    pub cycles_run: u64,
+    /// Set when the stall watchdog fired (cycle of detection).
+    pub stalled_at: Option<u64>,
+    /// Total flit-hops transmitted (one flit crossing one channel).
+    pub flit_hops: u64,
+    /// Flits transmitted per directed channel (channel load).
+    pub link_flits: Vec<u64>,
+    /// Per stream: total cycles its packets spent waiting for a virtual
+    /// channel (head blocked in VC allocation). The classic-wormhole
+    /// priority-inversion pathology shows up here.
+    pub vc_wait_cycles: Vec<u64>,
+}
+
+impl SimStats {
+    /// Completed latencies of `stream` for messages released at or after
+    /// `warmup`.
+    pub fn latencies(&self, stream: StreamId, warmup: u64) -> Vec<u64> {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream && r.released >= warmup)
+            .filter_map(|r| r.latency())
+            .collect()
+    }
+
+    /// Mean completed latency of `stream` past warm-up, if any message
+    /// completed.
+    pub fn mean_latency(&self, stream: StreamId, warmup: u64) -> Option<f64> {
+        let ls = self.latencies(stream, warmup);
+        if ls.is_empty() {
+            return None;
+        }
+        Some(ls.iter().sum::<u64>() as f64 / ls.len() as f64)
+    }
+
+    /// Maximum completed latency of `stream` past warm-up.
+    pub fn max_latency(&self, stream: StreamId, warmup: u64) -> Option<u64> {
+        self.latencies(stream, warmup).into_iter().max()
+    }
+
+    /// Latency percentile of `stream` past warm-up (nearest-rank
+    /// method; `q` in 0..=100). `q = 50` is the median, `q = 100` the
+    /// maximum.
+    pub fn percentile_latency(&self, stream: StreamId, warmup: u64, q: u8) -> Option<u64> {
+        assert!(q <= 100, "percentile must be 0..=100");
+        let mut ls = self.latencies(stream, warmup);
+        if ls.is_empty() {
+            return None;
+        }
+        ls.sort_unstable();
+        let rank = ((q as usize * ls.len()).div_ceil(100)).clamp(1, ls.len());
+        Some(ls[rank - 1])
+    }
+
+    /// Messages of `stream` still unfinished at the end of the run
+    /// (released any time).
+    pub fn unfinished(&self, stream: StreamId) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.stream == stream && r.completed.is_none())
+            .count()
+    }
+
+    /// Total messages released (all streams).
+    pub fn total_released(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total messages completed (all streams).
+    pub fn total_completed(&self) -> usize {
+        self.records.iter().filter(|r| r.completed.is_some()).count()
+    }
+
+    /// Utilization of a directed channel: flits transmitted per cycle.
+    pub fn link_utilization(&self, link: wormnet_topology::LinkId) -> f64 {
+        if self.cycles_run == 0 {
+            return 0.0;
+        }
+        self.link_flits[link.index()] as f64 / self.cycles_run as f64
+    }
+
+    /// The busiest channel and its utilization, if any flit moved.
+    pub fn hottest_link(&self) -> Option<(wormnet_topology::LinkId, f64)> {
+        let (i, &max) = self
+            .link_flits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &f)| f)?;
+        if max == 0 || self.cycles_run == 0 {
+            return None;
+        }
+        Some((
+            wormnet_topology::LinkId(i as u32),
+            max as f64 / self.cycles_run as f64,
+        ))
+    }
+
+    /// Cycles the packets of `stream` spent blocked in VC allocation.
+    pub fn vc_wait(&self, stream: StreamId) -> u64 {
+        self.vc_wait_cycles[stream.index()]
+    }
+
+    /// Mean completed latency over all streams of a given priority,
+    /// averaging per message (the paper's per-priority-level rows).
+    pub fn mean_latency_by_priority(
+        &self,
+        set: &StreamSet,
+        priority: Priority,
+        warmup: u64,
+    ) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut n = 0usize;
+        for r in &self.records {
+            if r.released < warmup || set.get(r.stream).priority() != priority {
+                continue;
+            }
+            if let Some(l) = r.latency() {
+                sum += l;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::StreamSpec;
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn rec(stream: u32, released: u64, completed: Option<u64>) -> MessageRecord {
+        MessageRecord {
+            stream: StreamId(stream),
+            released,
+            completed,
+        }
+    }
+
+    fn stats() -> SimStats {
+        SimStats {
+            records: vec![
+                rec(0, 0, Some(10)),
+                rec(0, 100, Some(115)),
+                rec(0, 200, None),
+                rec(1, 50, Some(80)),
+            ],
+            cycles_run: 300,
+            link_flits: vec![30, 0, 60],
+            vc_wait_cycles: vec![5, 0],
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn latency_math() {
+        let s = stats();
+        assert_eq!(s.latencies(StreamId(0), 0), vec![10, 15]);
+        assert_eq!(s.mean_latency(StreamId(0), 0), Some(12.5));
+        assert_eq!(s.max_latency(StreamId(0), 0), Some(15));
+        assert_eq!(s.unfinished(StreamId(0)), 1);
+        assert_eq!(s.total_released(), 4);
+        assert_eq!(s.total_completed(), 3);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = SimStats {
+            records: (1..=10)
+                .map(|i| rec(0, 0, Some(i * 10)))
+                .collect(),
+            ..SimStats::default()
+        };
+        // Latencies 10, 20, ..., 100.
+        assert_eq!(s.percentile_latency(StreamId(0), 0, 50), Some(50));
+        assert_eq!(s.percentile_latency(StreamId(0), 0, 90), Some(90));
+        assert_eq!(s.percentile_latency(StreamId(0), 0, 100), Some(100));
+        assert_eq!(s.percentile_latency(StreamId(0), 0, 0), Some(10));
+        assert_eq!(s.percentile_latency(StreamId(1), 0, 50), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        stats().percentile_latency(StreamId(0), 0, 101);
+    }
+
+    #[test]
+    fn warmup_excludes_early_messages() {
+        let s = stats();
+        assert_eq!(s.latencies(StreamId(0), 50), vec![15]);
+        assert_eq!(s.mean_latency(StreamId(0), 50), Some(15.0));
+        assert_eq!(s.mean_latency(StreamId(1), 90), None);
+    }
+
+    #[test]
+    fn link_and_wait_accessors() {
+        let s = stats();
+        assert_eq!(s.link_utilization(wormnet_topology::LinkId(0)), 0.1);
+        assert_eq!(s.link_utilization(wormnet_topology::LinkId(1)), 0.0);
+        let (hot, util) = s.hottest_link().unwrap();
+        assert_eq!(hot, wormnet_topology::LinkId(2));
+        assert!((util - 0.2).abs() < 1e-12);
+        assert_eq!(s.vc_wait(StreamId(0)), 5);
+        assert_eq!(s.vc_wait(StreamId(1)), 0);
+    }
+
+    #[test]
+    fn hottest_link_none_when_idle() {
+        let s = SimStats {
+            link_flits: vec![0, 0],
+            cycles_run: 10,
+            ..SimStats::default()
+        };
+        assert!(s.hottest_link().is_none());
+    }
+
+    #[test]
+    fn per_priority_mean() {
+        let m = Mesh::mesh2d(4, 4);
+        let mk = |p: u32| {
+            StreamSpec::new(
+                m.node_at(&[0, p]).unwrap(),
+                m.node_at(&[3, p]).unwrap(),
+                p + 1,
+                100,
+                2,
+                100,
+            )
+        };
+        let set = StreamSet::resolve(&m, &XyRouting, &[mk(0), mk(1)]).unwrap();
+        let s = stats();
+        // Stream 0 has priority 1, stream 1 priority 2.
+        assert_eq!(s.mean_latency_by_priority(&set, 1, 0), Some(12.5));
+        assert_eq!(s.mean_latency_by_priority(&set, 2, 0), Some(30.0));
+        assert_eq!(s.mean_latency_by_priority(&set, 3, 0), None);
+    }
+}

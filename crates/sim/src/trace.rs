@@ -1,0 +1,84 @@
+//! Optional event trace for debugging and walkthrough examples.
+
+use crate::worm::PacketId;
+use wormnet_topology::LinkId;
+
+/// One simulator event. Traces are only recorded when
+/// `SimConfig::trace` is set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A message was released by its source.
+    Released {
+        /// Cycle of the event.
+        time: u64,
+        /// The packet involved.
+        packet: PacketId,
+    },
+    /// A packet acquired a virtual channel on a physical channel.
+    VcGranted {
+        /// Cycle of the event.
+        time: u64,
+        /// The packet involved.
+        packet: PacketId,
+        /// The physical channel.
+        link: LinkId,
+        /// The granted virtual-channel index.
+        vc: usize,
+    },
+    /// One flit of `packet` crossed `link`.
+    FlitCrossed {
+        /// Cycle of the event.
+        time: u64,
+        /// The packet involved.
+        packet: PacketId,
+        /// The physical channel.
+        link: LinkId,
+    },
+    /// The tail flit reached the destination.
+    Completed {
+        /// Cycle of the event.
+        time: u64,
+        /// The packet involved.
+        packet: PacketId,
+    },
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn time(&self) -> u64 {
+        match *self {
+            Event::Released { time, .. }
+            | Event::VcGranted { time, .. }
+            | Event::FlitCrossed { time, .. }
+            | Event::Completed { time, .. } => time,
+        }
+    }
+
+    /// The packet involved.
+    pub fn packet(&self) -> PacketId {
+        match *self {
+            Event::Released { packet, .. }
+            | Event::VcGranted { packet, .. }
+            | Event::FlitCrossed { packet, .. }
+            | Event::Completed { packet, .. } => packet,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = Event::FlitCrossed {
+            time: 9,
+            packet: PacketId(3),
+            link: LinkId(7),
+        };
+        assert_eq!(e.time(), 9);
+        assert_eq!(e.packet(), PacketId(3));
+        let r = Event::Released { time: 1, packet: PacketId(0) };
+        assert_eq!(r.time(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Periodic traffic sources: one per message stream.
+
+use rtwc_core::{MessageStream, StreamId};
+
+/// Release schedule of one stream: messages at `phase + k * T` for
+/// `k = 0, 1, 2, ...` (the paper's periodic model; `T` is the *minimum*
+/// inter-generation time and the evaluation releases exactly at it).
+#[derive(Clone, Debug)]
+pub struct Source {
+    /// The stream this source feeds.
+    pub stream: StreamId,
+    period: u64,
+    phase: u64,
+    /// Index of the next message to release.
+    next_k: u64,
+}
+
+impl Source {
+    /// Builds the source of `stream` with the given phase offset.
+    pub fn new(stream: &MessageStream, phase: u64) -> Self {
+        Source {
+            stream: stream.id,
+            period: stream.period(),
+            phase,
+            next_k: 0,
+        }
+    }
+
+    /// The release time of the next message.
+    pub fn next_release(&self) -> u64 {
+        self.phase + self.next_k * self.period
+    }
+
+    /// Pops every release time `<= now`, in order.
+    pub fn releases_through(&mut self, now: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        while self.next_release() <= now {
+            out.push(self.next_release());
+            self.next_k += 1;
+        }
+        out
+    }
+
+    /// Messages released so far.
+    pub fn released_count(&self) -> u64 {
+        self.next_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::{StreamSet, StreamSpec};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    fn one_stream(period: u64) -> StreamSet {
+        let m = Mesh::mesh2d(4, 4);
+        StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[StreamSpec::new(
+                m.node_at(&[0, 0]).unwrap(),
+                m.node_at(&[3, 0]).unwrap(),
+                1,
+                period,
+                2,
+                period,
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn releases_at_multiples_of_period() {
+        let set = one_stream(10);
+        let mut src = Source::new(set.get(StreamId(0)), 0);
+        assert_eq!(src.next_release(), 0);
+        assert_eq!(src.releases_through(25), vec![0, 10, 20]);
+        assert_eq!(src.next_release(), 30);
+        assert_eq!(src.released_count(), 3);
+    }
+
+    #[test]
+    fn phase_shifts_schedule() {
+        let set = one_stream(10);
+        let mut src = Source::new(set.get(StreamId(0)), 7);
+        assert_eq!(src.releases_through(25), vec![7, 17]);
+    }
+
+    #[test]
+    fn no_releases_before_phase() {
+        let set = one_stream(10);
+        let mut src = Source::new(set.get(StreamId(0)), 50);
+        assert!(src.releases_through(49).is_empty());
+        assert_eq!(src.releases_through(50), vec![50]);
+    }
+}

@@ -1,0 +1,245 @@
+//! In-flight wormhole packets ("worms") and their per-link progress.
+
+use rtwc_core::StreamId;
+use wormnet_topology::LinkId;
+
+/// Dense simulator index of a packet (one message instance).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One message instance worming through the network.
+///
+/// Rather than materializing individual flits, a worm tracks how many
+/// flits have crossed each channel of its route; buffer occupancies and
+/// flit positions are all derivable from those counters:
+///
+/// * flits resident in the VC buffer at the downstream end of channel
+///   `i` = `crossed[i] - drained(i+1)`;
+/// * the head has reached channel `i`'s downstream router iff
+///   `crossed[i] > 0`.
+#[derive(Clone, Debug)]
+pub struct Worm {
+    /// Simulator packet index.
+    pub id: PacketId,
+    /// The stream this message belongs to.
+    pub stream: StreamId,
+    /// Priority class (0-based, larger = more urgent).
+    pub class: u32,
+    /// Message length in flits (`C_i` of the stream).
+    pub length: u64,
+    /// The deterministic route, from the stream's path.
+    pub route: Vec<LinkId>,
+    /// Dateline layer per hop (all zero except on tori; see
+    /// `Torus::dateline_layers`).
+    pub layers: Vec<u8>,
+    /// Release (generation) time.
+    pub released: u64,
+    /// Channels `route[0..acquired]` hold a VC owned by this worm.
+    pub acquired: usize,
+    /// The VC index held on each acquired channel.
+    pub vcs: Vec<usize>,
+    /// Flits that have crossed each channel (current state).
+    pub crossed: Vec<u64>,
+    /// Snapshot of `crossed` at the start of the current cycle; all
+    /// movement decisions read this so that a flit advances at most one
+    /// hop per cycle.
+    pub crossed_prev: Vec<u64>,
+    /// Cycle the tail flit crossed the final channel, once done.
+    pub completed: Option<u64>,
+    /// When the worm started waiting for its next VC (FCFS tie-break).
+    pub requesting_since: Option<u64>,
+}
+
+impl Worm {
+    /// A freshly released message: nothing acquired, nothing crossed.
+    pub fn new(
+        id: PacketId,
+        stream: StreamId,
+        class: u32,
+        length: u64,
+        route: Vec<LinkId>,
+        layers: Vec<u8>,
+        released: u64,
+    ) -> Self {
+        assert!(!route.is_empty(), "worm route must cross a channel");
+        assert!(length > 0, "worm must carry at least one flit");
+        assert_eq!(route.len(), layers.len(), "one layer per hop");
+        let hops = route.len();
+        Worm {
+            id,
+            stream,
+            class,
+            length,
+            route,
+            layers,
+            released,
+            acquired: 0,
+            vcs: Vec::with_capacity(hops),
+            crossed: vec![0; hops],
+            crossed_prev: vec![0; hops],
+            completed: None,
+            requesting_since: None,
+        }
+    }
+
+    /// Number of channels in the route.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.route.len()
+    }
+
+    /// The next channel whose VC the head must acquire, if any.
+    pub fn next_link(&self) -> Option<LinkId> {
+        (self.acquired < self.route.len() && self.completed.is_none())
+            .then(|| self.route[self.acquired])
+    }
+
+    /// True when the head flit is positioned to request the VC of
+    /// `route[self.acquired]`: either the worm has not entered the
+    /// network yet (source injection) or the head sits in the buffer at
+    /// the downstream end of the previously acquired channel.
+    pub fn head_ready(&self) -> bool {
+        match self.acquired {
+            0 => true,
+            i => self.crossed_prev[i - 1] > 0,
+        }
+    }
+
+    /// Flits available (as of the cycle-start snapshot) to cross channel
+    /// `i` of the route: uninjected flits for `i == 0`, otherwise flits
+    /// resident upstream of channel `i`.
+    pub fn available_upstream(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.length - self.crossed_prev[0]
+        } else {
+            self.crossed_prev[i - 1] - self.crossed_prev[i]
+        }
+    }
+
+    /// True when this worm wants (and is internally able) to cross a
+    /// flit over channel `i` this cycle: the channel's VC is held, the
+    /// message is not yet fully across it, and a flit is available
+    /// upstream. The engine additionally checks downstream buffer
+    /// credit (which is per-VC state shared with previous owners, so it
+    /// lives in the engine, not here).
+    pub fn wants_cross(&self, i: usize) -> bool {
+        i < self.acquired && self.crossed[i] < self.length && self.available_upstream(i) > 0
+    }
+
+    /// True when crossing channel `i` deposits the flit into the VC
+    /// buffer at the channel's downstream end (false at the final hop,
+    /// where the destination ejects immediately).
+    pub fn enters_buffer(&self, i: usize) -> bool {
+        i + 1 != self.route.len()
+    }
+
+    /// Records a flit crossing channel `i` (applied after all decisions).
+    pub fn apply_cross(&mut self, i: usize) {
+        debug_assert!(self.crossed[i] < self.length);
+        self.crossed[i] += 1;
+    }
+
+    /// True when the VC held on channel `i` can be released: the tail
+    /// flit has been transmitted across the channel. (Residual flits
+    /// still draining from the downstream buffer are accounted by the
+    /// engine's per-VC occupancy counters, exactly like credit-based
+    /// flow control in a real VC router — a successor packet may own
+    /// the VC while the predecessor's tail is still buffered, it just
+    /// cannot overfill the buffer.)
+    pub fn vc_releasable(&self, i: usize) -> bool {
+        i < self.acquired && self.crossed[i] == self.length
+    }
+
+    /// True when the tail has crossed the final channel.
+    pub fn is_done(&self) -> bool {
+        *self.crossed.last().unwrap() == self.length
+    }
+
+    /// Copies current progress into the cycle-start snapshot.
+    pub fn snapshot(&mut self) {
+        self.crossed_prev.copy_from_slice(&self.crossed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worm(hops: usize, len: u64) -> Worm {
+        let route: Vec<LinkId> = (0..hops as u32).map(LinkId).collect();
+        Worm::new(PacketId(0), StreamId(0), 1, len, route, vec![0; hops], 0)
+    }
+
+    #[test]
+    fn fresh_worm_requests_first_link() {
+        let w = worm(3, 4);
+        assert_eq!(w.next_link(), Some(LinkId(0)));
+        assert!(w.head_ready());
+        assert_eq!(w.available_upstream(0), 4);
+        assert!(!w.is_done());
+    }
+
+    #[test]
+    fn cannot_cross_unacquired_link() {
+        let w = worm(3, 4);
+        assert!(!w.wants_cross(0), "no VC held yet");
+    }
+
+    #[test]
+    fn pipeline_counters() {
+        let mut w = worm(3, 4);
+        w.acquired = 2;
+        w.vcs = vec![0, 0];
+        // Simulate: 3 flits crossed link 0, 1 crossed link 1.
+        w.crossed = vec![3, 1, 0];
+        w.snapshot();
+        assert_eq!(w.available_upstream(1), 2);
+        assert!(w.wants_cross(0));
+        assert!(w.wants_cross(1));
+        assert!(!w.wants_cross(2), "link 2 not acquired");
+        assert!(w.enters_buffer(0));
+        assert!(w.enters_buffer(1));
+        assert!(!w.enters_buffer(2), "final hop ejects");
+    }
+
+    #[test]
+    fn head_ready_after_crossing_previous() {
+        let mut w = worm(3, 4);
+        w.acquired = 1;
+        w.vcs = vec![0];
+        assert_eq!(w.next_link(), Some(LinkId(1)));
+        assert!(!w.head_ready(), "head not yet across link 0");
+        w.crossed = vec![1, 0, 0];
+        w.snapshot();
+        assert!(w.head_ready());
+    }
+
+    #[test]
+    fn release_and_completion() {
+        let mut w = worm(2, 3);
+        w.acquired = 2;
+        w.vcs = vec![0, 0];
+        w.crossed = vec![2, 1];
+        assert!(!w.vc_releasable(0), "tail not yet across link 0");
+        w.crossed = vec![3, 2];
+        assert!(w.vc_releasable(0), "tail transmitted across link 0");
+        assert!(!w.vc_releasable(1));
+        w.crossed = vec![3, 3];
+        assert!(w.vc_releasable(1), "tail ejected at destination");
+        assert!(w.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_rejected() {
+        worm(2, 0);
+    }
+}

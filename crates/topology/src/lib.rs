@@ -1,0 +1,62 @@
+//! # wormnet-topology
+//!
+//! Direct-network topologies and deterministic, deadlock-free routing for
+//! wormhole-switched multicomputers.
+//!
+//! This crate is the geometric substrate of the ICPP'98 reproduction: it
+//! knows what the network *looks like* (nodes, directed physical channels)
+//! and how a deterministic router chooses a path, but nothing about time,
+//! flits, or priorities. Both the off-line feasibility analysis
+//! (`rtwc-core`) and the flit-level simulator (`wormnet-sim`) consume the
+//! same [`Path`]s, which is what makes the analytical bound and the
+//! measured latency comparable.
+//!
+//! ## Topologies
+//!
+//! * [`Mesh`] — k-ary n-dimensional mesh (the paper evaluates a 10x10
+//!   2-D mesh; [`Mesh::mesh2d`] is the convenience constructor).
+//! * [`Torus`] — k-ary n-cube with wraparound channels.
+//! * [`Hypercube`] — binary n-cube.
+//!
+//! All topologies implement [`Topology`], which enumerates nodes
+//! (`NodeId`) and *directed* physical channels (`LinkId`). Channels are
+//! directed because wormhole blocking is directional: two messages
+//! interfere only if they use the same channel in the same direction.
+//!
+//! ## Routing
+//!
+//! * [`XyRouting`] — X-Y routing on a 2-D mesh (the paper's assumption).
+//! * [`DimensionOrderRouting`] — generalization to n dimensions
+//!   (and tori, taking the shorter way around).
+//! * [`EcubeRouting`] — e-cube routing on hypercubes.
+//!
+//! All are deterministic and minimal, and on meshes/hypercubes
+//! deadlock-free, which is the precondition the paper assumes
+//! ("deadlock situation never occurs").
+//!
+//! ## Example
+//!
+//! ```
+//! use wormnet_topology::{Mesh, Topology, XyRouting, Routing};
+//!
+//! let mesh = Mesh::mesh2d(10, 10);
+//! let routing = XyRouting;
+//! let src = mesh.node_at(&[7, 3]).unwrap();
+//! let dst = mesh.node_at(&[7, 7]).unwrap();
+//! let path = routing.route(&mesh, src, dst).unwrap();
+//! assert_eq!(path.hops(), 4); // Manhattan distance
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod node;
+pub mod path;
+pub mod routing;
+pub mod topologies;
+
+pub use link::{Link, LinkId, LinkTable};
+pub use node::{Coord, NodeId};
+pub use path::Path;
+pub use routing::{BfsRouting, DimensionOrderRouting, EcubeRouting, RouteError, Routing, XyRouting};
+pub use topologies::{Hypercube, Mesh, Topology, Torus};

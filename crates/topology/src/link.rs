@@ -1,0 +1,183 @@
+//! Directed physical channels and the channel table shared by all
+//! topologies.
+
+use crate::node::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A *directed* physical channel between two adjacent routers.
+///
+/// Wormhole blocking is directional: a message travelling east over a
+/// bidirectional wire never contends with one travelling west, so every
+/// physical wire contributes two `LinkId`s, one per direction. Link ids
+/// are dense indices in `0..Topology::num_links()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Endpoints of a directed channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Router the channel leaves.
+    pub from: NodeId,
+    /// Router the channel enters.
+    pub to: NodeId,
+}
+
+/// Dense table of every directed channel in a topology, with O(1)
+/// endpoint and reverse lookups.
+///
+/// All concrete topologies build one of these at construction time so
+/// that the simulator can allocate per-channel state (virtual channels,
+/// credits) as flat arrays indexed by [`LinkId`].
+#[derive(Clone, Debug)]
+pub struct LinkTable {
+    links: Vec<Link>,
+    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+    /// Outgoing links of each node, in insertion order.
+    outgoing: Vec<Vec<LinkId>>,
+    /// Incoming links of each node, in insertion order.
+    incoming: Vec<Vec<LinkId>>,
+}
+
+impl LinkTable {
+    /// Creates an empty table for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        LinkTable {
+            links: Vec::new(),
+            by_endpoints: HashMap::new(),
+            outgoing: vec![Vec::new(); num_nodes],
+            incoming: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Registers the directed channel `from -> to` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the channel already exists or is a self-loop.
+    pub fn add(&mut self, from: NodeId, to: NodeId) -> LinkId {
+        assert_ne!(from, to, "self-loop channel {from:?} -> {to:?}");
+        let id = LinkId(self.links.len() as u32);
+        let prev = self.by_endpoints.insert((from, to), id);
+        assert!(prev.is_none(), "duplicate channel {from:?} -> {to:?}");
+        self.links.push(Link { from, to });
+        self.outgoing[from.index()].push(id);
+        self.incoming[to.index()].push(id);
+        id
+    }
+
+    /// Number of directed channels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the table holds no channels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Endpoints of channel `id`.
+    #[inline]
+    pub fn endpoints(&self, id: LinkId) -> Link {
+        self.links[id.index()]
+    }
+
+    /// The channel `from -> to`, if adjacent.
+    #[inline]
+    pub fn between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.by_endpoints.get(&(from, to)).copied()
+    }
+
+    /// Channels leaving `node`.
+    #[inline]
+    pub fn outgoing(&self, node: NodeId) -> &[LinkId] {
+        &self.outgoing[node.index()]
+    }
+
+    /// Channels entering `node`.
+    #[inline]
+    pub fn incoming(&self, node: NodeId) -> &[LinkId] {
+        &self.incoming[node.index()]
+    }
+
+    /// Iterator over `(LinkId, Link)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (LinkId(i as u32), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = LinkTable::new(3);
+        let a = t.add(n(0), n(1));
+        let b = t.add(n(1), n(0));
+        let c = t.add(n(1), n(2));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.between(n(0), n(1)), Some(a));
+        assert_eq!(t.between(n(1), n(0)), Some(b));
+        assert_eq!(t.between(n(0), n(2)), None);
+        assert_eq!(t.endpoints(c), Link { from: n(1), to: n(2) });
+        assert_eq!(t.outgoing(n(1)), &[b, c]);
+        assert_eq!(t.incoming(n(0)), &[b]);
+        assert_eq!(t.incoming(n(2)), &[c]);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut t = LinkTable::new(2);
+        let fwd = t.add(n(0), n(1));
+        let rev = t.add(n(1), n(0));
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = LinkTable::new(3);
+        t.add(n(0), n(1));
+        t.add(n(1), n(2));
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel")]
+    fn duplicate_panics() {
+        let mut t = LinkTable::new(2);
+        t.add(n(0), n(1));
+        t.add(n(0), n(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = LinkTable::new(1);
+        t.add(n(0), n(0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Node identifiers and multi-dimensional coordinates.
+
+use std::fmt;
+
+/// A node (processing element + router) in a direct network.
+///
+/// Node ids are dense indices in `0..Topology::num_nodes()`, assigned in
+/// mixed-radix order of the node coordinates (dimension 0 varies
+/// fastest). They are cheap to copy and usable as array indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A point in the topology's coordinate system, one entry per dimension.
+///
+/// For the paper's 2-D mesh, `coords[0]` is the X (column) coordinate and
+/// `coords[1]` is the Y (row) coordinate, so the paper's node `(7, 3)` is
+/// `Coord::new(&[7, 3])`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Coord {
+    coords: Vec<u32>,
+}
+
+impl Coord {
+    /// Builds a coordinate from per-dimension values.
+    pub fn new(coords: &[u32]) -> Self {
+        Coord {
+            coords: coords.to_vec(),
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The coordinate in dimension `d`.
+    #[inline]
+    pub fn get(&self, d: usize) -> u32 {
+        self.coords[d]
+    }
+
+    /// All per-dimension values.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.coords
+    }
+
+    /// Mutable access (used by routing to advance one dimension).
+    #[inline]
+    pub fn set(&mut self, d: usize, v: u32) {
+        self.coords[d] = v;
+    }
+
+    /// Manhattan (L1) distance to `other`; both coordinates must have the
+    /// same dimensionality.
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum()
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(NodeId::from(17u32), n);
+        assert_eq!(format!("{n:?}"), "n17");
+        assert_eq!(n.to_string(), "17");
+    }
+
+    #[test]
+    fn coord_accessors() {
+        let mut c = Coord::new(&[7, 3]);
+        assert_eq!(c.dims(), 2);
+        assert_eq!(c.get(0), 7);
+        assert_eq!(c.get(1), 3);
+        c.set(1, 4);
+        assert_eq!(c.as_slice(), &[7, 4]);
+        assert_eq!(c.to_string(), "(7,4)");
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(&[1, 1]);
+        let b = Coord::new(&[5, 4]);
+        assert_eq!(a.manhattan(&b), 7);
+        assert_eq!(b.manhattan(&a), 7);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn manhattan_dim_mismatch_panics() {
+        let a = Coord::new(&[1, 1]);
+        let b = Coord::new(&[5, 4, 2]);
+        let _ = a.manhattan(&b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Routed paths and the directed-channel overlap queries that drive the
+//! blocking analysis.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use std::fmt;
+
+/// A routed path: the sequence of directed channels a message's header
+/// flit acquires from source to destination.
+///
+/// Two message streams *directly block* each other exactly when their
+/// paths share at least one directed channel ([`Path::shares_link`]);
+/// that predicate is the foundation of HP-set construction in
+/// `rtwc-core`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Builds a path from its node sequence and the channels between
+    /// consecutive nodes.
+    ///
+    /// # Panics
+    /// Panics unless `nodes.len() == links.len() + 1` and `nodes` is
+    /// non-empty.
+    pub fn new(nodes: Vec<NodeId>, links: Vec<LinkId>) -> Self {
+        assert!(!nodes.is_empty(), "path must contain at least one node");
+        assert_eq!(
+            nodes.len(),
+            links.len() + 1,
+            "node/link sequence length mismatch"
+        );
+        Path { nodes, links }
+    }
+
+    /// A zero-hop path (source == destination; local delivery).
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            links: Vec::new(),
+        }
+    }
+
+    /// Source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    #[inline]
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of channels traversed.
+    #[inline]
+    pub fn hops(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// The node sequence, source first.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The channel sequence, in traversal order.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// True when this path uses directed channel `l`.
+    pub fn uses_link(&self, l: LinkId) -> bool {
+        self.links.contains(&l)
+    }
+
+    /// True when the two paths share at least one *directed* channel —
+    /// the paper's direct-blocking condition ("paths of two message
+    /// streams are overlapping").
+    pub fn shares_link(&self, other: &Path) -> bool {
+        // Paths in the targeted topologies are at most tens of hops;
+        // the quadratic scan beats hashing at these sizes.
+        self.links.iter().any(|l| other.links.contains(l))
+    }
+
+    /// All directed channels shared with `other`, in this path's
+    /// traversal order.
+    pub fn shared_links(&self, other: &Path) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .copied()
+            .filter(|l| other.links.contains(l))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "->")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{Routing, XyRouting};
+    use crate::topologies::{Mesh, Topology};
+
+    fn path(mesh: &Mesh, s: [u32; 2], d: [u32; 2]) -> Path {
+        XyRouting
+            .route(mesh, mesh.node_at(&s).unwrap(), mesh.node_at(&d).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(5));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), p.dest());
+    }
+
+    #[test]
+    fn paper_example_overlaps() {
+        // The overlap structure of the paper's worked example (§4.4).
+        let mesh = Mesh::mesh2d(10, 10);
+        let m0 = path(&mesh, [7, 3], [7, 7]);
+        let m1 = path(&mesh, [1, 1], [5, 4]);
+        let m2 = path(&mesh, [2, 1], [7, 5]);
+        let m3 = path(&mesh, [4, 1], [8, 5]);
+        let m4 = path(&mesh, [6, 1], [9, 3]);
+
+        // M2 is directly blocked by both M0 and M1.
+        assert!(m2.shares_link(&m0));
+        assert!(m2.shares_link(&m1));
+        // M0 and M1 never meet, nor do M0/M3, M0/M4, M1/M4.
+        assert!(!m0.shares_link(&m1));
+        assert!(!m3.shares_link(&m0));
+        assert!(!m4.shares_link(&m0));
+        assert!(!m4.shares_link(&m1));
+        // M4 is directly blocked by M2 and M3.
+        assert!(m4.shares_link(&m2));
+        assert!(m4.shares_link(&m3));
+    }
+
+    #[test]
+    fn overlap_is_directional() {
+        let mesh = Mesh::mesh2d(10, 10);
+        // Same wire, opposite directions: no shared directed channel.
+        let east = path(&mesh, [0, 0], [5, 0]);
+        let west = path(&mesh, [5, 0], [0, 0]);
+        assert!(!east.shares_link(&west));
+        assert!(east.shares_link(&east));
+    }
+
+    #[test]
+    fn shared_links_in_traversal_order() {
+        let mesh = Mesh::mesh2d(10, 10);
+        let m2 = path(&mesh, [2, 1], [7, 5]);
+        let m3 = path(&mesh, [4, 1], [8, 5]);
+        let shared = m2.shared_links(&m3);
+        // (4,1)->(5,1), (5,1)->(6,1), (6,1)->(7,1)
+        assert_eq!(shared.len(), 3);
+        let mut prev_pos = None;
+        for l in &shared {
+            let pos = m2.links().iter().position(|x| x == l).unwrap();
+            if let Some(p) = prev_pos {
+                assert!(pos > p);
+            }
+            prev_pos = Some(pos);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_lengths_panic() {
+        Path::new(vec![NodeId(0), NodeId(1)], vec![]);
+    }
+}

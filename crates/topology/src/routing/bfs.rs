@@ -1,0 +1,219 @@
+//! Shortest-path routing that avoids failed channels.
+//!
+//! The ICPP'98 scheme assumes a deterministic routing; when channels
+//! fail, the host processor must *re-plan*: re-route the affected
+//! streams (deterministically) and re-run the feasibility test. This
+//! router provides that re-planning step: breadth-first shortest paths
+//! over the surviving channels, with deterministic tie-breaking.
+//!
+//! **Deadlock caveat**: unlike X-Y/e-cube, arbitrary shortest paths are
+//! not turn-restricted, so a set of BFS-routed streams is not
+//! automatically deadlock-free in a wormhole network. The off-line
+//! analysis is unaffected (it only needs paths); drive the simulator
+//! with BFS routes only at low utilization or verify the channel
+//! dependency graph stays acyclic for your set.
+
+use super::{RouteError, Routing};
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::path::Path;
+use crate::topologies::Topology;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Deterministic BFS shortest-path routing over surviving channels.
+///
+/// # Examples
+///
+/// ```
+/// use wormnet_topology::{BfsRouting, Mesh, Routing, Topology};
+///
+/// let mesh = Mesh::mesh2d(5, 2);
+/// let s = mesh.node_at(&[0, 0]).unwrap();
+/// let d = mesh.node_at(&[4, 0]).unwrap();
+/// let broken = mesh
+///     .link_between(mesh.node_at(&[2, 0]).unwrap(), mesh.node_at(&[3, 0]).unwrap())
+///     .unwrap();
+///
+/// let detour = BfsRouting::avoiding([broken]).route(&mesh, s, d).unwrap();
+/// assert!(!detour.uses_link(broken));
+/// assert_eq!(detour.hops(), 6); // two extra hops via the other row
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BfsRouting {
+    avoid: BTreeSet<LinkId>,
+}
+
+impl BfsRouting {
+    /// Routes over all channels (equivalent hop counts to the minimal
+    /// deterministic routings, though possibly different paths).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes avoiding the given failed channels.
+    pub fn avoiding(failed: impl IntoIterator<Item = LinkId>) -> Self {
+        BfsRouting {
+            avoid: failed.into_iter().collect(),
+        }
+    }
+
+    /// Marks one more channel as failed.
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.avoid.insert(link);
+    }
+
+    /// The failed channels.
+    pub fn failed(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.avoid.iter().copied()
+    }
+
+    /// BFS parents from `src` toward every reachable node, skipping
+    /// failed channels. Neighbor order follows the topology's stable
+    /// outgoing-channel order, so paths are deterministic.
+    fn bfs<T: Topology + ?Sized>(&self, topo: &T, src: NodeId) -> Vec<Option<(NodeId, LinkId)>> {
+        let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; topo.num_nodes()];
+        let mut seen = vec![false; topo.num_nodes()];
+        seen[src.index()] = true;
+        let mut queue = VecDeque::from([src]);
+        while let Some(n) = queue.pop_front() {
+            for &l in topo.links().outgoing(n) {
+                if self.avoid.contains(&l) {
+                    continue;
+                }
+                let to = topo.links().endpoints(l).to;
+                if !seen[to.index()] {
+                    seen[to.index()] = true;
+                    parent[to.index()] = Some((n, l));
+                    queue.push_back(to);
+                }
+            }
+        }
+        parent
+    }
+}
+
+impl<T: Topology + ?Sized> Routing<T> for BfsRouting {
+    fn next_hop(&self, topo: &T, current: NodeId, dest: NodeId) -> Option<NodeId> {
+        if current == dest {
+            return None;
+        }
+        // Walk the parent chain of a BFS from `current` back from
+        // `dest`: the first step out of `current` is the next hop.
+        let parent = self.bfs(topo, current);
+        let mut node = dest;
+        while let Some((p, _)) = parent[node.index()] {
+            if p == current {
+                return Some(node);
+            }
+            node = p;
+        }
+        None
+    }
+
+    fn route(&self, topo: &T, src: NodeId, dst: NodeId) -> Result<Path, RouteError> {
+        if src == dst {
+            return Ok(Path::trivial(src));
+        }
+        let parent = self.bfs(topo, src);
+        if parent[dst.index()].is_none() {
+            return Err(RouteError::NoProgress { stuck_at: src });
+        }
+        let mut nodes = vec![dst];
+        let mut links = Vec::new();
+        let mut node = dst;
+        while let Some((p, l)) = parent[node.index()] {
+            nodes.push(p);
+            links.push(l);
+            node = p;
+        }
+        nodes.reverse();
+        links.reverse();
+        debug_assert_eq!(nodes[0], src);
+        Ok(Path::new(nodes, links))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::XyRouting;
+    use crate::topologies::Mesh;
+
+    #[test]
+    fn matches_minimal_hops_without_failures() {
+        let mesh = Mesh::mesh2d(6, 6);
+        let bfs = BfsRouting::new();
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let p = bfs.route(&mesh, s, d).unwrap();
+                assert_eq!(p.hops(), mesh.distance(s, d), "{s:?}->{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mesh = Mesh::mesh2d(8, 8);
+        let bfs = BfsRouting::new();
+        let a = bfs.route(&mesh, crate::NodeId(0), crate::NodeId(63)).unwrap();
+        let b = bfs.route(&mesh, crate::NodeId(0), crate::NodeId(63)).unwrap();
+        assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn detours_around_failed_channel() {
+        let mesh = Mesh::mesh2d(5, 1); // a line: detours are impossible
+        let s = mesh.node_at(&[0, 0]).unwrap();
+        let d = mesh.node_at(&[4, 0]).unwrap();
+        let mid_a = mesh.node_at(&[2, 0]).unwrap();
+        let mid_b = mesh.node_at(&[3, 0]).unwrap();
+        let broken = mesh.link_between(mid_a, mid_b).unwrap();
+        let bfs = BfsRouting::avoiding([broken]);
+        // On a 1-D line the failure partitions the network.
+        assert!(bfs.route(&mesh, s, d).is_err());
+
+        // On a 2-D mesh the route detours via the other row.
+        let mesh = Mesh::mesh2d(5, 2);
+        let s = mesh.node_at(&[0, 0]).unwrap();
+        let d = mesh.node_at(&[4, 0]).unwrap();
+        let mid_a = mesh.node_at(&[2, 0]).unwrap();
+        let mid_b = mesh.node_at(&[3, 0]).unwrap();
+        let broken = mesh.link_between(mid_a, mid_b).unwrap();
+        let bfs = BfsRouting::avoiding([broken]);
+        let p = bfs.route(&mesh, s, d).unwrap();
+        assert!(!p.uses_link(broken));
+        assert_eq!(p.hops(), 6, "minimal detour adds two hops");
+        // The XY route would have used the broken channel.
+        let xy = XyRouting.route(&mesh, s, d).unwrap();
+        assert!(xy.uses_link(broken));
+    }
+
+    #[test]
+    fn next_hop_consistent_with_route() {
+        let mesh = Mesh::mesh2d(4, 4);
+        let bfs = BfsRouting::new();
+        let s = mesh.node_at(&[0, 0]).unwrap();
+        let d = mesh.node_at(&[3, 3]).unwrap();
+        let p = bfs.route(&mesh, s, d).unwrap();
+        let first = bfs.next_hop(&mesh, s, d).unwrap();
+        assert_eq!(first, p.nodes()[1]);
+        assert_eq!(bfs.next_hop(&mesh, d, d), None);
+    }
+
+    #[test]
+    fn failed_links_tracked() {
+        let mut bfs = BfsRouting::new();
+        bfs.fail_link(LinkId(3));
+        bfs.fail_link(LinkId(1));
+        let failed: Vec<LinkId> = bfs.failed().collect();
+        assert_eq!(failed, vec![LinkId(1), LinkId(3)]);
+    }
+
+    #[test]
+    fn trivial_route() {
+        let mesh = Mesh::mesh2d(3, 3);
+        let n = mesh.node_at(&[1, 1]).unwrap();
+        let p = BfsRouting::new().route(&mesh, n, n).unwrap();
+        assert_eq!(p.hops(), 0);
+    }
+}

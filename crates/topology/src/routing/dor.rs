@@ -1,0 +1,137 @@
+//! Dimension-order routing for n-dimensional meshes and tori.
+
+use super::Routing;
+use crate::node::NodeId;
+use crate::topologies::{Mesh, Topology, Torus};
+
+/// Dimension-order routing (DOR): fully correct dimension 0, then
+/// dimension 1, and so on. On a 2-D mesh this *is* X-Y routing; on a
+/// torus each dimension takes the shorter way around (ties broken toward
+/// the increasing direction so the route stays deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DimensionOrderRouting;
+
+impl DimensionOrderRouting {
+    fn mesh_step(dims: &[u32], c: &[u32], d: &[u32]) -> Option<Vec<u32>> {
+        let _ = dims;
+        for dim in 0..c.len() {
+            if c[dim] < d[dim] {
+                let mut next = c.to_vec();
+                next[dim] += 1;
+                return Some(next);
+            }
+            if c[dim] > d[dim] {
+                let mut next = c.to_vec();
+                next[dim] -= 1;
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    fn torus_step(dims: &[u32], c: &[u32], d: &[u32]) -> Option<Vec<u32>> {
+        for dim in 0..c.len() {
+            let extent = dims[dim];
+            if c[dim] == d[dim] {
+                continue;
+            }
+            let up_dist = (d[dim] + extent - c[dim]) % extent;
+            let down_dist = (c[dim] + extent - d[dim]) % extent;
+            let mut next = c.to_vec();
+            if up_dist <= down_dist {
+                next[dim] = (c[dim] + 1) % extent;
+            } else {
+                next[dim] = (c[dim] + extent - 1) % extent;
+            }
+            return Some(next);
+        }
+        None
+    }
+}
+
+impl Routing<Mesh> for DimensionOrderRouting {
+    fn next_hop(&self, topo: &Mesh, current: NodeId, dest: NodeId) -> Option<NodeId> {
+        if current == dest {
+            return None;
+        }
+        let c = topo.coord(current);
+        let d = topo.coord(dest);
+        Self::mesh_step(topo.dims(), c.as_slice(), d.as_slice())
+            .and_then(|next| topo.node_at(&next))
+    }
+}
+
+impl Routing<Torus> for DimensionOrderRouting {
+    fn next_hop(&self, topo: &Torus, current: NodeId, dest: NodeId) -> Option<NodeId> {
+        if current == dest {
+            return None;
+        }
+        let c = topo.coord(current);
+        let d = topo.coord(dest);
+        Self::torus_step(topo.dims(), c.as_slice(), d.as_slice())
+            .and_then(|next| topo.node_at(&next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::XyRouting;
+
+    #[test]
+    fn matches_xy_on_2d_mesh() {
+        let mesh = Mesh::mesh2d(8, 8);
+        for s in 0..64u32 {
+            for d in [0u32, 7, 13, 42, 63] {
+                let (s, d) = (NodeId(s), NodeId(d));
+                let a = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+                let b = XyRouting.route(&mesh, s, d).unwrap();
+                assert_eq!(a.links(), b.links());
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_on_3d_mesh() {
+        let mesh = Mesh::new(&[4, 4, 4]);
+        let s = mesh.node_at(&[0, 1, 2]).unwrap();
+        let d = mesh.node_at(&[3, 3, 0]).unwrap();
+        let p = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+        assert_eq!(p.hops(), mesh.distance(s, d));
+    }
+
+    #[test]
+    fn torus_takes_shorter_way() {
+        let torus = Torus::new(&[10, 10]);
+        let s = torus.node_at(&[1, 5]).unwrap();
+        let d = torus.node_at(&[9, 5]).unwrap();
+        let p = DimensionOrderRouting.route(&torus, s, d).unwrap();
+        assert_eq!(p.hops(), 2); // 1 -> 0 -> 9 around the edge
+    }
+
+    #[test]
+    fn torus_minimal_everywhere() {
+        let torus = Torus::new(&[5, 4]);
+        for s in torus.nodes() {
+            for d in torus.nodes() {
+                let p = DimensionOrderRouting.route(&torus, s, d).unwrap();
+                assert_eq!(p.hops(), torus.distance(s, d), "{s:?}->{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_tie_break_is_deterministic() {
+        // Even extent: opposite node is equidistant both ways; DOR must
+        // always pick the same (increasing) direction.
+        let torus = Torus::new(&[4, 4]);
+        let s = torus.node_at(&[0, 0]).unwrap();
+        let d = torus.node_at(&[2, 0]).unwrap();
+        let p1 = DimensionOrderRouting.route(&torus, s, d).unwrap();
+        let p2 = DimensionOrderRouting.route(&torus, s, d).unwrap();
+        assert_eq!(p1.links(), p2.links());
+        // Goes through x=1 (increasing), not x=3.
+        let via = torus.node_at(&[1, 0]).unwrap();
+        assert!(p1.nodes().contains(&via));
+    }
+}

@@ -1,0 +1,57 @@
+//! E-cube routing on hypercubes.
+
+use super::Routing;
+use crate::node::NodeId;
+use crate::topologies::Hypercube;
+
+/// E-cube routing: resolve the lowest-order differing address bit first.
+/// The classic deterministic deadlock-free routing for binary n-cubes,
+/// named by the paper's system model as a target interconnect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EcubeRouting;
+
+impl Routing<Hypercube> for EcubeRouting {
+    fn next_hop(&self, _topo: &Hypercube, current: NodeId, dest: NodeId) -> Option<NodeId> {
+        let diff = current.0 ^ dest.0;
+        if diff == 0 {
+            return None;
+        }
+        let bit = diff.trailing_zeros();
+        Some(NodeId(current.0 ^ (1 << bit)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::Topology;
+
+    #[test]
+    fn route_is_minimal() {
+        let h = Hypercube::new(4);
+        for s in h.nodes() {
+            for d in h.nodes() {
+                let p = EcubeRouting.route(&h, s, d).unwrap();
+                assert_eq!(p.hops(), h.distance(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn bits_resolved_low_to_high() {
+        let h = Hypercube::new(4);
+        let p = EcubeRouting
+            .route(&h, NodeId(0b0000), NodeId(0b1011))
+            .unwrap();
+        let ids: Vec<u32> = p.nodes().iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0b0000, 0b0001, 0b0011, 0b1011]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = Hypercube::new(5);
+        let a = EcubeRouting.route(&h, NodeId(3), NodeId(28)).unwrap();
+        let b = EcubeRouting.route(&h, NodeId(3), NodeId(28)).unwrap();
+        assert_eq!(a.links(), b.links());
+    }
+}

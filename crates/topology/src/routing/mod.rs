@@ -1,0 +1,97 @@
+//! Deterministic, minimal routing algorithms.
+//!
+//! The ICPP'98 scheme requires that "the routing path of each message
+//! stream is statically determined by using a deterministic routing
+//! algorithm such as X-Y routing for meshes": the off-line analysis must
+//! know exactly which channels each stream occupies, and the routing must
+//! be deadlock-free so that blocking — not deadlock — is the only hazard.
+
+mod bfs;
+mod dor;
+mod ecube;
+mod xy;
+
+pub use bfs::BfsRouting;
+pub use dor::DimensionOrderRouting;
+pub use ecube::EcubeRouting;
+pub use xy::XyRouting;
+
+use crate::node::NodeId;
+use crate::path::Path;
+use crate::topologies::Topology;
+use std::fmt;
+
+/// Why a route could not be produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The algorithm selected a next hop with no channel to it — the
+    /// topology and the algorithm disagree (e.g. X-Y routing on a
+    /// non-2-D topology).
+    MissingChannel {
+        /// The node the route was leaving.
+        from: NodeId,
+        /// The selected (unreachable) next hop.
+        to: NodeId,
+    },
+    /// The algorithm failed to make progress within `diameter` hops.
+    NoProgress {
+        /// The node the route stalled at.
+        stuck_at: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::MissingChannel { from, to } => {
+                write!(f, "no channel from node {from} to selected next hop {to}")
+            }
+            RouteError::NoProgress { stuck_at } => {
+                write!(f, "routing made no progress at node {stuck_at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A deterministic routing algorithm for topology `T`.
+///
+/// Implementations provide [`Routing::next_hop`]; the provided
+/// [`Routing::route`] walks `next_hop` from source to destination and
+/// materializes the [`Path`]. Determinism is a *requirement*: the same
+/// `(src, dst)` pair must always produce the same path, because the
+/// off-line bound and the on-line simulation must agree on channel usage.
+pub trait Routing<T: Topology + ?Sized> {
+    /// The neighbor to forward to from `current` toward `dest`, or
+    /// `None` when `current == dest`.
+    fn next_hop(&self, topo: &T, current: NodeId, dest: NodeId) -> Option<NodeId>;
+
+    /// The full deterministic path from `src` to `dst`.
+    fn route(&self, topo: &T, src: NodeId, dst: NodeId) -> Result<Path, RouteError> {
+        let mut nodes = vec![src];
+        let mut links = Vec::new();
+        let mut current = src;
+        // A minimal deterministic route never exceeds the diameter.
+        let limit = topo.diameter() as usize + 1;
+        while current != dst {
+            if links.len() >= limit {
+                return Err(RouteError::NoProgress { stuck_at: current });
+            }
+            let next = match self.next_hop(topo, current, dst) {
+                Some(n) => n,
+                None => return Err(RouteError::NoProgress { stuck_at: current }),
+            };
+            let link = topo
+                .link_between(current, next)
+                .ok_or(RouteError::MissingChannel {
+                    from: current,
+                    to: next,
+                })?;
+            nodes.push(next);
+            links.push(link);
+            current = next;
+        }
+        Ok(Path::new(nodes, links))
+    }
+}

@@ -1,0 +1,120 @@
+//! X-Y routing on 2-D meshes — the paper's deterministic routing.
+
+use super::Routing;
+use crate::node::NodeId;
+use crate::topologies::{Mesh, Topology};
+
+/// X-Y (row-column) routing: correct the X coordinate fully, then the Y
+/// coordinate. Deterministic, minimal, and deadlock-free on 2-D meshes —
+/// exactly the assumption under which the ICPP'98 bound is derived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XyRouting;
+
+impl Routing<Mesh> for XyRouting {
+    fn next_hop(&self, topo: &Mesh, current: NodeId, dest: NodeId) -> Option<NodeId> {
+        assert_eq!(
+            topo.dims().len(),
+            2,
+            "X-Y routing is defined on 2-D meshes; use DimensionOrderRouting for {}-D",
+            topo.dims().len()
+        );
+        if current == dest {
+            return None;
+        }
+        let c = topo.coord(current);
+        let d = topo.coord(dest);
+        let (cx, cy) = (c.get(0), c.get(1));
+        let (dx, dy) = (d.get(0), d.get(1));
+        let next = if cx < dx {
+            [cx + 1, cy]
+        } else if cx > dx {
+            [cx - 1, cy]
+        } else if cy < dy {
+            [cx, cy + 1]
+        } else {
+            [cx, cy - 1]
+        };
+        topo.node_at(&next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use crate::topologies::Topology;
+
+    fn route(mesh: &Mesh, s: [u32; 2], d: [u32; 2]) -> Path {
+        XyRouting
+            .route(mesh, mesh.node_at(&s).unwrap(), mesh.node_at(&d).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn route_is_minimal() {
+        let mesh = Mesh::mesh2d(10, 10);
+        let p = route(&mesh, [1, 1], [5, 4]);
+        assert_eq!(p.hops(), 7); // Manhattan distance
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let mesh = Mesh::mesh2d(10, 10);
+        let p = route(&mesh, [2, 1], [7, 5]);
+        // First 5 hops move in X at y=1, then 4 hops move in Y at x=7.
+        let coords: Vec<(u32, u32)> = p
+            .nodes()
+            .iter()
+            .map(|&n| {
+                let c = mesh.coord(n);
+                (c.get(0), c.get(1))
+            })
+            .collect();
+        for w in coords.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if y0 != y1 {
+                // Once we move in Y, X must already be final.
+                assert_eq!(x0, 7);
+                assert_eq!(x1, 7);
+            }
+            let _ = (x1, y1);
+        }
+        assert_eq!(coords.first(), Some(&(2, 1)));
+        assert_eq!(coords.last(), Some(&(7, 5)));
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let mesh = Mesh::mesh2d(4, 4);
+        let n = mesh.node_at(&[2, 2]).unwrap();
+        let p = XyRouting.route(&mesh, n, n).unwrap();
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn paper_latencies_follow_from_xy_hops() {
+        // Network latency L = hops + C - 1; the worked example's L values
+        // pin the routing convention.
+        let mesh = Mesh::mesh2d(10, 10);
+        let cases: [([u32; 2], [u32; 2], u32, u32); 5] = [
+            ([7, 3], [7, 7], 4, 7),  // M0: C=4
+            ([1, 1], [5, 4], 2, 8),  // M1: C=2
+            ([2, 1], [7, 5], 4, 12), // M2: C=4
+            ([4, 1], [8, 5], 9, 16), // M3: C=9
+            ([6, 1], [9, 3], 6, 10), // M4: C=6
+        ];
+        for (s, d, c, l) in cases {
+            let p = route(&mesh, s, d);
+            assert_eq!(p.hops() + c - 1, l, "stream {s:?}->{d:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "X-Y routing is defined on 2-D meshes")]
+    fn rejects_non_2d() {
+        let mesh = Mesh::new(&[3, 3, 3]);
+        let a = mesh.node_at(&[0, 0, 0]).unwrap();
+        let b = mesh.node_at(&[2, 2, 2]).unwrap();
+        let _ = XyRouting.route(&mesh, a, b);
+    }
+}

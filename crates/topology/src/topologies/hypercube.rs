@@ -1,0 +1,139 @@
+//! Binary n-cube.
+
+use super::Topology;
+use crate::link::LinkTable;
+use crate::node::{Coord, NodeId};
+
+/// A binary n-dimensional hypercube: 2^n nodes, two nodes adjacent iff
+/// their ids differ in exactly one bit.
+///
+/// The paper's system model names the hypercube as one of the target
+/// interconnects; e-cube routing (`EcubeRouting`) is the deterministic
+/// deadlock-free routing used on it.
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    dimension: u32,
+    dims: Vec<u32>,
+    links: LinkTable,
+}
+
+impl Hypercube {
+    /// Builds an `n`-dimensional hypercube with `2^n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > 20` (a million-node cube is almost
+    /// certainly a mistake).
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "hypercube dimension must be positive");
+        assert!(n <= 20, "hypercube dimension too large");
+        let num_nodes = 1u32 << n;
+        let mut links = LinkTable::new(num_nodes as usize);
+        for idx in 0..num_nodes {
+            for bit in 0..n {
+                let to = idx ^ (1 << bit);
+                links.add(NodeId(idx), NodeId(to));
+            }
+        }
+        Hypercube {
+            dimension: n,
+            dims: vec![2; n as usize],
+            links,
+        }
+    }
+
+    /// The cube dimension n (so there are 2^n nodes).
+    pub fn dimension(&self) -> u32 {
+        self.dimension
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        1usize << self.dimension
+    }
+
+    fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    fn coord(&self, n: NodeId) -> Coord {
+        let bits: Vec<u32> = (0..self.dimension).map(|b| (n.0 >> b) & 1).collect();
+        Coord::new(&bits)
+    }
+
+    fn node_at(&self, c: &[u32]) -> Option<NodeId> {
+        if c.len() != self.dimension as usize || c.iter().any(|&b| b > 1) {
+            return None;
+        }
+        let mut id = 0u32;
+        for (b, &v) in c.iter().enumerate() {
+            id |= v << b;
+        }
+        Some(NodeId(id))
+    }
+
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        (a.0 ^ b.0).count_ones()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dimension
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_counts() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.num_nodes(), 16);
+        assert_eq!(h.num_links(), 16 * 4);
+        assert_eq!(h.diameter(), 4);
+        assert_eq!(h.dimension(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_single_bit_flip() {
+        let h = Hypercube::new(3);
+        for (_, link) in h.links().iter() {
+            assert_eq!((link.from.0 ^ link.to.0).count_ones(), 1);
+        }
+        for n in h.nodes() {
+            assert_eq!(h.neighbors(n).len(), 3);
+        }
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.distance(NodeId(0b0000), NodeId(0b1111)), 4);
+        assert_eq!(h.distance(NodeId(0b1010), NodeId(0b1000)), 1);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let h = Hypercube::new(3);
+        for n in h.nodes() {
+            let c = h.coord(n);
+            assert_eq!(h.node_at(c.as_slice()), Some(n));
+        }
+        assert!(h.node_at(&[0, 1]).is_none());
+        assert!(h.node_at(&[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        Hypercube::new(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! k-ary n-dimensional mesh.
+
+use super::{coord_to_index, index_to_coord, Topology};
+use crate::link::LinkTable;
+use crate::node::{Coord, NodeId};
+
+/// A k-ary n-dimensional mesh: nodes on an integer grid, bidirectional
+/// wires (two directed channels) between grid neighbors, no wraparound.
+///
+/// The ICPP'98 evaluation uses a 10x10 2-D mesh ([`Mesh::mesh2d`]).
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    dims: Vec<u32>,
+    links: LinkTable,
+}
+
+impl Mesh {
+    /// Builds a mesh with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is zero.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "mesh needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-extent dimension");
+        let num_nodes: u32 = dims.iter().product();
+        let mut links = LinkTable::new(num_nodes as usize);
+        // Enumerate channels in a fixed order: for each node in id order,
+        // for each dimension, the +1 then the -1 neighbor. The order is
+        // part of the crate's stable behaviour (link ids are stable).
+        for idx in 0..num_nodes {
+            let c = index_to_coord(dims, idx);
+            for d in 0..dims.len() {
+                let v = c.get(d);
+                if v + 1 < dims[d] {
+                    let mut nc = c.clone();
+                    nc.set(d, v + 1);
+                    let to = coord_to_index(dims, nc.as_slice()).unwrap();
+                    links.add(NodeId(idx), NodeId(to));
+                }
+                if v > 0 {
+                    let mut nc = c.clone();
+                    nc.set(d, v - 1);
+                    let to = coord_to_index(dims, nc.as_slice()).unwrap();
+                    links.add(NodeId(idx), NodeId(to));
+                }
+            }
+        }
+        Mesh {
+            dims: dims.to_vec(),
+            links,
+        }
+    }
+
+    /// Convenience constructor for a 2-D `width x height` mesh, the
+    /// topology of the paper's evaluation.
+    pub fn mesh2d(width: u32, height: u32) -> Self {
+        Mesh::new(&[width, height])
+    }
+}
+
+impl Topology for Mesh {
+    fn num_nodes(&self) -> usize {
+        self.dims.iter().product::<u32>() as usize
+    }
+
+    fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    fn coord(&self, n: NodeId) -> Coord {
+        index_to_coord(&self.dims, n.0)
+    }
+
+    fn node_at(&self, c: &[u32]) -> Option<NodeId> {
+        coord_to_index(&self.dims, c).map(NodeId)
+    }
+
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord(a).manhattan(&self.coord(b))
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| d - 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh2d_counts() {
+        let m = Mesh::mesh2d(10, 10);
+        assert_eq!(m.num_nodes(), 100);
+        // 2 * (9*10 horizontal wires + 10*9 vertical wires) directed.
+        assert_eq!(m.num_links(), 2 * (9 * 10 + 10 * 9));
+        assert_eq!(m.diameter(), 18);
+    }
+
+    #[test]
+    fn corner_and_interior_degree() {
+        let m = Mesh::mesh2d(4, 4);
+        let corner = m.node_at(&[0, 0]).unwrap();
+        let edge = m.node_at(&[1, 0]).unwrap();
+        let interior = m.node_at(&[1, 1]).unwrap();
+        assert_eq!(m.neighbors(corner).len(), 2);
+        assert_eq!(m.neighbors(edge).len(), 3);
+        assert_eq!(m.neighbors(interior).len(), 4);
+    }
+
+    #[test]
+    fn links_are_between_grid_neighbors_only() {
+        let m = Mesh::mesh2d(5, 3);
+        for (_, link) in m.links().iter() {
+            assert_eq!(m.distance(link.from, link.to), 1);
+        }
+        // Both directions exist for every wire.
+        for (_, link) in m.links().iter() {
+            assert!(m.link_between(link.to, link.from).is_some());
+        }
+    }
+
+    #[test]
+    fn three_dimensional_mesh() {
+        let m = Mesh::new(&[3, 4, 5]);
+        assert_eq!(m.num_nodes(), 60);
+        assert_eq!(m.diameter(), 2 + 3 + 4);
+        let a = m.node_at(&[0, 0, 0]).unwrap();
+        let b = m.node_at(&[2, 3, 4]).unwrap();
+        assert_eq!(m.distance(a, b), 9);
+        let interior = m.node_at(&[1, 1, 1]).unwrap();
+        assert_eq!(m.neighbors(interior).len(), 6);
+    }
+
+    #[test]
+    fn node_at_rejects_out_of_range() {
+        let m = Mesh::mesh2d(10, 10);
+        assert!(m.node_at(&[10, 0]).is_none());
+        assert!(m.node_at(&[0, 10]).is_none());
+        assert!(m.node_at(&[0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-extent")]
+    fn zero_extent_panics() {
+        Mesh::new(&[3, 0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Concrete direct-network topologies.
+
+mod hypercube;
+mod mesh;
+mod torus;
+
+pub use hypercube::Hypercube;
+pub use mesh::Mesh;
+pub use torus::Torus;
+
+use crate::link::{Link, LinkId, LinkTable};
+use crate::node::{Coord, NodeId};
+
+/// A direct network: a set of router nodes joined by directed physical
+/// channels, with a coordinate system used by deterministic routing.
+pub trait Topology {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed physical channels.
+    fn num_links(&self) -> usize;
+
+    /// Per-dimension extents (radix of each dimension).
+    fn dims(&self) -> &[u32];
+
+    /// Coordinate of node `n`.
+    fn coord(&self, n: NodeId) -> Coord;
+
+    /// Node at coordinate `c`, if it exists.
+    fn node_at(&self, c: &[u32]) -> Option<NodeId>;
+
+    /// The channel table.
+    fn links(&self) -> &LinkTable;
+
+    /// Nodes adjacent to `n` via an outgoing channel.
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.links()
+            .outgoing(n)
+            .iter()
+            .map(|&l| self.links().endpoints(l).to)
+            .collect()
+    }
+
+    /// The directed channel `from -> to`, if adjacent.
+    fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.links().between(from, to)
+    }
+
+    /// Endpoints of channel `l`.
+    fn link_endpoints(&self, l: LinkId) -> Link {
+        self.links().endpoints(l)
+    }
+
+    /// All node ids.
+    fn nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId).collect()
+    }
+
+    /// Minimal hop distance between two nodes under the topology's
+    /// natural metric (Manhattan for meshes, wrap-aware Manhattan for
+    /// tori, Hamming for hypercubes).
+    fn distance(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// The longest minimal distance between any node pair.
+    fn diameter(&self) -> u32;
+}
+
+/// Mixed-radix encoding shared by mesh-like topologies: dimension 0
+/// varies fastest.
+pub(crate) fn coord_to_index(dims: &[u32], c: &[u32]) -> Option<u32> {
+    if c.len() != dims.len() {
+        return None;
+    }
+    let mut idx: u32 = 0;
+    let mut stride: u32 = 1;
+    for (d, (&extent, &v)) in dims.iter().zip(c).enumerate() {
+        if v >= extent {
+            return None;
+        }
+        let _ = d;
+        idx += v * stride;
+        stride *= extent;
+    }
+    Some(idx)
+}
+
+/// Inverse of [`coord_to_index`].
+pub(crate) fn index_to_coord(dims: &[u32], mut idx: u32) -> Coord {
+    let mut out = Vec::with_capacity(dims.len());
+    for &extent in dims {
+        out.push(idx % extent);
+        idx /= extent;
+    }
+    debug_assert_eq!(idx, 0, "node index out of range for dims {dims:?}");
+    Coord::new(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_radix_roundtrip() {
+        let dims = [10u32, 10];
+        for i in 0..100u32 {
+            let c = index_to_coord(&dims, i);
+            assert_eq!(coord_to_index(&dims, c.as_slice()), Some(i));
+        }
+    }
+
+    #[test]
+    fn coord_out_of_range() {
+        assert_eq!(coord_to_index(&[10, 10], &[10, 0]), None);
+        assert_eq!(coord_to_index(&[10, 10], &[0, 10]), None);
+        assert_eq!(coord_to_index(&[10, 10], &[0]), None);
+    }
+
+    #[test]
+    fn dimension_zero_varies_fastest() {
+        // Paper convention: node (x, y) on a 10x10 mesh is x + 10*y.
+        assert_eq!(coord_to_index(&[10, 10], &[7, 3]), Some(37));
+        assert_eq!(index_to_coord(&[10, 10], 37).as_slice(), &[7, 3]);
+    }
+}

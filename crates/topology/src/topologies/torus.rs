@@ -1,0 +1,245 @@
+//! k-ary n-cube (torus) with wraparound channels.
+
+use super::{coord_to_index, index_to_coord, Topology};
+use crate::link::{LinkId, LinkTable};
+use crate::node::{Coord, NodeId};
+use crate::path::Path;
+
+/// A k-ary n-dimensional torus: a mesh whose edges wrap around.
+///
+/// The paper's analysis applies to "a topology, such as a hypercube or a
+/// mesh"; the torus is included because it is the other classical
+/// wormhole substrate. Note that *deterministic dimension-order routing
+/// on a torus is only deadlock-free with extra virtual channels per
+/// wraparound dateline*; the priority virtual channels of the ICPP'98
+/// scheme are orthogonal to (and do not substitute for) dateline
+/// channels. The off-line analysis is routing-agnostic and works on
+/// torus paths unchanged, but `wormnet-sim` should only be driven with
+/// deadlock-free routings — use meshes or hypercubes for simulation, or
+/// keep torus utilization low enough that its watchdog stays quiet.
+#[derive(Clone, Debug)]
+pub struct Torus {
+    dims: Vec<u32>,
+    links: LinkTable,
+}
+
+impl Torus {
+    /// Builds a torus with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is < 2 (a wraparound wire
+    /// needs at least two distinct nodes; extent 2 would duplicate the
+    /// mesh wire, which we allow as a single pair of channels).
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 2), "torus dimension extent < 2");
+        let num_nodes: u32 = dims.iter().product();
+        let mut links = LinkTable::new(num_nodes as usize);
+        for idx in 0..num_nodes {
+            let c = index_to_coord(dims, idx);
+            for d in 0..dims.len() {
+                let extent = dims[d];
+                let v = c.get(d);
+                // +1 neighbor with wraparound.
+                let up = (v + 1) % extent;
+                // -1 neighbor with wraparound.
+                let down = (v + extent - 1) % extent;
+                for nv in [up, down] {
+                    if nv == v {
+                        continue; // extent 1 guarded by assert; defensive.
+                    }
+                    let mut nc = c.clone();
+                    nc.set(d, nv);
+                    let to = coord_to_index(dims, nc.as_slice()).unwrap();
+                    // With extent 2 the up and down neighbors coincide;
+                    // register the channel only once.
+                    if links.between(NodeId(idx), NodeId(to)).is_none() {
+                        links.add(NodeId(idx), NodeId(to));
+                    }
+                }
+            }
+        }
+        Torus {
+            dims: dims.to_vec(),
+            links,
+        }
+    }
+
+    /// Wrap-aware per-dimension distance.
+    fn dim_distance(extent: u32, a: u32, b: u32) -> u32 {
+        let direct = a.abs_diff(b);
+        direct.min(extent - direct)
+    }
+
+    /// The dimension a channel travels in (the single coordinate that
+    /// differs between its endpoints).
+    pub fn link_dimension(&self, link: LinkId) -> usize {
+        let ends = self.links.endpoints(link);
+        let (a, b) = (self.coord(ends.from), self.coord(ends.to));
+        (0..self.dims.len())
+            .find(|&d| a.get(d) != b.get(d))
+            .expect("channel endpoints differ in one dimension")
+    }
+
+    /// True when `link` is a wraparound channel (its endpoints'
+    /// coordinates differ by more than one in its dimension).
+    pub fn is_wraparound(&self, link: LinkId) -> bool {
+        let ends = self.links.endpoints(link);
+        let (a, b) = (self.coord(ends.from), self.coord(ends.to));
+        let d = self.link_dimension(link);
+        a.get(d).abs_diff(b.get(d)) > 1
+    }
+
+    /// Dateline virtual-channel layers for a routed path: hop `i` is in
+    /// layer 1 iff the path has traversed (or is traversing) a
+    /// wraparound channel in the same dimension. Deterministic
+    /// dimension-order routing on a torus is deadlock-free when each
+    /// priority class is split into two such layers (the classic
+    /// dateline scheme) — `wormnet-sim` consumes these layers via
+    /// `SimConfig::num_layers`.
+    pub fn dateline_layers(&self, path: &Path) -> Vec<u8> {
+        let mut wrapped = vec![false; self.dims.len()];
+        path.links()
+            .iter()
+            .map(|&l| {
+                let d = self.link_dimension(l);
+                if self.is_wraparound(l) {
+                    wrapped[d] = true;
+                }
+                wrapped[d] as u8
+            })
+            .collect()
+    }
+}
+
+impl Topology for Torus {
+    fn num_nodes(&self) -> usize {
+        self.dims.iter().product::<u32>() as usize
+    }
+
+    fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    fn coord(&self, n: NodeId) -> Coord {
+        index_to_coord(&self.dims, n.0)
+    }
+
+    fn node_at(&self, c: &[u32]) -> Option<NodeId> {
+        coord_to_index(&self.dims, c).map(NodeId)
+    }
+
+    fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(d, &extent)| Self::dim_distance(extent, ca.get(d), cb.get(d)))
+            .sum()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| d / 2).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_counts() {
+        let t = Torus::new(&[4, 4]);
+        assert_eq!(t.num_nodes(), 16);
+        // Every node has degree 4 (two dims, two directions): 16*4 = 64.
+        assert_eq!(t.num_links(), 64);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn wraparound_adjacency() {
+        let t = Torus::new(&[5, 5]);
+        let a = t.node_at(&[0, 2]).unwrap();
+        let b = t.node_at(&[4, 2]).unwrap();
+        assert!(t.link_between(a, b).is_some(), "wraparound channel exists");
+        assert_eq!(t.distance(a, b), 1);
+    }
+
+    #[test]
+    fn extent_two_merges_directions() {
+        let t = Torus::new(&[2, 2]);
+        // Each node has 2 distinct neighbors; 4 nodes * 2 = 8 channels.
+        assert_eq!(t.num_links(), 8);
+        for n in t.nodes() {
+            assert_eq!(t.neighbors(n).len(), 2);
+        }
+    }
+
+    #[test]
+    fn wrap_distance_shorter_way() {
+        let t = Torus::new(&[10, 10]);
+        let a = t.node_at(&[1, 0]).unwrap();
+        let b = t.node_at(&[9, 0]).unwrap();
+        assert_eq!(t.distance(a, b), 2); // around the edge, not 8 across
+    }
+
+    #[test]
+    #[should_panic(expected = "extent < 2")]
+    fn extent_one_panics() {
+        Torus::new(&[1, 4]);
+    }
+
+    #[test]
+    fn wraparound_detection() {
+        let t = Torus::new(&[5, 5]);
+        let a = t.node_at(&[4, 2]).unwrap();
+        let b = t.node_at(&[0, 2]).unwrap();
+        let wrap = t.link_between(a, b).unwrap();
+        assert!(t.is_wraparound(wrap));
+        assert_eq!(t.link_dimension(wrap), 0);
+        let c = t.node_at(&[1, 2]).unwrap();
+        let d = t.node_at(&[2, 2]).unwrap();
+        let plain = t.link_between(c, d).unwrap();
+        assert!(!t.is_wraparound(plain));
+    }
+
+    #[test]
+    fn dateline_layers_switch_after_wrap() {
+        use crate::routing::{DimensionOrderRouting, Routing};
+        let t = Torus::new(&[6, 6]);
+        // 4,0 -> 1,0 goes the short way: 4 -> 5 -> 0(wrap) -> 1.
+        let s = t.node_at(&[4, 0]).unwrap();
+        let d = t.node_at(&[1, 0]).unwrap();
+        let p = DimensionOrderRouting.route(&t, s, d).unwrap();
+        assert_eq!(p.hops(), 3);
+        assert_eq!(t.dateline_layers(&p), vec![0, 1, 1]);
+        // A wrap-free route stays in layer 0.
+        let s2 = t.node_at(&[1, 1]).unwrap();
+        let d2 = t.node_at(&[3, 4]).unwrap();
+        let p2 = DimensionOrderRouting.route(&t, s2, d2).unwrap();
+        assert!(t.dateline_layers(&p2).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn dateline_layers_reset_per_dimension() {
+        use crate::routing::{DimensionOrderRouting, Routing};
+        let t = Torus::new(&[6, 6]);
+        // Wraps in X (5 -> 0), then travels in Y without wrapping: the
+        // Y hops are back in layer 0.
+        let s = t.node_at(&[4, 1]).unwrap();
+        let d = t.node_at(&[0, 3]).unwrap();
+        let p = DimensionOrderRouting.route(&t, s, d).unwrap();
+        let layers = t.dateline_layers(&p);
+        // X: 4->5 (0), 5->0 wrap (1); Y: 1->2 (0), 2->3 (0).
+        assert_eq!(layers, vec![0, 1, 0, 0]);
+    }
+}

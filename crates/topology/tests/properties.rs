@@ -1,0 +1,239 @@
+//! Property-based tests of topologies and routing: minimality,
+//! determinism, structural validity, and the directional-overlap
+//! algebra the blocking analysis relies on.
+
+use proptest::prelude::*;
+use wormnet_topology::{
+    BfsRouting, DimensionOrderRouting, EcubeRouting, Hypercube, LinkId, Mesh, NodeId, Path,
+    Routing, Topology, Torus, XyRouting,
+};
+
+/// A path is structurally valid for its topology: consecutive nodes are
+/// joined by exactly the listed channels.
+fn assert_valid_path<T: Topology>(topo: &T, p: &Path) {
+    assert_eq!(p.nodes().len(), p.links().len() + 1);
+    for (i, &l) in p.links().iter().enumerate() {
+        let ends = topo.link_endpoints(l);
+        assert_eq!(ends.from, p.nodes()[i]);
+        assert_eq!(ends.to, p.nodes()[i + 1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mesh_dor_routes_are_minimal_and_valid(
+        w in 2u32..8,
+        h in 2u32..8,
+        s in 0u32..64,
+        d in 0u32..64,
+    ) {
+        let mesh = Mesh::mesh2d(w, h);
+        let n = w * h;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let p = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+        prop_assert_eq!(p.hops(), mesh.distance(s, d));
+        assert_valid_path(&mesh, &p);
+        prop_assert_eq!(p.source(), s);
+        prop_assert_eq!(p.dest(), d);
+        // Determinism.
+        let q = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+        prop_assert_eq!(p.links(), q.links());
+    }
+
+    #[test]
+    fn mesh3d_dor_minimal(
+        dims in prop::collection::vec(2u32..5, 3),
+        s in 0u32..1000,
+        d in 0u32..1000,
+    ) {
+        let mesh = Mesh::new(&dims);
+        let n = mesh.num_nodes() as u32;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let p = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+        prop_assert_eq!(p.hops(), mesh.distance(s, d));
+        assert_valid_path(&mesh, &p);
+    }
+
+    #[test]
+    fn xy_equals_dor_on_2d(
+        w in 2u32..9,
+        h in 2u32..9,
+        s in 0u32..81,
+        d in 0u32..81,
+    ) {
+        let mesh = Mesh::mesh2d(w, h);
+        let n = w * h;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let a = XyRouting.route(&mesh, s, d).unwrap();
+        let b = DimensionOrderRouting.route(&mesh, s, d).unwrap();
+        prop_assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn torus_dor_minimal_and_valid(
+        w in 2u32..7,
+        h in 2u32..7,
+        s in 0u32..49,
+        d in 0u32..49,
+    ) {
+        let torus = Torus::new(&[w, h]);
+        let n = w * h;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let p = DimensionOrderRouting.route(&torus, s, d).unwrap();
+        prop_assert_eq!(p.hops(), torus.distance(s, d));
+        assert_valid_path(&torus, &p);
+    }
+
+    #[test]
+    fn ecube_minimal_and_valid(dim in 1u32..7, s in 0u32..128, d in 0u32..128) {
+        let h = Hypercube::new(dim);
+        let n = h.num_nodes() as u32;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let p = EcubeRouting.route(&h, s, d).unwrap();
+        prop_assert_eq!(p.hops(), h.distance(s, d));
+        assert_valid_path(&h, &p);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_reflexive(
+        a in 0u32..100, b in 0u32..100, c in 0u32..100, d in 0u32..100,
+    ) {
+        let mesh = Mesh::mesh2d(10, 10);
+        let (a, b) = (NodeId(a), NodeId(b));
+        let (c, d) = (NodeId(c), NodeId(d));
+        prop_assume!(a != b && c != d);
+        let p = XyRouting.route(&mesh, a, b).unwrap();
+        let q = XyRouting.route(&mesh, c, d).unwrap();
+        prop_assert_eq!(p.shares_link(&q), q.shares_link(&p));
+        prop_assert!(p.shares_link(&p));
+        // shared_links is consistent with shares_link.
+        prop_assert_eq!(!p.shared_links(&q).is_empty(), p.shares_link(&q));
+    }
+
+    #[test]
+    fn xy_never_returns_to_x_after_y(
+        s in 0u32..100, d in 0u32..100,
+    ) {
+        let mesh = Mesh::mesh2d(10, 10);
+        let (s, d) = (NodeId(s), NodeId(d));
+        prop_assume!(s != d);
+        let p = XyRouting.route(&mesh, s, d).unwrap();
+        let mut seen_y = false;
+        for w in p.nodes().windows(2) {
+            let a = mesh.coord(w[0]);
+            let b = mesh.coord(w[1]);
+            let x_move = a.get(0) != b.get(0);
+            if x_move {
+                prop_assert!(!seen_y, "X move after a Y move");
+            } else {
+                seen_y = true;
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_routing_avoids_failures_or_errors(
+        s in 0u32..36,
+        d in 0u32..36,
+        failed in prop::collection::btree_set(0u32..120, 0..12),
+    ) {
+        let mesh = Mesh::mesh2d(6, 6);
+        let (s, d) = (NodeId(s), NodeId(d));
+        let failed: Vec<LinkId> = failed
+            .into_iter()
+            .filter(|&l| (l as usize) < mesh.num_links())
+            .map(LinkId)
+            .collect();
+        let bfs = BfsRouting::avoiding(failed.clone());
+        match bfs.route(&mesh, s, d) {
+            Ok(p) => {
+                prop_assert_eq!(p.source(), s);
+                prop_assert_eq!(p.dest(), d);
+                for l in &failed {
+                    prop_assert!(!p.uses_link(*l), "route uses failed {l:?}");
+                }
+                // Never shorter than the unconstrained minimum, and
+                // structurally valid.
+                prop_assert!(p.hops() >= mesh.distance(s, d));
+                assert_valid_path(&mesh, &p);
+                // Deterministic.
+                let q = bfs.route(&mesh, s, d).unwrap();
+                prop_assert_eq!(p.links(), q.links());
+            }
+            Err(_) => {
+                // Only acceptable when the failures disconnect d from s.
+                // Verify with a fresh reachability scan.
+                let reach = {
+                    let mut seen = vec![false; mesh.num_nodes()];
+                    seen[s.index()] = true;
+                    let mut queue = std::collections::VecDeque::from([s]);
+                    while let Some(n) = queue.pop_front() {
+                        for &l in mesh.links().outgoing(n) {
+                            if failed.contains(&l) {
+                                continue;
+                            }
+                            let to = mesh.links().endpoints(l).to;
+                            if !seen[to.index()] {
+                                seen[to.index()] = true;
+                                queue.push_back(to);
+                            }
+                        }
+                    }
+                    seen[d.index()]
+                };
+                prop_assert!(!reach, "routing failed despite reachability");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dateline_layers_are_monotone_per_dimension(
+        w in 3u32..7,
+        h in 3u32..7,
+        s in 0u32..49,
+        d in 0u32..49,
+    ) {
+        let torus = Torus::new(&[w, h]);
+        let n = w * h;
+        let (s, d) = (NodeId(s % n), NodeId(d % n));
+        let p = DimensionOrderRouting.route(&torus, s, d).unwrap();
+        let layers = torus.dateline_layers(&p);
+        prop_assert_eq!(layers.len(), p.hops() as usize);
+        // Within each dimension's hop segment, the layer goes 0* then 1*.
+        let mut per_dim: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        for (i, &l) in p.links().iter().enumerate() {
+            per_dim[torus.link_dimension(l)].push(layers[i]);
+        }
+        for seq in per_dim {
+            let mut seen_one = false;
+            for v in seq {
+                if v == 1 {
+                    seen_one = true;
+                } else {
+                    prop_assert!(!seen_one, "layer fell back to 0 after the dateline");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_link_tables_consistent(w in 2u32..8, h in 2u32..8) {
+        let mesh = Mesh::mesh2d(w, h);
+        for (id, link) in mesh.links().iter() {
+            // Endpoints resolve back to the same id.
+            prop_assert_eq!(mesh.link_between(link.from, link.to), Some(id));
+            // Outgoing/incoming tables contain it.
+            prop_assert!(mesh.links().outgoing(link.from).contains(&id));
+            prop_assert!(mesh.links().incoming(link.to).contains(&id));
+        }
+        // Degree sums match the channel count.
+        let total: usize = mesh
+            .nodes()
+            .iter()
+            .map(|&n| mesh.links().outgoing(n).len())
+            .sum();
+        prop_assert_eq!(total, mesh.num_links());
+    }
+}

@@ -1,0 +1,157 @@
+//! Fluent builder for hand-crafted stream sets on a mesh.
+
+use rtwc_core::{AnalysisError, StreamSet, StreamSpec};
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+/// Builds a [`StreamSet`] on a 2-D mesh with X-Y routing, one stream at
+/// a time, using mesh coordinates directly (the way the paper writes its
+/// examples).
+///
+/// ```
+/// use rtwc_workload::ScenarioBuilder;
+///
+/// let set = ScenarioBuilder::mesh2d(10, 10)
+///     .stream((7, 3), (7, 7), 5, 150, 4)
+///     .stream((1, 1), (5, 4), 4, 100, 2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    mesh: Mesh,
+    specs: Vec<StreamSpec>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario on a `width x height` mesh.
+    pub fn mesh2d(width: u32, height: u32) -> Self {
+        ScenarioBuilder {
+            mesh: Mesh::mesh2d(width, height),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds a stream with deadline equal to its period.
+    ///
+    /// # Panics
+    /// Panics if either coordinate is outside the mesh.
+    pub fn stream(
+        mut self,
+        source: (u32, u32),
+        dest: (u32, u32),
+        priority: u32,
+        period: u64,
+        length: u64,
+    ) -> Self {
+        self = self.stream_with_deadline(source, dest, priority, period, length, period);
+        self
+    }
+
+    /// Adds a stream with an explicit deadline.
+    pub fn stream_with_deadline(
+        mut self,
+        source: (u32, u32),
+        dest: (u32, u32),
+        priority: u32,
+        period: u64,
+        length: u64,
+        deadline: u64,
+    ) -> Self {
+        let s = self
+            .mesh
+            .node_at(&[source.0, source.1])
+            .unwrap_or_else(|| panic!("source {source:?} outside mesh"));
+        let d = self
+            .mesh
+            .node_at(&[dest.0, dest.1])
+            .unwrap_or_else(|| panic!("dest {dest:?} outside mesh"));
+        self.specs
+            .push(StreamSpec::new(s, d, priority, period, length, deadline));
+        self
+    }
+
+    /// Appends pre-built specs (e.g. from `scenarios`).
+    pub fn extend(mut self, specs: impl IntoIterator<Item = StreamSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// The mesh under construction.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of streams added so far.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when no streams were added.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Resolves the scenario into a routed, validated stream set (and
+    /// the mesh it lives on).
+    pub fn build(self) -> Result<StreamSet, AnalysisError> {
+        StreamSet::resolve(&self.mesh, &XyRouting, &self.specs)
+    }
+
+    /// Like [`ScenarioBuilder::build`] but also hands back the mesh.
+    pub fn build_with_mesh(self) -> Result<(Mesh, StreamSet), AnalysisError> {
+        let set = StreamSet::resolve(&self.mesh, &XyRouting, &self.specs)?;
+        Ok((self.mesh, set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::StreamId;
+
+    #[test]
+    fn builds_paper_example_geometry() {
+        let set = ScenarioBuilder::mesh2d(10, 10)
+            .stream((7, 3), (7, 7), 5, 15, 4)
+            .stream((1, 1), (5, 4), 4, 10, 2)
+            .stream((2, 1), (7, 5), 3, 40, 4)
+            .build()
+            .unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.get(StreamId(0)).latency, 7);
+        assert_eq!(set.get(StreamId(1)).latency, 8);
+        assert_eq!(set.get(StreamId(2)).latency, 12);
+    }
+
+    #[test]
+    fn explicit_deadline() {
+        let set = ScenarioBuilder::mesh2d(4, 4)
+            .stream_with_deadline((0, 0), (3, 0), 1, 100, 2, 55)
+            .build()
+            .unwrap();
+        assert_eq!(set.get(StreamId(0)).deadline(), 55);
+        assert_eq!(set.get(StreamId(0)).period(), 100);
+    }
+
+    #[test]
+    fn extend_with_scenario() {
+        let b = ScenarioBuilder::mesh2d(4, 4);
+        let specs = crate::scenarios::nearest_neighbor(b.mesh(), 1, 100, 2);
+        let b = b.extend(specs);
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 3 * 4);
+        b.build().unwrap();
+    }
+
+    #[test]
+    fn empty_build_errors() {
+        assert!(ScenarioBuilder::mesh2d(3, 3).build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn bad_coordinate_panics() {
+        ScenarioBuilder::mesh2d(3, 3).stream((5, 0), (0, 0), 1, 10, 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rtwc-workload
+//!
+//! Workload generators for real-time wormhole-network experiments.
+//!
+//! * [`paper`] — the ICPP'98 evaluation workload: uniformly random
+//!   periodic streams on a 10x10 mesh (at most one per node), with the
+//!   paper's period-inflation rule `T_i := max(T_i, U_i)`.
+//! * [`scenarios`] — structured patterns (transpose, hotspot,
+//!   nearest-neighbor, pipeline) for the example applications.
+//! * [`builder`] — a fluent [`ScenarioBuilder`] for hand-written sets.
+//!
+//! All generators are deterministic functions of their seeds.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod paper;
+pub mod priorities;
+pub mod scenarios;
+
+pub use builder::ScenarioBuilder;
+pub use paper::{generate, GeneratedWorkload, PaperWorkloadConfig};
+pub use priorities::{assign_deadline_monotonic, assign_rate_monotonic};
+pub use scenarios::{
+    bit_reversal, hotspot, nearest_neighbor, pipeline, random_permutation, random_phases,
+    transpose, zero_phases,
+};

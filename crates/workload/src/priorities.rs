@@ -1,0 +1,96 @@
+//! Priority-assignment policies.
+//!
+//! The paper draws priorities uniformly at random; the companion
+//! literature it cites (Mutka) brings *rate-monotonic* assignment from
+//! processor scheduling: shorter period = higher priority. These
+//! helpers re-assign the priorities of an existing spec list so the two
+//! policies can be compared on identical traffic.
+
+use rtwc_core::StreamSpec;
+
+/// Re-assigns priorities rate-monotonically: the stream with the
+/// shortest period gets the highest priority (ties keep their original
+/// relative order). With `levels` available priority levels, the sorted
+/// streams are split into equally-sized bands.
+pub fn assign_rate_monotonic(specs: &[StreamSpec], levels: u32) -> Vec<StreamSpec> {
+    assert!(levels >= 1, "need at least one priority level");
+    let n = specs.len();
+    // Rank streams by period ascending (stable: ties keep input order).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    let mut out = specs.to_vec();
+    for (rank, &i) in order.iter().enumerate() {
+        // rank 0 = shortest period = highest priority level.
+        let band = (rank as u64 * levels as u64 / n.max(1) as u64) as u32;
+        out[i].priority = levels - band;
+    }
+    out
+}
+
+/// Re-assigns priorities deadline-monotonically (shortest deadline =
+/// highest priority), the generalization used when `D < T`.
+pub fn assign_deadline_monotonic(specs: &[StreamSpec], levels: u32) -> Vec<StreamSpec> {
+    assert!(levels >= 1, "need at least one priority level");
+    let n = specs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| specs[i].deadline);
+    let mut out = specs.to_vec();
+    for (rank, &i) in order.iter().enumerate() {
+        let band = (rank as u64 * levels as u64 / n.max(1) as u64) as u32;
+        out[i].priority = levels - band;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet_topology::NodeId;
+
+    fn spec(t: u64, d: u64) -> StreamSpec {
+        StreamSpec::new(NodeId(0), NodeId(1), 1, t, 2, d)
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let specs = vec![spec(300, 300), spec(100, 100), spec(200, 200)];
+        let rm = assign_rate_monotonic(&specs, 3);
+        assert_eq!(rm[1].priority, 3, "shortest period = top priority");
+        assert_eq!(rm[2].priority, 2);
+        assert_eq!(rm[0].priority, 1);
+        // Everything else untouched.
+        assert_eq!(rm[0].period, 300);
+    }
+
+    #[test]
+    fn rm_bands_with_fewer_levels() {
+        let specs: Vec<StreamSpec> = (1..=6).map(|i| spec(i * 10, i * 10)).collect();
+        let rm = assign_rate_monotonic(&specs, 2);
+        let prios: Vec<u32> = rm.iter().map(|s| s.priority).collect();
+        assert_eq!(prios, vec![2, 2, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn dm_orders_by_deadline() {
+        let specs = vec![spec(100, 90), spec(100, 30), spec(100, 60)];
+        let dm = assign_deadline_monotonic(&specs, 3);
+        assert_eq!(dm[1].priority, 3);
+        assert_eq!(dm[2].priority, 2);
+        assert_eq!(dm[0].priority, 1);
+    }
+
+    #[test]
+    fn ties_are_stable() {
+        let specs = vec![spec(100, 100), spec(100, 100)];
+        let rm = assign_rate_monotonic(&specs, 2);
+        assert_eq!(rm[0].priority, 2, "first input wins the tie");
+        assert_eq!(rm[1].priority, 1);
+    }
+
+    #[test]
+    fn single_level_flattens() {
+        let specs = vec![spec(10, 10), spec(20, 20)];
+        let rm = assign_rate_monotonic(&specs, 1);
+        assert!(rm.iter().all(|s| s.priority == 1));
+    }
+}

@@ -1,0 +1,299 @@
+//! Domain-flavored workload scenarios beyond the paper's random
+//! evaluation mix: the communication patterns the paper's introduction
+//! motivates (cooperating periodic jobs spread over a multicomputer).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtwc_core::StreamSpec;
+use wormnet_topology::{Mesh, NodeId, Topology};
+
+/// Matrix-transpose pattern: node `(x, y)` streams to `(y, x)` for every
+/// `x != y` on a square mesh — the classic adversarial pattern for
+/// dimension-order routing (all traffic funnels through the diagonal).
+///
+/// Priorities cycle `1..=priority_levels` deterministically by source
+/// index.
+pub fn transpose(mesh: &Mesh, priority_levels: u32, period: u64, length: u64) -> Vec<StreamSpec> {
+    assert_eq!(mesh.dims().len(), 2, "transpose needs a 2-D mesh");
+    assert_eq!(mesh.dims()[0], mesh.dims()[1], "transpose needs a square mesh");
+    let k = mesh.dims()[0];
+    let mut specs = Vec::new();
+    for x in 0..k {
+        for y in 0..k {
+            if x == y {
+                continue;
+            }
+            let src = mesh.node_at(&[x, y]).unwrap();
+            let dst = mesh.node_at(&[y, x]).unwrap();
+            let priority = (specs.len() as u32 % priority_levels) + 1;
+            specs.push(StreamSpec::new(src, dst, priority, period, length, period));
+        }
+    }
+    specs
+}
+
+/// Hotspot pattern: `num_sources` random distinct nodes all stream to
+/// one hot node (e.g. a shared I/O or monitoring node). Priorities are
+/// drawn uniformly.
+pub fn hotspot(
+    mesh: &Mesh,
+    hot: NodeId,
+    num_sources: usize,
+    priority_levels: u32,
+    period: u64,
+    length: u64,
+    seed: u64,
+) -> Vec<StreamSpec> {
+    assert!(num_sources < mesh.num_nodes(), "too many sources");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = Vec::new();
+    while chosen.len() < num_sources {
+        let n = NodeId(rng.gen_range(0..mesh.num_nodes() as u32));
+        if n != hot && !chosen.contains(&n) {
+            chosen.push(n);
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|src| {
+            let priority = rng.gen_range(1..=priority_levels);
+            StreamSpec::new(src, hot, priority, period, length, period)
+        })
+        .collect()
+}
+
+/// Nearest-neighbor pattern: every node streams to its east neighbor
+/// (wrapping rows to the next row's west end is *not* done — border
+/// columns simply do not source). Models stencil exchanges.
+pub fn nearest_neighbor(mesh: &Mesh, priority: u32, period: u64, length: u64) -> Vec<StreamSpec> {
+    assert_eq!(mesh.dims().len(), 2, "nearest-neighbor needs a 2-D mesh");
+    let (w, h) = (mesh.dims()[0], mesh.dims()[1]);
+    let mut specs = Vec::new();
+    for y in 0..h {
+        for x in 0..w.saturating_sub(1) {
+            let src = mesh.node_at(&[x, y]).unwrap();
+            let dst = mesh.node_at(&[x + 1, y]).unwrap();
+            specs.push(StreamSpec::new(src, dst, priority, period, length, period));
+        }
+    }
+    specs
+}
+
+/// A processing pipeline: stage `i` (at `stages[i]`) streams to stage
+/// `i + 1`. Earlier stages get *lower* priority than later ones
+/// (downstream stages must drain first), mirroring a sensor -> filter ->
+/// fusion -> actuator flow.
+pub fn pipeline(stages: &[NodeId], period: u64, length: u64) -> Vec<StreamSpec> {
+    assert!(stages.len() >= 2, "pipeline needs at least two stages");
+    stages
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| {
+            let priority = i as u32 + 1;
+            StreamSpec::new(w[0], w[1], priority, period, length, period)
+        })
+        .collect()
+}
+
+/// Bit-reversal pattern on a square power-of-two mesh: node with linear
+/// index `i` streams to the node whose index is `i` bit-reversed —
+/// another classic adversarial permutation for dimension-order routing.
+/// Priorities cycle `1..=priority_levels` by source index.
+///
+/// # Panics
+/// Panics unless the mesh is square with a power-of-two side.
+pub fn bit_reversal(
+    mesh: &Mesh,
+    priority_levels: u32,
+    period: u64,
+    length: u64,
+) -> Vec<StreamSpec> {
+    assert_eq!(mesh.dims().len(), 2, "bit reversal needs a 2-D mesh");
+    let k = mesh.dims()[0];
+    assert_eq!(k, mesh.dims()[1], "bit reversal needs a square mesh");
+    assert!(k.is_power_of_two(), "bit reversal needs a power-of-two side");
+    let n = mesh.num_nodes() as u32;
+    let bits = n.trailing_zeros();
+    let mut specs = Vec::new();
+    for i in 0..n {
+        let rev = i.reverse_bits() >> (32 - bits);
+        if rev == i {
+            continue;
+        }
+        let priority = (specs.len() as u32 % priority_levels) + 1;
+        specs.push(StreamSpec::new(
+            NodeId(i),
+            NodeId(rev),
+            priority,
+            period,
+            length,
+            period,
+        ));
+    }
+    specs
+}
+
+/// A random permutation: each selected node streams to a distinct
+/// partner (no node receives twice, no self-loops). `num_streams`
+/// source/destination pairs are drawn from a shuffled node list.
+pub fn random_permutation(
+    mesh: &Mesh,
+    num_streams: usize,
+    priority_levels: u32,
+    period: u64,
+    length: u64,
+    seed: u64,
+) -> Vec<StreamSpec> {
+    assert!(
+        2 * num_streams <= mesh.num_nodes(),
+        "need 2 nodes per stream for a disjoint permutation"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = (0..mesh.num_nodes() as u32).map(NodeId).collect();
+    use rand::seq::SliceRandom;
+    nodes.shuffle(&mut rng);
+    (0..num_streams)
+        .map(|i| {
+            let src = nodes[2 * i];
+            let dst = nodes[2 * i + 1];
+            let priority = rng.gen_range(1..=priority_levels);
+            StreamSpec::new(src, dst, priority, period, length, period)
+        })
+        .collect()
+}
+
+/// Zero phases (all streams release together at t = 0; the paper's
+/// implicit choice and the critical-instant-style alignment).
+pub fn zero_phases(n: usize) -> Vec<u64> {
+    vec![0; n]
+}
+
+/// Random release phases in `0..max_phase`, for phase-sensitivity
+/// studies.
+pub fn random_phases(n: usize, max_phase: u64, seed: u64) -> Vec<u64> {
+    assert!(max_phase > 0, "max_phase must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max_phase)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::StreamSet;
+    use wormnet_topology::XyRouting;
+
+    #[test]
+    fn transpose_counts_and_symmetry() {
+        let mesh = Mesh::mesh2d(4, 4);
+        let specs = transpose(&mesh, 3, 500, 8);
+        assert_eq!(specs.len(), 12); // 16 - 4 diagonal
+        for s in &specs {
+            let sc = mesh.coord(s.source);
+            let dc = mesh.coord(s.dest);
+            assert_eq!(sc.get(0), dc.get(1));
+            assert_eq!(sc.get(1), dc.get(0));
+            assert!((1..=3).contains(&s.priority));
+        }
+        StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap();
+    }
+
+    #[test]
+    fn hotspot_all_target_hot_node() {
+        let mesh = Mesh::mesh2d(6, 6);
+        let hot = mesh.node_at(&[3, 3]).unwrap();
+        let specs = hotspot(&mesh, hot, 10, 4, 600, 12, 42);
+        assert_eq!(specs.len(), 10);
+        let mut sources: Vec<_> = specs.iter().map(|s| s.source).collect();
+        sources.sort();
+        sources.dedup();
+        assert_eq!(sources.len(), 10, "distinct sources");
+        assert!(specs.iter().all(|s| s.dest == hot && s.source != hot));
+    }
+
+    #[test]
+    fn hotspot_deterministic() {
+        let mesh = Mesh::mesh2d(6, 6);
+        let hot = mesh.node_at(&[0, 0]).unwrap();
+        let a = hotspot(&mesh, hot, 8, 2, 100, 4, 7);
+        let b = hotspot(&mesh, hot, 8, 2, 100, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_neighbor_covers_interior() {
+        let mesh = Mesh::mesh2d(5, 3);
+        let specs = nearest_neighbor(&mesh, 1, 200, 4);
+        assert_eq!(specs.len(), 4 * 3);
+        for s in &specs {
+            assert_eq!(mesh.distance(s.source, s.dest), 1);
+        }
+    }
+
+    #[test]
+    fn pipeline_priorities_increase_downstream() {
+        let mesh = Mesh::mesh2d(8, 1);
+        let stages: Vec<NodeId> = (0..4).map(|x| mesh.node_at(&[x * 2, 0]).unwrap()).collect();
+        let specs = pipeline(&stages, 300, 6);
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].priority, 1);
+        assert_eq!(specs[2].priority, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stages")]
+    fn short_pipeline_panics() {
+        pipeline(&[NodeId(0)], 100, 2);
+    }
+
+    #[test]
+    fn bit_reversal_is_a_partial_permutation() {
+        let mesh = Mesh::mesh2d(4, 4);
+        let specs = bit_reversal(&mesh, 2, 100, 4);
+        // Fixed points (palindromic indices) are skipped: 0b0000,
+        // 0b0110, 0b1001, 0b1111.
+        assert_eq!(specs.len(), 12);
+        let mut dests: Vec<_> = specs.iter().map(|s| s.dest).collect();
+        dests.sort();
+        dests.dedup();
+        assert_eq!(dests.len(), 12, "no destination repeats");
+        for s in &specs {
+            assert_ne!(s.source, s.dest);
+            // Involution: reversing the destination gives the source.
+            let rev = |n: NodeId| NodeId(n.0.reverse_bits() >> 28);
+            assert_eq!(rev(s.dest), s.source);
+        }
+        StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bit_reversal_rejects_odd_mesh() {
+        bit_reversal(&Mesh::mesh2d(6, 6), 1, 100, 4);
+    }
+
+    #[test]
+    fn random_permutation_is_disjoint() {
+        let mesh = Mesh::mesh2d(8, 8);
+        let specs = random_permutation(&mesh, 20, 4, 100, 4, 11);
+        assert_eq!(specs.len(), 20);
+        let mut endpoints: Vec<NodeId> = specs
+            .iter()
+            .flat_map(|s| [s.source, s.dest])
+            .collect();
+        endpoints.sort();
+        endpoints.dedup();
+        assert_eq!(endpoints.len(), 40, "sources and dests all distinct");
+        let again = random_permutation(&mesh, 20, 4, 100, 4, 11);
+        assert_eq!(specs, again, "deterministic per seed");
+    }
+
+    #[test]
+    fn phase_helpers() {
+        assert_eq!(zero_phases(3), vec![0, 0, 0]);
+        let p = random_phases(10, 50, 3);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|&x| x < 50));
+        assert_eq!(p, random_phases(10, 50, 3));
+        assert_ne!(p, random_phases(10, 50, 4));
+    }
+}

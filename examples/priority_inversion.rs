@@ -1,0 +1,84 @@
+//! Priority inversion in classic wormhole switching (paper Figure 2),
+//! and its resolution by flit-level preemptive virtual channels.
+//!
+//! Three low-priority streams keep a switch's output channel busy while
+//! a high-priority message needs it. Under classic (non-prioritized,
+//! single-VC) wormhole switching the high-priority message waits behind
+//! them indefinitely; under the paper's scheme it preempts the channel
+//! at flit granularity and sails through at its network latency.
+//!
+//! Run with: `cargo run --example priority_inversion`
+
+use rtwc::prelude::*;
+
+fn build() -> (Mesh, StreamSet) {
+    // Aggressors enter row 2 from different columns and all continue
+    // east through the channels the victim needs; the victim crosses
+    // the same row-2 segment.
+    ScenarioBuilder::mesh2d(10, 10)
+        // Low-priority aggressors: long messages, short periods (the
+        // "message 1 / message 2 / message n" of Fig. 2).
+        .stream((1, 2), (8, 2), 1, 60, 40)
+        .stream((2, 0), (8, 2), 1, 60, 40)
+        .stream((2, 4), (7, 2), 1, 60, 40)
+        // The high-priority message B of Fig. 2.
+        .stream((0, 2), (9, 2), 4, 300, 6)
+        .build_with_mesh()
+        .unwrap()
+}
+
+fn run(policy_name: &str, cfg: SimConfig) {
+    let (mesh, set) = build();
+    let victim = StreamId(3);
+    let mut sim =
+        Simulator::new(mesh.num_links(), &set, cfg.with_cycles(6_000, 0).with_trace()).unwrap();
+    sim.run();
+    let stats = sim.stats();
+    let l = set.get(victim).latency;
+    println!("{policy_name}:");
+    match stats.mean_latency(victim, 0) {
+        Some(mean) => {
+            let max = stats.max_latency(victim, 0).unwrap();
+            println!(
+                "  high-priority stream: network latency L = {l}, mean actual = {mean:.1}, max = {max}, unfinished = {}",
+                stats.unfinished(victim)
+            );
+            if max as f64 > 3.0 * l as f64 {
+                println!("  -> severe priority inversion (blocked behind low-priority worms)");
+            } else if max == l {
+                println!("  -> no interference at all: flit-level preemption in action");
+            } else {
+                println!("  -> mild interference");
+            }
+        }
+        None => println!(
+            "  high-priority stream: NO message completed in 6000 cycles (permanently blocked, as in Fig. 2), unfinished = {}",
+            stats.unfinished(victim)
+        ),
+    }
+    // Aggressors' throughput, to show the channel was genuinely loaded.
+    let aggressor_msgs: usize = (0..3)
+        .map(|i| stats.latencies(StreamId(i), 0).len())
+        .sum();
+    println!("  low-priority messages completed: {aggressor_msgs}");
+    // Measured Gantt of the first 70 cycles: '#' transmitting, 'w'
+    // stalled in flight, '.' idle. M3 is the high-priority victim.
+    println!("{}", indent(&sim.render_gantt(1, 70)));
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    println!("Figure 2 — priority inversion and its resolution\n");
+    run("classic wormhole (single VC, FCFS)", SimConfig::classic());
+    run("Li priority VCs (4 VCs, fair bandwidth)", SimConfig::li(4));
+    run(
+        "flit-level preemptive priority VCs (the paper's scheme)",
+        SimConfig::paper(4),
+    );
+}

@@ -1,0 +1,63 @@
+//! Wormhole deadlock on a torus, live: four worms chase each other
+//! around a ring and freeze; dateline virtual-channel layers break the
+//! cycle and everything delivers.
+//!
+//! Run with: `cargo run --example torus_dateline`
+
+use rtwc::prelude::*;
+use rtwc_core::StreamSpec;
+use wormnet_topology::{DimensionOrderRouting, NodeId, Torus};
+
+fn main() {
+    let torus = Torus::new(&[4]);
+    println!("4-node ring torus, four one-shot 8-flit worms: 0->2, 1->3, 2->0, 3->1");
+    println!("(deterministic DOR ties break toward +1, so all four go clockwise)\n");
+
+    let mk = |s: u32, d: u32| StreamSpec::new(NodeId(s), NodeId(d), 1, 1_000_000, 8, 1_000_000);
+    let set = StreamSet::resolve(
+        &torus,
+        &DimensionOrderRouting,
+        &[mk(0, 2), mk(1, 3), mk(2, 0), mk(3, 1)],
+    )
+    .unwrap();
+
+    // Attempt 1: single VC layer.
+    let mut cfg = SimConfig::paper(1).with_cycles(3_000, 0).with_buffer_depth(2);
+    cfg.stall_limit = 200;
+    let mut sim = Simulator::new(torus.num_links(), &set, cfg).unwrap();
+    sim.run();
+    match sim.stats().stalled_at {
+        Some(t) => println!(
+            "single layer : DEADLOCK detected at cycle {t} ({} of 4 worms delivered)",
+            sim.stats().total_completed()
+        ),
+        None => println!("single layer : unexpectedly survived"),
+    }
+
+    // Attempt 2: two dateline layers, per-hop layers from the torus.
+    let layers: Vec<Vec<u8>> = set.iter().map(|s| torus.dateline_layers(&s.path)).collect();
+    for (s, ls) in set.iter().zip(&layers) {
+        println!(
+            "  {} route layers: {:?}",
+            s.id,
+            ls
+        );
+    }
+    let mut cfg = SimConfig::paper(1)
+        .with_cycles(3_000, 0)
+        .with_buffer_depth(2)
+        .with_layers(2);
+    cfg.stall_limit = 200;
+    let phases = vec![0; set.len()];
+    let mut sim =
+        Simulator::with_phases_and_layers(torus.num_links(), &set, cfg, &phases, &layers).unwrap();
+    sim.run();
+    println!(
+        "two datelines: {} of 4 worms delivered, no stall (max latency {})",
+        sim.stats().total_completed(),
+        set.ids()
+            .filter_map(|id| sim.stats().max_latency(id, 0))
+            .max()
+            .unwrap_or(0)
+    );
+}

@@ -1,0 +1,42 @@
+//! # rtwc — Real-Time Wormhole Communication
+//!
+//! A full reproduction of *"A Real-Time Communication Method for
+//! Wormhole Switching Networks"* (B. Kim, J. Kim, S. Hong, S. Lee —
+//! ICPP 1998) as a Rust workspace:
+//!
+//! * [`rtwc_core`] — the paper's contribution: message-stream
+//!   feasibility testing via HP sets, blocking dependency graphs,
+//!   timing diagrams, and delay upper bounds (`U_i`).
+//! * [`wormnet_topology`] — meshes, tori, hypercubes, and deterministic
+//!   deadlock-free routing (X-Y, dimension-order, e-cube).
+//! * [`wormnet_sim`] — a deterministic flit-level wormhole simulator
+//!   with per-priority virtual channels and flit-level preemption,
+//!   plus the Li and classic-wormhole baselines.
+//! * [`rtwc_workload`] — the paper's evaluation workload and richer
+//!   scenario generators.
+//!
+//! This crate re-exports the common API surface; see the `examples/`
+//! directory for runnable walkthroughs (quickstart, the paper's worked
+//! example, priority inversion, an avionics-style workload, and
+//! admission control) and `crates/bench` for the binaries that
+//! regenerate every table of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use rtwc_core;
+pub use rtwc_host;
+pub use rtwc_workload;
+pub use wormnet_sim;
+pub use wormnet_topology;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rtwc_core::{
+        cal_u, cal_u_detailed, determine_feasibility, render_analysis, DelayBound,
+        FeasibilityReport, MessageStream, StreamId, StreamSet, StreamSpec,
+    };
+    pub use rtwc_host::{HostProcessor, JobSpec, MessageRequirement, TaskId};
+    pub use rtwc_workload::{PaperWorkloadConfig, ScenarioBuilder};
+    pub use wormnet_sim::{Policy, SimConfig, Simulator};
+    pub use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+}

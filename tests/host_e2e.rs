@@ -1,0 +1,75 @@
+//! Full-stack check: jobs deployed by the host processor, then the
+//! *whole deployed system* simulated at flit level — every observed
+//! latency must respect the guarantee the host handed out at admission
+//! time.
+
+use rtwc_host::{Clustered, CommunicationAware, HostProcessor, JobSpec, MessageRequirement, TaskId};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::Topology;
+
+fn stage_job(name: &str, tasks: usize, priority: u32, period: u64, length: u64) -> JobSpec {
+    let msgs = (0..tasks as u32 - 1)
+        .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), priority, period, length))
+        .collect();
+    JobSpec::new(name, tasks, msgs).unwrap()
+}
+
+#[test]
+fn deployed_system_respects_guarantees_in_simulation() {
+    let mut host = HostProcessor::new(8, 8);
+    host.deploy(&stage_job("ctrl", 4, 3, 80, 8), &CommunicationAware)
+        .unwrap();
+    host.deploy(&stage_job("sense", 5, 2, 120, 12), &Clustered)
+        .unwrap();
+    host.deploy(&stage_job("log", 3, 1, 300, 24), &CommunicationAware)
+        .unwrap();
+    let set = host.stream_set().expect("jobs deployed");
+    assert_eq!(set.len(), 3 + 4 + 2);
+
+    let plevels = set.iter().map(|s| s.priority()).max().unwrap() as usize;
+    let cfg = SimConfig::paper(plevels).with_cycles(12_000, 0);
+    let mut sim = Simulator::new(host.mesh().num_links(), set, cfg).unwrap();
+    sim.run();
+    assert!(sim.stats().stalled_at.is_none());
+
+    for job in host.jobs() {
+        for &s in &job.streams {
+            let u = host.bound(s).value().expect("admitted means bounded");
+            let max = sim
+                .stats()
+                .max_latency(s, 0)
+                .expect("stream delivered messages");
+            assert!(
+                max <= u,
+                "job {:?} stream {s}: max {max} > guaranteed {u}",
+                job.id
+            );
+        }
+    }
+}
+
+#[test]
+fn guarantees_survive_job_churn() {
+    let mut host = HostProcessor::new(8, 8);
+    let a = host
+        .deploy(&stage_job("a", 4, 2, 100, 16), &CommunicationAware)
+        .unwrap();
+    host.deploy(&stage_job("b", 4, 1, 150, 12), &CommunicationAware)
+        .unwrap();
+    host.remove_job(a);
+    host.deploy(&stage_job("c", 4, 3, 90, 10), &CommunicationAware)
+        .unwrap();
+
+    let set = host.stream_set().unwrap();
+    let plevels = set.iter().map(|s| s.priority()).max().unwrap() as usize;
+    let cfg = SimConfig::paper(plevels).with_cycles(10_000, 0);
+    let mut sim = Simulator::new(host.mesh().num_links(), set, cfg).unwrap();
+    sim.run();
+    for job in host.jobs() {
+        for &s in &job.streams {
+            let u = host.bound(s).value().unwrap();
+            let max = sim.stats().max_latency(s, 0).unwrap();
+            assert!(max <= u, "{s}: {max} > {u}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Cross-crate reproduction of the paper's Figures 4 and 6 numbers
+//! through the *public workspace API* (the core crate has its own
+//! white-box versions; these go through the facade the way a user
+//! would).
+
+use rtwc::prelude::*;
+use rtwc_core::{direct_only_bound, generate_hp, BlockingMode};
+
+/// Figures 4-6: M1 (T=10, C=2), M2 (T=15, C=3), M3 (T=13, C=4), and a
+/// target with latency 6, arranged so M1 and M2 block only indirectly
+/// (M1 via M2, M2 via M3).
+fn figure_set() -> StreamSet {
+    ScenarioBuilder::mesh2d(20, 2)
+        .stream((6, 0), (9, 0), 4, 10, 2) // M1
+        .stream((4, 0), (7, 0), 3, 15, 3) // M2
+        .stream((2, 0), (5, 0), 2, 13, 4) // M3
+        .stream((0, 0), (3, 0), 1, 50, 4) // target: L = 3 + 4 - 1 = 6
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn target_latency_is_six() {
+    let set = figure_set();
+    assert_eq!(set.get(StreamId(3)).latency, 6);
+}
+
+#[test]
+fn figure4_direct_bound_is_26() {
+    // "if the network latency of M4 is 6, then time 26 is the delay
+    // upper bound of M4" (all elements direct).
+    let set = figure_set();
+    assert_eq!(
+        direct_only_bound(&set, StreamId(3), 50),
+        DelayBound::Bounded(26)
+    );
+}
+
+#[test]
+fn figure5_blocking_chain_shape() {
+    let set = figure_set();
+    let hp = generate_hp(&set, StreamId(3));
+    assert_eq!(hp.len(), 3);
+    let m1 = hp.element(StreamId(0)).unwrap();
+    let m2 = hp.element(StreamId(1)).unwrap();
+    let m3 = hp.element(StreamId(2)).unwrap();
+    assert_eq!(m1.mode, BlockingMode::Indirect);
+    assert_eq!(m1.intermediates, vec![StreamId(1)]);
+    assert_eq!(m2.mode, BlockingMode::Indirect);
+    assert_eq!(m2.intermediates, vec![StreamId(2)]);
+    assert_eq!(m3.mode, BlockingMode::Direct);
+}
+
+#[test]
+fn figure6_indirect_bound_is_22() {
+    // "Thus the delay upper bound of M4 is reduced to time 22."
+    let set = figure_set();
+    assert_eq!(cal_u(&set, StreamId(3), 50), DelayBound::Bounded(22));
+}
+
+#[test]
+fn full_feasibility_through_facade() {
+    let set = figure_set();
+    let report = determine_feasibility(&set);
+    assert!(report.is_feasible());
+    // Highest priority stream is unblocked.
+    assert_eq!(
+        report.bound(StreamId(0)),
+        DelayBound::Bounded(set.get(StreamId(0)).latency)
+    );
+}

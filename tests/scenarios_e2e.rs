@@ -1,0 +1,86 @@
+//! End-to-end over the structured workload scenarios: every scenario
+//! resolves, analyzes, and simulates, and wherever the analysis
+//! produces a bound, the simulation respects it.
+
+use rtwc_core::{determine_feasibility, StreamSet, StreamSpec};
+use rtwc_workload::{
+    bit_reversal, hotspot, nearest_neighbor, pipeline, random_permutation, transpose,
+};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::{Mesh, NodeId, Topology, XyRouting};
+
+fn check_bounds(mesh: &Mesh, specs: Vec<StreamSpec>, plevels: usize, cycles: u64) {
+    let set = StreamSet::resolve(mesh, &XyRouting, &specs).unwrap();
+    let report = determine_feasibility(&set);
+    let cfg = SimConfig::paper(plevels).with_cycles(cycles, 0);
+    let mut sim = Simulator::new(mesh.num_links(), &set, cfg).unwrap();
+    sim.run();
+    assert!(sim.stats().stalled_at.is_none());
+    let mut bounded_checked = 0;
+    for id in set.ids() {
+        if let Some(u) = report.bound(id).value() {
+            if let Some(max) = sim.stats().max_latency(id, 0) {
+                assert!(max <= u, "{id:?}: max {max} > U {u}");
+                bounded_checked += 1;
+            }
+        }
+    }
+    assert!(bounded_checked > 0, "scenario produced no checkable stream");
+}
+
+#[test]
+fn transpose_end_to_end() {
+    let mesh = Mesh::mesh2d(6, 6);
+    let specs = transpose(&mesh, 4, 400, 8);
+    check_bounds(&mesh, specs, 4, 5_000);
+}
+
+#[test]
+fn hotspot_end_to_end() {
+    let mesh = Mesh::mesh2d(8, 8);
+    let hot = mesh.node_at(&[4, 4]).unwrap();
+    let specs = hotspot(&mesh, hot, 10, 3, 500, 10, 77);
+    check_bounds(&mesh, specs, 3, 5_000);
+}
+
+#[test]
+fn nearest_neighbor_end_to_end() {
+    let mesh = Mesh::mesh2d(6, 6);
+    let specs = nearest_neighbor(&mesh, 1, 100, 4);
+    // Disjoint single-hop streams: every stream is unblocked and every
+    // latency equals C (1 hop + C - 1).
+    let set = StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap();
+    let cfg = SimConfig::paper(1).with_cycles(1_000, 0);
+    let mut sim = Simulator::new(mesh.num_links(), &set, cfg).unwrap();
+    sim.run();
+    for id in set.ids() {
+        let ls = sim.stats().latencies(id, 0);
+        assert!(!ls.is_empty());
+        assert!(ls.iter().all(|&l| l == 4), "{id:?}: {ls:?}");
+    }
+}
+
+#[test]
+fn pipeline_end_to_end() {
+    let mesh = Mesh::mesh2d(8, 8);
+    let stages: Vec<NodeId> = [(0u32, 0u32), (3, 2), (5, 5), (7, 7)]
+        .iter()
+        .map(|&(x, y)| mesh.node_at(&[x, y]).unwrap())
+        .collect();
+    let specs = pipeline(&stages, 300, 12);
+    check_bounds(&mesh, specs, 3, 4_000);
+}
+
+#[test]
+fn bit_reversal_end_to_end() {
+    let mesh = Mesh::mesh2d(8, 8);
+    let specs = bit_reversal(&mesh, 5, 600, 6);
+    check_bounds(&mesh, specs, 5, 6_000);
+}
+
+#[test]
+fn random_permutation_end_to_end() {
+    let mesh = Mesh::mesh2d(8, 8);
+    let specs = random_permutation(&mesh, 16, 4, 500, 10, 1234);
+    check_bounds(&mesh, specs, 4, 5_000);
+}

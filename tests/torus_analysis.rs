@@ -1,0 +1,59 @@
+//! The analysis on a torus, end to end: the delay-bound machinery is
+//! routing-agnostic, so wrap-around paths analyze like any others —
+//! and with dateline layers the simulator validates the bounds.
+
+use rtwc_core::{determine_feasibility, is_deadlock_free, StreamSet, StreamSpec};
+use wormnet_sim::{SimConfig, Simulator};
+use wormnet_topology::{DimensionOrderRouting, Topology, Torus};
+
+fn torus_set() -> (Torus, StreamSet) {
+    let t = Torus::new(&[6, 6]);
+    let n = |x: u32, y: u32| t.node_at(&[x, y]).unwrap();
+    // Routes that genuinely wrap: 4,1 -> 1,1 goes around the X edge.
+    let specs = vec![
+        StreamSpec::new(n(4, 1), n(1, 1), 3, 60, 6, 60),
+        StreamSpec::new(n(5, 1), n(2, 1), 2, 90, 8, 90), // overlaps the wrap
+        StreamSpec::new(n(0, 3), n(3, 5), 1, 120, 10, 120), // disjoint
+    ];
+    let set = StreamSet::resolve(&t, &DimensionOrderRouting, &specs).unwrap();
+    (t, set)
+}
+
+#[test]
+fn wrap_paths_analyze() {
+    let (t, set) = torus_set();
+    // Both wrap streams take the short way (3 hops), so L = 3 + C - 1.
+    assert_eq!(set.get(rtwc_core::StreamId(0)).latency, 8);
+    assert_eq!(set.get(rtwc_core::StreamId(1)).latency, 10);
+    let report = determine_feasibility(&set);
+    assert!(report.is_feasible());
+    // Stream 1 is blocked by stream 0 on the shared wrap channels.
+    let hp = rtwc_core::generate_hp(&set, rtwc_core::StreamId(1));
+    assert_eq!(hp.len(), 1);
+    let _ = t;
+}
+
+#[test]
+fn dateline_layers_keep_it_deadlock_free() {
+    let (t, set) = torus_set();
+    let layers: Vec<Vec<u8>> = set.iter().map(|s| t.dateline_layers(&s.path)).collect();
+    assert!(is_deadlock_free(&set, Some(&layers)));
+}
+
+#[test]
+fn torus_simulation_respects_bounds() {
+    let (t, set) = torus_set();
+    let report = determine_feasibility(&set);
+    let layers: Vec<Vec<u8>> = set.iter().map(|s| t.dateline_layers(&s.path)).collect();
+    let cfg = SimConfig::paper(3).with_cycles(8_000, 0).with_layers(2);
+    let phases = vec![0; set.len()];
+    let mut sim =
+        Simulator::with_phases_and_layers(t.num_links(), &set, cfg, &phases, &layers).unwrap();
+    sim.run();
+    assert!(sim.stats().stalled_at.is_none());
+    for id in set.ids() {
+        let u = report.bound(id).value().unwrap();
+        let max = sim.stats().max_latency(id, 0).unwrap();
+        assert!(max <= u, "{id:?}: {max} > {u}");
+    }
+}
