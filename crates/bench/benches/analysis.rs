@@ -3,7 +3,7 @@
 //! count scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtwc_core::{cal_u, determine_feasibility, generate_hp_sets};
+use rtwc_core::{cal_u, determine_feasibility, determine_feasibility_parallel, generate_hp_sets};
 use rtwc_workload::{generate, PaperWorkloadConfig};
 
 fn workload(streams: usize, plevels: u32, seed: u64) -> rtwc_workload::GeneratedWorkload {
@@ -54,5 +54,23 @@ fn bench_feasibility(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hp_sets, bench_cal_u, bench_feasibility);
+fn bench_feasibility_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("determine_feasibility_parallel");
+    g.sample_size(10);
+    let w = workload(60, 10, 17);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &w, |b, w| {
+            b.iter(|| determine_feasibility_parallel(&w.set, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hp_sets,
+    bench_cal_u,
+    bench_feasibility,
+    bench_feasibility_parallel
+);
 criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the two `Generate_Init_Diagram`
+//! kernels and the bound-only scratch arena, over horizon x HP-size.
+//!
+//! `cargo bench -p rtwc-bench --bench diagram_kernel`. For the
+//! machine-readable speedup record see the `diagram_bench` binary,
+//! which writes `results/BENCH_diagram.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtwc_bench::contended_line_set;
+use rtwc_core::{generate_hp, AnalysisScratch, RemovedInstances, TimingDiagram};
+
+const HORIZONS: [u64; 3] = [100, 1_000, 10_000];
+const HP_SIZES: [usize; 3] = [4, 16, 64];
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diagram_generate");
+    g.sample_size(20);
+    for &n in &HP_SIZES {
+        let (set, target) = contended_line_set(n);
+        let hp = generate_hp(&set, target);
+        let none = RemovedInstances::none();
+        for &h in &HORIZONS {
+            g.bench_with_input(
+                BenchmarkId::new("bitset", format!("h{h}_n{n}")),
+                &h,
+                |b, &h| b.iter(|| TimingDiagram::generate(&set, &hp, h, &none)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("legacy", format!("h{h}_n{n}")),
+                &h,
+                |b, &h| b.iter(|| TimingDiagram::generate_legacy(&set, &hp, h, &none)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_scratch_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diagram_scratch_bound");
+    g.sample_size(20);
+    for &n in &HP_SIZES {
+        let (set, target) = contended_line_set(n);
+        let hp = generate_hp(&set, target);
+        let mut scratch = AnalysisScratch::new();
+        for &h in &HORIZONS {
+            g.bench_with_input(
+                BenchmarkId::new("scratch", format!("h{h}_n{n}")),
+                &h,
+                |b, &h| b.iter(|| scratch.delay_bound(&set, &hp, h)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_scratch_bound);
+criterion_main!(benches);

@@ -22,10 +22,9 @@ fn bench_paper_workloads(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    let cfg = SimConfig::paper(w.config.priority_levels as usize)
-                        .with_cycles(3_000, 0);
-                    let mut sim =
-                        Simulator::new(w.mesh.num_links(), &w.set, cfg).unwrap();
+                    let cfg =
+                        SimConfig::paper(w.config.priority_levels as usize).with_cycles(3_000, 0);
+                    let mut sim = Simulator::new(w.mesh.num_links(), &w.set, cfg).unwrap();
                     sim.run().total_completed()
                 })
             },
@@ -52,8 +51,7 @@ fn bench_policies(c: &mut Criterion) {
         let cfg = cfg.with_cycles(3_000, 0);
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| {
-                let mut sim =
-                    Simulator::new(w.mesh.num_links(), &w.set, cfg.clone()).unwrap();
+                let mut sim = Simulator::new(w.mesh.num_links(), &w.set, cfg.clone()).unwrap();
                 sim.run().total_completed()
             })
         });

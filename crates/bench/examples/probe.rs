@@ -10,7 +10,12 @@ fn main() {
             let cells: Vec<String> = rows
                 .iter()
                 .filter(|r| r.streams > 0)
-                .map(|r| format!("P{}: m={:.3}/p={:.3}", r.priority, r.mean_ratio, r.pooled_ratio))
+                .map(|r| {
+                    format!(
+                        "P{}: m={:.3}/p={:.3}",
+                        r.priority, r.mean_ratio, r.pooled_ratio
+                    )
+                })
                 .collect();
             println!("  {n}x{p}: {}", cells.join("  "));
         }

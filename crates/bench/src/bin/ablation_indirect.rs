@@ -34,11 +34,8 @@ fn main() {
                 let full = cal_u(&w.set, id, horizon);
                 let direct = direct_only_bound(&w.set, id, horizon);
                 let busy = busy_window_bound(&w.set, id, horizon);
-                if let (
-                    DelayBound::Bounded(f),
-                    DelayBound::Bounded(d),
-                    DelayBound::Bounded(bw),
-                ) = (full, direct, busy)
+                if let (DelayBound::Bounded(f), DelayBound::Bounded(d), DelayBound::Bounded(bw)) =
+                    (full, direct, busy)
                 {
                     full_sum += f as f64;
                     direct_sum += d as f64;

@@ -9,15 +9,21 @@
 
 use rtwc_bench::ExperimentConfig;
 use rtwc_host::{
-    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec,
-    MessageRequirement, RandomPlacement, TaskId,
+    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec, MessageRequirement,
+    RandomPlacement, TaskId,
 };
 
 fn pipeline(name: &str, priority: u32, period: u64, length: u64) -> JobSpec {
     let mut msgs: Vec<MessageRequirement> = (0..4)
         .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), priority, period, length))
         .collect();
-    msgs.push(MessageRequirement::new(TaskId(0), TaskId(4), 1, period * 5, length * 2));
+    msgs.push(MessageRequirement::new(
+        TaskId(0),
+        TaskId(4),
+        1,
+        period * 5,
+        length * 2,
+    ));
     JobSpec::new(name, 5, msgs).unwrap()
 }
 

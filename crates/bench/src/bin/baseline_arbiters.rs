@@ -91,8 +91,7 @@ fn main() {
     let victim = StreamId(3);
     let l = set.get(victim).latency;
     for (name, cfg) in policies(4) {
-        let mut sim =
-            Simulator::new(mesh.num_links(), &set, cfg.with_cycles(6_000, 0)).unwrap();
+        let mut sim = Simulator::new(mesh.num_links(), &set, cfg.with_cycles(6_000, 0)).unwrap();
         sim.run();
         match sim.stats().max_latency(victim, 0) {
             Some(max) => println!(

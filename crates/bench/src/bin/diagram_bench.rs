@@ -1,0 +1,129 @@
+//! Measures the bitset diagram kernel against the legacy cell-matrix
+//! kernel (and the bound-only scratch arena) over horizon x HP-size,
+//! and writes the machine-readable record `results/BENCH_diagram.json`.
+//!
+//! Run with `cargo run --release -p rtwc-bench --bin diagram_bench`.
+//! The acceptance target is a >= 5x diagram-construction speedup at
+//! horizon 10^4; the JSON records every cell so regressions are
+//! diffable.
+
+use rtwc_bench::contended_line_set;
+use rtwc_core::{generate_hp, AnalysisScratch, RemovedInstances, TimingDiagram};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const HORIZONS: [u64; 3] = [100, 1_000, 10_000];
+const HP_SIZES: [usize; 3] = [4, 16, 64];
+
+/// Best-of-samples ns/iter of `f`, with warmup; iteration count adapts
+/// so each sample runs long enough for the clock to be trustworthy.
+/// Scheduler noise only ever adds time, so the minimum over samples is
+/// the most stable estimate of the true cost.
+fn measure(mut f: impl FnMut()) -> f64 {
+    // Warm up and size one sample to ~25ms.
+    f();
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.025 / once) as usize).clamp(1, 250_000);
+    (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Case {
+    horizon: u64,
+    hp_size: usize,
+    legacy_ns: f64,
+    bitset_ns: f64,
+    scratch_ns: f64,
+}
+
+fn main() {
+    let mut cases = Vec::new();
+    for &n in &HP_SIZES {
+        let (set, target) = contended_line_set(n);
+        let hp = generate_hp(&set, target);
+        let none = RemovedInstances::none();
+        let needed = set.get(target).latency;
+        for &h in &HORIZONS {
+            // Sanity first: identical bounds from all three paths.
+            let fast = TimingDiagram::generate(&set, &hp, h, &none);
+            let slow = TimingDiagram::generate_legacy(&set, &hp, h, &none);
+            let mut check = AnalysisScratch::new();
+            assert_eq!(
+                fast.accumulate_free(needed),
+                slow.accumulate_free(needed),
+                "kernel disagreement at h={h} n={n}"
+            );
+            assert_eq!(
+                check.delay_bound(&set, &hp, h).value(),
+                fast.accumulate_free(needed),
+                "scratch disagreement at h={h} n={n}"
+            );
+
+            let legacy_ns = measure(|| drop(TimingDiagram::generate_legacy(&set, &hp, h, &none)));
+            let bitset_ns = measure(|| drop(TimingDiagram::generate(&set, &hp, h, &none)));
+            let mut scratch = AnalysisScratch::new();
+            let scratch_ns = measure(|| {
+                scratch.delay_bound(&set, &hp, h);
+            });
+            println!(
+                "h={h:>6} n_hp={n:>3}  legacy {legacy_ns:>12.0} ns  bitset {bitset_ns:>12.0} ns \
+                 ({:>6.1}x)  scratch {scratch_ns:>12.0} ns ({:>6.1}x)",
+                legacy_ns / bitset_ns,
+                legacy_ns / scratch_ns,
+            );
+            cases.push(Case {
+                horizon: h,
+                hp_size: n,
+                legacy_ns,
+                bitset_ns,
+                scratch_ns,
+            });
+        }
+    }
+
+    let min_speedup_at_10k = cases
+        .iter()
+        .filter(|c| c.horizon == 10_000)
+        .map(|c| c.legacy_ns / c.bitset_ns)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nminimum bitset speedup at horizon 10^4: {min_speedup_at_10k:.1}x (target >= 5x)");
+
+    let mut json = String::from("{\n  \"benchmark\": \"diagram_kernel\",\n");
+    let _ = writeln!(
+        json,
+        "  \"load\": \"contended line: n_hp direct blockers, periods 64..160\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"min_bitset_speedup_at_horizon_10000\": {min_speedup_at_10k:.2},"
+    );
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"horizon\": {}, \"hp_size\": {}, \"legacy_ns\": {:.0}, \
+             \"bitset_ns\": {:.0}, \"scratch_ns\": {:.0}, \"bitset_speedup\": {:.2}, \
+             \"scratch_speedup\": {:.2}}}{}",
+            c.horizon,
+            c.hp_size,
+            c.legacy_ns,
+            c.bitset_ns,
+            c.scratch_ns,
+            c.legacy_ns / c.bitset_ns,
+            c.legacy_ns / c.scratch_ns,
+            if i + 1 == cases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("results/BENCH_diagram.json", &json).expect("write results/BENCH_diagram.json");
+    println!("wrote results/BENCH_diagram.json");
+}

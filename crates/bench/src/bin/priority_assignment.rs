@@ -13,9 +13,7 @@ fn acceptance(mesh: &wormnet_topology::Mesh, specs: &[StreamSpec]) -> f64 {
     let set = StreamSet::resolve(mesh, &XyRouting, specs).unwrap();
     let ok = set
         .ids()
-        .filter(|&id| {
-            cal_u(&set, id, set.get(id).deadline()).meets(set.get(id).deadline())
-        })
+        .filter(|&id| cal_u(&set, id, set.get(id).deadline()).meets(set.get(id).deadline()))
         .count();
     ok as f64 / set.len() as f64
 }

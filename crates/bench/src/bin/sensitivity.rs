@@ -8,11 +8,7 @@ use rtwc_workload::{generate, random_phases, PaperWorkloadConfig};
 use wormnet_sim::{SimConfig, Simulator};
 use wormnet_topology::Topology;
 
-fn pooled_ratio_with(
-    buffer_depth: usize,
-    phases_seed: Option<u64>,
-    seeds: &[u64],
-) -> f64 {
+fn pooled_ratio_with(buffer_depth: usize, phases_seed: Option<u64>, seeds: &[u64]) -> f64 {
     let mut all = Vec::new();
     for &seed in seeds {
         let w = generate(PaperWorkloadConfig {
@@ -29,8 +25,7 @@ fn pooled_ratio_with(
             Some(ps) => random_phases(w.set.len(), 90, ps),
             None => vec![0; w.set.len()],
         };
-        let mut sim =
-            Simulator::with_phases(w.mesh.num_links(), &w.set, cfg, &phases).unwrap();
+        let mut sim = Simulator::with_phases(w.mesh.num_links(), &w.set, cfg, &phases).unwrap();
         sim.run();
         // Reuse the harness measurement shape by re-measuring manually:
         let _ = &sim;

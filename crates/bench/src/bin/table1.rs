@@ -10,7 +10,11 @@ fn main() {
     let rows = run_experiment(&cfg);
     print!(
         "{}",
-        render_table("Table 1 — 1 priority level, 20 message streams", &cfg, &rows)
+        render_table(
+            "Table 1 — 1 priority level, 20 message streams",
+            &cfg,
+            &rows
+        )
     );
     println!();
     println!("Paper shape target: ratio < 0.5 with a single priority level.");
@@ -19,7 +23,11 @@ fn main() {
             println!(
                 "Measured: mean actual/U = {:.3} -> {}",
                 r.pooled_ratio,
-                if r.pooled_ratio < 0.5 { "MATCHES" } else { "DIFFERS" }
+                if r.pooled_ratio < 0.5 {
+                    "MATCHES"
+                } else {
+                    "DIFFERS"
+                }
             );
         }
     }

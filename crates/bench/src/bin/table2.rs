@@ -12,7 +12,11 @@ fn main() {
     let rows = run_experiment(&cfg);
     print!(
         "{}",
-        render_table("Table 2 — 1 priority level, 60 message streams", &cfg, &rows)
+        render_table(
+            "Table 2 — 1 priority level, 60 message streams",
+            &cfg,
+            &rows
+        )
     );
     println!();
     println!("Paper shape target: ratio collapses well below the 20-stream case.");

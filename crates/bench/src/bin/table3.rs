@@ -10,7 +10,11 @@ fn main() {
     let rows = run_experiment(&cfg);
     print!(
         "{}",
-        render_table("Table 3 — 4 priority levels, 20 message streams", &cfg, &rows)
+        render_table(
+            "Table 3 — 4 priority levels, 20 message streams",
+            &cfg,
+            &rows
+        )
     );
     println!();
     println!(
@@ -26,7 +30,11 @@ fn main() {
             t.pooled_ratio,
             b.priority,
             b.pooled_ratio,
-            if t.pooled_ratio > b.pooled_ratio { "MATCHES" } else { "DIFFERS" }
+            if t.pooled_ratio > b.pooled_ratio {
+                "MATCHES"
+            } else {
+                "DIFFERS"
+            }
         );
     }
 }

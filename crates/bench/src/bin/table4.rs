@@ -11,18 +11,24 @@ fn main() {
     let rows = run_experiment(&cfg);
     print!(
         "{}",
-        render_table("Table 4 — 5 priority levels, 20 message streams", &cfg, &rows)
+        render_table(
+            "Table 4 — 5 priority levels, 20 message streams",
+            &cfg,
+            &rows
+        )
     );
     println!();
-    println!(
-        "Paper shape target: top-priority ratio > 0.9 at |M|/4 = 5 levels."
-    );
+    println!("Paper shape target: top-priority ratio > 0.9 at |M|/4 = 5 levels.");
     if let Some(t) = rows.first().filter(|r| r.streams > 0) {
         println!(
             "Measured: P={} ratio {:.3} -> {}",
             t.priority,
             t.pooled_ratio,
-            if t.pooled_ratio > 0.9 { "MATCHES" } else { "DIFFERS" }
+            if t.pooled_ratio > 0.9 {
+                "MATCHES"
+            } else {
+                "DIFFERS"
+            }
         );
     }
 }

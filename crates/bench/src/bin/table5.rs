@@ -30,8 +30,7 @@ fn main() {
     // Spearman-flavoured check: top third vs bottom third.
     if measured.len() >= 3 {
         let third = measured.len() / 3;
-        let top: f64 =
-            measured[..third].iter().map(|&(_, r)| r).sum::<f64>() / third as f64;
+        let top: f64 = measured[..third].iter().map(|&(_, r)| r).sum::<f64>() / third as f64;
         let bottom: f64 = measured[measured.len() - third..]
             .iter()
             .map(|&(_, r)| r)

@@ -31,12 +31,10 @@ fn worst_case_search(
     // relative offsets matter).
     loop {
         combos += 1;
-        let cfg = SimConfig::paper(
-            set.iter().map(|s| s.priority()).max().unwrap() as usize,
-        )
-        .with_cycles(cycles, 0);
-        let mut sim = Simulator::with_phases(mesh.num_links(), set, cfg, &phases)
-            .expect("valid scenario");
+        let cfg = SimConfig::paper(set.iter().map(|s| s.priority()).max().unwrap() as usize)
+            .with_cycles(cycles, 0);
+        let mut sim =
+            Simulator::with_phases(mesh.num_links(), set, cfg, &phases).expect("valid scenario");
         sim.run();
         if let Some(m) = sim.stats().max_latency(target, 0) {
             worst = worst.max(m);
@@ -103,7 +101,10 @@ fn main() {
         println!(
             "  U = {u}, worst actual over {combos} phase combinations = {worst}  ({})",
             if worst <= u {
-                format!("sound; attained {:.0}% of the bound", 100.0 * worst as f64 / u as f64)
+                format!(
+                    "sound; attained {:.0}% of the bound",
+                    100.0 * worst as f64 / u as f64
+                )
             } else {
                 "VIOLATION!".to_string()
             }

@@ -41,10 +41,7 @@ fn main() {
     let plevels = 10u32;
     println!("VC-count ablation: top-class mean latency / L (10 priority levels,");
     println!("30 streams, raw load). 1.0 = perfect isolation.\n");
-    println!(
-        "{:>6} | {:>10} | {:>10}",
-        "VCs", "li", "shared"
-    );
+    println!("{:>6} | {:>10} | {:>10}", "VCs", "li", "shared");
     println!("{}", "-".repeat(34));
     let workloads: Vec<GeneratedWorkload> = (0..4u64)
         .map(|seed| {

@@ -1,0 +1,86 @@
+//! Synthetic contended-line workloads for the diagram-kernel
+//! benchmarks.
+//!
+//! The diagram construction cost is driven by two knobs: the horizon
+//! (slots, hence bit words / cells per row) and the HP-set size (rows).
+//! The paper workload generator can't pin either directly — HP sets
+//! fall out of random placement — so the kernel benchmarks use a
+//! deterministic worst-ish case instead: `n_hp` higher-priority streams
+//! packed onto one mesh row, every one overlapping the target's route,
+//! so the target's HP set has exactly `n_hp` direct elements and every
+//! row contends for the same columns.
+
+use rtwc_core::{StreamId, StreamSet, StreamSpec};
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+/// Builds a stream set whose lowest-priority target is directly blocked
+/// by exactly `n_hp` streams, and returns it with the target's id.
+///
+/// Periods are spread over `64..160` and lengths over `1..=2`, so the
+/// per-row instance count scales linearly with the analysis horizon and
+/// aggregate utilization stays below saturation up to `n_hp = 64`.
+pub fn contended_line_set(n_hp: usize) -> (StreamSet, StreamId) {
+    let width = (n_hp as u32 + 3).max(6);
+    let mesh = Mesh::mesh2d(width, 2);
+    let node = |x: u32| mesh.node_at(&[x, 0]).expect("on-row node");
+    let mut specs = Vec::with_capacity(n_hp + 1);
+    for i in 0..n_hp {
+        let x = (i as u32) % (width - 2);
+        let period = 64 + ((i as u64) * 19) % 96;
+        // Paper-like message sizes, scaled so aggregate utilization
+        // stays near 0.7 (below saturation) at every HP-set size.
+        let length = (period * 7 / (10 * n_hp as u64)).max(1);
+        specs.push(StreamSpec::new(
+            node(x),
+            node(x + 2),
+            2 + i as u32,
+            period,
+            length,
+            period,
+        ));
+    }
+    // The target crosses the whole row, so every HP stream shares a
+    // channel with it.
+    specs.push(StreamSpec::new(
+        node(0),
+        node(width - 1),
+        1,
+        100_000,
+        4,
+        100_000,
+    ));
+    let set = StreamSet::resolve(&mesh, &XyRouting, &specs).expect("line set is valid");
+    (set, StreamId(n_hp as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::generate_hp;
+
+    #[test]
+    fn hp_size_is_exact_and_direct() {
+        for n in [4usize, 16, 64] {
+            let (set, target) = contended_line_set(n);
+            let hp = generate_hp(&set, target);
+            assert_eq!(hp.len(), n, "n_hp={n}");
+            assert!(!hp.has_indirect(), "n_hp={n}: all elements direct");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_the_bench_load() {
+        use rtwc_core::{RemovedInstances, TimingDiagram};
+        let (set, target) = contended_line_set(16);
+        let hp = generate_hp(&set, target);
+        let none = RemovedInstances::none();
+        let fast = TimingDiagram::generate(&set, &hp, 1000, &none);
+        let slow = TimingDiagram::generate_legacy(&set, &hp, 1000, &none);
+        for r in 0..hp.len() {
+            assert_eq!(fast.rows()[r].instances, slow.rows()[r].instances);
+        }
+        for needed in [1u64, 7, 30] {
+            assert_eq!(fast.accumulate_free(needed), slow.accumulate_free(needed));
+        }
+    }
+}

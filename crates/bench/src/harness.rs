@@ -40,7 +40,9 @@ impl ExperimentConfig {
         ExperimentConfig {
             num_streams,
             priority_levels,
-            seeds: (0..n_seeds).map(|s| 0x9e37_79b9 ^ (s * 0x85eb_ca6b + 1)).collect(),
+            seeds: (0..n_seeds)
+                .map(|s| 0x9e37_79b9 ^ (s * 0x85eb_ca6b + 1))
+                .collect(),
             cycles: 30_000,
             warmup: 2_000,
             c_range: (1, 40),
@@ -90,14 +92,10 @@ pub struct PriorityRow {
 }
 
 /// Simulates one generated workload and measures every stream.
-pub fn measure_workload(
-    w: &GeneratedWorkload,
-    cycles: u64,
-    warmup: u64,
-) -> Vec<StreamMeasurement> {
+pub fn measure_workload(w: &GeneratedWorkload, cycles: u64, warmup: u64) -> Vec<StreamMeasurement> {
     let cfg = SimConfig::paper(w.config.priority_levels as usize).with_cycles(cycles, warmup);
-    let mut sim = Simulator::new(w.mesh.num_links(), &w.set, cfg)
-        .expect("generated workload is simulable");
+    let mut sim =
+        Simulator::new(w.mesh.num_links(), &w.set, cfg).expect("generated workload is simulable");
     sim.run();
     let stats = sim.stats();
     w.set
@@ -109,10 +107,7 @@ pub fn measure_workload(
             // message, which we then use rather than report nothing.
             let (mean_actual, samples) = match stats.mean_latency(id, warmup) {
                 Some(m) => (Some(m), stats.latencies(id, warmup).len()),
-                None => (
-                    stats.mean_latency(id, 0),
-                    stats.latencies(id, 0).len(),
-                ),
+                None => (stats.mean_latency(id, 0), stats.latencies(id, 0).len()),
             };
             let ratio = match (mean_actual, bound) {
                 (Some(m), DelayBound::Bounded(u)) if u > 0 => Some(m / u as f64),

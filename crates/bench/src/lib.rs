@@ -18,11 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod diagram_load;
 pub mod harness;
 pub mod table;
 
+pub use diagram_load::contended_line_set;
 pub use harness::{
-    aggregate, measure_workload, run_experiment, ExperimentConfig, PriorityRow,
-    StreamMeasurement,
+    aggregate, measure_workload, run_experiment, ExperimentConfig, PriorityRow, StreamMeasurement,
 };
 pub use table::{render_table, summary_line};

@@ -3,11 +3,17 @@
 
 use crate::spec::SpecFile;
 use rtwc_core::{
-    analyze_all, determine_feasibility, explain as explain_bound, render_analysis,
+    analyze_all, determine_feasibility_parallel, explain as explain_bound, render_analysis,
     render_explanation, DelayBound,
 };
 use wormnet_sim::{Policy, SimConfig, Simulator};
 use wormnet_topology::Topology;
+
+/// Worker threads for the feasibility analysis: all available cores
+/// (the work-stealing analysis is bit-identical at any thread count).
+fn analysis_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Options shared by the simulation-backed commands.
 #[derive(Clone, Debug)]
@@ -64,7 +70,7 @@ pub fn analyze_with(spec: &SpecFile, diagrams: bool, explain: bool) -> String {
 /// `rtwc analyze` without bound attribution (see [`analyze_with`]).
 pub fn analyze(spec: &SpecFile, diagrams: bool) -> String {
     let mut out = String::new();
-    let report = determine_feasibility(&spec.set);
+    let report = determine_feasibility_parallel(&spec.set, analysis_threads());
     out.push_str(&format!(
         "{} streams on a {}x{} mesh, {} priority level(s)\n\n",
         spec.set.len(),
@@ -92,7 +98,11 @@ pub fn analyze(spec: &SpecFile, diagrams: bool) -> String {
     }
     out.push_str(&format!(
         "\nDetermine-Feasibility: {}\n",
-        if report.is_feasible() { "success" } else { "fail" }
+        if report.is_feasible() {
+            "success"
+        } else {
+            "fail"
+        }
     ));
     if diagrams {
         out.push('\n');
@@ -141,7 +151,7 @@ pub fn simulate(spec: &SpecFile, opts: &SimOptions) -> Result<String, String> {
 /// `rtwc check`: analyze + simulate, and verify every observed latency
 /// stays within its bound. Returns `(report, ok)`.
 pub fn check(spec: &SpecFile, opts: &SimOptions) -> Result<(String, bool), String> {
-    let report = determine_feasibility(&spec.set);
+    let report = determine_feasibility_parallel(&spec.set, analysis_threads());
     let cfg = opts.config(max_priority(spec));
     let mut sim = Simulator::new(spec.mesh.num_links(), &spec.set, cfg)?;
     sim.run();
@@ -170,7 +180,11 @@ pub fn check(spec: &SpecFile, opts: &SimOptions) -> Result<(String, bool), Strin
     }
     out.push_str(&format!(
         "\nresult: {}\n",
-        if ok { "all observed latencies within bounds" } else { "BOUND VIOLATIONS" }
+        if ok {
+            "all observed latencies within bounds"
+        } else {
+            "BOUND VIOLATIONS"
+        }
     ));
     Ok((out, ok))
 }

@@ -47,17 +47,16 @@ pub fn parse_jobs(input: &str) -> Result<JobsFile, ParseError> {
     // The job currently being assembled: (line, name, tasks, messages).
     let mut current: Option<(usize, String, usize, Vec<MessageRequirement>)> = None;
 
-    let finish =
-        |cur: &mut Option<(usize, String, usize, Vec<MessageRequirement>)>,
-         jobs: &mut Vec<JobSpec>|
-         -> Result<(), ParseError> {
-            if let Some((line, name, tasks, msgs)) = cur.take() {
-                let job = JobSpec::new(name, tasks, msgs)
-                    .map_err(|e| err(line, format!("invalid job: {e}")))?;
-                jobs.push(job);
-            }
-            Ok(())
-        };
+    let finish = |cur: &mut Option<(usize, String, usize, Vec<MessageRequirement>)>,
+                  jobs: &mut Vec<JobSpec>|
+     -> Result<(), ParseError> {
+        if let Some((line, name, tasks, msgs)) = cur.take() {
+            let job = JobSpec::new(name, tasks, msgs)
+                .map_err(|e| err(line, format!("invalid job: {e}")))?;
+            jobs.push(job);
+        }
+        Ok(())
+    };
 
     for (i, raw) in input.lines().enumerate() {
         let lineno = i + 1;
@@ -165,8 +164,14 @@ job telemetry 2
 
     #[test]
     fn missing_mesh_or_jobs() {
-        assert!(parse_jobs("job a 1\n").unwrap_err().message.contains("missing 'mesh"));
-        assert!(parse_jobs("mesh 4 4\n").unwrap_err().message.contains("no jobs"));
+        assert!(parse_jobs("job a 1\n")
+            .unwrap_err()
+            .message
+            .contains("missing 'mesh"));
+        assert!(parse_jobs("mesh 4 4\n")
+            .unwrap_err()
+            .message
+            .contains("no jobs"));
     }
 
     #[test]

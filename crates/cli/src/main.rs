@@ -32,7 +32,9 @@ COMMANDS:
 
 fn parse_allocator(s: &str) -> Result<Box<dyn rtwc_host::Allocator>, String> {
     if let Some(seed) = s.strip_prefix("random:") {
-        let seed: u64 = seed.parse().map_err(|_| format!("bad random seed '{seed}'"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad random seed '{seed}'"))?;
         return Ok(Box::new(rtwc_host::RandomPlacement { seed }));
     }
     match s {

@@ -55,7 +55,11 @@ fn check_exit_code_reflects_verdict() {
         .args(["--cycles", "2000", "--warmup", "0"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("within bounds"));
 }
 

@@ -6,7 +6,15 @@ use rtwc_cli::{parse, render};
 
 /// Random well-formed spec-file text.
 fn spec_text() -> impl Strategy<Value = String> {
-    let stream = (0u32..8, 0u32..8, 0u32..8, 0u32..8, 1u32..6, 1u64..200, 1u64..40)
+    let stream = (
+        0u32..8,
+        0u32..8,
+        0u32..8,
+        0u32..8,
+        1u32..6,
+        1u64..200,
+        1u64..40,
+    )
         .prop_filter("distinct endpoints", |(sx, sy, dx, dy, ..)| {
             (sx, sy) != (dx, dy)
         });

@@ -8,7 +8,8 @@
 //! the directly-affects graph — so the controller recomputes exactly
 //! those and keeps every other cached bound.
 
-use crate::calu::{cal_u_with_hp, DelayBound};
+use crate::calu::DelayBound;
+use crate::diagram::AnalysisScratch;
 use crate::hpset::generate_hp;
 use crate::stream::{StreamId, StreamSet, StreamSpec};
 use std::collections::VecDeque;
@@ -39,7 +40,11 @@ impl std::fmt::Display for AdmissionError {
                 write!(f, "candidate cannot meet its deadline (U = {bound})")
             }
             AdmissionError::BreaksExisting { victims } => {
-                write!(f, "admission would break {} existing stream(s)", victims.len())
+                write!(
+                    f,
+                    "admission would break {} existing stream(s)",
+                    victims.len()
+                )
             }
             AdmissionError::Invalid(e) => write!(f, "invalid stream: {e}"),
         }
@@ -145,9 +150,10 @@ impl AdmissionController {
         new_bounds.push(DelayBound::Exceeded);
         let mut victims = Vec::new();
         let mut candidate_bound = DelayBound::Exceeded;
+        let mut scratch = AnalysisScratch::new();
         for id in Self::affected(&trial, new_id) {
             let hp = generate_hp(&trial, id);
-            let bound = cal_u_with_hp(&trial, hp, trial.get(id).deadline()).bound;
+            let bound = scratch.delay_bound(&trial, &hp, trial.get(id).deadline());
             self.recomputations += 1;
             new_bounds[id.index()] = bound;
             if !bound.meets(trial.get(id).deadline()) {
@@ -191,8 +197,8 @@ impl AdmissionController {
             self.set = None;
             return;
         }
-        let new_set = StreamSet::from_parts(self.parts.clone())
-            .expect("remaining parts stay valid");
+        let new_set =
+            StreamSet::from_parts(self.parts.clone()).expect("remaining parts stay valid");
         // Map old ids to new ids (everything above `id` shifts down).
         let remap = |old: StreamId| -> StreamId {
             if old.index() > id.index() {
@@ -201,10 +207,11 @@ impl AdmissionController {
                 old
             }
         };
+        let mut scratch = AnalysisScratch::new();
         for old in affected_old {
             let new_id = remap(old);
             let hp = generate_hp(&new_set, new_id);
-            let bound = cal_u_with_hp(&new_set, hp, new_set.get(new_id).deadline()).bound;
+            let bound = scratch.delay_bound(&new_set, &hp, new_set.get(new_id).deadline());
             self.recomputations += 1;
             self.bounds[new_id.index()] = bound;
         }
@@ -222,7 +229,15 @@ mod tests {
         Mesh::mesh2d(10, 10)
     }
 
-    fn routed(m: &Mesh, s: [u32; 2], d: [u32; 2], p: u32, t: u64, c: u64, dl: u64) -> (StreamSpec, Path) {
+    fn routed(
+        m: &Mesh,
+        s: [u32; 2],
+        d: [u32; 2],
+        p: u32,
+        t: u64,
+        c: u64,
+        dl: u64,
+    ) -> (StreamSpec, Path) {
         let src = m.node_at(&s).unwrap();
         let dst = m.node_at(&d).unwrap();
         let path = XyRouting.route(m, src, dst).unwrap();

@@ -92,9 +92,7 @@ impl BlockingDependencyGraph {
             return Vec::new();
         }
         let dist = self.distance_from_target();
-        let dist_of = |s: StreamId| -> u32 {
-            dist[self.pos(s)].unwrap_or(u32::MAX)
-        };
+        let dist_of = |s: StreamId| -> u32 { dist[self.pos(s)].unwrap_or(u32::MAX) };
         let mut pending: Vec<StreamId> = indirect.clone();
         pending.sort_by_key(|&s| (dist_of(s), s));
         let mut done: Vec<StreamId> = Vec::new();
@@ -119,7 +117,7 @@ impl BlockingDependencyGraph {
 mod tests {
     use super::*;
     use crate::hpset::generate_hp;
-    use crate::stream::{StreamSpec, StreamSet};
+    use crate::stream::{StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     fn build(specs: &[([u32; 2], [u32; 2], u32)]) -> StreamSet {
@@ -171,8 +169,7 @@ mod tests {
         let dist = g.distance_from_target();
         // Node order: HP rows sorted by decreasing priority (W, X, Y),
         // then target.
-        let labeled: Vec<(StreamId, Option<u32>)> =
-            g.nodes().iter().copied().zip(dist).collect();
+        let labeled: Vec<(StreamId, Option<u32>)> = g.nodes().iter().copied().zip(dist).collect();
         for (s, d) in labeled {
             let expect = match s.0 {
                 0 => 0,

@@ -125,7 +125,10 @@ mod tests {
     fn busy_window_unblocked_is_latency() {
         let set = line_set(&[(0, 5, 2, 20, 3)]);
         let l = set.get(StreamId(0)).latency;
-        assert_eq!(busy_window_bound(&set, StreamId(0), 100), DelayBound::Bounded(l));
+        assert_eq!(
+            busy_window_bound(&set, StreamId(0), 100),
+            DelayBound::Bounded(l)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `Cal_U`: the transmission delay upper bound of one message stream
 //! (paper §4.3).
 
-use crate::diagram::{RemovedInstances, TimingDiagram};
+use crate::diagram::{AnalysisScratch, RemovedInstances, TimingDiagram};
 use crate::hpset::{generate_hp, HpSet};
 use crate::modify::modify_diagram;
 use crate::stream::{StreamId, StreamSet};
@@ -135,13 +135,14 @@ pub fn cal_u_with_hp(set: &StreamSet, hp: HpSet, horizon: u64) -> CalUAnalysis {
 /// assert_eq!(cal_u(&set, StreamId(1), 100), DelayBound::Bounded(11));
 /// ```
 pub fn cal_u(set: &StreamSet, target: StreamId, horizon: u64) -> DelayBound {
-    cal_u_detailed(set, target, horizon).bound
+    let hp = generate_hp(set, target);
+    AnalysisScratch::new().delay_bound(set, &hp, horizon)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{StreamSpec, StreamSet};
+    use crate::stream::{StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     fn two_streams() -> StreamSet {
@@ -156,8 +157,7 @@ mod tests {
                 100,
             )
         };
-        StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)])
-            .unwrap()
+        StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)]).unwrap()
     }
 
     #[test]
@@ -165,7 +165,10 @@ mod tests {
         let set = two_streams();
         // Stream 0 has top priority: nothing blocks it.
         let s = set.get(StreamId(0));
-        assert_eq!(cal_u(&set, StreamId(0), 100), DelayBound::Bounded(s.latency));
+        assert_eq!(
+            cal_u(&set, StreamId(0), 100),
+            DelayBound::Bounded(s.latency)
+        );
     }
 
     #[test]
@@ -211,5 +214,23 @@ mod tests {
         let u100 = cal_u(&set, StreamId(1), 100);
         let u50 = cal_u(&set, StreamId(1), 50);
         assert_eq!(u100, u50, "a found bound does not depend on horizon");
+    }
+
+    #[test]
+    fn scratch_fast_path_matches_detailed() {
+        // `cal_u` now runs through the bound-only arena; the detailed
+        // path still builds full diagrams. One scratch reused across
+        // every stream and several horizons must agree exactly.
+        let set = two_streams();
+        let mut scratch = AnalysisScratch::new();
+        for id in set.ids() {
+            for horizon in [10u64, 50, 100] {
+                let hp = generate_hp(&set, id);
+                let fast = scratch.delay_bound(&set, &hp, horizon);
+                let slow = cal_u_detailed(&set, id, horizon).bound;
+                assert_eq!(fast, slow, "stream {id:?} horizon {horizon}");
+                assert_eq!(fast, cal_u(&set, id, horizon));
+            }
+        }
     }
 }

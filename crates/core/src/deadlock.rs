@@ -157,17 +157,22 @@ fn dependency_cycle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{StreamSpec, StreamSet};
-    use wormnet_topology::{
-        DimensionOrderRouting, Mesh, NodeId, Path, Topology, Torus, XyRouting,
-    };
+    use crate::stream::{StreamSet, StreamSpec};
+    use wormnet_topology::{DimensionOrderRouting, Mesh, NodeId, Path, Topology, Torus, XyRouting};
 
     fn mesh_set(specs: &[([u32; 2], [u32; 2], u32)]) -> StreamSet {
         let m = Mesh::mesh2d(6, 6);
         let specs: Vec<StreamSpec> = specs
             .iter()
             .map(|&(s, d, p)| {
-                StreamSpec::new(m.node_at(&s).unwrap(), m.node_at(&d).unwrap(), p, 100, 4, 100)
+                StreamSpec::new(
+                    m.node_at(&s).unwrap(),
+                    m.node_at(&d).unwrap(),
+                    p,
+                    100,
+                    4,
+                    100,
+                )
             })
             .collect();
         StreamSet::resolve(&m, &XyRouting, &specs).unwrap()
@@ -238,9 +243,7 @@ mod tests {
     #[test]
     fn torus_ring_cycle_and_dateline_cure() {
         let t = Torus::new(&[4]);
-        let mk = |s: u32, d: u32| {
-            StreamSpec::new(NodeId(s), NodeId(d), 1, 100, 8, 100)
-        };
+        let mk = |s: u32, d: u32| StreamSpec::new(NodeId(s), NodeId(d), 1, 100, 8, 100);
         let set = StreamSet::resolve(
             &t,
             &DimensionOrderRouting,

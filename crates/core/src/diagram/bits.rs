@@ -1,0 +1,126 @@
+//! Bit-word primitives shared by the diagram kernels.
+//!
+//! Slots are 1-based: slot `t` occupies bit `t - 1`, packed 64 to a
+//! `u64` word with bit 0 holding the lowest slot. All helpers take and
+//! return 1-based slot numbers so callers never juggle the offset.
+
+/// Number of 64-bit words covering `horizon` slots.
+#[inline]
+pub(crate) fn word_count(horizon: u64) -> usize {
+    horizon.div_ceil(64) as usize
+}
+
+/// Word index and in-word mask of 1-based slot `t`.
+#[inline]
+pub(crate) fn slot_bit(t: u64) -> (usize, u64) {
+    let i = t - 1;
+    ((i >> 6) as usize, 1u64 << (i & 63))
+}
+
+/// Mask of bit 0 through `bit` inclusive.
+#[inline]
+pub(crate) fn mask_through(bit: u32) -> u64 {
+    debug_assert!(bit < 64);
+    !0u64 >> (63 - bit)
+}
+
+/// Index of the `n`-th (0-based) set bit of `word`. `n` must be below
+/// `word.count_ones()`.
+#[inline]
+pub(crate) fn select_nth_set(mut word: u64, n: u32) -> u32 {
+    for _ in 0..n {
+        word &= word - 1;
+    }
+    word.trailing_zeros()
+}
+
+/// The in-range mask of word `wi` for the slot range `from..=to`
+/// (1-based, `from <= to`); zero when the word lies outside the range.
+#[inline]
+pub(crate) fn range_mask(wi: usize, from: u64, to: u64) -> u64 {
+    let (first, last) = (((from - 1) >> 6) as usize, ((to - 1) >> 6) as usize);
+    if wi < first || wi > last {
+        return 0;
+    }
+    let mut mask = !0u64;
+    if wi == first {
+        mask &= !0u64 << ((from - 1) & 63);
+    }
+    if wi == last {
+        mask &= mask_through(((to - 1) & 63) as u32);
+    }
+    mask
+}
+
+/// The time at which `needed` clear bits of `taken` have accumulated
+/// over slots `1..=horizon`, or `None` when the horizon runs out —
+/// the word-parallel form of walking free columns one by one.
+pub(crate) fn accumulate_free(taken: &[u64], horizon: u64, needed: u64) -> Option<u64> {
+    if needed == 0 {
+        return Some(0);
+    }
+    let words = word_count(horizon);
+    let mut got = 0u64;
+    for (wi, &w) in taken.iter().enumerate().take(words) {
+        let mut free = !w;
+        if wi == words - 1 {
+            free &= mask_through(((horizon - 1) & 63) as u32);
+        }
+        let cnt = u64::from(free.count_ones());
+        if got + cnt >= needed {
+            let b = select_nth_set(free, (needed - got - 1) as u32);
+            return Some((wi as u64) * 64 + u64::from(b) + 1);
+        }
+        got += cnt;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_bit_is_one_based() {
+        assert_eq!(slot_bit(1), (0, 1));
+        assert_eq!(slot_bit(64), (0, 1 << 63));
+        assert_eq!(slot_bit(65), (1, 1));
+    }
+
+    #[test]
+    fn select_walks_set_bits() {
+        let w = 0b1011_0100u64;
+        assert_eq!(select_nth_set(w, 0), 2);
+        assert_eq!(select_nth_set(w, 1), 4);
+        assert_eq!(select_nth_set(w, 2), 5);
+        assert_eq!(select_nth_set(w, 3), 7);
+    }
+
+    #[test]
+    fn range_mask_clips_both_ends() {
+        // Slots 3..=5 live in word 0, bits 2..=4.
+        assert_eq!(range_mask(0, 3, 5), 0b1_1100);
+        assert_eq!(range_mask(1, 3, 5), 0);
+        // A range spanning words: 60..=70.
+        assert_eq!(range_mask(0, 60, 70), !0u64 << 59);
+        assert_eq!(range_mask(1, 60, 70), mask_through(5));
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_walk() {
+        // taken: slots 1-3 and 70 busy over a 100-slot horizon.
+        let mut taken = vec![0u64; 2];
+        for t in [1u64, 2, 3, 70] {
+            let (wi, m) = slot_bit(t);
+            taken[wi] |= m;
+        }
+        assert_eq!(accumulate_free(&taken, 100, 0), Some(0));
+        assert_eq!(accumulate_free(&taken, 100, 1), Some(4));
+        assert_eq!(accumulate_free(&taken, 100, 64), Some(67));
+        // Slots 68, 69 free, 70 busy, 71 free: 66th free slot is 69.
+        assert_eq!(accumulate_free(&taken, 100, 66), Some(69));
+        assert_eq!(accumulate_free(&taken, 100, 67), Some(71));
+        assert_eq!(accumulate_free(&taken, 100, 96), Some(100));
+        assert_eq!(accumulate_free(&taken, 100, 97), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! The reference `Generate_Init_Diagram` kernel: a literal transcription
+//! of the paper's cell-matrix procedure.
+//!
+//! Every `(row, slot)` cell is walked and stamped `Free` / `Busy` /
+//! `Waiting` / `Allocated`, and each allocated slot marks every lower
+//! row `Busy` — `O(rows^2 * horizon)` work. The bitset kernel in
+//! [`super::occupancy`] replaces this wholesale; the cell walk is kept
+//! as the oracle the randomized kernel-equivalence suite and the
+//! `diagram_kernel` benchmark compare against.
+
+use super::{Instance, RemovedInstances, Row, Slot, TimingDiagram};
+use crate::hpset::HpSet;
+use crate::stream::StreamSet;
+
+/// Runs the cell-matrix kernel and packages the result as a
+/// [`TimingDiagram`] (bit rows derived from the cells, cell matrix
+/// stored eagerly).
+pub(super) fn generate(
+    set: &StreamSet,
+    hp: &HpSet,
+    horizon: u64,
+    removed: &RemovedInstances,
+) -> TimingDiagram {
+    assert!(horizon > 0, "diagram horizon must be positive");
+    let n_rows = hp.len();
+    let h = horizon as usize;
+    let mut cells = vec![Slot::Free; n_rows * h];
+    let mut column_taken = vec![false; h];
+    let mut rows = Vec::with_capacity(n_rows);
+
+    // Cell addressing: row-major, slot t (1-based) at column t-1.
+    let idx = |r: usize, t: u64| -> usize { r * h + (t as usize - 1) };
+
+    for (r, elem) in hp.elements().iter().enumerate() {
+        let stream = set.get(elem.stream);
+        let period = stream.period();
+        let length = stream.max_length();
+        let n_instances = horizon.div_ceil(period) as usize;
+        let mut instances = Vec::with_capacity(n_instances);
+        for k in 0..n_instances {
+            let window_start = k as u64 * period + 1;
+            let window_end = ((k as u64 + 1) * period).min(horizon);
+            if removed.contains(elem.stream, k) {
+                instances.push(Instance {
+                    index: k,
+                    window_start,
+                    window_end,
+                    slots: Vec::new(),
+                    complete: false,
+                    removed: true,
+                });
+                continue;
+            }
+            let mut slots = Vec::with_capacity(length as usize);
+            for t in window_start..=window_end {
+                match cells[idx(r, t)] {
+                    Slot::Free => {
+                        cells[idx(r, t)] = Slot::Allocated;
+                        column_taken[t as usize - 1] = true;
+                        for lower in (r + 1)..n_rows {
+                            if cells[idx(lower, t)] == Slot::Free {
+                                cells[idx(lower, t)] = Slot::Busy;
+                            }
+                        }
+                        slots.push(t);
+                    }
+                    Slot::Busy => cells[idx(r, t)] = Slot::Waiting,
+                    Slot::Allocated | Slot::Waiting => {
+                        unreachable!("row cell visited twice")
+                    }
+                }
+                if slots.len() as u64 == length {
+                    break;
+                }
+            }
+            let complete = slots.len() as u64 == length;
+            instances.push(Instance {
+                index: k,
+                window_start,
+                window_end,
+                slots,
+                complete,
+                removed: false,
+            });
+        }
+        rows.push(Row {
+            stream: elem.stream,
+            instances,
+        });
+    }
+
+    TimingDiagram::from_cells(hp.target, horizon, rows, cells, column_taken)
+}

@@ -33,10 +33,29 @@
 //! `Modify_Diagram`: an indirect element's instance whose active span
 //! sees no intermediate-stream activity cannot reach the target and is
 //! discounted.
+//!
+//! # Representation
+//!
+//! Since the bitset-kernel rewrite the diagram is *stored* as packed
+//! bit words — one allocation mask per row plus the busy-column union —
+//! and the four-valued cell matrix the paper draws is a **lazily
+//! materialized view** (built on the first [`TimingDiagram::slot`]
+//! call, e.g. by the renderer). All analysis queries
+//! (`accumulate_free`, `row_active_in`, `free_for_target`) run on the
+//! words directly; see [`occupancy`] for the kernel and the equivalence
+//! argument, and [`legacy`] for the retained reference implementation
+//! behind [`TimingDiagram::generate_legacy`].
+
+mod bits;
+mod legacy;
+mod occupancy;
+
+pub use occupancy::AnalysisScratch;
 
 use crate::hpset::HpSet;
 use crate::stream::{StreamId, StreamSet};
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 /// State of one (row, time-slot) cell, exactly the paper's four values.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +69,20 @@ pub enum Slot {
     Waiting,
     /// This row's message transmits here.
     Allocated,
+}
+
+/// Selects which `Generate_Init_Diagram` implementation runs — the
+/// packed-bitset kernel or the original cell-matrix walk kept as its
+/// oracle (used by the kernel-equivalence suite and the
+/// `diagram_kernel` benchmark).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DiagramKernel {
+    /// Word-parallel kernel over packed bit rows (the default).
+    #[default]
+    Bitset,
+    /// The reference cell-matrix transcription of the paper's
+    /// pseudocode.
+    Legacy,
 }
 
 /// One periodic instance of an HP element inside the diagram horizon.
@@ -129,6 +162,11 @@ impl RemovedInstances {
         self.0.is_empty()
     }
 
+    /// Drops all removals, keeping the allocation (arena reuse).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
     /// All removed (stream, instance) pairs, sorted.
     pub fn entries(&self) -> Vec<(StreamId, usize)> {
         let mut v: Vec<_> = self.0.iter().copied().collect();
@@ -142,17 +180,22 @@ impl RemovedInstances {
 ///
 /// Rows are the HP elements in decreasing-priority order; the target's
 /// own row is implicit (a slot is usable by the target iff no HP row is
-/// `Allocated` in it).
+/// `Allocated` in it). Storage is one packed allocation bit row per HP
+/// element plus the busy-column union; the cell matrix is a lazy view.
 #[derive(Clone, Debug)]
 pub struct TimingDiagram {
     target: StreamId,
     horizon: u64,
+    /// Words per bit row.
+    words: usize,
     rows: Vec<Row>,
-    /// Flat row-major cell matrix, `rows.len() * horizon` entries.
-    cells: Vec<Slot>,
-    /// Per-column: true when some row transmits there (column busy for
-    /// the target).
-    column_taken: Vec<bool>,
+    /// Row-major allocation masks, `rows.len() * words` words: bit
+    /// `t-1` set iff the row transmits in slot `t`.
+    alloc: Vec<u64>,
+    /// Per-column busy bits: the OR of all rows' allocation masks.
+    column_taken: Vec<u64>,
+    /// Lazily materialized `rows.len() * horizon` cell matrix.
+    cells: OnceLock<Vec<Slot>>,
 }
 
 impl TimingDiagram {
@@ -170,86 +213,85 @@ impl TimingDiagram {
     ///
     /// # Panics
     /// Panics if `horizon == 0`.
-    pub fn generate(
+    pub fn generate(set: &StreamSet, hp: &HpSet, horizon: u64, removed: &RemovedInstances) -> Self {
+        assert!(horizon > 0, "diagram horizon must be positive");
+        let occ = occupancy::generate(set, hp, horizon, removed);
+        TimingDiagram {
+            target: hp.target,
+            horizon,
+            words: occ.words,
+            rows: occ.rows,
+            alloc: occ.alloc,
+            column_taken: occ.taken,
+            cells: OnceLock::new(),
+        }
+    }
+
+    /// [`TimingDiagram::generate`] through the original cell-matrix
+    /// kernel. Semantically identical — the randomized equivalence
+    /// suite compares the two bit for bit — and kept as the oracle and
+    /// the benchmark baseline.
+    pub fn generate_legacy(
         set: &StreamSet,
         hp: &HpSet,
         horizon: u64,
         removed: &RemovedInstances,
     ) -> Self {
-        assert!(horizon > 0, "diagram horizon must be positive");
-        let n_rows = hp.len();
-        let h = horizon as usize;
-        let mut cells = vec![Slot::Free; n_rows * h];
-        let mut column_taken = vec![false; h];
-        let mut rows = Vec::with_capacity(n_rows);
+        legacy::generate(set, hp, horizon, removed)
+    }
 
-        // Cell addressing: row-major, slot t (1-based) at column t-1.
-        let idx = |r: usize, t: u64| -> usize { r * h + (t as usize - 1) };
-
-        for (r, elem) in hp.elements().iter().enumerate() {
-            let stream = set.get(elem.stream);
-            let period = stream.period();
-            let length = stream.max_length();
-            let n_instances = horizon.div_ceil(period) as usize;
-            let mut instances = Vec::with_capacity(n_instances);
-            for k in 0..n_instances {
-                let window_start = k as u64 * period + 1;
-                let window_end = ((k as u64 + 1) * period).min(horizon);
-                if removed.contains(elem.stream, k) {
-                    instances.push(Instance {
-                        index: k,
-                        window_start,
-                        window_end,
-                        slots: Vec::new(),
-                        complete: false,
-                        removed: true,
-                    });
-                    continue;
-                }
-                let mut slots = Vec::with_capacity(length as usize);
-                for t in window_start..=window_end {
-                    match cells[idx(r, t)] {
-                        Slot::Free => {
-                            cells[idx(r, t)] = Slot::Allocated;
-                            column_taken[t as usize - 1] = true;
-                            for lower in (r + 1)..n_rows {
-                                if cells[idx(lower, t)] == Slot::Free {
-                                    cells[idx(lower, t)] = Slot::Busy;
-                                }
-                            }
-                            slots.push(t);
-                        }
-                        Slot::Busy => cells[idx(r, t)] = Slot::Waiting,
-                        Slot::Allocated | Slot::Waiting => {
-                            unreachable!("row cell visited twice")
-                        }
-                    }
-                    if slots.len() as u64 == length {
-                        break;
-                    }
-                }
-                let complete = slots.len() as u64 == length;
-                instances.push(Instance {
-                    index: k,
-                    window_start,
-                    window_end,
-                    slots,
-                    complete,
-                    removed: false,
-                });
-            }
-            rows.push(Row {
-                stream: elem.stream,
-                instances,
-            });
+    /// [`TimingDiagram::generate`] with an explicit kernel choice.
+    pub fn generate_with(
+        set: &StreamSet,
+        hp: &HpSet,
+        horizon: u64,
+        removed: &RemovedInstances,
+        kernel: DiagramKernel,
+    ) -> Self {
+        match kernel {
+            DiagramKernel::Bitset => Self::generate(set, hp, horizon, removed),
+            DiagramKernel::Legacy => Self::generate_legacy(set, hp, horizon, removed),
         }
+    }
 
+    /// Assembles a diagram from a fully-walked cell matrix (the legacy
+    /// kernel's output), deriving the bit rows and storing the matrix
+    /// as the already-materialized view.
+    fn from_cells(
+        target: StreamId,
+        horizon: u64,
+        rows: Vec<Row>,
+        cells: Vec<Slot>,
+        column_taken_bools: Vec<bool>,
+    ) -> Self {
+        let words = bits::word_count(horizon);
+        let h = horizon as usize;
+        let mut alloc = vec![0u64; rows.len() * words];
+        for r in 0..rows.len() {
+            for t in 1..=horizon {
+                if cells[r * h + (t as usize - 1)] == Slot::Allocated {
+                    let (wi, m) = bits::slot_bit(t);
+                    alloc[r * words + wi] |= m;
+                }
+            }
+        }
+        let mut column_taken = vec![0u64; words];
+        for (t0, &b) in column_taken_bools.iter().enumerate() {
+            if b {
+                let (wi, m) = bits::slot_bit(t0 as u64 + 1);
+                column_taken[wi] |= m;
+            }
+        }
+        let lock = OnceLock::new();
+        lock.set(cells).expect("fresh lock");
         TimingDiagram {
-            target: hp.target,
+            target,
             horizon,
+            words,
             rows,
-            cells,
+            alloc,
             column_taken,
+            cells: lock,
         }
     }
 
@@ -268,24 +310,111 @@ impl TimingDiagram {
         &self.rows
     }
 
+    /// The materialized cell matrix, built on first use.
+    fn cells(&self) -> &[Slot] {
+        self.cells.get_or_init(|| {
+            let h = self.horizon as usize;
+            let mut cells = vec![Slot::Free; self.rows.len() * h];
+            let mut above = vec![0u64; self.words];
+            for (r, row) in self.rows.iter().enumerate() {
+                let base = r * h;
+                let row_alloc = &self.alloc[r * self.words..(r + 1) * self.words];
+                // Busy wherever some higher row transmits...
+                for t in 1..=self.horizon {
+                    let (wi, m) = bits::slot_bit(t);
+                    if above[wi] & m != 0 {
+                        cells[base + t as usize - 1] = Slot::Busy;
+                    }
+                }
+                // ...overwritten inside each instance's active span,
+                // where the greedy allocator leaves no cell Free or
+                // Busy: Allocated on the row's own slots, Waiting on
+                // the preempted remainder.
+                for inst in &row.instances {
+                    if inst.removed {
+                        continue;
+                    }
+                    for t in inst.window_start..=inst.active_end() {
+                        let (wi, m) = bits::slot_bit(t);
+                        cells[base + t as usize - 1] = if row_alloc[wi] & m != 0 {
+                            Slot::Allocated
+                        } else {
+                            Slot::Waiting
+                        };
+                    }
+                }
+                for (a, w) in above.iter_mut().zip(row_alloc) {
+                    *a |= *w;
+                }
+            }
+            cells
+        })
+    }
+
     /// Cell state of `row` at 1-based slot `t`.
+    ///
+    /// Materializes the cell-matrix view on first call; the analysis
+    /// queries ([`Self::accumulate_free`], [`Self::row_active_in`],
+    /// [`Self::transmits_in`]) never need it.
     pub fn slot(&self, row: usize, t: u64) -> Slot {
         assert!(t >= 1 && t <= self.horizon, "slot {t} out of range");
-        self.cells[row * self.horizon as usize + (t as usize - 1)]
+        self.cells()[row * self.horizon as usize + (t as usize - 1)]
+    }
+
+    /// True when `row` transmits in slot `t` — an O(1) bit probe,
+    /// equivalent to `slot(row, t) == Slot::Allocated` without
+    /// materializing the cell view.
+    pub fn transmits_in(&self, row: usize, t: u64) -> bool {
+        assert!(t >= 1 && t <= self.horizon, "slot {t} out of range");
+        let (wi, m) = bits::slot_bit(t);
+        self.alloc[row * self.words + wi] & m != 0
+    }
+
+    /// Number of slots `row` transmits in within `1..=limit` (clipped
+    /// to the horizon) — a per-word popcount over the row's allocation
+    /// mask.
+    pub fn allocated_through(&self, row: usize, limit: u64) -> u64 {
+        let limit = limit.min(self.horizon);
+        if limit == 0 {
+            return 0;
+        }
+        let row_alloc = &self.alloc[row * self.words..(row + 1) * self.words];
+        let last = ((limit - 1) >> 6) as usize;
+        let mut n = 0u64;
+        for (wi, &w) in row_alloc.iter().enumerate().take(last + 1) {
+            let masked = if wi == last {
+                w & bits::mask_through(((limit - 1) & 63) as u32)
+            } else {
+                w
+            };
+            n += u64::from(masked.count_ones());
+        }
+        n
     }
 
     /// True when slot `t` is usable by the target (no HP row transmits).
     pub fn free_for_target(&self, t: u64) -> bool {
         assert!(t >= 1 && t <= self.horizon, "slot {t} out of range");
-        !self.column_taken[t as usize - 1]
+        let (wi, m) = bits::slot_bit(t);
+        self.column_taken[wi] & m == 0
     }
 
     /// True when `row`'s message is present (transmitting or preempted)
     /// anywhere in slots `from..=to` — the `Modify_Diagram` activity
-    /// test for intermediate streams.
+    /// test for intermediate streams. Runs on the instances' active
+    /// spans (the greedy allocation keeps every span slot `Allocated`
+    /// or `Waiting` and every slot outside all spans `Free` or `Busy`),
+    /// so no cell walk is needed.
     pub fn row_active_in(&self, row: usize, from: u64, to: u64) -> bool {
+        assert!(
+            from >= 1 && from <= self.horizon,
+            "slot {from} out of range"
+        );
         let to = to.min(self.horizon);
-        (from..=to).any(|t| matches!(self.slot(row, t), Slot::Allocated | Slot::Waiting))
+        self.rows[row]
+            .instances
+            .iter()
+            .any(|i| !i.removed && i.window_start <= to && i.active_end() >= from)
     }
 
     /// Slots usable by the target, ascending.
@@ -296,18 +425,10 @@ impl TimingDiagram {
     /// The time at which the target has accumulated `needed` free slots,
     /// or `None` if the horizon is exhausted first. This is the delay
     /// upper bound when `needed` is the target's network latency.
+    /// Word-parallel: one popcount per 64 slots plus a single bit
+    /// select in the final word.
     pub fn accumulate_free(&self, needed: u64) -> Option<u64> {
-        if needed == 0 {
-            return Some(0);
-        }
-        let mut got = 0u64;
-        for t in self.free_slots() {
-            got += 1;
-            if got == needed {
-                return Some(t);
-            }
-        }
-        None
+        bits::accumulate_free(&self.column_taken, self.horizon, needed)
     }
 
     /// True when some non-removed instance failed to complete within its
@@ -329,7 +450,7 @@ impl TimingDiagram {
 mod tests {
     use super::*;
     use crate::hpset::generate_hp;
-    use crate::stream::{StreamSpec, StreamSet};
+    use crate::stream::{StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     /// Figure 4's abstract streams, realized on one mesh row so that all
@@ -351,10 +472,10 @@ mod tests {
             &m,
             &XyRouting,
             &[
-                mk(0, 6, 4, 10, 2),  // M1
-                mk(1, 7, 3, 15, 3),  // M2
-                mk(2, 8, 2, 13, 4),  // M3
-                mk(3, 9, 1, 50, 6),  // M4 (target)
+                mk(0, 6, 4, 10, 2), // M1
+                mk(1, 7, 3, 15, 3), // M2
+                mk(2, 8, 2, 13, 4), // M3
+                mk(3, 9, 1, 50, 6), // M4 (target)
             ],
         )
         .unwrap()
@@ -392,8 +513,7 @@ mod tests {
         let hp = generate_hp(&set, StreamId(3));
         let d = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
         for t in 1..=50u64 {
-            let any_alloc =
-                (0..3).any(|r| d.slot(r, t) == Slot::Allocated);
+            let any_alloc = (0..3).any(|r| d.slot(r, t) == Slot::Allocated);
             assert_eq!(!d.free_for_target(t), any_alloc, "slot {t}");
         }
     }
@@ -412,7 +532,11 @@ mod tests {
         // window [16,30] was previously cut by M1 at 21-22; verify M1's
         // slots 11-12 are gone and the column is reusable.
         assert_eq!(d.slot(0, 11), Slot::Free);
-        assert!(d.free_for_target(11) || d.slot(1, 11) == Slot::Allocated || d.slot(2, 11) == Slot::Allocated);
+        assert!(
+            d.free_for_target(11)
+                || d.slot(1, 11) == Slot::Allocated
+                || d.slot(2, 11) == Slot::Allocated
+        );
     }
 
     #[test]
@@ -477,5 +601,55 @@ mod tests {
         assert!(d.row_active_in(1, 3, 5));
         // M2's first instance is done by 5; inactive in [6,10].
         assert!(!d.row_active_in(1, 6, 10));
+    }
+
+    #[test]
+    fn bitset_matches_legacy_on_figure4() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let fast = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
+        let slow = TimingDiagram::generate_legacy(&set, &hp, 50, &RemovedInstances::none());
+        for r in 0..hp.len() {
+            assert_eq!(
+                fast.rows()[r].instances,
+                slow.rows()[r].instances,
+                "row {r}"
+            );
+            for t in 1..=50 {
+                assert_eq!(fast.slot(r, t), slow.slot(r, t), "row {r} slot {t}");
+                assert_eq!(fast.transmits_in(r, t), slow.transmits_in(r, t));
+            }
+        }
+        for need in 0..=12 {
+            assert_eq!(fast.accumulate_free(need), slow.accumulate_free(need));
+        }
+    }
+
+    #[test]
+    fn transmit_queries_agree_with_cells() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let d = TimingDiagram::generate(&set, &hp, 50, &RemovedInstances::none());
+        for r in 0..hp.len() {
+            let mut count = 0;
+            for t in 1..=50 {
+                assert_eq!(d.transmits_in(r, t), d.slot(r, t) == Slot::Allocated);
+                if d.transmits_in(r, t) {
+                    count += 1;
+                }
+                assert_eq!(d.allocated_through(r, t), count, "row {r} through {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_selector_dispatches() {
+        let set = figure4();
+        let hp = generate_hp(&set, StreamId(3));
+        let none = RemovedInstances::none();
+        for kernel in [DiagramKernel::Bitset, DiagramKernel::Legacy] {
+            let d = TimingDiagram::generate_with(&set, &hp, 50, &none, kernel);
+            assert_eq!(d.accumulate_free(6), Some(26), "{kernel:?}");
+        }
     }
 }

@@ -1,0 +1,348 @@
+//! The packed-bitset `Generate_Init_Diagram` kernel and the reusable
+//! bound-only analysis arena.
+//!
+//! # Why bit words
+//!
+//! The reference kernel (see [`super::legacy`]) materializes the full
+//! `rows x horizon` cell matrix and, on every allocated slot, walks all
+//! lower rows to stamp `Busy` — `O(rows^2 * horizon)` work and
+//! `O(rows * horizon)` bytes per diagram. But the diagram's semantics
+//! only ever need three per-row bit vectors:
+//!
+//! * which slots a row *transmits* in (its allocation mask), and
+//! * which slots are taken by any strictly-higher row (a single running
+//!   accumulator, because rows are processed in decreasing priority).
+//!
+//! `Busy`/`Waiting` are derivable: a cell is `Busy` iff a higher row's
+//! allocation covers it, and `Waiting` iff that happens inside the
+//! row's own active span (the greedy allocator keeps every instance
+//! either transmitting or preempted from its window start to the slot
+//! its tail moves, so spans are contiguous). Instance slots are found
+//! with word scans — `!taken & window_mask`, then `trailing_zeros` per
+//! claimed slot — touching `horizon / 64` words instead of `horizon`
+//! cells per row.
+//!
+//! [`AnalysisScratch`] goes one step further for the hot
+//! `Determine-Feasibility` / admission loops: when only the delay
+//! *bound* is wanted, nothing needs the per-instance slot lists or the
+//! `rows x horizon` allocation masks at all — one `taken` accumulator
+//! plus per-instance `[window_start, active_end]` spans suffice, and
+//! all of it lives in buffers reused across streams.
+
+use super::bits;
+use super::{Instance, RemovedInstances, Row};
+use crate::bdg::BlockingDependencyGraph;
+use crate::calu::DelayBound;
+use crate::hpset::HpSet;
+use crate::stream::{StreamId, StreamSet};
+
+/// Raw output of the bitset kernel, consumed by
+/// [`super::TimingDiagram`]'s constructor.
+pub(super) struct Occupancy {
+    /// Words per bit row (`horizon.div_ceil(64)`).
+    pub words: usize,
+    /// Diagram rows with fully-populated instance slot lists.
+    pub rows: Vec<Row>,
+    /// Row-major allocation masks, `rows.len() * words` words.
+    pub alloc: Vec<u64>,
+    /// OR of all rows' allocation masks (the busy columns).
+    pub taken: Vec<u64>,
+}
+
+/// Runs `Generate_Init_Diagram` over bit words. Produces exactly the
+/// allocations of the legacy cell walk: rows in decreasing priority
+/// each greedily claim the first `C` slots of every period window that
+/// no higher row holds.
+pub(super) fn generate(
+    set: &StreamSet,
+    hp: &HpSet,
+    horizon: u64,
+    removed: &RemovedInstances,
+) -> Occupancy {
+    let words = bits::word_count(horizon);
+    let n_rows = hp.len();
+    let mut taken = vec![0u64; words];
+    let mut alloc = vec![0u64; n_rows * words];
+    let mut rows = Vec::with_capacity(n_rows);
+
+    for (r, elem) in hp.elements().iter().enumerate() {
+        let stream = set.get(elem.stream);
+        let period = stream.period();
+        let length = stream.max_length();
+        let n_instances = horizon.div_ceil(period) as usize;
+        let mut instances = Vec::with_capacity(n_instances);
+        let row_alloc = &mut alloc[r * words..(r + 1) * words];
+
+        for k in 0..n_instances {
+            let window_start = k as u64 * period + 1;
+            let window_end = ((k as u64 + 1) * period).min(horizon);
+            if removed.contains(elem.stream, k) {
+                instances.push(Instance {
+                    index: k,
+                    window_start,
+                    window_end,
+                    slots: Vec::new(),
+                    complete: false,
+                    removed: true,
+                });
+                continue;
+            }
+            let mut slots = Vec::with_capacity(length as usize);
+            let first = ((window_start - 1) >> 6) as usize;
+            let last = ((window_end - 1) >> 6) as usize;
+            'scan: for wi in first..=last {
+                let mask = bits::range_mask(wi, window_start, window_end);
+                let mut avail = !taken[wi] & mask;
+                // Claim whole runs of consecutive free bits at a time:
+                // under light contention a window is one run, so slots
+                // extend by ranges instead of bit-by-bit selects.
+                while avail != 0 {
+                    let b = avail.trailing_zeros();
+                    let run = u64::from((avail >> b).trailing_ones());
+                    let need = length - slots.len() as u64;
+                    let take = run.min(need);
+                    let start_slot = (wi as u64) * 64 + u64::from(b) + 1;
+                    slots.extend(start_slot..start_slot + take);
+                    let run_mask = if take == 64 {
+                        !0u64
+                    } else {
+                        ((1u64 << take) - 1) << b
+                    };
+                    row_alloc[wi] |= run_mask;
+                    if take == need {
+                        break 'scan;
+                    }
+                    avail &= !run_mask;
+                }
+            }
+            instances.push(Instance {
+                index: k,
+                window_start,
+                window_end,
+                complete: slots.len() as u64 == length,
+                slots,
+                removed: false,
+            });
+        }
+
+        // Windows within a row are disjoint, so merging after the whole
+        // row is equivalent to merging per allocation — and rows below
+        // see every slot this row holds.
+        for (t, a) in taken.iter_mut().zip(row_alloc.iter()) {
+            *t |= *a;
+        }
+        rows.push(Row {
+            stream: elem.stream,
+            instances,
+        });
+    }
+
+    Occupancy {
+        words,
+        rows,
+        alloc,
+        taken,
+    }
+}
+
+/// One instance's footprint in the bound-only analysis: its window and
+/// active span, no slot list.
+#[derive(Clone, Copy, Debug)]
+struct SpanInstance {
+    window_start: u64,
+    /// Last slot of the active span (an incomplete instance is active
+    /// through its whole window); meaningless when `removed`.
+    active_end: u64,
+    removed: bool,
+}
+
+/// One row of the bound-only analysis.
+#[derive(Clone, Debug)]
+struct SpanRow {
+    stream: StreamId,
+    instances: Vec<SpanInstance>,
+}
+
+impl Default for SpanRow {
+    fn default() -> Self {
+        SpanRow {
+            stream: StreamId(0),
+            instances: Vec::new(),
+        }
+    }
+}
+
+/// A reusable arena for bound-only `Cal_U` runs.
+///
+/// [`crate::feasibility::determine_feasibility`] and the admission
+/// controller call `Cal_U` once per stream, and `Modify_Diagram`
+/// regenerates the diagram after every removal round; building a full
+/// [`super::TimingDiagram`] each time allocates the instance slot
+/// lists, the allocation masks, and (in the legacy kernel) the whole
+/// cell matrix, only for the single number read off at the end. This
+/// arena keeps one `taken` bit accumulator and per-row instance-span
+/// pools alive across calls, so a steady-state analysis performs no
+/// per-stream allocation at all.
+///
+/// [`AnalysisScratch::delay_bound`] is bit-identical to
+/// [`crate::calu::cal_u`] — both implement `Generate_Init_Diagram` +
+/// `Modify_Diagram` (instance-span strategy) + free-slot accumulation —
+/// which the randomized kernel-equivalence suite enforces.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisScratch {
+    /// Busy-column accumulator, reused across runs (sliced per run).
+    taken: Vec<u64>,
+    /// Row pool; `rows[..n_rows]` are live in the current run.
+    rows: Vec<SpanRow>,
+    /// Live row count of the current run.
+    n_rows: usize,
+    /// Removal set of the current run's `Modify_Diagram`.
+    removed: RemovedInstances,
+}
+
+impl AnalysisScratch {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the delay upper bound of `hp.target` over slots
+    /// `1..=horizon` — `Generate_Init_Diagram`, `Modify_Diagram` with
+    /// the default instance-span strategy, then free-slot accumulation
+    /// until the target's network latency is covered.
+    ///
+    /// # Panics
+    /// Panics if `horizon == 0`.
+    pub fn delay_bound(&mut self, set: &StreamSet, hp: &HpSet, horizon: u64) -> DelayBound {
+        assert!(horizon > 0, "diagram horizon must be positive");
+        self.removed.clear();
+        self.regenerate(set, hp, horizon);
+
+        if hp.has_indirect() {
+            let bdg = BlockingDependencyGraph::build(set, hp);
+            for elem_id in bdg.indirect_processing_order(hp) {
+                let elem = hp
+                    .element(elem_id)
+                    .expect("processing order yields HP members");
+                let row = self.row_of(elem_id).expect("HP member has a row");
+                let mut any_removed = false;
+                for k in 0..self.rows[row].instances.len() {
+                    let inst = self.rows[row].instances[k];
+                    if inst.removed {
+                        continue;
+                    }
+                    let chain_alive = elem.intermediates.iter().any(|&im| {
+                        self.row_of(im)
+                            .map(|im_row| {
+                                self.row_active_in(im_row, inst.window_start, inst.active_end)
+                            })
+                            .unwrap_or(false)
+                    });
+                    if !chain_alive {
+                        self.removed.insert(elem_id, k);
+                        any_removed = true;
+                    }
+                }
+                if any_removed {
+                    self.regenerate(set, hp, horizon);
+                }
+            }
+        }
+
+        let needed = set.get(hp.target).latency;
+        let words = bits::word_count(horizon);
+        match bits::accumulate_free(&self.taken[..words], horizon, needed) {
+            Some(u) => DelayBound::Bounded(u),
+            None => DelayBound::Exceeded,
+        }
+    }
+
+    /// Bound-only `Generate_Init_Diagram` honoring `self.removed`:
+    /// fills `taken` and the per-row spans, nothing else.
+    fn regenerate(&mut self, set: &StreamSet, hp: &HpSet, horizon: u64) {
+        let words = bits::word_count(horizon);
+        if self.taken.len() < words {
+            self.taken.resize(words, 0);
+        }
+        let taken = &mut self.taken[..words];
+        taken.fill(0);
+        self.n_rows = hp.len();
+        if self.rows.len() < self.n_rows {
+            self.rows.resize_with(self.n_rows, SpanRow::default);
+        }
+
+        for (r, elem) in hp.elements().iter().enumerate() {
+            let stream = set.get(elem.stream);
+            let period = stream.period();
+            let length = stream.max_length();
+            let n_instances = horizon.div_ceil(period) as usize;
+            let row = &mut self.rows[r];
+            row.stream = elem.stream;
+            row.instances.clear();
+
+            for k in 0..n_instances {
+                let window_start = k as u64 * period + 1;
+                let window_end = ((k as u64 + 1) * period).min(horizon);
+                if self.removed.contains(elem.stream, k) {
+                    row.instances.push(SpanInstance {
+                        window_start,
+                        active_end: window_start,
+                        removed: true,
+                    });
+                    continue;
+                }
+                // Claim the first `length` free slots word by word.
+                // Unlike the full kernel, whole words are taken with a
+                // popcount and only the final partial word needs a
+                // select; allocations go straight into `taken` (same-row
+                // windows are disjoint, so later instances never see
+                // them inside their own masks).
+                let mut remaining = length;
+                let mut last_slot = 0u64;
+                let first = ((window_start - 1) >> 6) as usize;
+                let last = ((window_end - 1) >> 6) as usize;
+                for (wi, word) in taken.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let mask = bits::range_mask(wi, window_start, window_end);
+                    let avail = !*word & mask;
+                    let cnt = u64::from(avail.count_ones());
+                    if cnt == 0 {
+                        continue;
+                    }
+                    if cnt < remaining {
+                        *word |= avail;
+                        remaining -= cnt;
+                        last_slot = (wi as u64) * 64 + 64 - u64::from(avail.leading_zeros());
+                    } else {
+                        let b = bits::select_nth_set(avail, (remaining - 1) as u32);
+                        *word |= avail & bits::mask_through(b);
+                        remaining = 0;
+                        last_slot = (wi as u64) * 64 + u64::from(b) + 1;
+                        break;
+                    }
+                }
+                let complete = remaining == 0;
+                row.instances.push(SpanInstance {
+                    window_start,
+                    active_end: if complete { last_slot } else { window_end },
+                    removed: false,
+                });
+            }
+        }
+    }
+
+    /// Row index of `stream` among the live rows.
+    fn row_of(&self, stream: StreamId) -> Option<usize> {
+        self.rows[..self.n_rows]
+            .iter()
+            .position(|r| r.stream == stream)
+    }
+
+    /// The span-based `Modify_Diagram` activity test: is the row's
+    /// message present (transmitting or preempted) in `from..=to`?
+    fn row_active_in(&self, row: usize, from: u64, to: u64) -> bool {
+        self.rows[row]
+            .instances
+            .iter()
+            .any(|i| !i.removed && i.window_start <= to && i.active_end >= from)
+    }
+}

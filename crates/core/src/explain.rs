@@ -8,7 +8,6 @@
 //! to re-prioritize or re-place.
 
 use crate::calu::{CalUAnalysis, DelayBound};
-use crate::diagram::Slot;
 use crate::stream::{StreamId, StreamSet};
 use std::fmt::Write as _;
 
@@ -60,9 +59,9 @@ pub fn explain(set: &StreamSet, analysis: &CalUAnalysis) -> BoundExplanation {
         .iter()
         .enumerate()
         .map(|(r, row)| {
-            let slots = (1..=horizon.min(diagram.horizon()))
-                .filter(|&t| diagram.slot(r, t) == Slot::Allocated)
-                .count() as u64;
+            // Word-level popcount over the row's allocation mask; no
+            // cell-matrix materialization.
+            let slots = diagram.allocated_through(r, horizon);
             let removed_instances = row.instances.iter().filter(|i| i.removed).count();
             Contribution {
                 stream: row.stream,
@@ -115,7 +114,11 @@ pub fn render_explanation(set: &StreamSet, e: &BoundExplanation) -> String {
             s.max_length()
         );
         if c.removed_instances > 0 {
-            let _ = write!(out, "; {} instance(s) discounted as indirect", c.removed_instances);
+            let _ = write!(
+                out,
+                "; {} instance(s) discounted as indirect",
+                c.removed_instances
+            );
         }
         let _ = writeln!(out, ")");
     }
@@ -126,7 +129,7 @@ pub fn render_explanation(set: &StreamSet, e: &BoundExplanation) -> String {
 mod tests {
     use super::*;
     use crate::calu::cal_u_detailed;
-    use crate::stream::{StreamSpec, StreamSet};
+    use crate::stream::{StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     fn paper_like() -> StreamSet {

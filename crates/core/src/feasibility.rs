@@ -2,8 +2,10 @@
 //! feasibility test (§4.3).
 
 use crate::calu::{cal_u_with_hp, CalUAnalysis, DelayBound};
+use crate::diagram::AnalysisScratch;
 use crate::hpset::generate_hp;
 use crate::stream::{StreamId, StreamSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome of message-stream feasibility testing: one delay bound per
 /// stream and the overall verdict (`success` iff `U_i <= D_i` for all
@@ -37,14 +39,16 @@ impl FeasibilityReport {
 pub fn determine_feasibility(set: &StreamSet) -> FeasibilityReport {
     let mut bounds = vec![DelayBound::Exceeded; set.len()];
     let mut infeasible = Vec::new();
+    // One bound-only arena reused across the whole loop: the analysis
+    // allocates once and the per-stream cost is pure bit work.
+    let mut scratch = AnalysisScratch::new();
     // GList order: decreasing priority, ties by id. The order does not
     // change any U (each analysis reads only stream parameters), but it
     // mirrors the paper's loop and keeps reports deterministic.
     for id in set.by_decreasing_priority() {
         let stream = set.get(id);
         let hp = generate_hp(set, id);
-        let analysis = cal_u_with_hp(set, hp, stream.deadline());
-        let bound = analysis.bound;
+        let bound = scratch.delay_bound(set, &hp, stream.deadline());
         bounds[id.index()] = bound;
         if !bound.meets(stream.deadline()) {
             infeasible.push(id);
@@ -54,10 +58,16 @@ pub fn determine_feasibility(set: &StreamSet) -> FeasibilityReport {
     FeasibilityReport { bounds, infeasible }
 }
 
-/// [`determine_feasibility`] across `threads` worker threads: each
-/// stream's analysis is independent (it reads only the immutable stream
-/// set), so the set is partitioned round-robin and bounds are merged.
-/// Produces bit-identical results to the sequential version.
+/// [`determine_feasibility`] across `threads` worker threads.
+///
+/// Each stream's analysis is independent (it reads only the immutable
+/// stream set), but analysis costs are wildly uneven — a stream's cost
+/// scales with its deadline horizon and HP-set depth — so a static
+/// partition leaves threads idle behind whichever chunk drew the
+/// expensive streams. Workers instead *steal* the next stream index
+/// from a shared atomic counter as they finish, each carrying its own
+/// reusable [`AnalysisScratch`]. Produces bit-identical results to the
+/// sequential version regardless of thread count or interleaving.
 pub fn determine_feasibility_parallel(set: &StreamSet, threads: usize) -> FeasibilityReport {
     let threads = threads.max(1).min(set.len());
     if threads == 1 {
@@ -65,23 +75,23 @@ pub fn determine_feasibility_parallel(set: &StreamSet, threads: usize) -> Feasib
     }
     let mut bounds = vec![DelayBound::Exceeded; set.len()];
     let ids: Vec<StreamId> = set.ids().collect();
-    let chunks: Vec<Vec<StreamId>> = (0..threads)
-        .map(|t| ids.iter().copied().skip(t).step_by(threads).collect())
-        .collect();
+    let next = AtomicUsize::new(0);
     let partials: Vec<Vec<(StreamId, DelayBound)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let ids = &ids;
                 scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&id| {
-                            let hp = generate_hp(set, id);
-                            let bound =
-                                cal_u_with_hp(set, hp, set.get(id).deadline()).bound;
-                            (id, bound)
-                        })
-                        .collect::<Vec<_>>()
+                    let mut scratch = AnalysisScratch::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&id) = ids.get(i) else { break };
+                        let hp = generate_hp(set, id);
+                        let bound = scratch.delay_bound(set, &hp, set.get(id).deadline());
+                        local.push((id, bound));
+                    }
+                    local
                 })
             })
             .collect();
@@ -106,11 +116,15 @@ pub fn determine_feasibility_parallel(set: &StreamSet, threads: usize) -> Feasib
 /// Like [`determine_feasibility`] but with a caller-chosen horizon per
 /// stream (e.g. "large enough to find U even past the deadline", which
 /// the evaluation workloads need for the paper's period-inflation rule).
-pub fn delay_bounds(set: &StreamSet, horizon_of: impl Fn(&StreamSet, StreamId) -> u64) -> Vec<DelayBound> {
+pub fn delay_bounds(
+    set: &StreamSet,
+    horizon_of: impl Fn(&StreamSet, StreamId) -> u64,
+) -> Vec<DelayBound> {
+    let mut scratch = AnalysisScratch::new();
     set.ids()
         .map(|id| {
             let hp = generate_hp(set, id);
-            cal_u_with_hp(set, hp, horizon_of(set, id)).bound
+            scratch.delay_bound(set, &hp, horizon_of(set, id))
         })
         .collect()
 }
@@ -214,6 +228,49 @@ mod tests {
         .unwrap();
         let seq = determine_feasibility(&set);
         for threads in [1usize, 2, 3, 8, 64] {
+            let par = determine_feasibility_parallel(&set, threads);
+            assert_eq!(par.bounds, seq.bounds, "{threads} threads");
+            assert_eq!(par.infeasible, seq.infeasible);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_skewed_costs() {
+        // A work-stealing stress shape: one stream with a huge deadline
+        // horizon and a deep HP set next to many cheap streams, so a
+        // static partition would be badly imbalanced and any
+        // scratch-reuse bug across uneven work items would surface.
+        let m = Mesh::mesh2d(16, 2);
+        let mk = |x0: u32, x1: u32, p: u32, t: u64, c: u64, d: u64| {
+            StreamSpec::new(
+                m.node_at(&[x0, 0]).unwrap(),
+                m.node_at(&[x1, 0]).unwrap(),
+                p,
+                t,
+                c,
+                d,
+            )
+        };
+        let set = StreamSet::resolve(
+            &m,
+            &XyRouting,
+            &[
+                mk(0, 8, 9, 25, 3, 25),
+                mk(1, 9, 8, 40, 5, 40),
+                mk(2, 10, 7, 55, 4, 55),
+                mk(3, 11, 6, 70, 6, 70),
+                mk(4, 12, 5, 85, 2, 85),
+                mk(5, 13, 4, 100, 7, 100),
+                mk(6, 14, 3, 30, 2, 30),
+                mk(7, 15, 2, 45, 3, 45),
+                // The expensive tail: everything above blocks it, and its
+                // horizon is ~100x the cheap streams'.
+                mk(0, 15, 1, 9000, 8, 9000),
+            ],
+        )
+        .unwrap();
+        let seq = determine_feasibility(&set);
+        for threads in [2usize, 3, 4, 9, 32] {
             let par = determine_feasibility_parallel(&set, threads);
             assert_eq!(par.bounds, seq.bounds, "{threads} threads");
             assert_eq!(par.infeasible, seq.infeasible);

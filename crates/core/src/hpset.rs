@@ -151,7 +151,7 @@ pub fn generate_hp_sets(set: &StreamSet) -> Vec<HpSet> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{StreamSpec, StreamSet};
+    use crate::stream::{StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     fn build(specs: &[([u32; 2], [u32; 2], u32)]) -> StreamSet {
@@ -241,8 +241,14 @@ mod tests {
         // A is blocked directly by B and C, indirectly by D through
         // both of them.
         assert_eq!(hp_a.len(), 3);
-        assert_eq!(hp_a.element(StreamId(1)).unwrap().mode, BlockingMode::Direct);
-        assert_eq!(hp_a.element(StreamId(2)).unwrap().mode, BlockingMode::Direct);
+        assert_eq!(
+            hp_a.element(StreamId(1)).unwrap().mode,
+            BlockingMode::Direct
+        );
+        assert_eq!(
+            hp_a.element(StreamId(2)).unwrap().mode,
+            BlockingMode::Direct
+        );
         let d_elem = hp_a.element(StreamId(3)).unwrap();
         assert_eq!(d_elem.mode, BlockingMode::Indirect);
         assert_eq!(d_elem.intermediates, vec![StreamId(1), StreamId(2)]);

@@ -73,7 +73,9 @@ pub use bdg::BlockingDependencyGraph;
 pub use bounds::{busy_window_bound, direct_only_bound};
 pub use calu::{cal_u, cal_u_detailed, cal_u_with_hp, CalUAnalysis, DelayBound};
 pub use deadlock::{is_deadlock_free, per_priority_cycle, single_vc_cycle, VcResource};
-pub use diagram::{Instance, RemovedInstances, Slot, TimingDiagram};
+pub use diagram::{
+    AnalysisScratch, DiagramKernel, Instance, RemovedInstances, Slot, TimingDiagram,
+};
 pub use error::AnalysisError;
 pub use explain::{explain, render_explanation, BoundExplanation, Contribution};
 pub use feasibility::{
@@ -83,7 +85,9 @@ pub use feasibility::{
 pub use hpset::{generate_hp, generate_hp_sets, BlockingMode, HpElement, HpSet};
 pub use latency::network_latency;
 pub use load::{channel_loads, hottest_channel, oversubscribed_channels};
-pub use modify::{modify_diagram, modify_diagram_with, RemovalStrategy};
+pub use modify::{
+    modify_diagram, modify_diagram_with, modify_diagram_with_kernel, RemovalStrategy,
+};
 pub use report::{render_analysis, render_diagram};
 pub use stream::{MessageStream, Priority, StreamId, StreamSet, StreamSpec};
 

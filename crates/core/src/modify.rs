@@ -22,7 +22,7 @@
 //! `U = (7, 8, 26, 20, 33)` exactly (see `tests/paper_example.rs`).
 
 use crate::bdg::BlockingDependencyGraph;
-use crate::diagram::{RemovedInstances, TimingDiagram};
+use crate::diagram::{DiagramKernel, RemovedInstances, TimingDiagram};
 use crate::hpset::HpSet;
 use crate::stream::StreamSet;
 
@@ -67,8 +67,21 @@ pub fn modify_diagram_with(
     horizon: u64,
     strategy: RemovalStrategy,
 ) -> (TimingDiagram, RemovedInstances) {
+    modify_diagram_with_kernel(set, hp, horizon, strategy, DiagramKernel::default())
+}
+
+/// [`modify_diagram_with`] with an explicit diagram kernel (the
+/// randomized kernel-equivalence suite runs the whole
+/// `Modify_Diagram` loop through both kernels and compares).
+pub fn modify_diagram_with_kernel(
+    set: &StreamSet,
+    hp: &HpSet,
+    horizon: u64,
+    strategy: RemovalStrategy,
+    kernel: DiagramKernel,
+) -> (TimingDiagram, RemovedInstances) {
     let mut removed = RemovedInstances::none();
-    let mut diagram = TimingDiagram::generate(set, hp, horizon, &removed);
+    let mut diagram = TimingDiagram::generate_with(set, hp, horizon, &removed, kernel);
     if !hp.has_indirect() || strategy == RemovalStrategy::Disabled {
         return (diagram, removed);
     }
@@ -113,7 +126,7 @@ pub fn modify_diagram_with(
                 removed.insert(elem_id, k);
             }
             // Re-compact: regenerate with the enlarged removal set.
-            diagram = TimingDiagram::generate(set, hp, horizon, &removed);
+            diagram = TimingDiagram::generate_with(set, hp, horizon, &removed, kernel);
         }
     }
     (diagram, removed)
@@ -123,7 +136,7 @@ pub fn modify_diagram_with(
 mod tests {
     use super::*;
     use crate::hpset::generate_hp;
-    use crate::stream::{StreamId, StreamSpec, StreamSet};
+    use crate::stream::{StreamId, StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     /// Figures 4-6's abstract scenario with M1 and M2 made *indirect*:
@@ -146,10 +159,10 @@ mod tests {
             &m,
             &XyRouting,
             &[
-                mk(6, 9, 4, 10, 2),  // M1: links 6..9
-                mk(4, 7, 3, 15, 3),  // M2: links 4..7 (shares 6->7 with M1)
-                mk(2, 5, 2, 13, 4),  // M3: links 2..5 (shares 4->5 with M2)
-                mk(0, 3, 1, 50, 6),  // T:  links 0..3 (shares 2->3 with M3)
+                mk(6, 9, 4, 10, 2), // M1: links 6..9
+                mk(4, 7, 3, 15, 3), // M2: links 4..7 (shares 6->7 with M1)
+                mk(2, 5, 2, 13, 4), // M3: links 2..5 (shares 4->5 with M2)
+                mk(0, 3, 1, 50, 6), // T:  links 0..3 (shares 2->3 with M3)
             ],
         )
         .unwrap()
@@ -202,12 +215,8 @@ mod tests {
                 100,
             )
         };
-        let set = StreamSet::resolve(
-            &m,
-            &XyRouting,
-            &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)],
-        )
-        .unwrap();
+        let set =
+            StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)]).unwrap();
         let hp = generate_hp(&set, StreamId(1));
         let (diag, removed) = modify_diagram(&set, &hp, 100);
         assert!(removed.is_empty());

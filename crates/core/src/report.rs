@@ -112,7 +112,7 @@ pub fn render_analysis(set: &StreamSet, analysis: &CalUAnalysis) -> String {
 mod tests {
     use super::*;
     use crate::calu::cal_u_detailed;
-    use crate::stream::{StreamId, StreamSpec, StreamSet};
+    use crate::stream::{StreamId, StreamSet, StreamSpec};
     use wormnet_topology::{Mesh, Topology, XyRouting};
 
     fn small_set() -> StreamSet {
@@ -127,8 +127,7 @@ mod tests {
                 40,
             )
         };
-        StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)])
-            .unwrap()
+        StreamSet::resolve(&m, &XyRouting, &[mk(0, 5, 2, 20, 3), mk(1, 6, 1, 100, 4)]).unwrap()
     }
 
     #[test]

@@ -166,12 +166,12 @@ impl StreamSet {
         let mut streams = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             spec.validate(i)?;
-            let path = routing
-                .route(topo, spec.source, spec.dest)
-                .map_err(|e| AnalysisError::RouteFailed {
+            let path = routing.route(topo, spec.source, spec.dest).map_err(|e| {
+                AnalysisError::RouteFailed {
                     stream: i,
                     reason: e.to_string(),
-                })?;
+                }
+            })?;
             let latency = network_latency(path.hops(), spec.max_length);
             streams.push(MessageStream {
                 id: StreamId(i as u32),
@@ -288,8 +288,8 @@ mod tests {
     #[test]
     fn resolve_computes_latency() {
         let m = mesh();
-        let set = StreamSet::resolve(&m, &XyRouting, &[spec(&m, [7, 3], [7, 7], 5, 150, 4)])
-            .unwrap();
+        let set =
+            StreamSet::resolve(&m, &XyRouting, &[spec(&m, [7, 3], [7, 7], 5, 150, 4)]).unwrap();
         assert_eq!(set.len(), 1);
         let s = set.get(StreamId(0));
         assert_eq!(s.path.hops(), 4);
@@ -341,7 +341,11 @@ mod tests {
             ],
         )
         .unwrap();
-        let (a, b, c) = (set.get(StreamId(0)), set.get(StreamId(1)), set.get(StreamId(2)));
+        let (a, b, c) = (
+            set.get(StreamId(0)),
+            set.get(StreamId(1)),
+            set.get(StreamId(2)),
+        );
         assert!(a.directly_affects(b));
         assert!(!b.directly_affects(a), "lower priority cannot block higher");
         assert!(!a.directly_affects(c), "no overlap, no blocking");
@@ -380,7 +384,10 @@ mod tests {
         )
         .unwrap();
         let order = set.by_decreasing_priority();
-        assert_eq!(order, vec![StreamId(1), StreamId(2), StreamId(3), StreamId(0)]);
+        assert_eq!(
+            order,
+            vec![StreamId(1), StreamId(2), StreamId(3), StreamId(0)]
+        );
         assert_eq!(set.priority_level_count(), 3);
     }
 

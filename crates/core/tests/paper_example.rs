@@ -128,7 +128,10 @@ fn figure7_initial_diagram_of_hp4() {
     let initial = &a.initial;
     // Row order: M0 (P5), M1 (P4), M2 (P3), M3 (P2).
     let rows: Vec<StreamId> = initial.rows().iter().map(|r| r.stream).collect();
-    assert_eq!(rows, vec![StreamId(0), StreamId(1), StreamId(2), StreamId(3)]);
+    assert_eq!(
+        rows,
+        vec![StreamId(0), StreamId(1), StreamId(2), StreamId(3)]
+    );
     // M0: 1-4, 16-19, 31-34, 46-49.
     assert_eq!(initial.rows()[0].instances[0].slots, vec![1, 2, 3, 4]);
     assert_eq!(initial.rows()[0].instances[1].slots, vec![16, 17, 18, 19]);
@@ -141,7 +144,13 @@ fn figure7_initial_diagram_of_hp4() {
         .collect();
     assert_eq!(
         m1_slots,
-        vec![vec![5, 6], vec![11, 12], vec![21, 22], vec![35, 36], vec![41, 42]]
+        vec![
+            vec![5, 6],
+            vec![11, 12],
+            vec![21, 22],
+            vec![35, 36],
+            vec![41, 42]
+        ]
     );
     // M2 (T=40): waits through 1-6, transmits 7-10.
     assert_eq!(initial.rows()[2].instances[0].slots, vec![7, 8, 9, 10]);

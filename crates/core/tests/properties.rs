@@ -18,9 +18,7 @@ fn stream_sets() -> impl Strategy<Value = StreamSet> {
         let mesh = Mesh::mesh2d(8, 8);
         let specs: Vec<StreamSpec> = raw
             .into_iter()
-            .map(|(s, d, p, t, c)| {
-                StreamSpec::new(NodeId(s), NodeId(d), p, t, c, 4 * t)
-            })
+            .map(|(s, d, p, t, c)| StreamSpec::new(NodeId(s), NodeId(d), p, t, c, 4 * t))
             .collect();
         StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap()
     })

@@ -223,9 +223,9 @@ mod tests {
     #[test]
     fn deploy_is_atomic_on_rejection() {
         let mut host = HostProcessor::new(4, 1); // a line of 4 nodes
-        // One job, two messages: the first saturates the row channels,
-        // the second (lower priority, tight deadline, same channels)
-        // is then unadmittable — the WHOLE job must roll back.
+                                                 // One job, two messages: the first saturates the row channels,
+                                                 // the second (lower priority, tight deadline, same channels)
+                                                 // is then unadmittable — the WHOLE job must roll back.
         let job = JobSpec::new(
             "doomed",
             4,
@@ -246,7 +246,9 @@ mod tests {
     fn no_placement_when_mesh_full() {
         let mut host = HostProcessor::new(2, 2);
         host.deploy(&pipeline_job("a", 3, 1), &FirstFit).unwrap();
-        let err = host.deploy(&pipeline_job("b", 2, 1), &FirstFit).unwrap_err();
+        let err = host
+            .deploy(&pipeline_job("b", 2, 1), &FirstFit)
+            .unwrap_err();
         assert!(matches!(err, DeployError::NoPlacement));
     }
 
@@ -271,11 +273,7 @@ mod tests {
             }
         }
         // And they are exactly 0..4.
-        let mut all: Vec<StreamId> = host
-            .jobs()
-            .iter()
-            .flat_map(|j| j.streams.clone())
-            .collect();
+        let mut all: Vec<StreamId> = host.jobs().iter().flat_map(|j| j.streams.clone()).collect();
         all.sort();
         assert_eq!(all, (0..4).map(StreamId).collect::<Vec<_>>());
     }
@@ -304,7 +302,10 @@ mod tests {
         host.remove_job(h);
         let light_stream = host.jobs()[0].streams[0];
         let after = host.bound(light_stream).value().unwrap();
-        assert!(after <= before, "removal must not hurt: {before} -> {after}");
+        assert!(
+            after <= before,
+            "removal must not hurt: {before} -> {after}"
+        );
     }
 
     #[test]

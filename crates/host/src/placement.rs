@@ -68,8 +68,7 @@ pub struct FirstFit;
 
 impl Allocator for FirstFit {
     fn place(&self, job: &JobSpec, _mesh: &Mesh, free: &[NodeId]) -> Option<Placement> {
-        (free.len() >= job.num_tasks)
-            .then(|| Placement::new(free[..job.num_tasks].to_vec()))
+        (free.len() >= job.num_tasks).then(|| Placement::new(free[..job.num_tasks].to_vec()))
     }
 }
 
@@ -154,38 +153,31 @@ impl Allocator for CommunicationAware {
             let best = if assigned.iter().all(Option::is_none) {
                 // First task: most central free node (minimum total
                 // distance to all free nodes).
-                available
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let cost = |n: NodeId| -> u64 {
-                            available.iter().map(|&m| mesh.distance(n, m) as u64).sum()
-                        };
-                        cost(a).cmp(&cost(b)).then(a.cmp(&b))
-                    })?
+                available.iter().copied().min_by(|&a, &b| {
+                    let cost = |n: NodeId| -> u64 {
+                        available.iter().map(|&m| mesh.distance(n, m) as u64).sum()
+                    };
+                    cost(a).cmp(&cost(b)).then(a.cmp(&b))
+                })?
             } else {
-                available
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let cost = |n: NodeId| -> f64 {
-                            job.messages
-                                .iter()
-                                .filter_map(|m| {
-                                    let partner = if m.from == task {
-                                        assigned[m.to.index()]
-                                    } else if m.to == task {
-                                        assigned[m.from.index()]
-                                    } else {
-                                        None
-                                    };
-                                    partner
-                                        .map(|p| m.rate() * mesh.distance(n, p) as f64)
-                                })
-                                .sum()
-                        };
-                        cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
-                    })?
+                available.iter().copied().min_by(|&a, &b| {
+                    let cost = |n: NodeId| -> f64 {
+                        job.messages
+                            .iter()
+                            .filter_map(|m| {
+                                let partner = if m.from == task {
+                                    assigned[m.to.index()]
+                                } else if m.to == task {
+                                    assigned[m.from.index()]
+                                } else {
+                                    None
+                                };
+                                partner.map(|p| m.rate() * mesh.distance(n, p) as f64)
+                            })
+                            .sum()
+                    };
+                    cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
+                })?
             };
             assigned[task.index()] = Some(best);
             available.retain(|&n| n != best);
@@ -239,10 +231,7 @@ mod tests {
     fn first_fit_uses_lowest_ids() {
         let m = mesh();
         let p = FirstFit.place(&line_job(4), &m, &all_free(&m)).unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
     }
 
     #[test]
@@ -252,7 +241,9 @@ mod tests {
         assert!(FirstFit.place(&line_job(4), &m, &free).is_none());
         assert!(Clustered.place(&line_job(4), &m, &free).is_none());
         assert!(CommunicationAware.place(&line_job(4), &m, &free).is_none());
-        assert!(RandomPlacement { seed: 1 }.place(&line_job(4), &m, &free).is_none());
+        assert!(RandomPlacement { seed: 1 }
+            .place(&line_job(4), &m, &free)
+            .is_none());
     }
 
     #[test]
@@ -262,10 +253,7 @@ mod tests {
         // Every placed node is adjacent to at least one other placed
         // node (region connectivity).
         for &n in p.nodes() {
-            let near = m
-                .neighbors(n)
-                .iter()
-                .any(|nb| p.nodes().contains(nb));
+            let near = m.neighbors(n).iter().any(|nb| p.nodes().contains(nb));
             assert!(near || p.nodes().len() == 1, "{n:?} isolated");
         }
     }

@@ -152,7 +152,10 @@ impl JobSpec {
         for (i, m) in self.messages.iter().enumerate() {
             for t in [m.from, m.to] {
                 if t.index() >= self.num_tasks {
-                    return Err(JobSpecError::UnknownTask { message: i, task: t });
+                    return Err(JobSpecError::UnknownTask {
+                        message: i,
+                        task: t,
+                    });
                 }
             }
             if m.from == m.to {
@@ -202,7 +205,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(JobSpec::new("x", 0, vec![]).unwrap_err(), JobSpecError::NoTasks);
+        assert_eq!(
+            JobSpec::new("x", 0, vec![]).unwrap_err(),
+            JobSpecError::NoTasks
+        );
         assert!(matches!(
             JobSpec::new("x", 2, vec![msg(0, 5)]).unwrap_err(),
             JobSpecError::UnknownTask { message: 0, .. }

@@ -2,14 +2,17 @@
 
 use proptest::prelude::*;
 use rtwc_host::{
-    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec,
-    MessageRequirement, RandomPlacement, TaskId,
+    Allocator, Clustered, CommunicationAware, FirstFit, HostProcessor, JobSpec, MessageRequirement,
+    RandomPlacement, TaskId,
 };
 use wormnet_topology::{Mesh, NodeId, Topology};
 
 /// Random small jobs: chains with a few extra random edges.
 fn jobs() -> impl Strategy<Value = JobSpec> {
-    (2usize..8, prop::collection::vec((0u32..8, 0u32..8, 1u32..4, 20u64..200, 1u64..20), 0..5))
+    (
+        2usize..8,
+        prop::collection::vec((0u32..8, 0u32..8, 1u32..4, 20u64..200, 1u64..20), 0..5),
+    )
         .prop_map(|(tasks, extra)| {
             let mut msgs: Vec<MessageRequirement> = (0..tasks as u32 - 1)
                 .map(|i| MessageRequirement::new(TaskId(i), TaskId(i + 1), 1, 100, 8))
@@ -26,8 +29,7 @@ fn jobs() -> impl Strategy<Value = JobSpec> {
 }
 
 fn free_subsets() -> impl Strategy<Value = Vec<NodeId>> {
-    prop::collection::btree_set(0u32..36, 8..36)
-        .prop_map(|s| s.into_iter().map(NodeId).collect())
+    prop::collection::btree_set(0u32..36, 8..36).prop_map(|s| s.into_iter().map(NodeId).collect())
 }
 
 proptest! {

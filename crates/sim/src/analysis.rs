@@ -31,13 +31,15 @@ impl PacketTimeline {
     pub fn from_trace(trace: &[Event]) -> Vec<PacketTimeline> {
         let mut by_packet: HashMap<PacketId, PacketTimeline> = HashMap::new();
         for e in trace {
-            let entry = by_packet.entry(e.packet()).or_insert_with(|| PacketTimeline {
-                packet: e.packet(),
-                released: 0,
-                grants: Vec::new(),
-                crossings: HashMap::new(),
-                completed: None,
-            });
+            let entry = by_packet
+                .entry(e.packet())
+                .or_insert_with(|| PacketTimeline {
+                    packet: e.packet(),
+                    released: 0,
+                    grants: Vec::new(),
+                    crossings: HashMap::new(),
+                    completed: None,
+                });
             match *e {
                 Event::Released { time, .. } => entry.released = time,
                 Event::VcGranted { time, link, vc, .. } => entry.grants.push((link, vc, time)),
@@ -68,10 +70,7 @@ impl PacketTimeline {
     /// beyond the 1-flit-per-cycle pipeline ideal.
     pub fn stall_cycles(&self, link: LinkId) -> u64 {
         match self.crossings.get(&link) {
-            Some(times) if times.len() >= 2 => times
-                .windows(2)
-                .map(|w| w[1] - w[0] - 1)
-                .sum(),
+            Some(times) if times.len() >= 2 => times.windows(2).map(|w| w[1] - w[0] - 1).sum(),
             _ => 0,
         }
     }
@@ -200,9 +199,7 @@ mod tests {
             .iter()
             .filter(|t| t.completed.is_some())
             .map(|t| {
-                let stream = &set.get(
-                    sim.worm(t.packet).stream,
-                );
+                let stream = &set.get(sim.worm(t.packet).stream);
                 (
                     t.packet,
                     (stream.max_length() * stream.path.hops() as u64) as usize,
@@ -252,13 +249,31 @@ mod tests {
     #[test]
     fn detects_fabricated_violations() {
         let fake = vec![
-            Event::Released { time: 1, packet: PacketId(0) },
+            Event::Released {
+                time: 1,
+                packet: PacketId(0),
+            },
             // Crossing with no grant.
-            Event::FlitCrossed { time: 2, packet: PacketId(0), link: LinkId(5) },
+            Event::FlitCrossed {
+                time: 2,
+                packet: PacketId(0),
+                link: LinkId(5),
+            },
             // Double crossing in one cycle on one channel.
-            Event::FlitCrossed { time: 3, packet: PacketId(1), link: LinkId(9) },
-            Event::FlitCrossed { time: 3, packet: PacketId(2), link: LinkId(9) },
-            Event::Completed { time: 4, packet: PacketId(0) },
+            Event::FlitCrossed {
+                time: 3,
+                packet: PacketId(1),
+                link: LinkId(9),
+            },
+            Event::FlitCrossed {
+                time: 3,
+                packet: PacketId(2),
+                link: LinkId(9),
+            },
+            Event::Completed {
+                time: 4,
+                packet: PacketId(0),
+            },
         ];
         let mut expected = HashMap::new();
         expected.insert(PacketId(0), 7);
@@ -269,8 +284,13 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, TraceViolation::CrossedBeforeGrant { .. })));
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, TraceViolation::WrongFlitCount { got: 1, expected: 7, .. })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            TraceViolation::WrongFlitCount {
+                got: 1,
+                expected: 7,
+                ..
+            }
+        )));
     }
 }

@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn shared_pool_takes_any_free_vc() {
         let p = Policy::SharedPoolPriority;
-        assert_eq!(p.pick_vc(0, &[true, true, true]), Some(2), "any VC, even above class");
+        assert_eq!(
+            p.pick_vc(0, &[true, true, true]),
+            Some(2),
+            "any VC, even above class"
+        );
         assert_eq!(p.pick_vc(5, &[true, false, false]), Some(0));
         assert_eq!(p.pick_vc(5, &[false, false, false]), None);
         // Classes keep full resolution (not clamped to the VC count).
@@ -191,9 +195,21 @@ mod tests {
     fn request_order_priority_then_fcfs() {
         let p = Policy::PreemptivePriority;
         let mut reqs = vec![
-            VcRequest { packet: 1, class: 0, since: 5 },
-            VcRequest { packet: 2, class: 3, since: 9 },
-            VcRequest { packet: 3, class: 3, since: 7 },
+            VcRequest {
+                packet: 1,
+                class: 0,
+                since: 5,
+            },
+            VcRequest {
+                packet: 2,
+                class: 3,
+                since: 9,
+            },
+            VcRequest {
+                packet: 3,
+                class: 3,
+                since: 7,
+            },
         ];
         p.sort_requests(&mut reqs);
         let order: Vec<u32> = reqs.iter().map(|r| r.packet).collect();
@@ -204,9 +220,21 @@ mod tests {
     fn classic_order_is_pure_fcfs() {
         let p = Policy::ClassicFifo;
         let mut reqs = vec![
-            VcRequest { packet: 1, class: 0, since: 5 },
-            VcRequest { packet: 2, class: 9, since: 9 },
-            VcRequest { packet: 3, class: 1, since: 7 },
+            VcRequest {
+                packet: 1,
+                class: 0,
+                since: 5,
+            },
+            VcRequest {
+                packet: 2,
+                class: 9,
+                since: 9,
+            },
+            VcRequest {
+                packet: 3,
+                class: 1,
+                since: 7,
+            },
         ];
         p.sort_requests(&mut reqs);
         let order: Vec<u32> = reqs.iter().map(|r| r.packet).collect();

@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::li(4).with_cycles(100, 10).with_buffer_depth(2).with_trace();
+        let c = SimConfig::li(4)
+            .with_cycles(100, 10)
+            .with_buffer_depth(2)
+            .with_trace();
         assert_eq!(c.cycles, 100);
         assert_eq!(c.warmup, 10);
         assert_eq!(c.buffer_depth, 2);

@@ -247,7 +247,10 @@ impl<'a> Simulator<'a> {
                 for r in self.sources[si].releases_through(now - 1) {
                     let stream = self.set.get(self.sources[si].stream);
                     let id = PacketId(self.worms.len() as u32);
-                    let class = self.cfg.policy.class_of(stream.priority(), self.cfg.num_vcs);
+                    let class = self
+                        .cfg
+                        .policy
+                        .class_of(stream.priority(), self.cfg.num_vcs);
                     self.worms.push(Worm::new(
                         id,
                         stream.id,
@@ -264,7 +267,10 @@ impl<'a> Simulator<'a> {
                         completed: None,
                     });
                     if self.cfg.trace {
-                        self.trace.push(Event::Released { time: now, packet: id });
+                        self.trace.push(Event::Released {
+                            time: now,
+                            packet: id,
+                        });
                     }
                 }
             }
@@ -310,8 +316,8 @@ impl<'a> Simulator<'a> {
                 let pid = PacketId(req.packet);
                 // Policies see only the requester's dateline layer: one
                 // free slot per priority class.
-                let layer = self.worms[pid.index()].layers
-                    [self.worms[pid.index()].acquired] as usize;
+                let layer =
+                    self.worms[pid.index()].layers[self.worms[pid.index()].acquired] as usize;
                 let projected: Vec<bool> = (0..self.cfg.num_vcs)
                     .map(|c| free[c * nl + layer])
                     .collect();
@@ -421,7 +427,10 @@ impl<'a> Simulator<'a> {
                 w.completed = Some(now);
                 self.stats.records[id.index()].completed = Some(now);
                 if self.cfg.trace {
-                    self.trace.push(Event::Completed { time: now, packet: id });
+                    self.trace.push(Event::Completed {
+                        time: now,
+                        packet: id,
+                    });
                 }
             }
             if w.completed.is_none() {
@@ -536,14 +545,15 @@ mod tests {
     #[test]
     fn every_stream_meets_latency_when_alone() {
         let m = mesh();
-        for (s, d, c) in [([0, 0], [9, 9], 1), ([3, 2], [3, 3], 7), ([9, 0], [0, 0], 12)] {
+        for (s, d, c) in [
+            ([0, 0], [9, 9], 1),
+            ([3, 2], [3, 3], 7),
+            ([9, 0], [0, 0], 12),
+        ] {
             let set = resolve(&m, &[spec(&m, s, d, 1, 100_000, c)]);
-            let mut sim = Simulator::new(
-                m.num_links(),
-                &set,
-                SimConfig::paper(1).with_cycles(300, 0),
-            )
-            .unwrap();
+            let mut sim =
+                Simulator::new(m.num_links(), &set, SimConfig::paper(1).with_cycles(300, 0))
+                    .unwrap();
             sim.run();
             assert_eq!(
                 sim.stats().latencies(StreamId(0), 0),
@@ -557,12 +567,8 @@ mod tests {
     fn periodic_stream_completes_every_period() {
         let m = mesh();
         let set = resolve(&m, &[spec(&m, [0, 0], [4, 0], 1, 50, 3)]);
-        let mut sim = Simulator::new(
-            m.num_links(),
-            &set,
-            SimConfig::paper(1).with_cycles(500, 0),
-        )
-        .unwrap();
+        let mut sim =
+            Simulator::new(m.num_links(), &set, SimConfig::paper(1).with_cycles(500, 0)).unwrap();
         sim.run();
         let ls = sim.stats().latencies(StreamId(0), 0);
         assert_eq!(ls.len(), 10);
@@ -764,9 +770,7 @@ mod tests {
         let mut sim = Simulator::new(m.num_links(), &set, cfg).unwrap();
         sim.run();
         let trace = sim.trace();
-        assert!(trace
-            .iter()
-            .any(|e| matches!(e, Event::Released { .. })));
+        assert!(trace.iter().any(|e| matches!(e, Event::Released { .. })));
         let grants = trace
             .iter()
             .filter(|e| matches!(e, Event::VcGranted { .. }))
@@ -777,9 +781,7 @@ mod tests {
             .filter(|e| matches!(e, Event::FlitCrossed { .. }))
             .count();
         assert_eq!(crossings, 4, "C * hops flit crossings");
-        assert!(trace
-            .iter()
-            .any(|e| matches!(e, Event::Completed { .. })));
+        assert!(trace.iter().any(|e| matches!(e, Event::Completed { .. })));
     }
 
     #[test]
@@ -798,8 +800,7 @@ mod tests {
             ],
         );
         let run = |cfg: SimConfig| {
-            let mut sim =
-                Simulator::new(m.num_links(), &set, cfg.with_cycles(2_000, 0)).unwrap();
+            let mut sim = Simulator::new(m.num_links(), &set, cfg.with_cycles(2_000, 0)).unwrap();
             sim.run();
             sim.stats().vc_wait(StreamId(2))
         };
@@ -841,12 +842,8 @@ mod tests {
     fn gantt_requires_trace() {
         let m = mesh();
         let set = resolve(&m, &[spec(&m, [0, 0], [2, 0], 1, 100, 2)]);
-        let sim = Simulator::new(
-            m.num_links(),
-            &set,
-            SimConfig::paper(1).with_cycles(10, 0),
-        )
-        .unwrap();
+        let sim =
+            Simulator::new(m.num_links(), &set, SimConfig::paper(1).with_cycles(10, 0)).unwrap();
         let _ = sim.render_gantt(1, 5);
     }
 
@@ -860,9 +857,12 @@ mod tests {
                 spec(&m, [1, 0], [7, 0], 1, 40, 4),
             ],
         );
-        let mut sim =
-            Simulator::new(m.num_links(), &set, SimConfig::classic().with_cycles(500, 0))
-                .unwrap();
+        let mut sim = Simulator::new(
+            m.num_links(),
+            &set,
+            SimConfig::classic().with_cycles(500, 0),
+        )
+        .unwrap();
         sim.run();
         assert!(sim.stats().total_completed() > 0);
         assert!(sim.stats().stalled_at.is_none());

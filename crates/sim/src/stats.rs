@@ -95,7 +95,10 @@ impl SimStats {
 
     /// Total messages completed (all streams).
     pub fn total_completed(&self) -> usize {
-        self.records.iter().filter(|r| r.completed.is_some()).count()
+        self.records
+            .iter()
+            .filter(|r| r.completed.is_some())
+            .count()
     }
 
     /// Utilization of a directed channel: flits transmitted per cycle.
@@ -193,9 +196,7 @@ mod tests {
     #[test]
     fn percentiles_nearest_rank() {
         let s = SimStats {
-            records: (1..=10)
-                .map(|i| rec(0, 0, Some(i * 10)))
-                .collect(),
+            records: (1..=10).map(|i| rec(0, 0, Some(i * 10))).collect(),
             ..SimStats::default()
         };
         // Latencies 10, 20, ..., 100.

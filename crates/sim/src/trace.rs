@@ -78,7 +78,10 @@ mod tests {
         };
         assert_eq!(e.time(), 9);
         assert_eq!(e.packet(), PacketId(3));
-        let r = Event::Released { time: 1, packet: PacketId(0) };
+        let r = Event::Released {
+            time: 1,
+            packet: PacketId(0),
+        };
         assert_eq!(r.time(), 1);
     }
 }

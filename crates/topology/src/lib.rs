@@ -58,5 +58,7 @@ pub mod topologies;
 pub use link::{Link, LinkId, LinkTable};
 pub use node::{Coord, NodeId};
 pub use path::Path;
-pub use routing::{BfsRouting, DimensionOrderRouting, EcubeRouting, RouteError, Routing, XyRouting};
+pub use routing::{
+    BfsRouting, DimensionOrderRouting, EcubeRouting, RouteError, Routing, XyRouting,
+};
 pub use topologies::{Hypercube, Mesh, Topology, Torus};

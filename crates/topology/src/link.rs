@@ -143,7 +143,13 @@ mod tests {
         assert_eq!(t.between(n(0), n(1)), Some(a));
         assert_eq!(t.between(n(1), n(0)), Some(b));
         assert_eq!(t.between(n(0), n(2)), None);
-        assert_eq!(t.endpoints(c), Link { from: n(1), to: n(2) });
+        assert_eq!(
+            t.endpoints(c),
+            Link {
+                from: n(1),
+                to: n(2)
+            }
+        );
         assert_eq!(t.outgoing(n(1)), &[b, c]);
         assert_eq!(t.incoming(n(0)), &[b]);
         assert_eq!(t.incoming(n(2)), &[c]);

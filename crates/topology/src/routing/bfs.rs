@@ -155,8 +155,12 @@ mod tests {
     fn deterministic() {
         let mesh = Mesh::mesh2d(8, 8);
         let bfs = BfsRouting::new();
-        let a = bfs.route(&mesh, crate::NodeId(0), crate::NodeId(63)).unwrap();
-        let b = bfs.route(&mesh, crate::NodeId(0), crate::NodeId(63)).unwrap();
+        let a = bfs
+            .route(&mesh, crate::NodeId(0), crate::NodeId(63))
+            .unwrap();
+        let b = bfs
+            .route(&mesh, crate::NodeId(0), crate::NodeId(63))
+            .unwrap();
         assert_eq!(a.links(), b.links());
     }
 

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rtwc_core::{cal_u, DelayBound, StreamId, StreamSet, StreamSpec};
+use rtwc_core::{generate_hp, AnalysisScratch, DelayBound, StreamId, StreamSet, StreamSpec};
 use wormnet_topology::{Mesh, NodeId, Topology, XyRouting};
 
 /// Parameters of the paper workload generator.
@@ -127,15 +127,20 @@ fn draw_specs(cfg: &PaperWorkloadConfig, mesh: &Mesh, rng: &mut StdRng) -> Vec<S
 }
 
 /// Finds `U` for one stream, doubling the horizon from the stream's
-/// period until the bound is found or the cap is passed.
+/// period until the bound is found or the cap is passed. The HP set
+/// depends only on routes and priorities, never the horizon, so it is
+/// built once for the whole doubling loop; the caller's scratch arena
+/// is reused across every probe.
 fn bound_with_escalating_horizon(
+    scratch: &mut AnalysisScratch,
     set: &StreamSet,
     id: StreamId,
     cap: u64,
 ) -> DelayBound {
+    let hp = generate_hp(set, id);
     let mut horizon = set.get(id).period().max(1);
     loop {
-        match cal_u(set, id, horizon) {
+        match scratch.delay_bound(set, &hp, horizon) {
             DelayBound::Bounded(u) => return DelayBound::Bounded(u),
             DelayBound::Exceeded if horizon >= cap => return DelayBound::Exceeded,
             DelayBound::Exceeded => horizon = (horizon * 2).min(cap),
@@ -172,13 +177,14 @@ pub fn generate(cfg: PaperWorkloadConfig) -> GeneratedWorkload {
     let mesh = Mesh::mesh2d(cfg.width, cfg.height);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let specs = draw_specs(&cfg, &mesh, &mut rng);
-    let mut set =
-        StreamSet::resolve(&mesh, &XyRouting, &specs).expect("generated specs are valid");
+    let mut set = StreamSet::resolve(&mesh, &XyRouting, &specs).expect("generated specs are valid");
+
+    let mut scratch = AnalysisScratch::new();
 
     // Period inflation, highest priority first.
     if cfg.inflate_periods {
         for id in set.by_decreasing_priority() {
-            let bound = bound_with_escalating_horizon(&set, id, cfg.horizon_cap);
+            let bound = bound_with_escalating_horizon(&mut scratch, &set, id, cfg.horizon_cap);
             let t = set.get(id).period();
             let new_t = match bound {
                 DelayBound::Bounded(u) if u > t => u,
@@ -194,7 +200,7 @@ pub fn generate(cfg: PaperWorkloadConfig) -> GeneratedWorkload {
     // Final bounds against the inflated set.
     let bounds: Vec<DelayBound> = set
         .ids()
-        .map(|id| bound_with_escalating_horizon(&set, id, cfg.horizon_cap))
+        .map(|id| bound_with_escalating_horizon(&mut scratch, &set, id, cfg.horizon_cap))
         .collect();
 
     GeneratedWorkload {

@@ -15,7 +15,11 @@ use wormnet_topology::{Mesh, NodeId, Topology};
 /// index.
 pub fn transpose(mesh: &Mesh, priority_levels: u32, period: u64, length: u64) -> Vec<StreamSpec> {
     assert_eq!(mesh.dims().len(), 2, "transpose needs a 2-D mesh");
-    assert_eq!(mesh.dims()[0], mesh.dims()[1], "transpose needs a square mesh");
+    assert_eq!(
+        mesh.dims()[0],
+        mesh.dims()[1],
+        "transpose needs a square mesh"
+    );
     let k = mesh.dims()[0];
     let mut specs = Vec::new();
     for x in 0..k {
@@ -111,7 +115,10 @@ pub fn bit_reversal(
     assert_eq!(mesh.dims().len(), 2, "bit reversal needs a 2-D mesh");
     let k = mesh.dims()[0];
     assert_eq!(k, mesh.dims()[1], "bit reversal needs a square mesh");
-    assert!(k.is_power_of_two(), "bit reversal needs a power-of-two side");
+    assert!(
+        k.is_power_of_two(),
+        "bit reversal needs a power-of-two side"
+    );
     let n = mesh.num_nodes() as u32;
     let bits = n.trailing_zeros();
     let mut specs = Vec::new();
@@ -276,10 +283,7 @@ mod tests {
         let mesh = Mesh::mesh2d(8, 8);
         let specs = random_permutation(&mesh, 20, 4, 100, 4, 11);
         assert_eq!(specs.len(), 20);
-        let mut endpoints: Vec<NodeId> = specs
-            .iter()
-            .flat_map(|s| [s.source, s.dest])
-            .collect();
+        let mut endpoints: Vec<NodeId> = specs.iter().flat_map(|s| [s.source, s.dest]).collect();
         endpoints.sort();
         endpoints.dedup();
         assert_eq!(endpoints.len(), 40, "sources and dests all distinct");

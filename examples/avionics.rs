@@ -42,12 +42,20 @@ fn main() {
             s.deadline(),
             s.latency,
             report.bound(s.id),
-            if report.bound(s.id).meets(s.deadline()) { "guaranteed" } else { "NOT guaranteed" },
+            if report.bound(s.id).meets(s.deadline()) {
+                "guaranteed"
+            } else {
+                "NOT guaranteed"
+            },
         );
     }
     println!(
         "\nAdmission verdict: {}",
-        if report.is_feasible() { "all deadlines guaranteed (success)" } else { "fail" }
+        if report.is_feasible() {
+            "all deadlines guaranteed (success)"
+        } else {
+            "fail"
+        }
     );
 
     // Validate in simulation: max observed latency must stay within U.

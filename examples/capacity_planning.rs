@@ -91,7 +91,9 @@ fn explain_candidate(
     let d = mesh.node_at(&[dst.0, dst.1]).unwrap();
     let path = XyRouting.route(mesh, s, d).unwrap();
     parts.push((StreamSpec::new(s, d, prio, 90, 20, 60), path));
-    let Ok(trial) = StreamSet::from_parts(parts) else { return };
+    let Ok(trial) = StreamSet::from_parts(parts) else {
+        return;
+    };
     let cand = StreamId(trial.len() as u32 - 1);
     let hp = generate_hp(&trial, cand);
     let blockers: Vec<String> = hp

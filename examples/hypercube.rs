@@ -42,7 +42,11 @@ fn main() {
     }
     println!(
         "\nDetermine-Feasibility: {}",
-        if report.is_feasible() { "success" } else { "fail" }
+        if report.is_feasible() {
+            "success"
+        } else {
+            "fail"
+        }
     );
 
     let cfg = SimConfig::paper(4).with_cycles(20_000, 1_000);
@@ -61,5 +65,8 @@ fn main() {
         );
     }
     let (hot, util) = sim.stats().hottest_link().unwrap();
-    println!("\nhottest channel: {hot:?} at {:.1}% utilization", util * 100.0);
+    println!(
+        "\nhottest channel: {hot:?} at {:.1}% utilization",
+        util * 100.0
+    );
 }

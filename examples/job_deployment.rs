@@ -54,8 +54,12 @@ fn main() {
     // Lifecycle: deploy, remove, redeploy.
     println!("Lifecycle check (communication-aware):");
     let mut host = HostProcessor::new(8, 8);
-    let a = host.deploy(&pipeline("alpha", 3), &CommunicationAware).unwrap();
-    let _b = host.deploy(&pipeline("beta", 2), &CommunicationAware).unwrap();
+    let a = host
+        .deploy(&pipeline("alpha", 3), &CommunicationAware)
+        .unwrap();
+    let _b = host
+        .deploy(&pipeline("beta", 2), &CommunicationAware)
+        .unwrap();
     println!(
         "  deployed alpha + beta: {} streams, {} free nodes",
         host.admitted_streams(),
@@ -67,7 +71,9 @@ fn main() {
         host.admitted_streams(),
         host.free_nodes().len()
     );
-    let c = host.deploy(&pipeline("gamma", 3), &CommunicationAware).unwrap();
+    let c = host
+        .deploy(&pipeline("gamma", 3), &CommunicationAware)
+        .unwrap();
     println!(
         "  redeployed gamma ({c:?}): {} streams, every bound still guaranteed: {}",
         host.admitted_streams(),

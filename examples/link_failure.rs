@@ -13,7 +13,11 @@ use rtwc::prelude::*;
 use rtwc_core::{channel_loads, is_deadlock_free, StreamSpec};
 use wormnet_topology::{BfsRouting, Mesh, NodeId, Path};
 
-fn resolve(mesh: &Mesh, routing: &BfsRouting, raw: &[(NodeId, NodeId, u32, u64, u64, u64)]) -> StreamSet {
+fn resolve(
+    mesh: &Mesh,
+    routing: &BfsRouting,
+    raw: &[(NodeId, NodeId, u32, u64, u64, u64)],
+) -> StreamSet {
     let parts: Vec<(StreamSpec, Path)> = raw
         .iter()
         .map(|&(s, d, p, t, c, dl)| {
@@ -45,7 +49,11 @@ fn report(title: &str, mesh: &Mesh, set: &StreamSet) {
     let hottest = loads.iter().cloned().fold(0.0f64, f64::max);
     println!(
         "  verdict: {} (hottest channel load {:.2})\n",
-        if feas.is_feasible() { "success" } else { "fail" },
+        if feas.is_feasible() {
+            "success"
+        } else {
+            "fail"
+        },
         hottest
     );
 }
@@ -54,8 +62,8 @@ fn main() {
     let mesh = Mesh::mesh2d(8, 8);
     let n = |x: u32, y: u32| mesh.node_at(&[x, y]).unwrap();
     let raw = [
-        (n(0, 2), n(7, 2), 3, 60, 8, 60),   // crosses row 2
-        (n(1, 2), n(6, 2), 2, 80, 10, 80),  // also row 2
+        (n(0, 2), n(7, 2), 3, 60, 8, 60),    // crosses row 2
+        (n(1, 2), n(6, 2), 2, 80, 10, 80),   // also row 2
         (n(3, 0), n(3, 7), 1, 120, 12, 120), // column 3
     ];
 

@@ -44,7 +44,11 @@ fn main() {
     let report = determine_feasibility(&set);
     println!(
         "Determine-Feasibility: {}",
-        if report.is_feasible() { "success" } else { "fail" }
+        if report.is_feasible() {
+            "success"
+        } else {
+            "fail"
+        }
     );
     println!(
         "(paper's published bounds: U = (7, 8, 26, 20, 33); U_3 differs here\n\

@@ -30,8 +30,12 @@ fn build() -> (Mesh, StreamSet) {
 fn run(policy_name: &str, cfg: SimConfig) {
     let (mesh, set) = build();
     let victim = StreamId(3);
-    let mut sim =
-        Simulator::new(mesh.num_links(), &set, cfg.with_cycles(6_000, 0).with_trace()).unwrap();
+    let mut sim = Simulator::new(
+        mesh.num_links(),
+        &set,
+        cfg.with_cycles(6_000, 0).with_trace(),
+    )
+    .unwrap();
     sim.run();
     let stats = sim.stats();
     let l = set.get(victim).latency;
@@ -57,9 +61,7 @@ fn run(policy_name: &str, cfg: SimConfig) {
         ),
     }
     // Aggressors' throughput, to show the channel was genuinely loaded.
-    let aggressor_msgs: usize = (0..3)
-        .map(|i| stats.latencies(StreamId(i), 0).len())
-        .sum();
+    let aggressor_msgs: usize = (0..3).map(|i| stats.latencies(StreamId(i), 0).len()).sum();
     println!("  low-priority messages completed: {aggressor_msgs}");
     // Measured Gantt of the first 70 cycles: '#' transmitting, 'w'
     // stalled in flight, '.' idle. M3 is the high-priority victim.

@@ -22,7 +22,14 @@ fn main() {
     // every stream gets a delay upper bound U; the set is feasible iff
     // U_i <= D_i for all i.
     let report = determine_feasibility(&set);
-    println!("Feasibility: {}", if report.is_feasible() { "success" } else { "fail" });
+    println!(
+        "Feasibility: {}",
+        if report.is_feasible() {
+            "success"
+        } else {
+            "fail"
+        }
+    );
     for s in set.iter() {
         println!(
             "  {}: P={} T={} C={} L={}  ->  U = {}",
@@ -52,7 +59,11 @@ fn main() {
             mean,
             max,
             bound,
-            if holds { "bound holds" } else { "BOUND VIOLATED" },
+            if holds {
+                "bound holds"
+            } else {
+                "BOUND VIOLATED"
+            },
         );
     }
 }

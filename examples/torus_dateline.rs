@@ -22,7 +22,9 @@ fn main() {
     .unwrap();
 
     // Attempt 1: single VC layer.
-    let mut cfg = SimConfig::paper(1).with_cycles(3_000, 0).with_buffer_depth(2);
+    let mut cfg = SimConfig::paper(1)
+        .with_cycles(3_000, 0)
+        .with_buffer_depth(2);
     cfg.stall_limit = 200;
     let mut sim = Simulator::new(torus.num_links(), &set, cfg).unwrap();
     sim.run();
@@ -37,11 +39,7 @@ fn main() {
     // Attempt 2: two dateline layers, per-hop layers from the torus.
     let layers: Vec<Vec<u8>> = set.iter().map(|s| torus.dateline_layers(&s.path)).collect();
     for (s, ls) in set.iter().zip(&layers) {
-        println!(
-            "  {} route layers: {:?}",
-            s.id,
-            ls
-        );
+        println!("  {} route layers: {:?}", s.id, ls);
     }
     let mut cfg = SimConfig::paper(1)
         .with_cycles(3_000, 0)

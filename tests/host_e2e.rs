@@ -3,7 +3,9 @@
 //! latency must respect the guarantee the host handed out at admission
 //! time.
 
-use rtwc_host::{Clustered, CommunicationAware, HostProcessor, JobSpec, MessageRequirement, TaskId};
+use rtwc_host::{
+    Clustered, CommunicationAware, HostProcessor, JobSpec, MessageRequirement, TaskId,
+};
 use wormnet_sim::{SimConfig, Simulator};
 use wormnet_topology::Topology;
 

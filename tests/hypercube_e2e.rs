@@ -11,9 +11,9 @@ use wormnet_topology::{EcubeRouting, Hypercube, NodeId, Topology};
 
 fn cube_set() -> (Hypercube, StreamSet) {
     let h = Hypercube::new(4); // 16 nodes
-    // E-cube resolves low bits first; craft overlapping routes:
-    // 0000 -> 0111 goes via 0001, 0011; 0001 -> 0011 shares the
-    // 0001 -> 0011 channel.
+                               // E-cube resolves low bits first; craft overlapping routes:
+                               // 0000 -> 0111 goes via 0001, 0011; 0001 -> 0011 shares the
+                               // 0001 -> 0011 channel.
     let specs = vec![
         StreamSpec::new(NodeId(0b0000), NodeId(0b0111), 3, 60, 6, 60),
         StreamSpec::new(NodeId(0b0001), NodeId(0b0011), 2, 80, 4, 80),
@@ -29,7 +29,10 @@ fn ecube_paths_overlap_as_designed() {
     let a = set.get(StreamId(0));
     let b = set.get(StreamId(1));
     let c = set.get(StreamId(2));
-    assert!(a.path.shares_link(&b.path), "0->7 and 1->3 share 0001->0011");
+    assert!(
+        a.path.shares_link(&b.path),
+        "0->7 and 1->3 share 0001->0011"
+    );
     assert!(!a.path.shares_link(&c.path));
     assert!(a.directly_affects(b));
 }

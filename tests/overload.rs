@@ -43,7 +43,10 @@ fn simulation_backlogs_but_keeps_moving() {
     // at full channel rate on the hot row.
     assert!(stats.stalled_at.is_none());
     let (_, util) = stats.hottest_link().unwrap();
-    assert!(util > 0.95, "saturated channel should be ~fully utilized: {util}");
+    assert!(
+        util > 0.95,
+        "saturated channel should be ~fully utilized: {util}"
+    );
     // The top stream is never harmed.
     let top = set.get(StreamId(0));
     assert!(stats

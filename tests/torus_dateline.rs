@@ -16,9 +16,7 @@ use wormnet_topology::{DimensionOrderRouting, NodeId, Topology, Torus};
 /// worm holds its first channel while waiting for its second.
 fn ring_set() -> (Torus, StreamSet) {
     let t = Torus::new(&[4]);
-    let mk = |s: u32, d: u32| {
-        StreamSpec::new(NodeId(s), NodeId(d), 1, 1_000_000, 8, 1_000_000)
-    };
+    let mk = |s: u32, d: u32| StreamSpec::new(NodeId(s), NodeId(d), 1, 1_000_000, 8, 1_000_000);
     let set = StreamSet::resolve(
         &t,
         &DimensionOrderRouting,
@@ -47,7 +45,9 @@ fn ring_routes_all_go_the_same_way() {
 #[test]
 fn single_layer_torus_deadlocks() {
     let (t, set) = ring_set();
-    let mut cfg = SimConfig::paper(1).with_cycles(3_000, 0).with_buffer_depth(2);
+    let mut cfg = SimConfig::paper(1)
+        .with_cycles(3_000, 0)
+        .with_buffer_depth(2);
     cfg.stall_limit = 500;
     let mut sim = Simulator::new(t.num_links(), &set, cfg).unwrap();
     sim.run();
@@ -61,10 +61,7 @@ fn single_layer_torus_deadlocks() {
 #[test]
 fn dateline_layers_break_the_deadlock() {
     let (t, set) = ring_set();
-    let layers: Vec<Vec<u8>> = set
-        .iter()
-        .map(|s| t.dateline_layers(&s.path))
-        .collect();
+    let layers: Vec<Vec<u8>> = set.iter().map(|s| t.dateline_layers(&s.path)).collect();
     let mut cfg = SimConfig::paper(1)
         .with_cycles(3_000, 0)
         .with_buffer_depth(2)
@@ -72,10 +69,12 @@ fn dateline_layers_break_the_deadlock() {
     cfg.stall_limit = 500;
     let phases = vec![0; set.len()];
     let mut sim =
-        Simulator::with_phases_and_layers(t.num_links(), &set, cfg, &phases, &layers)
-            .unwrap();
+        Simulator::with_phases_and_layers(t.num_links(), &set, cfg, &phases, &layers).unwrap();
     sim.run();
-    assert!(sim.stats().stalled_at.is_none(), "datelines must prevent deadlock");
+    assert!(
+        sim.stats().stalled_at.is_none(),
+        "datelines must prevent deadlock"
+    );
     assert_eq!(sim.stats().total_completed(), 4, "all four worms deliver");
     // Everyone still pays only pipeline + (possibly) same-class
     // serialization; latencies are finite and sane.
@@ -96,15 +95,13 @@ fn layers_rejected_when_malformed() {
         .unwrap_err();
     assert!(err.contains("layer vector"), "{err}");
     // Layer index out of range for num_layers = 1.
-    let bad: Vec<Vec<u8>> = set.iter().map(|s| vec![1; s.path.hops() as usize]).collect();
-    let err = Simulator::with_phases_and_layers(
-        t.num_links(),
-        &set,
-        SimConfig::paper(1),
-        &phases,
-        &bad,
-    )
-    .unwrap_err();
+    let bad: Vec<Vec<u8>> = set
+        .iter()
+        .map(|s| vec![1; s.path.hops() as usize])
+        .collect();
+    let err =
+        Simulator::with_phases_and_layers(t.num_links(), &set, SimConfig::paper(1), &phases, &bad)
+            .unwrap_err();
     assert!(err.contains("out of range"), "{err}");
 }
 
@@ -115,12 +112,28 @@ fn mesh_unaffected_by_extra_layers() {
     use wormnet_topology::{Mesh, XyRouting};
     let m = Mesh::mesh2d(6, 6);
     let specs = vec![
-        StreamSpec::new(m.node_at(&[0, 0]).unwrap(), m.node_at(&[5, 0]).unwrap(), 2, 40, 6, 40),
-        StreamSpec::new(m.node_at(&[1, 0]).unwrap(), m.node_at(&[5, 2]).unwrap(), 1, 60, 8, 60),
+        StreamSpec::new(
+            m.node_at(&[0, 0]).unwrap(),
+            m.node_at(&[5, 0]).unwrap(),
+            2,
+            40,
+            6,
+            40,
+        ),
+        StreamSpec::new(
+            m.node_at(&[1, 0]).unwrap(),
+            m.node_at(&[5, 2]).unwrap(),
+            1,
+            60,
+            8,
+            60,
+        ),
     ];
     let set = StreamSet::resolve(&m, &XyRouting, &specs).unwrap();
     let run = |layers: usize| {
-        let cfg = SimConfig::paper(2).with_cycles(2_000, 0).with_layers(layers);
+        let cfg = SimConfig::paper(2)
+            .with_cycles(2_000, 0)
+            .with_layers(layers);
         let mut sim = Simulator::new(m.num_links(), &set, cfg).unwrap();
         sim.run();
         sim.stats().records.clone()

@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore as _;
+
+/// Strategy type behind [`ANY`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Either boolean, uniformly.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}

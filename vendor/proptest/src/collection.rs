@@ -1,0 +1,152 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::collections::BTreeSet;
+
+/// An inclusive size range for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// A vector of `size.into()` elements drawn from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = self.size.draw(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.elem.try_gen(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with element strategy `S`.
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// A set of roughly `size.into()` distinct elements drawn from `elem`.
+///
+/// As in upstream proptest, a small element domain may not supply
+/// enough distinct values; generation retries a bounded number of draws
+/// and rejects the case if the minimum size is unreachable.
+pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+        let target = self.size.draw(rng);
+        let mut out = BTreeSet::new();
+        let mut budget = target * 10 + 20;
+        while out.len() < target && budget > 0 {
+            budget -= 1;
+            out.insert(self.elem.try_gen(rng)?);
+        }
+        (out.len() >= self.size.lo).then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn vec_respects_sizes() {
+        let s = vec(0u32..10, 3..=5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.try_gen(&mut r).unwrap();
+            assert!((3..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let s = vec(0u32..10, 3);
+        assert_eq!(s.try_gen(&mut rng()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let s = btree_set(0u32..100, 8..36);
+        let mut r = rng();
+        for _ in 0..50 {
+            let set = s.try_gen(&mut r).unwrap();
+            assert!(set.len() >= 8 && set.len() <= 35);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the subset of proptest this workspace's property tests
+//! use: the [`proptest!`] macro, strategies over integer ranges, tuples,
+//! collections and simple string patterns, the `prop_map` /
+//! `prop_filter` combinators, [`prop_oneof!`], and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking** — a failing case reports its deterministic seed
+//!   and input debug string instead of a minimized counterexample.
+//! * **Deterministic seeds** — each test derives its case seeds from a
+//!   stable hash of the test's module path and name, so failures
+//!   reproduce across runs and machines.
+//! * **String strategies** support only literal text and the
+//!   `[class]{m,n}` pattern shape (which is all this workspace uses).
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop` re-export module.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface of `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supported grammar (a subset of upstream's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::Runner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while let Some(mut rng) = runner.next_attempt() {
+                $(
+                    let $arg = match $crate::strategy::Strategy::try_gen(&($strat), &mut rng) {
+                        Some(v) => v,
+                        None => continue, // strategy-level rejection: redraw
+                    };
+                )*
+                let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                runner.finish_case(outcome);
+            }
+        }
+    )*};
+}
+
+/// Fails the current case (returns `Err` from the case closure) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, with `{:?}` rendering of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// [`prop_assert!`] for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: both sides are {:?}", l);
+    }};
+}
+
+/// Discards the current case without counting it toward the case target.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// A strategy choosing uniformly between the listed strategies (all of
+/// the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,184 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating random values of one type.
+///
+/// `try_gen` returns `None` when the draw was rejected (e.g. by
+/// [`Strategy::prop_filter`]); the runner then redraws the whole case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` on rejection.
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing the predicate (the `reason` is only
+    /// diagnostic).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _reason: reason,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_gen(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.try_gen(rng).filter(&self.f)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn try_gen(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.try_gen(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+
+/// Object-safe strategy view used by [`Union`].
+pub trait DynStrategy<T> {
+    /// Draws one value, or `None` on rejection.
+    fn try_gen_dyn(&self, rng: &mut TestRng) -> Option<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn try_gen_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.try_gen(rng)
+    }
+}
+
+/// Boxes a strategy for use in a heterogeneous [`Union`].
+pub fn boxed<S>(s: S) -> Box<dyn DynStrategy<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice between strategies of a common value type (the
+/// expansion of [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<T> {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].try_gen_dyn(rng)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<String> {
+        Some(crate::string::generate(self, rng))
+    }
+}

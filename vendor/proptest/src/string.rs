@@ -1,0 +1,93 @@
+//! String generation from simple patterns.
+//!
+//! Upstream proptest interprets a `&str` strategy as a full regex. This
+//! stand-in supports the shape this workspace actually uses — an
+//! optional character class with ranges followed by a `{min,max}`
+//! repetition, e.g. `"[ -~]{0,60}"` — and treats anything else as a
+//! literal string.
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Parsed `[class]{m,n}` pattern.
+struct ClassRepeat {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Option<ClassRepeat> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a `-` at either end is a literal dash).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            chars.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let reps = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let min: usize = reps.0.trim().parse().ok()?;
+    let max: usize = reps.1.trim().parse().ok()?;
+    (min <= max).then_some(ClassRepeat { chars, min, max })
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported shapes).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some(p) => {
+            let len = rng.gen_range(p.min..=p.max);
+            (0..len)
+                .map(|_| p.chars[rng.gen_range(0..p.chars.len())])
+                .collect()
+        }
+        None => pattern.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_fallback() {
+        let mut rng = TestRng::seed_from_u64(5);
+        assert_eq!(generate("hello", &mut rng), "hello");
+    }
+
+    #[test]
+    fn digit_class() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = generate("[0-9a]{3,3}", &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| c.is_ascii_digit() || c == 'a'));
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic case runner behind the [`crate::proptest!`] macro.
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (the subset of upstream's this workspace
+/// uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+    /// Attempt ceiling as a multiple of `cases`; generation rejections
+    /// and `prop_assume!` discards consume attempts.
+    pub max_rejects_factor: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_rejects_factor: 64,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` discarded the case: draw another.
+    Reject(String),
+}
+
+/// What a case body returns (via the macro-inserted `Ok(())`).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property test: deterministic per-case seeds, a case
+/// counter, and an attempt ceiling guarding against over-eager filters.
+pub struct Runner {
+    name: &'static str,
+    cases_target: u32,
+    completed: u32,
+    attempts: u64,
+    max_attempts: u64,
+    current_seed: u64,
+}
+
+impl Runner {
+    /// A runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let max_attempts = config.cases as u64 * config.max_rejects_factor.max(2) as u64;
+        Runner {
+            name,
+            cases_target: config.cases,
+            completed: 0,
+            attempts: 0,
+            max_attempts,
+            current_seed: 0,
+        }
+    }
+
+    fn name_hash(&self) -> u64 {
+        // FNV-1a over the test path: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The RNG for the next attempt, or `None` once the case target is
+    /// met.
+    ///
+    /// # Panics
+    /// Panics when the attempt ceiling is hit before enough cases pass
+    /// (a filter or `prop_assume!` rejects nearly everything).
+    pub fn next_attempt(&mut self) -> Option<TestRng> {
+        if self.completed >= self.cases_target {
+            return None;
+        }
+        assert!(
+            self.attempts < self.max_attempts,
+            "{}: gave up after {} attempts with only {}/{} cases accepted \
+             (filters/assumptions reject too much)",
+            self.name,
+            self.attempts,
+            self.completed,
+            self.cases_target,
+        );
+        self.current_seed = self
+            .name_hash()
+            .wrapping_add(self.attempts.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        self.attempts += 1;
+        Some(<TestRng as rand::SeedableRng>::seed_from_u64(
+            self.current_seed,
+        ))
+    }
+
+    /// Records a finished case body.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) when the case failed.
+    pub fn finish_case(&mut self, outcome: TestCaseResult) {
+        match outcome {
+            Ok(()) => self.completed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "{}: property failed at case {} (seed {:#x}): {}",
+                self.name, self.completed, self.current_seed, msg
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_the_requested_cases() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(10), "t");
+        let mut n = 0;
+        while runner.next_attempt().is_some() {
+            runner.finish_case(Ok(()));
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(5), "t");
+        let mut accepted = 0;
+        let mut i = 0;
+        while runner.next_attempt().is_some() {
+            i += 1;
+            if i % 2 == 0 {
+                runner.finish_case(Err(TestCaseError::Reject("skip".into())));
+            } else {
+                runner.finish_case(Ok(()));
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn hopeless_filters_abort() {
+        let mut runner = Runner::new(ProptestConfig::with_cases(1), "t");
+        while runner.next_attempt().is_some() {
+            runner.finish_case(Err(TestCaseError::Reject("never".into())));
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let seeds = |name| {
+            let mut r = Runner::new(ProptestConfig::with_cases(3), name);
+            let mut v = Vec::new();
+            while r.next_attempt().is_some() {
+                v.push(r.current_seed);
+                r.finish_case(Ok(()));
+            }
+            v
+        };
+        assert_eq!(seeds("a"), seeds("a"));
+        assert_ne!(seeds("a"), seeds("b"));
+    }
+}
