@@ -16,6 +16,7 @@
 //! * `baseline_arbiters` — preemptive vs Li vs classic wormhole
 //!   switching on the same workload.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diagram_load;

@@ -1,13 +1,16 @@
-//! The `analyze`, `simulate`, and `check` commands, factored out of
-//! `main` so they are testable without a process boundary.
+//! The `lint`, `analyze`, `simulate`, and `check` commands, factored
+//! out of `main` so they are testable without a process boundary.
 
-use crate::spec::SpecFile;
+use crate::spec::{RawSpecFile, SpecFile};
 use rtwc_core::{
     analyze_all, determine_feasibility_parallel, explain as explain_bound, render_analysis,
     render_explanation, DelayBound,
 };
+use rtwc_verifier::{
+    lint_sim_config, render_human, render_json, verify_workload, LintReport, DEFAULT_HORIZON_CAP,
+};
 use wormnet_sim::{Policy, SimConfig, Simulator};
-use wormnet_topology::Topology;
+use wormnet_topology::{Topology, XyRouting};
 
 /// Worker threads for the feasibility analysis: all available cores
 /// (the work-stealing analysis is bit-identical at any thread count).
@@ -50,6 +53,64 @@ impl SimOptions {
 
 fn max_priority(spec: &SpecFile) -> usize {
     spec.set.iter().map(|s| s.priority()).max().unwrap_or(1) as usize
+}
+
+/// Output format for `rtwc lint`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LintFormat {
+    /// One finding per paragraph, for terminals.
+    #[default]
+    Human,
+    /// A single JSON object, for CI.
+    Json,
+}
+
+fn verify_raw(raw: &RawSpecFile) -> LintReport {
+    verify_workload(&raw.mesh, &XyRouting, &raw.specs, DEFAULT_HORIZON_CAP)
+}
+
+/// `rtwc lint`: run every spec and analysis rule over a raw (possibly
+/// unresolvable) spec file. Returns the rendered report and whether the
+/// workload is free of `Error`-severity findings.
+pub fn lint(raw: &RawSpecFile, format: LintFormat) -> (String, bool) {
+    let report = verify_raw(raw);
+    let out = match format {
+        LintFormat::Human => render_human(&report.diagnostics, Some(&raw.lines)),
+        LintFormat::Json => render_json(&report.diagnostics, Some(&raw.lines)),
+    };
+    (out, !report.has_errors())
+}
+
+/// The deny-by-default guard in front of `analyze`/`simulate`/`check`:
+/// `Error`-severity findings abort the command (warnings pass).
+pub fn verify_spec(raw: &RawSpecFile) -> Result<(), String> {
+    let report = verify_raw(raw);
+    if report.has_errors() {
+        Err(format!(
+            "workload verification failed ({} error(s)):\n\n{}\nrun `rtwc lint` for machine-readable output, or pass --no-verify to bypass",
+            report.error_count(),
+            render_human(&report.diagnostics, Some(&raw.lines)),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The simulator-configuration guard (`S2xx` rules) in front of
+/// `simulate`/`check`.
+pub fn verify_sim(spec: &SpecFile, opts: &SimOptions) -> Result<(), String> {
+    let cfg = opts.config(max_priority(spec));
+    let diags = lint_sim_config(&spec.set, &cfg, None);
+    let report = LintReport::new(diags);
+    if report.has_errors() {
+        Err(format!(
+            "sim-config verification failed ({} error(s)):\n\n{}\npass --no-verify to bypass",
+            report.error_count(),
+            render_human(&report.diagnostics, None),
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 /// `rtwc analyze`: run Determine-Feasibility and report every bound;
@@ -336,6 +397,66 @@ mod tests {
         let out = deploy(&file, &rtwc_host::FirstFit);
         assert!(out.contains("b: REJECTED"), "{out}");
         assert!(out.contains("1 job(s) running"));
+    }
+
+    #[test]
+    fn lint_clean_spec_reports_no_findings() {
+        let raw = crate::spec::parse_raw(
+            "mesh 10 10\n\
+             stream 7,3 7,7 5 15 4\n\
+             stream 1,1 5,4 4 10 2\n",
+        )
+        .unwrap();
+        let (out, clean) = lint(&raw, LintFormat::Human);
+        assert!(clean);
+        assert!(out.contains("no findings"), "{out}");
+        let (json, clean) = lint(&raw, LintFormat::Json);
+        assert!(clean);
+        assert!(
+            json.contains("\"summary\":{\"errors\":0,\"warnings\":0}"),
+            "{json}"
+        );
+        assert!(verify_spec(&raw).is_ok());
+    }
+
+    #[test]
+    fn lint_broken_spec_denies_the_guard() {
+        // Self-delivery (W003); C > T (W005), which also drags the
+        // unloaded latency past the deadline (W007).
+        let raw = crate::spec::parse_raw(
+            "mesh 4 4\n\
+             stream 2,2 2,2 1 10 2\n\
+             stream 0,0 3,0 2 10 20\n",
+        )
+        .unwrap();
+        let (out, clean) = lint(&raw, LintFormat::Human);
+        assert!(!clean);
+        assert!(out.contains("error[W003] stream M0 (line 2)"), "{out}");
+        assert!(out.contains("error[W005] stream M1 (line 3)"), "{out}");
+        let e = verify_spec(&raw).unwrap_err();
+        assert!(e.contains("verification failed (3 error(s))"), "{e}");
+        assert!(e.contains("--no-verify"), "{e}");
+    }
+
+    #[test]
+    fn sim_guard_catches_undersupplied_vcs() {
+        let spec = paper_spec();
+        let opts = SimOptions {
+            cycles: 100,
+            warmup: 200,
+            ..SimOptions::default()
+        };
+        // The paper policy sizes VCs from the set's priorities, so only
+        // the warm-up warning fires — warnings never deny.
+        assert!(verify_sim(&spec, &opts).is_ok());
+        // Classic FIFO misconfigured with several VCs is an error; force
+        // it through the raw config to prove the guard sees S203.
+        let cfg = SimConfig::classic();
+        assert_eq!(cfg.num_vcs, 1, "classic() is single-VC by definition");
+        let mut bad = cfg;
+        bad.num_vcs = 4;
+        let diags = lint_sim_config(&spec.set, &bad, None);
+        assert!(diags.iter().any(|d| d.code == "S203"), "{diags:?}");
     }
 
     #[test]

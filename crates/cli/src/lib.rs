@@ -5,17 +5,26 @@
 //! `check` commands ([`commands`]).
 //!
 //! ```text
+//! rtwc lint     set.streams [--format human|json]
 //! rtwc analyze  set.streams [--diagrams]
 //! rtwc simulate set.streams [--policy preemptive|li|classic] [--cycles N] [--warmup N]
 //! rtwc check    set.streams [--policy ...] [--cycles N] [--warmup N]
 //! ```
+//!
+//! `analyze`/`simulate`/`check` run the [`rtwc_verifier`] lint rules
+//! first and refuse workloads with error-severity findings
+//! (`--no-verify` bypasses the guard).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
 pub mod jobs;
 pub mod spec;
 
-pub use commands::{analyze, analyze_with, check, deploy, simulate, SimOptions};
+pub use commands::{
+    analyze, analyze_with, check, deploy, lint, simulate, verify_sim, verify_spec, LintFormat,
+    SimOptions,
+};
 pub use jobs::{parse_jobs, JobsFile};
-pub use spec::{parse, render, ParseError, SpecFile};
+pub use spec::{parse, parse_raw, render, ParseError, RawSpecFile, SpecFile};

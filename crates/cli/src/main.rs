@@ -1,6 +1,8 @@
 //! The `rtwc` command-line tool.
 
-use rtwc_cli::{check, simulate, SimOptions};
+#![forbid(unsafe_code)]
+
+use rtwc_cli::{check, lint, simulate, LintFormat, SimOptions};
 use std::process::ExitCode;
 use wormnet_sim::Policy;
 
@@ -8,9 +10,10 @@ const USAGE: &str = "\
 rtwc — real-time wormhole communication toolkit (ICPP'98 reproduction)
 
 USAGE:
-    rtwc analyze  <SPEC> [--diagrams] [--explain]
-    rtwc simulate <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N]
-    rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N]
+    rtwc lint     <SPEC> [--format human|json]
+    rtwc analyze  <SPEC> [--diagrams] [--explain] [--no-verify]
+    rtwc simulate <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
+    rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
 
 SPEC is a .streams file:
@@ -24,11 +27,23 @@ JOBS is a .jobs file:
       msg 0 1 2 100 8      # FROM TO PRIORITY PERIOD LENGTH [DEADLINE]
 
 COMMANDS:
+    lint       statically verify the workload; exit nonzero on errors
     analyze    run Determine-Feasibility and print every delay bound U_i
     simulate   run the flit-level wormhole simulator and print latencies
     check      analyze + simulate, verifying max latency <= U for all streams
     deploy     allocate nodes and admit each job's streams with guarantees
+
+analyze, simulate, and check first run the lint rules and refuse
+workloads with error-severity findings; --no-verify skips the guard.
 ";
+
+fn parse_format(s: &str) -> Result<LintFormat, String> {
+    match s {
+        "human" => Ok(LintFormat::Human),
+        "json" => Ok(LintFormat::Json),
+        other => Err(format!("unknown format '{other}' (human|json)")),
+    }
+}
 
 fn parse_allocator(s: &str) -> Result<Box<dyn rtwc_host::Allocator>, String> {
     if let Some(seed) = s.strip_prefix("random:") {
@@ -79,12 +94,19 @@ fn run() -> Result<bool, String> {
     let mut opts = SimOptions::default();
     let mut diagrams = false;
     let mut explain_flag = false;
+    let mut no_verify = false;
+    let mut format = LintFormat::Human;
     let mut allocator = "comm".to_string();
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--diagrams" => diagrams = true,
             "--explain" => explain_flag = true,
+            "--no-verify" => no_verify = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = parse_format(v)?;
+            }
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a value")?;
                 opts.policy = parse_policy(v)?;
@@ -111,7 +133,19 @@ fn run() -> Result<bool, String> {
         return Ok(true);
     }
 
-    let spec = rtwc_cli::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let raw = rtwc_cli::parse_raw(&text).map_err(|e| format!("{path}: {e}"))?;
+    if command == "lint" {
+        let (out, clean) = lint(&raw, format);
+        print!("{out}");
+        return Ok(clean);
+    }
+    if !no_verify {
+        rtwc_cli::verify_spec(&raw)?;
+    }
+    let spec = raw.resolve().map_err(|e| format!("{path}: {e}"))?;
+    if !no_verify && matches!(command, "simulate" | "check") {
+        rtwc_cli::verify_sim(&spec, &opts)?;
+    }
     match command {
         "analyze" => {
             print!("{}", rtwc_cli::analyze_with(&spec, diagrams, explain_flag));

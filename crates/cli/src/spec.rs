@@ -24,6 +24,41 @@ pub struct SpecFile {
     pub mesh: Mesh,
     /// The streams, in file order (ids follow file order).
     pub set: StreamSet,
+    /// 1-based source line of each stream, parallel to the set's ids.
+    pub lines: Vec<usize>,
+}
+
+/// A spec file parsed but not yet resolved against routing: the mesh
+/// and the raw stream specs with their source lines.
+///
+/// The `lint` subcommand works on this form so that specs the resolver
+/// would reject outright (self-delivery, zero parameters, unroutable
+/// endpoints) still produce structured diagnostics instead of aborting
+/// at the first failure.
+#[derive(Clone, Debug)]
+pub struct RawSpecFile {
+    /// The mesh declared by the `mesh` line.
+    pub mesh: Mesh,
+    /// The stream specs in file order.
+    pub specs: Vec<StreamSpec>,
+    /// 1-based source line of each spec, parallel to `specs`.
+    pub lines: Vec<usize>,
+}
+
+impl RawSpecFile {
+    /// Resolves the raw specs into a [`SpecFile`], attributing any
+    /// resolution failure to the offending stream's source line.
+    pub fn resolve(&self) -> Result<SpecFile, ParseError> {
+        let set = StreamSet::resolve(&self.mesh, &XyRouting, &self.specs).map_err(|e| {
+            let line = e.stream().map_or(0, |i| self.lines[i]);
+            err(line, format!("invalid stream set: {e}"))
+        })?;
+        Ok(SpecFile {
+            mesh: self.mesh.clone(),
+            set,
+            lines: self.lines.clone(),
+        })
+    }
 }
 
 /// A parse failure, with the 1-based line it occurred on.
@@ -73,8 +108,14 @@ fn parse_num<T: std::str::FromStr>(line: usize, token: &str, what: &str) -> Resu
         .map_err(|_| err(line, format!("bad {what} '{token}'")))
 }
 
-/// Parses a spec file's contents.
+/// Parses a spec file's contents and resolves every stream's route.
 pub fn parse(input: &str) -> Result<SpecFile, ParseError> {
+    parse_raw(input)?.resolve()
+}
+
+/// Parses a spec file's contents without resolving routes (the lint
+/// front end; see [`RawSpecFile`]).
+pub fn parse_raw(input: &str) -> Result<RawSpecFile, ParseError> {
     let mut mesh: Option<Mesh> = None;
     // (line, src, dst, priority, period, length, deadline)
     type RawStream = (usize, (u32, u32), (u32, u32), u32, u64, u64, u64);
@@ -136,6 +177,7 @@ pub fn parse(input: &str) -> Result<SpecFile, ParseError> {
     }
 
     let mut specs = Vec::with_capacity(raw_streams.len());
+    let mut lines = Vec::with_capacity(raw_streams.len());
     for (lineno, src, dst, priority, period, length, deadline) in raw_streams {
         let s = mesh
             .node_at(&[src.0, src.1])
@@ -144,10 +186,9 @@ pub fn parse(input: &str) -> Result<SpecFile, ParseError> {
             .node_at(&[dst.0, dst.1])
             .ok_or_else(|| err(lineno, format!("dest ({},{}) outside mesh", dst.0, dst.1)))?;
         specs.push(StreamSpec::new(s, d, priority, period, length, deadline));
+        lines.push(lineno);
     }
-    let set = StreamSet::resolve(&mesh, &XyRouting, &specs)
-        .map_err(|e| err(0, format!("invalid stream set: {e}")))?;
-    Ok(SpecFile { mesh, set })
+    Ok(RawSpecFile { mesh, specs, lines })
 }
 
 /// Serializes a spec back to the file format (round-trip support).
@@ -241,5 +282,24 @@ stream 6,1 9,3 1 50 6 50
 
         let e = parse("mesh 4 4\n").unwrap_err();
         assert!(e.message.contains("no streams"));
+    }
+
+    #[test]
+    fn resolve_errors_point_at_the_offending_line() {
+        // The third line's stream self-delivers; the resolver's error
+        // must be attributed to it, not to the whole file.
+        let e = parse("mesh 4 4\nstream 0,0 1,0 1 10 2\nstream 2,2 2,2 1 10 2\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("source equals destination"), "{e}");
+    }
+
+    #[test]
+    fn parse_raw_keeps_broken_specs() {
+        // parse() rejects this file (self-delivery), parse_raw keeps it
+        // for the lint pass.
+        let raw = parse_raw("mesh 4 4\nstream 2,2 2,2 1 10 2\n").unwrap();
+        assert_eq!(raw.specs.len(), 1);
+        assert_eq!(raw.lines, vec![2]);
+        assert!(raw.resolve().is_err());
     }
 }

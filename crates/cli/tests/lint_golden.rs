@@ -1,0 +1,281 @@
+//! Golden-file tests of the lint diagnostics: every broken fixture must
+//! produce exactly the committed human and JSON output, the JSON must
+//! be syntactically valid (checked with an independent mini-parser, not
+//! the renderer), and the binary's exit codes must reflect severity.
+//!
+//! To regenerate the goldens after an intentional output change:
+//! `BLESS=1 cargo test -p rtwc-cli --test lint_golden`.
+
+use rtwc_cli::{lint, parse_raw, LintFormat};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_file(dir: &str, name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(dir)
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(repo_file("fixtures", name)).unwrap()
+}
+
+/// Expected rule codes per fixture, in emission order.
+const EXPECTED: &[(&str, &[&str])] = &[
+    ("clean.streams", &[]),
+    (
+        "broken.streams",
+        &[
+            "W002", "W003", "W005", "W006", "W007", "W001", "W008", "W008",
+        ],
+    ),
+    ("warnings.streams", &["W001", "A103", "A103"]),
+    ("infeasible.streams", &["W005", "W007"]),
+];
+
+fn compare_golden(name: &str, rendered: &str) {
+    let path = repo_file("golden", name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with BLESS=1", path.display()));
+    assert_eq!(
+        rendered, want,
+        "golden mismatch for {name}; run with BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn fixtures_match_goldens_and_expected_codes() {
+    for (fix, codes) in EXPECTED {
+        let raw = parse_raw(&fixture(fix)).unwrap();
+        let (human, human_clean) = lint(&raw, LintFormat::Human);
+        let (json, json_clean) = lint(&raw, LintFormat::Json);
+        assert_eq!(human_clean, json_clean);
+
+        let stem = fix.strip_suffix(".streams").unwrap();
+        compare_golden(&format!("{stem}.human.txt"), &human);
+        compare_golden(&format!("{stem}.json"), &json);
+
+        // Every expected code appears in order in the JSON stream.
+        let mut at = 0;
+        for code in *codes {
+            let probe = format!("\"code\":\"{code}\"");
+            match json[at..].find(&probe) {
+                Some(i) => at += i + probe.len(),
+                None => panic!("{fix}: expected {code} after byte {at} in {json}"),
+            }
+        }
+        let found = json.matches("\"code\":").count();
+        assert_eq!(found, codes.len(), "{fix}: extra findings in {json}");
+
+        // And the JSON is well-formed.
+        json_validate(&json).unwrap_or_else(|e| panic!("{fix}: invalid JSON ({e}): {json}"));
+    }
+}
+
+#[test]
+fn lint_exit_codes_reflect_severity() {
+    let rtwc = env!("CARGO_BIN_EXE_rtwc");
+    let run = |fix: &str, extra: &[&str]| {
+        Command::new(rtwc)
+            .arg("lint")
+            .arg(repo_file("fixtures", fix))
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+    assert!(run("clean.streams", &[]).status.success());
+    assert!(
+        run("warnings.streams", &[]).status.success(),
+        "warnings never fail lint"
+    );
+    let broken = run("broken.streams", &["--format", "json"]);
+    assert!(!broken.status.success());
+    let json = String::from_utf8(broken.stdout).unwrap();
+    json_validate(&json).unwrap();
+    assert!(json.contains("\"code\":\"W003\""), "{json}");
+}
+
+#[test]
+fn analyze_guard_denies_error_findings() {
+    let rtwc = env!("CARGO_BIN_EXE_rtwc");
+    let path = repo_file("fixtures", "infeasible.streams");
+    let denied = Command::new(rtwc)
+        .arg("analyze")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!denied.status.success());
+    let err = String::from_utf8(denied.stderr).unwrap();
+    assert!(err.contains("W005"), "{err}");
+    assert!(err.contains("--no-verify"), "{err}");
+    assert!(denied.stdout.is_empty(), "no analysis output when denied");
+
+    let bypassed = Command::new(rtwc)
+        .args(["analyze"])
+        .arg(&path)
+        .arg("--no-verify")
+        .output()
+        .unwrap();
+    assert!(bypassed.status.success(), "--no-verify bypasses the guard");
+    let out = String::from_utf8(bypassed.stdout).unwrap();
+    assert!(out.contains("Determine-Feasibility"), "{out}");
+
+    let checked = Command::new(rtwc).arg("check").arg(&path).output().unwrap();
+    assert!(!checked.status.success(), "check is guarded too");
+}
+
+// --- a minimal independent JSON syntax checker -------------------------
+
+/// Validates that `s` is exactly one well-formed JSON value (plus
+/// whitespace). Independent of the renderer by construction: it only
+/// *reads* the grammar.
+fn json_validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    json_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn json_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => json_composite(b, i, b'}', true),
+        Some(b'[') => json_composite(b, i, b']', false),
+        Some(b'"') => json_string(b, i),
+        Some(b't') => json_lit(b, i, "true"),
+        Some(b'f') => json_lit(b, i, "false"),
+        Some(b'n') => json_lit(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => json_number(b, i),
+        other => Err(format!("unexpected {other:?} at {i}")),
+    }
+}
+
+fn json_composite(b: &[u8], i: &mut usize, close: u8, keyed: bool) -> Result<(), String> {
+    *i += 1; // opening bracket
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        if keyed {
+            skip_ws(b, i);
+            json_string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at {i}"));
+            }
+            *i += 1;
+        }
+        json_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(c) if *c == close => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or close, got {other:?} at {i}")),
+        }
+    }
+}
+
+fn json_lit(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at {i}"))
+    }
+}
+
+fn json_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at {i}"));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = b.get(*i + 1).ok_or("dangling escape")?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *i += 2,
+                    b'u' => {
+                        let hex = b.get(*i + 2..*i + 6).ok_or("short \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at {i}"));
+                        }
+                        *i += 6;
+                    }
+                    other => return Err(format!("bad escape \\{} at {i}", *other as char)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte at {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn json_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if *i == start {
+        return Err(format!("empty number at {start}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn the_mini_parser_rejects_malformed_json() {
+    assert!(json_validate(r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#).is_ok());
+    for bad in [
+        r#"{"a":1"#,
+        r#"{"a" 1}"#,
+        r#"[1,]"#,
+        "\"\u{1}\"",
+        r#"{"a":01x}"#,
+        "{} {}",
+    ] {
+        assert!(json_validate(bad).is_err(), "{bad}");
+    }
+}

@@ -139,6 +139,25 @@ impl AdmissionController {
     /// next dense id and its bound is cached. On failure the controller
     /// is unchanged.
     pub fn admit(&mut self, spec: StreamSpec, path: Path) -> Result<StreamId, AdmissionError> {
+        // Structural guard, mirroring the verifier's spec lints W005 /
+        // W007: a stream that oversubscribes its own period, or whose
+        // deadline is below its contention-free network latency, can
+        // never be admitted — refuse before building the trial set so
+        // the caller gets a precise reason instead of a generic
+        // infeasibility verdict.
+        if spec.max_length > spec.period {
+            return Err(AdmissionError::Invalid(format!(
+                "length C = {} exceeds period T = {} (the stream oversubscribes its own channel)",
+                spec.max_length, spec.period
+            )));
+        }
+        let latency = crate::latency::network_latency(path.hops(), spec.max_length);
+        if spec.deadline < latency {
+            return Err(AdmissionError::CandidateInfeasible {
+                bound: DelayBound::Bounded(latency),
+            });
+        }
+
         let mut parts = self.parts.clone();
         parts.push((spec, path));
         let trial = StreamSet::from_parts(parts.clone())
@@ -339,6 +358,34 @@ mod tests {
         let new_lo = StreamId(0);
         assert_eq!(ctl.len(), 1);
         assert_eq!(ctl.bound(new_lo).value().unwrap(), l);
+    }
+
+    #[test]
+    fn structural_guard_rejects_oversubscribed_candidate() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        // C = 20 > T = 10: refused outright, no analysis run.
+        let (s, p) = routed(&m, [0, 0], [5, 0], 1, 10, 20, 10);
+        let err = ctl.admit(s, p).unwrap_err();
+        assert!(matches!(err, AdmissionError::Invalid(_)), "{err:?}");
+        assert!(err.to_string().contains("oversubscribes"));
+        assert_eq!(ctl.recomputations(), 0);
+    }
+
+    #[test]
+    fn structural_guard_rejects_deadline_below_latency() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        // 5 hops, C = 4 -> L = 8, but D = 5: unreachable even alone.
+        let (s, p) = routed(&m, [0, 0], [5, 0], 1, 100, 4, 5);
+        let err = ctl.admit(s, p).unwrap_err();
+        match err {
+            AdmissionError::CandidateInfeasible { bound } => {
+                assert_eq!(bound, DelayBound::Bounded(8));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(ctl.recomputations(), 0);
     }
 
     #[test]

@@ -216,7 +216,7 @@ impl TimingDiagram {
     pub fn generate(set: &StreamSet, hp: &HpSet, horizon: u64, removed: &RemovedInstances) -> Self {
         assert!(horizon > 0, "diagram horizon must be positive");
         let occ = occupancy::generate(set, hp, horizon, removed);
-        TimingDiagram {
+        let d = TimingDiagram {
             target: hp.target,
             horizon,
             words: occ.words,
@@ -224,7 +224,12 @@ impl TimingDiagram {
             alloc: occ.alloc,
             column_taken: occ.taken,
             cells: OnceLock::new(),
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = d.check_invariants(set) {
+            panic!("bitset kernel invariant violated: {e}");
         }
+        d
     }
 
     /// [`TimingDiagram::generate`] through the original cell-matrix
@@ -237,7 +242,12 @@ impl TimingDiagram {
         horizon: u64,
         removed: &RemovedInstances,
     ) -> Self {
-        legacy::generate(set, hp, horizon, removed)
+        let d = legacy::generate(set, hp, horizon, removed);
+        #[cfg(debug_assertions)]
+        if let Err(e) = d.check_invariants(set) {
+            panic!("legacy kernel invariant violated: {e}");
+        }
+        d
     }
 
     /// [`TimingDiagram::generate`] with an explicit kernel choice.
@@ -443,6 +453,132 @@ impl TimingDiagram {
     /// Row index of `stream`, if it is an HP element.
     pub fn row_of(&self, stream: StreamId) -> Option<usize> {
         self.rows.iter().position(|r| r.stream == stream)
+    }
+
+    /// Verifies the diagram's structural invariants against the stream
+    /// set it was generated from, returning a description of the first
+    /// violation found.
+    ///
+    /// The checked invariants are exactly the ones the packed-bitset
+    /// kernel must preserve for `Cal_U` to be sound:
+    ///
+    /// 1. **alloc ⊆ taken** — every row's allocation mask is a subset
+    ///    of the busy-column union;
+    /// 2. **exclusivity / popcount conservation** — no slot is
+    ///    allocated by two rows, and the union of the row masks equals
+    ///    `column_taken` bit for bit (so popcounts are conserved across
+    ///    `Modify_Diagram` removals: removed instances contribute
+    ///    nothing, surviving ones exactly their slot counts);
+    /// 3. **period windows** — instance `k` of a row with period `T`
+    ///    spans `[kT+1, min((k+1)T, horizon)]`, windows tile the
+    ///    horizon, and every transmitted slot lies inside its window;
+    /// 4. **slot accounting** — a complete instance holds exactly `C`
+    ///    ascending slots, a removed one holds none, and the per-row
+    ///    slot lists agree with the row's allocation mask popcount.
+    ///
+    /// The same checks run as `debug_assert!`s inside the kernels; this
+    /// method is the release-mode entry point used by the `verifier`
+    /// crate's self-check mode.
+    pub fn check_invariants(&self, set: &StreamSet) -> Result<(), String> {
+        let mut union = vec![0u64; self.words];
+        for (r, row) in self.rows.iter().enumerate() {
+            let row_alloc = &self.alloc[r * self.words..(r + 1) * self.words];
+            let mut mask_pop = 0u64;
+            for (wi, &w) in row_alloc.iter().enumerate() {
+                if w & !self.column_taken[wi] != 0 {
+                    return Err(format!(
+                        "row {r} ({}): allocation mask escapes the taken accumulator in word {wi}",
+                        row.stream
+                    ));
+                }
+                if union[wi] & w != 0 {
+                    return Err(format!(
+                        "row {r} ({}): allocation overlaps another row's in word {wi}",
+                        row.stream
+                    ));
+                }
+                union[wi] |= w;
+                mask_pop += u64::from(w.count_ones());
+            }
+
+            let stream = set.get(row.stream);
+            let (period, length) = (stream.period(), stream.max_length());
+            let mut listed = 0u64;
+            for (k, inst) in row.instances.iter().enumerate() {
+                if inst.index != k {
+                    return Err(format!(
+                        "row {r} ({}): instance {k} is numbered {}",
+                        row.stream, inst.index
+                    ));
+                }
+                let want_start = k as u64 * period + 1;
+                let want_end = ((k as u64 + 1) * period).min(self.horizon);
+                if inst.window_start != want_start || inst.window_end != want_end {
+                    return Err(format!(
+                        "row {r} ({}): instance {k} window [{}, {}] violates period {period} \
+                         (expected [{want_start}, {want_end}])",
+                        row.stream, inst.window_start, inst.window_end
+                    ));
+                }
+                if inst.removed {
+                    if !inst.slots.is_empty() {
+                        return Err(format!(
+                            "row {r} ({}): removed instance {k} still transmits",
+                            row.stream
+                        ));
+                    }
+                    continue;
+                }
+                if inst.complete && inst.slots.len() as u64 != length {
+                    return Err(format!(
+                        "row {r} ({}): complete instance {k} holds {} slots, C = {length}",
+                        row.stream,
+                        inst.slots.len()
+                    ));
+                }
+                let mut prev = 0u64;
+                for &t in &inst.slots {
+                    if t <= prev {
+                        return Err(format!(
+                            "row {r} ({}): instance {k} slots not strictly ascending",
+                            row.stream
+                        ));
+                    }
+                    if t < inst.window_start || t > inst.window_end {
+                        return Err(format!(
+                            "row {r} ({}): instance {k} transmits at {t} outside its window \
+                             [{}, {}]",
+                            row.stream, inst.window_start, inst.window_end
+                        ));
+                    }
+                    let (wi, m) = bits::slot_bit(t);
+                    if row_alloc[wi] & m == 0 {
+                        return Err(format!(
+                            "row {r} ({}): instance {k} lists slot {t} absent from the \
+                             allocation mask",
+                            row.stream
+                        ));
+                    }
+                    prev = t;
+                }
+                listed += inst.slots.len() as u64;
+            }
+            if listed != mask_pop {
+                return Err(format!(
+                    "row {r} ({}): instance slot lists total {listed} but the allocation mask \
+                     holds {mask_pop} bits",
+                    row.stream
+                ));
+            }
+        }
+        for (wi, (&u, &t)) in union.iter().zip(&self.column_taken).enumerate() {
+            if u != t {
+                return Err(format!(
+                    "busy-column union diverges from the rows' masks in word {wi}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -128,6 +128,10 @@ pub(super) fn generate(
         // Windows within a row are disjoint, so merging after the whole
         // row is equivalent to merging per allocation — and rows below
         // see every slot this row holds.
+        debug_assert!(
+            row_alloc.iter().zip(taken.iter()).all(|(a, t)| a & t == 0),
+            "bitset kernel: row {r} claims slots already in the taken accumulator"
+        );
         for (t, a) in taken.iter_mut().zip(row_alloc.iter()) {
             *t |= *a;
         }
@@ -270,6 +274,13 @@ impl AnalysisScratch {
         if self.rows.len() < self.n_rows {
             self.rows.resize_with(self.n_rows, SpanRow::default);
         }
+        // Popcount conservation across `Modify_Diagram` removals: every
+        // bit set in `taken` is claimed by exactly one surviving
+        // instance (allocations only ever OR in bits that were clear),
+        // so the total claimed count must equal the accumulator's
+        // popcount after the pass. Removed instances claim nothing.
+        #[cfg(debug_assertions)]
+        let mut claimed = 0u64;
 
         for (r, elem) in hp.elements().iter().enumerate() {
             let stream = set.get(elem.stream);
@@ -312,9 +323,17 @@ impl AnalysisScratch {
                         *word |= avail;
                         remaining -= cnt;
                         last_slot = (wi as u64) * 64 + 64 - u64::from(avail.leading_zeros());
+                        #[cfg(debug_assertions)]
+                        {
+                            claimed += cnt;
+                        }
                     } else {
                         let b = bits::select_nth_set(avail, (remaining - 1) as u32);
                         *word |= avail & bits::mask_through(b);
+                        #[cfg(debug_assertions)]
+                        {
+                            claimed += remaining;
+                        }
                         remaining = 0;
                         last_slot = (wi as u64) * 64 + u64::from(b) + 1;
                         break;
@@ -327,6 +346,14 @@ impl AnalysisScratch {
                     removed: false,
                 });
             }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let pop: u64 = taken.iter().map(|w| u64::from(w.count_ones())).sum();
+            assert_eq!(
+                claimed, pop,
+                "scratch kernel: claimed slots diverge from the taken accumulator's popcount"
+            );
         }
     }
 

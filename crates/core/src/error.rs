@@ -1,8 +1,14 @@
 //! Errors raised while building or analyzing stream sets.
 
 use std::fmt;
+use wormnet_topology::NodeId;
 
 /// Why a stream set could not be built or analyzed.
+///
+/// Every variant that concerns a single stream carries the stream's
+/// index (see [`AnalysisError::stream`]) so callers — the CLI in
+/// particular — can point at the offending spec line instead of
+/// reporting a context-free string.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AnalysisError {
     /// A feasibility instance needs at least one stream.
@@ -32,9 +38,28 @@ pub enum AnalysisError {
     RouteFailed {
         /// Index of the offending spec.
         stream: usize,
+        /// The unroutable source node.
+        source: NodeId,
+        /// The unroutable destination node.
+        dest: NodeId,
         /// The routing error's description.
         reason: String,
     },
+}
+
+impl AnalysisError {
+    /// Index of the stream spec the error concerns, when there is one
+    /// ([`AnalysisError::EmptySet`] concerns the whole set).
+    pub fn stream(&self) -> Option<usize> {
+        match self {
+            AnalysisError::EmptySet => None,
+            AnalysisError::SelfDelivery { stream }
+            | AnalysisError::ZeroPeriod { stream }
+            | AnalysisError::ZeroLength { stream }
+            | AnalysisError::ZeroDeadline { stream }
+            | AnalysisError::RouteFailed { stream, .. } => Some(*stream),
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -53,8 +78,16 @@ impl fmt::Display for AnalysisError {
             AnalysisError::ZeroDeadline { stream } => {
                 write!(f, "stream {stream}: deadline D must be positive")
             }
-            AnalysisError::RouteFailed { stream, reason } => {
-                write!(f, "stream {stream}: routing failed: {reason}")
+            AnalysisError::RouteFailed {
+                stream,
+                source,
+                dest,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "stream {stream}: routing {source} -> {dest} failed: {reason}"
+                )
             }
         }
     }
@@ -73,8 +106,24 @@ mod tests {
         assert!(e.to_string().contains("period"));
         let e = AnalysisError::RouteFailed {
             stream: 1,
+            source: NodeId(0),
+            dest: NodeId(9),
             reason: "no channel".into(),
         };
         assert!(e.to_string().contains("no channel"));
+        assert!(e.to_string().contains("n0 -> n9") || e.to_string().contains("0"));
+    }
+
+    #[test]
+    fn stream_index_is_exposed() {
+        assert_eq!(AnalysisError::EmptySet.stream(), None);
+        assert_eq!(AnalysisError::SelfDelivery { stream: 2 }.stream(), Some(2));
+        let e = AnalysisError::RouteFailed {
+            stream: 4,
+            source: NodeId(1),
+            dest: NodeId(2),
+            reason: "x".into(),
+        };
+        assert_eq!(e.stream(), Some(4));
     }
 }

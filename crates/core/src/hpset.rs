@@ -51,6 +51,17 @@ pub struct HpSet {
 }
 
 impl HpSet {
+    /// Builds an HP set directly from pre-computed elements.
+    ///
+    /// [`generate_hp`] is the canonical constructor; this one exists for
+    /// alternative analyses and for the verifier crate, whose lint rules
+    /// must accept hand-built — possibly deliberately inconsistent —
+    /// sets. `elements` are taken verbatim as the timing-diagram row
+    /// order; no closure or mode checking is performed here.
+    pub fn from_elements(target: StreamId, elements: Vec<HpElement>) -> HpSet {
+        HpSet { target, elements }
+    }
+
     /// Elements in timing-diagram row order (decreasing priority).
     pub fn elements(&self) -> &[HpElement] {
         &self.elements

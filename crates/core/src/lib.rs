@@ -50,6 +50,7 @@
 //! assert_eq!(report.bound(StreamId(0)), DelayBound::Bounded(7));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;

@@ -169,6 +169,8 @@ impl StreamSet {
             let path = routing.route(topo, spec.source, spec.dest).map_err(|e| {
                 AnalysisError::RouteFailed {
                     stream: i,
+                    source: spec.source,
+                    dest: spec.dest,
                     reason: e.to_string(),
                 }
             })?;

@@ -47,6 +47,7 @@
 //! assert_eq!(path.hops(), 4); // Manhattan distance
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod link;

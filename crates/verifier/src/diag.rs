@@ -1,0 +1,136 @@
+//! The diagnostic data model: severities, spans, and the structured
+//! finding every lint rule emits.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// `Error` findings describe workloads or artifacts the analysis cannot
+/// be trusted on (the guard in front of `analyze`/`check` denies them);
+/// `Warning` findings are suspicious but analyzable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but analyzable; reported, never fatal.
+    Warning,
+    /// The workload or artifact is broken; deny-by-default.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What a diagnostic points at.
+///
+/// Streams are identified by their dense index (file order in a
+/// `.streams` spec, which is also the [`rtwc_core::StreamId`] the
+/// resolver assigns); renderers that know the spec's source lines can
+/// decorate stream spans with line numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// The workload as a whole.
+    Workload,
+    /// One stream, by dense index.
+    Stream(u32),
+    /// An interacting pair of streams.
+    StreamPair(u32, u32),
+    /// One directed channel, by link index.
+    Link(u32),
+    /// The simulator configuration.
+    Config,
+}
+
+impl Span {
+    /// The primary stream this span points at, for source-line lookup.
+    pub fn stream(&self) -> Option<u32> {
+        match self {
+            Span::Stream(s) | Span::StreamPair(s, _) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Workload => write!(f, "workload"),
+            Span::Stream(s) => write!(f, "stream M{s}"),
+            Span::StreamPair(a, b) => write!(f, "streams M{a} and M{b}"),
+            Span::Link(l) => write!(f, "link L{l}"),
+            Span::Config => write!(f, "sim config"),
+        }
+    }
+}
+
+/// One structured finding from a lint rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`W0xx` spec, `A1xx` analysis, `S2xx` sim).
+    pub code: &'static str,
+    /// Severity, fixed per rule by the [registry](crate::registry).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Optional remedy.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for a registered rule code; the severity is
+    /// looked up in the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a code absent from [`crate::registry::RULES`] — rule
+    /// codes are part of the tool's stable output contract and must be
+    /// registered before use.
+    pub fn new(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        let info =
+            crate::registry::rule(code).unwrap_or_else(|| panic!("unregistered rule code {code}"));
+        Diagnostic {
+            code,
+            severity: info.severity,
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a remedy.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// True for `Error`-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_comes_from_registry() {
+        let d = Diagnostic::new("W005", Span::Stream(2), "too long");
+        assert_eq!(d.severity, Severity::Error);
+        let d = Diagnostic::new("W001", Span::StreamPair(0, 1), "dup");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.stream(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_codes_panic() {
+        let _ = Diagnostic::new("Z999", Span::Workload, "nope");
+    }
+}

@@ -1,0 +1,142 @@
+//! # rtwc-verifier
+//!
+//! Static verification of wormhole stream workloads: everything that
+//! can be checked **without running the simulator**. Three rule
+//! families share one diagnostic model:
+//!
+//! - `W0xx` ([`rules::spec`]) — the workload itself: duplicate streams,
+//!   oversubscription (`C > T`), broken deadline models (`D > T`,
+//!   `D < L`), unroutable or self-delivering endpoints, priority
+//!   collisions on shared channels;
+//! - `A1xx` ([`rules::analysis`]) — the ICPP'98 analysis artifacts: HP
+//!   sets closed under the blocking relation, indirect elements with
+//!   real blocking chains, BDG cycles, timing-diagram structural
+//!   invariants, bitset/legacy kernel agreement, scratch/full bound
+//!   agreement;
+//! - `S2xx` ([`rules::sim`]) — the simulator configuration: enough VCs
+//!   for the policy, deadlock-free channel dependencies, sane warm-up.
+//!
+//! Every finding is a structured [`Diagnostic`] with a stable rule
+//! code, a fixed severity from the [`registry`], a [`Span`], and an
+//! optional suggestion; [`render::render_human`] and
+//! [`render::render_json`] turn a batch into terminal or CI output.
+//! The CLI exposes all of this as `rtwc lint` and as a deny-on-`Error`
+//! guard in front of `analyze` and `check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod registry;
+pub mod render;
+pub mod rules;
+
+pub use diag::{Diagnostic, Severity, Span};
+pub use registry::{rule, RuleInfo, RULES};
+pub use render::{render_human, render_json};
+pub use rules::analysis::{lint_analysis, lint_diagram, lint_hp_set, DEFAULT_HORIZON_CAP};
+pub use rules::sim::lint_sim_config;
+pub use rules::spec::lint_specs;
+
+use rtwc_core::{StreamSet, StreamSpec};
+use wormnet_topology::{Routing, Topology};
+
+/// The outcome of a verification pass: every finding, in rule order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Wraps a batch of findings.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        LintReport { diagnostics }
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// True when at least one finding is an `Error` — the deny
+    /// condition for the `analyze`/`check` guard.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.is_error())
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Verifies a whole workload: runs the `W0xx` spec rules, and — when
+/// the specs are clean enough to resolve — the `A1xx` analysis rules
+/// over the resolved set.
+///
+/// This is the entry point behind `rtwc lint` and the guard in front of
+/// `analyze`/`check`; `horizon_cap` is forwarded to
+/// [`lint_analysis`] (use [`DEFAULT_HORIZON_CAP`]).
+pub fn verify_workload<T, R>(
+    topo: &T,
+    routing: &R,
+    specs: &[StreamSpec],
+    horizon_cap: u64,
+) -> LintReport
+where
+    T: Topology,
+    R: Routing<T>,
+{
+    let mut diagnostics = lint_specs(topo, routing, specs);
+    let spec_errors = diagnostics.iter().any(|d| d.is_error());
+    if !spec_errors {
+        if let Ok(set) = StreamSet::resolve(topo, routing, specs) {
+            diagnostics.extend(lint_analysis(&set, horizon_cap));
+        }
+    }
+    LintReport::new(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet_topology::{Mesh, XyRouting};
+
+    #[test]
+    fn paper_example_verifies_clean() {
+        let m = Mesh::mesh2d(10, 10);
+        let n = |x, y| m.node_at(&[x, y]).unwrap();
+        let specs = [
+            StreamSpec::new(n(7, 3), n(7, 7), 5, 15, 4, 15),
+            StreamSpec::new(n(1, 1), n(5, 4), 4, 10, 2, 10),
+            StreamSpec::new(n(2, 1), n(7, 5), 3, 40, 4, 40),
+            StreamSpec::new(n(4, 1), n(8, 5), 2, 45, 9, 45),
+            StreamSpec::new(n(6, 1), n(9, 3), 1, 50, 6, 50),
+        ];
+        let report = verify_workload(&m, &XyRouting, &specs, DEFAULT_HORIZON_CAP);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(!report.has_errors());
+        assert_eq!(report.error_count() + report.warning_count(), 0);
+    }
+
+    #[test]
+    fn broken_specs_stop_before_analysis() {
+        let m = Mesh::mesh2d(4, 4);
+        let n = |x, y| m.node_at(&[x, y]).unwrap();
+        // Self-delivery is a spec error; the resolver would reject the
+        // set, so the A1xx rules must not run (and must not panic).
+        let specs = [
+            StreamSpec::new(n(0, 0), n(0, 0), 1, 10, 2, 10),
+            StreamSpec::new(n(0, 1), n(3, 1), 2, 10, 2, 10),
+        ];
+        let report = verify_workload(&m, &XyRouting, &specs, DEFAULT_HORIZON_CAP);
+        assert!(report.has_errors());
+        assert!(report.diagnostics.iter().all(|d| d.code.starts_with('W')));
+    }
+}

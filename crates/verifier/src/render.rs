@@ -1,0 +1,173 @@
+//! Human and machine-readable (`--format json`) diagnostic renderers.
+//!
+//! Both renderers accept the spec file's 1-based source lines (parallel
+//! to the stream indices) so stream-scoped findings can be attributed
+//! to the line that declared the stream.
+
+use crate::diag::{Diagnostic, Span};
+use std::fmt::Write as _;
+
+/// Source line of a diagnostic's primary stream, if known.
+fn line_of(d: &Diagnostic, lines: Option<&[usize]>) -> Option<usize> {
+    let s = d.span.stream()? as usize;
+    lines?.get(s).copied()
+}
+
+/// Renders diagnostics for a terminal, one finding per paragraph, with
+/// a trailing summary line.
+pub fn render_human(diags: &[Diagnostic], lines: Option<&[usize]>) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let loc = match line_of(d, lines) {
+            Some(l) => format!(" (line {l})"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{}[{}] {}{}: {}",
+            d.severity, d.code, d.span, loc, d.message
+        );
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "    help: {s}");
+        }
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    if diags.is_empty() {
+        out.push_str("no findings\n");
+    } else {
+        let _ = writeln!(out, "{errors} error(s), {warnings} warning(s)");
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal (RFC 8259).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_span(span: Span) -> String {
+    match span {
+        Span::Workload => r#"{"kind":"workload"}"#.to_string(),
+        Span::Stream(s) => format!(r#"{{"kind":"stream","stream":{s}}}"#),
+        Span::StreamPair(a, b) => {
+            format!(r#"{{"kind":"stream-pair","stream":{a},"other":{b}}}"#)
+        }
+        Span::Link(l) => format!(r#"{{"kind":"link","link":{l}}}"#),
+        Span::Config => r#"{"kind":"config"}"#.to_string(),
+    }
+}
+
+/// Renders diagnostics as a single JSON object:
+///
+/// ```json
+/// {"tool":"rtwc-lint","version":"0.1.0",
+///  "diagnostics":[{"code":"W005","severity":"error",
+///                  "span":{"kind":"stream","stream":2},"line":4,
+///                  "message":"...","suggestion":"..."}],
+///  "summary":{"errors":1,"warnings":0}}
+/// ```
+///
+/// `line` and `suggestion` are omitted when unknown. The JSON is
+/// hand-rolled (the build is offline, no serde); the golden tests parse
+/// it back with an independent mini-parser to keep it honest.
+pub fn render_json(diags: &[Diagnostic], lines: Option<&[usize]>) -> String {
+    let mut out = String::from("{\"tool\":\"rtwc-lint\",\"version\":\"");
+    out.push_str(env!("CARGO_PKG_VERSION"));
+    out.push_str("\",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{}",
+            d.code,
+            d.severity,
+            json_span(d.span)
+        );
+        if let Some(l) = line_of(d, lines) {
+            let _ = write!(out, ",\"line\":{l}");
+        }
+        let _ = write!(out, ",\"message\":\"{}\"", json_escape(&d.message));
+        if let Some(s) = &d.suggestion {
+            let _ = write!(out, ",\"suggestion\":\"{}\"", json_escape(s));
+        }
+        out.push('}');
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"errors\":{errors},\"warnings\":{}}}}}",
+        diags.len() - errors
+    );
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                "W005",
+                Span::Stream(1),
+                "length C = 20 exceeds period T = 10",
+            )
+            .with_suggestion("shorten the \"message\""),
+            Diagnostic::new("W008", Span::StreamPair(0, 2), "shared channel"),
+        ]
+    }
+
+    #[test]
+    fn human_output_names_codes_lines_and_counts() {
+        let out = render_human(&sample(), Some(&[2, 3, 4]));
+        assert!(
+            out.contains("error[W005] stream M1 (line 3): length C = 20"),
+            "{out}"
+        );
+        assert!(out.contains("help: shorten"), "{out}");
+        assert!(
+            out.contains("warning[W008] streams M0 and M2 (line 2)"),
+            "{out}"
+        );
+        assert!(out.ends_with("1 error(s), 1 warning(s)\n"), "{out}");
+        assert!(render_human(&[], None).contains("no findings"));
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let out = render_json(&sample(), None);
+        assert!(out.contains(r#""code":"W005""#), "{out}");
+        assert!(out.contains(r#"shorten the \"message\""#), "{out}");
+        assert!(out.contains(r#""span":{"kind":"stream-pair","stream":0,"other":2}"#));
+        assert!(
+            out.contains(r#""summary":{"errors":1,"warnings":1}"#),
+            "{out}"
+        );
+        assert!(!out.contains("\"line\""), "no lines given");
+        let with_lines = render_json(&sample(), Some(&[2, 3, 4]));
+        assert!(with_lines.contains(r#""line":3"#), "{with_lines}");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_escape("a\u{1}\nb"), "a\\u0001\\nb");
+    }
+}

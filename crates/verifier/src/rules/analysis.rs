@@ -1,0 +1,432 @@
+//! `A1xx` — analysis-artifact rules.
+//!
+//! These check the ICPP'98 pipeline's intermediate artifacts — HP sets,
+//! the blocking dependency graph, and timing diagrams — against the
+//! invariants the delay-bound derivation relies on. On a healthy build
+//! they are self-checks (the canonical constructors satisfy them by
+//! construction); they exist so that hand-built artifacts, future
+//! kernel changes, and cross-kernel drift are caught *before* a bound
+//! is trusted.
+
+use crate::diag::{Diagnostic, Span};
+use rtwc_core::{
+    cal_u_with_hp, generate_hp, AnalysisScratch, BlockingDependencyGraph, HpSet, RemovedInstances,
+    StreamId, StreamSet, TimingDiagram,
+};
+
+/// Default cap on the per-stream diagram horizon used by the `A1xx`
+/// diagram rules: long-deadline streams are checked over a prefix so
+/// linting stays fast.
+pub const DEFAULT_HORIZON_CAP: u64 = 4096;
+
+/// Runs every `A1xx` rule over every stream of `set`, generating the
+/// canonical artifacts and checking them. `horizon_cap` bounds the
+/// diagram horizon per stream (see [`DEFAULT_HORIZON_CAP`]).
+pub fn lint_analysis(set: &StreamSet, horizon_cap: u64) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for target in set.ids() {
+        let hp = generate_hp(set, target);
+        diags.extend(lint_hp_set(set, &hp));
+        diags.extend(lint_diagram(set, &hp, horizon_cap));
+    }
+    diags
+}
+
+/// `A100`–`A103`: checks one HP set (canonical or hand-built) against
+/// the blocking relation of `set`.
+pub fn lint_hp_set(set: &StreamSet, hp: &HpSet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let target = hp.target;
+    let tgt = set.get(target);
+    let span = Span::Stream(target.0);
+    let member = |id: StreamId| hp.element(id).is_some();
+
+    // A100: the set must be the closure of directly-affects chains
+    // ending at the target — and must not contain the target itself.
+    if member(target) {
+        diags.push(Diagnostic::new(
+            "A100",
+            span,
+            format!("HP({target}) contains its own target"),
+        ));
+    }
+    for e in hp.elements() {
+        let m = set.get(e.stream);
+        for j in set.iter() {
+            if j.id == target || j.id == e.stream || member(j.id) {
+                continue;
+            }
+            if j.directly_affects(m) {
+                diags.push(
+                    Diagnostic::new(
+                        "A100",
+                        span,
+                        format!(
+                            "HP({target}) is not closed: {} directly affects member {} but is missing",
+                            j.id, e.stream
+                        ),
+                    )
+                    .with_suggestion("regenerate the HP set with generate_hp"),
+                );
+            }
+        }
+    }
+
+    // A101: Direct <=> shares a channel with (and can preempt) the target.
+    for e in hp.elements() {
+        let direct = set.get(e.stream).directly_affects(tgt);
+        if e.is_direct() && !direct {
+            diags.push(Diagnostic::new(
+                "A101",
+                span,
+                format!(
+                    "{} is marked Direct in HP({target}) but does not directly affect the target",
+                    e.stream
+                ),
+            ));
+        }
+        if !e.is_direct() && direct {
+            diags.push(Diagnostic::new(
+                "A101",
+                span,
+                format!(
+                    "{} is marked Indirect in HP({target}) but directly affects the target (Direct dominates)",
+                    e.stream
+                ),
+            ));
+        }
+        if e.is_direct() && !e.intermediates.is_empty() {
+            diags.push(Diagnostic::new(
+                "A101",
+                span,
+                format!(
+                    "direct element {} of HP({target}) carries intermediate streams",
+                    e.stream
+                ),
+            ));
+        }
+    }
+
+    // A102: every indirect element needs a blocking chain — a nonempty
+    // IN field of members (or the target), and a finite BDG distance.
+    let bdg = BlockingDependencyGraph::build(set, hp);
+    let dist = bdg.distance_from_target();
+    for e in hp.elements().iter().filter(|e| !e.is_direct()) {
+        if e.intermediates.is_empty() {
+            diags.push(Diagnostic::new(
+                "A102",
+                span,
+                format!(
+                    "indirect element {} of HP({target}) has no intermediate streams",
+                    e.stream
+                ),
+            ));
+        }
+        for &i in &e.intermediates {
+            if i != target && !member(i) {
+                diags.push(Diagnostic::new(
+                    "A102",
+                    span,
+                    format!(
+                        "intermediate {} of indirect element {} is not in HP({target})",
+                        i, e.stream
+                    ),
+                ));
+            }
+        }
+        if let Some(pos) = bdg.nodes().iter().position(|&n| n == e.stream) {
+            if dist[pos].is_none() {
+                diags.push(
+                    Diagnostic::new(
+                        "A102",
+                        span,
+                        format!(
+                            "no blocking chain from indirect element {} reaches the target in the BDG",
+                            e.stream
+                        ),
+                    )
+                    .with_suggestion("the element cannot delay the target; drop it"),
+                );
+            }
+        }
+    }
+
+    // A103: cycles in the BDG mean mutual blocking (equal priorities on
+    // shared channels). The processing order falls back deterministically,
+    // so this is a warning, not an error.
+    if let Some(cycle) = bdg_cycle(&bdg) {
+        let names: Vec<String> = cycle.iter().map(|s| format!("{s}")).collect();
+        diags.push(
+            Diagnostic::new(
+                "A103",
+                span,
+                format!(
+                    "blocking dependency cycle in BDG({target}): {} -> (back to start)",
+                    names.join(" -> ")
+                ),
+            )
+            .with_suggestion("distinct priorities on shared channels break the cycle"),
+        );
+    }
+
+    diags
+}
+
+/// `A104`–`A106`: generates the timing diagram for `hp`'s target over a
+/// capped horizon and checks structural invariants, bitset/legacy
+/// kernel agreement, and scratch/full bound agreement.
+pub fn lint_diagram(set: &StreamSet, hp: &HpSet, horizon_cap: u64) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let target = hp.target;
+    let span = Span::Stream(target.0);
+    let horizon = set.get(target).deadline().clamp(1, horizon_cap.max(1));
+    let none = RemovedInstances::none();
+
+    // A104: structural invariants of the packed-bitset diagram.
+    let d = TimingDiagram::generate(set, hp, horizon, &none);
+    if let Err(e) = d.check_invariants(set) {
+        diags.push(
+            Diagnostic::new(
+                "A104",
+                span,
+                format!("timing diagram for {target} violates an invariant: {e}"),
+            )
+            .with_suggestion("the diagram kernel is unsound here; do not trust this bound"),
+        );
+    }
+
+    // A105: the legacy cell-matrix kernel is the oracle; the bitset
+    // kernel must agree on every instance and on sampled cells.
+    let legacy = TimingDiagram::generate_legacy(set, hp, horizon, &none);
+    diags.extend(kernel_divergence(&d, &legacy, horizon, span));
+
+    // A106: the bound-only scratch arena must agree with the full
+    // diagram pipeline on the final bound.
+    let full = cal_u_with_hp(set, hp.clone(), horizon).bound;
+    let fast = AnalysisScratch::new().delay_bound(set, hp, horizon);
+    if full != fast {
+        diags.push(Diagnostic::new(
+            "A106",
+            span,
+            format!(
+                "bound divergence for {target}: full diagram pipeline says {full}, scratch arena says {fast}"
+            ),
+        ));
+    }
+
+    diags
+}
+
+/// Compares two diagrams row by row: instance lists exactly, cells on a
+/// sampled grid (up to 64 samples per row).
+fn kernel_divergence(
+    d: &TimingDiagram,
+    oracle: &TimingDiagram,
+    horizon: u64,
+    span: Span,
+) -> Vec<Diagnostic> {
+    if d.rows().len() != oracle.rows().len() {
+        return vec![Diagnostic::new(
+            "A105",
+            span,
+            format!(
+                "kernel divergence: bitset diagram has {} rows, legacy has {}",
+                d.rows().len(),
+                oracle.rows().len()
+            ),
+        )];
+    }
+    for (r, (dr, or)) in d.rows().iter().zip(oracle.rows().iter()).enumerate() {
+        if dr.stream != or.stream || dr.instances != or.instances {
+            return vec![Diagnostic::new(
+                "A105",
+                span,
+                format!(
+                    "kernel divergence in row {r} ({}): instance lists differ",
+                    dr.stream
+                ),
+            )];
+        }
+    }
+    let stride = (horizon / 64).max(1);
+    for r in 0..d.rows().len() {
+        let mut t = 1;
+        while t <= horizon {
+            if d.slot(r, t) != oracle.slot(r, t) {
+                return vec![Diagnostic::new(
+                    "A105",
+                    span,
+                    format!(
+                        "kernel divergence in row {r} at slot {t}: bitset says {:?}, legacy says {:?}",
+                        d.slot(r, t),
+                        oracle.slot(r, t)
+                    ),
+                )];
+            }
+            t += stride;
+        }
+    }
+    Vec::new()
+}
+
+/// Finds one directed cycle in the BDG, if any, via DFS coloring.
+fn bdg_cycle(bdg: &BlockingDependencyGraph) -> Option<Vec<StreamId>> {
+    let nodes = bdg.nodes();
+    let mut color = vec![0u8; nodes.len()]; // 0 white, 1 on-path, 2 done
+    let mut path = Vec::new();
+    for start in 0..nodes.len() {
+        if color[start] == 0 {
+            if let Some(c) = dfs(bdg, nodes, start, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn dfs(
+    bdg: &BlockingDependencyGraph,
+    nodes: &[StreamId],
+    u: usize,
+    color: &mut [u8],
+    path: &mut Vec<usize>,
+) -> Option<Vec<StreamId>> {
+    color[u] = 1;
+    path.push(u);
+    for v in 0..nodes.len() {
+        if v == u || !bdg.edge(nodes[u], nodes[v]) {
+            continue;
+        }
+        if color[v] == 1 {
+            let from = path.iter().position(|&x| x == v).expect("on path");
+            return Some(path[from..].iter().map(|&i| nodes[i]).collect());
+        }
+        if color[v] == 0 {
+            if let Some(c) = dfs(bdg, nodes, v, color, path) {
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    color[u] = 2;
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::{BlockingMode, HpElement, StreamSpec};
+    use wormnet_topology::{Mesh, Topology, XyRouting};
+
+    /// The paper's worked example: M0 highest priority, M4 lowest; M4's
+    /// HP set has direct and indirect elements.
+    fn paper_set() -> StreamSet {
+        let m = Mesh::mesh2d(10, 10);
+        let n = |x, y| m.node_at(&[x, y]).unwrap();
+        let specs = [
+            StreamSpec::new(n(7, 3), n(7, 7), 5, 15, 4, 15),
+            StreamSpec::new(n(1, 1), n(5, 4), 4, 10, 2, 10),
+            StreamSpec::new(n(2, 1), n(7, 5), 3, 40, 4, 40),
+            StreamSpec::new(n(4, 1), n(8, 5), 2, 45, 9, 45),
+            StreamSpec::new(n(6, 1), n(9, 3), 1, 50, 6, 50),
+        ];
+        StreamSet::resolve(&m, &XyRouting, &specs).unwrap()
+    }
+
+    #[test]
+    fn canonical_artifacts_are_clean() {
+        let set = paper_set();
+        assert_eq!(lint_analysis(&set, DEFAULT_HORIZON_CAP), Vec::new());
+    }
+
+    #[test]
+    fn dropping_a_member_breaks_closure() {
+        let set = paper_set();
+        let hp = generate_hp(&set, StreamId(4));
+        assert!(
+            hp.len() >= 3,
+            "paper example: M4 is blocked by several streams"
+        );
+        // Remove one element whose blockers stay members -> not closed.
+        let mut elements = hp.elements().to_vec();
+        let dropped = elements.remove(0);
+        let tampered = HpSet::from_elements(StreamId(4), elements);
+        let diags = lint_hp_set(&set, &tampered);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "A100" && d.message.contains(&format!("{}", dropped.stream))),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn flipping_a_mode_is_misclassification() {
+        let set = paper_set();
+        let hp = generate_hp(&set, StreamId(4));
+        let mut elements = hp.elements().to_vec();
+        let e = elements.iter_mut().find(|e| e.is_direct()).unwrap();
+        e.mode = BlockingMode::Indirect;
+        let flipped = e.stream;
+        let tampered = HpSet::from_elements(StreamId(4), elements);
+        let diags = lint_hp_set(&set, &tampered);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "A101" && d.message.contains(&format!("{flipped}"))),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn fake_indirect_element_has_no_chain() {
+        // Two disjoint streams: the lower-priority one cannot be blocked
+        // by the higher-priority one at all, so planting it in the HP
+        // set as Indirect must raise both A100-family noise and A102.
+        let m = Mesh::mesh2d(6, 6);
+        let n = |x, y| m.node_at(&[x, y]).unwrap();
+        let specs = [
+            StreamSpec::new(n(0, 0), n(3, 0), 2, 30, 3, 30),
+            StreamSpec::new(n(0, 5), n(3, 5), 1, 30, 3, 30),
+        ];
+        let set = StreamSet::resolve(&m, &XyRouting, &specs).unwrap();
+        assert!(generate_hp(&set, StreamId(1)).is_empty());
+        let tampered = HpSet::from_elements(
+            StreamId(1),
+            vec![HpElement {
+                stream: StreamId(0),
+                mode: BlockingMode::Indirect,
+                intermediates: Vec::new(),
+            }],
+        );
+        let diags = lint_hp_set(&set, &tampered);
+        assert!(diags.iter().any(|d| d.code == "A102"), "{diags:?}");
+    }
+
+    #[test]
+    fn equal_priorities_on_a_shared_channel_cycle() {
+        let m = Mesh::mesh2d(6, 1);
+        let n = |x| m.node_at(&[x, 0]).unwrap();
+        let specs = [
+            StreamSpec::new(n(0), n(4), 2, 30, 3, 30),
+            StreamSpec::new(n(1), n(5), 2, 30, 3, 30),
+        ];
+        let set = StreamSet::resolve(&m, &XyRouting, &specs).unwrap();
+        let hp = generate_hp(&set, StreamId(0));
+        let diags = lint_hp_set(&set, &hp);
+        assert!(diags.iter().any(|d| d.code == "A103"), "{diags:?}");
+        assert!(
+            diags.iter().all(|d| !d.is_error()),
+            "mutual blocking is analyzable"
+        );
+    }
+
+    #[test]
+    fn diagram_rules_accept_canonical_diagrams() {
+        let set = paper_set();
+        for target in set.ids() {
+            let hp = generate_hp(&set, target);
+            assert_eq!(lint_diagram(&set, &hp, 128), Vec::new());
+        }
+    }
+}

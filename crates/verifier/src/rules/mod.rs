@@ -1,0 +1,5 @@
+//! The lint rules, grouped by the layer they check.
+
+pub mod analysis;
+pub mod sim;
+pub mod spec;

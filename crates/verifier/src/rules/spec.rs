@@ -1,0 +1,270 @@
+//! `W0xx` — workload/spec rules.
+//!
+//! These run on *raw* [`StreamSpec`]s, before resolution, so that a
+//! spec the resolver would reject outright still produces one
+//! structured diagnostic per problem instead of aborting on the first.
+
+use crate::diag::{Diagnostic, Span};
+use rtwc_core::{latency::network_latency, StreamSpec};
+use wormnet_topology::{Path, Routing, Topology};
+
+/// Runs every `W0xx` rule over `specs`, routing each stream with the
+/// given deterministic algorithm. Streams are identified in spans by
+/// their index in `specs` (the id the resolver would assign).
+pub fn lint_specs<T, R>(topo: &T, routing: &R, specs: &[StreamSpec]) -> Vec<Diagnostic>
+where
+    T: Topology,
+    R: Routing<T>,
+{
+    let mut diags = Vec::new();
+    let mut paths: Vec<Option<Path>> = Vec::with_capacity(specs.len());
+
+    for (i, s) in specs.iter().enumerate() {
+        let id = i as u32;
+        let span = Span::Stream(id);
+
+        // W002: zero parameters. Report every zero field in one finding.
+        let mut zeros = Vec::new();
+        if s.priority == 0 {
+            zeros.push("priority");
+        }
+        if s.period == 0 {
+            zeros.push("period T");
+        }
+        if s.max_length == 0 {
+            zeros.push("length C");
+        }
+        if s.deadline == 0 {
+            zeros.push("deadline D");
+        }
+        if !zeros.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    "W002",
+                    span,
+                    format!(
+                        "zero {} (every parameter must be positive)",
+                        zeros.join(", ")
+                    ),
+                )
+                .with_suggestion("give the stream positive parameters"),
+            );
+        }
+
+        // W003 / W004: endpoints and routability.
+        if s.source == s.dest {
+            diags.push(
+                Diagnostic::new(
+                    "W003",
+                    span,
+                    format!("source equals destination (node {})", s.source),
+                )
+                .with_suggestion("self-delivery never enters the network; drop the stream"),
+            );
+            paths.push(None);
+        } else {
+            match routing.route(topo, s.source, s.dest) {
+                Ok(p) => paths.push(Some(p)),
+                Err(e) => {
+                    diags.push(
+                        Diagnostic::new(
+                            "W004",
+                            span,
+                            format!("no route from {} to {}: {e}", s.source, s.dest),
+                        )
+                        .with_suggestion("pick endpoints the deterministic routing can connect"),
+                    );
+                    paths.push(None);
+                }
+            }
+        }
+
+        // W005 / W006: parameter ordering (only meaningful when nonzero).
+        if s.max_length > 0 && s.period > 0 && s.max_length > s.period {
+            diags.push(
+                Diagnostic::new(
+                    "W005",
+                    span,
+                    format!(
+                        "length C = {} exceeds period T = {}: the stream oversubscribes its own channel",
+                        s.max_length, s.period
+                    ),
+                )
+                .with_suggestion("shorten the message or lengthen the period"),
+            );
+        }
+        if s.deadline > 0 && s.period > 0 && s.deadline > s.period {
+            diags.push(
+                Diagnostic::new(
+                    "W006",
+                    span,
+                    format!(
+                        "deadline D = {} exceeds period T = {}: the analysis assumes at most one outstanding instance (D <= T)",
+                        s.deadline, s.period
+                    ),
+                )
+                .with_suggestion("set D <= T, or split the stream"),
+            );
+        }
+
+        // W007: deadline below the unloaded network latency.
+        if let Some(p) = &paths[i] {
+            if s.max_length > 0 && s.deadline > 0 {
+                let latency = network_latency(p.hops(), s.max_length);
+                if s.deadline < latency {
+                    diags.push(
+                        Diagnostic::new(
+                            "W007",
+                            span,
+                            format!(
+                                "deadline D = {} is below the unloaded network latency L = {} ({} hops, C = {})",
+                                s.deadline,
+                                latency,
+                                p.hops(),
+                                s.max_length
+                            ),
+                        )
+                        .with_suggestion(
+                            "no schedule can meet this deadline even on an idle network",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // W001: byte-for-byte duplicate declarations. Each later copy is
+    // reported against its first occurrence.
+    for j in 1..specs.len() {
+        if let Some(i) = specs[..j].iter().position(|s| *s == specs[j]) {
+            diags.push(
+                Diagnostic::new(
+                    "W001",
+                    Span::StreamPair(j as u32, i as u32),
+                    format!("stream M{j} duplicates M{i} exactly"),
+                )
+                .with_suggestion("drop the copy, or merge the traffic into one stream"),
+            );
+        }
+    }
+
+    // W008: equal-priority streams sharing a directed channel. Under
+    // the paper's model equal priorities block each other, so the pair
+    // is analyzable — but the mutual blocking is usually unintended.
+    for j in 1..specs.len() {
+        for i in 0..j {
+            if specs[i].priority != specs[j].priority || specs[i] == specs[j] {
+                continue;
+            }
+            let (Some(a), Some(b)) = (&paths[i], &paths[j]) else {
+                continue;
+            };
+            if let Some(&link) = a.shared_links(b).first() {
+                diags.push(
+                    Diagnostic::new(
+                        "W008",
+                        Span::StreamPair(i as u32, j as u32),
+                        format!(
+                            "streams M{i} and M{j} share priority {} and directed channel L{} — they mutually block",
+                            specs[i].priority, link.0
+                        ),
+                    )
+                    .with_suggestion("give the streams distinct priorities"),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet_topology::{Mesh, NodeId, XyRouting};
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(4, 4)
+    }
+
+    fn node(m: &Mesh, x: u32, y: u32) -> NodeId {
+        m.node_at(&[x, y]).unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_spec_produces_no_findings() {
+        let m = mesh();
+        let specs = [
+            StreamSpec::new(node(&m, 0, 0), node(&m, 3, 0), 2, 20, 4, 20),
+            StreamSpec::new(node(&m, 0, 1), node(&m, 3, 1), 1, 20, 4, 20),
+        ];
+        assert!(lint_specs(&m, &XyRouting, &specs).is_empty());
+    }
+
+    #[test]
+    fn each_structural_rule_fires() {
+        let m = mesh();
+        let specs = [
+            // W002 (zero period) — also suppresses W005/W006 noise.
+            StreamSpec::new(node(&m, 0, 0), node(&m, 1, 0), 1, 0, 4, 20),
+            // W003.
+            StreamSpec::new(node(&m, 2, 2), node(&m, 2, 2), 1, 20, 4, 20),
+            // W005 + W006 (C=30 > T=20, D=35 > T=20; L=32 <= D keeps
+            // W007 out of this stream).
+            StreamSpec::new(node(&m, 0, 1), node(&m, 3, 1), 2, 20, 30, 35),
+            // W007: 3 hops, C=2 -> L=4 > D=3.
+            StreamSpec::new(node(&m, 0, 2), node(&m, 3, 2), 3, 20, 2, 3),
+        ];
+        let diags = lint_specs(&m, &XyRouting, &specs);
+        let c = codes(&diags);
+        assert_eq!(c, vec!["W002", "W003", "W005", "W006", "W007"], "{diags:?}");
+        assert!(diags.iter().all(|d| d.suggestion.is_some()));
+    }
+
+    #[test]
+    fn duplicates_and_collisions_are_pairwise() {
+        let m = mesh();
+        let a = StreamSpec::new(node(&m, 0, 0), node(&m, 3, 0), 2, 20, 4, 20);
+        let specs = [
+            a.clone(),
+            a,
+            // Same priority as the pair above, overlapping X-Y route.
+            StreamSpec::new(node(&m, 1, 0), node(&m, 3, 0), 2, 40, 4, 40),
+        ];
+        let diags = lint_specs(&m, &XyRouting, &specs);
+        let c = codes(&diags);
+        assert_eq!(c, vec!["W001", "W008", "W008"], "{diags:?}");
+        assert_eq!(diags[0].span, Span::StreamPair(1, 0));
+        // The duplicate pair itself is not double-reported as a collision.
+        assert_eq!(diags[1].span, Span::StreamPair(0, 2));
+        assert_eq!(diags[2].span, Span::StreamPair(1, 2));
+    }
+
+    #[test]
+    fn unroutable_endpoints_are_reported() {
+        // X-Y routing on a mesh always succeeds, so drive W004 with a
+        // routing stub that never makes progress.
+        struct NoRoute;
+        impl Routing<Mesh> for NoRoute {
+            fn next_hop(&self, _: &Mesh, _: NodeId, _: NodeId) -> Option<NodeId> {
+                None
+            }
+        }
+        let m = mesh();
+        let specs = [StreamSpec::new(
+            node(&m, 0, 0),
+            node(&m, 3, 0),
+            1,
+            20,
+            4,
+            20,
+        )];
+        let diags = lint_specs(&m, &NoRoute, &specs);
+        assert_eq!(codes(&diags), vec!["W004"]);
+        assert!(diags[0].message.contains("no route"), "{diags:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property: a *clean* generated workload — distinct priorities,
+//! `D = T` with enough slack to cover the unloaded latency — produces
+//! **zero** diagnostics from every rule family, even when streams
+//! overlap and block each other. The verifier must never cry wolf on
+//! workloads that satisfy the paper's model by construction.
+
+use proptest::prelude::*;
+use rtwc_core::{StreamSet, StreamSpec};
+use rtwc_verifier::{lint_sim_config, verify_workload, DEFAULT_HORIZON_CAP};
+use wormnet_sim::SimConfig;
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+const WIDTH: u32 = 8;
+
+/// Per-stream raw parameters: a west-to-east route whose period can be
+/// padded past the unloaded latency. `(x0, extra_hops, length, slack)`.
+type RawStream = (u32, u32, u64, u64);
+
+fn streams() -> impl Strategy<Value = Vec<RawStream>> {
+    prop::collection::vec((0u32..WIDTH - 1, 1u32..4, 1u64..8, 0u64..40), 1..8)
+}
+
+fn build(rows: &[RawStream]) -> (Mesh, Vec<StreamSpec>) {
+    // Two streams per mesh row: overlapping west-to-east routes give
+    // non-empty HP sets (exercising the A1xx rules on real blocking)
+    // while distinct priorities keep the workload clean.
+    let height = (rows.len() as u32).div_ceil(2);
+    let mesh = Mesh::mesh2d(WIDTH, height);
+    let specs = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(x0, extra, c, slack))| {
+            let y = (i / 2) as u32;
+            let x1 = (x0 + extra).min(WIDTH - 1).max(x0 + 1);
+            let hops = x1 - x0;
+            // D = T >= L = hops + C - 1, so neither W005/W006/W007 nor
+            // an overload can fire; distinct priorities (the row index)
+            // keep W008/A103 away.
+            let t = u64::from(hops) + c - 1 + slack + 1;
+            StreamSpec::new(
+                mesh.node_at(&[x0, y]).unwrap(),
+                mesh.node_at(&[x1, y]).unwrap(),
+                i as u32 + 1,
+                t,
+                c,
+                t,
+            )
+        })
+        .collect();
+    (mesh, specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clean_workloads_verify_clean(rows in streams()) {
+        let (mesh, specs) = build(&rows);
+        let report = verify_workload(&mesh, &XyRouting, &specs, DEFAULT_HORIZON_CAP);
+        prop_assert!(report.is_clean(), "{:?}", report.diagnostics);
+
+        // The matching paper configuration is clean too.
+        let set = StreamSet::resolve(&mesh, &XyRouting, &specs).unwrap();
+        let levels = set.iter().map(|s| s.priority()).max().unwrap() as usize;
+        let cfg = SimConfig::paper(levels).with_cycles(10_000, 1_000);
+        let diags = lint_sim_config(&set, &cfg, None);
+        prop_assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -11,6 +11,7 @@
 //!
 //! All generators are deterministic functions of their seeds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

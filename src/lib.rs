@@ -21,6 +21,7 @@
 //! admission control) and `crates/bench` for the binaries that
 //! regenerate every table of the paper's evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use rtwc_core;

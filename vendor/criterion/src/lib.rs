@@ -11,6 +11,8 @@
 //! No statistics, plots, or baselines; the point is that `cargo bench`
 //! runs offline and reports honest relative timings.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -16,6 +16,8 @@
 //! * **String strategies** support only literal text and the
 //!   `[class]{m,n}` pattern shape (which is all this workspace uses).
 
+#![forbid(unsafe_code)]
+
 pub mod bool;
 pub mod collection;
 pub mod strategy;

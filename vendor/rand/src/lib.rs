@@ -9,6 +9,8 @@
 //! consumer in this workspace only needs determinism, not upstream
 //! parity.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: everything derives from `next_u64`.
 pub trait RngCore {
     /// The next 64 random bits.
