@@ -65,7 +65,12 @@ pub fn parse_jobs(input: &str) -> Result<JobsFile, ParseError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().unwrap();
+        // Unreachable while the emptiness check above holds, but the
+        // admission server feeds these parsers untrusted lines: return
+        // a line-numbered `ParseError` rather than panicking.
+        let Some(keyword) = tokens.next() else {
+            return Err(err(lineno, "blank or whitespace-only statement"));
+        };
         let rest: Vec<&str> = tokens.collect();
         match keyword {
             "mesh" => {
@@ -172,6 +177,15 @@ job telemetry 2
             .unwrap_err()
             .message
             .contains("no jobs"));
+    }
+
+    #[test]
+    fn degenerate_lines_never_panic() {
+        let f = parse_jobs("\u{a0} \t\nmesh 4 4\njob a 2\n \t \n  msg 0 1 1 10 2\n").unwrap();
+        assert_eq!(f.jobs.len(), 1);
+        let e = parse_jobs("mesh 4 4\n\u{1}\njob a 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown keyword"), "{e}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod commands;
 pub mod jobs;
+pub mod serve;
 pub mod spec;
 
 pub use commands::{
@@ -27,4 +28,5 @@ pub use commands::{
     SimOptions,
 };
 pub use jobs::{parse_jobs, JobsFile};
+pub use serve::{run_bench_serve, run_client, run_serve, run_service_command, seed_service};
 pub use spec::{parse, parse_raw, render, ParseError, RawSpecFile, SpecFile};

@@ -15,6 +15,9 @@ USAGE:
     rtwc simulate <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
+    rtwc serve    <SPEC> [--addr HOST:PORT]
+    rtwc client   <ADDR> <REQUEST...>
+    rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S] [--out FILE]
 
 SPEC is a .streams file:
     mesh 10 10
@@ -32,6 +35,9 @@ COMMANDS:
     simulate   run the flit-level wormhole simulator and print latencies
     check      analyze + simulate, verifying max latency <= U for all streams
     deploy     allocate nodes and admit each job's streams with guarantees
+    serve      run the online admission service over TCP (stop with SHUTDOWN)
+    client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|SHUTDOWN)
+    bench-serve  closed-loop load generator; writes results/BENCH_service.json
 
 analyze, simulate, and check first run the lint rules and refuse
 workloads with error-severity findings; --no-verify skips the guard.
@@ -84,6 +90,11 @@ fn run() -> Result<bool, String> {
     if matches!(command, "-h" | "--help" | "help") {
         println!("{USAGE}");
         return Ok(true);
+    }
+    // The service subcommands have their own argument shapes (client
+    // takes an address, bench-serve takes no file at all).
+    if matches!(command, "serve" | "client" | "bench-serve") {
+        return rtwc_cli::run_service_command(command, rest);
     }
     let (path, flags) = match rest.split_first() {
         Some((p, flags)) if !p.starts_with('-') => (p.clone(), flags.to_vec()),

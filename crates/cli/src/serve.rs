@@ -1,0 +1,247 @@
+//! The online-service subcommands: `serve`, `client`, and
+//! `bench-serve`.
+//!
+//! `serve` turns a spec file into a long-running admission daemon: the
+//! spec's streams are seeded through the same verifier-gated admission
+//! path live requests use, then the TCP server blocks until `SHUTDOWN`.
+//! `client` is the matching one-shot request tool, and `bench-serve`
+//! runs the closed-loop load generator and writes the
+//! `results/BENCH_service.json` artifact.
+
+use crate::spec::RawSpecFile;
+use rtwc_server::{
+    render_bench_json, render_response, run_bench, AdmissionService, BenchConfig, Client, Response,
+    Server,
+};
+use std::sync::Arc;
+use wormnet_topology::Topology;
+
+/// Builds a service over the spec's mesh and admits every spec stream
+/// through the live admission path (verifier gate included). A spec
+/// whose streams are not jointly admissible cannot be served: the whole
+/// point of the daemon is that the admitted set is feasible at every
+/// instant.
+pub fn seed_service(raw: &RawSpecFile) -> Result<Arc<AdmissionService>, String> {
+    let service = Arc::new(AdmissionService::new(raw.mesh.clone()));
+    for (i, spec) in raw.specs.iter().enumerate() {
+        let at = |n| {
+            let c = raw.mesh.coord(n);
+            (c.get(0), c.get(1))
+        };
+        let response = service.admit(
+            at(spec.source),
+            at(spec.dest),
+            spec.priority,
+            spec.period,
+            spec.max_length,
+            Some(spec.deadline),
+        );
+        if !matches!(response, Response::Admitted { .. }) {
+            return Err(format!(
+                "line {}: seed stream M{i} refused: {}",
+                raw.lines[i],
+                render_response(&response)
+            ));
+        }
+    }
+    Ok(service)
+}
+
+/// `rtwc serve <SPEC> [--addr HOST:PORT]` — seeds the service and
+/// blocks serving requests until a client sends `SHUTDOWN`.
+pub fn run_serve(raw: &RawSpecFile, addr: &str) -> Result<(), String> {
+    let service = seed_service(raw)?;
+    let seeded = service.admitted_count();
+    let server = Server::bind(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // Announced on stdout (line-buffered even when piped) so scripts
+    // binding port 0 can read the real address back.
+    println!("listening on {local} ({seeded} stream(s) seeded)");
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// `rtwc client <ADDR> <REQUEST…>` — one request, one JSON line on
+/// stdout. Returns `false` (exit code 1) when the server refused the
+/// request (`rejected` or `error`), so shell scripts can branch on it.
+pub fn run_client(addr: &str, request: &[String]) -> Result<bool, String> {
+    if request.is_empty() {
+        return Err("client needs a request, e.g.: rtwc client 127.0.0.1:7077 STATS".to_string());
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let line = request.join(" ");
+    let reply = client
+        .send(&line)
+        .map_err(|e| format!("request failed: {e}"))?;
+    if reply.is_empty() {
+        return Err("server closed the connection without responding".to_string());
+    }
+    println!("{reply}");
+    let refused =
+        reply.contains("\"status\":\"rejected\"") || reply.contains("\"status\":\"error\"");
+    Ok(!refused)
+}
+
+/// `rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S]
+/// [--out FILE]` — runs the closed-loop load generator and writes the
+/// JSON artifact. Returns the human summary printed on stdout.
+pub fn run_bench_serve(cfg: &BenchConfig, out: &str) -> Result<String, String> {
+    let outcome = run_bench(cfg).map_err(|e| format!("bench failed: {e}"))?;
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(out, render_bench_json(&outcome))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "{} clients x {} ops: {:.0} ops/s, latency p50 {}us p99 {}us max {}us\n\
+         admitted {}, rejected {}, removed {}, errors {}; {} stream(s) audited OK\n\
+         wrote {}\n",
+        outcome.clients,
+        outcome.ops_per_client,
+        outcome.throughput,
+        outcome.p50_us,
+        outcome.p99_us,
+        outcome.max_us,
+        outcome.admitted,
+        outcome.rejected,
+        outcome.removed,
+        outcome.errors,
+        outcome.audited_streams,
+        out
+    ))
+}
+
+/// Dispatches the three service subcommands from the raw argument list
+/// (everything after the command word). Returns the process success.
+pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, String> {
+    match command {
+        "serve" => {
+            let (path, flags) = match args.split_first() {
+                Some((p, flags)) if !p.starts_with('-') => (p, flags),
+                _ => return Err("usage: rtwc serve <SPEC> [--addr HOST:PORT]".to_string()),
+            };
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+                    other => return Err(format!("unknown serve flag '{other}'")),
+                }
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let raw = crate::parse_raw(&text).map_err(|e| format!("{path}: {e}"))?;
+            run_serve(&raw, &addr)?;
+            Ok(true)
+        }
+        "client" => {
+            let (addr, request) = args
+                .split_first()
+                .ok_or("usage: rtwc client <ADDR> <REQUEST...>")?;
+            run_client(addr, request)
+        }
+        "bench-serve" => {
+            let mut cfg = BenchConfig::default();
+            let mut out = "results/BENCH_service.json".to_string();
+            let mut it = args.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |what: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{what} needs a value"))
+                        .cloned()
+                };
+                match flag.as_str() {
+                    "--clients" => {
+                        cfg.clients = value("--clients")?
+                            .parse()
+                            .map_err(|e| format!("bad --clients: {e}"))?;
+                    }
+                    "--ops" => {
+                        cfg.ops_per_client = value("--ops")?
+                            .parse()
+                            .map_err(|e| format!("bad --ops: {e}"))?;
+                    }
+                    "--mesh" => {
+                        let v = value("--mesh")?;
+                        let (w, h) = v
+                            .split_once('x')
+                            .ok_or_else(|| format!("bad --mesh '{v}' (expected WxH)"))?;
+                        cfg.width = w.parse().map_err(|e| format!("bad --mesh width: {e}"))?;
+                        cfg.height = h.parse().map_err(|e| format!("bad --mesh height: {e}"))?;
+                    }
+                    "--seed" => {
+                        cfg.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--out" => out = value("--out")?,
+                    other => return Err(format!("unknown bench-serve flag '{other}'")),
+                }
+            }
+            if cfg.clients == 0 || cfg.ops_per_client == 0 {
+                return Err("bench-serve needs at least one client and one op".to_string());
+            }
+            print!("{}", run_bench_serve(&cfg, &out)?);
+            Ok(true)
+        }
+        other => Err(format!("unknown service command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(text: &str) -> RawSpecFile {
+        crate::parse_raw(text).unwrap()
+    }
+
+    #[test]
+    fn seeding_admits_the_paper_example() {
+        let svc = seed_service(&raw("mesh 10 10\n\
+             stream 7,3 7,7 5 15 4\n\
+             stream 1,1 5,4 4 10 2\n\
+             stream 2,1 7,5 3 40 4\n\
+             stream 4,1 8,5 2 45 9\n\
+             stream 6,1 9,3 1 50 6\n"))
+        .unwrap();
+        assert_eq!(svc.admitted_count(), 5);
+        assert_eq!(svc.audit().unwrap(), 5);
+    }
+
+    #[test]
+    fn seeding_refuses_infeasible_specs_with_the_source_line() {
+        // Self-delivery: the verifier gate refuses it (W003).
+        let err = seed_service(&raw("mesh 4 4\nstream 1,1 1,1 1 10 2\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("W003"), "{err}");
+    }
+
+    #[test]
+    fn bench_serve_writes_the_artifact() {
+        let dir = std::env::temp_dir().join("rtwc-bench-serve-test");
+        let out = dir.join("BENCH_service.json");
+        let cfg = BenchConfig {
+            clients: 2,
+            ops_per_client: 15,
+            ..BenchConfig::default()
+        };
+        let summary = run_bench_serve(&cfg, out.to_str().unwrap()).unwrap();
+        assert!(summary.contains("ops/s"), "{summary}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\": \"service\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn service_command_rejects_bad_usage() {
+        assert!(run_service_command("serve", &[]).is_err());
+        assert!(run_service_command("client", &[]).is_err());
+        assert!(run_service_command("bench-serve", &["--clients".into(), "0".into()]).is_err());
+        assert!(run_service_command("bench-serve", &["--frob".into()]).is_err());
+    }
+}

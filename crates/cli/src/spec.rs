@@ -128,7 +128,13 @@ pub fn parse_raw(input: &str) -> Result<RawSpecFile, ParseError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let keyword = tokens.next().unwrap();
+        // The emptiness check above makes a missing keyword unreachable
+        // today, but these parsers are also fed untrusted lines by the
+        // admission server — degenerate input must surface as a
+        // `ParseError` with a line number, never a panic.
+        let Some(keyword) = tokens.next() else {
+            return Err(err(lineno, "blank or whitespace-only statement"));
+        };
         let rest: Vec<&str> = tokens.collect();
         match keyword {
             "mesh" => {
@@ -282,6 +288,21 @@ stream 6,1 9,3 1 50 6 50
 
         let e = parse("mesh 4 4\n").unwrap_err();
         assert!(e.message.contains("no streams"));
+    }
+
+    #[test]
+    fn degenerate_lines_never_panic() {
+        // Whitespace-only and comment-only lines (including Unicode
+        // whitespace) are skipped; control characters become ordinary
+        // unknown-keyword errors with the right line number. The server
+        // feeds untrusted text to this parser, so every weird shape
+        // must produce `Ok` or a `ParseError` — never a panic.
+        let ok = parse("\u{a0}\t \nmesh 4 4\n \t\nstream 0,0 3,0 1 10 2\n#\u{b}\n").unwrap();
+        assert_eq!(ok.set.len(), 1);
+        let e = parse("mesh 4 4\n\u{1}garbage\nstream 0,0 3,0 1 10 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown keyword"), "{e}");
+        assert!(parse("  #only a comment\n").is_err(), "missing mesh");
     }
 
     #[test]

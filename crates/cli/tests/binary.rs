@@ -104,6 +104,81 @@ fn deploy_jobs_file() {
 }
 
 #[test]
+fn serve_and_client_round_trip() {
+    use std::io::BufRead as _;
+    let path = write_temp("serve.streams", STREAMS);
+    let mut server = rtwc()
+        .args(["serve"])
+        .arg(&path)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Rust's stdout is line-buffered even when piped, so the announce
+    // line arrives as soon as the listener is live.
+    let mut announce = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut announce)
+        .unwrap();
+    assert!(announce.contains("2 stream(s) seeded"), "{announce}");
+    let addr = announce
+        .strip_prefix("listening on ")
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap()
+        .to_string();
+
+    let client = |req: &[&str]| {
+        let out = rtwc().arg("client").arg(&addr).args(req).output().unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+    let (ok, reply) = client(&["ADMIT", "0,0", "5,0", "2", "50", "4"]);
+    assert!(ok, "{reply}");
+    assert!(
+        reply.contains("\"status\":\"admitted\",\"id\":2"),
+        "{reply}"
+    );
+    let (ok, reply) = client(&["QUERY", "2"]);
+    assert!(ok, "{reply}");
+    assert!(reply.contains("\"bound\":"), "{reply}");
+    // Rejections exit nonzero so shell scripts can branch.
+    let (ok, reply) = client(&["ADMIT", "3,3", "3,3", "1", "50", "4"]);
+    assert!(!ok, "{reply}");
+    assert!(reply.contains("\"reason\":\"lint\""), "{reply}");
+    let (ok, reply) = client(&["REMOVE", "2"]);
+    assert!(ok, "{reply}");
+    let (ok, _) = client(&["QUERY", "2"]);
+    assert!(!ok, "removed id must not resolve");
+    let (ok, reply) = client(&["SHUTDOWN"]);
+    assert!(ok, "{reply}");
+    let status = server.wait().unwrap();
+    assert!(status.success());
+}
+
+#[test]
+fn bench_serve_writes_artifact() {
+    let dir = std::env::temp_dir().join("rtwc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join(format!("{}-bench.json", std::process::id()));
+    let out = rtwc()
+        .args(["bench-serve", "--clients", "2", "--ops", "10", "--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ops/s"));
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"throughput_ops_per_s\""), "{json}");
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
 fn bad_allocator_rejected() {
     let path = write_temp("alloc.jobs", "mesh 4 4\njob a 2\n  msg 0 1 1 100 4\n");
     let out = rtwc()

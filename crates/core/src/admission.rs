@@ -13,18 +13,36 @@ use crate::diagram::AnalysisScratch;
 use crate::hpset::generate_hp;
 use crate::stream::{StreamId, StreamSet, StreamSpec};
 use std::collections::VecDeque;
-use wormnet_topology::Path;
+use wormnet_topology::{NodeId, Path};
 
 /// Why a stream was refused admission.
+///
+/// Rejections carry the candidate's endpoints and the ids of the
+/// admitted streams involved (the blockers that push the candidate past
+/// its deadline, or the victims it would push past theirs), so a
+/// caller serving admission decisions can report *why* an admit failed
+/// instead of just that it did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AdmissionError {
     /// The candidate itself cannot meet its deadline.
     CandidateInfeasible {
         /// The candidate's bound within its deadline horizon.
         bound: DelayBound,
+        /// The candidate's source node.
+        source: NodeId,
+        /// The candidate's destination node.
+        dest: NodeId,
+        /// Admitted streams (by current id) that directly block the
+        /// candidate. Empty when the candidate fails alone (its
+        /// deadline is below its contention-free network latency).
+        blocked_by: Vec<StreamId>,
     },
     /// Admitting the candidate would break already-admitted streams.
     BreaksExisting {
+        /// The candidate's source node.
+        source: NodeId,
+        /// The candidate's destination node.
+        dest: NodeId,
         /// The admitted streams (by their current ids) that would miss
         /// their deadlines.
         victims: Vec<StreamId>,
@@ -36,14 +54,33 @@ pub enum AdmissionError {
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::CandidateInfeasible { bound } => {
-                write!(f, "candidate cannot meet its deadline (U = {bound})")
-            }
-            AdmissionError::BreaksExisting { victims } => {
+            AdmissionError::CandidateInfeasible {
+                bound,
+                source,
+                dest,
+                blocked_by,
+            } => {
                 write!(
                     f,
-                    "admission would break {} existing stream(s)",
-                    victims.len()
+                    "candidate {source} -> {dest} cannot meet its deadline (U = {bound})"
+                )?;
+                if !blocked_by.is_empty() {
+                    let ids: Vec<String> = blocked_by.iter().map(|s| s.to_string()).collect();
+                    write!(f, ", blocked by {}", ids.join(", "))?;
+                }
+                Ok(())
+            }
+            AdmissionError::BreaksExisting {
+                source,
+                dest,
+                victims,
+            } => {
+                let ids: Vec<String> = victims.iter().map(|s| s.to_string()).collect();
+                write!(
+                    f,
+                    "admitting {source} -> {dest} would break {} existing stream(s): {}",
+                    victims.len(),
+                    ids.join(", ")
                 )
             }
             AdmissionError::Invalid(e) => write!(f, "invalid stream: {e}"),
@@ -117,6 +154,34 @@ impl AdmissionController {
         self.recomputations
     }
 
+    /// The admitted `(spec, path)` parts, in dense-id order. Together
+    /// with [`AdmissionController::bounds`] this is a complete snapshot
+    /// of the controller's state, sufficient to rebuild the stream set
+    /// offline (`StreamSet::from_parts`) and audit every cached bound.
+    pub fn parts(&self) -> &[(StreamSpec, Path)] {
+        &self.parts
+    }
+
+    /// Every cached bound, indexed by dense id (parallel to
+    /// [`AdmissionController::parts`]).
+    pub fn bounds(&self) -> &[DelayBound] {
+        &self.bounds
+    }
+
+    /// Iterates over the admitted streams: `(id, spec, path, bound)`.
+    pub fn snapshot(&self) -> impl Iterator<Item = (StreamId, &StreamSpec, &Path, DelayBound)> {
+        self.parts
+            .iter()
+            .zip(&self.bounds)
+            .enumerate()
+            .map(|(i, ((spec, path), &bound))| (StreamId(i as u32), spec, path, bound))
+    }
+
+    /// Lifetime statistics: `(admitted_now, recomputations)`.
+    pub fn stats(&self) -> (usize, u64) {
+        (self.parts.len(), self.recomputations)
+    }
+
     /// Streams of the trial set whose bound can change when `changed`
     /// is added or removed: `changed` itself plus everything reachable
     /// from it through directly-affects edges.
@@ -155,9 +220,13 @@ impl AdmissionController {
         if spec.deadline < latency {
             return Err(AdmissionError::CandidateInfeasible {
                 bound: DelayBound::Bounded(latency),
+                source: spec.source,
+                dest: spec.dest,
+                blocked_by: Vec::new(),
             });
         }
 
+        let (cand_source, cand_dest) = (spec.source, spec.dest);
         let mut parts = self.parts.clone();
         parts.push((spec, path));
         let trial = StreamSet::from_parts(parts.clone())
@@ -169,9 +238,21 @@ impl AdmissionController {
         new_bounds.push(DelayBound::Exceeded);
         let mut victims = Vec::new();
         let mut candidate_bound = DelayBound::Exceeded;
+        // The candidate's direct blockers, kept for the rejection
+        // diagnostic (their ids in the trial set equal their current
+        // admitted ids, since the candidate takes the last id).
+        let mut blocked_by = Vec::new();
         let mut scratch = AnalysisScratch::new();
         for id in Self::affected(&trial, new_id) {
             let hp = generate_hp(&trial, id);
+            if id == new_id {
+                blocked_by = hp
+                    .elements()
+                    .iter()
+                    .filter(|e| e.is_direct())
+                    .map(|e| e.stream)
+                    .collect();
+            }
             let bound = scratch.delay_bound(&trial, &hp, trial.get(id).deadline());
             self.recomputations += 1;
             new_bounds[id.index()] = bound;
@@ -184,11 +265,18 @@ impl AdmissionController {
             }
         }
         if !victims.is_empty() {
-            return Err(AdmissionError::BreaksExisting { victims });
+            return Err(AdmissionError::BreaksExisting {
+                source: cand_source,
+                dest: cand_dest,
+                victims,
+            });
         }
         if !new_bounds[new_id.index()].meets(trial.get(new_id).deadline()) {
             return Err(AdmissionError::CandidateInfeasible {
                 bound: candidate_bound,
+                source: cand_source,
+                dest: cand_dest,
+                blocked_by,
             });
         }
         self.parts = parts;
@@ -301,7 +389,7 @@ mod tests {
         let (s1, p1) = routed(&m, [1, 0], [6, 0], 2, 30, 20, 30);
         let err = ctl.admit(s1, p1).unwrap_err();
         match err {
-            AdmissionError::BreaksExisting { victims } => assert_eq!(victims, vec![id0]),
+            AdmissionError::BreaksExisting { victims, .. } => assert_eq!(victims, vec![id0]),
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -380,8 +468,11 @@ mod tests {
         let (s, p) = routed(&m, [0, 0], [5, 0], 1, 100, 4, 5);
         let err = ctl.admit(s, p).unwrap_err();
         match err {
-            AdmissionError::CandidateInfeasible { bound } => {
+            AdmissionError::CandidateInfeasible {
+                bound, blocked_by, ..
+            } => {
                 assert_eq!(bound, DelayBound::Bounded(8));
+                assert!(blocked_by.is_empty(), "fails alone, no blockers");
             }
             other => panic!("unexpected: {other:?}"),
         }

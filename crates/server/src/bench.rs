@@ -1,0 +1,379 @@
+//! The closed-loop load generator behind `rtwc bench-serve`.
+//!
+//! Spins up a real server on an ephemeral loopback port, drives it with
+//! N concurrent client connections (each a closed loop: next request
+//! only after the previous response), and reports client-side observed
+//! latency with **exact** percentiles — unlike the server's own `STATS`
+//! histogram, which buckets to powers of two. The final server `STATS`
+//! line is embedded in the report so both views land in one artifact,
+//! and the admitted set is audited against a fresh offline analysis
+//! before shutdown.
+
+use crate::client::Client;
+use crate::server::Server;
+use crate::service::AdmissionService;
+use std::io;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+use wormnet_topology::Mesh;
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues (closed loop).
+    pub ops_per_client: usize,
+    /// Mesh width.
+    pub width: u32,
+    /// Mesh height.
+    pub height: u32,
+    /// Deterministic workload seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 8,
+            ops_per_client: 250,
+            width: 10,
+            height: 10,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Exact client-side percentiles for one request kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindLatency {
+    /// Requests of this kind.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+/// The result of one load-generator run.
+#[derive(Clone, Debug)]
+pub struct BenchOutcome {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub ops_per_client: usize,
+    /// Total requests served.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the load phase.
+    pub elapsed_s: f64,
+    /// Requests per second (total / elapsed).
+    pub throughput: f64,
+    /// `admitted` responses observed.
+    pub admitted: u64,
+    /// `rejected` responses observed.
+    pub rejected: u64,
+    /// `removed` responses observed.
+    pub removed: u64,
+    /// `error` responses observed.
+    pub errors: u64,
+    /// Exact overall latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+    /// `ADMIT` latency.
+    pub admit: KindLatency,
+    /// `QUERY` latency.
+    pub query: KindLatency,
+    /// Streams left admitted at the end, all audited against a fresh
+    /// offline `determine_feasibility`.
+    pub audited_streams: usize,
+    /// The server's own final `STATS` response (verbatim JSON line).
+    pub server_stats: String,
+}
+
+/// `splitmix64` — the workspace's stock deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn status_of(json: &str) -> &str {
+    for s in [
+        "admitted",
+        "rejected",
+        "removed",
+        "shutting-down",
+        "error",
+        "ok",
+    ] {
+        if json.contains(&format!("\"status\":\"{s}\"")) {
+            return s;
+        }
+    }
+    "unknown"
+}
+
+/// Exact percentile over sorted nanosecond samples: the smallest sample
+/// with at least `pct` percent of the distribution at or below it.
+fn percentile_us(sorted_ns: &[u64], pct: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] / 1_000
+}
+
+struct WorkerLog {
+    /// `(kind, nanoseconds)` per request; kind indexes [`KIND_ADMIT`]…
+    samples: Vec<(u8, u64)>,
+    admitted: u64,
+    rejected: u64,
+    removed: u64,
+    errors: u64,
+}
+
+const KIND_ADMIT: u8 = 0;
+const KIND_QUERY: u8 = 1;
+
+fn worker(addr: String, cfg: BenchConfig, client_idx: u64) -> io::Result<WorkerLog> {
+    let mut c = Client::connect(&addr)?;
+    let mut rng = cfg.seed ^ client_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut own: Vec<u64> = Vec::new();
+    let mut log = WorkerLog {
+        samples: Vec::with_capacity(cfg.ops_per_client),
+        admitted: 0,
+        rejected: 0,
+        removed: 0,
+        errors: 0,
+    };
+    for _ in 0..cfg.ops_per_client {
+        let roll = splitmix64(&mut rng) % 100;
+        // Op mix: mostly reads over own streams, a steady admit stream,
+        // occasional removals and stat probes. Reads fall through to
+        // admits until this client owns something to read.
+        let (kind, line) = if roll < 55 && !own.is_empty() {
+            let h = own[(splitmix64(&mut rng) % own.len() as u64) as usize];
+            (KIND_QUERY, format!("QUERY {h}"))
+        } else if roll < 90 || own.is_empty() {
+            let sx = splitmix64(&mut rng) % cfg.width as u64;
+            let sy = splitmix64(&mut rng) % cfg.height as u64;
+            let mut dx = splitmix64(&mut rng) % cfg.width as u64;
+            let dy = splitmix64(&mut rng) % cfg.height as u64;
+            if (dx, dy) == (sx, sy) {
+                dx = (dx + 1) % cfg.width as u64;
+            }
+            let pr = 1 + splitmix64(&mut rng) % 5;
+            let period = 40 + splitmix64(&mut rng) % 500;
+            let length = 2 + splitmix64(&mut rng) % 8;
+            (
+                KIND_ADMIT,
+                format!("ADMIT {sx},{sy} {dx},{dy} {pr} {period} {length}"),
+            )
+        } else if roll < 96 {
+            let i = (splitmix64(&mut rng) % own.len() as u64) as usize;
+            (2, format!("REMOVE {}", own[i]))
+        } else if roll < 98 {
+            (3, "STATS".to_string())
+        } else {
+            (3, "SNAPSHOT".to_string())
+        };
+        let start = Instant::now();
+        let reply = c.send(&line)?;
+        log.samples.push((kind, start.elapsed().as_nanos() as u64));
+        match status_of(&reply) {
+            "admitted" => {
+                log.admitted += 1;
+                if let Some(id) = extract_u64(&reply, "id") {
+                    own.push(id);
+                }
+            }
+            "rejected" => log.rejected += 1,
+            "removed" => {
+                log.removed += 1;
+                if let Some(id) = extract_u64(&reply, "id") {
+                    own.retain(|&h| h != id);
+                }
+            }
+            "error" => log.errors += 1,
+            _ => {}
+        }
+    }
+    Ok(log)
+}
+
+/// Runs the closed-loop bench: server up, `clients` concurrent loops,
+/// final `STATS` + audit, shutdown.
+pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
+    let service = Arc::new(AdmissionService::new(Mesh::mesh2d(cfg.width, cfg.height)));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")?;
+    let addr = server.local_addr()?.to_string();
+    let server_thread = thread::spawn(move || server.run());
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..cfg.clients)
+        .map(|i| {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            thread::spawn(move || worker(addr, cfg, i as u64))
+        })
+        .collect();
+    let mut logs = Vec::with_capacity(cfg.clients);
+    for w in workers {
+        logs.push(w.join().expect("bench worker panicked")?);
+    }
+    let elapsed = started.elapsed();
+
+    let mut control = Client::connect(&addr)?;
+    let server_stats = control.send("STATS")?;
+    let audited_streams = service
+        .audit()
+        .map_err(|e| io::Error::other(format!("post-bench audit failed: {e}")))?;
+    control.send("SHUTDOWN")?;
+    server_thread.join().expect("server thread panicked")?;
+
+    let mut all: Vec<u64> = Vec::new();
+    let mut admit_ns: Vec<u64> = Vec::new();
+    let mut query_ns: Vec<u64> = Vec::new();
+    let (mut admitted, mut rejected, mut removed, mut errors) = (0, 0, 0, 0);
+    for log in &logs {
+        for &(kind, ns) in &log.samples {
+            all.push(ns);
+            match kind {
+                KIND_ADMIT => admit_ns.push(ns),
+                KIND_QUERY => query_ns.push(ns),
+                _ => {}
+            }
+        }
+        admitted += log.admitted;
+        rejected += log.rejected;
+        removed += log.removed;
+        errors += log.errors;
+    }
+    all.sort_unstable();
+    admit_ns.sort_unstable();
+    query_ns.sort_unstable();
+    let kind_latency = |ns: &[u64]| KindLatency {
+        count: ns.len() as u64,
+        p50_us: percentile_us(ns, 50.0),
+        p99_us: percentile_us(ns, 99.0),
+    };
+    let total_ops = all.len() as u64;
+    let elapsed_s = elapsed.as_secs_f64();
+    Ok(BenchOutcome {
+        clients: cfg.clients,
+        ops_per_client: cfg.ops_per_client,
+        total_ops,
+        elapsed_s,
+        throughput: total_ops as f64 / elapsed_s.max(1e-9),
+        admitted,
+        rejected,
+        removed,
+        errors,
+        p50_us: percentile_us(&all, 50.0),
+        p90_us: percentile_us(&all, 90.0),
+        p99_us: percentile_us(&all, 99.0),
+        max_us: all.last().copied().unwrap_or(0) / 1_000,
+        admit: kind_latency(&admit_ns),
+        query: kind_latency(&query_ns),
+        audited_streams,
+        server_stats,
+    })
+}
+
+/// Renders the outcome as the `results/BENCH_service.json` artifact.
+pub fn render_bench_json(o: &BenchOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service\",\n");
+    out.push_str(&format!("  \"clients\": {},\n", o.clients));
+    out.push_str(&format!("  \"ops_per_client\": {},\n", o.ops_per_client));
+    out.push_str(&format!("  \"total_ops\": {},\n", o.total_ops));
+    out.push_str(&format!("  \"elapsed_s\": {:.3},\n", o.elapsed_s));
+    out.push_str(&format!(
+        "  \"throughput_ops_per_s\": {:.1},\n",
+        o.throughput
+    ));
+    out.push_str(&format!(
+        "  \"responses\": {{\"admitted\": {}, \"rejected\": {}, \"removed\": {}, \"errors\": {}}},\n",
+        o.admitted, o.rejected, o.removed, o.errors
+    ));
+    out.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n",
+        o.p50_us, o.p90_us, o.p99_us, o.max_us
+    ));
+    out.push_str(&format!(
+        "  \"admit_latency_us\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}},\n",
+        o.admit.count, o.admit.p50_us, o.admit.p99_us
+    ));
+    out.push_str(&format!(
+        "  \"query_latency_us\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}},\n",
+        o.query.count, o.query.p50_us, o.query.p99_us
+    ));
+    out.push_str(&format!("  \"audited_streams\": {},\n", o.audited_streams));
+    out.push_str(&format!("  \"server_stats\": {}\n", o.server_stats));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bench_runs_and_audits() {
+        let cfg = BenchConfig {
+            clients: 3,
+            ops_per_client: 40,
+            ..BenchConfig::default()
+        };
+        let o = run_bench(&cfg).unwrap();
+        assert_eq!(o.total_ops, 120);
+        assert!(o.admitted > 0, "{o:?}");
+        assert!(o.admit.count > 0 && o.query.count > 0, "{o:?}");
+        assert!(o.throughput > 0.0);
+        assert!(o.p50_us <= o.p99_us && o.p99_us <= o.max_us, "{o:?}");
+        assert!(
+            o.server_stats.contains("\"recomputations\""),
+            "{}",
+            o.server_stats
+        );
+        let json = render_bench_json(&o);
+        assert!(json.contains("\"throughput_ops_per_s\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_known_data() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_us(&ns, 50.0), 50);
+        assert_eq!(percentile_us(&ns, 99.0), 99);
+        assert_eq!(percentile_us(&ns, 100.0), 100);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = r#"{"status":"admitted","id":42,"bound":7}"#;
+        assert_eq!(extract_u64(line, "id"), Some(42));
+        assert_eq!(extract_u64(line, "bound"), Some(7));
+        assert_eq!(extract_u64(line, "slack"), None);
+        assert_eq!(status_of(line), "admitted");
+    }
+}

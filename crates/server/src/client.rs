@@ -1,0 +1,41 @@
+//! A minimal synchronous client for the newline-delimited protocol:
+//! one request line out, one JSON line back.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected client. Each [`Client::send`] is a full round trip.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and returns the response line (without
+    /// the trailing newline). An empty response means the server closed
+    /// the connection.
+    pub fn send(&mut self, request: &str) -> io::Result<String> {
+        // One write per request: a separate newline write would sit in
+        // Nagle's buffer waiting for the server's delayed ACK.
+        let mut line = String::with_capacity(request.len() + 1);
+        line.push_str(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

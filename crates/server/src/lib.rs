@@ -1,0 +1,43 @@
+//! # rtwc-server
+//!
+//! The online admission-control service: the paper's host-processor
+//! feasibility test exposed as a long-running daemon. Jobs ask for
+//! real-time channels over a newline-delimited TCP protocol; every
+//! `ADMIT` is gated by the `W0xx` verifier rules and then decided by
+//! the incremental [`rtwc_core::AdmissionController`], so the admitted
+//! set is feasible **at every instant** — the invariant the paper's
+//! run-time scheme depends on.
+//!
+//! Layering (std only — the build is offline):
+//!
+//! - [`protocol`] — request grammar and single-line JSON responses,
+//!   sharing the verifier's diagnostic JSON shape;
+//! - [`service`] — the shared state machine: `RwLock`-guarded
+//!   controller, stable ids, accepted-op journal, offline audit;
+//! - [`metrics`] — lock-free request counters and a power-of-two
+//!   latency histogram behind `STATS`;
+//! - [`server`] / [`client`] — the TCP accept loop (thread per
+//!   connection, cooperative shutdown) and the matching blocking
+//!   client;
+//! - [`bench`] — the closed-loop multi-client load generator behind
+//!   `rtwc bench-serve`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use bench::{render_bench_json, run_bench, BenchConfig, BenchOutcome};
+pub use client::Client;
+pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
+pub use protocol::{
+    parse_request, render_response, RejectReason, Request, Response, SnapshotStream, StatsReport,
+    MAX_LINE_BYTES,
+};
+pub use server::{Server, ShutdownHandle};
+pub use service::{replay, AcceptedOp, AdmissionService};

@@ -1,0 +1,234 @@
+//! Per-request service metrics: lock-free counters and a power-of-two
+//! latency histogram, dumped by the `STATS` request.
+//!
+//! Everything here is plain atomics so the hot read path (`QUERY`)
+//! never takes a lock to record itself. The histogram buckets latency
+//! by `floor(log2(ns))`, which bounds the relative error of a reported
+//! percentile by 2x — good enough for a health endpoint; the load
+//! generator computes exact client-side percentiles separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request kinds, in counter order (see [`Metrics::counts`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `ADMIT`.
+    Admit = 0,
+    /// `REMOVE`.
+    Remove = 1,
+    /// `QUERY`.
+    Query = 2,
+    /// `SNAPSHOT`.
+    Snapshot = 3,
+    /// `STATS`.
+    Stats = 4,
+    /// `SHUTDOWN`.
+    Shutdown = 5,
+    /// Unparseable input.
+    Malformed = 6,
+}
+
+/// Number of [`RequestKind`]s.
+pub const KINDS: usize = 7;
+
+const BUCKETS: usize = 64;
+
+/// A histogram over `floor(log2(nanoseconds))` buckets.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn observe(&self, ns: u64) {
+        let b = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Upper edge (in ns) of the bucket where the cumulative count
+    /// reaches `pct` percent of all observations; 0 when empty.
+    fn percentile_ns(&self, pct: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                // Upper edge of bucket i: 2^(i+1) - 1, clamped to the
+                // true maximum so the tail percentile never exceeds it.
+                let edge = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return edge.min(self.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Service-side metrics shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counts: [AtomicU64; KINDS],
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    removed: AtomicU64,
+    errors: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+/// A point-in-time copy of every counter, plus latency percentiles in
+/// microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests by kind (see [`RequestKind`] for the order).
+    pub counts: [u64; KINDS],
+    /// Successful admissions.
+    pub admitted: u64,
+    /// Refused admissions.
+    pub rejected: u64,
+    /// Successful removals.
+    pub removed: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Latency observations.
+    pub latency_count: u64,
+    /// Median, microseconds (bucketed: upper power-of-two edge).
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request of `kind` and its service latency.
+    pub fn observe(&self, kind: RequestKind, ns: u64) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.hist.observe(ns);
+    }
+
+    /// Counts a successful admission.
+    pub fn count_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a refused admission.
+    pub fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a successful removal.
+    pub fn count_removed(&self) {
+        self.removed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error response.
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every counter and summarizes the histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counts = [0u64; KINDS];
+        for (o, c) in counts.iter_mut().zip(&self.counts) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            counts,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            removed: self.removed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_count: self.hist.count(),
+            p50_us: self.hist.percentile_ns(50.0) / 1_000,
+            p90_us: self.hist.percentile_ns(90.0) / 1_000,
+            p99_us: self.hist.percentile_ns(99.0) / 1_000,
+            max_us: self.hist.max_ns.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_snapshot_is_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.observe(RequestKind::Admit, 1_000);
+        m.observe(RequestKind::Admit, 2_000);
+        m.observe(RequestKind::Query, 500);
+        m.count_admitted();
+        m.count_rejected();
+        let s = m.snapshot();
+        assert_eq!(s.counts[RequestKind::Admit as usize], 2);
+        assert_eq!(s.counts[RequestKind::Query as usize], 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.latency_count, 3);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_observations() {
+        let m = Metrics::new();
+        // 99 fast observations (~1us) and one slow outlier (~1ms).
+        for _ in 0..99 {
+            m.observe(RequestKind::Query, 1_024);
+        }
+        m.observe(RequestKind::Query, 1_048_576);
+        let s = m.snapshot();
+        assert_eq!(s.latency_count, 100);
+        // p50 falls in the 1024..2047ns bucket -> 1 or 2 us after
+        // integer division.
+        assert!(s.p50_us <= 2, "{s:?}");
+        // p99 must not be dragged to the outlier; p100 (max) must be it.
+        assert!(s.p99_us <= 2, "{s:?}");
+        assert_eq!(s.max_us, 1_048); // 1_048_576 ns / 1000
+    }
+
+    #[test]
+    fn percentile_is_clamped_to_observed_max() {
+        let m = Metrics::new();
+        m.observe(RequestKind::Stats, 700);
+        let s = m.snapshot();
+        // A single 700ns observation: every percentile reports <= max.
+        assert!(s.p50_us <= s.max_us.max(1), "{s:?}");
+        assert_eq!(s.max_us, 0); // 700ns < 1us
+    }
+}

@@ -1,0 +1,237 @@
+//! The TCP front end: a blocking accept loop with one worker thread per
+//! connection, newline-delimited requests in, single-line JSON out.
+//!
+//! Shutdown is cooperative and lock-free: the `SHUTDOWN` handler sets a
+//! shared [`AtomicBool`] and then self-connects to the listening socket
+//! to unblock the accept loop. Workers poll the flag on a 100ms read
+//! timeout, so every connection drains within one timeout tick of the
+//! request; the accept loop then joins every worker before returning.
+
+use crate::protocol::{render_response, MAX_LINE_BYTES};
+use crate::service::AdmissionService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How long a worker blocks in `read` before re-checking the shutdown
+/// flag. Partial input read before the tick stays buffered.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// A running admission server bound to a socket.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<AdmissionService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port). The listener
+    /// is live when this returns; call [`Server::run`] to serve.
+    pub fn bind(service: Arc<AdmissionService>, addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the real port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the server from another thread, exactly as a
+    /// client's `SHUTDOWN` would.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serves until a `SHUTDOWN` request (or a [`ShutdownHandle`])
+    /// stops it, then joins every worker thread.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.local_addr()?;
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A single failed accept (e.g. the peer vanished
+                // between SYN and accept) is not fatal to the server.
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            workers.push(thread::spawn(move || {
+                // Worker errors are per-connection: the peer is gone,
+                // nothing to report to.
+                let _ = serve_connection(stream, &service, &shutdown, addr);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Stops a [`Server`] from outside the protocol.
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Sets the shutdown flag and unblocks the accept loop.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        wake_acceptor(self.addr);
+    }
+}
+
+/// Unblocks a blocking `accept` by self-connecting; the accept loop
+/// re-checks the flag on wake-up.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serves one connection until EOF, a fatal input, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    service: &AdmissionService,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    // Responses are single small writes; without TCP_NODELAY they sit
+    // in Nagle's buffer waiting for the peer's delayed ACK (~40ms per
+    // round trip on loopback).
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` appends, so bytes read before a timeout tick stay
+        // in `line` and the next iteration continues the same request.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    return overlong_line(&mut writer);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return overlong_line(&mut writer);
+        }
+        let request = line.trim();
+        if !request.is_empty() {
+            let (response, stop) = service.dispatch_line(request);
+            let mut payload = render_response(&response);
+            payload.push('\n');
+            writer.write_all(payload.as_bytes())?;
+            if stop {
+                shutdown.store(true, Ordering::SeqCst);
+                wake_acceptor(addr);
+                return Ok(());
+            }
+        }
+        line.clear();
+    }
+}
+
+/// Rejects a line that exceeds [`MAX_LINE_BYTES`] and drops the
+/// connection (the rest of the line would have to be read and thrown
+/// away to resynchronize; dropping is simpler and safer).
+fn overlong_line(writer: &mut TcpStream) -> io::Result<()> {
+    let msg = format!(
+        "{{\"status\":\"error\",\"message\":\"request line exceeds {MAX_LINE_BYTES} bytes\"}}\n"
+    );
+    writer.write_all(msg.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use wormnet_topology::Mesh;
+
+    fn spawn_server() -> (
+        SocketAddr,
+        ShutdownHandle,
+        thread::JoinHandle<io::Result<()>>,
+    ) {
+        let service = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
+        let server = Server::bind(service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = thread::spawn(move || server.run());
+        (addr, handle, join)
+    }
+
+    #[test]
+    fn serves_a_round_trip_and_shuts_down() {
+        let (addr, _handle, join) = spawn_server();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        let admitted = c.send("ADMIT 0,0 5,0 2 50 4").unwrap();
+        assert!(admitted.contains("\"status\":\"admitted\""), "{admitted}");
+        let query = c.send("QUERY 0").unwrap();
+        assert!(query.contains("\"status\":\"ok\""), "{query}");
+        let removed = c.send("REMOVE 0").unwrap();
+        assert!(removed.contains("\"status\":\"removed\""), "{removed}");
+        let bye = c.send("SHUTDOWN").unwrap();
+        assert!(bye.contains("shutting-down"), "{bye}");
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_connection() {
+        let (addr, handle, join) = spawn_server();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        let err = c.send("FROB 1 2 3").unwrap();
+        assert!(err.contains("\"status\":\"error\""), "{err}");
+        // The same connection still works.
+        let ok = c.send("STATS").unwrap();
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn overlong_line_is_rejected() {
+        let (addr, handle, join) = spawn_server();
+        let mut c = Client::connect(&addr.to_string()).unwrap();
+        let long = format!("QUERY {}", "9".repeat(MAX_LINE_BYTES + 10));
+        let reply = c.send(&long).unwrap();
+        assert!(reply.contains("exceeds"), "{reply}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn external_shutdown_unblocks_the_accept_loop() {
+        let (_addr, handle, join) = spawn_server();
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,642 @@
+//! The thread-safe admission service: stable ids, verifier-gated
+//! admission, and snapshot/stats reads over the incremental
+//! [`AdmissionController`].
+//!
+//! ## Locking discipline
+//!
+//! One `RwLock` guards the controller and the id table. Reads
+//! (`QUERY`, `SNAPSHOT`, the read half of `STATS`) take the shared
+//! lock and only ever touch *cached* bounds — they never run the
+//! analysis. Writes (`ADMIT`, `REMOVE`) take the exclusive lock for
+//! the whole operation, **including the candidate lint**, so every
+//! admission decision is made against exactly the set it will join.
+//! Metrics are plain atomics outside the lock.
+//!
+//! ## Soundness
+//!
+//! The controller's invariant (every cached bound satisfies
+//! `U_i <= D_i`, and cached bounds equal a fresh offline
+//! `determine_feasibility` over the admitted set) is preserved because
+//! writes are serialized: the service only ever interleaves *reads*
+//! between them. [`AdmissionService::audit`] re-derives every bound
+//! offline and compares bit-for-bit; the accepted-operation log
+//! ([`AdmissionService::ops`], [`replay`]) lets a test replay the
+//! exact serialized write history.
+
+use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
+use crate::protocol::{
+    parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
+};
+use rtwc_core::{
+    determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
+};
+use rtwc_verifier::lint_candidate;
+use std::sync::RwLock;
+use std::time::Instant;
+use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+
+/// One accepted (state-changing) operation, in the order the service
+/// applied it. Rejected admissions and failed removals do not appear:
+/// they leave the controller untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcceptedOp {
+    /// A successful `ADMIT`, with the id it was assigned.
+    Admit {
+        /// The stable id handed to the client.
+        handle: u64,
+        /// The admitted spec.
+        spec: StreamSpec,
+    },
+    /// A successful `REMOVE`.
+    Remove {
+        /// The removed stream's stable id.
+        handle: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    ctl: AdmissionController,
+    /// Stable ids, parallel to the controller's dense ids.
+    handles: Vec<u64>,
+    next_handle: u64,
+    log: Vec<AcceptedOp>,
+}
+
+/// The shared admission-control service behind `rtwc serve`.
+#[derive(Debug)]
+pub struct AdmissionService {
+    mesh: Mesh,
+    inner: RwLock<Inner>,
+    metrics: Metrics,
+}
+
+impl AdmissionService {
+    /// An empty service over `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        AdmissionService {
+            mesh,
+            inner: RwLock::new(Inner {
+                ctl: AdmissionController::new(),
+                handles: Vec::new(),
+                next_handle: 0,
+                log: Vec::new(),
+            }),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The mesh the service routes on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Service-side metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of streams currently admitted.
+    pub fn admitted_count(&self) -> usize {
+        self.read().ctl.len()
+    }
+
+    /// The accepted-operation log, in serialization order.
+    pub fn ops(&self) -> Vec<AcceptedOp> {
+        self.read().log.clone()
+    }
+
+    /// The current cached bounds with their stable ids, in dense order.
+    pub fn bounds_by_handle(&self) -> Vec<(u64, u64)> {
+        let inner = self.read();
+        inner
+            .handles
+            .iter()
+            .zip(inner.ctl.bounds())
+            .map(|(&h, b)| (h, b.value().expect("admitted bounds are bounded")))
+            .collect()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("admission service lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("admission service lock poisoned")
+    }
+
+    /// Parses and serves one request line, timing it into the metrics.
+    /// Returns the response and whether it was a `SHUTDOWN`.
+    pub fn dispatch_line(&self, line: &str) -> (Response, bool) {
+        let start = Instant::now();
+        let (kind, response) = match parse_request(line) {
+            Ok(req) => {
+                let kind = match req {
+                    Request::Admit { .. } => RequestKind::Admit,
+                    Request::Remove(_) => RequestKind::Remove,
+                    Request::Query(_) => RequestKind::Query,
+                    Request::Snapshot => RequestKind::Snapshot,
+                    Request::Stats => RequestKind::Stats,
+                    Request::Shutdown => RequestKind::Shutdown,
+                };
+                (kind, self.handle(&req))
+            }
+            Err(e) => (
+                RequestKind::Malformed,
+                Response::Error {
+                    message: format!("malformed request: {e}"),
+                },
+            ),
+        };
+        match &response {
+            Response::Admitted { .. } => self.metrics.count_admitted(),
+            Response::Rejected { .. } => self.metrics.count_rejected(),
+            Response::Removed { .. } => self.metrics.count_removed(),
+            Response::Error { .. } => self.metrics.count_error(),
+            _ => {}
+        }
+        let shutdown = matches!(response, Response::ShuttingDown);
+        self.metrics
+            .observe(kind, start.elapsed().as_nanos() as u64);
+        (response, shutdown)
+    }
+
+    /// Serves one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match *req {
+            Request::Admit {
+                src,
+                dst,
+                priority,
+                period,
+                length,
+                deadline,
+            } => self.admit(src, dst, priority, period, length, deadline),
+            Request::Remove(id) => self.remove(id),
+            Request::Query(id) => self.query(id),
+            Request::Snapshot => self.snapshot(),
+            Request::Stats => self.stats(),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Admits a candidate through the verifier gate and the incremental
+    /// controller. See the module docs for the locking discipline.
+    pub fn admit(
+        &self,
+        src: (u32, u32),
+        dst: (u32, u32),
+        priority: u32,
+        period: u64,
+        length: u64,
+        deadline: Option<u64>,
+    ) -> Response {
+        let Some(source) = self.mesh.node_at(&[src.0, src.1]) else {
+            return Response::Error {
+                message: format!("source ({},{}) outside mesh", src.0, src.1),
+            };
+        };
+        let Some(dest) = self.mesh.node_at(&[dst.0, dst.1]) else {
+            return Response::Error {
+                message: format!("destination ({},{}) outside mesh", dst.0, dst.1),
+            };
+        };
+        let deadline = deadline.unwrap_or(period);
+        let spec = StreamSpec::new(source, dest, priority, period, length, deadline);
+
+        let mut inner = self.write();
+
+        // Verifier gate: W0xx rules on the candidate against the
+        // admitted set, under the same exclusive lock the admission
+        // itself runs under.
+        let admitted: Vec<StreamSpec> = inner.ctl.parts().iter().map(|(s, _)| s.clone()).collect();
+        let findings = lint_candidate(&self.mesh, &XyRouting, &admitted, &spec);
+        if findings.iter().any(|d| d.is_error()) {
+            let errors = findings.iter().filter(|d| d.is_error()).count();
+            return Response::Rejected {
+                reason: RejectReason::Lint,
+                message: format!("candidate fails {errors} verifier rule(s)"),
+                bound: None,
+                blocked_by: Vec::new(),
+                victims: Vec::new(),
+                diagnostics: findings,
+            };
+        }
+        let warnings = findings;
+
+        let path = match XyRouting.route(&self.mesh, source, dest) {
+            Ok(p) => p,
+            Err(e) => {
+                // W004 catches this above; kept for defense in depth.
+                return Response::Error {
+                    message: format!("routing failed: {e}"),
+                };
+            }
+        };
+
+        let to_handles = |ids: &[StreamId], handles: &[u64]| -> Vec<u64> {
+            ids.iter().map(|id| handles[id.index()]).collect()
+        };
+        match inner.ctl.admit(spec.clone(), path) {
+            Ok(id) => {
+                let handle = inner.next_handle;
+                inner.next_handle += 1;
+                inner.handles.push(handle);
+                debug_assert_eq!(inner.handles.len() - 1, id.index());
+                inner.log.push(AcceptedOp::Admit { handle, spec });
+                let bound = inner
+                    .ctl
+                    .bound(id)
+                    .value()
+                    .expect("admitted bound is bounded");
+                Response::Admitted {
+                    id: handle,
+                    bound,
+                    deadline,
+                    slack: deadline - bound,
+                    warnings,
+                }
+            }
+            Err(e) => {
+                let (reason, bound, blocked_by, victims) = match &e {
+                    AdmissionError::CandidateInfeasible {
+                        bound, blocked_by, ..
+                    } => (
+                        RejectReason::CandidateInfeasible,
+                        bound.value(),
+                        to_handles(blocked_by, &inner.handles),
+                        Vec::new(),
+                    ),
+                    AdmissionError::BreaksExisting { victims, .. } => (
+                        RejectReason::BreaksExisting,
+                        None,
+                        Vec::new(),
+                        to_handles(victims, &inner.handles),
+                    ),
+                    AdmissionError::Invalid(_) => {
+                        (RejectReason::Invalid, None, Vec::new(), Vec::new())
+                    }
+                };
+                Response::Rejected {
+                    reason,
+                    message: e.to_string(),
+                    bound,
+                    blocked_by,
+                    victims,
+                    diagnostics: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn remove(&self, handle: u64) -> Response {
+        let mut inner = self.write();
+        let Some(idx) = inner.handles.iter().position(|&h| h == handle) else {
+            return Response::Error {
+                message: format!("unknown stream id {handle}"),
+            };
+        };
+        inner.ctl.remove(StreamId(idx as u32));
+        inner.handles.remove(idx);
+        inner.log.push(AcceptedOp::Remove { handle });
+        Response::Removed { id: handle }
+    }
+
+    fn query(&self, handle: u64) -> Response {
+        let inner = self.read();
+        let Some(idx) = inner.handles.iter().position(|&h| h == handle) else {
+            return Response::Error {
+                message: format!("unknown stream id {handle}"),
+            };
+        };
+        let (spec, _) = &inner.ctl.parts()[idx];
+        let bound = inner
+            .ctl
+            .bound(StreamId(idx as u32))
+            .value()
+            .expect("admitted bound is bounded");
+        Response::Query {
+            id: handle,
+            bound,
+            deadline: spec.deadline,
+            slack: spec.deadline - bound,
+            priority: spec.priority,
+            period: spec.period,
+            length: spec.max_length,
+        }
+    }
+
+    fn coords(&self, node: wormnet_topology::NodeId) -> (u32, u32) {
+        let c = self.mesh.coord(node);
+        (c.get(0), c.get(1))
+    }
+
+    fn snapshot(&self) -> Response {
+        let inner = self.read();
+        let streams = inner
+            .ctl
+            .snapshot()
+            .zip(&inner.handles)
+            .map(|((_, spec, _, bound), &handle)| SnapshotStream {
+                id: handle,
+                src: self.coords(spec.source),
+                dst: self.coords(spec.dest),
+                priority: spec.priority,
+                period: spec.period,
+                length: spec.max_length,
+                deadline: spec.deadline,
+                bound,
+            })
+            .collect();
+        let dims = self.mesh.dims();
+        Response::Snapshot {
+            mesh: (dims[0], dims[1]),
+            streams,
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let m = self.metrics.snapshot();
+        let (streams, recomputations) = {
+            let inner = self.read();
+            inner.ctl.stats()
+        };
+        Response::Stats(StatsReport {
+            counts: m.counts,
+            admitted: m.admitted,
+            rejected: m.rejected,
+            removed: m.removed,
+            errors: m.errors,
+            streams: streams as u64,
+            recomputations,
+            latency_count: m.latency_count,
+            p50_us: m.p50_us,
+            p90_us: m.p90_us,
+            p99_us: m.p99_us,
+            max_us: m.max_us,
+        })
+    }
+
+    /// Re-derives every admitted stream's bound with a fresh offline
+    /// `determine_feasibility` over the current set and compares it to
+    /// the served (cached) bound, bit for bit. Returns the number of
+    /// streams audited, or a description of the first mismatch.
+    pub fn audit(&self) -> Result<usize, String> {
+        let inner = self.read();
+        if inner.ctl.is_empty() {
+            return Ok(0);
+        }
+        let set = StreamSet::from_parts(inner.ctl.parts().to_vec())
+            .map_err(|e| format!("admitted set no longer resolves: {e}"))?;
+        let fresh = determine_feasibility(&set);
+        for id in set.ids() {
+            let cached = inner.ctl.bound(id);
+            if fresh.bound(id) != cached {
+                return Err(format!(
+                    "stream id {} (dense {id}): served bound {cached} != offline bound {}",
+                    inner.handles[id.index()],
+                    fresh.bound(id)
+                ));
+            }
+        }
+        Ok(set.len())
+    }
+}
+
+/// Serially replays an accepted-operation log against a fresh
+/// controller, routing with the same deterministic X-Y algorithm the
+/// service uses. Every operation in the log was accepted live, so the
+/// replay must accept it too; a divergence is a serializability bug.
+pub fn replay(mesh: &Mesh, ops: &[AcceptedOp]) -> Result<AdmissionController, String> {
+    let mut ctl = AdmissionController::new();
+    let mut handles: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            AcceptedOp::Admit { handle, spec } => {
+                let path = XyRouting
+                    .route(mesh, spec.source, spec.dest)
+                    .map_err(|e| format!("replay admit {handle}: routing failed: {e}"))?;
+                ctl.admit(spec.clone(), path)
+                    .map_err(|e| format!("replay admit {handle} refused: {e}"))?;
+                handles.push(*handle);
+            }
+            AcceptedOp::Remove { handle } => {
+                let idx = handles
+                    .iter()
+                    .position(|h| h == handle)
+                    .ok_or_else(|| format!("replay remove {handle}: unknown handle"))?;
+                ctl.remove(StreamId(idx as u32));
+                handles.remove(idx);
+            }
+        }
+    }
+    Ok(ctl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::DelayBound;
+
+    fn service() -> AdmissionService {
+        AdmissionService::new(Mesh::mesh2d(10, 10))
+    }
+
+    fn admit_line(svc: &AdmissionService, line: &str) -> Response {
+        let (r, _) = svc.dispatch_line(line);
+        r
+    }
+
+    #[test]
+    fn admit_query_remove_round_trip() {
+        let svc = service();
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        let Response::Admitted {
+            id, bound, slack, ..
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(id, 0);
+        assert_eq!(bound + slack, 50);
+        let r = admit_line(&svc, "QUERY 0");
+        assert!(
+            matches!(r, Response::Query { id: 0, bound: b, .. } if b == bound),
+            "{r:?}"
+        );
+        let r = admit_line(&svc, "REMOVE 0");
+        assert_eq!(r, Response::Removed { id: 0 });
+        assert_eq!(svc.admitted_count(), 0);
+        let r = admit_line(&svc, "QUERY 0");
+        assert!(matches!(r, Response::Error { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn handles_stay_stable_across_removals() {
+        let svc = service();
+        // Three streams on separate rows.
+        for y in 0..3 {
+            let r = admit_line(&svc, &format!("ADMIT 0,{y} 5,{y} 1 50 4"));
+            assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        }
+        // Removing id 1 must not disturb ids 0 and 2 (the controller's
+        // dense ids shift; the service's stable ids must not).
+        admit_line(&svc, "REMOVE 1");
+        for id in [0u64, 2] {
+            let r = admit_line(&svc, &format!("QUERY {id}"));
+            assert!(
+                matches!(r, Response::Query { id: got, .. } if got == id),
+                "{r:?}"
+            );
+        }
+        // A fresh admit gets a fresh id, not a recycled one.
+        let r = admit_line(&svc, "ADMIT 0,4 5,4 1 50 4");
+        assert!(matches!(r, Response::Admitted { id: 3, .. }), "{r:?}");
+    }
+
+    #[test]
+    fn verifier_gate_rejects_before_the_controller() {
+        let svc = service();
+        // Self-delivery: W003 fires, controller untouched.
+        let r = admit_line(&svc, "ADMIT 2,2 2,2 1 50 4");
+        let Response::Rejected {
+            reason,
+            diagnostics,
+            ..
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(reason, RejectReason::Lint);
+        assert!(
+            diagnostics.iter().any(|d| d.code == "W003"),
+            "{diagnostics:?}"
+        );
+        assert_eq!(svc.admitted_count(), 0);
+        assert!(svc.ops().is_empty(), "rejected admit must not be logged");
+    }
+
+    #[test]
+    fn analysis_rejection_names_the_blockers() {
+        let svc = service();
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 20 10");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        // Lower priority, same row, deadline too tight under blocking.
+        let r = admit_line(&svc, "ADMIT 1,0 6,0 1 100 8 12");
+        let Response::Rejected {
+            reason, blocked_by, ..
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(reason, RejectReason::CandidateInfeasible);
+        assert_eq!(blocked_by, vec![0], "names the admitted blocker");
+    }
+
+    #[test]
+    fn breaks_existing_rejection_names_the_victims() {
+        let svc = service();
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 1 100 8 14");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        // High-priority heavyweight on the same row.
+        let r = admit_line(&svc, "ADMIT 1,0 6,0 2 30 20");
+        let Response::Rejected {
+            reason, victims, ..
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(reason, RejectReason::BreaksExisting);
+        assert_eq!(victims, vec![0]);
+        // Victim ids are stable ids, still queryable.
+        let q = admit_line(&svc, "QUERY 0");
+        assert!(matches!(q, Response::Query { id: 0, .. }), "{q:?}");
+    }
+
+    #[test]
+    fn snapshot_reflects_the_admitted_set() {
+        let svc = service();
+        admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        admit_line(&svc, "ADMIT 0,1 5,1 1 60 4 55");
+        let r = admit_line(&svc, "SNAPSHOT");
+        let Response::Snapshot { mesh, streams } = r else {
+            panic!("{r:?}");
+        };
+        assert_eq!(mesh, (10, 10));
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].src, (0, 0));
+        assert_eq!(streams[1].deadline, 55);
+        assert!(streams.iter().all(|s| s.bound.is_bounded()));
+    }
+
+    #[test]
+    fn stats_count_requests_and_outcomes() {
+        let svc = service();
+        admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        admit_line(&svc, "ADMIT 2,2 2,2 1 50 4"); // lint-rejected
+        admit_line(&svc, "QUERY 0");
+        admit_line(&svc, "QUERY 99"); // error
+        admit_line(&svc, "no such verb"); // malformed
+        let r = admit_line(&svc, "STATS");
+        let Response::Stats(s) = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(s.counts[RequestKind::Admit as usize], 2);
+        assert_eq!(s.counts[RequestKind::Query as usize], 2);
+        assert_eq!(s.counts[RequestKind::Malformed as usize], 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.streams, 1);
+        assert!(s.latency_count >= 5);
+    }
+
+    #[test]
+    fn audit_matches_offline_analysis() {
+        let svc = service();
+        for (line, want_ok) in [
+            ("ADMIT 0,0 5,0 3 60 4", true),
+            ("ADMIT 1,0 6,0 2 90 6", true),
+            ("ADMIT 0,2 7,2 3 70 8", true),
+            ("ADMIT 2,0 2,5 1 120 10", true),
+            ("ADMIT 1,2 6,2 1 150 6", true),
+        ] {
+            let r = admit_line(&svc, line);
+            assert_eq!(matches!(r, Response::Admitted { .. }), want_ok, "{r:?}");
+        }
+        admit_line(&svc, "REMOVE 2");
+        assert_eq!(svc.audit().unwrap(), 4);
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_state() {
+        let svc = service();
+        admit_line(&svc, "ADMIT 0,0 5,0 2 40 10");
+        admit_line(&svc, "ADMIT 1,0 6,0 1 100 4");
+        admit_line(&svc, "REMOVE 0");
+        admit_line(&svc, "ADMIT 0,3 5,3 1 50 4");
+        let replayed = replay(svc.mesh(), &svc.ops()).unwrap();
+        let live: Vec<(u64, u64)> = svc.bounds_by_handle();
+        assert_eq!(replayed.len(), live.len());
+        for (i, &(_, bound)) in live.iter().enumerate() {
+            assert_eq!(
+                replayed.bound(StreamId(i as u32)),
+                DelayBound::Bounded(bound)
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_admit_is_lint_warned_not_blocked() {
+        let svc = service();
+        admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        // Byte-identical duplicate: W001 is a warning, so the paper's
+        // model admits it (both instances are analyzable) but the
+        // response surfaces the finding.
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        let Response::Admitted { warnings, .. } = r else {
+            panic!("{r:?}");
+        };
+        assert!(warnings.iter().any(|d| d.code == "W001"), "{warnings:?}");
+    }
+}

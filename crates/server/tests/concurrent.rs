@@ -1,0 +1,115 @@
+//! Concurrent admission soundness: N client threads fire interleaved
+//! `ADMIT` / `REMOVE` / `QUERY` traffic at one server, and the final
+//! admitted set must be **bit-identical** to a serial replay of the
+//! accepted operations — admission decisions are serializable even
+//! though queries run concurrently under the shared lock.
+
+use rtwc_core::{DelayBound, StreamId};
+use rtwc_server::{replay, AdmissionService, Client, Server};
+use std::sync::Arc;
+use std::thread;
+use wormnet_topology::Mesh;
+
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn concurrent_clients_serialize_to_an_identical_replay() {
+    const CLIENTS: usize = 8;
+    const OPS: usize = 120;
+    let service = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle().unwrap();
+    let server_thread = thread::spawn(move || server.run());
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let mut rng = 0xc0ffee ^ (i as u64) << 17;
+                let mut own: Vec<u64> = Vec::new();
+                for _ in 0..OPS {
+                    let roll = splitmix64(&mut rng) % 10;
+                    if roll < 5 || own.is_empty() {
+                        // Random admit; rejections are expected and fine.
+                        let sx = splitmix64(&mut rng) % 10;
+                        let sy = splitmix64(&mut rng) % 10;
+                        let mut dx = splitmix64(&mut rng) % 10;
+                        let dy = splitmix64(&mut rng) % 10;
+                        if (dx, dy) == (sx, sy) {
+                            dx = (dx + 1) % 10;
+                        }
+                        let pr = 1 + splitmix64(&mut rng) % 4;
+                        let period = 50 + splitmix64(&mut rng) % 400;
+                        let len = 2 + splitmix64(&mut rng) % 6;
+                        let reply = c
+                            .send(&format!("ADMIT {sx},{sy} {dx},{dy} {pr} {period} {len}"))
+                            .unwrap();
+                        if reply.contains("\"status\":\"admitted\"") {
+                            own.push(extract_u64(&reply, "id").unwrap());
+                        }
+                    } else if roll < 7 {
+                        let idx = (splitmix64(&mut rng) % own.len() as u64) as usize;
+                        let h = own.swap_remove(idx);
+                        let reply = c.send(&format!("REMOVE {h}")).unwrap();
+                        assert!(
+                            reply.contains("\"status\":\"removed\""),
+                            "own handle must remove cleanly: {reply}"
+                        );
+                    } else {
+                        // Query a random own handle; it must still be
+                        // admitted (only this client removes it) and
+                        // its bound must respect the deadline.
+                        let h = own[(splitmix64(&mut rng) % own.len() as u64) as usize];
+                        let reply = c.send(&format!("QUERY {h}")).unwrap();
+                        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+                        let bound = extract_u64(&reply, "bound").unwrap();
+                        let deadline = extract_u64(&reply, "deadline").unwrap();
+                        assert!(bound <= deadline, "served bound violates deadline: {reply}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Serial replay of the accepted-op journal must reproduce the live
+    // bounds bit for bit, in the same (dense) order.
+    let live = service.bounds_by_handle();
+    assert!(!live.is_empty(), "workload should leave streams admitted");
+    let replayed = replay(service.mesh(), &service.ops()).unwrap();
+    assert_eq!(replayed.len(), live.len());
+    for (i, &(handle, bound)) in live.iter().enumerate() {
+        assert_eq!(
+            replayed.bound(StreamId(i as u32)),
+            DelayBound::Bounded(bound),
+            "handle {handle} diverged from serial replay"
+        );
+    }
+
+    // And the served bounds must equal a fresh offline analysis.
+    let audited = service.audit().expect("offline audit");
+    assert_eq!(audited, live.len());
+
+    handle.shutdown();
+    server_thread.join().unwrap().unwrap();
+}

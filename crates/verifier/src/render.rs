@@ -42,7 +42,11 @@ pub fn render_human(diags: &[Diagnostic], lines: Option<&[usize]>) -> String {
 }
 
 /// Escapes a string for a JSON string literal (RFC 8259).
-fn json_escape(s: &str) -> String {
+///
+/// Public because every hand-rolled JSON emitter in the workspace (this
+/// renderer, the admission service's single-line responses) must escape
+/// identically; the build is offline, so there is no serde to share.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -57,6 +61,37 @@ fn json_escape(s: &str) -> String {
             c => out.push(c),
         }
     }
+    out
+}
+
+/// Renders one diagnostic as a JSON object, the element shape of
+/// [`render_json`]'s `diagnostics` array:
+///
+/// ```json
+/// {"code":"W005","severity":"error","span":{"kind":"stream","stream":2},
+///  "line":4,"message":"...","suggestion":"..."}
+/// ```
+///
+/// `line` and `suggestion` are omitted when unknown. Public so other
+/// JSON emitters (the admission service's rejection responses) ship
+/// byte-identical diagnostic objects.
+pub fn render_diagnostic_json(d: &Diagnostic, lines: Option<&[usize]>) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{}",
+        d.code,
+        d.severity,
+        json_span(d.span)
+    );
+    if let Some(l) = line_of(d, lines) {
+        let _ = write!(out, ",\"line\":{l}");
+    }
+    let _ = write!(out, ",\"message\":\"{}\"", json_escape(&d.message));
+    if let Some(s) = &d.suggestion {
+        let _ = write!(out, ",\"suggestion\":\"{}\"", json_escape(s));
+    }
+    out.push('}');
     out
 }
 
@@ -93,21 +128,7 @@ pub fn render_json(diags: &[Diagnostic], lines: Option<&[usize]>) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{}",
-            d.code,
-            d.severity,
-            json_span(d.span)
-        );
-        if let Some(l) = line_of(d, lines) {
-            let _ = write!(out, ",\"line\":{l}");
-        }
-        let _ = write!(out, ",\"message\":\"{}\"", json_escape(&d.message));
-        if let Some(s) = &d.suggestion {
-            let _ = write!(out, ",\"suggestion\":\"{}\"", json_escape(s));
-        }
-        out.push('}');
+        out.push_str(&render_diagnostic_json(d, lines));
     }
     let errors = diags.iter().filter(|d| d.is_error()).count();
     let _ = write!(

@@ -44,13 +44,17 @@ fn main() {
                 "  request {i:>2}: {src:?} -> {dst:?} P{prio}  ADMITTED as {id} (U = {})",
                 ctl.bound(id)
             ),
-            Err(AdmissionError::CandidateInfeasible { bound }) => {
+            Err(AdmissionError::CandidateInfeasible {
+                bound, blocked_by, ..
+            }) => {
+                let blockers: Vec<String> = blocked_by.iter().map(|b| b.to_string()).collect();
                 println!(
-                    "  request {i:>2}: {src:?} -> {dst:?} P{prio}  REJECTED (own bound {bound} misses D=60)"
+                    "  request {i:>2}: {src:?} -> {dst:?} P{prio}  REJECTED (own bound {bound} misses D=60; blocked by {})",
+                    blockers.join(", ")
                 );
                 explain_candidate(&ctl, &mesh, src, dst, prio);
             }
-            Err(AdmissionError::BreaksExisting { victims }) => {
+            Err(AdmissionError::BreaksExisting { victims, .. }) => {
                 let names: Vec<String> = victims.iter().map(|v| v.to_string()).collect();
                 println!(
                     "  request {i:>2}: {src:?} -> {dst:?} P{prio}  REJECTED (would break {})",
