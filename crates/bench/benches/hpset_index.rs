@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of interference-index HP-set
+//! construction: the legacy pairwise oracle vs building the index and
+//! reading every HP set off it, plus the index-maintenance primitives
+//! the admission fast path leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtwc_bench::contended_mesh_set;
+use rtwc_core::{generate_hp_sets_oracle, InterferenceIndex};
+
+fn bench_hpset_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpset_index");
+    g.sample_size(10);
+    for &n in &[100usize, 400] {
+        let set = contended_mesh_set(n);
+        g.bench_with_input(BenchmarkId::new("oracle", n), &set, |b, s| {
+            b.iter(|| generate_hp_sets_oracle(s))
+        });
+        g.bench_with_input(BenchmarkId::new("build_plus_hp_sets", n), &set, |b, s| {
+            b.iter(|| {
+                let index = InterferenceIndex::build(s);
+                index.hp_sets(s)
+            })
+        });
+        let index = InterferenceIndex::build(&set);
+        g.bench_with_input(BenchmarkId::new("hp_sets_prebuilt", n), &set, |b, s| {
+            b.iter(|| index.hp_sets(s))
+        });
+        g.bench_with_input(BenchmarkId::new("insert_remove_last", n), &set, |b, s| {
+            let mut idx = InterferenceIndex::build(s);
+            let last = s.iter().last().expect("nonempty set");
+            b.iter(|| {
+                idx.remove_last();
+                idx.insert_last(last);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hpset_index);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Measures interference-index HP-set construction against the legacy
+//! pairwise oracle, and the incremental admission fast path, over
+//! contended meshes of n = 100 .. 10^4 streams. Writes the
+//! machine-readable record `results/BENCH_hpset.json`.
+//!
+//! Run with `cargo run --release -p rtwc-bench --bin bench_hpset`.
+//! The acceptance target is a >= 5x indexed speedup over the
+//! from-scratch pairwise construction at n = 5000; the JSON records
+//! every cell (plus `min_indexed_speedup` across sizes) so regressions
+//! are diffable and CI can gate on the key.
+
+use rtwc_bench::contended_mesh_specs;
+use rtwc_core::{
+    generate_hp_sets_oracle, AdmissionController, InterferenceIndex, StreamId, StreamSet,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+use wormnet_topology::{Routing, XyRouting};
+
+const SIZES: [usize; 4] = [100, 1_000, 5_000, 10_000];
+
+/// Best-of-samples ns of `f`, with warmup; sample count shrinks as a
+/// single run grows so the slow from-scratch cells stay affordable.
+/// Scheduler noise only ever adds time, so the minimum over samples is
+/// the most stable estimate of the true cost.
+fn measure(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64();
+    let samples = if once > 2.0 {
+        1
+    } else if once > 0.1 {
+        3
+    } else {
+        7
+    };
+    let mut best = once;
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e9
+}
+
+struct Case {
+    n: usize,
+    from_scratch_ns: f64,
+    indexed_ns: f64,
+    index_build_ns: f64,
+    incremental_admit_ns: f64,
+    admitted: usize,
+}
+
+fn main() {
+    let mut cases = Vec::new();
+    for &n in &SIZES {
+        let (mesh, specs) = contended_mesh_specs(n);
+        let set = StreamSet::resolve(&mesh, &XyRouting, &specs).expect("bench set resolves");
+
+        // Sanity first: the indexed construction must be bit-identical
+        // to the oracle on the exact workload being timed (checked at
+        // the sizes where the oracle is cheap enough to run twice).
+        if n <= 1_000 {
+            let index = InterferenceIndex::build(&set);
+            assert_eq!(
+                index.hp_sets(&set),
+                generate_hp_sets_oracle(&set),
+                "indexed HP sets diverge from the oracle at n={n}"
+            );
+        }
+
+        let from_scratch_ns = measure(|| drop(generate_hp_sets_oracle(&set)));
+        let indexed_ns = measure(|| {
+            let index = InterferenceIndex::build(&set);
+            drop(index.hp_sets(&set));
+        });
+        let index_build_ns = measure(|| drop(InterferenceIndex::build(&set)));
+
+        // Incremental admission: load the controller once, then time a
+        // full admit + remove round trip of one extra stream against
+        // the n-stream set. Each admit touches only the candidate's
+        // interference neighborhood.
+        let mut ctl = AdmissionController::new();
+        for (spec, path) in set.iter().map(|s| (s.spec.clone(), s.path.clone())) {
+            let _ = ctl.admit(spec, path);
+        }
+        let admitted = ctl.len();
+        let extra = specs[n / 2].clone();
+        let extra_path = XyRouting
+            .route(&mesh, extra.source, extra.dest)
+            .expect("bench route");
+        let incremental_admit_ns = measure(|| {
+            if ctl.admit(extra.clone(), extra_path.clone()).is_ok() {
+                ctl.remove(StreamId(ctl.len() as u32 - 1));
+            }
+        });
+
+        println!(
+            "n={n:>6}  from-scratch {from_scratch_ns:>14.0} ns  indexed {indexed_ns:>12.0} ns \
+             ({:>6.1}x)  index-build {index_build_ns:>12.0} ns  admit {incremental_admit_ns:>10.0} ns \
+             ({admitted} admitted)",
+            from_scratch_ns / indexed_ns,
+        );
+        cases.push(Case {
+            n,
+            from_scratch_ns,
+            indexed_ns,
+            index_build_ns,
+            incremental_admit_ns,
+            admitted,
+        });
+    }
+
+    let min_indexed_speedup = cases
+        .iter()
+        .map(|c| c.from_scratch_ns / c.indexed_ns)
+        .fold(f64::INFINITY, f64::min);
+    let at_5k = cases
+        .iter()
+        .find(|c| c.n == 5_000)
+        .map(|c| c.from_scratch_ns / c.indexed_ns)
+        .unwrap_or(f64::NAN);
+    println!(
+        "\nminimum indexed speedup across sizes: {min_indexed_speedup:.1}x; \
+         at n=5000: {at_5k:.1}x (target >= 5x)"
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"hpset_index\",\n");
+    let _ = writeln!(
+        json,
+        "  \"load\": \"contended mesh: local routes, 16 priority levels, ~constant per-link occupancy\","
+    );
+    let _ = writeln!(json, "  \"min_indexed_speedup\": {min_indexed_speedup:.2},");
+    let _ = writeln!(json, "  \"indexed_speedup_at_5000\": {at_5k:.2},");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"from_scratch_ns\": {:.0}, \"indexed_ns\": {:.0}, \
+             \"index_build_ns\": {:.0}, \"incremental_admit_ns\": {:.0}, \
+             \"indexed_speedup\": {:.2}, \"admitted\": {}}}{}",
+            c.n,
+            c.from_scratch_ns,
+            c.indexed_ns,
+            c.index_build_ns,
+            c.incremental_admit_ns,
+            c.from_scratch_ns / c.indexed_ns,
+            c.admitted,
+            if i + 1 == cases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("results/BENCH_hpset.json", &json).expect("write results/BENCH_hpset.json");
+    println!("wrote results/BENCH_hpset.json");
+}

@@ -1,0 +1,114 @@
+//! Synthetic contended-mesh workloads for the interference-index
+//! benchmarks.
+//!
+//! The HP-set construction cost is driven by the number of streams and
+//! how densely their routes overlap. The generator here scales the mesh
+//! with the stream count so the *per-link* contention stays roughly
+//! constant (a handful of streams per directed channel), which is the
+//! regime a production admission service actually runs in: adding
+//! streams grows the network, not the per-channel pile-up. Placement is
+//! a deterministic LCG, so every run of every binary sees the same
+//! workload.
+
+use rtwc_core::{StreamSet, StreamSpec};
+use wormnet_topology::{Mesh, Topology, XyRouting};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// The mesh a contended workload of `n` streams runs on: side scaled
+/// with `sqrt(n)` so total channel supply grows with stream count.
+pub fn contended_mesh(n: usize) -> Mesh {
+    let side = ((n as f64 / 4.0).sqrt().ceil() as u32).max(6);
+    Mesh::mesh2d(side, side)
+}
+
+/// `n` deterministic short-haul streams on [`contended_mesh`]: local
+/// routes (1-3 hops per axis), 16 priority levels, periods in
+/// `60..160`. Average per-link occupancy is a small constant, so the
+/// interference neighborhood of any one stream stays bounded while the
+/// set grows — the regime where the O(n³) pairwise HP construction is
+/// pure overhead.
+pub fn contended_mesh_specs(n: usize) -> (Mesh, Vec<StreamSpec>) {
+    let mesh = contended_mesh(n);
+    let side = mesh.dims()[0];
+    let mut rng = Lcg(0x9E3779B97F4A7C15 ^ n as u64);
+    let mut specs = Vec::with_capacity(n);
+    for i in 0..n {
+        let dx = 1 + rng.below(3) as u32;
+        let dy = rng.below(3) as u32;
+        let sx = rng.below((side - dx) as u64) as u32;
+        let sy = rng.below((side - dy) as u64) as u32;
+        let source = mesh.node_at(&[sx, sy]).expect("source on mesh");
+        let dest = mesh.node_at(&[sx + dx, sy + dy]).expect("dest on mesh");
+        let priority = 1 + (i as u32 % 16);
+        let period = 60 + rng.below(100);
+        let length = 1 + rng.below(4);
+        // Deadline = 4T keeps almost every stream admissible, so the
+        // incremental-admit benchmark exercises the accept path.
+        specs.push(StreamSpec::new(
+            source,
+            dest,
+            priority,
+            period,
+            length,
+            4 * period,
+        ));
+    }
+    (mesh, specs)
+}
+
+/// [`contended_mesh_specs`] resolved into a stream set.
+pub fn contended_mesh_set(n: usize) -> StreamSet {
+    let (mesh, specs) = contended_mesh_specs(n);
+    StreamSet::resolve(&mesh, &XyRouting, &specs).expect("contended mesh set resolves")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtwc_core::{generate_hp_sets, generate_hp_sets_oracle, InterferenceIndex};
+
+    #[test]
+    fn workload_is_deterministic_and_resolves() {
+        let a = contended_mesh_set(200);
+        let b = contended_mesh_set(200);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.spec, y.spec);
+        }
+    }
+
+    #[test]
+    fn indexed_hp_sets_match_oracle_on_the_bench_load() {
+        let set = contended_mesh_set(150);
+        assert_eq!(generate_hp_sets(&set), generate_hp_sets_oracle(&set));
+        let index = InterferenceIndex::build(&set);
+        assert_eq!(index.hp_sets(&set), generate_hp_sets_oracle(&set));
+    }
+
+    #[test]
+    fn contention_is_nontrivial() {
+        // The workload is only a benchmark of interference machinery if
+        // streams actually interfere: most streams must have a nonempty
+        // HP set.
+        let set = contended_mesh_set(300);
+        let sets = generate_hp_sets(&set);
+        let blocked = sets.iter().filter(|hp| !hp.is_empty()).count();
+        assert!(blocked * 2 > set.len(), "{blocked}/300 blocked");
+    }
+}

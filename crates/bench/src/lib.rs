@@ -21,10 +21,12 @@
 
 pub mod diagram_load;
 pub mod harness;
+pub mod hpset_load;
 pub mod table;
 
 pub use diagram_load::contended_line_set;
 pub use harness::{
     aggregate, measure_workload, run_experiment, ExperimentConfig, PriorityRow, StreamMeasurement,
 };
+pub use hpset_load::{contended_mesh, contended_mesh_set, contended_mesh_specs};
 pub use table::{render_table, summary_line};

@@ -7,12 +7,18 @@
 //! bounds of streams it can (transitively) block — its *downstream* in
 //! the directly-affects graph — so the controller recomputes exactly
 //! those and keeps every other cached bound.
+//!
+//! The controller maintains an [`InterferenceIndex`] incrementally:
+//! every trial admit extends the live stream set and index in place
+//! (O(interference neighborhood), not O(n) path comparisons), and a
+//! rejection rolls back exactly what the trial added. The downstream
+//! closure, every HP set, and every BDG of the recomputation are read
+//! off the index as word-parallel bit operations.
 
 use crate::calu::DelayBound;
 use crate::diagram::AnalysisScratch;
-use crate::hpset::generate_hp;
+use crate::interference::InterferenceIndex;
 use crate::stream::{StreamId, StreamSet, StreamSpec};
-use std::collections::VecDeque;
 use wormnet_topology::{NodeId, Path};
 
 /// Why a stream was refused admission.
@@ -117,6 +123,10 @@ impl std::error::Error for AdmissionError {}
 pub struct AdmissionController {
     parts: Vec<(StreamSpec, Path)>,
     set: Option<StreamSet>,
+    /// Incrementally maintained interference index over `set`. Always
+    /// equal to `InterferenceIndex::build` of the admitted set (the
+    /// equivalence property tests enforce this).
+    index: InterferenceIndex,
     bounds: Vec<DelayBound>,
     /// Bound recomputations performed over the controller's lifetime
     /// (instrumentation: shows the saving vs full re-analysis).
@@ -182,22 +192,11 @@ impl AdmissionController {
         (self.parts.len(), self.recomputations)
     }
 
-    /// Streams of the trial set whose bound can change when `changed`
-    /// is added or removed: `changed` itself plus everything reachable
-    /// from it through directly-affects edges.
-    fn affected(trial: &StreamSet, changed: StreamId) -> Vec<StreamId> {
-        let mut seen = vec![false; trial.len()];
-        seen[changed.index()] = true;
-        let mut queue = VecDeque::from([changed]);
-        while let Some(x) = queue.pop_front() {
-            for s in trial.iter() {
-                if !seen[s.id.index()] && trial.get(x).directly_affects(s) {
-                    seen[s.id.index()] = true;
-                    queue.push_back(s.id);
-                }
-            }
-        }
-        trial.ids().filter(|id| seen[id.index()]).collect()
+    /// The incrementally maintained interference index over the
+    /// admitted set (exposed for auditing and equivalence testing; it
+    /// always equals a from-scratch `InterferenceIndex::build`).
+    pub fn index(&self) -> &InterferenceIndex {
+        &self.index
     }
 
     /// Tries to admit `(spec, path)`; on success the stream gets the
@@ -227,15 +226,30 @@ impl AdmissionController {
         }
 
         let (cand_source, cand_dest) = (spec.source, spec.dest);
-        let mut parts = self.parts.clone();
-        parts.push((spec, path));
-        let trial = StreamSet::from_parts(parts.clone())
-            .map_err(|e| AdmissionError::Invalid(e.to_string()))?;
-        let new_id = StreamId(trial.len() as u32 - 1);
+        // Mutate-then-rollback trial: extend the live stream set and
+        // index in place (no cloning the admitted state), and undo
+        // exactly the trial's additions on rejection.
+        let created = self.set.is_none();
+        let new_id = match self.set.as_mut() {
+            Some(set) => set
+                .push(spec.clone(), path.clone())
+                .map_err(|e| AdmissionError::Invalid(e.to_string()))?,
+            None => {
+                self.set = Some(
+                    StreamSet::from_parts(vec![(spec.clone(), path.clone())])
+                        .map_err(|e| AdmissionError::Invalid(e.to_string()))?,
+                );
+                StreamId(0)
+            }
+        };
+        let set = self.set.as_ref().expect("trial set just populated");
+        self.index.insert_last(set.get(new_id));
+        self.parts.push((spec, path));
+        self.bounds.push(DelayBound::Exceeded);
 
-        // Recompute only the affected bounds.
-        let mut new_bounds = self.bounds.clone();
-        new_bounds.push(DelayBound::Exceeded);
+        // Recompute only the candidate's downstream closure, saving the
+        // overwritten bounds so a rejection can restore them.
+        let mut saved: Vec<(usize, DelayBound)> = Vec::new();
         let mut victims = Vec::new();
         let mut candidate_bound = DelayBound::Exceeded;
         // The candidate's direct blockers, kept for the rejection
@@ -243,8 +257,8 @@ impl AdmissionController {
         // admitted ids, since the candidate takes the last id).
         let mut blocked_by = Vec::new();
         let mut scratch = AnalysisScratch::new();
-        for id in Self::affected(&trial, new_id) {
-            let hp = generate_hp(&trial, id);
+        for id in self.index.downstream(new_id) {
+            let hp = self.index.hp_set(set, id);
             if id == new_id {
                 blocked_by = hp
                     .elements()
@@ -253,10 +267,13 @@ impl AdmissionController {
                     .map(|e| e.stream)
                     .collect();
             }
-            let bound = scratch.delay_bound(&trial, &hp, trial.get(id).deadline());
+            let bound = scratch.delay_bound_indexed(set, &self.index, &hp, set.get(id).deadline());
             self.recomputations += 1;
-            new_bounds[id.index()] = bound;
-            if !bound.meets(trial.get(id).deadline()) {
+            if id != new_id {
+                saved.push((id.index(), self.bounds[id.index()]));
+            }
+            self.bounds[id.index()] = bound;
+            if !bound.meets(set.get(id).deadline()) {
                 if id == new_id {
                     candidate_bound = bound;
                 } else {
@@ -264,24 +281,36 @@ impl AdmissionController {
                 }
             }
         }
-        if !victims.is_empty() {
-            return Err(AdmissionError::BreaksExisting {
+        let rejection = if !victims.is_empty() {
+            Some(AdmissionError::BreaksExisting {
                 source: cand_source,
                 dest: cand_dest,
                 victims,
-            });
-        }
-        if !new_bounds[new_id.index()].meets(trial.get(new_id).deadline()) {
-            return Err(AdmissionError::CandidateInfeasible {
+            })
+        } else if !self.bounds[new_id.index()].meets(set.get(new_id).deadline()) {
+            Some(AdmissionError::CandidateInfeasible {
                 bound: candidate_bound,
                 source: cand_source,
                 dest: cand_dest,
                 blocked_by,
-            });
+            })
+        } else {
+            None
+        };
+        if let Some(err) = rejection {
+            for (i, b) in saved {
+                self.bounds[i] = b;
+            }
+            self.bounds.pop();
+            self.parts.pop();
+            self.index.remove_last();
+            if created {
+                self.set = None;
+            } else {
+                self.set.as_mut().expect("trial set present").pop();
+            }
+            return Err(err);
         }
-        self.parts = parts;
-        self.set = Some(trial);
-        self.bounds = new_bounds;
         Ok(new_id)
     }
 
@@ -291,21 +320,26 @@ impl AdmissionController {
     /// one, mirroring `StreamSet`'s dense ids.
     pub fn remove(&mut self, id: StreamId) {
         assert!(id.index() < self.parts.len(), "unknown stream {id}");
-        // Compute the affected set while the stream is still present.
-        let old_set = self.set.as_ref().expect("non-empty controller has a set");
-        let affected_old: Vec<StreamId> = Self::affected(old_set, id)
+        // Compute the affected set while the stream is still indexed.
+        let affected_old: Vec<StreamId> = self
+            .index
+            .downstream(id)
             .into_iter()
             .filter(|&x| x != id)
             .collect();
 
         self.parts.remove(id.index());
         self.bounds.remove(id.index());
+        self.index.remove(id);
         if self.parts.is_empty() {
             self.set = None;
             return;
         }
-        let new_set =
-            StreamSet::from_parts(self.parts.clone()).expect("remaining parts stay valid");
+        self.set
+            .as_mut()
+            .expect("non-empty controller has a set")
+            .remove(id);
+        let set = self.set.as_ref().expect("set stays populated");
         // Map old ids to new ids (everything above `id` shifts down).
         let remap = |old: StreamId| -> StreamId {
             if old.index() > id.index() {
@@ -317,12 +351,12 @@ impl AdmissionController {
         let mut scratch = AnalysisScratch::new();
         for old in affected_old {
             let new_id = remap(old);
-            let hp = generate_hp(&new_set, new_id);
-            let bound = scratch.delay_bound(&new_set, &hp, new_set.get(new_id).deadline());
+            let hp = self.index.hp_set(set, new_id);
+            let bound =
+                scratch.delay_bound_indexed(set, &self.index, &hp, set.get(new_id).deadline());
             self.recomputations += 1;
             self.bounds[new_id.index()] = bound;
         }
-        self.set = Some(new_set);
     }
 }
 
@@ -428,6 +462,27 @@ mod tests {
         let (s1, p1) = routed(&m, [6, 6], [9, 6], 1, 50, 4, 50);
         ctl.admit(s1, p1).unwrap();
         assert_eq!(ctl.recomputations() - before, 1);
+    }
+
+    #[test]
+    fn rejection_rolls_back_every_structure() {
+        let m = mesh();
+        let mut ctl = AdmissionController::new();
+        let (s0, p0) = routed(&m, [0, 0], [5, 0], 2, 20, 10, 20);
+        let (s1, p1) = routed(&m, [0, 2], [7, 2], 3, 70, 8, 70);
+        ctl.admit(s0, p0).unwrap();
+        ctl.admit(s1, p1).unwrap();
+        let before_bounds = ctl.bounds().to_vec();
+        let before_index = ctl.index().clone();
+        let before_set_len = ctl.set().unwrap().len();
+        // Same impossible candidate as rejects_candidate_that_cannot_meet_deadline.
+        let (bad, bad_p) = routed(&m, [1, 0], [6, 0], 1, 100, 8, 12);
+        ctl.admit(bad, bad_p).unwrap_err();
+        assert_eq!(ctl.bounds(), before_bounds.as_slice());
+        assert_eq!(ctl.index(), &before_index);
+        assert_eq!(ctl.set().unwrap().len(), before_set_len);
+        // And the rolled-back index still equals a fresh build.
+        assert_eq!(ctl.index(), &InterferenceIndex::build(ctl.set().unwrap()));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! `Modify_Diagram` must process indirect HP elements.
 
 use crate::hpset::HpSet;
+use crate::interference::InterferenceIndex;
 use crate::stream::{StreamId, StreamSet};
 use std::collections::VecDeque;
 
@@ -9,7 +10,7 @@ use std::collections::VecDeque;
 /// elements plus the target; there is an edge `a -> b` whenever `a`
 /// directly affects `b` (higher-or-equal priority and a shared directed
 /// channel). The paper stores it as an adjacency matrix; so do we.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlockingDependencyGraph {
     /// Node order: HP elements in row order, then the target last.
     nodes: Vec<StreamId>,
@@ -18,15 +19,30 @@ pub struct BlockingDependencyGraph {
 }
 
 impl BlockingDependencyGraph {
-    /// Builds the BDG for `hp` over `set`.
+    /// Builds the BDG for `hp` over `set` by pairwise directly-affects
+    /// tests (sorted-merge channel overlap per pair). Identical to
+    /// [`BlockingDependencyGraph::build_indexed`]; callers holding an
+    /// [`InterferenceIndex`] should prefer that, which reads each edge
+    /// as one bit test.
     pub fn build(set: &StreamSet, hp: &HpSet) -> Self {
+        Self::build_with(hp, |a, b| set.get(a).directly_affects(set.get(b)))
+    }
+
+    /// Builds the BDG off an interference index: every edge is a single
+    /// bit probe of the directly-affects adjacency instead of a path
+    /// comparison.
+    pub fn build_indexed(index: &InterferenceIndex, hp: &HpSet) -> Self {
+        Self::build_with(hp, |a, b| index.directly_affects(a, b))
+    }
+
+    fn build_with(hp: &HpSet, edge: impl Fn(StreamId, StreamId) -> bool) -> Self {
         let mut nodes: Vec<StreamId> = hp.elements().iter().map(|e| e.stream).collect();
         nodes.push(hp.target);
         let n = nodes.len();
         let mut adj = vec![vec![false; n]; n];
         for (i, &a) in nodes.iter().enumerate() {
             for (j, &b) in nodes.iter().enumerate() {
-                if i != j && set.get(a).directly_affects(set.get(b)) {
+                if i != j && edge(a, b) {
                     adj[i][j] = true;
                 }
             }
@@ -190,6 +206,20 @@ mod tests {
         let order = g.indirect_processing_order(&hp);
         // X (via direct Y) first, then W (via X).
         assert_eq!(order, vec![StreamId(2), StreamId(3)]);
+    }
+
+    #[test]
+    fn indexed_build_matches_pairwise() {
+        let set = chain();
+        let index = InterferenceIndex::build(&set);
+        for id in set.ids() {
+            let hp = generate_hp(&set, id);
+            assert_eq!(
+                BlockingDependencyGraph::build(&set, &hp),
+                BlockingDependencyGraph::build_indexed(&index, &hp),
+                "{id}"
+            );
+        }
     }
 
     #[test]

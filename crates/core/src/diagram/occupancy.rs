@@ -218,12 +218,40 @@ impl AnalysisScratch {
     /// # Panics
     /// Panics if `horizon == 0`.
     pub fn delay_bound(&mut self, set: &StreamSet, hp: &HpSet, horizon: u64) -> DelayBound {
+        self.delay_bound_with(set, hp, horizon, |hp| {
+            BlockingDependencyGraph::build(set, hp)
+        })
+    }
+
+    /// [`AnalysisScratch::delay_bound`] with the blocking dependency
+    /// graph read off a prebuilt interference index (one bit probe per
+    /// edge) instead of pairwise path comparisons. Bit-identical: the
+    /// index materializes the same directly-affects relation.
+    pub fn delay_bound_indexed(
+        &mut self,
+        set: &StreamSet,
+        index: &crate::interference::InterferenceIndex,
+        hp: &HpSet,
+        horizon: u64,
+    ) -> DelayBound {
+        self.delay_bound_with(set, hp, horizon, |hp| {
+            BlockingDependencyGraph::build_indexed(index, hp)
+        })
+    }
+
+    fn delay_bound_with(
+        &mut self,
+        set: &StreamSet,
+        hp: &HpSet,
+        horizon: u64,
+        build_bdg: impl FnOnce(&HpSet) -> BlockingDependencyGraph,
+    ) -> DelayBound {
         assert!(horizon > 0, "diagram horizon must be positive");
         self.removed.clear();
         self.regenerate(set, hp, horizon);
 
         if hp.has_indirect() {
-            let bdg = BlockingDependencyGraph::build(set, hp);
+            let bdg = build_bdg(hp);
             for elem_id in bdg.indirect_processing_order(hp) {
                 let elem = hp
                     .element(elem_id)

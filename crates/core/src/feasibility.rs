@@ -3,7 +3,7 @@
 
 use crate::calu::{cal_u_with_hp, CalUAnalysis, DelayBound};
 use crate::diagram::AnalysisScratch;
-use crate::hpset::generate_hp;
+use crate::interference::InterferenceIndex;
 use crate::stream::{StreamId, StreamSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -37,6 +37,16 @@ impl FeasibilityReport {
 /// `U_i` with horizon `D_i`, and reports which streams cannot be
 /// guaranteed.
 pub fn determine_feasibility(set: &StreamSet) -> FeasibilityReport {
+    determine_feasibility_indexed(set, &InterferenceIndex::build(set))
+}
+
+/// [`determine_feasibility`] over a caller-supplied interference index
+/// (the admission controller passes its incrementally maintained one;
+/// the parallel driver builds one and shares it read-only).
+pub fn determine_feasibility_indexed(
+    set: &StreamSet,
+    index: &InterferenceIndex,
+) -> FeasibilityReport {
     let mut bounds = vec![DelayBound::Exceeded; set.len()];
     let mut infeasible = Vec::new();
     // One bound-only arena reused across the whole loop: the analysis
@@ -47,8 +57,8 @@ pub fn determine_feasibility(set: &StreamSet) -> FeasibilityReport {
     // mirrors the paper's loop and keeps reports deterministic.
     for id in set.by_decreasing_priority() {
         let stream = set.get(id);
-        let hp = generate_hp(set, id);
-        let bound = scratch.delay_bound(set, &hp, stream.deadline());
+        let hp = index.hp_set(set, id);
+        let bound = scratch.delay_bound_indexed(set, index, &hp, stream.deadline());
         bounds[id.index()] = bound;
         if !bound.meets(stream.deadline()) {
             infeasible.push(id);
@@ -76,19 +86,24 @@ pub fn determine_feasibility_parallel(set: &StreamSet, threads: usize) -> Feasib
     let mut bounds = vec![DelayBound::Exceeded; set.len()];
     let ids: Vec<StreamId> = set.ids().collect();
     let next = AtomicUsize::new(0);
+    // One index, built once and shared read-only across the workers:
+    // HP construction inside the steal loop is pure bit work.
+    let index = InterferenceIndex::build(set);
     let partials: Vec<Vec<(StreamId, DelayBound)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
                 let ids = &ids;
+                let index = &index;
                 scope.spawn(move || {
                     let mut scratch = AnalysisScratch::new();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&id) = ids.get(i) else { break };
-                        let hp = generate_hp(set, id);
-                        let bound = scratch.delay_bound(set, &hp, set.get(id).deadline());
+                        let hp = index.hp_set(set, id);
+                        let bound =
+                            scratch.delay_bound_indexed(set, index, &hp, set.get(id).deadline());
                         local.push((id, bound));
                     }
                     local
@@ -121,10 +136,11 @@ pub fn delay_bounds(
     horizon_of: impl Fn(&StreamSet, StreamId) -> u64,
 ) -> Vec<DelayBound> {
     let mut scratch = AnalysisScratch::new();
+    let index = InterferenceIndex::build(set);
     set.ids()
         .map(|id| {
-            let hp = generate_hp(set, id);
-            scratch.delay_bound(set, &hp, horizon_of(set, id))
+            let hp = index.hp_set(set, id);
+            scratch.delay_bound_indexed(set, &index, &hp, horizon_of(set, id))
         })
         .collect()
 }
@@ -132,9 +148,10 @@ pub fn delay_bounds(
 /// Full per-stream analyses (HP sets, diagrams, bounds) with horizon
 /// `D_i`, for reporting.
 pub fn analyze_all(set: &StreamSet) -> Vec<CalUAnalysis> {
+    let index = InterferenceIndex::build(set);
     set.ids()
         .map(|id| {
-            let hp = generate_hp(set, id);
+            let hp = index.hp_set(set, id);
             cal_u_with_hp(set, hp, set.get(id).deadline())
         })
         .collect()

@@ -1,6 +1,7 @@
 //! HP sets: which higher-priority streams can block a given stream,
 //! directly or through blocking chains (paper §4.1, `Generate_HP`).
 
+use crate::interference::InterferenceIndex;
 use crate::stream::{StreamId, StreamSet};
 use std::collections::VecDeque;
 
@@ -101,7 +102,29 @@ impl HpSet {
 /// blocking (priority >= and shared directed channel). `k` is `Direct`
 /// when the chain can be empty (`k -> target` itself), otherwise
 /// `Indirect` with `IN` = the set of successors `x_1` over all chains.
+///
+/// Runs off a freshly built [`InterferenceIndex`]; callers analyzing
+/// several streams of one set should build the index once and call
+/// [`InterferenceIndex::hp_set`] directly (as
+/// [`crate::feasibility::determine_feasibility`] does).
 pub fn generate_hp(set: &StreamSet, target: StreamId) -> HpSet {
+    InterferenceIndex::build(set).hp_set(set, target)
+}
+
+/// Builds HP sets for every stream, indexed by stream id — the paper's
+/// outer `Generate_HP` loop over `GList`, sharing one
+/// [`InterferenceIndex`] across all targets.
+pub fn generate_hp_sets(set: &StreamSet) -> Vec<HpSet> {
+    InterferenceIndex::build(set).hp_sets(set)
+}
+
+/// The original per-pair `Generate_HP`: an O(n² · L) scan per target
+/// that re-tests channel overlap for every stream pair. Kept as the
+/// **oracle** the indexed implementation is verified against (the
+/// randomized equivalence suite requires [`generate_hp`] to be
+/// bit-identical to this, including row order), and as the reference
+/// costing for the `bench-hpset` from-scratch column.
+pub fn generate_hp_oracle(set: &StreamSet, target: StreamId) -> HpSet {
     // Backward BFS from the target over directly-affects edges.
     let mut member = vec![false; set.len()];
     let mut queue = VecDeque::new();
@@ -153,10 +176,10 @@ pub fn generate_hp(set: &StreamSet, target: StreamId) -> HpSet {
     HpSet { target, elements }
 }
 
-/// Builds HP sets for every stream, indexed by stream id — the paper's
-/// outer `Generate_HP` loop over `GList` from high to low priority.
-pub fn generate_hp_sets(set: &StreamSet) -> Vec<HpSet> {
-    set.ids().map(|id| generate_hp(set, id)).collect()
+/// [`generate_hp_oracle`] over every stream — the from-scratch oracle
+/// for whole-set HP construction.
+pub fn generate_hp_sets_oracle(set: &StreamSet) -> Vec<HpSet> {
+    set.ids().map(|id| generate_hp_oracle(set, id)).collect()
 }
 
 #[cfg(test)]
@@ -335,5 +358,24 @@ mod tests {
         for id in set.ids() {
             assert_eq!(all[id.index()], generate_hp(&set, id));
         }
+    }
+
+    #[test]
+    fn indexed_matches_oracle_bit_for_bit() {
+        for set in [figure3(), chain_depth_two_set()] {
+            assert_eq!(generate_hp_sets(&set), generate_hp_sets_oracle(&set));
+            for id in set.ids() {
+                assert_eq!(generate_hp(&set, id), generate_hp_oracle(&set, id), "{id}");
+            }
+        }
+    }
+
+    fn chain_depth_two_set() -> StreamSet {
+        build(&[
+            ([0, 0], [2, 0], 1),
+            ([1, 0], [4, 0], 2),
+            ([3, 0], [6, 0], 3),
+            ([5, 0], [8, 0], 4),
+        ])
     }
 }

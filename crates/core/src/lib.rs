@@ -63,6 +63,7 @@ pub mod error;
 pub mod explain;
 pub mod feasibility;
 pub mod hpset;
+pub mod interference;
 pub mod latency;
 pub mod load;
 pub mod modify;
@@ -80,10 +81,14 @@ pub use diagram::{
 pub use error::AnalysisError;
 pub use explain::{explain, render_explanation, BoundExplanation, Contribution};
 pub use feasibility::{
-    analyze_all, delay_bounds, determine_feasibility, determine_feasibility_parallel,
-    FeasibilityReport,
+    analyze_all, delay_bounds, determine_feasibility, determine_feasibility_indexed,
+    determine_feasibility_parallel, FeasibilityReport,
 };
-pub use hpset::{generate_hp, generate_hp_sets, BlockingMode, HpElement, HpSet};
+pub use hpset::{
+    generate_hp, generate_hp_oracle, generate_hp_sets, generate_hp_sets_oracle, BlockingMode,
+    HpElement, HpSet,
+};
+pub use interference::InterferenceIndex;
 pub use latency::network_latency;
 pub use load::{channel_loads, hottest_channel, oversubscribed_channels};
 pub use modify::{

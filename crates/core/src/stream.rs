@@ -256,6 +256,39 @@ impl StreamSet {
         ids
     }
 
+    /// Appends a stream with the next dense id — the admission
+    /// controller's trial-admit step, which must not clone the whole
+    /// set. Validates the spec before mutating, so a failed push leaves
+    /// the set untouched. Crate-internal: the public surface keeps
+    /// stream sets immutable.
+    pub(crate) fn push(&mut self, spec: StreamSpec, path: Path) -> Result<StreamId, AnalysisError> {
+        let i = self.streams.len();
+        spec.validate(i)?;
+        let latency = network_latency(path.hops(), spec.max_length);
+        self.streams.push(MessageStream {
+            id: StreamId(i as u32),
+            spec,
+            path,
+            latency,
+        });
+        Ok(StreamId(i as u32))
+    }
+
+    /// Drops the highest-id stream — the admission controller's
+    /// rollback after a rejected trial.
+    pub(crate) fn pop(&mut self) {
+        self.streams.pop();
+    }
+
+    /// Removes stream `id`, shifting every id above it down by one to
+    /// keep ids dense (mirrored by `InterferenceIndex::remove`).
+    pub(crate) fn remove(&mut self, id: StreamId) {
+        self.streams.remove(id.index());
+        for (i, s) in self.streams.iter_mut().enumerate().skip(id.index()) {
+            s.id = StreamId(i as u32);
+        }
+    }
+
     /// Returns a copy of the set with stream `id`'s period and deadline
     /// replaced (used by the paper's "inflate `T_i` to accommodate all
     /// generated traffic" rule).

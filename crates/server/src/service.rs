@@ -8,9 +8,15 @@
 //! (`QUERY`, `SNAPSHOT`, the read half of `STATS`) take the shared
 //! lock and only ever touch *cached* bounds — they never run the
 //! analysis. Writes (`ADMIT`, `REMOVE`) take the exclusive lock for
-//! the whole operation, **including the candidate lint**, so every
+//! the whole decision, **including the candidate lint**, so every
 //! admission decision is made against exactly the set it will join.
-//! Metrics are plain atomics outside the lock.
+//! The exclusive section is kept minimal: the candidate is routed
+//! *before* the lock (routing is deterministic and set-independent),
+//! the lint borrows the controller's `(spec, path)` parts instead of
+//! cloning and re-routing the admitted set, and the journal holds
+//! `Arc<AcceptedOp>` entries so [`AdmissionService::ops`] clones
+//! pointers, not specs, under the shared lock. Metrics are plain
+//! atomics outside the lock.
 //!
 //! ## Soundness
 //!
@@ -30,8 +36,8 @@ use crate::protocol::{
 use rtwc_core::{
     determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
 };
-use rtwc_verifier::lint_candidate;
-use std::sync::RwLock;
+use rtwc_verifier::lint_candidate_routed;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
 
@@ -60,7 +66,9 @@ struct Inner {
     /// Stable ids, parallel to the controller's dense ids.
     handles: Vec<u64>,
     next_handle: u64,
-    log: Vec<AcceptedOp>,
+    /// The accepted-operation journal. Entries are `Arc`ed so snapshot
+    /// readers clone pointers, not specs.
+    log: Vec<Arc<AcceptedOp>>,
 }
 
 /// The shared admission-control service behind `rtwc serve`.
@@ -101,8 +109,10 @@ impl AdmissionService {
         self.read().ctl.len()
     }
 
-    /// The accepted-operation log, in serialization order.
-    pub fn ops(&self) -> Vec<AcceptedOp> {
+    /// The accepted-operation log, in serialization order. O(log
+    /// length) pointer clones under the shared lock — the op payloads
+    /// themselves are never copied.
+    pub fn ops(&self) -> Vec<Arc<AcceptedOp>> {
         self.read().log.clone()
     }
 
@@ -204,13 +214,19 @@ impl AdmissionService {
         let deadline = deadline.unwrap_or(period);
         let spec = StreamSpec::new(source, dest, priority, period, length, deadline);
 
+        // Route before taking the lock: the deterministic route depends
+        // only on the endpoints, never on the admitted set. A candidate
+        // the routing cannot connect is rejected by W004 below without
+        // this path ever being used.
+        let path = XyRouting.route(&self.mesh, source, dest).ok();
+
         let mut inner = self.write();
 
         // Verifier gate: W0xx rules on the candidate against the
         // admitted set, under the same exclusive lock the admission
-        // itself runs under.
-        let admitted: Vec<StreamSpec> = inner.ctl.parts().iter().map(|(s, _)| s.clone()).collect();
-        let findings = lint_candidate(&self.mesh, &XyRouting, &admitted, &spec);
+        // itself runs under. The lint borrows the controller's own
+        // `(spec, path)` parts — no cloning, no re-routing.
+        let findings = lint_candidate_routed(&self.mesh, &XyRouting, inner.ctl.parts(), &spec);
         if findings.iter().any(|d| d.is_error()) {
             let errors = findings.iter().filter(|d| d.is_error()).count();
             return Response::Rejected {
@@ -224,14 +240,11 @@ impl AdmissionService {
         }
         let warnings = findings;
 
-        let path = match XyRouting.route(&self.mesh, source, dest) {
-            Ok(p) => p,
-            Err(e) => {
-                // W004 catches this above; kept for defense in depth.
-                return Response::Error {
-                    message: format!("routing failed: {e}"),
-                };
-            }
+        let Some(path) = path else {
+            // W004 catches this above; kept for defense in depth.
+            return Response::Error {
+                message: "routing failed".to_string(),
+            };
         };
 
         let to_handles = |ids: &[StreamId], handles: &[u64]| -> Vec<u64> {
@@ -243,7 +256,7 @@ impl AdmissionService {
                 inner.next_handle += 1;
                 inner.handles.push(handle);
                 debug_assert_eq!(inner.handles.len() - 1, id.index());
-                inner.log.push(AcceptedOp::Admit { handle, spec });
+                inner.log.push(Arc::new(AcceptedOp::Admit { handle, spec }));
                 let bound = inner
                     .ctl
                     .bound(id)
@@ -298,7 +311,7 @@ impl AdmissionService {
         };
         inner.ctl.remove(StreamId(idx as u32));
         inner.handles.remove(idx);
-        inner.log.push(AcceptedOp::Remove { handle });
+        inner.log.push(Arc::new(AcceptedOp::Remove { handle }));
         Response::Removed { id: handle }
     }
 
@@ -407,11 +420,11 @@ impl AdmissionService {
 /// controller, routing with the same deterministic X-Y algorithm the
 /// service uses. Every operation in the log was accepted live, so the
 /// replay must accept it too; a divergence is a serializability bug.
-pub fn replay(mesh: &Mesh, ops: &[AcceptedOp]) -> Result<AdmissionController, String> {
+pub fn replay(mesh: &Mesh, ops: &[Arc<AcceptedOp>]) -> Result<AdmissionController, String> {
     let mut ctl = AdmissionController::new();
     let mut handles: Vec<u64> = Vec::new();
     for op in ops {
-        match op {
+        match op.as_ref() {
             AcceptedOp::Admit { handle, spec } => {
                 let path = XyRouting
                     .route(mesh, spec.source, spec.dest)

@@ -36,7 +36,7 @@ pub use registry::{rule, RuleInfo, RULES};
 pub use render::{json_escape, render_diagnostic_json, render_human, render_json};
 pub use rules::analysis::{lint_analysis, lint_diagram, lint_hp_set, DEFAULT_HORIZON_CAP};
 pub use rules::sim::lint_sim_config;
-pub use rules::spec::{lint_candidate, lint_specs};
+pub use rules::spec::{lint_candidate, lint_candidate_routed, lint_specs};
 
 use rtwc_core::{StreamSet, StreamSpec};
 use wormnet_topology::{Routing, Topology};

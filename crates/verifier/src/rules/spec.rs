@@ -229,22 +229,57 @@ where
     T: Topology,
     R: Routing<T>,
 {
+    // Self-deliveries and unroutable streams get a trivial (linkless)
+    // path, which shares no channel with anything — exactly the streams
+    // the pairwise rules must skip.
+    let routed: Vec<(StreamSpec, Path)> = admitted
+        .iter()
+        .map(|s| {
+            let p = if s.source == s.dest {
+                Path::trivial(s.source)
+            } else {
+                routing
+                    .route(topo, s.source, s.dest)
+                    .unwrap_or_else(|_| Path::trivial(s.source))
+            };
+            (s.clone(), p)
+        })
+        .collect();
+    lint_candidate_routed(topo, routing, &routed, candidate)
+}
+
+/// [`lint_candidate`] over *pre-routed* admitted streams.
+///
+/// The admission service stores every admitted stream's path alongside
+/// its spec, so re-routing the whole set per `ADMIT` (and cloning every
+/// spec to build the `&[StreamSpec]` slice) under the exclusive service
+/// lock is pure waste. This variant borrows the `(spec, path)` pairs
+/// as the admission controller already holds them. With a
+/// deterministic routing algorithm the diagnostics are identical to
+/// [`lint_candidate`]'s.
+pub fn lint_candidate_routed<T, R>(
+    topo: &T,
+    routing: &R,
+    admitted: &[(StreamSpec, Path)],
+    candidate: &StreamSpec,
+) -> Vec<Diagnostic>
+where
+    T: Topology,
+    R: Routing<T>,
+{
     let cand_id = admitted.len() as u32;
     let mut diags = Vec::new();
     let cand_path = single_stream_rules(topo, routing, candidate, cand_id, &mut diags);
 
-    if let Some(i) = admitted.iter().position(|s| s == candidate) {
+    if let Some(i) = admitted.iter().position(|(s, _)| s == candidate) {
         diags.push(duplicate_finding(cand_id, i as u32));
     }
 
     if let Some(cp) = &cand_path {
-        for (i, s) in admitted.iter().enumerate() {
+        for (i, (s, p)) in admitted.iter().enumerate() {
             if s.priority != candidate.priority || s == candidate || s.source == s.dest {
                 continue;
             }
-            let Ok(p) = routing.route(topo, s.source, s.dest) else {
-                continue;
-            };
             if let Some(&link) = p.shared_links(cp).first() {
                 diags.push(collision_finding(i as u32, cand_id, s.priority, link));
             }
@@ -377,6 +412,39 @@ mod tests {
             })
             .collect();
         assert_eq!(candidate_view, full);
+    }
+
+    #[test]
+    fn routed_candidate_lint_agrees_with_rerouting_lint() {
+        let m = mesh();
+        let admitted = [
+            StreamSpec::new(node(&m, 0, 0), node(&m, 3, 0), 2, 20, 4, 20),
+            StreamSpec::new(node(&m, 0, 1), node(&m, 3, 1), 1, 20, 4, 20),
+            // Self-delivery: skipped by the pairwise rules either way.
+            StreamSpec::new(node(&m, 2, 2), node(&m, 2, 2), 2, 20, 4, 20),
+        ];
+        let routed: Vec<(StreamSpec, Path)> = admitted
+            .iter()
+            .map(|s| {
+                let p = if s.source == s.dest {
+                    Path::trivial(s.source)
+                } else {
+                    XyRouting.route(&m, s.source, s.dest).unwrap()
+                };
+                (s.clone(), p)
+            })
+            .collect();
+        for cand in [
+            StreamSpec::new(node(&m, 1, 0), node(&m, 3, 0), 2, 40, 4, 40),
+            admitted[1].clone(),
+            StreamSpec::new(node(&m, 0, 2), node(&m, 3, 2), 3, 20, 4, 20),
+        ] {
+            assert_eq!(
+                lint_candidate(&m, &XyRouting, &admitted, &cand),
+                lint_candidate_routed(&m, &XyRouting, &routed, &cand),
+                "{cand:?}"
+            );
+        }
     }
 
     #[test]
