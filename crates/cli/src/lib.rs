@@ -28,5 +28,8 @@ pub use commands::{
     SimOptions,
 };
 pub use jobs::{parse_jobs, JobsFile};
-pub use serve::{run_bench_serve, run_client, run_serve, run_service_command, seed_service};
+pub use serve::{
+    run_bench_serve, run_chaos_command, run_client, run_serve, run_service_command, seed_service,
+    ServeOptions,
+};
 pub use spec::{parse, parse_raw, render, ParseError, RawSpecFile, SpecFile};

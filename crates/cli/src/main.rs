@@ -15,9 +15,12 @@ USAGE:
     rtwc simulate <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
-    rtwc serve    <SPEC> [--addr HOST:PORT]
-    rtwc client   <ADDR> <REQUEST...>
+    rtwc serve    <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync always|never|interval:MS]
+                         [--snapshot-every N] [--max-conns N] [--max-pending N]
+    rtwc client   <ADDR> [--timeout-ms N] [--retries N] [--req-id N] <REQUEST...>
     rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S] [--out FILE]
+                     [--wal-sweep | --wal-dir DIR --fsync P [--snapshot-every N]]
+    rtwc chaos    [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N] [--dir D]
 
 SPEC is a .streams file:
     mesh 10 10
@@ -35,9 +38,16 @@ COMMANDS:
     simulate   run the flit-level wormhole simulator and print latencies
     check      analyze + simulate, verifying max latency <= U for all streams
     deploy     allocate nodes and admit each job's streams with guarantees
-    serve      run the online admission service over TCP (stop with SHUTDOWN)
-    client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|SHUTDOWN)
+    serve      run the online admission service over TCP (stop with SHUTDOWN);
+               --wal-dir makes it crash-safe: ops are logged before the ack
+               and a restart recovers (and audits) the exact admitted set
+    client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|SHUTDOWN);
+               --req-id N makes a retried ADMIT/REMOVE idempotent
     bench-serve  closed-loop load generator; writes results/BENCH_service.json
+               (--wal-sweep adds per-fsync-policy durability costs)
+    chaos      fault-injection harness: torn/short writes, fsync errors and
+               kill-9 truncation; asserts recovery is bit-identical to a
+               serial replay of the acknowledged history
 
 analyze, simulate, and check first run the lint rules and refuse
 workloads with error-severity findings; --no-verify skips the guard.
@@ -93,7 +103,7 @@ fn run() -> Result<bool, String> {
     }
     // The service subcommands have their own argument shapes (client
     // takes an address, bench-serve takes no file at all).
-    if matches!(command, "serve" | "client" | "bench-serve") {
+    if matches!(command, "serve" | "client" | "bench-serve" | "chaos") {
         return rtwc_cli::run_service_command(command, rest);
     }
     let (path, flags) = match rest.split_first() {

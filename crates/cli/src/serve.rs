@@ -1,34 +1,70 @@
-//! The online-service subcommands: `serve`, `client`, and
-//! `bench-serve`.
+//! The online-service subcommands: `serve`, `client`, `bench-serve`,
+//! and `chaos`.
 //!
 //! `serve` turns a spec file into a long-running admission daemon: the
 //! spec's streams are seeded through the same verifier-gated admission
 //! path live requests use, then the TCP server blocks until `SHUTDOWN`.
-//! `client` is the matching one-shot request tool, and `bench-serve`
-//! runs the closed-loop load generator and writes the
-//! `results/BENCH_service.json` artifact.
+//! With `--wal-dir` the daemon is crash-safe: accepted operations are
+//! persisted before acknowledgement and a restart recovers the exact
+//! admitted set (a non-empty recovery *replaces* spec seeding, so a
+//! crashed daemon never double-admits its spec on restart). `client` is
+//! the matching one-shot request tool, `bench-serve` runs the
+//! closed-loop load generator, and `chaos` runs the fault-injection
+//! harness over every storage failure class.
 
 use crate::spec::RawSpecFile;
 use rtwc_server::{
-    render_bench_json, render_response, run_bench, AdmissionService, BenchConfig, Client, Response,
-    Server,
+    recover, render_bench_json, render_chaos_report, render_response, render_sweep_json, run_bench,
+    run_chaos, run_wal_sweep, AdmissionService, BenchConfig, ChaosConfig, Client, ClientConfig,
+    Durability, FsyncPolicy, Response, Server, ServerConfig,
 };
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 use wormnet_topology::Topology;
 
-/// Builds a service over the spec's mesh and admits every spec stream
-/// through the live admission path (verifier gate included). A spec
-/// whose streams are not jointly admissible cannot be served: the whole
-/// point of the daemon is that the admitted set is feasible at every
-/// instant.
-pub fn seed_service(raw: &RawSpecFile) -> Result<Arc<AdmissionService>, String> {
-    let service = Arc::new(AdmissionService::new(raw.mesh.clone()));
+/// How `rtwc serve` should run.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Durability directory; `None` = in-memory only.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy for the WAL.
+    pub fsync: FsyncPolicy,
+    /// Snapshot + compact after this many WAL records (0 = never).
+    pub snapshot_every: u64,
+    /// Connection cap (0 = unlimited).
+    pub max_connections: usize,
+    /// Pending-write shedding threshold (0 = never shed).
+    pub max_pending: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7077".to_string(),
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 1024,
+            max_connections: 0,
+            max_pending: 0,
+        }
+    }
+}
+
+/// Admits every spec stream through the live admission path (verifier
+/// gate included). A spec whose streams are not jointly admissible
+/// cannot be served: the whole point of the daemon is that the admitted
+/// set is feasible at every instant.
+fn seed_streams(service: &AdmissionService, raw: &RawSpecFile) -> Result<(), String> {
     for (i, spec) in raw.specs.iter().enumerate() {
         let at = |n| {
             let c = raw.mesh.coord(n);
             (c.get(0), c.get(1))
         };
         let response = service.admit(
+            0,
             at(spec.source),
             at(spec.dest),
             spec.priority,
@@ -44,36 +80,109 @@ pub fn seed_service(raw: &RawSpecFile) -> Result<Arc<AdmissionService>, String> 
             ));
         }
     }
-    Ok(service)
+    Ok(())
 }
 
-/// `rtwc serve <SPEC> [--addr HOST:PORT]` — seeds the service and
-/// blocks serving requests until a client sends `SHUTDOWN`.
-pub fn run_serve(raw: &RawSpecFile, addr: &str) -> Result<(), String> {
-    let service = seed_service(raw)?;
-    let seeded = service.admitted_count();
-    let server = Server::bind(service, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+/// Builds an in-memory service over the spec's mesh with every spec
+/// stream admitted.
+pub fn seed_service(raw: &RawSpecFile) -> Result<Arc<AdmissionService>, String> {
+    let service = AdmissionService::new(raw.mesh.clone());
+    seed_streams(&service, raw)?;
+    Ok(Arc::new(service))
+}
+
+/// Builds the service for `rtwc serve`: durable (recovering whatever
+/// the WAL directory holds) when `--wal-dir` is set, in-memory
+/// otherwise. Returns the service and a startup description line.
+fn build_service(
+    raw: &RawSpecFile,
+    opts: &ServeOptions,
+) -> Result<(AdmissionService, String), String> {
+    let Some(dir) = &opts.wal_dir else {
+        let service = AdmissionService::new(raw.mesh.clone());
+        seed_streams(&service, raw)?;
+        let line = format!("{} stream(s) seeded", service.admitted_count());
+        return Ok((service, line));
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let (state, wal, report) = recover(&raw.mesh, dir, opts.fsync)
+        .map_err(|e| format!("recovery from {} failed: {e}", dir.display()))?;
+    let recovered = !state.handles.is_empty() || state.seq > 0;
+    let service = AdmissionService::with_durability(
+        raw.mesh.clone(),
+        state,
+        Durability {
+            dir: dir.clone(),
+            wal,
+            snapshot_every: opts.snapshot_every,
+        },
+    );
+    // A non-empty recovery replaces spec seeding: the recovered state
+    // *is* the admitted set the last run acknowledged, and re-admitting
+    // the spec on top of it would double every stream.
+    let line = if recovered {
+        report.render()
+    } else {
+        seed_streams(&service, raw)?;
+        format!(
+            "{} stream(s) seeded (WAL at {}, fsync {})",
+            service.admitted_count(),
+            dir.display(),
+            opts.fsync.label()
+        )
+    };
+    Ok((service, line))
+}
+
+/// `rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync P]
+/// [--snapshot-every N] [--max-conns N] [--max-pending N]` — seeds (or
+/// recovers) the service and blocks serving requests until a client
+/// sends `SHUTDOWN`.
+pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
+    let (mut service, startup) = build_service(raw, opts)?;
+    service.set_max_pending(opts.max_pending);
+    let service = Arc::new(service);
+    let server = Server::bind_with_config(
+        Arc::clone(&service),
+        &opts.addr,
+        ServerConfig {
+            max_connections: opts.max_connections,
+        },
+    )
+    .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     let local = server
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
     // Announced on stdout (line-buffered even when piped) so scripts
     // binding port 0 can read the real address back.
-    println!("listening on {local} ({seeded} stream(s) seeded)");
-    server.run().map_err(|e| format!("server failed: {e}"))
+    println!("listening on {local} ({startup})");
+    let result = server.run().map_err(|e| format!("server failed: {e}"));
+    // Clean shutdown: push any interval/never-policy tail to disk.
+    service.flush();
+    result
 }
 
 /// `rtwc client <ADDR> <REQUEST…>` — one request, one JSON line on
 /// stdout. Returns `false` (exit code 1) when the server refused the
 /// request (`rejected` or `error`), so shell scripts can branch on it.
-pub fn run_client(addr: &str, request: &[String]) -> Result<bool, String> {
+pub fn run_client(
+    addr: &str,
+    request: &[String],
+    config: ClientConfig,
+    req_id: u64,
+) -> Result<bool, String> {
     if request.is_empty() {
         return Err("client needs a request, e.g.: rtwc client 127.0.0.1:7077 STATS".to_string());
     }
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client =
+        Client::connect_with(addr, config).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let line = request.join(" ");
-    let reply = client
-        .send(&line)
-        .map_err(|e| format!("request failed: {e}"))?;
+    let reply = if req_id != 0 {
+        client.send_idempotent(req_id, &line)
+    } else {
+        client.send_with_retry(&line)
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
     if reply.is_empty() {
         return Err("server closed the connection without responding".to_string());
     }
@@ -84,21 +193,41 @@ pub fn run_client(addr: &str, request: &[String]) -> Result<bool, String> {
 }
 
 /// `rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S]
-/// [--out FILE]` — runs the closed-loop load generator and writes the
-/// JSON artifact. Returns the human summary printed on stdout.
-pub fn run_bench_serve(cfg: &BenchConfig, out: &str) -> Result<String, String> {
-    let outcome = run_bench(cfg).map_err(|e| format!("bench failed: {e}"))?;
+/// [--wal-sweep | --wal-dir DIR --fsync P] [--out FILE]` — runs the
+/// closed-loop load generator and writes the JSON artifact. With
+/// `--wal-sweep` the baseline run is followed by one durable run per
+/// fsync policy and the artifact gains a `wal_sweep` section. Returns
+/// the human summary printed on stdout.
+pub fn run_bench_serve(cfg: &BenchConfig, sweep: bool, out: &str) -> Result<String, String> {
+    let (outcome, json, extra) = if sweep {
+        let dir = std::env::temp_dir().join(format!("rtwc-bench-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        let s = run_wal_sweep(cfg, &dir).map_err(|e| format!("bench failed: {e}"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut extra = String::new();
+        for (label, o) in &s.policies {
+            extra.push_str(&format!(
+                "  fsync {label}: {:.0} ops/s, admit p50 {}us p99 {}us\n",
+                o.throughput, o.admit.p50_us, o.admit.p99_us
+            ));
+        }
+        let json = render_sweep_json(&s);
+        (s.baseline, json, extra)
+    } else {
+        let o = run_bench(cfg).map_err(|e| format!("bench failed: {e}"))?;
+        let json = render_bench_json(&o);
+        (o, json, String::new())
+    };
     if let Some(dir) = std::path::Path::new(out).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
         }
     }
-    std::fs::write(out, render_bench_json(&outcome))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     Ok(format!(
         "{} clients x {} ops: {:.0} ops/s, latency p50 {}us p99 {}us max {}us\n\
          admitted {}, rejected {}, removed {}, errors {}; {} stream(s) audited OK\n\
-         wrote {}\n",
+         {}wrote {}\n",
         outcome.clients,
         outcome.ops_per_client,
         outcome.throughput,
@@ -110,42 +239,127 @@ pub fn run_bench_serve(cfg: &BenchConfig, out: &str) -> Result<String, String> {
         outcome.removed,
         outcome.errors,
         outcome.audited_streams,
+        extra,
         out
     ))
 }
 
-/// Dispatches the three service subcommands from the raw argument list
+/// `rtwc chaos [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N]
+/// [--dir D]` — runs every fault-injection scenario and prints the
+/// report. Returns `false` (exit code 1) when any fault class failed to
+/// recover bit-identical.
+pub fn run_chaos_command(cfg: &ChaosConfig) -> Result<bool, String> {
+    let outcome = run_chaos(cfg).map_err(|e| format!("chaos run failed: {e}"))?;
+    print!("{}", render_chaos_report(&outcome));
+    Ok(outcome.passed())
+}
+
+fn parse_mesh(v: &str) -> Result<(u32, u32), String> {
+    let (w, h) = v
+        .split_once('x')
+        .ok_or_else(|| format!("bad --mesh '{v}' (expected WxH)"))?;
+    Ok((
+        w.parse().map_err(|e| format!("bad --mesh width: {e}"))?,
+        h.parse().map_err(|e| format!("bad --mesh height: {e}"))?,
+    ))
+}
+
+/// Dispatches the service subcommands from the raw argument list
 /// (everything after the command word). Returns the process success.
 pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, String> {
     match command {
         "serve" => {
             let (path, flags) = match args.split_first() {
                 Some((p, flags)) if !p.starts_with('-') => (p, flags),
-                _ => return Err("usage: rtwc serve <SPEC> [--addr HOST:PORT]".to_string()),
+                _ => {
+                    return Err(
+                        "usage: rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] \
+                         [--fsync always|never|interval:MS] [--snapshot-every N] \
+                         [--max-conns N] [--max-pending N]"
+                            .to_string(),
+                    )
+                }
             };
-            let mut addr = "127.0.0.1:7077".to_string();
+            let mut opts = ServeOptions::default();
             let mut it = flags.iter();
             while let Some(flag) = it.next() {
+                let mut value = |what: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{what} needs a value"))
+                        .cloned()
+                };
                 match flag.as_str() {
-                    "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+                    "--addr" => opts.addr = value("--addr")?,
+                    "--wal-dir" => opts.wal_dir = Some(PathBuf::from(value("--wal-dir")?)),
+                    "--fsync" => opts.fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+                    "--snapshot-every" => {
+                        opts.snapshot_every = value("--snapshot-every")?
+                            .parse()
+                            .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                    }
+                    "--max-conns" => {
+                        opts.max_connections = value("--max-conns")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-conns: {e}"))?;
+                    }
+                    "--max-pending" => {
+                        opts.max_pending = value("--max-pending")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-pending: {e}"))?;
+                    }
                     other => return Err(format!("unknown serve flag '{other}'")),
                 }
             }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let raw = crate::parse_raw(&text).map_err(|e| format!("{path}: {e}"))?;
-            run_serve(&raw, &addr)?;
+            run_serve(&raw, &opts)?;
             Ok(true)
         }
         "client" => {
-            let (addr, request) = args
+            let (addr, rest) = args
                 .split_first()
-                .ok_or("usage: rtwc client <ADDR> <REQUEST...>")?;
-            run_client(addr, request)
+                .ok_or("usage: rtwc client <ADDR> [--timeout-ms N] [--retries N] [--req-id N] <REQUEST...>")?;
+            let mut config = ClientConfig::default();
+            let mut req_id = 0u64;
+            let mut request: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |what: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{what} needs a value"))
+                        .cloned()
+                };
+                match arg.as_str() {
+                    "--timeout-ms" if request.is_empty() => {
+                        let ms: u64 = value("--timeout-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                        config.io_timeout = Duration::from_millis(ms);
+                        config.connect_timeout = Duration::from_millis(ms);
+                    }
+                    "--retries" if request.is_empty() => {
+                        config.retries = value("--retries")?
+                            .parse()
+                            .map_err(|e| format!("bad --retries: {e}"))?;
+                    }
+                    "--req-id" if request.is_empty() => {
+                        req_id = value("--req-id")?
+                            .parse()
+                            .map_err(|e| format!("bad --req-id: {e}"))?;
+                        if req_id == 0 {
+                            return Err("--req-id must be nonzero".to_string());
+                        }
+                    }
+                    _ => request.push(arg.clone()),
+                }
+            }
+            run_client(addr, &request, config, req_id)
         }
         "bench-serve" => {
             let mut cfg = BenchConfig::default();
             let mut out = "results/BENCH_service.json".to_string();
+            let mut sweep = false;
             let mut it = args.iter();
             while let Some(flag) = it.next() {
                 let mut value = |what: &str| {
@@ -165,18 +379,23 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                             .map_err(|e| format!("bad --ops: {e}"))?;
                     }
                     "--mesh" => {
-                        let v = value("--mesh")?;
-                        let (w, h) = v
-                            .split_once('x')
-                            .ok_or_else(|| format!("bad --mesh '{v}' (expected WxH)"))?;
-                        cfg.width = w.parse().map_err(|e| format!("bad --mesh width: {e}"))?;
-                        cfg.height = h.parse().map_err(|e| format!("bad --mesh height: {e}"))?;
+                        let (w, h) = parse_mesh(&value("--mesh")?)?;
+                        cfg.width = w;
+                        cfg.height = h;
                     }
                     "--seed" => {
                         cfg.seed = value("--seed")?
                             .parse()
                             .map_err(|e| format!("bad --seed: {e}"))?;
                     }
+                    "--wal-dir" => cfg.wal_dir = Some(PathBuf::from(value("--wal-dir")?)),
+                    "--fsync" => cfg.fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+                    "--snapshot-every" => {
+                        cfg.snapshot_every = value("--snapshot-every")?
+                            .parse()
+                            .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                    }
+                    "--wal-sweep" => sweep = true,
                     "--out" => out = value("--out")?,
                     other => return Err(format!("unknown bench-serve flag '{other}'")),
                 }
@@ -184,8 +403,47 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
             if cfg.clients == 0 || cfg.ops_per_client == 0 {
                 return Err("bench-serve needs at least one client and one op".to_string());
             }
-            print!("{}", run_bench_serve(&cfg, &out)?);
+            print!("{}", run_bench_serve(&cfg, sweep, &out)?);
             Ok(true)
+        }
+        "chaos" => {
+            let mut cfg = ChaosConfig::default();
+            let mut it = args.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |what: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{what} needs a value"))
+                        .cloned()
+                };
+                match flag.as_str() {
+                    "--seed" => {
+                        cfg.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--ops" => {
+                        cfg.ops = value("--ops")?
+                            .parse()
+                            .map_err(|e| format!("bad --ops: {e}"))?;
+                    }
+                    "--mesh" => {
+                        let (w, h) = parse_mesh(&value("--mesh")?)?;
+                        cfg.width = w;
+                        cfg.height = h;
+                    }
+                    "--snapshot-every" => {
+                        cfg.snapshot_every = value("--snapshot-every")?
+                            .parse()
+                            .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                    }
+                    "--dir" => cfg.dir = Some(PathBuf::from(value("--dir")?)),
+                    other => return Err(format!("unknown chaos flag '{other}'")),
+                }
+            }
+            if cfg.ops < 4 {
+                return Err("chaos needs --ops >= 4 (the faults fire mid-history)".to_string());
+            }
+            run_chaos_command(&cfg)
         }
         other => Err(format!("unknown service command '{other}'")),
     }
@@ -221,6 +479,27 @@ mod tests {
     }
 
     #[test]
+    fn durable_build_recovers_instead_of_reseeding() {
+        let dir = std::env::temp_dir().join(format!("rtwc-serve-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = raw("mesh 10 10\nstream 7,3 7,7 5 15 4\nstream 1,1 5,4 4 10 2\n");
+        let opts = ServeOptions {
+            wal_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        // First build: empty dir, spec seeding runs and is persisted.
+        let (svc, line) = build_service(&spec, &opts).unwrap();
+        assert_eq!(svc.admitted_count(), 2);
+        assert!(line.contains("seeded"), "{line}");
+        drop(svc);
+        // Second build: recovery wins, the spec is NOT re-admitted.
+        let (svc, line) = build_service(&spec, &opts).unwrap();
+        assert_eq!(svc.admitted_count(), 2, "no double seeding");
+        assert!(line.contains("recovered"), "{line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bench_serve_writes_the_artifact() {
         let dir = std::env::temp_dir().join("rtwc-bench-serve-test");
         let out = dir.join("BENCH_service.json");
@@ -229,7 +508,7 @@ mod tests {
             ops_per_client: 15,
             ..BenchConfig::default()
         };
-        let summary = run_bench_serve(&cfg, out.to_str().unwrap()).unwrap();
+        let summary = run_bench_serve(&cfg, false, out.to_str().unwrap()).unwrap();
         assert!(summary.contains("ops/s"), "{summary}");
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"bench\": \"service\""), "{json}");
@@ -243,5 +522,16 @@ mod tests {
         assert!(run_service_command("client", &[]).is_err());
         assert!(run_service_command("bench-serve", &["--clients".into(), "0".into()]).is_err());
         assert!(run_service_command("bench-serve", &["--frob".into()]).is_err());
+        assert!(run_service_command("chaos", &["--ops".into(), "1".into()]).is_err());
+        assert!(run_service_command("chaos", &["--what".into()]).is_err());
+    }
+
+    #[test]
+    fn chaos_command_small_run_passes() {
+        let cfg = ChaosConfig {
+            ops: 8,
+            ..ChaosConfig::default()
+        };
+        assert!(run_chaos_command(&cfg).unwrap());
     }
 }

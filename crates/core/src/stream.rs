@@ -91,6 +91,48 @@ impl StreamSpec {
         }
         Ok(())
     }
+
+    /// Size of the fixed-width wire encoding, in bytes: two `u32` node
+    /// ids, the `u32` priority, and the three `u64` timing parameters,
+    /// all little-endian.
+    pub const WIRE_BYTES: usize = 4 + 4 + 4 + 8 + 8 + 8;
+
+    /// Appends the fixed-width little-endian wire encoding to `out`.
+    ///
+    /// This is the persistence format of the admission service's
+    /// write-ahead log and snapshot files, so the layout is frozen:
+    /// `source, dest, priority` as `u32`, then `period, max_length,
+    /// deadline` as `u64`, all little-endian, [`Self::WIRE_BYTES`]
+    /// total.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.source.0.to_le_bytes());
+        out.extend_from_slice(&self.dest.0.to_le_bytes());
+        out.extend_from_slice(&self.priority.to_le_bytes());
+        out.extend_from_slice(&self.period.to_le_bytes());
+        out.extend_from_slice(&self.max_length.to_le_bytes());
+        out.extend_from_slice(&self.deadline.to_le_bytes());
+    }
+
+    /// Decodes a spec from the first [`Self::WIRE_BYTES`] bytes of
+    /// `buf`, the inverse of [`Self::encode_to`]. Returns `None` when
+    /// `buf` is too short; the decoded spec is *not* validated (a
+    /// corrupted record can decode to a structurally invalid spec —
+    /// callers that persist untrusted bytes must re-validate).
+    pub fn decode(buf: &[u8]) -> Option<StreamSpec> {
+        if buf.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("8 bytes"));
+        Some(StreamSpec {
+            source: NodeId(u32_at(0)),
+            dest: NodeId(u32_at(4)),
+            priority: u32_at(8),
+            period: u64_at(12),
+            max_length: u64_at(20),
+            deadline: u64_at(28),
+        })
+    }
 }
 
 /// A fully-resolved message stream: spec + deterministic route + network
@@ -318,6 +360,30 @@ mod tests {
             c,
             t,
         )
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        let m = mesh();
+        let s = StreamSpec::new(
+            m.node_at(&[7, 3]).unwrap(),
+            m.node_at(&[7, 7]).unwrap(),
+            5,
+            0x0123_4567_89ab_cdef,
+            4,
+            u64::MAX - 1,
+        );
+        let mut buf = vec![0xAA; 3]; // encode appends after a prefix
+        s.encode_to(&mut buf);
+        assert_eq!(buf.len(), 3 + StreamSpec::WIRE_BYTES);
+        assert_eq!(StreamSpec::decode(&buf[3..]), Some(s.clone()));
+        // Trailing bytes after the fixed width are ignored.
+        buf.push(0xFF);
+        assert_eq!(StreamSpec::decode(&buf[3..]), Some(s));
+        // Short buffers decode to None, never panic.
+        for n in 0..StreamSpec::WIRE_BYTES {
+            assert_eq!(StreamSpec::decode(&buf[3..3 + n]), None, "len {n}");
+        }
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! before shutdown.
 
 use crate::client::Client;
+use crate::recovery::recover;
 use crate::server::Server;
-use crate::service::AdmissionService;
+use crate::service::{AdmissionService, Durability};
+use crate::wal::FsyncPolicy;
 use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wormnet_topology::Mesh;
 
 /// Load-generator parameters.
@@ -31,6 +34,13 @@ pub struct BenchConfig {
     pub height: u32,
     /// Deterministic workload seed.
     pub seed: u64,
+    /// Put the server behind a durable WAL in this directory
+    /// (`None` = in-memory baseline).
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy when `wal_dir` is set.
+    pub fsync: FsyncPolicy,
+    /// Snapshot cadence when `wal_dir` is set (0 = never compact).
+    pub snapshot_every: u64,
 }
 
 impl Default for BenchConfig {
@@ -41,6 +51,9 @@ impl Default for BenchConfig {
             width: 10,
             height: 10,
             seed: 0x5eed_cafe,
+            wal_dir: None,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(5)),
+            snapshot_every: 512,
         }
     }
 }
@@ -121,6 +134,7 @@ fn status_of(json: &str) -> &str {
         "rejected",
         "removed",
         "shutting-down",
+        "busy",
         "error",
         "ok",
     ] {
@@ -222,7 +236,24 @@ fn worker(addr: String, cfg: BenchConfig, client_idx: u64) -> io::Result<WorkerL
 /// Runs the closed-loop bench: server up, `clients` concurrent loops,
 /// final `STATS` + audit, shutdown.
 pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
-    let service = Arc::new(AdmissionService::new(Mesh::mesh2d(cfg.width, cfg.height)));
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let service = match &cfg.wal_dir {
+        None => AdmissionService::new(mesh),
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let (state, wal, _) = recover(&mesh, dir, cfg.fsync)?;
+            AdmissionService::with_durability(
+                mesh,
+                state,
+                Durability {
+                    dir: dir.clone(),
+                    wal,
+                    snapshot_every: cfg.snapshot_every,
+                },
+            )
+        }
+    };
+    let service = Arc::new(service);
     let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")?;
     let addr = server.local_addr()?.to_string();
     let server_thread = thread::spawn(move || server.run());
@@ -332,6 +363,70 @@ pub fn render_bench_json(o: &BenchOutcome) -> String {
     out
 }
 
+/// The baseline run plus one durable run per fsync policy.
+#[derive(Clone, Debug)]
+pub struct WalSweep {
+    /// The in-memory (no WAL) run — the reference throughput.
+    pub baseline: BenchOutcome,
+    /// `(policy label, outcome)` for each durable configuration.
+    pub policies: Vec<(String, BenchOutcome)>,
+}
+
+/// Runs the baseline bench and then the same workload against a durable
+/// service under each fsync policy, each in a fresh WAL directory under
+/// `dir`.
+pub fn run_wal_sweep(cfg: &BenchConfig, dir: &Path) -> io::Result<WalSweep> {
+    let mut base_cfg = cfg.clone();
+    base_cfg.wal_dir = None;
+    let baseline = run_bench(&base_cfg)?;
+    let mut policies = Vec::new();
+    for (label, policy) in [
+        ("never", FsyncPolicy::Never),
+        (
+            "interval_5ms",
+            FsyncPolicy::Interval(Duration::from_millis(5)),
+        ),
+        ("always", FsyncPolicy::Always),
+    ] {
+        let sub = dir.join(format!("wal-{label}"));
+        let _ = std::fs::remove_dir_all(&sub);
+        std::fs::create_dir_all(&sub)?;
+        let mut durable_cfg = cfg.clone();
+        durable_cfg.wal_dir = Some(sub.clone());
+        durable_cfg.fsync = policy;
+        let outcome = run_bench(&durable_cfg)?;
+        let _ = std::fs::remove_dir_all(&sub);
+        policies.push((label.to_string(), outcome));
+    }
+    Ok(WalSweep { baseline, policies })
+}
+
+/// Renders the sweep as the `results/BENCH_service.json` artifact: the
+/// baseline's fields stay at the top level (stable keys for CI), the
+/// per-policy durability costs land under `"wal_sweep"`.
+pub fn render_sweep_json(s: &WalSweep) -> String {
+    let base = render_bench_json(&s.baseline);
+    let mut out = base
+        .trim_end()
+        .strip_suffix('}')
+        .expect("bench json ends with a brace")
+        .trim_end()
+        .to_string();
+    out.push_str(",\n  \"wal_sweep\": {\n");
+    for (i, (label, o)) in s.policies.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{label}\": {{\"throughput_ops_per_s\": {:.1}, \"admit_p50_us\": {}, \"admit_p99_us\": {}, \"admitted\": {}}}{}\n",
+            o.throughput,
+            o.admit.p50_us,
+            o.admit.p99_us,
+            o.admitted,
+            if i + 1 < s.policies.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +461,64 @@ mod tests {
         assert_eq!(percentile_us(&ns, 99.0), 99);
         assert_eq!(percentile_us(&ns, 100.0), 100);
         assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn durable_bench_runs_and_audits() {
+        let dir = std::env::temp_dir().join(format!("rtwc-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = BenchConfig {
+            clients: 2,
+            ops_per_client: 30,
+            wal_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Never,
+            ..BenchConfig::default()
+        };
+        let o = run_bench(&cfg).unwrap();
+        assert_eq!(o.total_ops, 60);
+        assert!(o.admitted > 0, "{o:?}");
+        assert!(dir.join(crate::wal::WAL_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_json_keeps_stable_top_level_keys() {
+        let mk = |tput: f64| BenchOutcome {
+            clients: 1,
+            ops_per_client: 1,
+            total_ops: 1,
+            elapsed_s: 1.0,
+            throughput: tput,
+            admitted: 1,
+            rejected: 0,
+            removed: 0,
+            errors: 0,
+            p50_us: 1,
+            p90_us: 1,
+            p99_us: 1,
+            max_us: 1,
+            admit: KindLatency {
+                count: 1,
+                p50_us: 2,
+                p99_us: 3,
+            },
+            query: KindLatency::default(),
+            audited_streams: 1,
+            server_stats: "{\"status\":\"ok\"}".to_string(),
+        };
+        let sweep = WalSweep {
+            baseline: mk(100.0),
+            policies: vec![
+                ("never".to_string(), mk(90.0)),
+                ("always".to_string(), mk(40.0)),
+            ],
+        };
+        let json = render_sweep_json(&sweep);
+        assert!(json.contains("\"throughput_ops_per_s\": 100.0"), "{json}");
+        assert!(json.contains("\"wal_sweep\""), "{json}");
+        assert!(json.contains("\"never\""), "{json}");
+        assert!(json.contains("\"always\""), "{json}");
+        assert!(json.trim_end().ends_with('}'), "{json}");
     }
 
     #[test]

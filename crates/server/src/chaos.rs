@@ -1,0 +1,681 @@
+//! The fault-injection harness behind `rtwc chaos`.
+//!
+//! Each scenario drives a durable [`AdmissionService`] with a
+//! deterministic workload while injecting one storage fault class
+//! (torn write, lying short write, fsync failure, kill-9 truncation,
+//! garbage tail, snapshot compaction), then "restarts" by running
+//! recovery over the surviving files and checks two properties:
+//!
+//! 1. **Prefix integrity** — the recovered state is *bit-identical*
+//!    (same stable handles, same exact delay bounds) to a serial
+//!    replay of a prefix of the acknowledged operation history;
+//! 2. **No acked loss under `--fsync always`** — for the fault classes
+//!    where the sync policy promises durability, the recovered prefix
+//!    is the *whole* acknowledged history.
+//!
+//! Loss is only tolerated where the storage stack lied (`short-write`)
+//! or the policy explicitly trades durability for throughput
+//! (`never` + truncation), and even then recovery must land exactly on
+//! a prefix — never a hole, never a divergent bound.
+
+use crate::faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
+use crate::protocol::{Request, Response};
+use crate::recovery::{recover_with_file, RecoveredState};
+use crate::service::{replay, AcceptedOp, AdmissionService, Durability};
+use crate::wal::{FsyncPolicy, WAL_FILE};
+use rtwc_core::{StreamId, StreamSpec};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wormnet_topology::{Mesh, Topology};
+
+/// Chaos-run parameters.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Deterministic seed for workload and fault placement.
+    pub seed: u64,
+    /// Accepted operations to drive per scenario (faults permitting).
+    pub ops: usize,
+    /// Mesh width.
+    pub width: u32,
+    /// Mesh height.
+    pub height: u32,
+    /// Snapshot cadence for the compaction scenario.
+    pub snapshot_every: u64,
+    /// Scratch directory; a per-process temp dir when `None`.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x0c4a_05ca,
+            ops: 24,
+            width: 10,
+            height: 10,
+            snapshot_every: 8,
+            dir: None,
+        }
+    }
+}
+
+/// One scenario's verdict.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Fault class name.
+    pub name: &'static str,
+    /// Operations the live service acknowledged before the "crash".
+    pub acked: usize,
+    /// Acknowledged operations surviving recovery.
+    pub recovered: usize,
+    /// Acked ops lost (`acked - recovered`).
+    pub lost: usize,
+    /// Whether loss is permitted for this fault class + fsync policy.
+    pub loss_allowed: bool,
+    /// Recovered state equals serial replay of the surviving prefix,
+    /// bit for bit (handles and bounds).
+    pub bit_identical: bool,
+    /// Scenario-specific notes.
+    pub detail: String,
+}
+
+impl ScenarioOutcome {
+    /// Did this scenario uphold both recovery properties?
+    pub fn ok(&self) -> bool {
+        self.bit_identical && (self.lost == 0 || self.loss_allowed)
+    }
+}
+
+/// The whole chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// Every scenario, in execution order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+impl ChaosOutcome {
+    /// True when every scenario passed.
+    pub fn passed(&self) -> bool {
+        self.scenarios.iter().all(|s| s.ok())
+    }
+}
+
+/// `splitmix64` — the workspace's stock deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What driving the workload against a (possibly faulty) service left
+/// behind.
+struct Driven {
+    /// Every acknowledged state-changing op, in order.
+    acked: Vec<AcceptedOp>,
+    /// Whether the service flipped into degraded read-only mode.
+    degraded: bool,
+    /// Request id of the last acknowledged admit (for the duplicate
+    /// retry probe), if any.
+    last_admit_req: Option<(u64, u64)>, // (req_id, handle)
+}
+
+/// Drives up to `target` accepted ops: ~1 in 4 a removal of an owned
+/// stream, the rest admissions on cycling rows. Stops early when the
+/// service refuses writes (WAL error / degraded).
+fn drive(service: &AdmissionService, mesh: &Mesh, target: usize, rng: &mut u64) -> Driven {
+    let (width, height) = {
+        let d = mesh.dims();
+        (d[0], d[1])
+    };
+    let mut driven = Driven {
+        acked: Vec::new(),
+        degraded: false,
+        last_admit_req: None,
+    };
+    let mut owned: Vec<(u64, StreamSpec)> = Vec::new();
+    let mut req_id = 0u64;
+    let mut attempts = 0usize;
+    while driven.acked.len() < target && attempts < target * 8 {
+        attempts += 1;
+        req_id += 1;
+        let roll = splitmix64(rng) % 100;
+        if roll < 25 && !owned.is_empty() {
+            let victim = (splitmix64(rng) % owned.len() as u64) as usize;
+            let (handle, _) = owned[victim];
+            match service.handle(&Request::Remove { req_id, id: handle }) {
+                Response::Removed { id } => {
+                    driven.acked.push(AcceptedOp::Remove { handle: id });
+                    owned.remove(victim);
+                }
+                Response::Error { code, .. } if code == "degraded" || code == "wal" => {
+                    driven.degraded = true;
+                    break;
+                }
+                _ => {}
+            }
+        } else {
+            let sy = (splitmix64(rng) % height as u64) as u32;
+            let sx = (splitmix64(rng) % 3) as u32;
+            let dx = sx + 4 + (splitmix64(rng) % (width as u64 - 7)) as u32;
+            let priority = 1 + (splitmix64(rng) % 5) as u32;
+            let period = 120 + splitmix64(rng) % 400;
+            let length = 2 + splitmix64(rng) % 6;
+            match service.handle(&Request::Admit {
+                req_id,
+                src: (sx, sy),
+                dst: (dx, sy),
+                priority,
+                period,
+                length,
+                deadline: None,
+            }) {
+                Response::Admitted { id, .. } => {
+                    let spec = StreamSpec::new(
+                        mesh.node_at(&[sx, sy]).expect("on-mesh source"),
+                        mesh.node_at(&[dx, sy]).expect("on-mesh destination"),
+                        priority,
+                        period,
+                        length,
+                        period,
+                    );
+                    owned.push((id, spec.clone()));
+                    driven.acked.push(AcceptedOp::Admit { handle: id, spec });
+                    driven.last_admit_req = Some((req_id, id));
+                }
+                Response::Error { code, .. } if code == "degraded" || code == "wal" => {
+                    driven.degraded = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    driven
+}
+
+/// `(stable handle, exact bound)` pairs, in dense order, for a serial
+/// replay of `ops` — the ground truth a recovered state must match bit
+/// for bit.
+fn serial_state(mesh: &Mesh, ops: &[AcceptedOp]) -> Result<Vec<(u64, u64)>, String> {
+    let arcs: Vec<Arc<AcceptedOp>> = ops.iter().cloned().map(Arc::new).collect();
+    let ctl = replay(mesh, &arcs)?;
+    let mut handles: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            AcceptedOp::Admit { handle, .. } => handles.push(*handle),
+            AcceptedOp::Remove { handle } => {
+                let idx = handles
+                    .iter()
+                    .position(|h| h == handle)
+                    .ok_or_else(|| format!("serial replay: unknown handle {handle}"))?;
+                handles.remove(idx);
+            }
+        }
+    }
+    Ok(handles
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            let bound = ctl
+                .bound(StreamId(i as u32))
+                .value()
+                .expect("replayed bounds are bounded");
+            (h, bound)
+        })
+        .collect())
+}
+
+/// The recovered equivalent of [`serial_state`].
+fn recovered_state_pairs(state: &RecoveredState) -> Vec<(u64, u64)> {
+    state
+        .handles
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            let bound = state
+                .ctl
+                .bound(StreamId(i as u32))
+                .value()
+                .expect("recovered bounds are bounded");
+            (h, bound)
+        })
+        .collect()
+}
+
+fn scenario_dir(base: &Path, name: &str) -> io::Result<PathBuf> {
+    let dir = base.join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Builds a durable service over `dir`, recovering whatever the
+/// directory already holds, with the WAL behind `file`.
+fn durable_service(
+    mesh: &Mesh,
+    dir: &Path,
+    policy: FsyncPolicy,
+    snapshot_every: u64,
+    file: Box<dyn WalFile>,
+) -> io::Result<AdmissionService> {
+    let (state, wal, _) = recover_with_file(mesh, dir, policy, file)?;
+    Ok(AdmissionService::with_durability(
+        mesh.clone(),
+        state,
+        Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            snapshot_every,
+        },
+    ))
+}
+
+/// Recovery + comparison shared by every scenario: recover from `dir`,
+/// find how many acked ops survived, and check the surviving prefix is
+/// bit-identical to serial replay.
+fn recover_and_compare(
+    mesh: &Mesh,
+    dir: &Path,
+    acked: &[AcceptedOp],
+) -> io::Result<(RecoveredState, usize, bool, String)> {
+    let file = Box::new(RealFile::open(&dir.join(WAL_FILE))?);
+    let (state, _, report) = recover_with_file(mesh, dir, FsyncPolicy::Always, file)?;
+    // With no compaction the surviving op count is snapshot-covered ops
+    // plus replayed WAL records; both count from the start of history.
+    let recovered_ops = (report.snapshot_seq.unwrap_or(0) as usize)
+        .max(report.snapshot_seq.unwrap_or(0) as usize + report.wal_records);
+    let survived = recovered_ops.min(acked.len());
+    let expected = match serial_state(mesh, &acked[..survived]) {
+        Ok(e) => e,
+        Err(e) => return Ok((state, survived, false, format!("serial replay failed: {e}"))),
+    };
+    let got = recovered_state_pairs(&state);
+    let identical = expected == got;
+    let detail = if identical {
+        format!(
+            "{} stream(s), {} torn byte(s) discarded",
+            got.len(),
+            report.truncated_bytes
+        )
+    } else {
+        format!("recovered {got:?} != serial {expected:?}")
+    };
+    Ok((state, survived, identical, detail))
+}
+
+fn outcome(
+    name: &'static str,
+    acked: usize,
+    recovered: usize,
+    loss_allowed: bool,
+    bit_identical: bool,
+    detail: String,
+) -> ScenarioOutcome {
+    ScenarioOutcome {
+        name,
+        acked,
+        recovered,
+        lost: acked.saturating_sub(recovered),
+        loss_allowed,
+        bit_identical,
+        detail,
+    }
+}
+
+/// A detected torn write: the append reports an error mid-record. The
+/// op must be refused (rolled back, never acked) and every *acked* op
+/// must survive recovery.
+fn scenario_torn_write(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "torn-write")?;
+    let fault_record = (cfg.ops / 2).max(2) as u64;
+    let plan = FaultPlan {
+        // Append #1 is the WAL header; record k is append k+1.
+        torn_append: Some((fault_record + 1, 10)),
+        ..FaultPlan::default()
+    };
+    let state = Arc::new(FaultState::default());
+    let file = Box::new(FailpointFile::open(
+        &dir.join(WAL_FILE),
+        plan,
+        Arc::clone(&state),
+    )?);
+    let service = durable_service(&mesh, &dir, FsyncPolicy::Always, 0, file)?;
+    let mut rng = cfg.seed ^ 0x7031;
+    let driven = drive(&service, &mesh, cfg.ops, &mut rng);
+    drop(service);
+    let fired = state.fired();
+    let (_, survived, identical, mut detail) = recover_and_compare(&mesh, &dir, &driven.acked)?;
+    detail = format!(
+        "fault fired={fired}, degraded={}, {detail}",
+        driven.degraded
+    );
+    let mut out = outcome(
+        "torn-write",
+        driven.acked.len(),
+        survived,
+        false,
+        identical,
+        detail,
+    );
+    // The fault must actually have been exercised and refused.
+    out.bit_identical &= fired && driven.degraded;
+    Ok(out)
+}
+
+/// A lying short write: the append silently persists only a prefix of
+/// the record. The op *was* acked, so loss is expected — but recovery
+/// must land exactly on the acked prefix before the lie.
+fn scenario_short_write(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "short-write")?;
+    let fault_record = (cfg.ops / 2).max(2) as u64;
+    let plan = FaultPlan {
+        short_append: Some((fault_record + 1, 10)),
+        ..FaultPlan::default()
+    };
+    let state = Arc::new(FaultState::default());
+    let file = Box::new(FailpointFile::open(
+        &dir.join(WAL_FILE),
+        plan,
+        Arc::clone(&state),
+    )?);
+    let service = durable_service(&mesh, &dir, FsyncPolicy::Never, 0, file)?;
+    let mut rng = cfg.seed ^ 0x5407;
+    let driven = drive(&service, &mesh, cfg.ops, &mut rng);
+    drop(service); // kill -9: nothing flushed, the lie stands
+    let fired = state.fired();
+    let (_, survived, identical, mut detail) = recover_and_compare(&mesh, &dir, &driven.acked)?;
+    detail = format!("fault fired={fired}, {detail}");
+    let mut out = outcome(
+        "short-write",
+        driven.acked.len(),
+        survived,
+        true,
+        identical,
+        detail,
+    );
+    out.bit_identical &= fired;
+    Ok(out)
+}
+
+/// An fsync failure under `--fsync always`: the op must be refused
+/// before acknowledgement and the service must degrade; no acked op may
+/// be lost.
+fn scenario_fsync_error(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "fsync-error")?;
+    let fault_record = (cfg.ops / 2).max(2) as u64;
+    let plan = FaultPlan {
+        // Sync #1 is the header sync; record k's sync is #k+1.
+        fail_sync_from: Some(fault_record + 1),
+        ..FaultPlan::default()
+    };
+    let state = Arc::new(FaultState::default());
+    let file = Box::new(FailpointFile::open(
+        &dir.join(WAL_FILE),
+        plan,
+        Arc::clone(&state),
+    )?);
+    let service = durable_service(&mesh, &dir, FsyncPolicy::Always, 0, file)?;
+    let mut rng = cfg.seed ^ 0xf5ec;
+    let driven = drive(&service, &mesh, cfg.ops, &mut rng);
+    let degraded = service.is_degraded();
+    drop(service);
+    let (_, survived, identical, mut detail) = recover_and_compare(&mesh, &dir, &driven.acked)?;
+    detail = format!("degraded={degraded}, {detail}");
+    let mut out = outcome(
+        "fsync-error",
+        driven.acked.len(),
+        survived,
+        false,
+        identical,
+        detail,
+    );
+    out.bit_identical &= state.fired() && degraded;
+    Ok(out)
+}
+
+/// kill-9 with a tail truncated at an arbitrary byte offset (what a
+/// crashed page cache leaves behind under `--fsync never`): loss of a
+/// suffix is expected; the survivors must be an exact prefix.
+fn scenario_kill9_truncate(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "kill9-truncate")?;
+    let file = Box::new(RealFile::open(&dir.join(WAL_FILE))?);
+    let service = durable_service(&mesh, &dir, FsyncPolicy::Never, 0, file)?;
+    let mut rng = cfg.seed ^ 0x9111;
+    let driven = drive(&service, &mesh, cfg.ops, &mut rng);
+    drop(service);
+    // Truncate at a seeded byte offset anywhere past the header.
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = std::fs::read(&wal_path)?;
+    let header = crate::wal::WAL_HEADER_BYTES as usize;
+    let cut = header + (splitmix64(&mut rng) % (bytes.len() - header + 1) as u64) as usize;
+    std::fs::write(&wal_path, &bytes[..cut])?;
+    let (_, survived, identical, mut detail) = recover_and_compare(&mesh, &dir, &driven.acked)?;
+    detail = format!("cut {} of {} bytes, {detail}", cut, bytes.len());
+    Ok(outcome(
+        "kill9-truncate",
+        driven.acked.len(),
+        survived,
+        true,
+        identical,
+        detail,
+    ))
+}
+
+/// kill-9 under `--fsync always` with a garbage tail (a torn final
+/// write): the garbage must be discarded and **every** acked op must
+/// survive — the headline durability guarantee.
+fn scenario_kill9_fsync_always(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "kill9-fsync-always")?;
+    let file = Box::new(RealFile::open(&dir.join(WAL_FILE))?);
+    let service = durable_service(&mesh, &dir, FsyncPolicy::Always, 0, file)?;
+    let mut rng = cfg.seed ^ 0xa1fa;
+    let driven = drive(&service, &mesh, cfg.ops, &mut rng);
+    drop(service);
+    // A torn final append: garbage bytes after the last synced record.
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path)?;
+    for _ in 0..37 {
+        bytes.push((splitmix64(&mut rng) & 0xff) as u8);
+    }
+    std::fs::write(&wal_path, &bytes)?;
+    let (_, survived, identical, detail) = recover_and_compare(&mesh, &dir, &driven.acked)?;
+    Ok(outcome(
+        "kill9-fsync-always",
+        driven.acked.len(),
+        survived,
+        false,
+        identical,
+        detail,
+    ))
+}
+
+/// Snapshot + WAL compaction mid-history, then kill-9: recovery stitches
+/// snapshot and WAL tail back together with zero loss, and a duplicate
+/// request id from before the crash still replays its original outcome
+/// (no double admit).
+fn scenario_snapshot_compaction(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let dir = scenario_dir(base, "snapshot-compaction")?;
+    let file = Box::new(RealFile::open(&dir.join(WAL_FILE))?);
+    let service = durable_service(
+        &mesh,
+        &dir,
+        FsyncPolicy::Always,
+        cfg.snapshot_every.max(1),
+        file,
+    )?;
+    let mut rng = cfg.seed ^ 0x54a9;
+    let driven = drive(&service, &mesh, cfg.ops.max(12), &mut rng);
+    let streams_before = service.admitted_count();
+    drop(service);
+
+    let file = Box::new(RealFile::open(&dir.join(WAL_FILE))?);
+    let (state, wal, report) = recover_with_file(&mesh, &dir, FsyncPolicy::Always, file)?;
+    let compacted = report.snapshot_seq.is_some();
+    let expected = serial_state(&mesh, &driven.acked);
+    let got = recovered_state_pairs(&state);
+    let mut identical = expected.as_ref().ok() == Some(&got) && compacted;
+    let mut detail = format!(
+        "snapshot_seq={:?}, wal_records={}, streams={}",
+        report.snapshot_seq,
+        report.wal_records,
+        got.len()
+    );
+
+    // The crash-retry probe: resend the last acked admit's request id
+    // against the recovered service; it must replay the original
+    // handle, not create a new stream.
+    if let Some((req_id, handle)) = driven.last_admit_req {
+        let recovered_service = AdmissionService::with_durability(
+            mesh.clone(),
+            state,
+            Durability {
+                dir: dir.clone(),
+                wal,
+                snapshot_every: cfg.snapshot_every.max(1),
+            },
+        );
+        let resp = recovered_service.handle(&Request::Admit {
+            req_id,
+            src: (0, 0),
+            dst: (5, 0),
+            priority: 1,
+            period: 500,
+            length: 2,
+            deadline: None,
+        });
+        let replayed = matches!(resp, Response::Admitted { id, .. } if id == handle);
+        let unchanged = recovered_service.admitted_count() == streams_before;
+        identical &= replayed && unchanged;
+        detail.push_str(&format!(
+            ", dup-req replay={replayed}, streams unchanged={unchanged}"
+        ));
+    }
+
+    // `identical` compares the *full* acked history, so a match means
+    // every acked op survived (ops and final streams differ because
+    // removes shrink the stream set).
+    let recovered_ops = if identical { driven.acked.len() } else { 0 };
+    Ok(outcome(
+        "snapshot-compaction",
+        driven.acked.len(),
+        recovered_ops,
+        false,
+        identical,
+        detail,
+    ))
+}
+
+/// Runs every fault-class scenario with the same seed and returns the
+/// verdicts.
+pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
+    let base = match &cfg.dir {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!("rtwc-chaos-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&base)?;
+    let scenarios = vec![
+        scenario_torn_write(cfg, &base)?,
+        scenario_short_write(cfg, &base)?,
+        scenario_fsync_error(cfg, &base)?,
+        scenario_kill9_truncate(cfg, &base)?,
+        scenario_kill9_fsync_always(cfg, &base)?,
+        scenario_snapshot_compaction(cfg, &base)?,
+    ];
+    if cfg.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    Ok(ChaosOutcome { scenarios })
+}
+
+/// Renders the chaos report; CI greps for the `bit-identical` marker.
+pub fn render_chaos_report(o: &ChaosOutcome) -> String {
+    let mut out = String::new();
+    for s in &o.scenarios {
+        let verdict = if s.ok() {
+            if s.lost == 0 {
+                "bit-identical, no acked op lost"
+            } else {
+                "bit-identical prefix (loss allowed for this class)"
+            }
+        } else {
+            "FAILED"
+        };
+        out.push_str(&format!(
+            "{:<20} acked={:<3} recovered={:<3} lost={:<3} {} [{}]\n",
+            s.name, s.acked, s.recovered, s.lost, verdict, s.detail
+        ));
+    }
+    if o.passed() {
+        out.push_str(&format!(
+            "CHAOS PASS: {}/{} fault classes recovered bit-identical to serial replay\n",
+            o.scenarios.len(),
+            o.scenarios.len()
+        ));
+    } else {
+        let failed: Vec<&str> = o
+            .scenarios
+            .iter()
+            .filter(|s| !s.ok())
+            .map(|s| s.name)
+            .collect();
+        out.push_str(&format!("CHAOS FAIL: {}\n", failed.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fault_classes_recover_bit_identical() {
+        let cfg = ChaosConfig {
+            ops: 14,
+            ..ChaosConfig::default()
+        };
+        let o = run_chaos(&cfg).unwrap();
+        let report = render_chaos_report(&o);
+        assert!(o.passed(), "{report}");
+        assert_eq!(o.scenarios.len(), 6);
+        assert!(report.contains("bit-identical"), "{report}");
+        assert!(report.contains("CHAOS PASS"), "{report}");
+        // The always-fsync classes lost nothing.
+        for s in &o.scenarios {
+            if !s.loss_allowed {
+                assert_eq!(s.lost, 0, "{}: {report}", s.name);
+            }
+        }
+        // The lying-disk class actually lost something (else the fault
+        // never bit) and still recovered a clean prefix.
+        let short = o
+            .scenarios
+            .iter()
+            .find(|s| s.name == "short-write")
+            .unwrap();
+        assert!(short.lost > 0, "{report}");
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            ops: 10,
+            seed: 42,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg).unwrap();
+        let b = run_chaos(&cfg).unwrap();
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(x.acked, y.acked, "{}", x.name);
+            assert_eq!(x.recovered, y.recovered, "{}", x.name);
+            assert_eq!(x.lost, y.lost, "{}", x.name);
+        }
+    }
+}

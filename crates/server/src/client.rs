@@ -1,41 +1,318 @@
-//! A minimal synchronous client for the newline-delimited protocol:
-//! one request line out, one JSON line back.
+//! The synchronous client: one request line out, one JSON line back —
+//! now with per-request deadlines, typed errors, reconnect, bounded
+//! exponential backoff with deterministic jitter, and idempotent
+//! retries.
+//!
+//! ## Retry semantics
+//!
+//! [`Client::send`] is a single attempt under a deadline. After a
+//! [`ClientError::Timeout`] the connection is in an unknown state (the
+//! response may still arrive and desynchronize the stream), so the
+//! retrying wrappers always reconnect before trying again.
+//!
+//! [`Client::send_with_retry`] retries transport failures and `busy`
+//! shedding. For `ADMIT`/`REMOVE` a blind resend could apply the
+//! operation twice (the loss happened *after* the server acted), so
+//! state-changing requests should go through
+//! [`Client::send_idempotent`], which stamps an `@REQID` prefix the
+//! server deduplicates — a retried admit whose first acknowledgement
+//! was lost returns the original outcome instead of a second stream.
 
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Client-side robustness knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-request response deadline.
+    pub io_timeout: Duration,
+    /// Additional attempts after the first (so `retries = 4` means at
+    /// most 5 attempts).
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            jitter_seed: 0x5eed_c11e,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport-level failure (connect, write, read).
+    Io(io::Error),
+    /// No complete response arrived within
+    /// [`ClientConfig::io_timeout`].
+    Timeout,
+    /// The server closed the connection before responding.
+    Disconnected,
+    /// Every attempt failed; `last` describes the final failure.
+    Exhausted {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+/// `splitmix64` — the workspace's stock deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Extracts `retry_after_ms` from a `busy` response line.
+fn busy_retry_ms(reply: &str) -> Option<u64> {
+    if !reply.contains("\"status\":\"busy\"") {
+        return None;
+    }
+    let pat = "\"retry_after_ms\":";
+    let start = reply.find(pat)? + pat.len();
+    let rest = &reply[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// How long a read blocks before re-checking the request deadline.
+const CLIENT_READ_TICK: Duration = Duration::from_millis(50);
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// A connected client. Each [`Client::send`] is a full round trip.
 pub struct Client {
+    addr: String,
+    config: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    jitter: u64,
 }
 
 impl Client {
-    /// Connects to a running server at `addr` (`host:port`).
+    /// Connects to a running server at `addr` (`host:port`) with the
+    /// default [`ClientConfig`].
     pub fn connect(addr: &str) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit robustness knobs.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> io::Result<Client> {
+        let stream = Self::open(addr, &config)?;
         Ok(Client {
+            addr: addr.to_string(),
+            jitter: config.jitter_seed,
+            config,
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
         })
     }
 
+    fn open(addr: &str, config: &ClientConfig) -> io::Result<TcpStream> {
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "no address resolved");
+        for sockaddr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sockaddr, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(CLIENT_READ_TICK))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Drops the current connection and dials the same address again.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = Self::open(&self.addr, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
     /// Sends one request line and returns the response line (without
-    /// the trailing newline). An empty response means the server closed
-    /// the connection.
-    pub fn send(&mut self, request: &str) -> io::Result<String> {
+    /// the trailing newline). One attempt, bounded by
+    /// [`ClientConfig::io_timeout`].
+    pub fn send(&mut self, request: &str) -> Result<String, ClientError> {
         // One write per request: a separate newline write would sit in
         // Nagle's buffer waiting for the server's delayed ACK.
         let mut line = String::with_capacity(request.len() + 1);
         line.push_str(request);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
+        let deadline = Instant::now() + self.config.io_timeout;
+        let mut reply = String::new();
+        loop {
+            match self.reader.read_line(&mut reply) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(_) => break,
+                Err(e) if is_timeout(&e) => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Timeout);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
         }
-        Ok(line)
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential from
+    /// [`ClientConfig::backoff_base`], capped, plus up to 50%
+    /// deterministic jitter so synchronized clients do not stampede.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.as_millis() as u64;
+        let cap = self.config.backoff_max.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap.max(1));
+        let jitter = splitmix64(&mut self.jitter) % (exp / 2 + 1);
+        Duration::from_millis(exp + jitter)
+    }
+
+    /// Sends with retries: transport failures and timeouts reconnect
+    /// and back off; `busy` responses honor the server's
+    /// `retry_after_ms` hint. **Not** safe for `ADMIT`/`REMOVE` unless
+    /// the line carries an `@REQID` prefix — use
+    /// [`Client::send_idempotent`] for those.
+    pub fn send_with_retry(&mut self, request: &str) -> Result<String, ClientError> {
+        let mut last = String::new();
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                thread::sleep(self.backoff(attempt));
+                // The previous failure may have poisoned the stream.
+                if let Err(e) = self.reconnect() {
+                    last = format!("reconnect failed: {e}");
+                    continue;
+                }
+            }
+            match self.send(request) {
+                Ok(reply) => match busy_retry_ms(&reply) {
+                    Some(ms) => {
+                        last = format!("server busy (retry_after_ms={ms})");
+                        thread::sleep(Duration::from_millis(ms));
+                    }
+                    None => return Ok(reply),
+                },
+                Err(ClientError::Io(e)) => last = format!("i/o error: {e}"),
+                Err(ClientError::Timeout) => last = "timeout".to_string(),
+                Err(ClientError::Disconnected) => last = "disconnected".to_string(),
+                Err(e @ ClientError::Exhausted { .. }) => return Err(e),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.config.retries + 1,
+            last,
+        })
+    }
+
+    /// Sends a state-changing request with retries, stamped with the
+    /// idempotency id `req_id` (nonzero): the server replays the
+    /// original outcome for a duplicate id, so a retry after a lost
+    /// acknowledgement cannot double-admit.
+    pub fn send_idempotent(&mut self, req_id: u64, request: &str) -> Result<String, ClientError> {
+        debug_assert_ne!(req_id, 0, "0 means 'no request id' on the wire");
+        let line = format!("@{req_id} {request}");
+        self.send_with_retry(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_hint_extraction() {
+        assert_eq!(
+            busy_retry_ms("{\"status\":\"busy\",\"retry_after_ms\":25}"),
+            Some(25)
+        );
+        assert_eq!(busy_retry_ms("{\"status\":\"ok\"}"), None);
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        // No live connection needed: drive the schedule math directly.
+        let config = ClientConfig::default();
+        let base = config.backoff_base.as_millis() as u64;
+        let cap = config.backoff_max.as_millis() as u64;
+        let mut jitter = config.jitter_seed;
+        let mut prev_exp = 0;
+        for attempt in 1..=10u32 {
+            let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap);
+            let j = splitmix64(&mut jitter) % (exp / 2 + 1);
+            assert!(exp >= prev_exp, "monotone until the cap");
+            assert!(exp + j <= cap + cap / 2, "cap plus at most 50% jitter");
+            prev_exp = exp;
+        }
+    }
+
+    #[test]
+    fn connect_to_nowhere_fails_fast() {
+        // Port 1 on loopback: connection refused, well under the
+        // connect timeout.
+        let started = Instant::now();
+        assert!(Client::connect("127.0.0.1:1").is_err());
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

@@ -20,24 +20,46 @@
 //!   connection, cooperative shutdown) and the matching blocking
 //!   client;
 //! - [`bench`] — the closed-loop multi-client load generator behind
-//!   `rtwc bench-serve`.
+//!   `rtwc bench-serve`;
+//! - [`wal`] / [`snapshot`] / [`recovery`] — the durability layer:
+//!   a length-and-CRC-framed write-ahead log persisted before every
+//!   acknowledgement, atomic snapshots with WAL compaction, and a
+//!   startup recovery path that replays and then *audits* the rebuilt
+//!   state against a fresh offline analysis;
+//! - [`faultfs`] / [`chaos`] — the fault-injection harness behind
+//!   `rtwc chaos`: torn writes, lying short writes, fsync failures and
+//!   kill-9 truncation, each asserting the recovered state is
+//!   bit-identical to a serial replay of the acknowledged history.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 pub mod client;
+pub mod faultfs;
 pub mod metrics;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod service;
+pub mod snapshot;
+pub mod wal;
 
-pub use bench::{render_bench_json, run_bench, BenchConfig, BenchOutcome};
-pub use client::Client;
+pub use bench::{
+    render_bench_json, render_sweep_json, run_bench, run_wal_sweep, BenchConfig, BenchOutcome,
+    WalSweep,
+};
+pub use chaos::{render_chaos_report, run_chaos, ChaosConfig, ChaosOutcome, ScenarioOutcome};
+pub use client::{Client, ClientConfig, ClientError};
+pub use faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
 pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
 pub use protocol::{
     parse_request, render_response, RejectReason, Request, Response, SnapshotStream, StatsReport,
     MAX_LINE_BYTES,
 };
-pub use server::{Server, ShutdownHandle};
-pub use service::{replay, AcceptedOp, AdmissionService};
+pub use recovery::{recover, recover_with_file, RecoveredState, RecoveryReport};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use service::{replay, AcceptedOp, AdmissionService, Durability};
+pub use snapshot::{load_snapshot, write_snapshot, DedupEntry, SnapshotData};
+pub use wal::{crc32, FsyncPolicy, Wal, WalOpen, WalRecord};

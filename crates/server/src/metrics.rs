@@ -94,7 +94,9 @@ pub struct Metrics {
     admitted: AtomicU64,
     rejected: AtomicU64,
     removed: AtomicU64,
+    replayed: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     hist: LatencyHistogram,
 }
 
@@ -110,8 +112,13 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Successful removals.
     pub removed: u64,
+    /// Duplicate request ids answered from the idempotency window
+    /// (never counted as fresh admissions or removals).
+    pub replayed: u64,
     /// Error responses.
     pub errors: u64,
+    /// Requests shed with `busy` under overload.
+    pub shed: u64,
     /// Latency observations.
     pub latency_count: u64,
     /// Median, microseconds (bucketed: upper power-of-two edge).
@@ -151,9 +158,19 @@ impl Metrics {
         self.removed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a duplicate request id replayed from the dedup window.
+    pub fn count_replayed(&self) {
+        self.replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts an error response.
     pub fn count_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed with `busy` under overload.
+    pub fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies every counter and summarizes the histogram.
@@ -167,7 +184,9 @@ impl Metrics {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             removed: self.removed.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             latency_count: self.hist.count(),
             p50_us: self.hist.percentile_ns(50.0) / 1_000,
             p90_us: self.hist.percentile_ns(90.0) / 1_000,

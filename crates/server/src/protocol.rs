@@ -4,8 +4,8 @@
 //! ## Request grammar
 //!
 //! ```text
-//! ADMIT SX,SY DX,DY PRIORITY PERIOD LENGTH [DEADLINE]
-//! REMOVE <id>
+//! [@REQID] ADMIT SX,SY DX,DY PRIORITY PERIOD LENGTH [DEADLINE]
+//! [@REQID] REMOVE <id>
 //! QUERY <id>
 //! SNAPSHOT
 //! STATS
@@ -18,27 +18,38 @@
 //! are the stable handles the service assigned on admission — they
 //! never shift when other streams are removed.
 //!
+//! The optional `@REQID` prefix (a nonzero integer, e.g.
+//! `@17 ADMIT ...`) makes a state-changing request **idempotent**: a
+//! client that lost the response can resend the same line and receive
+//! the original outcome instead of double-admitting. The id is
+//! persisted in the WAL, so the guarantee survives a server crash.
+//!
 //! ## Responses
 //!
 //! Every response is a single line of JSON with a `status` field:
-//! `admitted`, `rejected`, `removed`, `ok`, `shutting-down`, or
-//! `error`. Rejections carry machine-readable diagnostics in the same
-//! object shape as `rtwc lint --format json` (see
+//! `admitted`, `rejected`, `removed`, `ok`, `busy`, `shutting-down`, or
+//! `error`. Errors carry a machine-readable `code` (`too_long`,
+//! `degraded`, `unknown_id`, …); `busy` carries `retry_after_ms` for
+//! client backoff. Rejections carry machine-readable diagnostics in the
+//! same object shape as `rtwc lint --format json` (see
 //! [`rtwc_verifier::render_diagnostic_json`]).
 
 use rtwc_core::DelayBound;
 use rtwc_verifier::{json_escape, render_diagnostic_json, Diagnostic};
 use std::fmt::Write as _;
 
-/// Hard cap on request-line length; longer lines are rejected and the
-/// connection dropped (the parser is fed untrusted bytes).
-pub const MAX_LINE_BYTES: usize = 64 * 1024;
+/// Hard cap on request-line length. The server answers an overlong
+/// line with `{"status":"error","code":"too_long",...}`, discards
+/// input up to the next newline, and keeps the connection.
+pub const MAX_LINE_BYTES: usize = 1024 * 1024;
 
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Admit a candidate stream (the `.streams` `stream` grammar).
     Admit {
+        /// Idempotency id from the `@REQID` prefix; 0 when absent.
+        req_id: u64,
         /// Source `x,y` on the mesh.
         src: (u32, u32),
         /// Destination `x,y` on the mesh.
@@ -53,7 +64,12 @@ pub enum Request {
         deadline: Option<u64>,
     },
     /// Revoke an admitted stream by its stable id.
-    Remove(u64),
+    Remove {
+        /// Idempotency id from the `@REQID` prefix; 0 when absent.
+        req_id: u64,
+        /// The stream's stable id.
+        id: u64,
+    },
     /// Read an admitted stream's cached bound by its stable id.
     Query(u64),
     /// Dump every admitted stream with its cached bound.
@@ -87,9 +103,20 @@ fn parse_num<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, String>
 /// malformed shape must come back as `Err`, never a panic.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut tokens = line.split_whitespace();
-    let Some(keyword) = tokens.next() else {
+    let Some(mut keyword) = tokens.next() else {
         return Err("empty request".to_string());
     };
+    let mut req_id = 0u64;
+    if let Some(id) = keyword.strip_prefix('@') {
+        req_id = id
+            .parse::<u64>()
+            .ok()
+            .filter(|&id| id != 0)
+            .ok_or_else(|| format!("bad request id '@{id}' (a nonzero integer)"))?;
+        keyword = tokens
+            .next()
+            .ok_or_else(|| "request id without a request".to_string())?;
+    }
     let rest: Vec<&str> = tokens.collect();
     let arity = |n: usize, usage: &str| -> Result<(), String> {
         if rest.len() == n {
@@ -98,7 +125,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Err(format!("usage: {usage}"))
         }
     };
-    match keyword.to_ascii_uppercase().as_str() {
+    let keyword = keyword.to_ascii_uppercase();
+    if req_id != 0 && keyword != "ADMIT" && keyword != "REMOVE" {
+        return Err("request ids apply to ADMIT/REMOVE only".to_string());
+    }
+    match keyword.as_str() {
         "ADMIT" => {
             if rest.len() < 5 || rest.len() > 6 {
                 return Err(
@@ -116,6 +147,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None
             };
             Ok(Request::Admit {
+                req_id,
                 src,
                 dst,
                 priority,
@@ -126,7 +158,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "REMOVE" => {
             arity(1, "REMOVE <id>")?;
-            Ok(Request::Remove(parse_num(rest[0], "stream id")?))
+            Ok(Request::Remove {
+                req_id,
+                id: parse_num(rest[0], "stream id")?,
+            })
         }
         "QUERY" => {
             arity(1, "QUERY <id>")?;
@@ -208,8 +243,12 @@ pub struct StatsReport {
     pub rejected: u64,
     /// Successful removals.
     pub removed: u64,
+    /// Duplicate request ids answered from the idempotency window.
+    pub replayed: u64,
     /// Error responses (unknown ids, malformed requests).
     pub errors: u64,
+    /// Requests shed with `busy` under overload.
+    pub shed: u64,
     /// Streams currently admitted.
     pub streams: u64,
     /// `Cal_U` recomputations the controller has performed.
@@ -291,11 +330,30 @@ pub enum Response {
     Stats(StatsReport),
     /// `SHUTDOWN` acknowledged; the server stops accepting.
     ShuttingDown,
+    /// The server is overloaded and shed this request before doing any
+    /// work; retry after the hinted delay.
+    Busy {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request could not be served (parse failure, unknown id).
     Error {
+        /// Machine-readable error class (`malformed`, `unknown_id`,
+        /// `too_long`, `degraded`, `wal`, …).
+        code: &'static str,
         /// What went wrong.
         message: String,
     },
+}
+
+impl Response {
+    /// Builds an error response from a code and message.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
 }
 
 fn write_ids(out: &mut String, key: &str, ids: &[u64]) {
@@ -422,8 +480,8 @@ pub fn render_response(r: &Response) -> String {
             );
             let _ = write!(
                 out,
-                ",\"admitted\":{},\"rejected\":{},\"removed\":{},\"errors\":{},\"streams\":{},\"recomputations\":{}",
-                s.admitted, s.rejected, s.removed, s.errors, s.streams, s.recomputations
+                ",\"admitted\":{},\"rejected\":{},\"removed\":{},\"replayed\":{},\"errors\":{},\"shed\":{},\"streams\":{},\"recomputations\":{}",
+                s.admitted, s.rejected, s.removed, s.replayed, s.errors, s.shed, s.streams, s.recomputations
             );
             let _ = write!(
                 out,
@@ -432,10 +490,16 @@ pub fn render_response(r: &Response) -> String {
             );
         }
         Response::ShuttingDown => out.push_str("{\"status\":\"shutting-down\"}"),
-        Response::Error { message } => {
+        Response::Busy { retry_after_ms } => {
             let _ = write!(
                 out,
-                "{{\"status\":\"error\",\"message\":\"{}\"}}",
+                "{{\"status\":\"busy\",\"retry_after_ms\":{retry_after_ms}}}"
+            );
+        }
+        Response::Error { code, message } => {
+            let _ = write!(
+                out,
+                "{{\"status\":\"error\",\"code\":\"{code}\",\"message\":\"{}\"}}",
                 json_escape(message)
             );
         }
@@ -452,6 +516,7 @@ mod tests {
         assert_eq!(
             parse_request("ADMIT 1,2 3,4 2 50 4").unwrap(),
             Request::Admit {
+                req_id: 0,
                 src: (1, 2),
                 dst: (3, 4),
                 priority: 2,
@@ -463,6 +528,7 @@ mod tests {
         assert_eq!(
             parse_request("admit 1,2 3,4 2 50 4 40").unwrap(),
             Request::Admit {
+                req_id: 0,
                 src: (1, 2),
                 dst: (3, 4),
                 priority: 2,
@@ -471,11 +537,43 @@ mod tests {
                 deadline: Some(40),
             }
         );
-        assert_eq!(parse_request("REMOVE 7").unwrap(), Request::Remove(7));
+        assert_eq!(
+            parse_request("REMOVE 7").unwrap(),
+            Request::Remove { req_id: 0, id: 7 }
+        );
         assert_eq!(parse_request("query 0").unwrap(), Request::Query(0));
         assert_eq!(parse_request("SNAPSHOT").unwrap(), Request::Snapshot);
         assert_eq!(parse_request("Stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn request_ids_parse_on_writes_only() {
+        assert_eq!(
+            parse_request("@17 ADMIT 1,2 3,4 2 50 4").unwrap(),
+            Request::Admit {
+                req_id: 17,
+                src: (1, 2),
+                dst: (3, 4),
+                priority: 2,
+                period: 50,
+                length: 4,
+                deadline: None,
+            }
+        );
+        assert_eq!(
+            parse_request("@9 remove 3").unwrap(),
+            Request::Remove { req_id: 9, id: 3 }
+        );
+        for bad in [
+            "@0 ADMIT 1,2 3,4 2 50 4",
+            "@x REMOVE 1",
+            "@5",
+            "@5 QUERY 1",
+            "@5 STATS",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]
@@ -545,9 +643,8 @@ mod tests {
             },
             Response::Stats(StatsReport::default()),
             Response::ShuttingDown,
-            Response::Error {
-                message: "unknown stream id 9".to_string(),
-            },
+            Response::Busy { retry_after_ms: 25 },
+            Response::error("unknown_id", "unknown stream id 9"),
         ];
         for r in &cases {
             let line = render_response(r);
@@ -563,5 +660,9 @@ mod tests {
         assert!(snap.contains("\"mesh\":[10,10]"), "{snap}");
         assert!(snap.contains("\"src\":[1,2]"), "{snap}");
         assert!(snap.contains("\"bound\":23"), "{snap}");
+        let busy = render_response(&cases[7]);
+        assert!(busy.contains("\"retry_after_ms\":25"), "{busy}");
+        let err = render_response(&cases[8]);
+        assert!(err.contains("\"code\":\"unknown_id\""), "{err}");
     }
 }

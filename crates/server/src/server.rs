@@ -6,12 +6,20 @@
 //! to unblock the accept loop. Workers poll the flag on a 100ms read
 //! timeout, so every connection drains within one timeout tick of the
 //! request; the accept loop then joins every worker before returning.
+//!
+//! Input is untrusted: the line reader accumulates at most
+//! [`MAX_LINE_BYTES`] per request (never an unbounded buffer), answers
+//! an overlong line with `code:"too_long"`, discards bytes up to the
+//! next newline, and **keeps the connection** — one bad request does
+//! not kill a client's session. A connection cap
+//! ([`ServerConfig::max_connections`]) sheds excess connects with a
+//! single `busy` line instead of accepting unbounded worker threads.
 
-use crate::protocol::{render_response, MAX_LINE_BYTES};
+use crate::protocol::{render_response, Response, MAX_LINE_BYTES};
 use crate::service::AdmissionService;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -20,21 +28,40 @@ use std::time::Duration;
 /// flag. Partial input read before the tick stays buffered.
 const READ_TICK: Duration = Duration::from_millis(100);
 
+/// Front-end limits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerConfig {
+    /// Maximum simultaneous connections; further connects are answered
+    /// with one `busy` line and closed (0 = unlimited).
+    pub max_connections: usize,
+}
+
 /// A running admission server bound to a socket.
 pub struct Server {
     listener: TcpListener,
     service: Arc<AdmissionService>,
     shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port). The listener
     /// is live when this returns; call [`Server::run`] to serve.
     pub fn bind(service: Arc<AdmissionService>, addr: &str) -> io::Result<Server> {
+        Self::bind_with_config(service, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit [`ServerConfig`] limits.
+    pub fn bind_with_config(
+        service: Arc<AdmissionService>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
+            config,
         })
     }
 
@@ -56,23 +83,39 @@ impl Server {
     /// stops it, then joins every worker thread.
     pub fn run(self) -> io::Result<()> {
         let addr = self.local_addr()?;
+        let active = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::new();
         for conn in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match conn {
+            let mut stream = match conn {
                 Ok(s) => s,
                 // A single failed accept (e.g. the peer vanished
                 // between SYN and accept) is not fatal to the server.
                 Err(_) => continue,
             };
+            if self.config.max_connections > 0
+                && active.load(Ordering::SeqCst) >= self.config.max_connections
+            {
+                // Shed at accept: one busy line, then close. The peer
+                // learns to back off instead of hanging in a queue.
+                let mut line = render_response(&Response::Busy {
+                    retry_after_ms: 100,
+                });
+                line.push('\n');
+                let _ = stream.write_all(line.as_bytes());
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
+            let active = Arc::clone(&active);
             workers.push(thread::spawn(move || {
                 // Worker errors are per-connection: the peer is gone,
                 // nothing to report to.
                 let _ = serve_connection(stream, &service, &shutdown, addr);
+                active.fetch_sub(1, Ordering::SeqCst);
             }));
         }
         for w in workers {
@@ -110,6 +153,11 @@ fn is_timeout(e: &io::Error) -> bool {
 }
 
 /// Serves one connection until EOF, a fatal input, or shutdown.
+///
+/// The reader accumulates at most [`MAX_LINE_BYTES`] (+1 sentinel byte
+/// to detect overflow) per request. An overlong line is answered with
+/// `code:"too_long"`, the rest of the line is discarded as it streams
+/// in, and the connection resynchronizes at the next newline.
 fn serve_connection(
     stream: TcpStream,
     service: &AdmissionService,
@@ -123,28 +171,55 @@ fn serve_connection(
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
     loop {
-        // `read_line` appends, so bytes read before a timeout tick stay
-        // in `line` and the next iteration continues the same request.
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {}
-            Err(e) if is_timeout(&e) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
+        // One fill_buf pass per iteration; partial requests stay in
+        // `line` across timeout ticks.
+        let (newline, take) = {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) if is_timeout(&e) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    continue;
                 }
-                if line.len() > MAX_LINE_BYTES {
-                    return overlong_line(&mut writer);
-                }
-                continue;
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                return Ok(()); // EOF
             }
-            Err(e) => return Err(e),
+            let newline = buf.iter().position(|&b| b == b'\n');
+            let keep = newline.unwrap_or(buf.len());
+            if !discarding {
+                let room = (MAX_LINE_BYTES + 1).saturating_sub(line.len());
+                line.extend_from_slice(&buf[..keep.min(room)]);
+            }
+            (newline.is_some(), newline.map_or(buf.len(), |p| p + 1))
+        };
+        reader.consume(take);
+        if !newline {
+            if !discarding && line.len() > MAX_LINE_BYTES {
+                // Overflow mid-line: answer now, skip to the newline.
+                too_long(&mut writer)?;
+                line.clear();
+                discarding = true;
+            }
+            continue;
+        }
+        if discarding {
+            discarding = false;
+            continue;
         }
         if line.len() > MAX_LINE_BYTES {
-            return overlong_line(&mut writer);
+            too_long(&mut writer)?;
+            line.clear();
+            continue;
         }
-        let request = line.trim();
+        let text = String::from_utf8_lossy(&line);
+        let request = text.trim();
         if !request.is_empty() {
             let (response, stop) = service.dispatch_line(request);
             let mut payload = render_response(&response);
@@ -160,13 +235,14 @@ fn serve_connection(
     }
 }
 
-/// Rejects a line that exceeds [`MAX_LINE_BYTES`] and drops the
-/// connection (the rest of the line would have to be read and thrown
-/// away to resynchronize; dropping is simpler and safer).
-fn overlong_line(writer: &mut TcpStream) -> io::Result<()> {
-    let msg = format!(
-        "{{\"status\":\"error\",\"message\":\"request line exceeds {MAX_LINE_BYTES} bytes\"}}\n"
-    );
+/// Answers an overlong request line; the caller resynchronizes at the
+/// next newline and keeps serving.
+fn too_long(writer: &mut TcpStream) -> io::Result<()> {
+    let mut msg = render_response(&Response::error(
+        "too_long",
+        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    ));
+    msg.push('\n');
     writer.write_all(msg.as_bytes())
 }
 
@@ -218,12 +294,40 @@ mod tests {
     }
 
     #[test]
-    fn overlong_line_is_rejected() {
+    fn overlong_line_is_rejected_and_the_connection_survives() {
         let (addr, handle, join) = spawn_server();
         let mut c = Client::connect(&addr.to_string()).unwrap();
         let long = format!("QUERY {}", "9".repeat(MAX_LINE_BYTES + 10));
         let reply = c.send(&long).unwrap();
-        assert!(reply.contains("exceeds"), "{reply}");
+        assert!(reply.contains("\"code\":\"too_long\""), "{reply}");
+        // The reader resynchronized at the newline: the same connection
+        // keeps serving normal requests.
+        let ok = c.send("STATS").unwrap();
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_busy() {
+        let service = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
+        let server =
+            Server::bind_with_config(service, "127.0.0.1:0", ServerConfig { max_connections: 1 })
+                .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle().unwrap();
+        let join = thread::spawn(move || server.run());
+        let mut first = Client::connect(&addr.to_string()).unwrap();
+        assert!(first.send("STATS").unwrap().contains("\"status\":\"ok\""));
+        // The slot is taken: the next connect gets one busy line.
+        let mut second = Client::connect(&addr.to_string()).unwrap();
+        let reply = second.send("STATS");
+        // The server may close before our request write lands (Err).
+        if let Ok(line) = reply {
+            assert!(line.contains("\"status\":\"busy\""), "{line}");
+        }
+        drop(first);
+        drop(second);
         handle.shutdown();
         join.join().unwrap().unwrap();
     }

@@ -28,18 +28,47 @@
 //! offline and compares bit-for-bit; the accepted-operation log
 //! ([`AdmissionService::ops`], [`replay`]) lets a test replay the
 //! exact serialized write history.
+//!
+//! ## Durability
+//!
+//! With a [`Durability`] attached (the `--wal-dir` path), every
+//! accepted operation is appended to the WAL **before** the response is
+//! built — under `--fsync always` the record is on stable storage
+//! before the client can observe the acknowledgement. A WAL write
+//! failure rolls the controller back, refuses the operation, and flips
+//! the service into **degraded read-only mode**: reads keep working,
+//! writes answer `code:"degraded"` until an operator restarts onto a
+//! healthy device. Requests carrying an `@REQID` prefix land in a
+//! bounded idempotency window (persisted in the WAL and snapshots), so
+//! a client retry of a lost acknowledgement returns the original
+//! outcome instead of double-admitting. Load shedding is a gate in
+//! front of the write lock: when more than `max_pending` writes are
+//! queued, new writes are answered `busy` without touching the lock.
 
 use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
 use crate::protocol::{
     parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
 };
+use crate::snapshot::{write_snapshot, DedupEntry, SnapshotData};
+use crate::wal::Wal;
 use rtwc_core::{
     determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
 };
 use rtwc_verifier::lint_candidate_routed;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+
+/// Most request ids remembered for idempotent replay. Oldest entries
+/// are evicted first; a client retrying within this window gets its
+/// original outcome back.
+pub const DEDUP_CAP: usize = 4096;
+
+/// The `retry_after_ms` hint attached to `busy` responses.
+const RETRY_AFTER_MS: u64 = 25;
 
 /// One accepted (state-changing) operation, in the order the service
 /// applied it. Rejected admissions and failed removals do not appear:
@@ -60,6 +89,19 @@ pub enum AcceptedOp {
     },
 }
 
+/// The durability attachment: where state persists and how eagerly it
+/// is synced. Built by the CLI from `--wal-dir`/`--fsync` after
+/// recovery has already replayed and audited the directory.
+#[derive(Debug)]
+pub struct Durability {
+    /// Directory holding `wal.log` and `snapshot.bin`.
+    pub dir: PathBuf,
+    /// The open, recovered write-ahead log.
+    pub wal: Wal,
+    /// Snapshot + compact the WAL every this many records (0 = never).
+    pub snapshot_every: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
     ctl: AdmissionController,
@@ -69,6 +111,23 @@ struct Inner {
     /// The accepted-operation journal. Entries are `Arc`ed so snapshot
     /// readers clone pointers, not specs.
     log: Vec<Arc<AcceptedOp>>,
+    /// Idempotency window: request id -> original outcome.
+    dedup: HashMap<u64, DedupEntry>,
+    /// Eviction order for `dedup` (front = oldest).
+    dedup_order: VecDeque<u64>,
+    durability: Option<Durability>,
+}
+
+impl Inner {
+    fn remember(&mut self, entry: DedupEntry) {
+        if self.dedup.len() >= DEDUP_CAP {
+            if let Some(oldest) = self.dedup_order.pop_front() {
+                self.dedup.remove(&oldest);
+            }
+        }
+        self.dedup_order.push_back(entry.req_id);
+        self.dedup.insert(entry.req_id, entry);
+    }
 }
 
 /// The shared admission-control service behind `rtwc serve`.
@@ -77,20 +136,97 @@ pub struct AdmissionService {
     mesh: Mesh,
     inner: RwLock<Inner>,
     metrics: Metrics,
+    /// Set on the first WAL device error; writes are refused from then
+    /// on (reads keep working) until an operator restarts the service.
+    degraded: AtomicBool,
+    /// Writes currently queued or holding the write lock — the
+    /// load-shedding gauge.
+    pending_writes: AtomicU64,
+    /// Shed writes beyond this many pending (0 = never shed).
+    max_pending: u64,
 }
 
 impl AdmissionService {
-    /// An empty service over `mesh`.
+    /// An empty service over `mesh`, no durability (state dies with the
+    /// process).
     pub fn new(mesh: Mesh) -> Self {
-        AdmissionService {
+        Self::build(
             mesh,
-            inner: RwLock::new(Inner {
+            Inner {
                 ctl: AdmissionController::new(),
                 handles: Vec::new(),
                 next_handle: 0,
                 log: Vec::new(),
-            }),
+                dedup: HashMap::new(),
+                dedup_order: VecDeque::new(),
+                durability: None,
+            },
+        )
+    }
+
+    /// A service resuming from recovered state, persisting into
+    /// `durability` from the first accepted operation on.
+    pub fn with_durability(
+        mesh: Mesh,
+        state: crate::recovery::RecoveredState,
+        durability: Durability,
+    ) -> Self {
+        let mut inner = Inner {
+            ctl: state.ctl,
+            handles: state.handles,
+            next_handle: state.next_handle,
+            log: state.log,
+            dedup: HashMap::new(),
+            dedup_order: VecDeque::new(),
+            durability: Some(durability),
+        };
+        for entry in state.dedup {
+            inner.remember(entry);
+        }
+        Self::build(mesh, inner)
+    }
+
+    fn build(mesh: Mesh, inner: Inner) -> Self {
+        AdmissionService {
+            mesh,
+            inner: RwLock::new(inner),
             metrics: Metrics::new(),
+            degraded: AtomicBool::new(false),
+            pending_writes: AtomicU64::new(0),
+            max_pending: 0,
+        }
+    }
+
+    /// Sets the load-shedding threshold: writes beyond `n` pending are
+    /// answered `busy` (0 disables shedding). Call before sharing the
+    /// service across threads.
+    pub fn set_max_pending(&mut self, n: u64) {
+        self.max_pending = n;
+    }
+
+    /// True once a WAL device error has flipped the service into
+    /// read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Total accepted operations in this service's history (including
+    /// those recovered from disk). Falls back to the journal length for
+    /// a non-durable service.
+    pub fn seq(&self) -> u64 {
+        let inner = self.read();
+        match &inner.durability {
+            Some(d) => d.wal.seq(),
+            None => inner.log.len() as u64,
+        }
+    }
+
+    /// Syncs the WAL regardless of policy — the clean-shutdown path for
+    /// `--fsync interval`/`never`.
+    pub fn flush(&self) {
+        let mut inner = self.write();
+        if let Some(d) = inner.durability.as_mut() {
+            let _ = d.wal.sync_now();
         }
     }
 
@@ -143,25 +279,43 @@ impl AdmissionService {
             Ok(req) => {
                 let kind = match req {
                     Request::Admit { .. } => RequestKind::Admit,
-                    Request::Remove(_) => RequestKind::Remove,
+                    Request::Remove { .. } => RequestKind::Remove,
                     Request::Query(_) => RequestKind::Query,
                     Request::Snapshot => RequestKind::Snapshot,
                     Request::Stats => RequestKind::Stats,
                     Request::Shutdown => RequestKind::Shutdown,
                 };
-                (kind, self.handle(&req))
+                let is_write = matches!(kind, RequestKind::Admit | RequestKind::Remove);
+                if is_write && self.max_pending > 0 {
+                    // Shed before touching the write lock: the gauge
+                    // counts writes queued behind it, so under overload
+                    // this path answers in O(1) while the lock drains.
+                    let pending = self.pending_writes.fetch_add(1, Ordering::SeqCst);
+                    let response = if pending >= self.max_pending {
+                        Response::Busy {
+                            retry_after_ms: RETRY_AFTER_MS,
+                        }
+                    } else {
+                        self.handle(&req)
+                    };
+                    self.pending_writes.fetch_sub(1, Ordering::SeqCst);
+                    (kind, response)
+                } else {
+                    (kind, self.handle(&req))
+                }
             }
             Err(e) => (
                 RequestKind::Malformed,
-                Response::Error {
-                    message: format!("malformed request: {e}"),
-                },
+                Response::error("malformed", format!("malformed request: {e}")),
             ),
         };
+        // Fresh admissions/removals are counted inside `admit`/`remove`
+        // at the state-change point, so a dedup replay (which returns
+        // the same response shape) never inflates the accepted-op
+        // counters.
         match &response {
-            Response::Admitted { .. } => self.metrics.count_admitted(),
             Response::Rejected { .. } => self.metrics.count_rejected(),
-            Response::Removed { .. } => self.metrics.count_removed(),
+            Response::Busy { .. } => self.metrics.count_shed(),
             Response::Error { .. } => self.metrics.count_error(),
             _ => {}
         }
@@ -175,14 +329,15 @@ impl AdmissionService {
     pub fn handle(&self, req: &Request) -> Response {
         match *req {
             Request::Admit {
+                req_id,
                 src,
                 dst,
                 priority,
                 period,
                 length,
                 deadline,
-            } => self.admit(src, dst, priority, period, length, deadline),
-            Request::Remove(id) => self.remove(id),
+            } => self.admit(req_id, src, dst, priority, period, length, deadline),
+            Request::Remove { req_id, id } => self.remove(req_id, id),
             Request::Query(id) => self.query(id),
             Request::Snapshot => self.snapshot(),
             Request::Stats => self.stats(),
@@ -192,8 +347,10 @@ impl AdmissionService {
 
     /// Admits a candidate through the verifier gate and the incremental
     /// controller. See the module docs for the locking discipline.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire arity
     pub fn admit(
         &self,
+        req_id: u64,
         src: (u32, u32),
         dst: (u32, u32),
         priority: u32,
@@ -201,15 +358,20 @@ impl AdmissionService {
         length: u64,
         deadline: Option<u64>,
     ) -> Response {
+        if self.is_degraded() {
+            return Response::error("degraded", "service is read-only after a WAL device error");
+        }
         let Some(source) = self.mesh.node_at(&[src.0, src.1]) else {
-            return Response::Error {
-                message: format!("source ({},{}) outside mesh", src.0, src.1),
-            };
+            return Response::error(
+                "bad_coordinate",
+                format!("source ({},{}) outside mesh", src.0, src.1),
+            );
         };
         let Some(dest) = self.mesh.node_at(&[dst.0, dst.1]) else {
-            return Response::Error {
-                message: format!("destination ({},{}) outside mesh", dst.0, dst.1),
-            };
+            return Response::error(
+                "bad_coordinate",
+                format!("destination ({},{}) outside mesh", dst.0, dst.1),
+            );
         };
         let deadline = deadline.unwrap_or(period);
         let spec = StreamSpec::new(source, dest, priority, period, length, deadline);
@@ -221,6 +383,17 @@ impl AdmissionService {
         let path = XyRouting.route(&self.mesh, source, dest).ok();
 
         let mut inner = self.write();
+
+        // Idempotent replay: a retried request id returns the original
+        // outcome without touching any state.
+        if req_id != 0 {
+            if let Some(entry) = inner.dedup.get(&req_id) {
+                if entry.admit {
+                    self.metrics.count_replayed();
+                }
+                return Self::replay_dedup(entry, true);
+            }
+        }
 
         // Verifier gate: W0xx rules on the candidate against the
         // admitted set, under the same exclusive lock the admission
@@ -242,9 +415,7 @@ impl AdmissionService {
 
         let Some(path) = path else {
             // W004 catches this above; kept for defense in depth.
-            return Response::Error {
-                message: "routing failed".to_string(),
-            };
+            return Response::error("routing", "routing failed");
         };
 
         let to_handles = |ids: &[StreamId], handles: &[u64]| -> Vec<u64> {
@@ -253,15 +424,35 @@ impl AdmissionService {
         match inner.ctl.admit(spec.clone(), path) {
             Ok(id) => {
                 let handle = inner.next_handle;
+                let op = AcceptedOp::Admit { handle, spec };
+                // Persist before acknowledging: if the WAL refuses the
+                // record the decision is rolled back and the client is
+                // told "not admitted" — an acked op can never be one
+                // the log does not hold.
+                if let Some(e) = self.persist(&mut inner, req_id, &op) {
+                    inner.ctl.remove(id);
+                    return e;
+                }
                 inner.next_handle += 1;
                 inner.handles.push(handle);
                 debug_assert_eq!(inner.handles.len() - 1, id.index());
-                inner.log.push(Arc::new(AcceptedOp::Admit { handle, spec }));
+                inner.log.push(Arc::new(op));
                 let bound = inner
                     .ctl
                     .bound(id)
                     .value()
                     .expect("admitted bound is bounded");
+                if req_id != 0 {
+                    inner.remember(DedupEntry {
+                        req_id,
+                        admit: true,
+                        handle,
+                        bound,
+                        deadline,
+                    });
+                }
+                self.maybe_snapshot(&mut inner);
+                self.metrics.count_admitted();
                 Response::Admitted {
                     id: handle,
                     bound,
@@ -302,25 +493,129 @@ impl AdmissionService {
         }
     }
 
-    fn remove(&self, handle: u64) -> Response {
+    fn remove(&self, req_id: u64, handle: u64) -> Response {
+        if self.is_degraded() {
+            return Response::error("degraded", "service is read-only after a WAL device error");
+        }
         let mut inner = self.write();
+        if req_id != 0 {
+            if let Some(entry) = inner.dedup.get(&req_id) {
+                if !entry.admit {
+                    self.metrics.count_replayed();
+                }
+                return Self::replay_dedup(entry, false);
+            }
+        }
         let Some(idx) = inner.handles.iter().position(|&h| h == handle) else {
-            return Response::Error {
-                message: format!("unknown stream id {handle}"),
-            };
+            return Response::error("unknown_id", format!("unknown stream id {handle}"));
         };
+        let op = AcceptedOp::Remove { handle };
+        // Persist-before-ack, as in `admit` — but here nothing has been
+        // applied yet, so a WAL failure leaves the state untouched.
+        if let Some(e) = self.persist(&mut inner, req_id, &op) {
+            return e;
+        }
         inner.ctl.remove(StreamId(idx as u32));
         inner.handles.remove(idx);
-        inner.log.push(Arc::new(AcceptedOp::Remove { handle }));
+        inner.log.push(Arc::new(op));
+        if req_id != 0 {
+            inner.remember(DedupEntry {
+                req_id,
+                admit: false,
+                handle,
+                bound: 0,
+                deadline: 0,
+            });
+        }
+        self.maybe_snapshot(&mut inner);
+        self.metrics.count_removed();
         Response::Removed { id: handle }
+    }
+
+    /// Appends `op` to the WAL, if one is attached. `Some(response)` is
+    /// the refusal to send instead of an acknowledgement; the first
+    /// device error also flips the service into degraded mode.
+    fn persist(&self, inner: &mut Inner, req_id: u64, op: &AcceptedOp) -> Option<Response> {
+        let d = inner.durability.as_mut()?;
+        match d.wal.append(req_id, op) {
+            Ok(()) => None,
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Some(Response::error(
+                    "wal",
+                    format!("not applied: WAL write failed ({e}); service is now read-only"),
+                ))
+            }
+        }
+    }
+
+    /// Rebuilds the original response for a replayed request id.
+    /// `want_admit` is the kind of the *retried* request; reusing an id
+    /// across kinds is a client bug and reported as such.
+    fn replay_dedup(entry: &DedupEntry, want_admit: bool) -> Response {
+        if entry.admit != want_admit {
+            return Response::error(
+                "req_id_reuse",
+                format!(
+                    "request id {} was used for a different operation",
+                    entry.req_id
+                ),
+            );
+        }
+        if entry.admit {
+            Response::Admitted {
+                id: entry.handle,
+                bound: entry.bound,
+                deadline: entry.deadline,
+                slack: entry.deadline - entry.bound,
+                warnings: Vec::new(),
+            }
+        } else {
+            Response::Removed { id: entry.handle }
+        }
+    }
+
+    /// Writes a snapshot and compacts the WAL once it has grown past
+    /// the configured record count. Failures are deliberately
+    /// non-fatal: the WAL still holds every record, so recovery loses
+    /// nothing — compaction is just deferred to the next trigger.
+    fn maybe_snapshot(&self, inner: &mut Inner) {
+        let due = match inner.durability.as_ref() {
+            Some(d) => d.snapshot_every > 0 && d.wal.records() >= d.snapshot_every,
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let streams: Vec<(u64, StreamSpec)> = inner
+            .handles
+            .iter()
+            .zip(inner.ctl.parts())
+            .map(|(&h, (spec, _))| (h, spec.clone()))
+            .collect();
+        let dedup: Vec<DedupEntry> = inner
+            .dedup_order
+            .iter()
+            .filter_map(|id| inner.dedup.get(id).copied())
+            .collect();
+        let d = inner.durability.as_mut().expect("durability checked above");
+        let data = SnapshotData {
+            seq: d.wal.seq(),
+            next_handle: inner.next_handle,
+            streams,
+            dedup,
+        };
+        if write_snapshot(&d.dir, &data).is_ok() {
+            // A failed reset leaves WAL records the snapshot already
+            // covers; recovery skips them by sequence number.
+            let _ = d.wal.reset(data.seq);
+        }
     }
 
     fn query(&self, handle: u64) -> Response {
         let inner = self.read();
         let Some(idx) = inner.handles.iter().position(|&h| h == handle) else {
-            return Response::Error {
-                message: format!("unknown stream id {handle}"),
-            };
+            return Response::error("unknown_id", format!("unknown stream id {handle}"));
         };
         let (spec, _) = &inner.ctl.parts()[idx];
         let bound = inner
@@ -379,7 +674,9 @@ impl AdmissionService {
             admitted: m.admitted,
             rejected: m.rejected,
             removed: m.removed,
+            replayed: m.replayed,
             errors: m.errors,
+            shed: m.shed,
             streams: streams as u64,
             recomputations,
             latency_count: m.latency_count,

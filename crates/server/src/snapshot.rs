@@ -1,0 +1,265 @@
+//! Periodic state snapshots: the admitted set, the handle table, and
+//! the idempotency (dedup) window, written atomically so the WAL can be
+//! compacted.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic: "RTWCSNP1" (8 bytes)
+//! body:
+//!   seq: u64 LE            accepted ops captured by this snapshot
+//!   next_handle: u64 LE
+//!   count: u32 LE          admitted streams, in dense (admission) order
+//!   count x (handle: u64 LE, StreamSpec wire bytes)
+//!   dedup_count: u32 LE
+//!   dedup_count x (req_id: u64, admit: u8, handle: u64, bound: u64, deadline: u64)
+//! crc32(body): u32 LE
+//! ```
+//!
+//! ## Atomicity
+//!
+//! The snapshot is written to `snapshot.tmp`, synced, renamed over
+//! `snapshot.bin`, and the directory is synced — a crash at any point
+//! leaves either the old snapshot or the new one, never a torn mix.
+//! Recovery deletes a stray `snapshot.tmp` and validates the CRC; a
+//! corrupt `snapshot.bin` is an error (state would be silently lost),
+//! never silently ignored.
+
+use crate::wal::crc32;
+use rtwc_core::StreamSpec;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// File-name of the current snapshot inside a `--wal-dir`.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Scratch name the snapshot is staged under before the atomic rename.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+const MAGIC: &[u8; 8] = b"RTWCSNP1";
+
+/// One persisted idempotency-window entry: the outcome a duplicate
+/// request id must be answered with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DedupEntry {
+    /// The client's request id.
+    pub req_id: u64,
+    /// True for an admit outcome, false for a remove.
+    pub admit: bool,
+    /// The stable handle the original request was answered with.
+    pub handle: u64,
+    /// The bound reported by the original admit (0 for removes).
+    pub bound: u64,
+    /// The deadline reported by the original admit (0 for removes).
+    pub deadline: u64,
+}
+
+/// Everything a snapshot captures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Accepted operations captured (the WAL restarts here).
+    pub seq: u64,
+    /// Next stable handle to assign.
+    pub next_handle: u64,
+    /// Admitted streams with their handles, in dense order.
+    pub streams: Vec<(u64, StreamSpec)>,
+    /// The idempotency window, oldest first.
+    pub dedup: Vec<DedupEntry>,
+}
+
+fn encode(data: &SnapshotData) -> Vec<u8> {
+    let mut body = Vec::with_capacity(
+        24 + data.streams.len() * (8 + StreamSpec::WIRE_BYTES) + data.dedup.len() * 33,
+    );
+    body.extend_from_slice(&data.seq.to_le_bytes());
+    body.extend_from_slice(&data.next_handle.to_le_bytes());
+    body.extend_from_slice(&(data.streams.len() as u32).to_le_bytes());
+    for (handle, spec) in &data.streams {
+        body.extend_from_slice(&handle.to_le_bytes());
+        spec.encode_to(&mut body);
+    }
+    body.extend_from_slice(&(data.dedup.len() as u32).to_le_bytes());
+    for e in &data.dedup {
+        body.extend_from_slice(&e.req_id.to_le_bytes());
+        body.push(e.admit as u8);
+        body.extend_from_slice(&e.handle.to_le_bytes());
+        body.extend_from_slice(&e.bound.to_le_bytes());
+        body.extend_from_slice(&e.deadline.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(MAGIC);
+    let crc = crc32(&body);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot {what}"))
+}
+
+fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return Err(corrupt("has a bad magic or is too short"));
+    }
+    let body = &bytes[8..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(corrupt("fails its CRC"));
+    }
+    let mut at = 0usize;
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        let s = body
+            .get(at..at + n)
+            .ok_or_else(|| corrupt("is truncated"))?;
+        at += n;
+        Ok(s)
+    };
+    let seq = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let next_handle = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+    let mut streams = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let handle = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let spec = StreamSpec::decode(take(StreamSpec::WIRE_BYTES)?)
+            .ok_or_else(|| corrupt("holds an undecodable stream spec"))?;
+        streams.push((handle, spec));
+    }
+    let dedup_count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+    let mut dedup = Vec::with_capacity(dedup_count.min(1 << 20) as usize);
+    for _ in 0..dedup_count {
+        let req_id = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let admit = take(1)?[0] != 0;
+        let handle = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let bound = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let deadline = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        dedup.push(DedupEntry {
+            req_id,
+            admit,
+            handle,
+            bound,
+            deadline,
+        });
+    }
+    if at != body.len() {
+        return Err(corrupt("has trailing bytes"));
+    }
+    Ok(SnapshotData {
+        seq,
+        next_handle,
+        streams,
+        dedup,
+    })
+}
+
+/// Writes `data` atomically into `dir` (tmp + fsync + rename + dir
+/// fsync).
+pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> io::Result<()> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let dst = dir.join(SNAPSHOT_FILE);
+    let bytes = encode(data);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    // Persist the rename itself; without this a crash can lose the
+    // directory entry even though the data blocks are on disk.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads the snapshot from `dir`, if one exists. A stray staging file
+/// from a crashed snapshot write is removed. `Ok(None)` means "no
+/// snapshot"; a present-but-corrupt snapshot is an error.
+pub fn load_snapshot(dir: &Path) -> io::Result<Option<SnapshotData>> {
+    let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
+    let path = dir.join(SNAPSHOT_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    decode(&bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet_topology::NodeId;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtwc-snap-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            seq: 17,
+            next_handle: 9,
+            streams: vec![
+                (3, StreamSpec::new(NodeId(0), NodeId(5), 2, 50, 4, 50)),
+                (8, StreamSpec::new(NodeId(12), NodeId(17), 1, 60, 6, 55)),
+            ],
+            dedup: vec![
+                DedupEntry {
+                    req_id: 0xdead_beef,
+                    admit: true,
+                    handle: 3,
+                    bound: 23,
+                    deadline: 50,
+                },
+                DedupEntry {
+                    req_id: 7,
+                    admit: false,
+                    handle: 1,
+                    bound: 0,
+                    deadline: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmpdir("roundtrip");
+        assert_eq!(load_snapshot(&dir).unwrap(), None);
+        let data = sample();
+        write_snapshot(&dir, &data).unwrap();
+        assert_eq!(load_snapshot(&dir).unwrap(), Some(data));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stray_staging_file_is_cleaned_up() {
+        let dir = tmpdir("stray");
+        write_snapshot(&dir, &sample()).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_TMP), b"half-written garbage").unwrap();
+        assert!(load_snapshot(&dir).unwrap().is_some());
+        assert!(!dir.join(SNAPSHOT_TMP).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_ignored() {
+        let dir = tmpdir("corrupt");
+        write_snapshot(&dir, &sample()).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&dir).is_err());
+        // Truncation too.
+        write_snapshot(&dir, &sample()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_snapshot(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -119,6 +119,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the scratch-arena and full-diagram bound computations disagree",
     },
     RuleInfo {
+        code: "A107",
+        name: "recovery-divergence",
+        severity: Severity::Error,
+        summary: "a recovered cached bound diverges from a fresh offline analysis",
+    },
+    RuleInfo {
+        code: "A108",
+        name: "recovered-deadline-violation",
+        severity: Severity::Error,
+        summary: "a recovered stream's cached bound misses its deadline (or is unbounded)",
+    },
+    RuleInfo {
         code: "S200",
         name: "vc-undersupply",
         severity: Severity::Error,

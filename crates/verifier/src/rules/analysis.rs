@@ -10,8 +10,8 @@
 
 use crate::diag::{Diagnostic, Span};
 use rtwc_core::{
-    cal_u_with_hp, generate_hp, AnalysisScratch, BlockingDependencyGraph, HpSet, RemovedInstances,
-    StreamId, StreamSet, TimingDiagram,
+    cal_u_with_hp, determine_feasibility, generate_hp, AnalysisScratch, BlockingDependencyGraph,
+    DelayBound, HpSet, RemovedInstances, StreamId, StreamSet, TimingDiagram,
 };
 
 /// Default cap on the per-stream diagram horizon used by the `A1xx`
@@ -217,6 +217,59 @@ pub fn lint_diagram(set: &StreamSet, hp: &HpSet, horizon_cap: u64) -> Vec<Diagno
     diags
 }
 
+/// `A107`/`A108`: audits a crash-recovered admission state against a
+/// fresh offline analysis.
+///
+/// `cached` are the delay bounds the recovered controller serves, in
+/// dense id order. The rule recomputes every bound with
+/// `determine_feasibility` over the same set and flags any divergence
+/// (`A107`) — a recovered state that does not reproduce the offline
+/// analysis bit for bit must not accept traffic, because every
+/// guarantee it would issue is built on unverifiable cached state. It
+/// also re-checks the admission invariant itself (`A108`): every
+/// recovered bound must be bounded and within its stream's deadline.
+pub fn lint_recovered(set: &StreamSet, cached: &[DelayBound]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if cached.len() != set.len() {
+        diags.push(Diagnostic::new(
+            "A107",
+            Span::Workload,
+            format!(
+                "recovered state has {} cached bound(s) for {} stream(s)",
+                cached.len(),
+                set.len()
+            ),
+        ));
+        return diags;
+    }
+    let fresh = determine_feasibility(set);
+    for id in set.ids() {
+        let got = cached[id.index()];
+        let want = fresh.bound(id);
+        if got != want {
+            diags.push(Diagnostic::new(
+                "A107",
+                Span::Stream(id.0),
+                format!(
+                    "recovered cached bound for {id} is {got}, fresh offline analysis says {want}"
+                ),
+            ));
+        }
+        let deadline = set.get(id).deadline();
+        match got.value() {
+            Some(u) if u <= deadline => {}
+            _ => diags.push(Diagnostic::new(
+                "A108",
+                Span::Stream(id.0),
+                format!(
+                    "recovered {id} serves bound {got} against deadline {deadline}: the admitted set is no longer feasible"
+                ),
+            )),
+        }
+    }
+    diags
+}
+
 /// Compares two diagrams row by row: instance lists exactly, cells on a
 /// sampled grid (up to 64 samples per row).
 fn kernel_divergence(
@@ -337,6 +390,31 @@ mod tests {
     fn canonical_artifacts_are_clean() {
         let set = paper_set();
         assert_eq!(lint_analysis(&set, DEFAULT_HORIZON_CAP), Vec::new());
+    }
+
+    #[test]
+    fn recovery_audit_accepts_fresh_bounds_and_flags_tampering() {
+        let set = paper_set();
+        let fresh = determine_feasibility(&set);
+        let cached: Vec<DelayBound> = set.ids().map(|id| fresh.bound(id)).collect();
+        assert_eq!(lint_recovered(&set, &cached), Vec::new());
+
+        // A divergent cached bound is an A107 error; one past its
+        // deadline is additionally an A108.
+        let mut tampered = cached.clone();
+        tampered[2] = DelayBound::Bounded(tampered[2].value().unwrap() + 1);
+        let diags = lint_recovered(&set, &tampered);
+        assert!(diags.iter().any(|d| d.code == "A107"), "{diags:?}");
+
+        let mut broken = cached.clone();
+        broken[1] = DelayBound::Exceeded;
+        let diags = lint_recovered(&set, &broken);
+        assert!(diags.iter().any(|d| d.code == "A108"), "{diags:?}");
+        assert!(diags.iter().all(|d| d.is_error()), "{diags:?}");
+
+        // A length mismatch is flagged without panicking.
+        let diags = lint_recovered(&set, &cached[..3]);
+        assert!(diags.iter().any(|d| d.code == "A107"), "{diags:?}");
     }
 
     #[test]

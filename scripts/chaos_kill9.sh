@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# kill-9 restart-recover check for the durable admission service.
+#
+# Admits streams over TCP with `--fsync always` (idempotent request
+# ids included), SIGKILLs the daemon mid-flight, restarts it over the
+# same WAL directory, and requires:
+#   1. the restart log to announce a recovery (not a fresh seed);
+#   2. every pre-crash QUERY answer to be byte-identical after restart;
+#   3. a retried pre-crash ADMIT request id to replay its original
+#      outcome instead of double-admitting.
+# Prints the "bit-identical" marker CI greps for on success.
+set -euo pipefail
+
+RTWC=${RTWC:-target/debug/rtwc}
+SPEC=${SPEC:-crates/cli/tests/fixtures/clean.streams}
+DIR=$(mktemp -d)
+SERVER=""
+cleanup() {
+  [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_server() {
+  local log=$1
+  "$RTWC" serve "$SPEC" --addr 127.0.0.1:0 \
+    --wal-dir "$DIR/wal" --fsync always > "$log" &
+  SERVER=$!
+  for _ in $(seq 100); do
+    grep -q "listening on" "$log" && break
+    sleep 0.1
+  done
+  ADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$log")
+  test -n "$ADDR"
+}
+
+start_server "$DIR/serve1.log"
+
+# Two admits with idempotency ids, plus an immediate duplicate: the
+# retry must return the original acknowledgement byte for byte.
+"$RTWC" client "$ADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/admit1.json"
+"$RTWC" client "$ADDR" --req-id 102 ADMIT 0,2 6,2 3 60 4 > "$DIR/admit2.json"
+"$RTWC" client "$ADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/retry-live.json"
+cmp "$DIR/admit1.json" "$DIR/retry-live.json"
+
+# Record every admitted stream's served answer (5 seeded + 2 admitted).
+for h in 0 1 2 3 4 5 6; do
+  "$RTWC" client "$ADDR" QUERY "$h" >> "$DIR/pre-crash.json"
+done
+
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+
+start_server "$DIR/serve2.log"
+grep -q "recovered" "$DIR/serve2.log" || {
+  echo "restart did not recover (re-seeded instead?)" >&2
+  cat "$DIR/serve2.log" >&2
+  exit 1
+}
+
+for h in 0 1 2 3 4 5 6; do
+  "$RTWC" client "$ADDR" QUERY "$h" >> "$DIR/post-crash.json"
+done
+cmp "$DIR/pre-crash.json" "$DIR/post-crash.json"
+
+# The dedup window survived the crash: the same request id still
+# replays the original outcome on the recovered service.
+"$RTWC" client "$ADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/retry-recovered.json"
+cmp "$DIR/admit1.json" "$DIR/retry-recovered.json"
+
+"$RTWC" client "$ADDR" SHUTDOWN > /dev/null
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+
+echo "kill-9 recovery bit-identical: 7 stream(s) answered identically across SIGKILL restart"
