@@ -16,7 +16,7 @@ use crate::spec::RawSpecFile;
 use rtwc_server::{
     recover, render_bench_json, render_chaos_report, render_response, render_sweep_json, run_bench,
     run_chaos, run_wal_sweep, AdmissionService, BenchConfig, ChaosConfig, Client, ClientConfig,
-    Durability, FsyncPolicy, Response, Server, ServerConfig,
+    Durability, FsyncPolicy, GroupWal, Response, Server, ServerConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -38,6 +38,10 @@ pub struct ServeOptions {
     pub max_connections: usize,
     /// Pending-write shedding threshold (0 = never shed).
     pub max_pending: u64,
+    /// Worker threads executing admission work off the reactor
+    /// (0 = one per core, capped at 8). With more than one worker the
+    /// optimistic disjoint-neighborhood admission path is enabled.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -49,6 +53,7 @@ impl Default for ServeOptions {
             snapshot_every: 1024,
             max_connections: 0,
             max_pending: 0,
+            workers: 0,
         }
     }
 }
@@ -113,7 +118,7 @@ fn build_service(
         state,
         Durability {
             dir: dir.clone(),
-            wal,
+            wal: GroupWal::new(wal),
             snapshot_every: opts.snapshot_every,
         },
     );
@@ -135,18 +140,22 @@ fn build_service(
 }
 
 /// `rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync P]
-/// [--snapshot-every N] [--max-conns N] [--max-pending N]` — seeds (or
-/// recovers) the service and blocks serving requests until a client
-/// sends `SHUTDOWN`.
+/// [--snapshot-every N] [--max-conns N] [--max-pending N]
+/// [--workers N]` — seeds (or recovers) the service and blocks serving
+/// requests until a client sends `SHUTDOWN`.
 pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
     let (mut service, startup) = build_service(raw, opts)?;
     service.set_max_pending(opts.max_pending);
+    // Multiple workers can overlap in dispatch; let disjoint admits
+    // validate concurrently instead of queueing on the write lock.
+    service.set_optimistic(opts.workers > 1);
     let service = Arc::new(service);
     let server = Server::bind_with_config(
         Arc::clone(&service),
         &opts.addr,
         ServerConfig {
             max_connections: opts.max_connections,
+            workers: opts.workers,
         },
     )
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -192,13 +201,23 @@ pub fn run_client(
     Ok(!refused)
 }
 
-/// `rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S]
-/// [--wal-sweep | --wal-dir DIR --fsync P] [--out FILE]` — runs the
-/// closed-loop load generator and writes the JSON artifact. With
-/// `--wal-sweep` the baseline run is followed by one durable run per
-/// fsync policy and the artifact gains a `wal_sweep` section. Returns
-/// the human summary printed on stdout.
-pub fn run_bench_serve(cfg: &BenchConfig, sweep: bool, out: &str) -> Result<String, String> {
+/// `rtwc bench-serve [--clients N] [--ops N | --duration SECS]
+/// [--warmup-ms N] [--pipeline N] [--workers N] [--mesh WxH] [--seed S]
+/// [--wal-sweep | --wal-dir DIR --fsync P] [--min-throughput OPS]
+/// [--out FILE]` — runs the closed-loop load generator and writes the
+/// JSON artifact. With `--duration` each client sends as many pipelined
+/// bursts as fit in the wall-clock window (after the warmup) instead of
+/// a fixed op count. With `--wal-sweep` the baseline run is followed by
+/// one durable run per fsync policy and the artifact gains a
+/// `wal_sweep` section. `--min-throughput` turns the run into a perf
+/// gate: the command fails if the measured ops/s lands below the floor.
+/// Returns the human summary printed on stdout.
+pub fn run_bench_serve(
+    cfg: &BenchConfig,
+    sweep: bool,
+    out: &str,
+    min_throughput: Option<f64>,
+) -> Result<String, String> {
     let (outcome, json, extra) = if sweep {
         let dir = std::env::temp_dir().join(format!("rtwc-bench-sweep-{}", std::process::id()));
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
@@ -224,12 +243,36 @@ pub fn run_bench_serve(cfg: &BenchConfig, sweep: bool, out: &str) -> Result<Stri
         }
     }
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    if let Some(floor) = min_throughput {
+        if outcome.throughput < floor {
+            return Err(format!(
+                "throughput {:.0} ops/s below the --min-throughput floor of {floor:.0} ops/s",
+                outcome.throughput
+            ));
+        }
+    }
+    let load = match cfg.duration {
+        Some(d) => format!("{} clients x {:.1}s", outcome.clients, d.as_secs_f64()),
+        None => format!(
+            "{} clients x {} ops",
+            outcome.clients, outcome.ops_per_client
+        ),
+    };
+    let batching = match &outcome.group_commit {
+        Some(gc) if gc.syncs > 0 => format!(
+            "group commit: {} syncs, mean batch {:.2}, max batch {}\n",
+            gc.syncs,
+            gc.mean_batch(),
+            gc.max_batch
+        ),
+        _ => String::new(),
+    };
     Ok(format!(
-        "{} clients x {} ops: {:.0} ops/s, latency p50 {}us p99 {}us max {}us\n\
+        "{} (pipeline {}): {:.0} ops/s, latency p50 {}us p99 {}us max {}us\n\
          admitted {}, rejected {}, removed {}, errors {}; {} stream(s) audited OK\n\
-         {}wrote {}\n",
-        outcome.clients,
-        outcome.ops_per_client,
+         {batching}{}wrote {}\n",
+        load,
+        outcome.pipeline,
         outcome.throughput,
         outcome.p50_us,
         outcome.p99_us,
@@ -275,7 +318,7 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                     return Err(
                         "usage: rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] \
                          [--fsync always|never|interval:MS] [--snapshot-every N] \
-                         [--max-conns N] [--max-pending N]"
+                         [--max-conns N] [--max-pending N] [--workers N]"
                             .to_string(),
                     )
                 }
@@ -306,6 +349,11 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                         opts.max_pending = value("--max-pending")?
                             .parse()
                             .map_err(|e| format!("bad --max-pending: {e}"))?;
+                    }
+                    "--workers" => {
+                        opts.workers = value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?;
                     }
                     other => return Err(format!("unknown serve flag '{other}'")),
                 }
@@ -360,6 +408,7 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
             let mut cfg = BenchConfig::default();
             let mut out = "results/BENCH_service.json".to_string();
             let mut sweep = false;
+            let mut min_throughput = None;
             let mut it = args.iter();
             while let Some(flag) = it.next() {
                 let mut value = |what: &str| {
@@ -378,10 +427,52 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                             .parse()
                             .map_err(|e| format!("bad --ops: {e}"))?;
                     }
+                    "--duration" => {
+                        let secs: f64 = value("--duration")?
+                            .parse()
+                            .map_err(|e| format!("bad --duration: {e}"))?;
+                        if secs.is_nan() || secs <= 0.0 {
+                            return Err("--duration must be positive seconds".to_string());
+                        }
+                        cfg.duration = Some(Duration::from_secs_f64(secs));
+                    }
+                    "--warmup-ms" => {
+                        let ms: u64 = value("--warmup-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --warmup-ms: {e}"))?;
+                        cfg.warmup = Duration::from_millis(ms);
+                    }
+                    "--pipeline" => {
+                        cfg.pipeline = value("--pipeline")?
+                            .parse()
+                            .map_err(|e| format!("bad --pipeline: {e}"))?;
+                    }
+                    "--workers" => {
+                        cfg.server_workers = value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?;
+                    }
+                    "--min-throughput" => {
+                        min_throughput = Some(
+                            value("--min-throughput")?
+                                .parse::<f64>()
+                                .map_err(|e| format!("bad --min-throughput: {e}"))?,
+                        );
+                    }
                     "--mesh" => {
                         let (w, h) = parse_mesh(&value("--mesh")?)?;
                         cfg.width = w;
                         cfg.height = h;
+                    }
+                    "--locality" => {
+                        cfg.locality = value("--locality")?
+                            .parse()
+                            .map_err(|e| format!("bad --locality: {e}"))?;
+                    }
+                    "--max-own" => {
+                        cfg.max_own = value("--max-own")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-own: {e}"))?;
                     }
                     "--seed" => {
                         cfg.seed = value("--seed")?
@@ -400,10 +491,12 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                     other => return Err(format!("unknown bench-serve flag '{other}'")),
                 }
             }
-            if cfg.clients == 0 || cfg.ops_per_client == 0 {
-                return Err("bench-serve needs at least one client and one op".to_string());
+            if cfg.clients == 0 || (cfg.ops_per_client == 0 && cfg.duration.is_none()) {
+                return Err(
+                    "bench-serve needs at least one client and one op (or --duration)".to_string(),
+                );
             }
-            print!("{}", run_bench_serve(&cfg, sweep, &out)?);
+            print!("{}", run_bench_serve(&cfg, sweep, &out, min_throughput)?);
             Ok(true)
         }
         "chaos" => {
@@ -508,11 +601,26 @@ mod tests {
             ops_per_client: 15,
             ..BenchConfig::default()
         };
-        let summary = run_bench_serve(&cfg, false, out.to_str().unwrap()).unwrap();
+        let summary = run_bench_serve(&cfg, false, out.to_str().unwrap(), None).unwrap();
         assert!(summary.contains("ops/s"), "{summary}");
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"bench\": \"service\""), "{json}");
         assert!(json.contains("\"p99\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_serve_enforces_the_throughput_floor() {
+        let dir = std::env::temp_dir().join("rtwc-bench-floor-test");
+        let out = dir.join("BENCH_service.json");
+        let cfg = BenchConfig {
+            clients: 1,
+            ops_per_client: 5,
+            ..BenchConfig::default()
+        };
+        // No machine clears a 10^12 ops/s floor; the gate must trip.
+        let err = run_bench_serve(&cfg, false, out.to_str().unwrap(), Some(1e12)).unwrap_err();
+        assert!(err.contains("below the --min-throughput floor"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -132,6 +132,47 @@ impl InterferenceIndex {
             .unwrap_or(&[])
     }
 
+    /// The connected component of the symmetric *shares-a-channel*
+    /// relation reachable from `seed_links`: every indexed stream whose
+    /// path transitively shares a channel with a stream occupying one of
+    /// the seed channels, in increasing id order.
+    ///
+    /// Because directly-affects edges only ever connect link-sharing
+    /// streams, this component is closed under both HP-set construction
+    /// (backward closure) and downstream damage analysis (forward
+    /// closure): an admission restricted to the candidate's component
+    /// computes bit-identical bounds to one run over the full set. The
+    /// admission controller's optimistic concurrent path keys on this.
+    pub fn link_component(&self, seed_links: &[LinkId]) -> Vec<StreamId> {
+        let mut member = vec![false; self.n];
+        let mut link_seen = vec![false; self.link_streams.len()];
+        let mut frontier: Vec<LinkId> = Vec::new();
+        for &l in seed_links {
+            if l.index() < link_seen.len() && !link_seen[l.index()] {
+                link_seen[l.index()] = true;
+                frontier.push(l);
+            }
+        }
+        let mut out: Vec<StreamId> = Vec::new();
+        while let Some(l) = frontier.pop() {
+            for &s in &self.link_streams[l.index()] {
+                if member[s.index()] {
+                    continue;
+                }
+                member[s.index()] = true;
+                out.push(s);
+                for &l2 in &self.stream_links[s.index()] {
+                    if !link_seen[l2.index()] {
+                        link_seen[l2.index()] = true;
+                        frontier.push(l2);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Appends the stream with the next dense id (`stream.id` must equal
     /// [`InterferenceIndex::len`]): pushes its channels into the
     /// occupancy table and sets its adjacency row and column by walking

@@ -10,12 +10,14 @@
 //! before shutdown.
 
 use crate::client::Client;
+use crate::group_commit::{GroupCommitStats, GroupWal};
 use crate::recovery::recover;
-use crate::server::Server;
+use crate::server::{Server, ServerConfig};
 use crate::service::{AdmissionService, Durability};
 use crate::wal::FsyncPolicy;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -26,12 +28,34 @@ use wormnet_topology::Mesh;
 pub struct BenchConfig {
     /// Concurrent client connections.
     pub clients: usize,
-    /// Requests each client issues (closed loop).
+    /// Requests each client issues (closed loop); ignored when
+    /// [`BenchConfig::duration`] is set.
     pub ops_per_client: usize,
+    /// Time-bounded mode: run for this long after
+    /// [`BenchConfig::warmup`], counting only steady-state requests.
+    pub duration: Option<Duration>,
+    /// Ramp-up excluded from the measurement (duration mode only).
+    pub warmup: Duration,
+    /// Requests each client keeps in flight per burst (1 = classic
+    /// closed loop; >1 pipelines over one connection).
+    pub pipeline: usize,
+    /// Server worker threads (0 = one per core); >1 also enables the
+    /// service's optimistic concurrent-admission path.
+    pub server_workers: usize,
     /// Mesh width.
     pub width: u32,
     /// Mesh height.
     pub height: u32,
+    /// Maximum Manhattan offset per axis between a generated stream's
+    /// endpoints (0 = uniform destinations). Local traffic is the
+    /// realistic NoC pattern and keeps link-sharing components — and
+    /// therefore per-`ADMIT` analysis cost — bounded as the mesh fills.
+    pub locality: u32,
+    /// Handles each client holds at most; once full, an admit roll
+    /// becomes a removal (0 = unbounded growth). Bounding ownership
+    /// turns the workload into steady-state churn instead of an
+    /// ever-growing admitted set.
+    pub max_own: usize,
     /// Deterministic workload seed.
     pub seed: u64,
     /// Put the server behind a durable WAL in this directory
@@ -48,8 +72,14 @@ impl Default for BenchConfig {
         BenchConfig {
             clients: 8,
             ops_per_client: 250,
+            duration: None,
+            warmup: Duration::from_millis(500),
+            pipeline: 1,
+            server_workers: 0,
             width: 10,
             height: 10,
+            locality: 0,
+            max_own: 0,
             seed: 0x5eed_cafe,
             wal_dir: None,
             fsync: FsyncPolicy::Interval(Duration::from_millis(5)),
@@ -76,7 +106,17 @@ pub struct BenchOutcome {
     pub clients: usize,
     /// Requests per client.
     pub ops_per_client: usize,
-    /// Total requests served.
+    /// Pipeline window used by each client.
+    pub pipeline: usize,
+    /// Mesh width the run used.
+    pub width: u32,
+    /// Mesh height the run used.
+    pub height: u32,
+    /// Locality radius of the workload (0 = uniform).
+    pub locality: u32,
+    /// Ownership cap of the workload (0 = unbounded).
+    pub max_own: usize,
+    /// Total requests served (steady state only in duration mode).
     pub total_ops: u64,
     /// Wall-clock seconds for the load phase.
     pub elapsed_s: f64,
@@ -105,6 +145,8 @@ pub struct BenchOutcome {
     /// Streams left admitted at the end, all audited against a fresh
     /// offline `determine_feasibility`.
     pub audited_streams: usize,
+    /// Group-commit batching stats (durable runs only).
+    pub group_commit: Option<GroupCommitStats>,
     /// The server's own final `STATS` response (verbatim JSON line).
     pub server_stats: String,
 }
@@ -167,7 +209,81 @@ struct WorkerLog {
 const KIND_ADMIT: u8 = 0;
 const KIND_QUERY: u8 = 1;
 
-fn worker(addr: String, cfg: BenchConfig, client_idx: u64) -> io::Result<WorkerLog> {
+/// Run-phase coordination between the driver and the client loops.
+struct Pacing {
+    /// Set when time-bounded clients must stop issuing bursts.
+    stop: AtomicBool,
+    /// Samples count only while set (false during warmup/drain).
+    recording: AtomicBool,
+}
+
+/// One request from the workload mix. A `REMOVE` claims its handle out
+/// of `own` at generation time so a pipelined burst never removes the
+/// same stream twice.
+fn gen_op(rng: &mut u64, own: &mut Vec<u64>, cfg: &BenchConfig) -> (u8, String) {
+    let roll = splitmix64(rng) % 100;
+    // Op mix: mostly reads over own streams, a steady admit stream,
+    // occasional removals and stat probes. Reads fall through to
+    // admits until this client owns something to read.
+    if roll < 55 && !own.is_empty() {
+        let h = own[(splitmix64(rng) % own.len() as u64) as usize];
+        (KIND_QUERY, format!("QUERY {h}"))
+    } else if roll < 90 || own.is_empty() {
+        if cfg.max_own > 0 && own.len() >= cfg.max_own {
+            // At the ownership cap the admit roll becomes a removal:
+            // the client churns its slots instead of growing the set.
+            let i = (splitmix64(rng) % own.len() as u64) as usize;
+            let h = own.swap_remove(i);
+            return (2, format!("REMOVE {h}"));
+        }
+        let sx = splitmix64(rng) % cfg.width as u64;
+        let sy = splitmix64(rng) % cfg.height as u64;
+        let (mut dx, dy) = if cfg.locality > 0 {
+            let r = cfg.locality as u64;
+            let (lo_x, hi_x) = (sx.saturating_sub(r), (sx + r).min(cfg.width as u64 - 1));
+            let (lo_y, hi_y) = (sy.saturating_sub(r), (sy + r).min(cfg.height as u64 - 1));
+            (
+                lo_x + splitmix64(rng) % (hi_x - lo_x + 1),
+                lo_y + splitmix64(rng) % (hi_y - lo_y + 1),
+            )
+        } else {
+            (
+                splitmix64(rng) % cfg.width as u64,
+                splitmix64(rng) % cfg.height as u64,
+            )
+        };
+        if (dx, dy) == (sx, sy) {
+            // Nudge within the mesh (and within the locality box).
+            dx = if dx + 1 < cfg.width as u64 {
+                dx + 1
+            } else {
+                dx - 1
+            };
+        }
+        let pr = 1 + splitmix64(rng) % 5;
+        let period = 40 + splitmix64(rng) % 500;
+        let length = 2 + splitmix64(rng) % 8;
+        (
+            KIND_ADMIT,
+            format!("ADMIT {sx},{sy} {dx},{dy} {pr} {period} {length}"),
+        )
+    } else if roll < 96 {
+        let i = (splitmix64(rng) % own.len() as u64) as usize;
+        let h = own.swap_remove(i);
+        (2, format!("REMOVE {h}"))
+    } else if roll < 98 {
+        (3, "STATS".to_string())
+    } else {
+        (3, "SNAPSHOT".to_string())
+    }
+}
+
+fn worker(
+    addr: String,
+    cfg: BenchConfig,
+    client_idx: u64,
+    pacing: Arc<Pacing>,
+) -> io::Result<WorkerLog> {
     let mut c = Client::connect(&addr)?;
     let mut rng = cfg.seed ^ client_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let mut own: Vec<u64> = Vec::new();
@@ -178,66 +294,69 @@ fn worker(addr: String, cfg: BenchConfig, client_idx: u64) -> io::Result<WorkerL
         removed: 0,
         errors: 0,
     };
-    for _ in 0..cfg.ops_per_client {
-        let roll = splitmix64(&mut rng) % 100;
-        // Op mix: mostly reads over own streams, a steady admit stream,
-        // occasional removals and stat probes. Reads fall through to
-        // admits until this client owns something to read.
-        let (kind, line) = if roll < 55 && !own.is_empty() {
-            let h = own[(splitmix64(&mut rng) % own.len() as u64) as usize];
-            (KIND_QUERY, format!("QUERY {h}"))
-        } else if roll < 90 || own.is_empty() {
-            let sx = splitmix64(&mut rng) % cfg.width as u64;
-            let sy = splitmix64(&mut rng) % cfg.height as u64;
-            let mut dx = splitmix64(&mut rng) % cfg.width as u64;
-            let dy = splitmix64(&mut rng) % cfg.height as u64;
-            if (dx, dy) == (sx, sy) {
-                dx = (dx + 1) % cfg.width as u64;
+    let window = cfg.pipeline.max(1);
+    let mut issued = 0usize;
+    let mut kinds = Vec::with_capacity(window);
+    let mut lines = Vec::with_capacity(window);
+    loop {
+        let burst = match cfg.duration {
+            Some(_) => {
+                if pacing.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                window
             }
-            let pr = 1 + splitmix64(&mut rng) % 5;
-            let period = 40 + splitmix64(&mut rng) % 500;
-            let length = 2 + splitmix64(&mut rng) % 8;
-            (
-                KIND_ADMIT,
-                format!("ADMIT {sx},{sy} {dx},{dy} {pr} {period} {length}"),
-            )
-        } else if roll < 96 {
-            let i = (splitmix64(&mut rng) % own.len() as u64) as usize;
-            (2, format!("REMOVE {}", own[i]))
-        } else if roll < 98 {
-            (3, "STATS".to_string())
-        } else {
-            (3, "SNAPSHOT".to_string())
+            None => {
+                if issued >= cfg.ops_per_client {
+                    break;
+                }
+                window.min(cfg.ops_per_client - issued)
+            }
         };
+        kinds.clear();
+        lines.clear();
+        for _ in 0..burst {
+            let (kind, line) = gen_op(&mut rng, &mut own, &cfg);
+            kinds.push(kind);
+            lines.push(line);
+        }
         let start = Instant::now();
-        let reply = c.send(&line)?;
-        log.samples.push((kind, start.elapsed().as_nanos() as u64));
-        match status_of(&reply) {
-            "admitted" => {
-                log.admitted += 1;
-                if let Some(id) = extract_u64(&reply, "id") {
-                    own.push(id);
-                }
+        let replies = c.send_pipelined(&lines)?;
+        // Each request in the burst experienced (up to) the burst's
+        // round trip: charge the full burst latency to every op, the
+        // conservative client-side view.
+        let elapsed = start.elapsed().as_nanos() as u64;
+        issued += burst;
+        let record = pacing.recording.load(Ordering::Relaxed);
+        for (kind, reply) in kinds.iter().zip(&replies) {
+            if record {
+                log.samples.push((*kind, elapsed));
             }
-            "rejected" => log.rejected += 1,
-            "removed" => {
-                log.removed += 1;
-                if let Some(id) = extract_u64(&reply, "id") {
-                    own.retain(|&h| h != id);
+            match status_of(reply) {
+                "admitted" => {
+                    if let Some(id) = extract_u64(reply, "id") {
+                        own.push(id);
+                    }
+                    if record {
+                        log.admitted += 1;
+                    }
                 }
+                "rejected" if record => log.rejected += 1,
+                "removed" if record => log.removed += 1,
+                "error" if record => log.errors += 1,
+                _ => {}
             }
-            "error" => log.errors += 1,
-            _ => {}
         }
     }
     Ok(log)
 }
 
-/// Runs the closed-loop bench: server up, `clients` concurrent loops,
-/// final `STATS` + audit, shutdown.
+/// Runs the closed-loop bench: server up, `clients` concurrent loops
+/// (optionally pipelined and/or time-bounded), final `STATS` + audit,
+/// shutdown.
 pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
     let mesh = Mesh::mesh2d(cfg.width, cfg.height);
-    let service = match &cfg.wal_dir {
+    let mut service = match &cfg.wal_dir {
         None => AdmissionService::new(mesh),
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
@@ -247,33 +366,67 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
                 state,
                 Durability {
                     dir: dir.clone(),
-                    wal,
+                    wal: GroupWal::new(wal),
                     snapshot_every: cfg.snapshot_every,
                 },
             )
         }
     };
+    if cfg.server_workers > 1 {
+        // Multiple admission workers: let disjoint-neighborhood admits
+        // validate concurrently instead of serializing on the write
+        // lock.
+        service.set_optimistic(true);
+    }
     let service = Arc::new(service);
-    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")?;
+    let server = Server::bind_with_config(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 0,
+            workers: cfg.server_workers,
+        },
+    )?;
     let addr = server.local_addr()?.to_string();
     let server_thread = thread::spawn(move || server.run());
 
-    let started = Instant::now();
+    let pacing = Arc::new(Pacing {
+        stop: AtomicBool::new(false),
+        // Fixed-count mode records from the first request; duration
+        // mode flips this on after warmup.
+        recording: AtomicBool::new(cfg.duration.is_none()),
+    });
+    let mut started = Instant::now();
     let workers: Vec<_> = (0..cfg.clients)
         .map(|i| {
             let addr = addr.clone();
             let cfg = cfg.clone();
-            thread::spawn(move || worker(addr, cfg, i as u64))
+            let pacing = Arc::clone(&pacing);
+            thread::spawn(move || worker(addr, cfg, i as u64, pacing))
         })
         .collect();
+    let mut measured: Option<Duration> = None;
+    if let Some(run_for) = cfg.duration {
+        thread::sleep(cfg.warmup);
+        pacing.recording.store(true, Ordering::Relaxed);
+        started = Instant::now();
+        thread::sleep(run_for);
+        // Order matters: stop recording before stopping the loops so a
+        // burst completing after the window is not counted against a
+        // window-sized denominator.
+        pacing.recording.store(false, Ordering::Relaxed);
+        measured = Some(started.elapsed());
+        pacing.stop.store(true, Ordering::Relaxed);
+    }
     let mut logs = Vec::with_capacity(cfg.clients);
     for w in workers {
         logs.push(w.join().expect("bench worker panicked")?);
     }
-    let elapsed = started.elapsed();
+    let elapsed = measured.unwrap_or_else(|| started.elapsed());
 
     let mut control = Client::connect(&addr)?;
     let server_stats = control.send("STATS")?;
+    let group_commit = service.group_commit_stats();
     let audited_streams = service
         .audit()
         .map_err(|e| io::Error::other(format!("post-bench audit failed: {e}")))?;
@@ -311,6 +464,11 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
     Ok(BenchOutcome {
         clients: cfg.clients,
         ops_per_client: cfg.ops_per_client,
+        pipeline: cfg.pipeline.max(1),
+        width: cfg.width,
+        height: cfg.height,
+        locality: cfg.locality,
+        max_own: cfg.max_own,
         total_ops,
         elapsed_s,
         throughput: total_ops as f64 / elapsed_s.max(1e-9),
@@ -325,6 +483,7 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
         admit: kind_latency(&admit_ns),
         query: kind_latency(&query_ns),
         audited_streams,
+        group_commit,
         server_stats,
     })
 }
@@ -335,6 +494,11 @@ pub fn render_bench_json(o: &BenchOutcome) -> String {
     out.push_str("  \"bench\": \"service\",\n");
     out.push_str(&format!("  \"clients\": {},\n", o.clients));
     out.push_str(&format!("  \"ops_per_client\": {},\n", o.ops_per_client));
+    out.push_str(&format!("  \"pipeline\": {},\n", o.pipeline));
+    out.push_str(&format!(
+        "  \"workload\": {{\"mesh\": \"{}x{}\", \"locality\": {}, \"max_own\": {}}},\n",
+        o.width, o.height, o.locality, o.max_own
+    ));
     out.push_str(&format!("  \"total_ops\": {},\n", o.total_ops));
     out.push_str(&format!("  \"elapsed_s\": {:.3},\n", o.elapsed_s));
     out.push_str(&format!(
@@ -358,6 +522,17 @@ pub fn render_bench_json(o: &BenchOutcome) -> String {
         o.query.count, o.query.p50_us, o.query.p99_us
     ));
     out.push_str(&format!("  \"audited_streams\": {},\n", o.audited_streams));
+    if let Some(gc) = &o.group_commit {
+        let hist: Vec<String> = gc.batch_hist.iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!(
+            "  \"group_commit\": {{\"syncs\": {}, \"ops_synced\": {}, \"mean_batch\": {:.2}, \"max_batch\": {}, \"batch_size_hist_log2\": [{}]}},\n",
+            gc.syncs,
+            gc.ops_synced,
+            gc.mean_batch(),
+            gc.max_batch,
+            hist.join(", ")
+        ));
+    }
     out.push_str(&format!("  \"server_stats\": {}\n", o.server_stats));
     out.push_str("}\n");
     out
@@ -414,12 +589,14 @@ pub fn render_sweep_json(s: &WalSweep) -> String {
         .to_string();
     out.push_str(",\n  \"wal_sweep\": {\n");
     for (i, (label, o)) in s.policies.iter().enumerate() {
+        let mean_batch = o.group_commit.map_or(0.0, |gc| gc.mean_batch());
         out.push_str(&format!(
-            "    \"{label}\": {{\"throughput_ops_per_s\": {:.1}, \"admit_p50_us\": {}, \"admit_p99_us\": {}, \"admitted\": {}}}{}\n",
+            "    \"{label}\": {{\"throughput_ops_per_s\": {:.1}, \"admit_p50_us\": {}, \"admit_p99_us\": {}, \"admitted\": {}, \"mean_batch\": {:.2}}}{}\n",
             o.throughput,
             o.admit.p50_us,
             o.admit.p99_us,
             o.admitted,
+            mean_batch,
             if i + 1 < s.policies.len() { "," } else { "" }
         ));
     }
@@ -486,6 +663,11 @@ mod tests {
         let mk = |tput: f64| BenchOutcome {
             clients: 1,
             ops_per_client: 1,
+            pipeline: 1,
+            width: 10,
+            height: 10,
+            locality: 0,
+            max_own: 0,
             total_ops: 1,
             elapsed_s: 1.0,
             throughput: tput,
@@ -504,6 +686,7 @@ mod tests {
             },
             query: KindLatency::default(),
             audited_streams: 1,
+            group_commit: None,
             server_stats: "{\"status\":\"ok\"}".to_string(),
         };
         let sweep = WalSweep {
@@ -519,6 +702,48 @@ mod tests {
         assert!(json.contains("\"never\""), "{json}");
         assert!(json.contains("\"always\""), "{json}");
         assert!(json.trim_end().ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn pipelined_bench_serves_every_op() {
+        let cfg = BenchConfig {
+            clients: 2,
+            ops_per_client: 50,
+            pipeline: 8,
+            ..BenchConfig::default()
+        };
+        let o = run_bench(&cfg).unwrap();
+        // 50 ops per client in bursts of 8: every op gets a response.
+        assert_eq!(o.total_ops, 100);
+        assert_eq!(o.pipeline, 8);
+        assert!(o.admitted > 0, "{o:?}");
+    }
+
+    #[test]
+    fn duration_mode_runs_for_the_window_and_reports_batching() {
+        let dir = std::env::temp_dir().join(format!("rtwc-bench-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = BenchConfig {
+            clients: 2,
+            duration: Some(Duration::from_millis(200)),
+            warmup: Duration::from_millis(50),
+            pipeline: 4,
+            wal_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Always,
+            ..BenchConfig::default()
+        };
+        let o = run_bench(&cfg).unwrap();
+        assert!(o.total_ops > 0, "{o:?}");
+        // elapsed_s is the measured steady-state window, not the whole
+        // run (warmup + drain excluded).
+        assert!(o.elapsed_s >= 0.15 && o.elapsed_s < 2.0, "{o:?}");
+        let gc = o.group_commit.expect("durable run reports group commit");
+        assert!(gc.syncs > 0, "{gc:?}");
+        assert!(gc.ops_synced >= gc.syncs, "{gc:?}");
+        let json = render_bench_json(&o);
+        assert!(json.contains("\"group_commit\""), "{json}");
+        assert!(json.contains("\"mean_batch\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

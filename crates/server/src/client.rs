@@ -198,7 +198,31 @@ impl Client {
         line.push_str(request);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
+        self.read_reply(Instant::now() + self.config.io_timeout)
+    }
+
+    /// Sends `requests` as one pipelined burst — a single TCP write,
+    /// then the matching responses in request order. The server's
+    /// per-connection FIFO guarantees ordering; pipelining amortizes
+    /// the syscall and wake-up cost of a round trip over the window.
+    /// The deadline covers the whole burst.
+    pub fn send_pipelined(&mut self, requests: &[String]) -> Result<Vec<String>, ClientError> {
+        let mut burst = String::with_capacity(requests.iter().map(|r| r.len() + 1).sum());
+        for r in requests {
+            burst.push_str(r);
+            burst.push('\n');
+        }
+        self.writer.write_all(burst.as_bytes())?;
         let deadline = Instant::now() + self.config.io_timeout;
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            replies.push(self.read_reply(deadline)?);
+        }
+        Ok(replies)
+    }
+
+    /// Reads one response line, ticking against `deadline`.
+    fn read_reply(&mut self, deadline: Instant) -> Result<String, ClientError> {
         let mut reply = String::new();
         loop {
             match self.reader.read_line(&mut reply) {

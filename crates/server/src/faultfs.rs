@@ -109,6 +109,11 @@ pub struct FaultPlan {
     pub short_append: Option<(u64, usize)>,
     /// Fail sync call `n` and every later sync (a dying device).
     pub fail_sync_from: Option<u64>,
+    /// Stretch every sync by this long (a slow device). Not a failure:
+    /// the latency failpoint lets the chaos harness force concurrent
+    /// writers to pile up behind the group-commit leader so a
+    /// mid-batch crash is actually mid-*batch*.
+    pub sync_delay: Option<std::time::Duration>,
 }
 
 /// Shared observation point: which call counters have advanced and
@@ -187,6 +192,9 @@ impl WalFile for FailpointFile {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        if let Some(d) = self.plan.sync_delay {
+            std::thread::sleep(d);
+        }
         let n = self.state.syncs.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(from) = self.plan.fail_sync_from {
             if n >= from {

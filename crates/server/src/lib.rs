@@ -16,29 +16,36 @@
 //!   controller, stable ids, accepted-op journal, offline audit;
 //! - [`metrics`] — lock-free request counters and a power-of-two
 //!   latency histogram behind `STATS`;
-//! - [`server`] / [`client`] — the TCP accept loop (thread per
-//!   connection, cooperative shutdown) and the matching blocking
-//!   client;
+//! - [`server`] / [`poll`] / [`client`] — the event-driven TCP front
+//!   end: an epoll reactor with per-connection buffers and pipelined
+//!   ordered responses, a small worker pool for admission work, and
+//!   the matching blocking client;
 //! - [`bench`] — the closed-loop multi-client load generator behind
 //!   `rtwc bench-serve`;
-//! - [`wal`] / [`snapshot`] / [`recovery`] — the durability layer:
-//!   a length-and-CRC-framed write-ahead log persisted before every
-//!   acknowledgement, atomic snapshots with WAL compaction, and a
-//!   startup recovery path that replays and then *audits* the rebuilt
-//!   state against a fresh offline analysis;
+//! - [`wal`] / [`group_commit`] / [`snapshot`] / [`recovery`] — the
+//!   durability layer: a length-and-CRC-framed write-ahead log, group
+//!   commit that acknowledges whole batches after one fsync, atomic
+//!   snapshots with WAL compaction, and a startup recovery path that
+//!   replays and then *audits* the rebuilt state against a fresh
+//!   offline analysis;
 //! - [`faultfs`] / [`chaos`] — the fault-injection harness behind
 //!   `rtwc chaos`: torn writes, lying short writes, fsync failures and
 //!   kill-9 truncation, each asserting the recovered state is
 //!   bit-identical to a serial replay of the acknowledged history.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`poll`] module is the one place allowed
+// to contain `unsafe` — the four raw `epoll`/`close` syscall bindings
+// the reactor needs. Everything else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod chaos;
 pub mod client;
 pub mod faultfs;
+pub mod group_commit;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod recovery;
 pub mod server;
@@ -53,7 +60,9 @@ pub use bench::{
 pub use chaos::{render_chaos_report, run_chaos, ChaosConfig, ChaosOutcome, ScenarioOutcome};
 pub use client::{Client, ClientConfig, ClientError};
 pub use faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
+pub use group_commit::{GroupCommitStats, GroupWal};
 pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
+pub use poll::{PollEvent, Poller};
 pub use protocol::{
     parse_request, render_response, RejectReason, Request, Response, SnapshotStream, StatsReport,
     MAX_LINE_BYTES,

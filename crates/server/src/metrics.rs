@@ -1,11 +1,19 @@
-//! Per-request service metrics: lock-free counters and a power-of-two
-//! latency histogram, dumped by the `STATS` request.
+//! Per-request service metrics: lock-free counters and power-of-two
+//! latency histograms, dumped by the `STATS` request.
 //!
 //! Everything here is plain atomics so the hot read path (`QUERY`)
-//! never takes a lock to record itself. The histogram buckets latency
+//! never takes a lock to record itself. Each histogram buckets latency
 //! by `floor(log2(ns))`, which bounds the relative error of a reported
 //! percentile by 2x — good enough for a health endpoint; the load
 //! generator computes exact client-side percentiles separately.
+//!
+//! Three histograms are kept: **total** latency (what the pre-reactor
+//! server reported — still the `latency_us` block of `STATS`),
+//! **queue wait** (time a parsed request sat in the reactor's
+//! per-connection queue before a worker picked it up), and **service
+//! time** (the handler itself). Queue wait is only recorded on the
+//! queued path; a direct [`Metrics::observe`] counts its full duration
+//! as service time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -97,7 +105,10 @@ pub struct Metrics {
     replayed: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
+    optimistic: AtomicU64,
     hist: LatencyHistogram,
+    queue_hist: LatencyHistogram,
+    service_hist: LatencyHistogram,
 }
 
 /// A point-in-time copy of every counter, plus latency percentiles in
@@ -119,6 +130,9 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Requests shed with `busy` under overload.
     pub shed: u64,
+    /// Admissions committed through the optimistic concurrent path
+    /// (validated under the shared lock, applied without re-analysis).
+    pub optimistic: u64,
     /// Latency observations.
     pub latency_count: u64,
     /// Median, microseconds (bucketed: upper power-of-two edge).
@@ -129,6 +143,24 @@ pub struct MetricsSnapshot {
     pub p99_us: u64,
     /// Maximum, microseconds.
     pub max_us: u64,
+    /// Queue-wait observations (requests served via the queued path).
+    pub queue_count: u64,
+    /// Median queue wait, microseconds.
+    pub queue_p50_us: u64,
+    /// 90th-percentile queue wait, microseconds.
+    pub queue_p90_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
+    /// Worst queue wait, microseconds.
+    pub queue_max_us: u64,
+    /// Median service time, microseconds.
+    pub service_p50_us: u64,
+    /// 90th-percentile service time, microseconds.
+    pub service_p90_us: u64,
+    /// 99th-percentile service time, microseconds.
+    pub service_p99_us: u64,
+    /// Worst service time, microseconds.
+    pub service_max_us: u64,
 }
 
 impl Metrics {
@@ -137,10 +169,22 @@ impl Metrics {
         Self::default()
     }
 
-    /// Counts one request of `kind` and its service latency.
+    /// Counts one request of `kind` served directly (no queue): its
+    /// full duration is service time.
     pub fn observe(&self, kind: RequestKind, ns: u64) {
         self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
         self.hist.observe(ns);
+        self.service_hist.observe(ns);
+    }
+
+    /// Counts one request of `kind` served off a queue, splitting its
+    /// latency into queue wait and service time. The total histogram
+    /// (what clients experience) records the sum.
+    pub fn observe_queued(&self, kind: RequestKind, queue_ns: u64, service_ns: u64) {
+        self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.hist.observe(queue_ns.saturating_add(service_ns));
+        self.queue_hist.observe(queue_ns);
+        self.service_hist.observe(service_ns);
     }
 
     /// Counts a successful admission.
@@ -173,6 +217,11 @@ impl Metrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts an admission committed through the optimistic path.
+    pub fn count_optimistic(&self) {
+        self.optimistic.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies every counter and summarizes the histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counts = [0u64; KINDS];
@@ -187,11 +236,21 @@ impl Metrics {
             replayed: self.replayed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            optimistic: self.optimistic.load(Ordering::Relaxed),
             latency_count: self.hist.count(),
             p50_us: self.hist.percentile_ns(50.0) / 1_000,
             p90_us: self.hist.percentile_ns(90.0) / 1_000,
             p99_us: self.hist.percentile_ns(99.0) / 1_000,
             max_us: self.hist.max_ns.load(Ordering::Relaxed) / 1_000,
+            queue_count: self.queue_hist.count(),
+            queue_p50_us: self.queue_hist.percentile_ns(50.0) / 1_000,
+            queue_p90_us: self.queue_hist.percentile_ns(90.0) / 1_000,
+            queue_p99_us: self.queue_hist.percentile_ns(99.0) / 1_000,
+            queue_max_us: self.queue_hist.max_ns.load(Ordering::Relaxed) / 1_000,
+            service_p50_us: self.service_hist.percentile_ns(50.0) / 1_000,
+            service_p90_us: self.service_hist.percentile_ns(90.0) / 1_000,
+            service_p99_us: self.service_hist.percentile_ns(99.0) / 1_000,
+            service_max_us: self.service_hist.max_ns.load(Ordering::Relaxed) / 1_000,
         }
     }
 }
@@ -239,6 +298,20 @@ mod tests {
         // p99 must not be dragged to the outlier; p100 (max) must be it.
         assert!(s.p99_us <= 2, "{s:?}");
         assert_eq!(s.max_us, 1_048); // 1_048_576 ns / 1000
+    }
+
+    #[test]
+    fn queued_observations_split_queue_and_service_time() {
+        let m = Metrics::new();
+        m.observe(RequestKind::Query, 2_000); // direct: all service time
+        m.observe_queued(RequestKind::Admit, 1_000_000, 4_000);
+        let s = m.snapshot();
+        assert_eq!(s.latency_count, 2);
+        assert_eq!(s.queue_count, 1, "direct path must not record queue wait");
+        assert_eq!(s.queue_max_us, 1_000);
+        assert_eq!(s.service_max_us, 4);
+        // The total histogram sees queue + service.
+        assert_eq!(s.max_us, 1_004);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! A minimal, safe wrapper over Linux `epoll` — the readiness engine
+//! behind the reactor in [`crate::server`].
+//!
+//! The build is offline (no `libc` crate), so the four syscalls the
+//! reactor needs — `epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `close` — are bound here directly. This module is the **only**
+//! place in the crate allowed to contain `unsafe`; everything it
+//! exposes is a safe API: a [`Poller`] owning the epoll instance and
+//! plain-data [`PollEvent`]s out of [`Poller::wait`].
+//!
+//! Registration is level-triggered. The reactor re-arms write interest
+//! only while a connection has buffered output, so level-triggered
+//! semantics cost nothing and avoid the lost-wakeup pitfalls of
+//! edge-triggered mode.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// packs it there so 32-bit and 64-bit layouts match); natural layout
+/// everywhere else.
+#[derive(Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// The descriptor has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The descriptor can take more bytes.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored; the connection is
+    /// done once drained.
+    pub hangup: bool,
+}
+
+/// An owned epoll instance. Descriptors are registered with a caller
+/// token that comes back verbatim in every [`PollEvent`]; the `Poller`
+/// never closes registered descriptors, only its own epoll fd.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(
+        &self,
+        op: i32,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        let mut interest = EPOLLRDHUP;
+        if readable {
+            interest |= EPOLLIN;
+        }
+        if writable {
+            interest |= EPOLLOUT;
+        }
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let evp = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, evp) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
+    }
+
+    /// Re-arms an already-registered `fd` with a new interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+    }
+
+    /// Deregisters `fd`. Safe to call for descriptors the kernel
+    /// already dropped from the set (the error is swallowed — the
+    /// reactor deregisters right before closing).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, false, false);
+    }
+
+    /// Blocks until readiness or `timeout` (`None` = forever), filling
+    /// `events`. A signal wake-up retries; a timeout returns an empty
+    /// vector.
+    pub fn wait(&self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        const CAPACITY: usize = 256;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let n = loop {
+            match cvt(unsafe {
+                epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms)
+            }) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let (bits, token) = (ev.events, ev.data);
+            events.push(PollEvent {
+                token,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        let _ = unsafe { close(self.epfd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn reports_readable_when_bytes_arrive() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing pending: a zero timeout returns no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn write_interest_is_rearmed_with_modify() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = UnixStream::pair().unwrap();
+        poller.add(a.as_raw_fd(), 1, true, false).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty(), "no interest armed yet: {events:?}");
+
+        // An idle socket is immediately writable once we ask.
+        poller.modify(a.as_raw_fd(), 1, true, true).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 1 && e.writable),
+            "{events:?}"
+        );
+
+        // Level-triggered: it stays writable until disarmed.
+        poller.modify(a.as_raw_fd(), 1, true, false).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.writable),
+            "write interest disarmed: {events:?}"
+        );
+
+        let mut buf = [0u8; 1];
+        b.write_all(b"y").unwrap();
+        let mut a2 = a;
+        a2.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"y");
+    }
+
+    #[test]
+    fn peer_close_raises_hangup() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 3, true, false).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert!(events[0].hangup, "{events:?}");
+    }
+
+    #[test]
+    fn deregistered_fds_stop_reporting() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 9, true, false).unwrap();
+        a.write_all(b"z").unwrap();
+        poller.delete(b.as_raw_fd());
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "{events:?}");
+    }
+}

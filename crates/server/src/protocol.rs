@@ -253,16 +253,36 @@ pub struct StatsReport {
     pub streams: u64,
     /// `Cal_U` recomputations the controller has performed.
     pub recomputations: u64,
+    /// Admissions committed through the optimistic concurrent path.
+    pub optimistic: u64,
     /// Latency observations recorded.
     pub latency_count: u64,
-    /// Median service latency, microseconds.
+    /// Median total latency, microseconds.
     pub p50_us: u64,
-    /// 90th-percentile service latency, microseconds.
+    /// 90th-percentile total latency, microseconds.
     pub p90_us: u64,
-    /// 99th-percentile service latency, microseconds.
+    /// 99th-percentile total latency, microseconds.
     pub p99_us: u64,
-    /// Worst observed service latency, microseconds.
+    /// Worst observed total latency, microseconds.
     pub max_us: u64,
+    /// Queue-wait observations (requests served via the worker queue).
+    pub queue_count: u64,
+    /// Median queue wait, microseconds.
+    pub queue_p50_us: u64,
+    /// 90th-percentile queue wait, microseconds.
+    pub queue_p90_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
+    /// Worst queue wait, microseconds.
+    pub queue_max_us: u64,
+    /// Median service time, microseconds.
+    pub service_p50_us: u64,
+    /// 90th-percentile service time, microseconds.
+    pub service_p90_us: u64,
+    /// 99th-percentile service time, microseconds.
+    pub service_p99_us: u64,
+    /// Worst service time, microseconds.
+    pub service_max_us: u64,
 }
 
 /// A structured response, rendered to one JSON line by
@@ -480,8 +500,18 @@ pub fn render_response(r: &Response) -> String {
             );
             let _ = write!(
                 out,
-                ",\"admitted\":{},\"rejected\":{},\"removed\":{},\"replayed\":{},\"errors\":{},\"shed\":{},\"streams\":{},\"recomputations\":{}",
-                s.admitted, s.rejected, s.removed, s.replayed, s.errors, s.shed, s.streams, s.recomputations
+                ",\"admitted\":{},\"rejected\":{},\"removed\":{},\"replayed\":{},\"errors\":{},\"shed\":{},\"streams\":{},\"recomputations\":{},\"optimistic\":{}",
+                s.admitted, s.rejected, s.removed, s.replayed, s.errors, s.shed, s.streams, s.recomputations, s.optimistic
+            );
+            let _ = write!(
+                out,
+                ",\"queue_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                s.queue_count, s.queue_p50_us, s.queue_p90_us, s.queue_p99_us, s.queue_max_us
+            );
+            let _ = write!(
+                out,
+                ",\"service_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                s.service_p50_us, s.service_p90_us, s.service_p99_us, s.service_max_us
             );
             let _ = write!(
                 out,
@@ -660,6 +690,10 @@ mod tests {
         assert!(snap.contains("\"mesh\":[10,10]"), "{snap}");
         assert!(snap.contains("\"src\":[1,2]"), "{snap}");
         assert!(snap.contains("\"bound\":23"), "{snap}");
+        let stats = render_response(&cases[5]);
+        assert!(stats.contains("\"queue_us\":{"), "{stats}");
+        assert!(stats.contains("\"service_us\":{"), "{stats}");
+        assert!(stats.contains("\"latency_us\":{"), "{stats}");
         let busy = render_response(&cases[7]);
         assert!(busy.contains("\"retry_after_ms\":25"), "{busy}");
         let err = render_response(&cases[8]);

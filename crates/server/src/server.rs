@@ -1,32 +1,70 @@
-//! The TCP front end: a blocking accept loop with one worker thread per
-//! connection, newline-delimited requests in, single-line JSON out.
+//! The TCP front end: an event-driven epoll reactor with a small
+//! worker pool, newline-delimited requests in, single-line JSON out.
 //!
-//! Shutdown is cooperative and lock-free: the `SHUTDOWN` handler sets a
-//! shared [`AtomicBool`] and then self-connects to the listening socket
-//! to unblock the accept loop. Workers poll the flag on a 100ms read
-//! timeout, so every connection drains within one timeout tick of the
-//! request; the accept loop then joins every worker before returning.
+//! One reactor thread owns every socket. It accepts non-blocking,
+//! splits incoming bytes into request lines, and queues each parsed
+//! line on its connection's FIFO. Admission work never runs on the
+//! reactor thread: a pool of workers ([`ServerConfig::workers`]) pops
+//! jobs, calls into the service, and hands the rendered response back
+//! through a completion queue plus a one-byte wake-up pipe.
 //!
-//! Input is untrusted: the line reader accumulates at most
+//! **Pipelining with ordered responses.** A client may write N
+//! requests back to back without waiting; the per-connection FIFO plus
+//! an at-most-one-batch-in-flight rule guarantee the N responses come
+//! back in request order. Consecutive queued lines travel to a worker
+//! as a single batch job served in order, so a pipelined burst pays
+//! the two thread hand-offs once, not per request.
+//! (Cross-connection parallelism is what the worker pool buys; within
+//! a connection, order is part of the protocol.)
+//!
+//! Shutdown is cooperative and lock-free: the `SHUTDOWN` handler (or a
+//! [`ShutdownHandle`]) sets a shared [`AtomicBool`]; the handle also
+//! self-connects so the reactor notices immediately instead of at the
+//! next 100ms poll tick. The reactor then flushes what it can, poisons
+//! the job queue, and joins every worker before returning.
+//!
+//! Input is untrusted: the line splitter accumulates at most
 //! [`MAX_LINE_BYTES`] per request (never an unbounded buffer), answers
 //! an overlong line with `code:"too_long"`, discards bytes up to the
 //! next newline, and **keeps the connection** — one bad request does
-//! not kill a client's session. A connection cap
+//! not kill a client's session. The `too_long` answer goes through the
+//! same per-connection FIFO as real requests, so even error responses
+//! stay in arrival order. A connection cap
 //! ([`ServerConfig::max_connections`]) sheds excess connects with a
-//! single `busy` line instead of accepting unbounded worker threads.
+//! single `busy` line instead of accepting unbounded state.
 
+use crate::poll::{PollEvent, Poller};
 use crate::protocol::{render_response, Response, MAX_LINE_BYTES};
 use crate::service::AdmissionService;
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long a worker blocks in `read` before re-checking the shutdown
-/// flag. Partial input read before the tick stays buffered.
-const READ_TICK: Duration = Duration::from_millis(100);
+/// Upper bound on one epoll wait; the reactor re-checks the shutdown
+/// flag at least this often even with no traffic.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Epoll token of the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+/// Epoll token of the worker wake-up pipe.
+const WAKE_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Read granularity per `read(2)` call on a ready socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Most request lines dispatched to a worker as one batch job. Batching
+/// amortizes the reactor->worker->reactor hand-off (two thread wakes)
+/// over a whole pipelined burst; the cap keeps one huge burst from
+/// monopolizing a worker while other connections wait.
+const MAX_BATCH_LINES: usize = 64;
 
 /// Front-end limits.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,6 +72,277 @@ pub struct ServerConfig {
     /// Maximum simultaneous connections; further connects are answered
     /// with one `busy` line and closed (0 = unlimited).
     pub max_connections: usize,
+    /// Worker threads executing admission work off the reactor
+    /// (0 = one per available core, capped at 8).
+    pub workers: usize,
+}
+
+fn worker_count(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// A batch of parsed request lines (one connection, arrival order)
+/// waiting for a worker.
+struct Job {
+    token: u64,
+    lines: Vec<(String, Instant)>,
+}
+
+/// The rendered responses of one batch on their way back to the
+/// reactor, concatenated in request order.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    stop: bool,
+}
+
+#[derive(Default)]
+struct JobState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The reactor-to-worker hand-off: a mutex-and-condvar queue, poisoned
+/// by `close` so idle workers exit at shutdown.
+#[derive(Default)]
+struct JobQueue {
+    state: Mutex<JobState>,
+    cond: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.state.lock().unwrap().jobs.push_back(job);
+        self.cond.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(j) = s.jobs.pop_front() {
+                return Some(j);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cond.wait(s).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// The worker-to-reactor hand-off. Workers push finished responses and
+/// write one byte into the wake pipe; the pipe's read end lives in the
+/// epoll set, so the reactor wakes even when otherwise idle.
+struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    wake: UnixStream,
+}
+
+impl CompletionQueue {
+    fn push(&self, c: Completion) {
+        self.done.lock().unwrap().push(c);
+        // A full pipe means wake-ups are already pending; dropping the
+        // byte is fine, the reactor drains completions every pass.
+        let _ = (&self.wake).write(&[1]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock().unwrap())
+    }
+}
+
+/// One entry in a connection's response-order FIFO.
+enum Pending {
+    /// A parsed request line awaiting dispatch.
+    Line { text: String, enqueued: Instant },
+    /// An already-rendered response (e.g. `too_long`) that must wait
+    /// its turn behind earlier requests.
+    Immediate { bytes: Vec<u8> },
+}
+
+/// Per-connection reactor state.
+struct Connection {
+    stream: TcpStream,
+    /// Bytes of the current (incomplete) request line.
+    rbuf: Vec<u8>,
+    /// Skipping the tail of an overlong line until its newline.
+    discarding: bool,
+    /// Requests (and ordered error responses) not yet dispatched.
+    queue: VecDeque<Pending>,
+    /// A worker currently owns this connection's head-of-line batch.
+    in_flight: bool,
+    /// Rendered responses not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// Drained prefix of `wbuf`.
+    wpos: usize,
+    /// Peer sent EOF; serve what's queued, then close.
+    read_closed: bool,
+    /// Interest set currently armed in epoll: (readable, writable).
+    armed: (bool, bool),
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            rbuf: Vec::new(),
+            discarding: false,
+            queue: VecDeque::new(),
+            in_flight: false,
+            wbuf: Vec::new(),
+            wpos: 0,
+            read_closed: false,
+            armed: (true, false),
+        }
+    }
+
+    /// Reads everything available (level-triggered epoll: until
+    /// `WouldBlock` or EOF) and splits it into queue entries.
+    fn read_ready(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => self.ingest(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The line splitter: same limits as the pre-reactor server. At
+    /// most [`MAX_LINE_BYTES`] (+1 sentinel byte to detect overflow)
+    /// accumulate per request; an overlong line queues a `too_long`
+    /// response and discards through the next newline.
+    fn ingest(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let newline = data.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                match newline {
+                    Some(p) => {
+                        self.discarding = false;
+                        data = &data[p + 1..];
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+            let end = newline.unwrap_or(data.len());
+            let room = (MAX_LINE_BYTES + 1).saturating_sub(self.rbuf.len());
+            self.rbuf.extend_from_slice(&data[..end.min(room)]);
+            let Some(p) = newline else {
+                if self.rbuf.len() > MAX_LINE_BYTES {
+                    // Overflow mid-line: answer now (in FIFO order),
+                    // skip to the newline.
+                    self.push_too_long();
+                    self.rbuf.clear();
+                    self.discarding = true;
+                }
+                return;
+            };
+            if self.rbuf.len() > MAX_LINE_BYTES {
+                self.push_too_long();
+            } else {
+                let text = String::from_utf8_lossy(&self.rbuf);
+                let request = text.trim();
+                if !request.is_empty() {
+                    self.queue.push_back(Pending::Line {
+                        text: request.to_string(),
+                        enqueued: Instant::now(),
+                    });
+                }
+            }
+            self.rbuf.clear();
+            data = &data[p + 1..];
+        }
+    }
+
+    fn push_too_long(&mut self) {
+        let mut msg = render_response(&Response::error(
+            "too_long",
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+        msg.push('\n');
+        self.queue.push_back(Pending::Immediate {
+            bytes: msg.into_bytes(),
+        });
+    }
+
+    /// Advances the FIFO: already-rendered responses at the head go
+    /// straight to the write buffer, then the run of request lines
+    /// behind them is dispatched as **one batch job** (the worker
+    /// serves the batch in order and returns one concatenated response
+    /// block, so a whole pipelined burst costs a single
+    /// reactor->worker->reactor round trip). Nothing moves while a
+    /// batch is in flight — a queued `Immediate` behind it must not
+    /// overtake its responses.
+    fn pump(&mut self, token: u64, jobs: &JobQueue) {
+        if self.in_flight {
+            return;
+        }
+        while matches!(self.queue.front(), Some(Pending::Immediate { .. })) {
+            let Some(Pending::Immediate { bytes }) = self.queue.pop_front() else {
+                unreachable!()
+            };
+            self.wbuf.extend_from_slice(&bytes);
+        }
+        let mut lines = Vec::new();
+        while lines.len() < MAX_BATCH_LINES
+            && matches!(self.queue.front(), Some(Pending::Line { .. }))
+        {
+            let Some(Pending::Line { text, enqueued }) = self.queue.pop_front() else {
+                unreachable!()
+            };
+            lines.push((text, enqueued));
+        }
+        if !lines.is_empty() {
+            self.in_flight = true;
+            jobs.push(Job { token, lines });
+        }
+    }
+
+    /// Writes as much buffered output as the socket takes.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    fn has_backlog(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Fully served: the peer is done sending and nothing is queued,
+    /// running, or waiting to flush.
+    fn done(&self) -> bool {
+        self.read_closed && !self.in_flight && self.queue.is_empty() && !self.has_backlog()
+    }
 }
 
 /// A running admission server bound to a socket.
@@ -82,46 +391,225 @@ impl Server {
     /// Serves until a `SHUTDOWN` request (or a [`ShutdownHandle`])
     /// stops it, then joins every worker thread.
     pub fn run(self) -> io::Result<()> {
-        let addr = self.local_addr()?;
-        let active = Arc::new(AtomicUsize::new(0));
+        self.listener.set_nonblocking(true)?;
+        let jobs = Arc::new(JobQueue::default());
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let completions = Arc::new(CompletionQueue {
+            done: Mutex::new(Vec::new()),
+            wake: wake_tx,
+        });
+
         let mut workers = Vec::new();
-        for conn in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let mut stream = match conn {
-                Ok(s) => s,
-                // A single failed accept (e.g. the peer vanished
-                // between SYN and accept) is not fatal to the server.
-                Err(_) => continue,
-            };
-            if self.config.max_connections > 0
-                && active.load(Ordering::SeqCst) >= self.config.max_connections
-            {
-                // Shed at accept: one busy line, then close. The peer
-                // learns to back off instead of hanging in a queue.
-                let mut line = render_response(&Response::Busy {
-                    retry_after_ms: 100,
-                });
-                line.push('\n');
-                let _ = stream.write_all(line.as_bytes());
-                continue;
-            }
-            active.fetch_add(1, Ordering::SeqCst);
+        for _ in 0..worker_count(self.config.workers) {
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let service = Arc::clone(&self.service);
+            workers.push(thread::spawn(move || {
+                while let Some(job) = jobs.pop() {
+                    let mut payload = String::new();
+                    let mut stop = false;
+                    for (line, enqueued) in &job.lines {
+                        let queue_ns = enqueued.elapsed().as_nanos() as u64;
+                        let (response, s) = service.dispatch_queued(line, queue_ns);
+                        payload.push_str(&render_response(&response));
+                        payload.push('\n');
+                        stop |= s;
+                    }
+                    completions.push(Completion {
+                        token: job.token,
+                        bytes: payload.into_bytes(),
+                        stop,
+                    });
+                }
+            }));
+        }
+
+        // Under `--fsync interval` the periodic flush + fsync runs on
+        // its own thread: a request thread paying the fsync would put
+        // multi-ms device latency straight into the admit p99.
+        let flusher = self.service.wal_flush_interval().map(|every| {
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
-            let active = Arc::clone(&active);
-            workers.push(thread::spawn(move || {
-                // Worker errors are per-connection: the peer is gone,
-                // nothing to report to.
-                let _ = serve_connection(stream, &service, &shutdown, addr);
-                active.fetch_sub(1, Ordering::SeqCst);
-            }));
+            let tick = (every / 4).max(Duration::from_millis(1));
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    thread::sleep(tick);
+                    service.sync_wal_if_due();
+                }
+            })
+        });
+
+        let poller = Poller::new()?;
+        poller.add(self.listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        poller.add(wake_rx.as_raw_fd(), WAKE_TOKEN, true, false)?;
+        let mut reactor = Reactor {
+            poller,
+            listener: self.listener,
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            jobs: Arc::clone(&jobs),
+            completions: Arc::clone(&completions),
+            shutdown: Arc::clone(&self.shutdown),
+            max_connections: self.config.max_connections,
+        };
+        let result = reactor.event_loop();
+
+        jobs.close();
+        reactor.shutdown.store(true, Ordering::SeqCst);
+        if let Some(f) = flusher {
+            let _ = f.join();
         }
         for w in workers {
             let _ = w.join();
         }
-        Ok(())
+        result
+    }
+}
+
+/// The single-threaded event loop: all socket I/O and line splitting.
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Connection>,
+    next_token: u64,
+    jobs: Arc<JobQueue>,
+    completions: Arc<CompletionQueue>,
+    shutdown: Arc<AtomicBool>,
+    max_connections: usize,
+}
+
+impl Reactor {
+    fn event_loop(&mut self) -> io::Result<()> {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Best-effort: push out whatever responses are already
+                // rendered (the SHUTDOWN ack among them), then stop.
+                for conn in self.conns.values_mut() {
+                    let _ = conn.flush();
+                }
+                return Ok(());
+            }
+            self.poller.wait(&mut events, Some(POLL_TICK))?;
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.drain_wake(),
+                    token => self.conn_ready(token, *ev),
+                }
+            }
+            // Completions can land between waits (the wake byte may
+            // coalesce); drain unconditionally every pass.
+            self.apply_completions();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit_conn(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A single failed accept (e.g. the peer vanished
+                // between SYN and accept) is not fatal to the server.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit_conn(&mut self, mut stream: TcpStream) {
+        if self.max_connections > 0 && self.conns.len() >= self.max_connections {
+            // Shed at accept: one busy line, then close. The peer
+            // learns to back off instead of hanging in a queue.
+            let mut line = render_response(&Response::Busy {
+                retry_after_ms: 100,
+            });
+            line.push('\n');
+            let _ = stream.write_all(line.as_bytes());
+            return;
+        }
+        // Responses are single small writes; without TCP_NODELAY they
+        // sit in Nagle's buffer waiting for the peer's delayed ACK
+        // (~40ms per round trip on loopback).
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, true, false)
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(token, Connection::new(stream));
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: PollEvent) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if (ev.readable || ev.hangup) && conn.read_ready().is_err() {
+            self.close_conn(token);
+            return;
+        }
+        self.service_conn(token);
+    }
+
+    /// Runs a connection's FIFO forward, flushes, and re-arms epoll
+    /// interest to match (write interest only while output is
+    /// backlogged, read interest only until the peer's EOF).
+    fn service_conn(&mut self, token: u64) {
+        let jobs = Arc::clone(&self.jobs);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.pump(token, &jobs);
+        if conn.flush().is_err() || conn.done() {
+            self.close_conn(token);
+            return;
+        }
+        let want = (!conn.read_closed, conn.has_backlog());
+        if want != conn.armed {
+            conn.armed = want;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.modify(fd, token, want.0, want.1);
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        for c in self.completions.drain() {
+            if c.stop {
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            if let Some(conn) = self.conns.get_mut(&c.token) {
+                conn.in_flight = false;
+                conn.wbuf.extend_from_slice(&c.bytes);
+                self.service_conn(c.token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.delete(conn.stream.as_raw_fd());
+        }
     }
 }
 
@@ -132,118 +620,13 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Sets the shutdown flag and unblocks the accept loop.
+    /// Sets the shutdown flag and wakes the reactor (a self-connect
+    /// surfaces as an accept event) so it notices without waiting for
+    /// the next poll tick.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        wake_acceptor(self.addr);
+        let _ = TcpStream::connect(self.addr);
     }
-}
-
-/// Unblocks a blocking `accept` by self-connecting; the accept loop
-/// re-checks the flag on wake-up.
-fn wake_acceptor(addr: SocketAddr) {
-    let _ = TcpStream::connect(addr);
-}
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
-}
-
-/// Serves one connection until EOF, a fatal input, or shutdown.
-///
-/// The reader accumulates at most [`MAX_LINE_BYTES`] (+1 sentinel byte
-/// to detect overflow) per request. An overlong line is answered with
-/// `code:"too_long"`, the rest of the line is discarded as it streams
-/// in, and the connection resynchronizes at the next newline.
-fn serve_connection(
-    stream: TcpStream,
-    service: &AdmissionService,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    // Responses are single small writes; without TCP_NODELAY they sit
-    // in Nagle's buffer waiting for the peer's delayed ACK (~40ms per
-    // round trip on loopback).
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    let mut discarding = false;
-    loop {
-        // One fill_buf pass per iteration; partial requests stay in
-        // `line` across timeout ticks.
-        let (newline, take) = {
-            let buf = match reader.fill_buf() {
-                Ok(b) => b,
-                Err(e) if is_timeout(&e) => {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    continue;
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if buf.is_empty() {
-                return Ok(()); // EOF
-            }
-            let newline = buf.iter().position(|&b| b == b'\n');
-            let keep = newline.unwrap_or(buf.len());
-            if !discarding {
-                let room = (MAX_LINE_BYTES + 1).saturating_sub(line.len());
-                line.extend_from_slice(&buf[..keep.min(room)]);
-            }
-            (newline.is_some(), newline.map_or(buf.len(), |p| p + 1))
-        };
-        reader.consume(take);
-        if !newline {
-            if !discarding && line.len() > MAX_LINE_BYTES {
-                // Overflow mid-line: answer now, skip to the newline.
-                too_long(&mut writer)?;
-                line.clear();
-                discarding = true;
-            }
-            continue;
-        }
-        if discarding {
-            discarding = false;
-            continue;
-        }
-        if line.len() > MAX_LINE_BYTES {
-            too_long(&mut writer)?;
-            line.clear();
-            continue;
-        }
-        let text = String::from_utf8_lossy(&line);
-        let request = text.trim();
-        if !request.is_empty() {
-            let (response, stop) = service.dispatch_line(request);
-            let mut payload = render_response(&response);
-            payload.push('\n');
-            writer.write_all(payload.as_bytes())?;
-            if stop {
-                shutdown.store(true, Ordering::SeqCst);
-                wake_acceptor(addr);
-                return Ok(());
-            }
-        }
-        line.clear();
-    }
-}
-
-/// Answers an overlong request line; the caller resynchronizes at the
-/// next newline and keeps serving.
-fn too_long(writer: &mut TcpStream) -> io::Result<()> {
-    let mut msg = render_response(&Response::error(
-        "too_long",
-        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-    ));
-    msg.push('\n');
-    writer.write_all(msg.as_bytes())
 }
 
 #[cfg(test)]
@@ -311,9 +694,15 @@ mod tests {
     #[test]
     fn connection_cap_sheds_with_busy() {
         let service = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
-        let server =
-            Server::bind_with_config(service, "127.0.0.1:0", ServerConfig { max_connections: 1 })
-                .unwrap();
+        let server = Server::bind_with_config(
+            service,
+            "127.0.0.1:0",
+            ServerConfig {
+                max_connections: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap();
         let handle = server.shutdown_handle().unwrap();
         let join = thread::spawn(move || server.run());
@@ -335,6 +724,32 @@ mod tests {
     #[test]
     fn external_shutdown_unblocks_the_accept_loop() {
         let (_addr, handle, join) = spawn_server();
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order() {
+        let (addr, handle, join) = spawn_server();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Three requests in one TCP segment, no read in between.
+        stream
+            .write_all(b"STATS\nADMIT 0,0 3,3 2 50 4\nQUERY 0\n")
+            .unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+            lines.push(line);
+        }
+        assert!(lines[0].contains("\"stats\""), "{lines:?}");
+        assert!(lines[1].contains("\"status\":\"admitted\""), "{lines:?}");
+        assert!(
+            lines[2].contains("\"status\":\"ok\"") && lines[2].contains("\"id\":0"),
+            "{lines:?}"
+        );
+        drop(reader);
         handle.shutdown();
         join.join().unwrap().unwrap();
     }

@@ -18,6 +18,19 @@
 //! pointers, not specs, under the shared lock. Metrics are plain
 //! atomics outside the lock.
 //!
+//! With the **optimistic path** enabled
+//! ([`AdmissionService::set_optimistic`]), an `ADMIT` runs the whole
+//! analysis under the *shared* lock instead:
+//! [`AdmissionController::validate`] analyzes the candidate against
+//! only its link-sharing component, so admissions whose neighborhoods
+//! are disjoint validate concurrently. The exclusive lock is then taken
+//! only to [`AdmissionController::commit_validated`] the pre-computed
+//! bounds — which re-derives the component and refuses (falling back to
+//! the serial path, same lock) if any overlapping stream changed in
+//! between. Either way the decision applied is bit-identical to a
+//! serial admit at the commit point, so the journal stays serially
+//! replayable.
+//!
 //! ## Soundness
 //!
 //! The controller's invariant (every cached bound satisfies
@@ -32,34 +45,41 @@
 //! ## Durability
 //!
 //! With a [`Durability`] attached (the `--wal-dir` path), every
-//! accepted operation is appended to the WAL **before** the response is
-//! built — under `--fsync always` the record is on stable storage
-//! before the client can observe the acknowledgement. A WAL write
-//! failure rolls the controller back, refuses the operation, and flips
-//! the service into **degraded read-only mode**: reads keep working,
-//! writes answer `code:"degraded"` until an operator restarts onto a
-//! healthy device. Requests carrying an `@REQID` prefix land in a
-//! bounded idempotency window (persisted in the WAL and snapshots), so
-//! a client retry of a lost acknowledgement returns the original
-//! outcome instead of double-admitting. Load shedding is a gate in
-//! front of the write lock: when more than `max_pending` writes are
-//! queued, new writes are answered `busy` without touching the lock.
+//! accepted operation is buffered into the group-commit WAL
+//! ([`crate::group_commit::GroupWal`]) under the write lock and
+//! **acknowledged only after its batch is durable** — the write lock is
+//! released first, so under `--fsync always` admissions keep flowing
+//! while the device syncs, and one fsync acknowledges a whole batch.
+//! A WAL device failure fails every ticket in the in-flight batch
+//! (none of them is acknowledged; the file is rolled back to the last
+//! durable point) and flips the service into **degraded read-only
+//! mode**: reads keep working, writes answer `code:"degraded"` until an
+//! operator restarts onto a healthy device. The ops of a failed batch
+//! stay applied in memory but unacknowledged until that restart —
+//! recovery then serves exactly the durable (= acknowledged) prefix.
+//! Requests carrying an `@REQID` prefix land in a bounded idempotency
+//! window (persisted in the WAL and snapshots), so a client retry of a
+//! lost acknowledgement returns the original outcome instead of
+//! double-admitting. Load shedding is a gate in front of the write
+//! lock: when more than `max_pending` writes are queued, new writes are
+//! answered `busy` without touching the lock.
 
+use crate::group_commit::GroupWal;
 use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
 use crate::protocol::{
     parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
 };
 use crate::snapshot::{write_snapshot, DedupEntry, SnapshotData};
-use crate::wal::Wal;
+use crate::wal::FsyncPolicy;
 use rtwc_core::{
     determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
 };
-use rtwc_verifier::lint_candidate_routed;
+use rtwc_verifier::{lint_candidate_routed, Diagnostic};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
 
 /// Most request ids remembered for idempotent replay. Oldest entries
@@ -96,8 +116,10 @@ pub enum AcceptedOp {
 pub struct Durability {
     /// Directory holding `wal.log` and `snapshot.bin`.
     pub dir: PathBuf,
-    /// The open, recovered write-ahead log.
-    pub wal: Wal,
+    /// The open, recovered write-ahead log behind its group-commit
+    /// front (wrap the recovered [`crate::wal::Wal`] with
+    /// [`GroupWal::new`]).
+    pub wal: GroupWal,
     /// Snapshot + compact the WAL every this many records (0 = never).
     pub snapshot_every: u64,
 }
@@ -115,7 +137,6 @@ struct Inner {
     dedup: HashMap<u64, DedupEntry>,
     /// Eviction order for `dedup` (front = oldest).
     dedup_order: VecDeque<u64>,
-    durability: Option<Durability>,
 }
 
 impl Inner {
@@ -135,6 +156,10 @@ impl Inner {
 pub struct AdmissionService {
     mesh: Mesh,
     inner: RwLock<Inner>,
+    /// The group-commit WAL lives outside the `RwLock`: appends are
+    /// ticketed under the write lock, but the durability wait happens
+    /// after it is released.
+    durability: Option<Durability>,
     metrics: Metrics,
     /// Set on the first WAL device error; writes are refused from then
     /// on (reads keep working) until an operator restarts the service.
@@ -144,6 +169,9 @@ pub struct AdmissionService {
     pending_writes: AtomicU64,
     /// Shed writes beyond this many pending (0 = never shed).
     max_pending: u64,
+    /// Validate admissions under the shared lock, committing the
+    /// pre-computed result under the exclusive one.
+    optimistic: bool,
 }
 
 impl AdmissionService {
@@ -159,8 +187,8 @@ impl AdmissionService {
                 log: Vec::new(),
                 dedup: HashMap::new(),
                 dedup_order: VecDeque::new(),
-                durability: None,
             },
+            None,
         )
     }
 
@@ -178,22 +206,23 @@ impl AdmissionService {
             log: state.log,
             dedup: HashMap::new(),
             dedup_order: VecDeque::new(),
-            durability: Some(durability),
         };
         for entry in state.dedup {
             inner.remember(entry);
         }
-        Self::build(mesh, inner)
+        Self::build(mesh, inner, Some(durability))
     }
 
-    fn build(mesh: Mesh, inner: Inner) -> Self {
+    fn build(mesh: Mesh, inner: Inner, durability: Option<Durability>) -> Self {
         AdmissionService {
             mesh,
             inner: RwLock::new(inner),
+            durability,
             metrics: Metrics::new(),
             degraded: AtomicBool::new(false),
             pending_writes: AtomicU64::new(0),
             max_pending: 0,
+            optimistic: false,
         }
     }
 
@@ -202,6 +231,14 @@ impl AdmissionService {
     /// service across threads.
     pub fn set_max_pending(&mut self, n: u64) {
         self.max_pending = n;
+    }
+
+    /// Enables (or disables) the optimistic admission path: validation
+    /// under the shared lock, commit under the exclusive one. Worth it
+    /// when several workers admit concurrently; pure overhead for a
+    /// single writer. Call before sharing the service across threads.
+    pub fn set_optimistic(&mut self, on: bool) {
+        self.optimistic = on;
     }
 
     /// True once a WAL device error has flipped the service into
@@ -214,19 +251,43 @@ impl AdmissionService {
     /// those recovered from disk). Falls back to the journal length for
     /// a non-durable service.
     pub fn seq(&self) -> u64 {
-        let inner = self.read();
-        match &inner.durability {
+        match &self.durability {
             Some(d) => d.wal.seq(),
-            None => inner.log.len() as u64,
+            None => self.read().log.len() as u64,
         }
     }
 
-    /// Syncs the WAL regardless of policy — the clean-shutdown path for
-    /// `--fsync interval`/`never`.
+    /// Lands and syncs every buffered WAL record regardless of policy —
+    /// the clean-shutdown path for `--fsync interval`/`never`.
     pub fn flush(&self) {
-        let mut inner = self.write();
-        if let Some(d) = inner.durability.as_mut() {
-            let _ = d.wal.sync_now();
+        if let Some(d) = &self.durability {
+            let _ = d.wal.flush();
+        }
+    }
+
+    /// Group-commit batching statistics, when a WAL is attached.
+    pub fn group_commit_stats(&self) -> Option<crate::group_commit::GroupCommitStats> {
+        self.durability.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// `Some(interval)` when the attached WAL runs the `interval` fsync
+    /// policy — the server spawns a background flusher thread at this
+    /// cadence so the periodic fsync never lands on a request thread.
+    pub fn wal_flush_interval(&self) -> Option<Duration> {
+        match self.durability.as_ref()?.wal.policy() {
+            FsyncPolicy::Interval(every) => Some(every),
+            FsyncPolicy::Always | FsyncPolicy::Never => None,
+        }
+    }
+
+    /// Background interval-fsync hook: flushes and syncs the WAL buffer
+    /// once the policy's interval has elapsed. A device error degrades
+    /// the service to read-only, exactly as a failed group sync would.
+    pub fn sync_wal_if_due(&self) {
+        if let Some(d) = self.durability.as_ref() {
+            if d.wal.sync_if_due().is_err() {
+                self.degraded.store(true, Ordering::SeqCst);
+            }
         }
     }
 
@@ -274,6 +335,18 @@ impl AdmissionService {
     /// Parses and serves one request line, timing it into the metrics.
     /// Returns the response and whether it was a `SHUTDOWN`.
     pub fn dispatch_line(&self, line: &str) -> (Response, bool) {
+        self.dispatch_timed(line, None)
+    }
+
+    /// Like [`AdmissionService::dispatch_line`] for a request that
+    /// waited `queue_ns` in a reactor queue first: the wait and the
+    /// handler time land in separate histograms, their sum in the total
+    /// one.
+    pub fn dispatch_queued(&self, line: &str, queue_ns: u64) -> (Response, bool) {
+        self.dispatch_timed(line, Some(queue_ns))
+    }
+
+    fn dispatch_timed(&self, line: &str, queue_ns: Option<u64>) -> (Response, bool) {
         let start = Instant::now();
         let (kind, response) = match parse_request(line) {
             Ok(req) => {
@@ -320,8 +393,11 @@ impl AdmissionService {
             _ => {}
         }
         let shutdown = matches!(response, Response::ShuttingDown);
-        self.metrics
-            .observe(kind, start.elapsed().as_nanos() as u64);
+        let service_ns = start.elapsed().as_nanos() as u64;
+        match queue_ns {
+            None => self.metrics.observe(kind, service_ns),
+            Some(q) => self.metrics.observe_queued(kind, q, service_ns),
+        }
         (response, shutdown)
     }
 
@@ -382,10 +458,43 @@ impl AdmissionService {
         // this path ever being used.
         let path = XyRouting.route(&self.mesh, source, dest).ok();
 
+        // Optimistic phase: with concurrent validation enabled, the
+        // lint and the whole component analysis run under the *shared*
+        // lock — admissions whose link-sharing neighborhoods are
+        // disjoint validate in parallel; only the commit serializes.
+        let mut validated = None;
+        if self.optimistic {
+            if let Some(path) = path.clone() {
+                let inner = self.read();
+                if req_id != 0 {
+                    if let Some(entry) = inner.dedup.get(&req_id) {
+                        if entry.admit {
+                            self.metrics.count_replayed();
+                        }
+                        return Self::replay_dedup(entry, true);
+                    }
+                }
+                let findings =
+                    lint_candidate_routed(&self.mesh, &XyRouting, inner.ctl.parts(), &spec);
+                if findings.iter().any(|d| d.is_error()) {
+                    return Self::lint_rejection(findings);
+                }
+                match inner.ctl.validate(spec.clone(), path) {
+                    Ok(v) => validated = Some((v, findings)),
+                    // A rejection computed under the shared lock is the
+                    // serial verdict at this serialization point —
+                    // nothing to roll back, answer it directly.
+                    Err(e) => return Self::rejection(&e, &inner.handles),
+                }
+            }
+        }
+
         let mut inner = self.write();
 
         // Idempotent replay: a retried request id returns the original
-        // outcome without touching any state.
+        // outcome without touching any state. (Re-checked here even
+        // after the optimistic phase: a racing duplicate may have
+        // committed between the two locks.)
         if req_id != 0 {
             if let Some(entry) = inner.dedup.get(&req_id) {
                 if entry.admit {
@@ -395,21 +504,23 @@ impl AdmissionService {
             }
         }
 
+        // Commit the optimistic validation if its component is intact;
+        // a stale one falls through to the serial path below, which
+        // re-lints and re-analyzes against the changed set.
+        if let Some((v, warnings)) = validated.take() {
+            if let Some(id) = inner.ctl.commit_validated(&v) {
+                self.metrics.count_optimistic();
+                return self.finish_admit(inner, id, req_id, spec, deadline, warnings);
+            }
+        }
+
         // Verifier gate: W0xx rules on the candidate against the
         // admitted set, under the same exclusive lock the admission
         // itself runs under. The lint borrows the controller's own
         // `(spec, path)` parts — no cloning, no re-routing.
         let findings = lint_candidate_routed(&self.mesh, &XyRouting, inner.ctl.parts(), &spec);
         if findings.iter().any(|d| d.is_error()) {
-            let errors = findings.iter().filter(|d| d.is_error()).count();
-            return Response::Rejected {
-                reason: RejectReason::Lint,
-                message: format!("candidate fails {errors} verifier rule(s)"),
-                bound: None,
-                blocked_by: Vec::new(),
-                victims: Vec::new(),
-                diagnostics: findings,
-            };
+            return Self::lint_rejection(findings);
         }
         let warnings = findings;
 
@@ -418,78 +529,114 @@ impl AdmissionService {
             return Response::error("routing", "routing failed");
         };
 
-        let to_handles = |ids: &[StreamId], handles: &[u64]| -> Vec<u64> {
-            ids.iter().map(|id| handles[id.index()]).collect()
-        };
         match inner.ctl.admit(spec.clone(), path) {
-            Ok(id) => {
-                let handle = inner.next_handle;
-                let op = AcceptedOp::Admit { handle, spec };
-                // Persist before acknowledging: if the WAL refuses the
-                // record the decision is rolled back and the client is
-                // told "not admitted" — an acked op can never be one
-                // the log does not hold.
-                if let Some(e) = self.persist(&mut inner, req_id, &op) {
-                    inner.ctl.remove(id);
-                    return e;
-                }
-                inner.next_handle += 1;
-                inner.handles.push(handle);
-                debug_assert_eq!(inner.handles.len() - 1, id.index());
-                inner.log.push(Arc::new(op));
-                let bound = inner
-                    .ctl
-                    .bound(id)
-                    .value()
-                    .expect("admitted bound is bounded");
-                if req_id != 0 {
-                    inner.remember(DedupEntry {
-                        req_id,
-                        admit: true,
-                        handle,
-                        bound,
-                        deadline,
-                    });
-                }
-                self.maybe_snapshot(&mut inner);
-                self.metrics.count_admitted();
-                Response::Admitted {
-                    id: handle,
-                    bound,
-                    deadline,
-                    slack: deadline - bound,
-                    warnings,
-                }
+            Ok(id) => self.finish_admit(inner, id, req_id, spec, deadline, warnings),
+            Err(e) => Self::rejection(&e, &inner.handles),
+        }
+    }
+
+    /// Bookkeeping for an admission the controller just accepted (`id`
+    /// is its fresh dense id): journal, WAL ticket, dedup window,
+    /// snapshot cadence — then release the write lock and acknowledge
+    /// once the ticket's batch is durable.
+    fn finish_admit(
+        &self,
+        mut inner: std::sync::RwLockWriteGuard<'_, Inner>,
+        id: StreamId,
+        req_id: u64,
+        spec: StreamSpec,
+        deadline: u64,
+        warnings: Vec<Diagnostic>,
+    ) -> Response {
+        let handle = inner.next_handle;
+        let op = AcceptedOp::Admit { handle, spec };
+        // Ticket before acknowledging: if the WAL refuses the record
+        // the decision is rolled back and the client is told "not
+        // admitted" — an acked op can never be one the log (or a
+        // snapshot) does not hold.
+        let ticket = match self.persist(req_id, &op) {
+            Ok(t) => t,
+            Err(refusal) => {
+                inner.ctl.remove(id);
+                return refusal;
             }
-            Err(e) => {
-                let (reason, bound, blocked_by, victims) = match &e {
-                    AdmissionError::CandidateInfeasible {
-                        bound, blocked_by, ..
-                    } => (
-                        RejectReason::CandidateInfeasible,
-                        bound.value(),
-                        to_handles(blocked_by, &inner.handles),
-                        Vec::new(),
-                    ),
-                    AdmissionError::BreaksExisting { victims, .. } => (
-                        RejectReason::BreaksExisting,
-                        None,
-                        Vec::new(),
-                        to_handles(victims, &inner.handles),
-                    ),
-                    AdmissionError::Invalid(_) => {
-                        (RejectReason::Invalid, None, Vec::new(), Vec::new())
-                    }
-                };
-                Response::Rejected {
-                    reason,
-                    message: e.to_string(),
-                    bound,
-                    blocked_by,
-                    victims,
-                    diagnostics: Vec::new(),
-                }
-            }
+        };
+        inner.next_handle += 1;
+        inner.handles.push(handle);
+        debug_assert_eq!(inner.handles.len() - 1, id.index());
+        inner.log.push(Arc::new(op));
+        let bound = inner
+            .ctl
+            .bound(id)
+            .value()
+            .expect("admitted bound is bounded");
+        if req_id != 0 {
+            inner.remember(DedupEntry {
+                req_id,
+                admit: true,
+                handle,
+                bound,
+                deadline,
+            });
+        }
+        self.maybe_snapshot(&mut inner);
+        drop(inner);
+        // The durability wait runs outside the lock: other writes keep
+        // validating and committing while this batch syncs.
+        if let Some(refusal) = self.await_durable(ticket) {
+            return refusal;
+        }
+        self.metrics.count_admitted();
+        Response::Admitted {
+            id: handle,
+            bound,
+            deadline,
+            slack: deadline - bound,
+            warnings,
+        }
+    }
+
+    fn lint_rejection(findings: Vec<Diagnostic>) -> Response {
+        let errors = findings.iter().filter(|d| d.is_error()).count();
+        Response::Rejected {
+            reason: RejectReason::Lint,
+            message: format!("candidate fails {errors} verifier rule(s)"),
+            bound: None,
+            blocked_by: Vec::new(),
+            victims: Vec::new(),
+            diagnostics: findings,
+        }
+    }
+
+    /// Maps an analysis rejection onto the wire shape, translating the
+    /// controller's dense ids into stable handles.
+    fn rejection(e: &AdmissionError, handles: &[u64]) -> Response {
+        let to_handles =
+            |ids: &[StreamId]| -> Vec<u64> { ids.iter().map(|id| handles[id.index()]).collect() };
+        let (reason, bound, blocked_by, victims) = match e {
+            AdmissionError::CandidateInfeasible {
+                bound, blocked_by, ..
+            } => (
+                RejectReason::CandidateInfeasible,
+                bound.value(),
+                to_handles(blocked_by),
+                Vec::new(),
+            ),
+            AdmissionError::BreaksExisting { victims, .. } => (
+                RejectReason::BreaksExisting,
+                None,
+                Vec::new(),
+                to_handles(victims),
+            ),
+            AdmissionError::Invalid(_) => (RejectReason::Invalid, None, Vec::new(), Vec::new()),
+        };
+        Response::Rejected {
+            reason,
+            message: e.to_string(),
+            bound,
+            blocked_by,
+            victims,
+            diagnostics: Vec::new(),
         }
     }
 
@@ -510,11 +657,12 @@ impl AdmissionService {
             return Response::error("unknown_id", format!("unknown stream id {handle}"));
         };
         let op = AcceptedOp::Remove { handle };
-        // Persist-before-ack, as in `admit` — but here nothing has been
-        // applied yet, so a WAL failure leaves the state untouched.
-        if let Some(e) = self.persist(&mut inner, req_id, &op) {
-            return e;
-        }
+        // Ticket-before-ack, as in `admit` — but here nothing has been
+        // applied yet, so a refused append leaves the state untouched.
+        let ticket = match self.persist(req_id, &op) {
+            Ok(t) => t,
+            Err(refusal) => return refusal,
+        };
         inner.ctl.remove(StreamId(idx as u32));
         inner.handles.remove(idx);
         inner.log.push(Arc::new(op));
@@ -528,22 +676,54 @@ impl AdmissionService {
             });
         }
         self.maybe_snapshot(&mut inner);
+        drop(inner);
+        if let Some(refusal) = self.await_durable(ticket) {
+            return refusal;
+        }
         self.metrics.count_removed();
         Response::Removed { id: handle }
     }
 
-    /// Appends `op` to the WAL, if one is attached. `Some(response)` is
-    /// the refusal to send instead of an acknowledgement; the first
-    /// device error also flips the service into degraded mode.
-    fn persist(&self, inner: &mut Inner, req_id: u64, op: &AcceptedOp) -> Option<Response> {
-        let d = inner.durability.as_mut()?;
+    /// Buffers `op` into the group-commit WAL, if one is attached,
+    /// returning the durability ticket to pass to
+    /// [`AdmissionService::await_durable`] after the write lock drops.
+    /// `Err(response)` is the refusal to send instead of an
+    /// acknowledgement. No fsync runs on this path — the write lock is
+    /// held here; group syncs run in `await_durable` after the lock
+    /// drops and interval syncs on the server's flusher thread.
+    #[allow(clippy::result_large_err)] // the Err is the refusal sent on the wire
+    fn persist(&self, req_id: u64, op: &AcceptedOp) -> Result<Option<u64>, Response> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(None);
+        };
         match d.wal.append(req_id, op) {
+            Ok(ticket) => Ok(Some(ticket)),
+            Err(e) => {
+                self.degraded.store(true, Ordering::SeqCst);
+                Err(Response::error(
+                    "wal",
+                    format!("not applied: WAL write failed ({e}); service is now read-only"),
+                ))
+            }
+        }
+    }
+
+    /// Blocks until `ticket`'s batch is durable (a no-op without a
+    /// ticket or under `--fsync interval`/`never`, whose syncs run on
+    /// the server's background flusher). `Some(response)` is
+    /// the refusal to send instead of an acknowledgement: the whole
+    /// batch was rolled back off the log and the service is degraded —
+    /// the op stays applied in memory, unacknowledged, until restart.
+    fn await_durable(&self, ticket: Option<u64>) -> Option<Response> {
+        let ticket = ticket?;
+        let d = self.durability.as_ref()?;
+        match d.wal.wait_durable(ticket) {
             Ok(()) => None,
             Err(e) => {
                 self.degraded.store(true, Ordering::SeqCst);
                 Some(Response::error(
                     "wal",
-                    format!("not applied: WAL write failed ({e}); service is now read-only"),
+                    format!("not acknowledged: WAL sync failed ({e}); service is now read-only"),
                 ))
             }
         }
@@ -580,8 +760,8 @@ impl AdmissionService {
     /// non-fatal: the WAL still holds every record, so recovery loses
     /// nothing — compaction is just deferred to the next trigger.
     fn maybe_snapshot(&self, inner: &mut Inner) {
-        let due = match inner.durability.as_ref() {
-            Some(d) => d.snapshot_every > 0 && d.wal.records() >= d.snapshot_every,
+        let due = match self.durability.as_ref() {
+            Some(d) => d.snapshot_every > 0 && d.wal.records_since_reset() >= d.snapshot_every,
             None => false,
         };
         if !due {
@@ -598,7 +778,7 @@ impl AdmissionService {
             .iter()
             .filter_map(|id| inner.dedup.get(id).copied())
             .collect();
-        let d = inner.durability.as_mut().expect("durability checked above");
+        let d = self.durability.as_ref().expect("durability checked above");
         let data = SnapshotData {
             seq: d.wal.seq(),
             next_handle: inner.next_handle,
@@ -606,8 +786,12 @@ impl AdmissionService {
             dedup,
         };
         if write_snapshot(&d.dir, &data).is_ok() {
-            // A failed reset leaves WAL records the snapshot already
-            // covers; recovery skips them by sequence number.
+            // The fsynced snapshot covers every op ticketed so far
+            // (they were all applied under this write lock before their
+            // durability waits), so a successful reset releases every
+            // outstanding ticket. A failed reset leaves WAL records the
+            // snapshot already covers; recovery skips them by sequence
+            // number.
             let _ = d.wal.reset(data.seq);
         }
     }
@@ -679,11 +863,21 @@ impl AdmissionService {
             shed: m.shed,
             streams: streams as u64,
             recomputations,
+            optimistic: m.optimistic,
             latency_count: m.latency_count,
             p50_us: m.p50_us,
             p90_us: m.p90_us,
             p99_us: m.p99_us,
             max_us: m.max_us,
+            queue_count: m.queue_count,
+            queue_p50_us: m.queue_p50_us,
+            queue_p90_us: m.queue_p90_us,
+            queue_p99_us: m.queue_p99_us,
+            queue_max_us: m.queue_max_us,
+            service_p50_us: m.service_p50_us,
+            service_p90_us: m.service_p90_us,
+            service_p99_us: m.service_p99_us,
+            service_max_us: m.service_max_us,
         })
     }
 

@@ -336,6 +336,47 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends one accepted operation **without** running the fsync
+    /// policy — the group-commit layer
+    /// ([`crate::group_commit::GroupWal`]) schedules syncs itself,
+    /// batching many records per fsync. Same rollback contract as
+    /// [`Wal::append`]: on error the tail is rolled back and the record
+    /// is gone from the file.
+    pub fn append_raw(&mut self, req_id: u64, op: &AcceptedOp) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::other("WAL is broken (earlier device error)"));
+        }
+        let framed = frame(&encode_payload(req_id, op));
+        if let Err(e) = self.file.append(&framed) {
+            self.rollback();
+            return Err(e);
+        }
+        self.end += framed.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Byte offset one past the last intact record — the group-commit
+    /// layer's durability cursor.
+    pub fn end_offset(&self) -> u64 {
+        self.end
+    }
+
+    /// Rolls the log back to a previously observed
+    /// `(end_offset, records)` point, discarding every record after it
+    /// — the group-commit layer's whole-batch rollback when a batched
+    /// fsync fails, so no unacknowledged record survives into recovery.
+    /// A truncate failure poisons the log.
+    pub fn truncate_to(&mut self, end: u64, records: u64) -> io::Result<()> {
+        if let Err(e) = self.file.truncate(end) {
+            self.broken = true;
+            return Err(e);
+        }
+        self.end = end;
+        self.records = records;
+        Ok(())
+    }
+
     /// Syncs unconditionally, regardless of policy — the clean-shutdown
     /// path for `interval`/`never`, where acknowledged records may
     /// still sit in the page cache.

@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use rtwc_core::StreamId;
 use rtwc_server::{
-    recover, replay, AcceptedOp, AdmissionService, Client, Durability, FsyncPolicy, Request,
-    Response, Server,
+    recover, replay, AcceptedOp, AdmissionService, Client, Durability, FsyncPolicy, GroupWal,
+    Request, Response, Server,
 };
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
@@ -48,7 +48,7 @@ fn history() -> &'static (Vec<u8>, Vec<AcceptedOp>) {
             state,
             Durability {
                 dir: dir.clone(),
-                wal,
+                wal: GroupWal::new(wal),
                 snapshot_every: 0,
             },
         );
