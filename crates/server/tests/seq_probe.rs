@@ -1,0 +1,31 @@
+use rtwc_server::faultfs::RealFile;
+use rtwc_server::group_commit::GroupWal;
+use rtwc_server::service::AcceptedOp;
+use rtwc_server::wal::{FsyncPolicy, Wal, WAL_FILE};
+use rtwc_core::StreamSpec;
+use wormnet_topology::NodeId;
+
+#[test]
+fn groupwal_seq_after_reopen_with_records() {
+    let dir = std::env::temp_dir().join(format!("seq-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(WAL_FILE);
+    let (mut wal, _) = Wal::open(Box::new(RealFile::open(&path).unwrap()), FsyncPolicy::Always).unwrap();
+    for i in 0..3u64 {
+        let op = AcceptedOp::Admit {
+            handle: i,
+            spec: StreamSpec::new(NodeId(i as u32), NodeId(i as u32 + 1), 2, 50, 4, 50),
+        };
+        wal.append(0, &op).unwrap();
+    }
+    assert_eq!(wal.seq(), 3);
+    drop(wal);
+    // Reopen (simulating recovery) and wrap in GroupWal.
+    let (wal, opened) = Wal::open(Box::new(RealFile::open(&path).unwrap()), FsyncPolicy::Always).unwrap();
+    assert_eq!(opened.records.len(), 3);
+    assert_eq!(wal.seq(), 3, "raw wal seq correct");
+    let gc = GroupWal::new(wal);
+    // The next append should be operation 4 => seq() should be 3.
+    assert_eq!(gc.seq(), 3, "GroupWal seq must match recovered history");
+}
