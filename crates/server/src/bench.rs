@@ -48,7 +48,7 @@ pub struct BenchConfig {
     pub height: u32,
     /// Maximum Manhattan offset per axis between a generated stream's
     /// endpoints (0 = uniform destinations). Local traffic is the
-    /// realistic NoC pattern and keeps link-sharing components — and
+    /// realistic `NoC` pattern and keeps link-sharing components — and
     /// therefore per-`ADMIT` analysis cost — bounded as the mesh fills.
     pub locality: u32,
     /// Handles each client holds at most; once full, an admit roll
@@ -193,6 +193,9 @@ fn percentile_us(sorted_ns: &[u64], pct: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
     }
+    // Rank math in f64: sample counts stay far below 2^52 and the
+    // ceil of a non-negative product cannot go negative.
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
     let rank = ((pct / 100.0) * sorted_ns.len() as f64).ceil() as usize;
     sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] / 1_000
 }
@@ -236,25 +239,28 @@ fn gen_op(rng: &mut u64, own: &mut Vec<u64>, cfg: &BenchConfig) -> (u8, String) 
             let h = own.swap_remove(i);
             return (2, format!("REMOVE {h}"));
         }
-        let sx = splitmix64(rng) % cfg.width as u64;
-        let sy = splitmix64(rng) % cfg.height as u64;
+        let sx = splitmix64(rng) % u64::from(cfg.width);
+        let sy = splitmix64(rng) % u64::from(cfg.height);
         let (mut dx, dy) = if cfg.locality > 0 {
-            let r = cfg.locality as u64;
-            let (lo_x, hi_x) = (sx.saturating_sub(r), (sx + r).min(cfg.width as u64 - 1));
-            let (lo_y, hi_y) = (sy.saturating_sub(r), (sy + r).min(cfg.height as u64 - 1));
+            let r = u64::from(cfg.locality);
+            let (lo_x, hi_x) = (sx.saturating_sub(r), (sx + r).min(u64::from(cfg.width) - 1));
+            let (lo_y, hi_y) = (
+                sy.saturating_sub(r),
+                (sy + r).min(u64::from(cfg.height) - 1),
+            );
             (
                 lo_x + splitmix64(rng) % (hi_x - lo_x + 1),
                 lo_y + splitmix64(rng) % (hi_y - lo_y + 1),
             )
         } else {
             (
-                splitmix64(rng) % cfg.width as u64,
-                splitmix64(rng) % cfg.height as u64,
+                splitmix64(rng) % u64::from(cfg.width),
+                splitmix64(rng) % u64::from(cfg.height),
             )
         };
         if (dx, dy) == (sx, sy) {
             // Nudge within the mesh (and within the locality box).
-            dx = if dx + 1 < cfg.width as u64 {
+            dx = if dx + 1 < u64::from(cfg.width) {
                 dx + 1
             } else {
                 dx - 1
@@ -299,19 +305,16 @@ fn worker(
     let mut kinds = Vec::with_capacity(window);
     let mut lines = Vec::with_capacity(window);
     loop {
-        let burst = match cfg.duration {
-            Some(_) => {
-                if pacing.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                window
+        let burst = if cfg.duration.is_some() {
+            if pacing.stop.load(Ordering::Relaxed) {
+                break;
             }
-            None => {
-                if issued >= cfg.ops_per_client {
-                    break;
-                }
-                window.min(cfg.ops_per_client - issued)
+            window
+        } else {
+            if issued >= cfg.ops_per_client {
+                break;
             }
+            window.min(cfg.ops_per_client - issued)
         };
         kinds.clear();
         lines.clear();
@@ -523,7 +526,11 @@ pub fn render_bench_json(o: &BenchOutcome) -> String {
     ));
     out.push_str(&format!("  \"audited_streams\": {},\n", o.audited_streams));
     if let Some(gc) = &o.group_commit {
-        let hist: Vec<String> = gc.batch_hist.iter().map(|c| c.to_string()).collect();
+        let hist: Vec<String> = gc
+            .batch_hist
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         out.push_str(&format!(
             "  \"group_commit\": {{\"syncs\": {}, \"ops_synced\": {}, \"mean_batch\": {:.2}, \"max_batch\": {}, \"batch_size_hist_log2\": [{}]}},\n",
             gc.syncs,

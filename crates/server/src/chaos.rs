@@ -98,7 +98,7 @@ pub struct ChaosOutcome {
 impl ChaosOutcome {
     /// True when every scenario passed.
     pub fn passed(&self) -> bool {
-        self.scenarios.iter().all(|s| s.ok())
+        self.scenarios.iter().all(ScenarioOutcome::ok)
     }
 }
 
@@ -158,9 +158,9 @@ fn drive(service: &AdmissionService, mesh: &Mesh, target: usize, rng: &mut u64) 
                 _ => {}
             }
         } else {
-            let sy = (splitmix64(rng) % height as u64) as u32;
+            let sy = (splitmix64(rng) % u64::from(height)) as u32;
             let sx = (splitmix64(rng) % 3) as u32;
-            let dx = sx + 4 + (splitmix64(rng) % (width as u64 - 7)) as u32;
+            let dx = sx + 4 + (splitmix64(rng) % (u64::from(width) - 7)) as u32;
             let priority = 1 + (splitmix64(rng) % 5) as u32;
             let period = 120 + splitmix64(rng) % 400;
             let length = 2 + splitmix64(rng) % 6;
@@ -610,9 +610,9 @@ fn concurrent_drive(
                 _ => {}
             }
         } else {
-            let sy = (splitmix64(&mut rng) % height as u64) as u32;
+            let sy = (splitmix64(&mut rng) % u64::from(height)) as u32;
             let sx = (splitmix64(&mut rng) % 3) as u32;
-            let dx = sx + 4 + (splitmix64(&mut rng) % (width as u64 - 7)) as u32;
+            let dx = sx + 4 + (splitmix64(&mut rng) % (u64::from(width) - 7)) as u32;
             let priority = 1 + (splitmix64(&mut rng) % 5) as u32;
             let period = 150 + splitmix64(&mut rng) % 400;
             let length = 2 + splitmix64(&mut rng) % 6;

@@ -1,0 +1,337 @@
+//! The reactor's dispatch plumbing, separated from the sockets so the
+//! loom models can drive it directly: the reactor-to-worker job queue,
+//! the worker-to-reactor completion queue, and the per-connection FIFO
+//! state machine that enforces **at-most-one-batch-in-flight** with
+//! ordered responses.
+//!
+//! `server.rs` owns the epoll loop and the TCP byte shuffling; this
+//! module owns the protocol between the reactor thread and the worker
+//! pool. The split is what makes the protocol model-checkable: a loom
+//! model instantiates [`JobQueue`], [`CompletionQueue`] (with a no-op
+//! [`Wake`]), and [`ConnFifo`] and explores every interleaving of
+//! pump/dispatch/complete — no sockets required. The invariants the
+//! models check (see `tests/loom_models.rs`):
+//!
+//! - every pushed line is answered exactly once, in push order
+//!   (no lost wakeup, no double dispatch);
+//! - at most one batch per connection is ever in flight;
+//! - an [`Pending::Immediate`] response queued behind a line never
+//!   overtakes that line's response.
+
+use crate::lock_order::{classes, TrackedCondvar, TrackedMutex};
+use crate::sync::Instant;
+use std::collections::VecDeque;
+
+/// Most request lines dispatched to a worker as one batch job. Batching
+/// amortizes the reactor->worker->reactor hand-off (two thread wakes)
+/// over a whole pipelined burst; the cap keeps one huge burst from
+/// monopolizing a worker while other connections wait.
+pub const MAX_BATCH_LINES: usize = 64;
+
+/// A batch of parsed request lines (one connection, arrival order)
+/// waiting for a worker.
+pub struct Job {
+    /// The connection's reactor token.
+    pub token: u64,
+    /// The lines with their enqueue instants (queue-wait metrics).
+    pub lines: Vec<(String, Instant)>,
+}
+
+/// The rendered responses of one batch on their way back to the
+/// reactor, concatenated in request order.
+pub struct Completion {
+    /// The connection's reactor token.
+    pub token: u64,
+    /// Concatenated newline-terminated responses, request order.
+    pub bytes: Vec<u8>,
+    /// The batch contained a `SHUTDOWN`.
+    pub stop: bool,
+}
+
+#[derive(Default)]
+struct JobState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The reactor-to-worker hand-off: a mutex-and-condvar queue, poisoned
+/// by `close` so idle workers exit at shutdown.
+pub struct JobQueue {
+    state: TrackedMutex<JobState>,
+    cond: TrackedCondvar,
+}
+
+impl JobQueue {
+    /// An open, empty queue.
+    pub fn new() -> JobQueue {
+        JobQueue {
+            state: TrackedMutex::new(&classes::SERVER_JOBS, JobState::default()),
+            cond: TrackedCondvar::new(),
+        }
+    }
+
+    /// Enqueue a batch and wake one worker.
+    pub fn push(&self, job: Job) {
+        self.state.lock().jobs.push_back(job);
+        self.cond.notify_one();
+    }
+
+    /// Blocks for the next batch; `None` once the queue is closed and
+    /// drained — the worker's exit signal.
+    pub fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(j) = s.jobs.pop_front() {
+                return Some(j);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cond.wait(s);
+        }
+    }
+
+    /// Closes the queue: blocked and future `pop`s return `None` once
+    /// the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cond.notify_all();
+    }
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a [`CompletionQueue`] nudges the reactor out of its poll wait.
+/// The real server writes one byte into a pipe registered with epoll; a
+/// loom model uses a no-op (the model's reactor thread drains the queue
+/// unconditionally, which is exactly the lost-wakeup-freedom argument:
+/// the wake is an optimization, never load-bearing).
+pub trait Wake {
+    /// Signal the reactor that a completion is ready.
+    fn wake(&self);
+}
+
+/// The worker-to-reactor hand-off. Workers push finished responses and
+/// fire the [`Wake`]; the reactor drains every pass.
+pub struct CompletionQueue<W: Wake> {
+    done: TrackedMutex<Vec<Completion>>,
+    wake: W,
+}
+
+impl<W: Wake> CompletionQueue<W> {
+    /// An empty queue signalling through `wake`.
+    pub fn new(wake: W) -> CompletionQueue<W> {
+        CompletionQueue {
+            done: TrackedMutex::new(&classes::SERVER_COMPLETIONS, Vec::new()),
+            wake,
+        }
+    }
+
+    /// Publish one finished batch and nudge the reactor.
+    pub fn push(&self, c: Completion) {
+        self.done.lock().push(c);
+        // The wake may be lossy (a full pipe drops the byte): the
+        // reactor drains completions every pass, so a missing nudge
+        // delays a response by at most one poll tick, never loses it.
+        self.wake.wake();
+    }
+
+    /// Take everything published so far.
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock())
+    }
+}
+
+/// One entry in a connection's response-order FIFO.
+pub enum Pending {
+    /// A parsed request line awaiting dispatch.
+    Line {
+        /// The request text (no trailing newline).
+        text: String,
+        /// When the reactor queued it (queue-wait metrics).
+        enqueued: Instant,
+    },
+    /// An already-rendered response (e.g. `too_long`) that must wait
+    /// its turn behind earlier requests.
+    Immediate {
+        /// The newline-terminated rendered response.
+        bytes: Vec<u8>,
+    },
+}
+
+/// The per-connection dispatch state machine: a FIFO of not-yet-served
+/// entries plus the **at-most-one-batch-in-flight** flag. The reactor
+/// pushes entries as bytes arrive, [`ConnFifo::pump`]s after every
+/// event, and calls [`ConnFifo::complete`] when the worker's responses
+/// come back; the FIFO guarantees responses leave in request order.
+pub struct ConnFifo {
+    queue: VecDeque<Pending>,
+    in_flight: bool,
+}
+
+impl ConnFifo {
+    /// An idle, empty FIFO.
+    pub fn new() -> ConnFifo {
+        ConnFifo {
+            queue: VecDeque::new(),
+            in_flight: false,
+        }
+    }
+
+    /// Queue a parsed request line.
+    pub fn push_line(&mut self, text: String) {
+        self.queue.push_back(Pending::Line {
+            text,
+            enqueued: Instant::now(),
+        });
+    }
+
+    /// Queue an already-rendered (error) response in FIFO position.
+    pub fn push_immediate(&mut self, bytes: Vec<u8>) {
+        self.queue.push_back(Pending::Immediate { bytes });
+    }
+
+    /// A worker currently owns this connection's head-of-line batch.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Nothing queued and nothing in flight.
+    pub fn is_idle(&self) -> bool {
+        !self.in_flight && self.queue.is_empty()
+    }
+
+    /// Advances the FIFO: already-rendered responses at the head go
+    /// straight to `wbuf`, then the run of request lines behind them is
+    /// dispatched as **one batch job** (the worker serves the batch in
+    /// order and returns one concatenated response block, so a whole
+    /// pipelined burst costs a single reactor->worker->reactor round
+    /// trip). Nothing moves while a batch is in flight — a queued
+    /// `Immediate` behind it must not overtake its responses.
+    pub fn pump(&mut self, token: u64, jobs: &JobQueue, wbuf: &mut Vec<u8>) {
+        if self.in_flight {
+            return;
+        }
+        while matches!(self.queue.front(), Some(Pending::Immediate { .. })) {
+            let Some(Pending::Immediate { bytes }) = self.queue.pop_front() else {
+                unreachable!()
+            };
+            wbuf.extend_from_slice(&bytes);
+        }
+        let mut lines = Vec::new();
+        while lines.len() < MAX_BATCH_LINES
+            && matches!(self.queue.front(), Some(Pending::Line { .. }))
+        {
+            let Some(Pending::Line { text, enqueued }) = self.queue.pop_front() else {
+                unreachable!()
+            };
+            lines.push((text, enqueued));
+        }
+        if !lines.is_empty() {
+            self.in_flight = true;
+            jobs.push(Job { token, lines });
+        }
+    }
+
+    /// The worker's batch came back: clear the in-flight flag and land
+    /// its responses. The caller pumps again afterwards to dispatch
+    /// whatever queued up behind the batch.
+    pub fn complete(&mut self, bytes: &[u8], wbuf: &mut Vec<u8>) {
+        debug_assert!(self.in_flight, "completion without a batch in flight");
+        self.in_flight = false;
+        wbuf.extend_from_slice(bytes);
+    }
+}
+
+impl Default for ConnFifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    struct NoWake;
+    impl Wake for NoWake {
+        fn wake(&self) {}
+    }
+
+    #[test]
+    fn fifo_batches_lines_and_orders_immediates() {
+        let jobs = JobQueue::new();
+        let mut fifo = ConnFifo::new();
+        let mut wbuf = Vec::new();
+        fifo.push_line("A".into());
+        fifo.push_line("B".into());
+        fifo.pump(7, &jobs, &mut wbuf);
+        assert!(fifo.in_flight());
+        // Queued behind the in-flight batch: must not overtake it.
+        fifo.push_immediate(b"ERR\n".to_vec());
+        fifo.pump(7, &jobs, &mut wbuf);
+        assert!(wbuf.is_empty(), "immediate must wait for the batch");
+        let job = jobs.pop().unwrap();
+        assert_eq!(job.token, 7);
+        let texts: Vec<&str> = job.lines.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(texts, ["A", "B"]);
+        fifo.complete(b"a\nb\n", &mut wbuf);
+        fifo.pump(7, &jobs, &mut wbuf);
+        assert_eq!(wbuf, b"a\nb\nERR\n");
+        assert!(fifo.is_idle());
+    }
+
+    #[test]
+    fn batch_cap_splits_oversized_bursts() {
+        let jobs = JobQueue::new();
+        let mut fifo = ConnFifo::new();
+        let mut wbuf = Vec::new();
+        for i in 0..MAX_BATCH_LINES + 3 {
+            fifo.push_line(format!("L{i}"));
+        }
+        fifo.pump(1, &jobs, &mut wbuf);
+        let first = jobs.pop().unwrap();
+        assert_eq!(first.lines.len(), MAX_BATCH_LINES);
+        // The remainder waits for the completion.
+        fifo.complete(b"", &mut wbuf);
+        fifo.pump(1, &jobs, &mut wbuf);
+        let second = jobs.pop().unwrap();
+        assert_eq!(second.lines.len(), 3);
+        assert_eq!(second.lines[0].0, format!("L{MAX_BATCH_LINES}"));
+    }
+
+    #[test]
+    fn completion_queue_drains_everything_pushed() {
+        let cq = CompletionQueue::new(NoWake);
+        cq.push(Completion {
+            token: 1,
+            bytes: b"x\n".to_vec(),
+            stop: false,
+        });
+        cq.push(Completion {
+            token: 2,
+            bytes: b"y\n".to_vec(),
+            stop: true,
+        });
+        let drained = cq.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[1].stop);
+        assert!(cq.drain().is_empty());
+    }
+
+    #[test]
+    fn closed_job_queue_drains_then_ends() {
+        let jobs = JobQueue::new();
+        jobs.push(Job {
+            token: 1,
+            lines: vec![("X".into(), Instant::now())],
+        });
+        jobs.close();
+        assert!(jobs.pop().is_some(), "backlog drains after close");
+        assert!(jobs.pop().is_none(), "then the worker exit signal");
+    }
+}

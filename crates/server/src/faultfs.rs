@@ -96,6 +96,118 @@ impl WalFile for RealFile {
     }
 }
 
+/// An in-memory [`WalFile`] with a **synced-bytes watermark**: `sync`
+/// advances the watermark to the current length, and
+/// [`MemFile::synced_bytes`] exposes the prefix a crash at any moment
+/// would preserve. Cloning yields a second handle onto the same
+/// storage, so a test (or a loom model) holds an observer handle while
+/// the WAL owns the other and can reconstruct the post-crash file with
+/// [`MemFile::from_bytes`] at any point.
+///
+/// The interior mutex is a plain `std` one even under `--cfg loom`:
+/// every access happens under the WAL's own (loom-instrumented) file
+/// lock or after the threads joined, so it is never contended at a
+/// model schedule point — it exists only to make the cheap `Clone`
+/// sharing possible.
+#[derive(Clone, Debug, Default)]
+pub struct MemFile {
+    state: Arc<std::sync::Mutex<MemState>>,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    data: Vec<u8>,
+    synced_len: usize,
+    syncs: u64,
+    /// Fail sync call `n` (1-based) and every later one, as in
+    /// [`FaultPlan::fail_sync_from`].
+    fail_sync_from: Option<u64>,
+}
+
+impl MemFile {
+    /// An empty in-memory file.
+    pub fn new() -> MemFile {
+        MemFile::default()
+    }
+
+    /// A file pre-loaded with `data` (all of it already durable) — the
+    /// "reopen after crash" constructor.
+    pub fn from_bytes(data: Vec<u8>) -> MemFile {
+        let synced_len = data.len();
+        MemFile {
+            state: Arc::new(std::sync::Mutex::new(MemState {
+                data,
+                synced_len,
+                syncs: 0,
+                fail_sync_from: None,
+            })),
+        }
+    }
+
+    /// Makes sync call `n` (1-based) and every later one fail — the
+    /// in-memory analogue of a dying device.
+    pub fn fail_sync_from(&self, n: u64) {
+        self.lock().fail_sync_from = Some(n);
+    }
+
+    /// The bytes a crash right now would preserve (everything up to the
+    /// last successful sync).
+    pub fn synced_bytes(&self) -> Vec<u8> {
+        let s = self.lock();
+        s.data[..s.synced_len].to_vec()
+    }
+
+    /// The whole current contents, durable or not.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.lock().data.clone()
+    }
+
+    /// Successful or failed sync calls so far.
+    pub fn syncs(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl WalFile for MemFile {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.lock().data.clone())
+    }
+
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.lock().data.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.lock();
+        s.syncs += 1;
+        if let Some(from) = s.fail_sync_from {
+            if s.syncs >= from {
+                return Err(injected("fsync error"));
+            }
+        }
+        s.synced_len = s.data.len();
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.lock();
+        s.data.truncate(len as usize);
+        s.synced_len = s.synced_len.min(s.data.len());
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.lock().data.len() as u64)
+    }
+}
+
 /// What to inject, keyed by 1-based call counts. `None` fields never
 /// fire. At most one append fault fires per plan (whichever call count
 /// is reached first).
@@ -274,6 +386,28 @@ mod tests {
         assert!(state.fired());
         assert_eq!(f.read_all().unwrap(), b"zz");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_file_watermark_tracks_syncs() {
+        let observer = MemFile::new();
+        let mut f = observer.clone();
+        f.append(b"aaaa").unwrap();
+        assert_eq!(observer.synced_bytes(), b"", "nothing durable yet");
+        f.sync().unwrap();
+        assert_eq!(observer.synced_bytes(), b"aaaa");
+        f.append(b"bbbb").unwrap();
+        assert_eq!(observer.synced_bytes(), b"aaaa", "tail not synced");
+        assert_eq!(observer.bytes(), b"aaaabbbb");
+        // Truncating below the watermark pulls it back.
+        f.truncate(2).unwrap();
+        assert_eq!(observer.synced_bytes(), b"aa");
+        // A dying device: the watermark stops advancing.
+        observer.fail_sync_from(2);
+        f.append(b"cc").unwrap();
+        assert!(f.sync().is_err());
+        assert_eq!(observer.synced_bytes(), b"aa");
+        assert_eq!(observer.syncs(), 2);
     }
 
     #[test]

@@ -43,11 +43,11 @@
 //! every buffered op, so the buffer is discarded, the log restarts
 //! empty, and all waiters are released.
 
+use crate::lock_order::{classes, TrackedCondvar, TrackedMutex, TrackedMutexGuard};
 use crate::service::AcceptedOp;
+use crate::sync::Instant;
 use crate::wal::{FsyncPolicy, Wal};
 use std::io;
-use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Instant;
 
 /// Buffered records that trigger a size-based flush under
 /// [`FsyncPolicy::Never`] (no waiter ever drains the buffer otherwise).
@@ -100,12 +100,15 @@ struct Meta {
     written_seq: u64,
     /// Tickets covered by a group fsync or a snapshot reset.
     durable_seq: u64,
-    /// Tickets whose records reached the file (>= durable_seq except
+    /// Tickets whose records reached the file (>= `durable_seq` except
     /// under `never`/`interval` between syncs).
     flushed_seq: u64,
     /// `written_seq` at the last [`GroupWal::reset`] (or open).
     reset_mark: u64,
-    /// The log's `base_seq` (snapshot-covered ops before this log).
+    /// Operations in the history before any append of this process run:
+    /// the log's own `base_seq` (snapshot-covered ops) **plus** the
+    /// records already in the file at open. Updated to the snapshot
+    /// sequence on [`GroupWal::reset`].
     base_seq: u64,
     /// Buffered `(req_id, op)` records awaiting the next flush.
     pending: Vec<(u64, AcceptedOp)>,
@@ -124,9 +127,9 @@ struct Meta {
 /// leader-elected batched fsyncs, whole-batch rollback on error.
 #[derive(Debug)]
 pub struct GroupWal {
-    meta: Mutex<Meta>,
-    cond: Condvar,
-    file: Mutex<Wal>,
+    meta: TrackedMutex<Meta>,
+    cond: TrackedCondvar,
+    file: TrackedMutex<Wal>,
     policy: FsyncPolicy,
 }
 
@@ -139,7 +142,9 @@ impl GroupWal {
             durable_seq: 0,
             flushed_seq: 0,
             reset_mark: 0,
-            base_seq: wal.seq() - wal.records(),
+            // `Wal::seq()` is already `base_seq + records`: a reopened
+            // log's records are part of the history, so they count.
+            base_seq: wal.seq(),
             pending: Vec::new(),
             leading: false,
             broken: false,
@@ -149,9 +154,9 @@ impl GroupWal {
             stats: GroupCommitStats::default(),
         };
         GroupWal {
-            meta: Mutex::new(meta),
-            cond: Condvar::new(),
-            file: Mutex::new(wal),
+            meta: TrackedMutex::new(&classes::WAL_META, meta),
+            cond: TrackedCondvar::new(),
+            file: TrackedMutex::new(&classes::WAL_FILE, wal),
             policy,
         }
     }
@@ -164,26 +169,26 @@ impl GroupWal {
     /// True once a batch write/sync failed; the log refuses appends and
     /// the service should degrade to read-only.
     pub fn is_broken(&self) -> bool {
-        self.meta.lock().expect("group wal meta lock").broken
+        self.meta.lock().broken
     }
 
     /// Ops appended since the last snapshot reset (buffered or filed) —
     /// the snapshot-cadence counter.
     pub fn records_since_reset(&self) -> u64 {
-        let m = self.meta.lock().expect("group wal meta lock");
+        let m = self.meta.lock();
         m.written_seq - m.reset_mark
     }
 
     /// The operation sequence number the next append will get
     /// (`base_seq` + ops since reset).
     pub fn seq(&self) -> u64 {
-        let m = self.meta.lock().expect("group wal meta lock");
+        let m = self.meta.lock();
         m.base_seq + (m.written_seq - m.reset_mark)
     }
 
     /// A copy of the batching statistics.
     pub fn stats(&self) -> GroupCommitStats {
-        self.meta.lock().expect("group wal meta lock").stats
+        self.meta.lock().stats
     }
 
     /// Buffers one accepted operation and returns its ticket for
@@ -192,7 +197,7 @@ impl GroupWal {
     /// would stall every concurrent admission. Under `never` a full
     /// buffer is written out (page cache only, no sync).
     pub fn append(&self, req_id: u64, op: &AcceptedOp) -> io::Result<u64> {
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         if m.broken {
             return Err(broken_err());
         }
@@ -217,7 +222,7 @@ impl GroupWal {
         if self.policy != FsyncPolicy::Always {
             return Ok(());
         }
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         loop {
             if m.durable_seq >= ticket {
                 return Ok(());
@@ -225,11 +230,11 @@ impl GroupWal {
             if m.broken {
                 return Err(broken_err());
             }
-            if !m.leading {
-                self.lead(m, true)?;
-                m = self.meta.lock().expect("group wal meta lock");
+            if m.leading {
+                m = self.cond.wait(m);
             } else {
-                m = self.cond.wait(m).expect("group wal meta lock");
+                self.lead(m, true)?;
+                m = self.meta.lock();
             }
         }
     }
@@ -245,7 +250,7 @@ impl GroupWal {
         let FsyncPolicy::Interval(every) = self.policy else {
             return Ok(false);
         };
-        let m = self.meta.lock().expect("group wal meta lock");
+        let m = self.meta.lock();
         if m.broken || m.leading || m.durable_seq >= m.written_seq || m.last_sync.elapsed() < every
         {
             return Ok(false);
@@ -256,9 +261,9 @@ impl GroupWal {
     /// Writes every buffered record to the file; syncs except under
     /// `never`. The clean-shutdown path.
     pub fn flush(&self) -> io::Result<()> {
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         while m.leading {
-            m = self.cond.wait(m).expect("group wal meta lock");
+            m = self.cond.wait(m);
         }
         if m.broken {
             return Err(broken_err());
@@ -275,9 +280,9 @@ impl GroupWal {
     /// buffer is discarded, every outstanding ticket becomes durable,
     /// and all waiters are released.
     pub fn reset(&self, base_seq: u64) -> io::Result<()> {
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         while m.leading {
-            m = self.cond.wait(m).expect("group wal meta lock");
+            m = self.cond.wait(m);
         }
         if m.broken {
             return Err(broken_err());
@@ -286,11 +291,11 @@ impl GroupWal {
         m.leading = true;
         drop(m);
         let res = {
-            let mut wal = self.file.lock().expect("group wal file lock");
+            let mut wal = self.file.lock();
             wal.reset(base_seq)
                 .map(|()| (wal.end_offset(), wal.records()))
         };
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         m.leading = false;
         let out = match res {
             Ok((end, records)) => {
@@ -317,7 +322,7 @@ impl GroupWal {
     /// sync, publish the new durable point, wake everyone. Called with
     /// the metadata lock held; file I/O runs without it so appends keep
     /// flowing while the device works.
-    fn lead(&self, mut m: MutexGuard<'_, Meta>, need_sync: bool) -> io::Result<()> {
+    fn lead(&self, mut m: TrackedMutexGuard<'_, Meta>, need_sync: bool) -> io::Result<()> {
         m.leading = true;
         let batch: Vec<(u64, AcceptedOp)> = std::mem::take(&mut m.pending);
         let target = m.written_seq;
@@ -326,7 +331,7 @@ impl GroupWal {
 
         let mut res: io::Result<()> = Ok(());
         let (end, records) = {
-            let mut wal = self.file.lock().expect("group wal file lock");
+            let mut wal = self.file.lock();
             for (req_id, op) in &batch {
                 if let Err(e) = wal.append_raw(*req_id, op) {
                     res = Err(e);
@@ -349,7 +354,7 @@ impl GroupWal {
             (wal.end_offset(), wal.records())
         };
 
-        let mut m = self.meta.lock().expect("group wal meta lock");
+        let mut m = self.meta.lock();
         m.leading = false;
         match &res {
             Ok(()) => {

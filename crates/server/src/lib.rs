@@ -31,7 +31,14 @@
 //! - [`faultfs`] / [`chaos`] — the fault-injection harness behind
 //!   `rtwc chaos`: torn writes, lying short writes, fsync failures and
 //!   kill-9 truncation, each asserting the recovered state is
-//!   bit-identical to a serial replay of the acknowledged history.
+//!   bit-identical to a serial replay of the acknowledged history;
+//! - [`sync`] / [`lock_order`] / [`dispatch`] — the concurrency
+//!   verification layer: a shim that swaps every lock, condvar, atomic
+//!   and thread spawn on the hot paths for `loom` model-checked
+//!   equivalents under `--cfg loom`; debug-build lock-rank tracking
+//!   that panics on out-of-order acquisition (see DESIGN.md for the
+//!   rank table); and the reactor's socket-free dispatch protocol so
+//!   the loom models can drive it directly.
 
 // `deny`, not `forbid`: the [`poll`] module is the one place allowed
 // to contain `unsafe` — the four raw `epoll`/`close` syscall bindings
@@ -42,8 +49,10 @@
 pub mod bench;
 pub mod chaos;
 pub mod client;
+pub mod dispatch;
 pub mod faultfs;
 pub mod group_commit;
+pub mod lock_order;
 pub mod metrics;
 pub mod poll;
 pub mod protocol;
@@ -51,6 +60,7 @@ pub mod recovery;
 pub mod server;
 pub mod service;
 pub mod snapshot;
+pub mod sync;
 pub mod wal;
 
 pub use bench::{
@@ -59,8 +69,13 @@ pub use bench::{
 };
 pub use chaos::{render_chaos_report, run_chaos, ChaosConfig, ChaosOutcome, ScenarioOutcome};
 pub use client::{Client, ClientConfig, ClientError};
-pub use faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
+pub use dispatch::{Completion, CompletionQueue, ConnFifo, Job, JobQueue, Wake, MAX_BATCH_LINES};
+pub use faultfs::{FailpointFile, FaultPlan, FaultState, MemFile, RealFile, WalFile};
 pub use group_commit::{GroupCommitStats, GroupWal};
+pub use lock_order::{
+    LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock,
+    TrackedRwLockReadGuard, TrackedRwLockWriteGuard,
+};
 pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
 pub use poll::{PollEvent, Poller};
 pub use protocol::{

@@ -14,6 +14,24 @@
 //! time** (the handler itself). Queue wait is only recorded on the
 //! queued path; a direct [`Metrics::observe`] counts its full duration
 //! as service time.
+//!
+//! # Memory ordering
+//!
+//! Every atomic here is `Relaxed`, deliberately. Each counter and
+//! bucket is an independent monotonic statistic: no other memory is
+//! published through it, so no acquire/release edge is needed — the
+//! only guarantee required is that each individual `fetch_add` lands
+//! exactly once, which relaxed RMWs give. The price is that a
+//! [`Metrics::snapshot`] taken while writers are running may *tear*
+//! across counters (e.g. a request counted in `counts` whose latency
+//! has not reached the histogram yet); `STATS` is a health endpoint
+//! and tolerates that. Once writers are quiescent — thread join, or
+//! any other happens-before edge to the reader — every recorded
+//! operation is visible and the cross-counter invariants hold exactly:
+//! the total histogram's population equals the sum of `counts`, and
+//! the queued population splits into matching queue-wait and
+//! service-time entries (asserted by
+//! `histogram_totals_match_op_counts_under_concurrent_recording`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -60,6 +78,10 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     fn observe(&self, ns: u64) {
         let b = 63 - ns.max(1).leading_zeros() as usize;
+        // Relaxed: each bucket is its own monotonic counter and
+        // max_ns its own high-water mark; nothing is published
+        // through either, and relaxed RMWs still never lose an
+        // increment (or a larger max).
         self.buckets[b].fetch_add(1, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
@@ -67,6 +89,11 @@ impl LatencyHistogram {
     /// Upper edge (in ns) of the bucket where the cumulative count
     /// reaches `pct` percent of all observations; 0 when empty.
     fn percentile_ns(&self, pct: f64) -> u64 {
+        // Relaxed loads: the snapshot is racy by design — buckets are
+        // copied one at a time while writers may still be recording,
+        // so a percentile can be off by the handful of in-flight
+        // observations. Stronger orderings would not fix that (it is
+        // a multi-word tear, not a reordering), only a lock would.
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -76,6 +103,9 @@ impl LatencyHistogram {
         if total == 0 {
             return 0;
         }
+        // Rank math in f64: populations stay far below 2^52 and the
+        // ceil of a non-negative product cannot go negative.
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
         let rank = ((pct / 100.0) * total as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &c) in counts.iter().enumerate() {
@@ -172,6 +202,9 @@ impl Metrics {
     /// Counts one request of `kind` served directly (no queue): its
     /// full duration is service time.
     pub fn observe(&self, kind: RequestKind, ns: u64) {
+        // Relaxed (here and in every counter below): each statistic
+        // stands alone — see the module doc's "Memory ordering"
+        // section for why no acquire/release pairing is needed.
         self.counts[kind as usize].fetch_add(1, Ordering::Relaxed);
         self.hist.observe(ns);
         self.service_hist.observe(ns);
@@ -312,6 +345,57 @@ mod tests {
         assert_eq!(s.service_max_us, 4);
         // The total histogram sees queue + service.
         assert_eq!(s.max_us, 1_004);
+    }
+
+    #[test]
+    fn histogram_totals_match_op_counts_under_concurrent_recording() {
+        // The cross-counter invariant behind the Relaxed orderings:
+        // once writers have joined (a happens-before edge to this
+        // thread), every histogram population must equal the number
+        // of operations recorded into it — nothing lost, nothing
+        // double-counted, on any interleaving.
+        use std::sync::Arc;
+
+        // Scaled down under Miri (the CI job runs this test for data
+        // races in the relaxed recording paths; the interpreter is
+        // ~1000x slower than native).
+        const THREADS: usize = if cfg!(miri) { 2 } else { 4 };
+        const DIRECT_PER_THREAD: u64 = if cfg!(miri) { 24 } else { 500 };
+        const QUEUED_PER_THREAD: u64 = if cfg!(miri) { 16 } else { 300 };
+
+        let m = Arc::new(Metrics::new());
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..DIRECT_PER_THREAD {
+                        m.observe(RequestKind::Query, 1 + (t as u64 * 7919 + i) % 4096);
+                        m.count_admitted();
+                    }
+                    for i in 0..QUEUED_PER_THREAD {
+                        m.observe_queued(
+                            RequestKind::Admit,
+                            1 + (i % 1024),
+                            1 + (t as u64 + i) % 2048,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let s = m.snapshot();
+        let direct = THREADS as u64 * DIRECT_PER_THREAD;
+        let queued = THREADS as u64 * QUEUED_PER_THREAD;
+        assert_eq!(s.counts[RequestKind::Query as usize], direct);
+        assert_eq!(s.counts[RequestKind::Admit as usize], queued);
+        assert_eq!(s.admitted, direct);
+        // Total latency histogram: one entry per recorded operation.
+        assert_eq!(s.latency_count, direct + queued);
+        // Queue-wait histogram: exactly the queued operations.
+        assert_eq!(s.queue_count, queued);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::io;
 use std::os::fd::RawFd;
 use std::time::Duration;
 
-const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CLOEXEC: i32 = 0o2_000_000;
 const EPOLL_CTL_ADD: i32 = 1;
 const EPOLL_CTL_DEL: i32 = 2;
 const EPOLL_CTL_MOD: i32 = 3;
@@ -106,7 +106,7 @@ impl Poller {
         let evp = if op == EPOLL_CTL_DEL {
             std::ptr::null_mut()
         } else {
-            &mut ev as *mut EpollEvent
+            &raw mut ev
         };
         cvt(unsafe { epoll_ctl(self.epfd, op, fd, evp) })?;
         Ok(())
@@ -132,13 +132,21 @@ impl Poller {
     /// Blocks until readiness or `timeout` (`None` = forever), filling
     /// `events`. A signal wake-up retries; a timeout returns an empty
     /// vector.
+    // Casts: CAPACITY (256) fits i32, the clamped timeout fits i32,
+    // and `cvt` has already rejected negative returns before `n` is
+    // widened to usize.
+    #[allow(
+        clippy::cast_possible_wrap,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     pub fn wait(&self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        const CAPACITY: usize = 256;
         events.clear();
         let timeout_ms: i32 = match timeout {
             None => -1,
             Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
         };
-        const CAPACITY: usize = 256;
         let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
         let n = loop {
             match cvt(unsafe {
@@ -248,6 +256,72 @@ mod tests {
             .unwrap();
         assert_eq!(events.len(), 1, "{events:?}");
         assert!(events[0].hangup, "{events:?}");
+    }
+
+    #[test]
+    fn add_on_a_closed_fd_reports_the_error() {
+        let poller = Poller::new().unwrap();
+        // -1 is never a valid descriptor: EBADF, surfaced as an error
+        // instead of being swallowed.
+        let err = poller.add(-1, 1, true, false).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(9), "EBADF expected: {err}");
+    }
+
+    #[test]
+    fn modify_on_an_unregistered_fd_reports_the_error() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        // Valid fd, but never added: ENOENT.
+        let err = poller.modify(a.as_raw_fd(), 1, true, false).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(2), "ENOENT expected: {err}");
+    }
+
+    #[test]
+    fn delete_on_an_invalid_fd_is_swallowed() {
+        // The reactor deregisters right before closing; a descriptor
+        // the kernel already dropped must not panic or error.
+        let poller = Poller::new().unwrap();
+        poller.delete(-1);
+    }
+
+    #[test]
+    fn interrupted_wait_retries_until_readiness() {
+        // Deliver a real SIGALRM to the waiting thread mid-wait:
+        // epoll_wait returns EINTR (it is never auto-restarted,
+        // signal(7)), and `wait` must retry instead of surfacing the
+        // interrupt. The readiness byte arrives after the signal, so a
+        // non-retrying implementation would error out before seeing it.
+        extern "C" fn noop_handler(_sig: i32) {}
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+            fn pthread_self() -> usize;
+            fn pthread_kill(thread: usize, sig: i32) -> i32;
+        }
+        const SIGALRM: i32 = 14;
+        const SIG_ERR: usize = usize::MAX;
+        let prev = unsafe { signal(SIGALRM, noop_handler as *const () as usize) };
+        assert_ne!(prev, SIG_ERR, "installing the SIGALRM handler failed");
+
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 5, true, false).unwrap();
+
+        let waiter = unsafe { pthread_self() };
+        let interrupter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(unsafe { pthread_kill(waiter, SIGALRM) }, 0);
+            std::thread::sleep(Duration::from_millis(30));
+            a.write_all(b"x").unwrap();
+            a // keep the write end open until the waiter saw the byte
+        });
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        assert!(events[0].readable, "{events:?}");
+        drop(interrupter.join().unwrap());
     }
 
     #[test]

@@ -18,16 +18,18 @@
 //! After replay the recovered set is handed to the verifier's
 //! [`lint_recovered`] rule pair: `A107` (a cached bound diverges from a
 //! fresh `determine_feasibility` run) and `A108` (a recovered bound
-//! misses its deadline). Any finding aborts recovery — a service that
-//! cannot prove its recovered state is the state it acknowledged must
-//! not serve.
+//! misses its deadline). A second pass, [`lint_recovery_report`]
+//! (`A109`), cross-checks the produced [`RecoveryReport`]'s
+//! skip/replay/seq accounting against the raw snapshot and WAL inputs.
+//! Any finding aborts recovery — a service that cannot prove its
+//! recovered state is the state it acknowledged must not serve.
 
 use crate::faultfs::{RealFile, WalFile};
 use crate::service::AcceptedOp;
 use crate::snapshot::{load_snapshot, DedupEntry, SnapshotData};
 use crate::wal::{FsyncPolicy, Wal, WalRecord, WAL_FILE};
 use rtwc_core::{StreamId, StreamSet};
-use rtwc_verifier::lint_recovered;
+use rtwc_verifier::{lint_recovered, lint_recovery_report, RecoveryArtifact};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
@@ -213,6 +215,26 @@ pub fn recover_with_file(
         audited,
     };
     let seq = wal.seq().max(snap_seq);
+
+    // Second audit, on the accounting rather than the bounds: the
+    // report's skip/replay/seq arithmetic must reproduce exactly from
+    // the raw snapshot+WAL inputs (verifier rule `A109`). This guards
+    // the recovery code itself — a future refactor that miscounts the
+    // overlap fails here, before the state serves.
+    let artifact = RecoveryArtifact {
+        snapshot_seq,
+        wal_base_seq: opened.base_seq,
+        wal_records: opened.records.len() as u64,
+        reported_replayed: report.wal_records as u64,
+        reported_skipped: report.wal_skipped as u64,
+        reported_seq: seq,
+    };
+    if let Some(d) = lint_recovery_report(&artifact).first() {
+        return Err(data_err(format!(
+            "recovery audit failed [{}]: {}",
+            d.code, d.message
+        )));
+    }
     let state = RecoveredState {
         ctl,
         handles,
@@ -273,7 +295,7 @@ mod tests {
     fn spec(m: &Mesh, row: u32) -> StreamSpec {
         let src = m.node_at(&[0, row]).unwrap();
         let dst = m.node_at(&[5, row]).unwrap();
-        StreamSpec::new(src, dst, 2, 50 + row as u64, 4, 50 + row as u64)
+        StreamSpec::new(src, dst, 2, 50 + u64::from(row), 4, 50 + u64::from(row))
     }
 
     fn open_wal(dir: &Path) -> Wal {

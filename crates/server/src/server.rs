@@ -33,18 +33,19 @@
 //! ([`ServerConfig::max_connections`]) sheds excess connects with a
 //! single `busy` line instead of accepting unbounded state.
 
+use crate::dispatch::{Completion, CompletionQueue, ConnFifo, JobQueue, Wake};
 use crate::poll::{PollEvent, Poller};
 use crate::protocol::{render_response, Response, MAX_LINE_BYTES};
 use crate::service::AdmissionService;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Upper bound on one epoll wait; the reactor re-checks the shutdown
 /// flag at least this often even with no traffic.
@@ -59,12 +60,6 @@ const FIRST_CONN_TOKEN: u64 = 2;
 
 /// Read granularity per `read(2)` call on a ready socket.
 const READ_CHUNK: usize = 64 * 1024;
-
-/// Most request lines dispatched to a worker as one batch job. Batching
-/// amortizes the reactor->worker->reactor hand-off (two thread wakes)
-/// over a whole pipelined burst; the cap keeps one huge burst from
-/// monopolizing a worker while other connections wait.
-const MAX_BATCH_LINES: usize = 64;
 
 /// Front-end limits.
 #[derive(Clone, Copy, Debug, Default)]
@@ -82,96 +77,24 @@ fn worker_count(configured: usize) -> usize {
         return configured;
     }
     thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(8)
 }
 
-/// A batch of parsed request lines (one connection, arrival order)
-/// waiting for a worker.
-struct Job {
-    token: u64,
-    lines: Vec<(String, Instant)>,
-}
+/// The reactor's wake-up: one byte into a pipe whose read end lives in
+/// the epoll set, so the reactor wakes even when otherwise idle.
+struct PipeWake(UnixStream);
 
-/// The rendered responses of one batch on their way back to the
-/// reactor, concatenated in request order.
-struct Completion {
-    token: u64,
-    bytes: Vec<u8>,
-    stop: bool,
-}
-
-#[derive(Default)]
-struct JobState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-/// The reactor-to-worker hand-off: a mutex-and-condvar queue, poisoned
-/// by `close` so idle workers exit at shutdown.
-#[derive(Default)]
-struct JobQueue {
-    state: Mutex<JobState>,
-    cond: Condvar,
-}
-
-impl JobQueue {
-    fn push(&self, job: Job) {
-        self.state.lock().unwrap().jobs.push_back(job);
-        self.cond.notify_one();
-    }
-
-    fn pop(&self) -> Option<Job> {
-        let mut s = self.state.lock().unwrap();
-        loop {
-            if let Some(j) = s.jobs.pop_front() {
-                return Some(j);
-            }
-            if s.closed {
-                return None;
-            }
-            s = self.cond.wait(s).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.cond.notify_all();
-    }
-}
-
-/// The worker-to-reactor hand-off. Workers push finished responses and
-/// write one byte into the wake pipe; the pipe's read end lives in the
-/// epoll set, so the reactor wakes even when otherwise idle.
-struct CompletionQueue {
-    done: Mutex<Vec<Completion>>,
-    wake: UnixStream,
-}
-
-impl CompletionQueue {
-    fn push(&self, c: Completion) {
-        self.done.lock().unwrap().push(c);
+impl Wake for PipeWake {
+    fn wake(&self) {
         // A full pipe means wake-ups are already pending; dropping the
         // byte is fine, the reactor drains completions every pass.
-        let _ = (&self.wake).write(&[1]);
-    }
-
-    fn drain(&self) -> Vec<Completion> {
-        std::mem::take(&mut *self.done.lock().unwrap())
+        let _ = (&self.0).write(&[1]);
     }
 }
 
-/// One entry in a connection's response-order FIFO.
-enum Pending {
-    /// A parsed request line awaiting dispatch.
-    Line { text: String, enqueued: Instant },
-    /// An already-rendered response (e.g. `too_long`) that must wait
-    /// its turn behind earlier requests.
-    Immediate { bytes: Vec<u8> },
-}
-
-/// Per-connection reactor state.
+/// Per-connection reactor state: the socket, its line splitter, and the
+/// dispatch FIFO ([`ConnFifo`] — the model-checked half).
 struct Connection {
     stream: TcpStream,
     /// Bytes of the current (incomplete) request line.
@@ -179,9 +102,7 @@ struct Connection {
     /// Skipping the tail of an overlong line until its newline.
     discarding: bool,
     /// Requests (and ordered error responses) not yet dispatched.
-    queue: VecDeque<Pending>,
-    /// A worker currently owns this connection's head-of-line batch.
-    in_flight: bool,
+    fifo: ConnFifo,
     /// Rendered responses not yet written to the socket.
     wbuf: Vec<u8>,
     /// Drained prefix of `wbuf`.
@@ -198,8 +119,7 @@ impl Connection {
             stream,
             rbuf: Vec::new(),
             discarding: false,
-            queue: VecDeque::new(),
-            in_flight: false,
+            fifo: ConnFifo::new(),
             wbuf: Vec::new(),
             wpos: 0,
             read_closed: false,
@@ -261,10 +181,7 @@ impl Connection {
                 let text = String::from_utf8_lossy(&self.rbuf);
                 let request = text.trim();
                 if !request.is_empty() {
-                    self.queue.push_back(Pending::Line {
-                        text: request.to_string(),
-                        enqueued: Instant::now(),
-                    });
+                    self.fifo.push_line(request.to_string());
                 }
             }
             self.rbuf.clear();
@@ -278,42 +195,7 @@ impl Connection {
             format!("request line exceeds {MAX_LINE_BYTES} bytes"),
         ));
         msg.push('\n');
-        self.queue.push_back(Pending::Immediate {
-            bytes: msg.into_bytes(),
-        });
-    }
-
-    /// Advances the FIFO: already-rendered responses at the head go
-    /// straight to the write buffer, then the run of request lines
-    /// behind them is dispatched as **one batch job** (the worker
-    /// serves the batch in order and returns one concatenated response
-    /// block, so a whole pipelined burst costs a single
-    /// reactor->worker->reactor round trip). Nothing moves while a
-    /// batch is in flight — a queued `Immediate` behind it must not
-    /// overtake its responses.
-    fn pump(&mut self, token: u64, jobs: &JobQueue) {
-        if self.in_flight {
-            return;
-        }
-        while matches!(self.queue.front(), Some(Pending::Immediate { .. })) {
-            let Some(Pending::Immediate { bytes }) = self.queue.pop_front() else {
-                unreachable!()
-            };
-            self.wbuf.extend_from_slice(&bytes);
-        }
-        let mut lines = Vec::new();
-        while lines.len() < MAX_BATCH_LINES
-            && matches!(self.queue.front(), Some(Pending::Line { .. }))
-        {
-            let Some(Pending::Line { text, enqueued }) = self.queue.pop_front() else {
-                unreachable!()
-            };
-            lines.push((text, enqueued));
-        }
-        if !lines.is_empty() {
-            self.in_flight = true;
-            jobs.push(Job { token, lines });
-        }
+        self.fifo.push_immediate(msg.into_bytes());
     }
 
     /// Writes as much buffered output as the socket takes.
@@ -341,7 +223,7 @@ impl Connection {
     /// Fully served: the peer is done sending and nothing is queued,
     /// running, or waiting to flush.
     fn done(&self) -> bool {
-        self.read_closed && !self.in_flight && self.queue.is_empty() && !self.has_backlog()
+        self.read_closed && self.fifo.is_idle() && !self.has_backlog()
     }
 }
 
@@ -392,14 +274,11 @@ impl Server {
     /// stops it, then joins every worker thread.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let jobs = Arc::new(JobQueue::default());
+        let jobs = Arc::new(JobQueue::new());
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
         wake_tx.set_nonblocking(true)?;
-        let completions = Arc::new(CompletionQueue {
-            done: Mutex::new(Vec::new()),
-            wake: wake_tx,
-        });
+        let completions = Arc::new(CompletionQueue::new(PipeWake(wake_tx)));
 
         let mut workers = Vec::new();
         for _ in 0..worker_count(self.config.workers) {
@@ -477,7 +356,7 @@ struct Reactor {
     conns: HashMap<u64, Connection>,
     next_token: u64,
     jobs: Arc<JobQueue>,
-    completions: Arc<CompletionQueue>,
+    completions: Arc<CompletionQueue<PipeWake>>,
     shutdown: Arc<AtomicBool>,
     max_connections: usize,
 }
@@ -580,7 +459,10 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        conn.pump(token, &jobs);
+        // The fifo and the write buffer are separate fields, so the
+        // FIFO pump can land head-of-line immediates directly.
+        let Connection { fifo, wbuf, .. } = conn;
+        fifo.pump(token, &jobs, wbuf);
         if conn.flush().is_err() || conn.done() {
             self.close_conn(token);
             return;
@@ -599,8 +481,7 @@ impl Reactor {
                 self.shutdown.store(true, Ordering::SeqCst);
             }
             if let Some(conn) = self.conns.get_mut(&c.token) {
-                conn.in_flight = false;
-                conn.wbuf.extend_from_slice(&c.bytes);
+                conn.fifo.complete(&c.bytes, &mut conn.wbuf);
                 self.service_conn(c.token);
             }
         }

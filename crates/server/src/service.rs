@@ -65,11 +65,14 @@
 //! answered `busy` without touching the lock.
 
 use crate::group_commit::GroupWal;
+use crate::lock_order::{classes, TrackedRwLock, TrackedRwLockReadGuard, TrackedRwLockWriteGuard};
 use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
 use crate::protocol::{
     parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
 };
 use crate::snapshot::{write_snapshot, DedupEntry, SnapshotData};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Instant;
 use crate::wal::FsyncPolicy;
 use rtwc_core::{
     determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
@@ -77,9 +80,8 @@ use rtwc_core::{
 use rtwc_verifier::{lint_candidate_routed, Diagnostic};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
 
 /// Most request ids remembered for idempotent replay. Oldest entries
@@ -155,7 +157,7 @@ impl Inner {
 #[derive(Debug)]
 pub struct AdmissionService {
     mesh: Mesh,
-    inner: RwLock<Inner>,
+    inner: TrackedRwLock<Inner>,
     /// The group-commit WAL lives outside the `RwLock`: appends are
     /// ticketed under the write lock, but the durability wait happens
     /// after it is released.
@@ -216,7 +218,7 @@ impl AdmissionService {
     fn build(mesh: Mesh, inner: Inner, durability: Option<Durability>) -> Self {
         AdmissionService {
             mesh,
-            inner: RwLock::new(inner),
+            inner: TrackedRwLock::new(&classes::SERVICE_INNER, inner),
             durability,
             metrics: Metrics::new(),
             degraded: AtomicBool::new(false),
@@ -324,12 +326,12 @@ impl AdmissionService {
             .collect()
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
-        self.inner.read().expect("admission service lock poisoned")
+    fn read(&self) -> TrackedRwLockReadGuard<'_, Inner> {
+        self.inner.read()
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
-        self.inner.write().expect("admission service lock poisoned")
+    fn write(&self) -> TrackedRwLockWriteGuard<'_, Inner> {
+        self.inner.write()
     }
 
     /// Parses and serves one request line, timing it into the metrics.
@@ -476,7 +478,7 @@ impl AdmissionService {
                 }
                 let findings =
                     lint_candidate_routed(&self.mesh, &XyRouting, inner.ctl.parts(), &spec);
-                if findings.iter().any(|d| d.is_error()) {
+                if findings.iter().any(rtwc_verifier::Diagnostic::is_error) {
                     return Self::lint_rejection(findings);
                 }
                 match inner.ctl.validate(spec.clone(), path) {
@@ -519,7 +521,7 @@ impl AdmissionService {
         // itself runs under. The lint borrows the controller's own
         // `(spec, path)` parts — no cloning, no re-routing.
         let findings = lint_candidate_routed(&self.mesh, &XyRouting, inner.ctl.parts(), &spec);
-        if findings.iter().any(|d| d.is_error()) {
+        if findings.iter().any(rtwc_verifier::Diagnostic::is_error) {
             return Self::lint_rejection(findings);
         }
         let warnings = findings;
@@ -541,7 +543,7 @@ impl AdmissionService {
     /// once the ticket's batch is durable.
     fn finish_admit(
         &self,
-        mut inner: std::sync::RwLockWriteGuard<'_, Inner>,
+        mut inner: TrackedRwLockWriteGuard<'_, Inner>,
         id: StreamId,
         req_id: u64,
         spec: StreamSpec,

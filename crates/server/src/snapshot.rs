@@ -81,7 +81,7 @@ fn encode(data: &SnapshotData) -> Vec<u8> {
     body.extend_from_slice(&(data.dedup.len() as u32).to_le_bytes());
     for e in &data.dedup {
         body.extend_from_slice(&e.req_id.to_le_bytes());
-        body.push(e.admit as u8);
+        body.push(u8::from(e.admit));
         body.extend_from_slice(&e.handle.to_le_bytes());
         body.extend_from_slice(&e.bound.to_le_bytes());
         body.extend_from_slice(&e.deadline.to_le_bytes());

@@ -118,7 +118,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     };
     let mut c = !0u32;
     for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -451,7 +451,7 @@ mod tests {
     }
 
     fn spec(tag: u32) -> StreamSpec {
-        StreamSpec::new(NodeId(tag), NodeId(tag + 1), 2, 50 + tag as u64, 4, 50)
+        StreamSpec::new(NodeId(tag), NodeId(tag + 1), 2, 50 + u64::from(tag), 4, 50)
     }
 
     fn admit(handle: u64) -> AcceptedOp {

