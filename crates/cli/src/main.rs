@@ -17,9 +17,13 @@ USAGE:
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
     rtwc serve    <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync always|never|interval:MS]
                          [--snapshot-every N] [--max-conns N] [--max-pending N]
+                         [--repl-addr HOST:PORT | --follower-of HOST:PORT [--promote-grace-ms N]]
     rtwc client   <ADDR> [--timeout-ms N] [--retries N] [--req-id N] <REQUEST...>
+    rtwc promote  <ADDR>
     rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S] [--out FILE]
                      [--wal-sweep | --wal-dir DIR --fsync P [--snapshot-every N]]
+    rtwc bench-repl  [--clients N] [--ops N | --duration SECS] [--mesh WxH] [--seed S]
+                     [--grace-ms N] [--out FILE]
     rtwc chaos    [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N] [--dir D]
 
 SPEC is a .streams file:
@@ -40,11 +44,16 @@ COMMANDS:
     deploy     allocate nodes and admit each job's streams with guarantees
     serve      run the online admission service over TCP (stop with SHUTDOWN);
                --wal-dir makes it crash-safe: ops are logged before the ack
-               and a restart recovers (and audits) the exact admitted set
-    client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|SHUTDOWN);
+               and a restart recovers (and audits) the exact admitted set;
+               --repl-addr ships the WAL to followers, --follower-of runs a
+               warm standby that serves reads and redirects writes
+    client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|PROMOTE|SHUTDOWN);
                --req-id N makes a retried ADMIT/REMOVE idempotent
+    promote    flip a follower into the serving leader (audits first)
     bench-serve  closed-loop load generator; writes results/BENCH_service.json
                (--wal-sweep adds per-fsync-policy durability costs)
+    bench-repl replication bench: leader under load with a live follower,
+               then a timed failover; writes results/BENCH_repl.json
     chaos      fault-injection harness: torn/short writes, fsync errors and
                kill-9 truncation; asserts recovery is bit-identical to a
                serial replay of the acknowledged history
@@ -103,7 +112,10 @@ fn run() -> Result<bool, String> {
     }
     // The service subcommands have their own argument shapes (client
     // takes an address, bench-serve takes no file at all).
-    if matches!(command, "serve" | "client" | "bench-serve" | "chaos") {
+    if matches!(
+        command,
+        "serve" | "client" | "promote" | "bench-serve" | "bench-repl" | "chaos"
+    ) {
         return rtwc_cli::run_service_command(command, rest);
     }
     let (path, flags) = match rest.split_first() {

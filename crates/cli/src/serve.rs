@@ -14,9 +14,11 @@
 
 use crate::spec::RawSpecFile;
 use rtwc_server::{
-    recover, render_bench_json, render_chaos_report, render_response, render_sweep_json, run_bench,
-    run_chaos, run_wal_sweep, AdmissionService, BenchConfig, ChaosConfig, Client, ClientConfig,
-    Durability, FsyncPolicy, GroupWal, Response, Server, ServerConfig,
+    catch_up, recover, render_bench_json, render_chaos_report, render_repl_json, render_response,
+    render_sweep_json, run_bench, run_bench_repl, run_chaos, run_wal_sweep, AdmissionService,
+    BenchConfig, CatchupOpts, ChaosConfig, Client, ClientConfig, Durability, Follower,
+    FollowerConfig, FsyncPolicy, GroupWal, ReplHub, Response, Server, ServerConfig, Shipper,
+    ShipperConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -42,6 +44,17 @@ pub struct ServeOptions {
     /// (0 = one per core, capped at 8). With more than one worker the
     /// optimistic disjoint-neighborhood admission path is enabled.
     pub workers: usize,
+    /// Replication listen address: serve as a leader shipping WAL
+    /// frames to followers from here. Requires `--wal-dir`.
+    pub repl_addr: Option<String>,
+    /// Run as a warm-standby follower of this leader replication
+    /// address: catch up, stream the WAL, serve reads, redirect
+    /// writes. Requires `--wal-dir`; spec seeding is skipped.
+    pub follower_of: Option<String>,
+    /// Follower self-promotion grace: promote to leader once this long
+    /// has passed without leader contact (`None` = only explicit
+    /// `PROMOTE` promotes).
+    pub promote_grace: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -54,6 +67,9 @@ impl Default for ServeOptions {
             max_connections: 0,
             max_pending: 0,
             workers: 0,
+            repl_addr: None,
+            follower_of: None,
+            promote_grace: None,
         }
     }
 }
@@ -103,6 +119,9 @@ fn build_service(
     raw: &RawSpecFile,
     opts: &ServeOptions,
 ) -> Result<(AdmissionService, String), String> {
+    if let Some(leader) = &opts.follower_of {
+        return build_follower(raw, opts, leader);
+    }
     let Some(dir) = &opts.wal_dir else {
         let service = AdmissionService::new(raw.mesh.clone());
         seed_streams(&service, raw)?;
@@ -139,17 +158,80 @@ fn build_service(
     Ok((service, line))
 }
 
+/// Builds the warm-standby service for `rtwc serve --follower-of`:
+/// snapshot catch-up from the leader if it offers one, local recovery,
+/// and a follower [`ReplHub`] so writes redirect until promotion. Spec
+/// seeding never runs — the leader's stream *is* the state.
+fn build_follower(
+    raw: &RawSpecFile,
+    opts: &ServeOptions,
+    leader: &str,
+) -> Result<(AdmissionService, String), String> {
+    let Some(dir) = &opts.wal_dir else {
+        return Err("--follower-of needs --wal-dir (the replica is durable by design)".to_string());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let caught = catch_up(leader, dir, opts.fsync, &CatchupOpts::default())
+        .map_err(|e| format!("catch-up from {leader} failed: {e}"))?;
+    let (state, wal, report) = recover(&raw.mesh, dir, opts.fsync)
+        .map_err(|e| format!("recovery from {} failed: {e}", dir.display()))?;
+    let service = AdmissionService::with_durability(
+        raw.mesh.clone(),
+        state,
+        Durability {
+            dir: dir.clone(),
+            wal: GroupWal::new(wal),
+            snapshot_every: opts.snapshot_every,
+        },
+    );
+    service.attach_repl(Arc::new(ReplHub::follower(leader)));
+    let caught_line = match caught {
+        Some(c) if c.resumed > 0 => format!(
+            "snapshot catch-up to seq {} ({} chunk(s) resumed); ",
+            c.snap_seq, c.resumed
+        ),
+        Some(c) => format!("snapshot catch-up to seq {}; ", c.snap_seq),
+        None => String::new(),
+    };
+    let line = format!("follower of {leader}; {caught_line}{}", report.render());
+    Ok((service, line))
+}
+
 /// `rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync P]
 /// [--snapshot-every N] [--max-conns N] [--max-pending N]
 /// [--workers N]` — seeds (or recovers) the service and blocks serving
 /// requests until a client sends `SHUTDOWN`.
 pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
+    if opts.repl_addr.is_some() && opts.follower_of.is_some() {
+        return Err("--repl-addr and --follower-of are mutually exclusive".to_string());
+    }
+    if opts.repl_addr.is_some() && opts.wal_dir.is_none() {
+        return Err("--repl-addr needs --wal-dir (followers stream the WAL file)".to_string());
+    }
     let (mut service, startup) = build_service(raw, opts)?;
     service.set_max_pending(opts.max_pending);
     // Multiple workers can overlap in dispatch; let disjoint admits
     // validate concurrently instead of queueing on the write lock.
     service.set_optimistic(opts.workers > 1);
     let service = Arc::new(service);
+    let mut shipper = None;
+    if let Some(repl_addr) = &opts.repl_addr {
+        service.attach_repl(Arc::new(ReplHub::leader()));
+        let listener = std::net::TcpListener::bind(repl_addr)
+            .map_err(|e| format!("cannot bind replication address {repl_addr}: {e}"))?;
+        let dir = opts.wal_dir.clone().expect("checked above");
+        let s = Shipper::spawn(listener, Arc::clone(&service), ShipperConfig::new(dir))
+            .map_err(|e| format!("cannot start the WAL shipper: {e}"))?;
+        shipper = Some(s);
+    }
+    let mut follower_loop = None;
+    if let Some(leader) = &opts.follower_of {
+        let mut follow_cfg = FollowerConfig::new(leader);
+        follow_cfg.promote_grace = opts.promote_grace;
+        let f = Follower::spawn(Arc::clone(&service), follow_cfg)
+            .map_err(|e| format!("cannot start the follower loop: {e}"))?;
+        follower_loop = Some(f);
+    }
     let server = Server::bind_with_config(
         Arc::clone(&service),
         &opts.addr,
@@ -163,9 +245,19 @@ pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
     // Announced on stdout (line-buffered even when piped) so scripts
-    // binding port 0 can read the real address back.
+    // binding port 0 can read the real address back. The replication
+    // line comes second so `^listening on` keeps matching first.
     println!("listening on {local} ({startup})");
+    if let Some(s) = &shipper {
+        println!("replication listening on {}", s.addr());
+    }
     let result = server.run().map_err(|e| format!("server failed: {e}"));
+    if let Some(s) = shipper {
+        s.stop();
+    }
+    if let Some(f) = follower_loop {
+        f.stop();
+    }
     // Clean shutdown: push any interval/never-policy tail to disk.
     service.flush();
     result
@@ -287,6 +379,63 @@ pub fn run_bench_serve(
     ))
 }
 
+/// `rtwc bench-repl [--clients N] [--ops N | --duration SECS]
+/// [--warmup-ms N] [--pipeline N] [--workers N] [--mesh WxH]
+/// [--seed S] [--fsync P] [--snapshot-every N] [--grace-ms N]
+/// [--dir D] [--out FILE]` — runs
+/// the replication bench (leader under load with a live follower, then
+/// a timed failover) and writes the JSON artifact. Returns the human
+/// summary printed on stdout.
+pub fn run_bench_repl_command(
+    cfg: &BenchConfig,
+    dir: Option<PathBuf>,
+    grace: Duration,
+    out: &str,
+) -> Result<String, String> {
+    let (dir, scratch) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("rtwc-bench-repl-{}", std::process::id())),
+            true,
+        ),
+    };
+    let o = run_bench_repl(cfg, &dir, grace).map_err(|e| format!("bench-repl failed: {e}"))?;
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let json = render_repl_json(&o);
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+    }
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "{} clients x {} ops (pipeline {}): {:.0} ops/s with one follower streaming\n\
+         no-follower control: {:.0} ops/s on this machine (overhead {:.1}%)\n\
+         replication lag: max {} frame(s), drained to {} in {:.0}ms (applied seq {})\n\
+         failover: promoted to epoch {} in {:.0}ms (grace {}ms); post-failover write {}\n\
+         {} stream(s) audited on the promoted follower; wrote {}\n",
+        o.leader.clients,
+        o.leader.ops_per_client,
+        o.leader.pipeline,
+        o.leader.throughput,
+        o.baseline_throughput,
+        o.overhead_pct,
+        o.max_lag_frames,
+        o.final_lag_frames,
+        o.drain_ms,
+        o.follower_applied_seq,
+        o.promoted_epoch,
+        o.failover_ms,
+        o.promote_grace.as_millis(),
+        o.write_after_failover,
+        o.promoted_streams,
+        out
+    ))
+}
+
 /// `rtwc chaos [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N]
 /// [--dir D]` — runs every fault-injection scenario and prints the
 /// report. Returns `false` (exit code 1) when any fault class failed to
@@ -318,7 +467,9 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                     return Err(
                         "usage: rtwc serve <SPEC> [--addr HOST:PORT] [--wal-dir DIR] \
                          [--fsync always|never|interval:MS] [--snapshot-every N] \
-                         [--max-conns N] [--max-pending N] [--workers N]"
+                         [--max-conns N] [--max-pending N] [--workers N] \
+                         [--repl-addr HOST:PORT | --follower-of HOST:PORT \
+                         [--promote-grace-ms N]]"
                             .to_string(),
                     )
                 }
@@ -354,6 +505,17 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                         opts.workers = value("--workers")?
                             .parse()
                             .map_err(|e| format!("bad --workers: {e}"))?;
+                    }
+                    "--repl-addr" => opts.repl_addr = Some(value("--repl-addr")?),
+                    "--follower-of" => opts.follower_of = Some(value("--follower-of")?),
+                    "--promote-grace-ms" => {
+                        let ms: u64 = value("--promote-grace-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --promote-grace-ms: {e}"))?;
+                        if ms == 0 {
+                            return Err("--promote-grace-ms must be nonzero".to_string());
+                        }
+                        opts.promote_grace = Some(Duration::from_millis(ms));
                     }
                     other => return Err(format!("unknown serve flag '{other}'")),
                 }
@@ -497,6 +659,115 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                 );
             }
             print!("{}", run_bench_serve(&cfg, sweep, &out, min_throughput)?);
+            Ok(true)
+        }
+        "promote" => {
+            let (addr, rest) = args.split_first().ok_or("usage: rtwc promote <ADDR>")?;
+            if !rest.is_empty() {
+                return Err("usage: rtwc promote <ADDR>".to_string());
+            }
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let reply = client
+                .send("PROMOTE")
+                .map_err(|e| format!("promote failed: {e}"))?;
+            println!("{reply}");
+            Ok(reply.contains("\"status\":\"promoted\""))
+        }
+        "bench-repl" => {
+            let mut cfg = BenchConfig::default();
+            let mut grace = Duration::from_millis(300);
+            let mut out = "results/BENCH_repl.json".to_string();
+            let mut dir = None;
+            let mut it = args.iter();
+            while let Some(flag) = it.next() {
+                let mut value = |what: &str| {
+                    it.next()
+                        .ok_or_else(|| format!("{what} needs a value"))
+                        .cloned()
+                };
+                match flag.as_str() {
+                    "--clients" => {
+                        cfg.clients = value("--clients")?
+                            .parse()
+                            .map_err(|e| format!("bad --clients: {e}"))?;
+                    }
+                    "--ops" => {
+                        cfg.ops_per_client = value("--ops")?
+                            .parse()
+                            .map_err(|e| format!("bad --ops: {e}"))?;
+                    }
+                    "--duration" => {
+                        let secs: f64 = value("--duration")?
+                            .parse()
+                            .map_err(|e| format!("bad --duration: {e}"))?;
+                        if secs.is_nan() || secs <= 0.0 {
+                            return Err("--duration must be positive seconds".to_string());
+                        }
+                        cfg.duration = Some(Duration::from_secs_f64(secs));
+                    }
+                    "--warmup-ms" => {
+                        let ms: u64 = value("--warmup-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --warmup-ms: {e}"))?;
+                        cfg.warmup = Duration::from_millis(ms);
+                    }
+                    "--pipeline" => {
+                        cfg.pipeline = value("--pipeline")?
+                            .parse()
+                            .map_err(|e| format!("bad --pipeline: {e}"))?;
+                    }
+                    "--workers" => {
+                        cfg.server_workers = value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?;
+                    }
+                    "--mesh" => {
+                        let (w, h) = parse_mesh(&value("--mesh")?)?;
+                        cfg.width = w;
+                        cfg.height = h;
+                    }
+                    "--locality" => {
+                        cfg.locality = value("--locality")?
+                            .parse()
+                            .map_err(|e| format!("bad --locality: {e}"))?;
+                    }
+                    "--max-own" => {
+                        cfg.max_own = value("--max-own")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-own: {e}"))?;
+                    }
+                    "--seed" => {
+                        cfg.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--fsync" => cfg.fsync = FsyncPolicy::parse(&value("--fsync")?)?,
+                    "--snapshot-every" => {
+                        cfg.snapshot_every = value("--snapshot-every")?
+                            .parse()
+                            .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+                    }
+                    "--grace-ms" => {
+                        let ms: u64 = value("--grace-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --grace-ms: {e}"))?;
+                        if ms == 0 {
+                            return Err("--grace-ms must be nonzero".to_string());
+                        }
+                        grace = Duration::from_millis(ms);
+                    }
+                    "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                    "--out" => out = value("--out")?,
+                    other => return Err(format!("unknown bench-repl flag '{other}'")),
+                }
+            }
+            if cfg.clients == 0 || (cfg.ops_per_client == 0 && cfg.duration.is_none()) {
+                return Err(
+                    "bench-repl needs at least one client and one op (or --duration)".to_string(),
+                );
+            }
+            print!("{}", run_bench_repl_command(&cfg, dir, grace, &out)?);
             Ok(true)
         }
         "chaos" => {

@@ -12,6 +12,9 @@
 use crate::client::Client;
 use crate::group_commit::{GroupCommitStats, GroupWal};
 use crate::recovery::recover;
+use crate::repl::follower::{Follower, FollowerConfig};
+use crate::repl::ship::{Shipper, ShipperConfig};
+use crate::repl::ReplHub;
 use crate::server::{Server, ServerConfig};
 use crate::service::{AdmissionService, Durability};
 use crate::wal::FsyncPolicy;
@@ -354,10 +357,9 @@ fn worker(
     Ok(log)
 }
 
-/// Runs the closed-loop bench: server up, `clients` concurrent loops
-/// (optionally pipelined and/or time-bounded), final `STATS` + audit,
-/// shutdown.
-pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
+/// Builds the bench service: in-memory, or durable when
+/// [`BenchConfig::wal_dir`] is set.
+fn bench_service(cfg: &BenchConfig) -> io::Result<AdmissionService> {
     let mesh = Mesh::mesh2d(cfg.width, cfg.height);
     let mut service = match &cfg.wal_dir {
         None => AdmissionService::new(mesh),
@@ -381,18 +383,12 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
         // lock.
         service.set_optimistic(true);
     }
-    let service = Arc::new(service);
-    let server = Server::bind_with_config(
-        Arc::clone(&service),
-        "127.0.0.1:0",
-        ServerConfig {
-            max_connections: 0,
-            workers: cfg.server_workers,
-        },
-    )?;
-    let addr = server.local_addr()?.to_string();
-    let server_thread = thread::spawn(move || server.run());
+    Ok(service)
+}
 
+/// Drives the configured client loops against a running server at
+/// `addr` and returns their logs plus the measured window.
+fn drive_clients(addr: &str, cfg: &BenchConfig) -> io::Result<(Vec<WorkerLog>, Duration)> {
     let pacing = Arc::new(Pacing {
         stop: AtomicBool::new(false),
         // Fixed-count mode records from the first request; duration
@@ -402,7 +398,7 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
     let mut started = Instant::now();
     let workers: Vec<_> = (0..cfg.clients)
         .map(|i| {
-            let addr = addr.clone();
+            let addr = addr.to_string();
             let cfg = cfg.clone();
             let pacing = Arc::clone(&pacing);
             thread::spawn(move || worker(addr, cfg, i as u64, pacing))
@@ -426,6 +422,25 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
         logs.push(w.join().expect("bench worker panicked")?);
     }
     let elapsed = measured.unwrap_or_else(|| started.elapsed());
+    Ok((logs, elapsed))
+}
+
+/// Runs the closed-loop bench: server up, `clients` concurrent loops
+/// (optionally pipelined and/or time-bounded), final `STATS` + audit,
+/// shutdown.
+pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
+    let service = Arc::new(bench_service(cfg)?);
+    let server = Server::bind_with_config(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 0,
+            workers: cfg.server_workers,
+        },
+    )?;
+    let addr = server.local_addr()?.to_string();
+    let server_thread = thread::spawn(move || server.run());
+    let (logs, elapsed) = drive_clients(&addr, cfg)?;
 
     let mut control = Client::connect(&addr)?;
     let server_stats = control.send("STATS")?;
@@ -435,12 +450,30 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
         .map_err(|e| io::Error::other(format!("post-bench audit failed: {e}")))?;
     control.send("SHUTDOWN")?;
     server_thread.join().expect("server thread panicked")?;
+    Ok(summarize(
+        cfg,
+        &logs,
+        elapsed,
+        audited_streams,
+        group_commit,
+        server_stats,
+    ))
+}
 
+/// Folds the worker logs into a [`BenchOutcome`].
+fn summarize(
+    cfg: &BenchConfig,
+    logs: &[WorkerLog],
+    elapsed: Duration,
+    audited_streams: usize,
+    group_commit: Option<GroupCommitStats>,
+    server_stats: String,
+) -> BenchOutcome {
     let mut all: Vec<u64> = Vec::new();
     let mut admit_ns: Vec<u64> = Vec::new();
     let mut query_ns: Vec<u64> = Vec::new();
     let (mut admitted, mut rejected, mut removed, mut errors) = (0, 0, 0, 0);
-    for log in &logs {
+    for log in logs {
         for &(kind, ns) in &log.samples {
             all.push(ns);
             match kind {
@@ -464,7 +497,7 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
     };
     let total_ops = all.len() as u64;
     let elapsed_s = elapsed.as_secs_f64();
-    Ok(BenchOutcome {
+    BenchOutcome {
         clients: cfg.clients,
         ops_per_client: cfg.ops_per_client,
         pipeline: cfg.pipeline.max(1),
@@ -488,7 +521,7 @@ pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchOutcome> {
         audited_streams,
         group_commit,
         server_stats,
-    })
+    }
 }
 
 /// Renders the outcome as the `results/BENCH_service.json` artifact.
@@ -608,6 +641,273 @@ pub fn render_sweep_json(s: &WalSweep) -> String {
         ));
     }
     out.push_str("  }\n}\n");
+    out
+}
+
+/// The result of one replication bench: the leader's load phase with a
+/// live follower attached, the replication lag observed while shipping,
+/// and a timed failover after the leader is torn down.
+#[derive(Clone, Debug)]
+pub struct ReplBenchOutcome {
+    /// The leader-side load phase (one follower streaming throughout).
+    pub leader: BenchOutcome,
+    /// Throughput of the control phase: the same durable workload with
+    /// no follower attached, run first on the same machine.
+    pub baseline_throughput: f64,
+    /// Leader throughput loss versus the control phase, in percent
+    /// (negative when the replicated run was faster, i.e. noise).
+    pub overhead_pct: f64,
+    /// Largest `ship frontier - follower applied` seen during the load.
+    pub max_lag_frames: u64,
+    /// Remaining lag when the drain finished (0 = fully caught up).
+    pub final_lag_frames: u64,
+    /// Post-load drain: how long the follower took to reach the
+    /// leader's final frontier.
+    pub drain_ms: f64,
+    /// The follower's applied sequence after the drain.
+    pub follower_applied_seq: u64,
+    /// Promotion grace the follower ran with.
+    pub promote_grace: Duration,
+    /// Leader teardown to the first served write on the promoted
+    /// follower (includes the grace the follower waits before
+    /// self-promoting).
+    pub failover_ms: f64,
+    /// Epoch the follower promoted into.
+    pub promoted_epoch: u64,
+    /// Streams audited on the promoted follower after the verification
+    /// write.
+    pub promoted_streams: usize,
+    /// Status of the verification write (`admitted` or `rejected` —
+    /// either proves the write path reopened).
+    pub write_after_failover: String,
+}
+
+/// Runs the replication bench: first a control phase (the same durable
+/// workload with no follower, for a same-machine overhead comparison),
+/// then a durable leader under the configured load with one
+/// warm-standby follower streaming the WAL, then a clean drain, then
+/// leader teardown and a timed auto-promotion.
+///
+/// `cfg.wal_dir` is ignored — the control, leader, and follower each
+/// get a fresh directory under `dir`. The follower promotes itself
+/// once `grace` has passed since its last leader contact, so the
+/// measured failover time sits near `grace` (slightly under when the
+/// link was already quiet at teardown, over by the promotion and write
+/// round-trips).
+pub fn run_bench_repl(
+    cfg: &BenchConfig,
+    dir: &Path,
+    grace: Duration,
+) -> io::Result<ReplBenchOutcome> {
+    let baseline_dir = dir.join("baseline");
+    let leader_dir = dir.join("leader");
+    let follower_dir = dir.join("follower");
+    for d in [&baseline_dir, &leader_dir, &follower_dir] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d)?;
+    }
+
+    // Control phase: the committed BENCH_service.json numbers were
+    // measured on other hardware, so the overhead comparison only
+    // means something against a no-follower run from the same minute.
+    let baseline_throughput = {
+        let mut base_cfg = cfg.clone();
+        base_cfg.wal_dir = Some(baseline_dir);
+        run_bench(&base_cfg)?.throughput
+    };
+
+    let mut leader_cfg = cfg.clone();
+    leader_cfg.wal_dir = Some(leader_dir.clone());
+    let leader = Arc::new(bench_service(&leader_cfg)?);
+    leader.attach_repl(Arc::new(ReplHub::leader()));
+    let shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&leader),
+        ShipperConfig::new(leader_dir),
+    )?;
+    let ship_addr = shipper.addr().to_string();
+
+    // The warm standby: a durable replica with its own text endpoint,
+    // fed by the follower loop.
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let (state, wal, _) = recover(&mesh, &follower_dir, cfg.fsync)?;
+    let follower = Arc::new(AdmissionService::with_durability(
+        mesh,
+        state,
+        Durability {
+            dir: follower_dir,
+            wal: GroupWal::new(wal),
+            snapshot_every: cfg.snapshot_every,
+        },
+    ));
+    let follower_hub = Arc::new(ReplHub::follower(&ship_addr));
+    follower.attach_repl(Arc::clone(&follower_hub));
+    let mut follow_cfg = FollowerConfig::new(&ship_addr);
+    follow_cfg.promote_grace = Some(grace);
+    let follower_loop = Follower::spawn(Arc::clone(&follower), follow_cfg)?;
+
+    let leader_server = Server::bind_with_config(
+        Arc::clone(&leader),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 0,
+            workers: cfg.server_workers,
+        },
+    )?;
+    let leader_addr = leader_server.local_addr()?.to_string();
+    let leader_thread = thread::spawn(move || leader_server.run());
+    let follower_server = Server::bind(Arc::clone(&follower), "127.0.0.1:0")?;
+    let follower_addr = follower_server.local_addr()?.to_string();
+    let follower_thread = thread::spawn(move || follower_server.run());
+
+    // Peak-lag sampler: frontier minus applied, polled while the load
+    // runs. Both gauges are plain atomics, so sampling is free.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let max_lag = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let max_lag = Arc::clone(&max_lag);
+        let leader = Arc::clone(&leader);
+        let hub = Arc::clone(&follower_hub);
+        thread::spawn(move || {
+            while sampling.load(Ordering::Relaxed) {
+                let lag = leader
+                    .ship_frontier()
+                    .unwrap_or(0)
+                    .saturating_sub(hub.applied_seq());
+                max_lag.fetch_max(lag, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let (logs, elapsed) = drive_clients(&leader_addr, &leader_cfg)?;
+    sampling.store(false, Ordering::Relaxed);
+    let _ = sampler.join();
+
+    let mut control = Client::connect(&leader_addr)?;
+    let server_stats = control.send("STATS")?;
+    let group_commit = leader.group_commit_stats();
+    let audited_streams = leader
+        .audit()
+        .map_err(|e| io::Error::other(format!("post-bench leader audit failed: {e}")))?;
+
+    // Drain: the leader's background flusher keeps advancing the
+    // frontier over the last buffered records; wait until the follower
+    // has applied a frontier that then stays put.
+    let drain_t0 = Instant::now();
+    let drain_deadline = drain_t0 + Duration::from_secs(10);
+    let final_lag = loop {
+        let frontier = leader.ship_frontier().unwrap_or(0);
+        if follower_hub.applied_seq() >= frontier {
+            thread::sleep(Duration::from_millis(20));
+            let settled = leader.ship_frontier().unwrap_or(0);
+            let lag = settled.saturating_sub(follower_hub.applied_seq());
+            if lag == 0 {
+                break 0;
+            }
+        }
+        if Instant::now() > drain_deadline {
+            break leader
+                .ship_frontier()
+                .unwrap_or(0)
+                .saturating_sub(follower_hub.applied_seq());
+        }
+        thread::sleep(Duration::from_millis(2));
+    };
+    let drain_ms = drain_t0.elapsed().as_secs_f64() * 1e3;
+    let follower_applied_seq = follower_hub.applied_seq();
+
+    // Failover: tear the leader down (text server and shipper) and
+    // time until the follower self-promotes and serves a write.
+    let kill_t0 = Instant::now();
+    control.send("SHUTDOWN")?;
+    leader_thread.join().expect("leader server panicked")?;
+    shipper.stop();
+    let promote_deadline = kill_t0 + grace.saturating_mul(20) + Duration::from_secs(10);
+    while follower_hub.is_follower() {
+        if Instant::now() > promote_deadline {
+            return Err(io::Error::other(
+                "follower never promoted after leader teardown",
+            ));
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    let mut verify = Client::connect(&follower_addr)?;
+    let reply = verify.send_idempotent(990_001, "ADMIT 0,0 1,0 7 200 1")?;
+    let failover_ms = kill_t0.elapsed().as_secs_f64() * 1e3;
+    let write_after_failover = status_of(&reply).to_string();
+    if write_after_failover != "admitted" && write_after_failover != "rejected" {
+        return Err(io::Error::other(format!(
+            "post-failover write not served: {reply}"
+        )));
+    }
+    let promoted_streams = follower
+        .audit()
+        .map_err(|e| io::Error::other(format!("post-failover audit failed: {e}")))?;
+    verify.send("SHUTDOWN")?;
+    follower_thread.join().expect("follower server panicked")?;
+    follower_loop.stop();
+
+    let leader = summarize(
+        &leader_cfg,
+        &logs,
+        elapsed,
+        audited_streams,
+        group_commit,
+        server_stats,
+    );
+    let overhead_pct = if baseline_throughput > 0.0 {
+        (baseline_throughput - leader.throughput) / baseline_throughput * 100.0
+    } else {
+        0.0
+    };
+    Ok(ReplBenchOutcome {
+        leader,
+        baseline_throughput,
+        overhead_pct,
+        max_lag_frames: max_lag.load(Ordering::Relaxed),
+        final_lag_frames: final_lag,
+        drain_ms,
+        follower_applied_seq,
+        promote_grace: grace,
+        failover_ms,
+        promoted_epoch: follower_hub.epoch(),
+        promoted_streams,
+        write_after_failover,
+    })
+}
+
+/// Renders the replication bench as the `results/BENCH_repl.json`
+/// artifact: the leader load phase keeps the standard bench keys, the
+/// replication and failover numbers land under their own objects.
+pub fn render_repl_json(o: &ReplBenchOutcome) -> String {
+    let base =
+        render_bench_json(&o.leader).replacen("\"bench\": \"service\"", "\"bench\": \"repl\"", 1);
+    let mut out = base
+        .trim_end()
+        .strip_suffix('}')
+        .expect("bench json ends with a brace")
+        .trim_end()
+        .to_string();
+    out.push_str(&format!(
+        ",\n  \"replication\": {{\"baseline_throughput_ops_per_s\": {:.1}, \"overhead_pct\": {:.1}, \"max_lag_frames\": {}, \"final_lag_frames\": {}, \"drain_ms\": {:.1}, \"follower_applied_seq\": {}}},\n",
+        o.baseline_throughput,
+        o.overhead_pct,
+        o.max_lag_frames,
+        o.final_lag_frames,
+        o.drain_ms,
+        o.follower_applied_seq
+    ));
+    out.push_str(&format!(
+        "  \"failover\": {{\"failover_ms\": {:.1}, \"promote_grace_ms\": {}, \"promoted_epoch\": {}, \"promoted_streams\": {}, \"write_after_failover\": \"{}\"}}\n",
+        o.failover_ms,
+        o.promote_grace.as_millis(),
+        o.promoted_epoch,
+        o.promoted_streams,
+        o.write_after_failover
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -750,6 +1050,39 @@ mod tests {
         let json = render_bench_json(&o);
         assert!(json.contains("\"group_commit\""), "{json}");
         assert!(json.contains("\"mean_batch\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repl_bench_measures_lag_and_failover() {
+        let dir = std::env::temp_dir().join(format!("rtwc-bench-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = BenchConfig {
+            clients: 2,
+            ops_per_client: 30,
+            width: 8,
+            height: 8,
+            snapshot_every: 0, // keep the WAL whole: no snapshot path
+            ..BenchConfig::default()
+        };
+        let o = run_bench_repl(&cfg, &dir, Duration::from_millis(150)).unwrap();
+        assert_eq!(o.leader.total_ops, 60, "{o:?}");
+        assert!(o.baseline_throughput > 0.0, "{o:?}");
+        assert_eq!(o.final_lag_frames, 0, "{o:?}");
+        assert!(o.follower_applied_seq > 0, "{o:?}");
+        // The grace clock runs from the follower's last leader contact,
+        // so failover lands near the grace — never instantaneous.
+        assert!(o.failover_ms > 50.0, "{o:?}");
+        assert_eq!(o.promoted_epoch, 2, "{o:?}");
+        assert!(
+            o.write_after_failover == "admitted" || o.write_after_failover == "rejected",
+            "{o:?}"
+        );
+        let json = render_repl_json(&o);
+        assert!(json.contains("\"bench\": \"repl\""), "{json}");
+        assert!(json.contains("\"failover_ms\""), "{json}");
+        assert!(json.contains("\"max_lag_frames\""), "{json}");
+        assert!(json.contains("\"baseline_throughput_ops_per_s\""), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,7 +3,8 @@
 //! Each scenario drives a durable [`AdmissionService`] with a
 //! deterministic workload while injecting one storage fault class
 //! (torn write, lying short write, fsync failure, kill-9 truncation,
-//! garbage tail, kill-9 mid-group-commit, snapshot compaction), then
+//! garbage tail, kill-9 mid-group-commit, snapshot compaction, leader
+//! kill-9 with failover, severed catch-up transfer), then
 //! "restarts" by running recovery over the surviving files and checks
 //! two properties:
 //!
@@ -23,6 +24,10 @@ use crate::faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
 use crate::group_commit::GroupWal;
 use crate::protocol::{Request, Response};
 use crate::recovery::{recover_with_file, RecoveredState};
+use crate::repl::catchup::CatchupOpts;
+use crate::repl::follower::{catch_up, Follower, FollowerConfig};
+use crate::repl::ship::{Shipper, ShipperConfig};
+use crate::repl::ReplHub;
 use crate::service::{replay, AcceptedOp, AdmissionService, Durability};
 use crate::wal::{FsyncPolicy, WAL_FILE};
 use rtwc_core::{StreamId, StreamSpec};
@@ -722,6 +727,189 @@ fn scenario_kill9_group_commit(cfg: &ChaosConfig, base: &Path) -> io::Result<Sce
     Ok(out)
 }
 
+/// kill-9 of the replication leader: a live follower streams the WAL
+/// over real TCP while the leader takes the workload; the leader then
+/// dies without a clean shutdown, the warm standby is promoted, and the
+/// last acked admit is retried with its original request id. The
+/// promoted replica's durable state must be bit-identical to a serial
+/// replay of everything the dead leader acknowledged, and the duplicate
+/// must replay its original handle — exactly-once across failover.
+fn scenario_repl_failover(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let leader_dir = scenario_dir(base, "repl-failover-leader")?;
+    let follower_dir = scenario_dir(base, "repl-failover-follower")?;
+
+    let file = Box::new(RealFile::open(&leader_dir.join(WAL_FILE))?);
+    let leader = Arc::new(durable_service(
+        &mesh,
+        &leader_dir,
+        FsyncPolicy::Always,
+        0,
+        file,
+    )?);
+    leader.attach_repl(Arc::new(ReplHub::leader()));
+    let shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&leader),
+        ShipperConfig::new(leader_dir.clone()),
+    )?;
+    let ship_addr = shipper.addr().to_string();
+
+    let file = Box::new(RealFile::open(&follower_dir.join(WAL_FILE))?);
+    let follower = Arc::new(durable_service(
+        &mesh,
+        &follower_dir,
+        FsyncPolicy::Always,
+        0,
+        file,
+    )?);
+    let hub = Arc::new(ReplHub::follower(&ship_addr));
+    follower.attach_repl(Arc::clone(&hub));
+    let follower_loop = Follower::spawn(Arc::clone(&follower), FollowerConfig::new(&ship_addr))?;
+
+    let mut rng = cfg.seed ^ 0x4e4f;
+    let driven = drive(&leader, &mesh, cfg.ops, &mut rng);
+    let acked = driven.acked.len();
+
+    // Let the standby drain the acked stream before the murder.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while hub.applied_seq() < acked as u64 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let caught_up = hub.applied_seq() >= acked as u64;
+
+    // kill -9: the leader vanishes, shipper and all, with no flush
+    // (everything acked is already fsynced under `always`).
+    shipper.stop();
+    drop(leader);
+
+    let promoted = matches!(follower.promote(), Response::Promoted { .. });
+
+    // The crash-retry probe, now against the *new* leader.
+    let streams_before = follower.admitted_count();
+    let mut replayed = true;
+    if let Some((req_id, handle)) = driven.last_admit_req {
+        let resp = follower.handle(&Request::Admit {
+            req_id,
+            src: (0, 0),
+            dst: (5, 0),
+            priority: 1,
+            period: 500,
+            length: 2,
+            deadline: None,
+        });
+        replayed = matches!(resp, Response::Admitted { id, .. } if id == handle)
+            && follower.admitted_count() == streams_before;
+    }
+    follower_loop.stop();
+    drop(follower);
+
+    let (_, survived, identical, mut detail) =
+        recover_and_compare(&mesh, &follower_dir, &driven.acked)?;
+    detail =
+        format!("caught_up={caught_up}, promoted={promoted}, dup-req replay={replayed}, {detail}");
+    let mut out = outcome("repl-failover", acked, survived, false, identical, detail);
+    out.bit_identical &= caught_up && promoted && replayed;
+    Ok(out)
+}
+
+/// A follower joining behind a compacted WAL over a flaky link: the
+/// first snapshot catch-up is severed mid-transfer (injected), the
+/// retry resumes from the chunk manifest instead of re-fetching, and
+/// the follower then streams the WAL tail to full equality with the
+/// leader's acked history.
+fn scenario_repl_catchup_resume(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let leader_dir = scenario_dir(base, "repl-catchup-leader")?;
+    let follower_dir = scenario_dir(base, "repl-catchup-follower")?;
+
+    let file = Box::new(RealFile::open(&leader_dir.join(WAL_FILE))?);
+    // Aggressive compaction: a joining follower *must* take the
+    // snapshot path because the WAL base has moved past sequence 0.
+    let leader = Arc::new(durable_service(
+        &mesh,
+        &leader_dir,
+        FsyncPolicy::Always,
+        4,
+        file,
+    )?);
+    leader.attach_repl(Arc::new(ReplHub::leader()));
+    let mut rng = cfg.seed ^ 0xca7c;
+    let driven = drive(&leader, &mesh, cfg.ops.max(12), &mut rng);
+    let acked = driven.acked.len();
+
+    let mut ship_cfg = ShipperConfig::new(leader_dir.clone());
+    // Tiny chunks so the transfer spans several and a severed link
+    // really leaves work behind.
+    ship_cfg.chunk_size = 128;
+    let shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&leader),
+        ship_cfg,
+    )?;
+    let ship_addr = shipper.addr().to_string();
+
+    // Attempt one: severed after a single chunk; the partial image and
+    // its manifest survive on disk.
+    let severed = catch_up(
+        &ship_addr,
+        &follower_dir,
+        FsyncPolicy::Always,
+        &CatchupOpts {
+            fail_after_chunks: Some(1),
+        },
+    )
+    .is_err();
+    // Attempt two: the manifest resumes; only the remainder transfers.
+    let resumed = catch_up(
+        &ship_addr,
+        &follower_dir,
+        FsyncPolicy::Always,
+        &CatchupOpts::default(),
+    )?;
+    let resumed_chunks = resumed.map_or(0, |c| c.resumed);
+
+    // Stream the WAL tail past the snapshot to full equality.
+    let file = Box::new(RealFile::open(&follower_dir.join(WAL_FILE))?);
+    let follower = Arc::new(durable_service(
+        &mesh,
+        &follower_dir,
+        FsyncPolicy::Always,
+        0,
+        file,
+    )?);
+    let hub = Arc::new(ReplHub::follower(&ship_addr));
+    follower.attach_repl(Arc::clone(&hub));
+    let follower_loop = Follower::spawn(Arc::clone(&follower), FollowerConfig::new(&ship_addr))?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while hub.applied_seq() < acked as u64 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let caught_up = hub.applied_seq() >= acked as u64;
+    follower_loop.stop();
+    shipper.stop();
+    drop(leader);
+    drop(follower);
+
+    let (_, survived, identical, mut detail) =
+        recover_and_compare(&mesh, &follower_dir, &driven.acked)?;
+    detail = format!(
+        "severed={severed}, resumed_chunks={resumed_chunks}, caught_up={caught_up}, {detail}"
+    );
+    let mut out = outcome(
+        "repl-catchup-resume",
+        acked,
+        survived,
+        false,
+        identical,
+        detail,
+    );
+    // The sever must have fired and the retry must have *resumed* (the
+    // manifest skipped at least the chunk already journaled).
+    out.bit_identical &= severed && resumed_chunks >= 1 && caught_up;
+    Ok(out)
+}
+
 /// Runs every fault-class scenario with the same seed and returns the
 /// verdicts.
 pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
@@ -738,6 +926,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
         scenario_kill9_fsync_always(cfg, &base)?,
         scenario_kill9_group_commit(cfg, &base)?,
         scenario_snapshot_compaction(cfg, &base)?,
+        scenario_repl_failover(cfg, &base)?,
+        scenario_repl_catchup_resume(cfg, &base)?,
     ];
     if cfg.dir.is_none() {
         let _ = std::fs::remove_dir_all(&base);
@@ -794,7 +984,7 @@ mod tests {
         let o = run_chaos(&cfg).unwrap();
         let report = render_chaos_report(&o);
         assert!(o.passed(), "{report}");
-        assert_eq!(o.scenarios.len(), 7);
+        assert_eq!(o.scenarios.len(), 9);
         assert!(report.contains("bit-identical"), "{report}");
         assert!(report.contains("CHAOS PASS"), "{report}");
         // The always-fsync classes lost nothing.

@@ -127,6 +127,25 @@ fn busy_retry_ms(reply: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the leader address from a `not_leader` redirect ("not the
+/// leader; leader is HOST:PORT"). `None` for any other response, or
+/// when the follower does not know its leader.
+fn not_leader_target(reply: &str) -> Option<String> {
+    if !reply.contains("\"code\":\"not_leader\"") {
+        return None;
+    }
+    let pat = "leader is ";
+    let start = reply.find(pat)? + pat.len();
+    let rest = &reply[start..];
+    let end = rest.find('"').unwrap_or(rest.len());
+    let addr = rest[..end].trim();
+    if addr.is_empty() {
+        None
+    } else {
+        Some(addr.to_string())
+    }
+}
+
 /// How long a read blocks before re-checking the request deadline.
 const CLIENT_READ_TICK: Duration = Duration::from_millis(50);
 
@@ -256,7 +275,8 @@ impl Client {
 
     /// Sends with retries: transport failures and timeouts reconnect
     /// and back off; `busy` responses honor the server's
-    /// `retry_after_ms` hint. **Not** safe for `ADMIT`/`REMOVE` unless
+    /// `retry_after_ms` hint; `not_leader` redirects re-dial the
+    /// leader the follower names. **Not** safe for `ADMIT`/`REMOVE` unless
     /// the line carries an `@REQID` prefix — use
     /// [`Client::send_idempotent`] for those.
     pub fn send_with_retry(&mut self, request: &str) -> Result<String, ClientError> {
@@ -271,13 +291,26 @@ impl Client {
                 }
             }
             match self.send(request) {
-                Ok(reply) => match busy_retry_ms(&reply) {
-                    Some(ms) => {
+                Ok(reply) => {
+                    if let Some(ms) = busy_retry_ms(&reply) {
                         last = format!("server busy (retry_after_ms={ms})");
                         thread::sleep(Duration::from_millis(ms));
+                        continue;
                     }
-                    None => return Ok(reply),
-                },
+                    // A follower redirects writes: chase the leader
+                    // (the next attempt reconnects to the new address).
+                    // With an `@REQID` prefix this is exactly-once
+                    // across a failover — the promoted leader replays
+                    // the original outcome from the replicated dedup
+                    // window.
+                    match not_leader_target(&reply) {
+                        Some(target) if target != self.addr => {
+                            last = format!("redirected to leader {target}");
+                            self.addr = target;
+                        }
+                        _ => return Ok(reply),
+                    }
+                }
                 Err(ClientError::Io(e)) => last = format!("i/o error: {e}"),
                 Err(ClientError::Timeout) => last = "timeout".to_string(),
                 Err(ClientError::Disconnected) => last = "disconnected".to_string(),
@@ -329,6 +362,61 @@ mod tests {
             assert!(exp + j <= cap + cap / 2, "cap plus at most 50% jitter");
             prev_exp = exp;
         }
+    }
+
+    #[test]
+    fn not_leader_target_extraction() {
+        assert_eq!(
+            not_leader_target(
+                "{\"status\":\"error\",\"code\":\"not_leader\",\
+                 \"message\":\"not the leader; leader is 10.0.0.1:7000\"}"
+            ),
+            Some("10.0.0.1:7000".to_string())
+        );
+        // A follower that does not know its leader: no redirect loop.
+        assert_eq!(
+            not_leader_target(
+                "{\"status\":\"error\",\"code\":\"not_leader\",\
+                 \"message\":\"not the leader; leader is \"}"
+            ),
+            None
+        );
+        assert_eq!(not_leader_target("{\"status\":\"ok\"}"), None);
+    }
+
+    #[test]
+    fn write_to_a_follower_chases_the_redirect_to_the_leader() {
+        use crate::repl::ReplHub;
+        use crate::server::Server;
+        use crate::service::AdmissionService;
+        use std::sync::Arc;
+        use wormnet_topology::Mesh;
+
+        let leader = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
+        leader.attach_repl(Arc::new(ReplHub::leader()));
+        let leader_srv = Server::bind(Arc::clone(&leader), "127.0.0.1:0").unwrap();
+        let leader_addr = leader_srv.local_addr().unwrap().to_string();
+        let leader_stop = leader_srv.shutdown_handle().unwrap();
+        let leader_join = thread::spawn(move || leader_srv.run());
+
+        let follower = Arc::new(AdmissionService::new(Mesh::mesh2d(10, 10)));
+        follower.attach_repl(Arc::new(ReplHub::follower(&leader_addr)));
+        let follower_srv = Server::bind(Arc::clone(&follower), "127.0.0.1:0").unwrap();
+        let follower_addr = follower_srv.local_addr().unwrap().to_string();
+        let follower_stop = follower_srv.shutdown_handle().unwrap();
+        let follower_join = thread::spawn(move || follower_srv.run());
+
+        // The client dials the follower; the write lands on the leader.
+        let mut client = Client::connect(&follower_addr).unwrap();
+        let reply = client.send_idempotent(7, "ADMIT 0,0 5,0 2 50 4").unwrap();
+        assert!(reply.contains("\"status\":\"admitted\""), "{reply}");
+        assert_eq!(leader.admitted_count(), 1);
+        assert_eq!(follower.admitted_count(), 0);
+
+        leader_stop.shutdown();
+        follower_stop.shutdown();
+        leader_join.join().unwrap().unwrap();
+        follower_join.join().unwrap().unwrap();
     }
 
     #[test]

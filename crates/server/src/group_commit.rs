@@ -92,6 +92,18 @@ fn broken_err() -> io::Error {
     io::Error::other("WAL is broken (earlier device error)")
 }
 
+/// Global sequence-number frontiers of the log, for replication and
+/// STATS (see [`GroupWal::frontiers`]). `flushed >= synced` always; a
+/// snapshot reset advances both to the snapshot sequence at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalFrontiers {
+    /// Highest operation sequence covered by an fsync (or a snapshot
+    /// reset) — safe to ship under any policy.
+    pub synced: u64,
+    /// Highest operation sequence whose record reached the file.
+    pub flushed: u64,
+}
+
 /// Ticketing / batching state, held only for microseconds at a time —
 /// never across file I/O.
 #[derive(Debug)]
@@ -189,6 +201,21 @@ impl GroupWal {
     /// A copy of the batching statistics.
     pub fn stats(&self) -> GroupCommitStats {
         self.meta.lock().stats
+    }
+
+    /// The current replication frontiers as global operation sequence
+    /// numbers (same numbering as [`GroupWal::seq`]). The WAL shipper
+    /// must never stream a record past the safe frontier for the
+    /// policy: under `always` a flushed-but-unsynced batch can still be
+    /// rolled back whole, so only `synced` is safe; under
+    /// `interval`/`never` flushed records are never rolled back and
+    /// `flushed` is the frontier.
+    pub fn frontiers(&self) -> WalFrontiers {
+        let m = self.meta.lock();
+        WalFrontiers {
+            synced: m.base_seq + (m.durable_seq - m.reset_mark),
+            flushed: m.base_seq + (m.flushed_seq - m.reset_mark),
+        }
     }
 
     /// Buffers one accepted operation and returns its ticket for
@@ -526,6 +553,30 @@ mod tests {
         assert!(gc.stats().syncs >= 1, "{:?}", gc.stats());
         drop(gc);
         assert_eq!(reopen_records(&path), 2);
+    }
+
+    #[test]
+    fn frontiers_track_sync_flush_and_reset() {
+        let path = tmp("frontiers");
+        let gc = open(&path, FsyncPolicy::Always);
+        assert_eq!(gc.frontiers(), WalFrontiers::default());
+        let t = gc.append(1, &admit(0)).unwrap();
+        // Buffered only: neither frontier moved yet.
+        assert_eq!(gc.frontiers().synced, 0);
+        gc.wait_durable(t).unwrap();
+        let f = gc.frontiers();
+        assert_eq!(f.synced, 1);
+        assert_eq!(f.flushed, 1);
+        gc.reset(3).unwrap();
+        let f = gc.frontiers();
+        assert_eq!((f.synced, f.flushed), (3, 3));
+        let t = gc.append(2, &admit(1)).unwrap();
+        gc.wait_durable(t).unwrap();
+        assert_eq!(gc.frontiers().synced, 4);
+        drop(gc);
+        // A reopened log counts its surviving records as synced.
+        let gc = open(&path, FsyncPolicy::Always);
+        assert_eq!(gc.frontiers().synced, 4);
     }
 
     #[test]

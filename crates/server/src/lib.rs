@@ -28,6 +28,11 @@
 //!   snapshots with WAL compaction, and a startup recovery path that
 //!   replays and then *audits* the rebuilt state against a fresh
 //!   offline analysis;
+//! - [`repl`] — replication over the durability layer: a WAL shipper
+//!   streaming synced frames to warm-standby followers, resumable
+//!   chunked snapshot catch-up, read-only followers that redirect
+//!   writes, and audited promotion to leader on demand or on leader
+//!   loss;
 //! - [`faultfs`] / [`chaos`] — the fault-injection harness behind
 //!   `rtwc chaos`: torn writes, lying short writes, fsync failures and
 //!   kill-9 truncation, each asserting the recovered state is
@@ -57,6 +62,7 @@ pub mod metrics;
 pub mod poll;
 pub mod protocol;
 pub mod recovery;
+pub mod repl;
 pub mod server;
 pub mod service;
 pub mod snapshot;
@@ -64,8 +70,8 @@ pub mod sync;
 pub mod wal;
 
 pub use bench::{
-    render_bench_json, render_sweep_json, run_bench, run_wal_sweep, BenchConfig, BenchOutcome,
-    WalSweep,
+    render_bench_json, render_repl_json, render_sweep_json, run_bench, run_bench_repl,
+    run_wal_sweep, BenchConfig, BenchOutcome, ReplBenchOutcome, WalSweep,
 };
 pub use chaos::{render_chaos_report, run_chaos, ChaosConfig, ChaosOutcome, ScenarioOutcome};
 pub use client::{Client, ClientConfig, ClientError};
@@ -79,11 +85,17 @@ pub use lock_order::{
 pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
 pub use poll::{PollEvent, Poller};
 pub use protocol::{
-    parse_request, render_response, RejectReason, Request, Response, SnapshotStream, StatsReport,
-    MAX_LINE_BYTES,
+    parse_request, render_response, FollowerLag, RejectReason, ReplReport, Request, Response,
+    SnapshotStream, StatsReport, MAX_LINE_BYTES,
 };
 pub use recovery::{recover, recover_with_file, RecoveredState, RecoveryReport};
+pub use repl::{
+    catchup::{CatchupOpts, CatchupOutcome},
+    follower::{catch_up, Follower, FollowerConfig},
+    ship::{Shipper, ShipperConfig},
+    ReplHub,
+};
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{replay, AcceptedOp, AdmissionService, Durability};
-pub use snapshot::{load_snapshot, write_snapshot, DedupEntry, SnapshotData};
-pub use wal::{crc32, FsyncPolicy, Wal, WalOpen, WalRecord};
+pub use snapshot::{load_snapshot, parse_snapshot, write_snapshot, DedupEntry, SnapshotData};
+pub use wal::{crc32, FrameIter, FsyncPolicy, Wal, WalOpen, WalRecord};

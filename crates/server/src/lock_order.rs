@@ -61,6 +61,10 @@ pub mod classes {
     /// The admission service's controller + id table
     /// (`service::AdmissionService::inner`).
     pub static SERVICE_INNER: LockClass = LockClass::new("service.inner", 30);
+    /// Replication shared state: leader address and per-follower acked
+    /// sequences (`repl::ReplHub`). Ranked below the WAL locks so a
+    /// shipper may consult the group-commit frontiers while holding it.
+    pub static REPL_STATE: LockClass = LockClass::new("repl.state", 35);
     /// Group-commit ticketing metadata (`group_commit::GroupWal::meta`).
     pub static WAL_META: LockClass = LockClass::new("wal.meta", 40);
     /// The WAL file itself (`group_commit::GroupWal::file`).

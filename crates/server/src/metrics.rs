@@ -50,12 +50,14 @@ pub enum RequestKind {
     Stats = 4,
     /// `SHUTDOWN`.
     Shutdown = 5,
+    /// `PROMOTE` (follower -> leader).
+    Promote = 6,
     /// Unparseable input.
-    Malformed = 6,
+    Malformed = 7,
 }
 
 /// Number of [`RequestKind`]s.
-pub const KINDS: usize = 7;
+pub const KINDS: usize = 8;
 
 const BUCKETS: usize = 64;
 

@@ -9,6 +9,7 @@
 //! QUERY <id>
 //! SNAPSHOT
 //! STATS
+//! PROMOTE
 //! SHUTDOWN
 //! ```
 //!
@@ -76,6 +77,8 @@ pub enum Request {
     Snapshot,
     /// Dump request counters and the service latency histogram.
     Stats,
+    /// Promote a follower to leader (no-op redirect on a leader).
+    Promote,
     /// Stop the server after responding.
     Shutdown,
 }
@@ -175,12 +178,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             arity(0, "STATS")?;
             Ok(Request::Stats)
         }
+        "PROMOTE" => {
+            arity(0, "PROMOTE")?;
+            Ok(Request::Promote)
+        }
         "SHUTDOWN" => {
             arity(0, "SHUTDOWN")?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown request '{other}' (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|SHUTDOWN)"
+            "unknown request '{other}' (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|PROMOTE|SHUTDOWN)"
         )),
     }
 }
@@ -230,13 +237,45 @@ pub struct SnapshotStream {
     pub bound: DelayBound,
 }
 
+/// One follower's replication progress, as seen by the leader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FollowerLag {
+    /// The follower's peer address.
+    pub peer: String,
+    /// Highest sequence the follower has acknowledged applying.
+    pub acked_seq: u64,
+    /// Frames between the leader's ship frontier and `acked_seq`.
+    pub lag_frames: u64,
+}
+
+/// Replication gauges, included in `STATS` when replication is
+/// configured. A follower reports its own lag behind the leader's
+/// sync frontier; a leader reports the worst lag across followers
+/// plus a per-follower breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplReport {
+    /// `"leader"` or `"follower"`.
+    pub role: &'static str,
+    /// Promotion epoch (bumped every time a follower takes over).
+    pub epoch: u64,
+    /// Highest operation sequence covered by a WAL fsync locally.
+    pub wal_last_synced_seq: u64,
+    /// Highest replicated sequence applied locally (followers only).
+    pub applied_seq: Option<u64>,
+    /// Follower: own lag behind the leader's sync frontier. Leader:
+    /// max lag across connected followers (0 with none connected).
+    pub replication_lag_frames: u64,
+    /// Per-follower progress (leader only; empty on a follower).
+    pub followers: Vec<FollowerLag>,
+}
+
 /// The `STATS` payload: counters plus the service-side latency
 /// histogram summary (microseconds, bucketed to powers of two).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReport {
     /// Requests served, by kind: admit, remove, query, snapshot,
-    /// stats, shutdown, malformed.
-    pub counts: [u64; 7],
+    /// stats, shutdown, promote, malformed.
+    pub counts: [u64; 8],
     /// Successful admissions.
     pub admitted: u64,
     /// Refused admissions.
@@ -283,6 +322,9 @@ pub struct StatsReport {
     pub service_p99_us: u64,
     /// Worst service time, microseconds.
     pub service_max_us: u64,
+    /// Replication gauges; `None` when replication is not configured
+    /// (the `replication` key is then omitted from the JSON).
+    pub repl: Option<ReplReport>,
 }
 
 /// A structured response, rendered to one JSON line by
@@ -346,8 +388,17 @@ pub enum Response {
         /// Every admitted stream, in admission order.
         streams: Vec<SnapshotStream>,
     },
-    /// A `STATS` dump.
-    Stats(StatsReport),
+    /// A `STATS` dump (boxed: the report is by far the widest variant).
+    Stats(Box<StatsReport>),
+    /// `PROMOTE` succeeded: this node is now the leader.
+    Promoted {
+        /// The new promotion epoch.
+        epoch: u64,
+        /// Streams admitted at the moment of promotion.
+        streams: u64,
+        /// True when the recovery audit (A107-A109) passed.
+        audited: bool,
+    },
     /// `SHUTDOWN` acknowledged; the server stops accepting.
     ShuttingDown,
     /// The server is overloaded and shed this request before doing any
@@ -495,14 +546,41 @@ pub fn render_response(r: &Response) -> String {
         Response::Stats(s) => {
             let _ = write!(
                 out,
-                "{{\"status\":\"ok\",\"requests\":{{\"admit\":{},\"remove\":{},\"query\":{},\"snapshot\":{},\"stats\":{},\"shutdown\":{},\"malformed\":{}}}",
-                s.counts[0], s.counts[1], s.counts[2], s.counts[3], s.counts[4], s.counts[5], s.counts[6]
+                "{{\"status\":\"ok\",\"requests\":{{\"admit\":{},\"remove\":{},\"query\":{},\"snapshot\":{},\"stats\":{},\"shutdown\":{},\"promote\":{},\"malformed\":{}}}",
+                s.counts[0], s.counts[1], s.counts[2], s.counts[3], s.counts[4], s.counts[5], s.counts[6], s.counts[7]
             );
             let _ = write!(
                 out,
                 ",\"admitted\":{},\"rejected\":{},\"removed\":{},\"replayed\":{},\"errors\":{},\"shed\":{},\"streams\":{},\"recomputations\":{},\"optimistic\":{}",
                 s.admitted, s.rejected, s.removed, s.replayed, s.errors, s.shed, s.streams, s.recomputations, s.optimistic
             );
+            if let Some(repl) = &s.repl {
+                let _ = write!(
+                    out,
+                    ",\"replication\":{{\"role\":\"{}\",\"epoch\":{},\"wal_last_synced_seq\":{},\"replication_lag_frames\":{}",
+                    repl.role, repl.epoch, repl.wal_last_synced_seq, repl.replication_lag_frames
+                );
+                if let Some(applied) = repl.applied_seq {
+                    let _ = write!(out, ",\"applied_seq\":{applied}");
+                }
+                if !repl.followers.is_empty() {
+                    out.push_str(",\"followers\":[");
+                    for (i, f) in repl.followers.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"peer\":\"{}\",\"acked_seq\":{},\"lag_frames\":{}}}",
+                            json_escape(&f.peer),
+                            f.acked_seq,
+                            f.lag_frames
+                        );
+                    }
+                    out.push(']');
+                }
+                out.push('}');
+            }
             let _ = write!(
                 out,
                 ",\"queue_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
@@ -517,6 +595,16 @@ pub fn render_response(r: &Response) -> String {
                 out,
                 ",\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}}}",
                 s.latency_count, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            );
+        }
+        Response::Promoted {
+            epoch,
+            streams,
+            audited,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"status\":\"promoted\",\"epoch\":{epoch},\"streams\":{streams},\"audited\":{audited}}}"
             );
         }
         Response::ShuttingDown => out.push_str("{\"status\":\"shutting-down\"}"),
@@ -574,6 +662,7 @@ mod tests {
         assert_eq!(parse_request("query 0").unwrap(), Request::Query(0));
         assert_eq!(parse_request("SNAPSHOT").unwrap(), Request::Snapshot);
         assert_eq!(parse_request("Stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("promote").unwrap(), Request::Promote);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 
@@ -623,6 +712,8 @@ mod tests {
             "QUERY -3",
             "SNAPSHOT now",
             "STATS --all",
+            "PROMOTE now",
+            "@5 PROMOTE",
             "SHUTDOWN please",
             "ADMIT 99999999999999999999,0 1,0 1 1 1",
         ] {
@@ -671,7 +762,7 @@ mod tests {
                     bound: DelayBound::Bounded(23),
                 }],
             },
-            Response::Stats(StatsReport::default()),
+            Response::Stats(Box::default()),
             Response::ShuttingDown,
             Response::Busy { retry_after_ms: 25 },
             Response::error("unknown_id", "unknown stream id 9"),
@@ -698,5 +789,62 @@ mod tests {
         assert!(busy.contains("\"retry_after_ms\":25"), "{busy}");
         let err = render_response(&cases[8]);
         assert!(err.contains("\"code\":\"unknown_id\""), "{err}");
+    }
+
+    #[test]
+    fn replication_stats_and_promotion_render() {
+        // Without replication configured the key is absent, so the
+        // pre-replication STATS shape is unchanged.
+        let plain = render_response(&Response::Stats(Box::default()));
+        assert!(!plain.contains("replication"), "{plain}");
+        assert!(plain.contains("\"promote\":0"), "{plain}");
+
+        let mut report = StatsReport {
+            repl: Some(ReplReport {
+                role: "leader",
+                epoch: 2,
+                wal_last_synced_seq: 40,
+                applied_seq: None,
+                replication_lag_frames: 3,
+                followers: vec![FollowerLag {
+                    peer: "127.0.0.1:9999".to_string(),
+                    acked_seq: 37,
+                    lag_frames: 3,
+                }],
+            }),
+            ..StatsReport::default()
+        };
+        let leader = render_response(&Response::Stats(Box::new(report.clone())));
+        assert!(
+            leader.contains("\"replication\":{\"role\":\"leader\""),
+            "{leader}"
+        );
+        assert!(leader.contains("\"wal_last_synced_seq\":40"), "{leader}");
+        assert!(leader.contains("\"replication_lag_frames\":3"), "{leader}");
+        assert!(leader.contains("\"acked_seq\":37"), "{leader}");
+        assert!(!leader.contains("applied_seq"), "{leader}");
+
+        report.repl = Some(ReplReport {
+            role: "follower",
+            epoch: 1,
+            wal_last_synced_seq: 37,
+            applied_seq: Some(37),
+            replication_lag_frames: 3,
+            followers: vec![],
+        });
+        let follower = render_response(&Response::Stats(Box::new(report)));
+        assert!(follower.contains("\"role\":\"follower\""), "{follower}");
+        assert!(follower.contains("\"applied_seq\":37"), "{follower}");
+        assert!(!follower.contains("followers"), "{follower}");
+
+        let promoted = render_response(&Response::Promoted {
+            epoch: 3,
+            streams: 12,
+            audited: true,
+        });
+        assert_eq!(
+            promoted,
+            "{\"status\":\"promoted\",\"epoch\":3,\"streams\":12,\"audited\":true}"
+        );
     }
 }

@@ -1,0 +1,430 @@
+//! Resumable chunked snapshot transfer: the follower side of
+//! catch-up.
+//!
+//! When a follower's applied sequence is behind the leader's compacted
+//! WAL base, frames alone cannot bring it current: it must first
+//! install the leader's latest `snapshot.bin`. The image is pulled in
+//! checksummed chunks, follower-driven ([`ReplMsg::GetChunk`] per
+//! chunk), with progress journaled to an **offset manifest** on disk:
+//!
+//! ```text
+//! catchup.manifest:
+//!   RTWCCAT1 <snap_seq> <total_len> <crc> <chunk_size>
+//!   <completed chunk index>
+//!   ...
+//! snapshot.partial: the image, chunks written at index*chunk_size
+//! ```
+//!
+//! If the link (or the follower) dies mid-transfer, the next attempt
+//! reloads the manifest; when the leader still offers the *same* image
+//! (identity = all four header fields), every journaled chunk is
+//! skipped and only the remainder crosses the wire. A different image
+//! restarts the transfer from scratch. After the last chunk the whole
+//! image is re-checksummed, parsed (magic + body CRC), and renamed
+//! atomically over `snapshot.bin`; only then is the manifest removed.
+
+use super::proto::{read_msg, write_msg, ReplMsg};
+use crate::snapshot::{parse_snapshot, SNAPSHOT_FILE};
+use crate::wal::crc32;
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The transfer-progress journal's file name inside a `--wal-dir`.
+pub const MANIFEST_FILE: &str = "catchup.manifest";
+/// The in-progress snapshot image's file name.
+pub const PARTIAL_FILE: &str = "snapshot.partial";
+
+const MANIFEST_MAGIC: &str = "RTWCCAT1";
+
+/// Identity of the image being transferred (the [`ReplMsg::SnapStart`]
+/// fields).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferSpec {
+    /// Sequence the snapshot captures.
+    pub snap_seq: u64,
+    /// Total image length, bytes.
+    pub total_len: u64,
+    /// CRC32 of the whole image.
+    pub crc: u32,
+    /// Chunk size the leader serves.
+    pub chunk_size: u32,
+}
+
+/// Knobs for the transfer loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CatchupOpts {
+    /// Fault-injection hook: abort (as a simulated severed link) after
+    /// this many chunks have been fetched *this attempt*. Chaos uses
+    /// it to prove the manifest resumes without re-transfer.
+    pub fail_after_chunks: Option<u64>,
+}
+
+/// What a completed transfer did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatchupOutcome {
+    /// Chunks fetched over the wire this attempt.
+    pub requested: u64,
+    /// Chunks skipped because the manifest had already journaled them.
+    pub resumed: u64,
+    /// The installed snapshot's sequence (WAL resets here).
+    pub snap_seq: u64,
+}
+
+fn manifest_header(spec: &TransferSpec) -> String {
+    format!(
+        "{MANIFEST_MAGIC} {} {} {} {}\n",
+        spec.snap_seq, spec.total_len, spec.crc, spec.chunk_size
+    )
+}
+
+/// Loads the journaled chunk set if the manifest matches `spec`'s
+/// identity; `None` for a missing, foreign, or corrupt manifest.
+fn load_manifest(dir: &Path, spec: &TransferSpec) -> Option<BTreeSet<u64>> {
+    let text = fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 5 || fields[0] != MANIFEST_MAGIC {
+        return None;
+    }
+    let same = fields[1].parse() == Ok(spec.snap_seq)
+        && fields[2].parse() == Ok(spec.total_len)
+        && fields[3].parse() == Ok(spec.crc)
+        && fields[4].parse() == Ok(spec.chunk_size);
+    if !same {
+        return None;
+    }
+    // A torn final line (crash mid-append) parses as garbage and is
+    // simply dropped: the chunk is re-fetched, which is safe.
+    Some(lines.filter_map(|l| l.trim().parse().ok()).collect())
+}
+
+fn expected_chunk_len(spec: &TransferSpec, index: u64, total_chunks: u64) -> usize {
+    let cs = u64::from(spec.chunk_size);
+    let len = if index + 1 == total_chunks {
+        spec.total_len - index * cs
+    } else {
+        cs
+    };
+    usize::try_from(len).expect("chunk fits usize")
+}
+
+/// Pulls the image described by `spec` from `stream` into `dir`,
+/// resuming from any matching manifest, then installs it atomically as
+/// `snapshot.bin`. On success the manifest and partial are gone and
+/// the caller must reset its WAL to `spec.snap_seq`.
+pub fn fetch_snapshot<S: Read + Write>(
+    stream: &mut S,
+    dir: &Path,
+    spec: &TransferSpec,
+    opts: &CatchupOpts,
+) -> io::Result<CatchupOutcome> {
+    if spec.chunk_size == 0 || spec.total_len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot transfer with a zero length or chunk size",
+        ));
+    }
+    let total_chunks = spec.total_len.div_ceil(u64::from(spec.chunk_size));
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let partial_path = dir.join(PARTIAL_FILE);
+
+    let done = match load_manifest(dir, spec) {
+        Some(done) if partial_path.exists() => done,
+        _ => {
+            // Fresh transfer (no manifest, or one for a different
+            // image): restart from nothing.
+            let _ = fs::remove_file(&partial_path);
+            fs::write(&manifest_path, manifest_header(spec))?;
+            let f = File::create(&partial_path)?;
+            f.set_len(spec.total_len)?;
+            BTreeSet::new()
+        }
+    };
+
+    let mut partial = OpenOptions::new().write(true).open(&partial_path)?;
+    let mut manifest = OpenOptions::new().append(true).open(&manifest_path)?;
+    let resumed = done.len() as u64;
+    let mut requested = 0u64;
+
+    for index in 0..total_chunks {
+        if done.contains(&index) {
+            continue;
+        }
+        if opts.fail_after_chunks == Some(requested) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "replication link severed mid-catch-up (injected)",
+            ));
+        }
+        write_msg(stream, &ReplMsg::GetChunk { index })?;
+        let (got_index, crc, bytes) = loop {
+            match read_msg(stream)? {
+                ReplMsg::Chunk { index, crc, bytes } => break (index, crc, bytes),
+                // The leader may interleave liveness pings.
+                ReplMsg::Heartbeat { .. } => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected {other:?} during snapshot transfer"),
+                    ))
+                }
+            }
+        };
+        let want = expected_chunk_len(spec, index, total_chunks);
+        if got_index != index || bytes.len() != want || crc32(&bytes) != crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot chunk {index} failed verification"),
+            ));
+        }
+        partial.seek(SeekFrom::Start(index * u64::from(spec.chunk_size)))?;
+        partial.write_all(&bytes)?;
+        partial.sync_data()?;
+        // Journal the chunk only after its bytes are durable, so the
+        // manifest never claims data the partial does not hold.
+        writeln!(manifest, "{index}")?;
+        manifest.sync_data()?;
+        requested += 1;
+    }
+    drop(partial);
+    drop(manifest);
+
+    // Whole-image verification before install: length, CRC, and a
+    // full parse (the image must be a valid RTWCSNP1 snapshot at the
+    // advertised sequence).
+    let image = fs::read(&partial_path)?;
+    if image.len() as u64 != spec.total_len || crc32(&image) != spec.crc {
+        // The assembled image is bad even though every chunk checked
+        // out — the leader's offer changed under us. Scrap the
+        // transfer so the next attempt restarts clean.
+        let _ = fs::remove_file(&manifest_path);
+        let _ = fs::remove_file(&partial_path);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "assembled snapshot image fails verification",
+        ));
+    }
+    let data = parse_snapshot(&image)?;
+    if data.seq != spec.snap_seq {
+        let _ = fs::remove_file(&manifest_path);
+        let _ = fs::remove_file(&partial_path);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot image sequence disagrees with the transfer offer",
+        ));
+    }
+    fs::rename(&partial_path, dir.join(SNAPSHOT_FILE))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    fs::remove_file(&manifest_path)?;
+    Ok(CatchupOutcome {
+        requested,
+        resumed,
+        snap_seq: spec.snap_seq,
+    })
+}
+
+/// Serves the leader side of one chunk request against an in-memory
+/// image (the leader pins the image bytes for the whole transfer so a
+/// concurrent compaction cannot tear it).
+pub fn chunk_reply(image: &[u8], chunk_size: u32, index: u64) -> Option<ReplMsg> {
+    let cs = chunk_size as usize;
+    let start = usize::try_from(index.checked_mul(cs as u64)?).ok()?;
+    if cs == 0 || start >= image.len() {
+        return None;
+    }
+    let bytes = image[start..image.len().min(start + cs)].to_vec();
+    Some(ReplMsg::Chunk {
+        index,
+        crc: crc32(&bytes),
+        bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{write_snapshot, SnapshotData};
+    use rtwc_core::StreamSpec;
+    use wormnet_topology::NodeId;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtwc-catchup-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image(dir: &Path) -> Vec<u8> {
+        let data = SnapshotData {
+            seq: 11,
+            next_handle: 4,
+            streams: vec![
+                (1, StreamSpec::new(NodeId(0), NodeId(5), 2, 50, 4, 50)),
+                (3, StreamSpec::new(NodeId(12), NodeId(17), 1, 60, 6, 55)),
+            ],
+            dedup: vec![],
+        };
+        write_snapshot(dir, &data).unwrap();
+        fs::read(dir.join(SNAPSHOT_FILE)).unwrap()
+    }
+
+    /// An in-memory "leader": answers `GetChunk` from the pinned image.
+    struct FakeLeader {
+        image: Vec<u8>,
+        chunk_size: u32,
+        inbox: Vec<u8>,
+        outbox: io::Cursor<Vec<u8>>,
+        chunks_served: u64,
+    }
+
+    impl FakeLeader {
+        fn new(image: Vec<u8>, chunk_size: u32) -> FakeLeader {
+            FakeLeader {
+                image,
+                chunk_size,
+                inbox: vec![],
+                outbox: io::Cursor::new(vec![]),
+                chunks_served: 0,
+            }
+        }
+    }
+
+    impl Write for FakeLeader {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            // A write from the follower: accumulate until a whole
+            // message parses, then answer it into the outbox.
+            self.inbox.extend_from_slice(buf);
+            let mut cursor = io::Cursor::new(self.inbox.clone());
+            if let Ok(ReplMsg::GetChunk { index }) = read_msg(&mut cursor) {
+                self.inbox.drain(..cursor.position() as usize);
+                let reply = chunk_reply(&self.image, self.chunk_size, index)
+                    .expect("follower asked for a valid chunk");
+                self.chunks_served += 1;
+                let at = self.outbox.position();
+                self.outbox.get_mut().extend_from_slice(&reply.encode());
+                self.outbox.set_position(at);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Read for FakeLeader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.outbox.read(buf)
+        }
+    }
+
+    #[test]
+    fn severed_transfer_resumes_without_refetching_chunks() {
+        let leader_dir = tmpdir("sever-leader");
+        let follower_dir = tmpdir("sever-follower");
+        let image = sample_image(&leader_dir);
+        let spec = TransferSpec {
+            snap_seq: 11,
+            total_len: image.len() as u64,
+            crc: crc32(&image),
+            chunk_size: 16, // force many chunks
+        };
+        let total_chunks = spec.total_len.div_ceil(16);
+        assert!(total_chunks >= 4, "image too small for the scenario");
+
+        // First attempt dies after two chunks.
+        let mut leader = FakeLeader::new(image.clone(), 16);
+        let err = fetch_snapshot(
+            &mut leader,
+            &follower_dir,
+            &spec,
+            &CatchupOpts {
+                fail_after_chunks: Some(2),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert_eq!(leader.chunks_served, 2);
+        assert!(follower_dir.join(MANIFEST_FILE).exists());
+        assert!(follower_dir.join(PARTIAL_FILE).exists());
+
+        // Second attempt resumes: only the remaining chunks cross.
+        let mut leader = FakeLeader::new(image.clone(), 16);
+        let out =
+            fetch_snapshot(&mut leader, &follower_dir, &spec, &CatchupOpts::default()).unwrap();
+        assert_eq!(out.resumed, 2, "manifest chunks must be skipped");
+        assert_eq!(out.requested, total_chunks - 2);
+        assert_eq!(leader.chunks_served, total_chunks - 2);
+        assert_eq!(out.snap_seq, 11);
+
+        // Installed image is byte-identical; transfer scratch is gone.
+        assert_eq!(fs::read(follower_dir.join(SNAPSHOT_FILE)).unwrap(), image);
+        assert!(!follower_dir.join(MANIFEST_FILE).exists());
+        assert!(!follower_dir.join(PARTIAL_FILE).exists());
+
+        fs::remove_dir_all(&leader_dir).ok();
+        fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn manifest_for_a_different_image_restarts_the_transfer() {
+        let leader_dir = tmpdir("stale-leader");
+        let follower_dir = tmpdir("stale-follower");
+        let image = sample_image(&leader_dir);
+        let spec = TransferSpec {
+            snap_seq: 11,
+            total_len: image.len() as u64,
+            crc: crc32(&image),
+            chunk_size: 32,
+        };
+        // A leftover manifest from some other image (different CRC).
+        fs::write(
+            follower_dir.join(MANIFEST_FILE),
+            format!("{MANIFEST_MAGIC} 9 999 12345 32\n0\n1\n"),
+        )
+        .unwrap();
+        fs::write(follower_dir.join(PARTIAL_FILE), vec![0u8; 999]).unwrap();
+
+        let mut leader = FakeLeader::new(image.clone(), 32);
+        let out =
+            fetch_snapshot(&mut leader, &follower_dir, &spec, &CatchupOpts::default()).unwrap();
+        assert_eq!(out.resumed, 0, "foreign manifest must not be trusted");
+        assert_eq!(out.requested, spec.total_len.div_ceil(32));
+        assert_eq!(fs::read(follower_dir.join(SNAPSHOT_FILE)).unwrap(), image);
+
+        fs::remove_dir_all(&leader_dir).ok();
+        fs::remove_dir_all(&follower_dir).ok();
+    }
+
+    #[test]
+    fn corrupt_chunk_is_detected() {
+        let leader_dir = tmpdir("corrupt-leader");
+        let follower_dir = tmpdir("corrupt-follower");
+        let mut image = sample_image(&leader_dir);
+        let spec = TransferSpec {
+            snap_seq: 11,
+            total_len: image.len() as u64,
+            crc: crc32(&image),
+            chunk_size: 64,
+        };
+        // The leader serves a flipped byte but an honest per-chunk
+        // CRC of the *original* — model a lying wire by corrupting
+        // after CRC: easiest is to corrupt the image and keep the
+        // spec CRC, which the whole-image check must catch.
+        image[3] ^= 0x10;
+        let mut leader = FakeLeader::new(image, 64);
+        let err =
+            fetch_snapshot(&mut leader, &follower_dir, &spec, &CatchupOpts::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Scratch state was scrapped so the next attempt starts clean.
+        assert!(!follower_dir.join(MANIFEST_FILE).exists());
+        assert!(!follower_dir.join(PARTIAL_FILE).exists());
+
+        fs::remove_dir_all(&leader_dir).ok();
+        fs::remove_dir_all(&follower_dir).ok();
+    }
+}

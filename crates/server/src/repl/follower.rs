@@ -1,0 +1,593 @@
+//! The follower side of replication: the connect/apply loop and the
+//! pre-service catch-up step.
+//!
+//! A follower runs an ordinary [`AdmissionService`] with a
+//! [`crate::repl::ReplHub`] in follower mode attached: reads are
+//! served locally, writes redirect to the leader, and a background
+//! thread applies the leader's WAL frames in sequence through
+//! [`AdmissionService::apply_replicated`]. Any anomaly — torn frame,
+//! sequence gap, undecodable payload — tears the session down and
+//! reconnects; the re-sent `Hello` carries the applied sequence, so
+//! the leader rewinds and duplicate deliveries land as idempotent
+//! no-ops. When the leader goes silent past the configured grace the
+//! thread promotes the node through the audited
+//! [`AdmissionService::promote`] path and exits.
+//!
+//! [`catch_up`] runs *before* the service is built: if the leader's
+//! WAL has been compacted past the local state, the latest snapshot is
+//! pulled (resumably — see [`super::catchup`]) and the local WAL is
+//! reset to the snapshot sequence, so the normal recovery path then
+//! reconstructs exactly the leader's state and streaming continues
+//! from there.
+
+use super::catchup::{fetch_snapshot, CatchupOpts, CatchupOutcome, TransferSpec};
+use super::proto::{read_msg, write_msg, ReplMsg};
+use crate::faultfs::RealFile;
+use crate::service::AdmissionService;
+use crate::snapshot::load_snapshot;
+use crate::wal::{crc32, decode_payload, FrameIter, FsyncPolicy, Wal, WAL_FILE};
+use std::fs;
+use std::io::{self, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs for the follower's replication loop.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The leader's replication address (`--follower-of`).
+    pub leader: String,
+    /// Promote to leader after this much silence; `None` = never
+    /// auto-promote (explicit `rtwc promote` only).
+    pub promote_grace: Option<Duration>,
+    /// Delay between reconnect attempts.
+    pub reconnect_delay: Duration,
+    /// Per-cycle read timeout on the session.
+    pub poll: Duration,
+}
+
+impl FollowerConfig {
+    /// Defaults for `leader`: no auto-promotion, 50 ms reconnect
+    /// delay, 25 ms poll.
+    pub fn new(leader: &str) -> FollowerConfig {
+        FollowerConfig {
+            leader: leader.to_string(),
+            promote_grace: None,
+            reconnect_delay: Duration::from_millis(50),
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// The running follower loop. [`Follower::stop`] joins the thread;
+/// dropping without it detaches (the thread exits with the process or
+/// on promotion).
+#[derive(Debug)]
+pub struct Follower {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Starts the connect/apply loop. The service must have a hub in
+    /// follower mode attached.
+    pub fn spawn(service: Arc<AdmissionService>, cfg: FollowerConfig) -> io::Result<Follower> {
+        if service.repl_hub().is_none() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "follower without a replication hub",
+            ));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let run_stop = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("repl-follow".to_string())
+            .spawn(move || run(&service, &cfg, &run_stop))?;
+        Ok(Follower {
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run(service: &AdmissionService, cfg: &FollowerConfig, stop: &AtomicBool) {
+    let hub = service.repl_hub().expect("checked at spawn").clone();
+    // Locally recovered history counts as applied: a follower whose
+    // catch-up snapshot already covers the leader's whole stream gets
+    // no frames at all, and the gauge would otherwise sit at zero
+    // (reporting a bogus lag) until the first new write.
+    hub.set_applied(service.seq());
+    let mut last_contact = Instant::now();
+    while !stop.load(Ordering::Relaxed) && hub.is_follower() {
+        if let Ok(stream) = connect(&cfg.leader) {
+            // Any session error (disconnect, torn frame, gap, stale
+            // leader) lands here; the reconnect below re-Hellos from
+            // the applied sequence.
+            let _ = session(stream, service, cfg, stop, &mut last_contact);
+        }
+        if stop.load(Ordering::Relaxed) || !hub.is_follower() {
+            break;
+        }
+        if let Some(grace) = cfg.promote_grace {
+            if last_contact.elapsed() >= grace {
+                if let crate::protocol::Response::Promoted { epoch, .. } = service.promote() {
+                    println!("promoted to leader (epoch {epoch}) after leader loss");
+                }
+                // Promotion flips the role and the loop exits; an
+                // audit refusal keeps retrying the leader instead.
+                last_contact = Instant::now();
+                continue;
+            }
+        }
+        thread::sleep(cfg.reconnect_delay);
+    }
+}
+
+fn connect(leader: &str) -> io::Result<TcpStream> {
+    let addr = leader.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            ErrorKind::InvalidInput,
+            "leader address resolves to nothing",
+        )
+    })?;
+    TcpStream::connect_timeout(&addr, Duration::from_millis(500))
+}
+
+/// One connected session: handshake, then apply frames until the
+/// stream breaks, the node stops being a follower, or the leader goes
+/// silent past the grace.
+fn session(
+    mut stream: TcpStream,
+    service: &AdmissionService,
+    cfg: &FollowerConfig,
+    stop: &AtomicBool,
+    last_contact: &mut Instant,
+) -> io::Result<()> {
+    let hub = service.repl_hub().expect("checked at spawn");
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.poll))?;
+    let local_seq = service.seq();
+    hub.set_applied(local_seq);
+    write_msg(
+        &mut stream,
+        &ReplMsg::Hello {
+            epoch: hub.epoch(),
+            applied_seq: local_seq,
+        },
+    )?;
+    let mut acked = local_seq;
+    let mut unacked = 0u32;
+    while !stop.load(Ordering::Relaxed) && hub.is_follower() {
+        match read_msg(&mut stream) {
+            Ok(ReplMsg::Welcome {
+                epoch, synced_seq, ..
+            }) => {
+                if epoch < hub.epoch() {
+                    return Err(io::Error::other(format!(
+                        "stale leader (epoch {epoch} < local {})",
+                        hub.epoch()
+                    )));
+                }
+                hub.note_source_synced(synced_seq);
+                *last_contact = Instant::now();
+            }
+            Ok(ReplMsg::Frame { seq, crc, payload }) => {
+                if crc32(&payload) != crc {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("torn replicated frame at seq {seq}"),
+                    ));
+                }
+                let record = decode_payload(&payload).ok_or_else(|| {
+                    io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("undecodable replicated frame at seq {seq}"),
+                    )
+                })?;
+                service
+                    .apply_replicated(seq, record.req_id, &record.op)
+                    .map_err(io::Error::other)?;
+                *last_contact = Instant::now();
+                unacked += 1;
+                // Ack in small batches so leader-side lag gauges stay
+                // honest without an ack per frame.
+                if unacked >= 32 {
+                    acked = hub.applied_seq();
+                    unacked = 0;
+                    write_msg(&mut stream, &ReplMsg::Ack { applied_seq: acked })?;
+                }
+            }
+            Ok(ReplMsg::Heartbeat { synced_seq }) => {
+                hub.note_source_synced(synced_seq);
+                *last_contact = Instant::now();
+            }
+            Ok(ReplMsg::SnapStart { .. }) => {
+                // Mid-run compaction past our applied sequence: the
+                // in-memory state cannot absorb a snapshot. Surface it;
+                // the operator restarts the follower, whose catch-up
+                // step installs the image before the service is built.
+                return Err(io::Error::other(
+                    "leader compacted past local state; restart the follower to catch up",
+                ));
+            }
+            Ok(other) => {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected {other:?} from the leader"),
+                ))
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let applied = hub.applied_seq();
+                if applied > acked {
+                    acked = applied;
+                    unacked = 0;
+                    write_msg(
+                        &mut stream,
+                        &ReplMsg::Ack {
+                            applied_seq: applied,
+                        },
+                    )?;
+                }
+                if let Some(grace) = cfg.promote_grace {
+                    if last_contact.elapsed() >= grace {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            "leader silent past the promotion grace",
+                        ));
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// The highest sequence the local durability directory can recover to
+/// (snapshot sequence plus intact WAL tail), without building a
+/// service. Zero for a fresh directory.
+fn local_recoverable_seq(dir: &Path) -> u64 {
+    let snap_seq = load_snapshot(dir).ok().flatten().map_or(0, |d| d.seq);
+    let wal_seq = fs::read(dir.join(WAL_FILE))
+        .ok()
+        .and_then(|bytes| {
+            let mut frames = FrameIter::new(&bytes).ok()?;
+            let n = frames.by_ref().count() as u64;
+            Some(frames.base_seq() + n)
+        })
+        .unwrap_or(0);
+    snap_seq.max(wal_seq)
+}
+
+/// Pre-service catch-up: asks the leader whether the local state is
+/// reachable by frames alone; if not (the leader's WAL base has moved
+/// past it), pulls the leader's snapshot resumably and resets the
+/// local WAL to its sequence. Run this *before* recovery so the
+/// normal recover-and-audit path rebuilds exactly the leader's state.
+///
+/// Returns `Ok(None)` when no transfer was needed (including an
+/// unreachable leader: the follower loop keeps retrying after the
+/// service is up). The caller passes `fsync` so the reset WAL is
+/// opened under the same policy the service will use.
+pub fn catch_up(
+    leader: &str,
+    dir: &Path,
+    fsync: FsyncPolicy,
+    opts: &CatchupOpts,
+) -> io::Result<Option<CatchupOutcome>> {
+    let Ok(mut stream) = connect(leader) else {
+        return Ok(None);
+    };
+    stream.set_nodelay(true)?;
+    // Generous: catch-up is a startup step, not the steady-state loop.
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    write_msg(
+        &mut stream,
+        &ReplMsg::Hello {
+            epoch: 1,
+            applied_seq: local_recoverable_seq(dir),
+        },
+    )?;
+    match read_msg(&mut stream)? {
+        ReplMsg::Welcome { .. } => {}
+        other => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            ))
+        }
+    }
+    // The leader now either streams frames (local state is reachable —
+    // nothing to do here, the live session will apply them), stays
+    // quiet until a heartbeat, or opens a snapshot transfer.
+    let spec = match read_msg(&mut stream) {
+        Ok(ReplMsg::SnapStart {
+            snap_seq,
+            total_len,
+            crc,
+            chunk_size,
+        }) => TransferSpec {
+            snap_seq,
+            total_len,
+            crc,
+            chunk_size,
+        },
+        Ok(ReplMsg::Frame { .. } | ReplMsg::Heartbeat { .. }) => return Ok(None),
+        Ok(other) => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unexpected {other:?} during catch-up"),
+            ))
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            return Ok(None)
+        }
+        Err(e) => return Err(e),
+    };
+    let outcome = fetch_snapshot(&mut stream, dir, &spec, opts)?;
+    // The installed snapshot supersedes whatever the local WAL held;
+    // recovery refuses a WAL whose base is behind the snapshot with a
+    // gap to it, and the group-commit frontier math needs the base to
+    // match. Reset it to continue exactly from the snapshot.
+    let (mut wal, _) = Wal::open(Box::new(RealFile::open(&dir.join(WAL_FILE))?), fsync)?;
+    wal.reset(outcome.snap_seq)?;
+    Ok(Some(outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::recover;
+    use crate::repl::ship::{Shipper, ShipperConfig};
+    use crate::repl::ReplHub;
+    use crate::service::{AdmissionService, Durability};
+    use crate::snapshot::SNAPSHOT_FILE;
+    use crate::wal::encode_payload;
+    use crate::GroupWal;
+    use std::net::TcpListener;
+    use wormnet_topology::Mesh;
+
+    fn mesh() -> Mesh {
+        Mesh::mesh2d(8, 8)
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtwc-follower-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_leader(dir: &Path, snapshot_every: u64) -> Arc<AdmissionService> {
+        let (state, wal, _) = recover(&mesh(), dir, FsyncPolicy::Always).unwrap();
+        let service = AdmissionService::with_durability(
+            mesh(),
+            state,
+            Durability {
+                dir: dir.to_path_buf(),
+                wal: GroupWal::new(wal),
+                snapshot_every,
+            },
+        );
+        service.attach_repl(Arc::new(ReplHub::leader()));
+        Arc::new(service)
+    }
+
+    /// Admits `n` streams on disjoint rows starting at `start`: the XY
+    /// routes never share a link, so every admit succeeds.
+    fn admit_n(service: &AdmissionService, start: u64, n: u64) {
+        for k in 0..n {
+            let row = (start + k) as u32;
+            assert!(row < 8, "rows exhausted");
+            let r = service.admit(100 + start + k, (0, row), (5, row), 2, 50, 4, None);
+            assert!(
+                matches!(r, crate::protocol::Response::Admitted { .. }),
+                "{r:?}"
+            );
+        }
+    }
+
+    fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if done() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn follower_applies_the_leaders_stream_live() {
+        let dir = tmpdir("live");
+        let leader = durable_leader(&dir, 0);
+        admit_n(&leader, 0, 3);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let shipper = Shipper::spawn(
+            listener,
+            Arc::clone(&leader),
+            ShipperConfig::new(dir.clone()),
+        )
+        .unwrap();
+
+        let standby = Arc::new(AdmissionService::new(mesh()));
+        standby.attach_repl(Arc::new(ReplHub::follower(&shipper.addr().to_string())));
+        let follower = Follower::spawn(
+            Arc::clone(&standby),
+            FollowerConfig::new(&shipper.addr().to_string()),
+        )
+        .unwrap();
+
+        assert!(
+            wait_until(Duration::from_secs(10), || standby.seq() >= 3),
+            "follower never applied the backlog (applied {})",
+            standby.seq()
+        );
+        // Live tail: new leader writes flow through the open session.
+        admit_n(&leader, 3, 2);
+        assert!(
+            wait_until(Duration::from_secs(10), || standby.seq() >= 5),
+            "follower never applied the live tail (applied {})",
+            standby.seq()
+        );
+        assert_eq!(standby.admitted_count(), leader.admitted_count());
+        assert_eq!(standby.audit().unwrap(), 5);
+
+        follower.stop();
+        shipper.stop();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_frame_tears_the_session_down_for_a_clean_reconnect() {
+        // A hand-rolled "leader" that serves one corrupt frame on the
+        // first connection and an honest stream on the second.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = rtwc_core::StreamSpec::new(
+            wormnet_topology::NodeId(0),
+            wormnet_topology::NodeId(63),
+            1,
+            200,
+            2,
+            200,
+        );
+        let op = crate::service::AcceptedOp::Admit {
+            handle: 0,
+            spec: spec.clone(),
+        };
+        let payload = encode_payload(7, &op);
+        let fake = thread::spawn(move || {
+            for attempt in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let hello = read_msg(&mut s).unwrap();
+                assert!(matches!(hello, ReplMsg::Hello { .. }), "{hello:?}");
+                write_msg(
+                    &mut s,
+                    &ReplMsg::Welcome {
+                        epoch: 1,
+                        base_seq: 0,
+                        synced_seq: 1,
+                    },
+                )
+                .unwrap();
+                let crc = crc32(&payload);
+                write_msg(
+                    &mut s,
+                    &ReplMsg::Frame {
+                        seq: 1,
+                        // First attempt lies about the checksum.
+                        crc: if attempt == 0 { crc ^ 0xffff } else { crc },
+                        payload: payload.clone(),
+                    },
+                )
+                .unwrap();
+                // Hold the socket open until the follower reacts.
+                let _ = read_msg(&mut s);
+            }
+        });
+
+        let standby = Arc::new(AdmissionService::new(mesh()));
+        standby.attach_repl(Arc::new(ReplHub::follower(&addr.to_string())));
+        let follower =
+            Follower::spawn(Arc::clone(&standby), FollowerConfig::new(&addr.to_string())).unwrap();
+        assert!(
+            wait_until(Duration::from_secs(10), || standby.seq() >= 1),
+            "the reconnect never delivered the honest frame"
+        );
+        assert_eq!(standby.admitted_count(), 1);
+        follower.stop();
+        fake.join().unwrap();
+    }
+
+    #[test]
+    fn deposed_leader_drops_a_follower_from_a_newer_epoch() {
+        let dir = tmpdir("deposed");
+        let leader = durable_leader(&dir, 0);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let shipper = Shipper::spawn(
+            listener,
+            Arc::clone(&leader),
+            ShipperConfig::new(dir.clone()),
+        )
+        .unwrap();
+
+        // A peer from promotion epoch 99 says hello: the stale leader
+        // must drop the connection rather than stream to it.
+        let mut s = TcpStream::connect(shipper.addr()).unwrap();
+        write_msg(
+            &mut s,
+            &ReplMsg::Hello {
+                epoch: 99,
+                applied_seq: 0,
+            },
+        )
+        .unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let err = read_msg(&mut s).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "{err:?}");
+
+        shipper.stop();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn catch_up_installs_the_snapshot_and_resets_the_wal() {
+        let leader_dir = tmpdir("catchup-leader");
+        let follower_dir = tmpdir("catchup-follower");
+        // Leader compacts aggressively: after a few ops the WAL base
+        // has moved and a fresh follower needs the snapshot.
+        let leader = durable_leader(&leader_dir, 2);
+        admit_n(&leader, 0, 5);
+        assert!(
+            leader.wal_base_seq().unwrap() > 0,
+            "compaction never fired; the scenario needs a moved base"
+        );
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let shipper = Shipper::spawn(
+            listener,
+            Arc::clone(&leader),
+            ShipperConfig::new(leader_dir.clone()),
+        )
+        .unwrap();
+        let addr = shipper.addr().to_string();
+
+        let outcome = catch_up(
+            &addr,
+            &follower_dir,
+            FsyncPolicy::Always,
+            &CatchupOpts::default(),
+        )
+        .unwrap()
+        .expect("a fresh follower behind a compacted WAL needs the snapshot");
+        assert_eq!(outcome.snap_seq, leader.wal_base_seq().unwrap());
+        // The local WAL now continues exactly from the snapshot.
+        let bytes = fs::read(follower_dir.join(WAL_FILE)).unwrap();
+        assert_eq!(FrameIter::new(&bytes).unwrap().base_seq(), outcome.snap_seq);
+        assert!(follower_dir.join(SNAPSHOT_FILE).exists());
+
+        // An up-to-date directory needs nothing on a second pass.
+        assert_eq!(
+            local_recoverable_seq(&follower_dir),
+            outcome.snap_seq,
+            "recoverable seq must reflect the installed snapshot"
+        );
+
+        shipper.stop();
+        fs::remove_dir_all(&leader_dir).ok();
+        fs::remove_dir_all(&follower_dir).ok();
+    }
+}

@@ -1,0 +1,255 @@
+//! Replication: WAL shipping to warm-standby followers, snapshot
+//! catch-up, and leader failover.
+//!
+//! ## Shape
+//!
+//! The subsystem is a layer *over* the durability stack, not inside
+//! it: the group-commit path is untouched, and the shipper simply
+//! tails the WAL file with [`crate::wal::FrameIter`] up to the safe
+//! frontier reported by [`crate::group_commit::GroupWal::frontiers`]
+//! (`synced` under `--fsync always` — a flushed-but-unsynced batch can
+//! still be rolled back whole; `flushed` otherwise, where nothing
+//! published is ever rolled back).
+//!
+//! - [`proto`] — the length-prefixed TCP message set.
+//! - [`ship`] — the leader side: a listener plus one session thread
+//!   per follower, streaming frames and serving snapshot chunks.
+//! - [`catchup`] — the follower's resumable chunked snapshot
+//!   transfer (offset manifest on disk; completed chunks are never
+//!   re-fetched).
+//! - [`follower`] — the follower side: connect/apply loop, lag
+//!   tracking, and promotion on leader loss after a grace period.
+//!
+//! ## Roles and promotion
+//!
+//! A node is either **leader** (serves writes, ships its WAL) or
+//! **follower** (applies replicated frames, serves reads, rejects
+//! writes with a `not_leader` redirect). `PROMOTE` — or leader-loss
+//! past the configured grace — flips a follower to leader under a
+//! bumped *epoch*; the epoch travels in every handshake so a deposed
+//! leader's stream is refused rather than applied. Promotion runs the
+//! recovery audit (A107–A109 via the existing recover path when the
+//! state is reloaded; A107/A108 via [`crate::audit`] when promoting
+//! live), so a new leader never starts from an unchecked state.
+//!
+//! ## Locking
+//!
+//! The hub's mutable state (leader address, per-follower progress)
+//! lives in one [`TrackedMutex`] at rank `repl.state` (35): above the
+//! service's state lock, below both WAL locks, so a shipper may hold
+//! it while consulting the group-commit frontiers and the service may
+//! publish progress while holding its own lock. Scalars every request
+//! path reads (role, epoch, applied sequence) are plain atomics.
+
+pub mod catchup;
+pub mod follower;
+pub mod proto;
+pub mod ship;
+
+use crate::lock_order::{classes, TrackedMutex};
+use crate::protocol::{FollowerLag, ReplReport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared replication state: role, epoch, and progress gauges. One hub
+/// is attached to the [`crate::service::AdmissionService`] of every
+/// node that participates in replication (leader or follower).
+#[derive(Debug)]
+pub struct ReplHub {
+    /// True while this node is a follower (write requests redirect).
+    follower: AtomicBool,
+    /// Promotion epoch; bumped by every takeover.
+    epoch: AtomicU64,
+    /// Highest replicated sequence applied locally (followers).
+    applied: AtomicU64,
+    /// The leader's sync frontier as last heard (followers).
+    source_synced: AtomicU64,
+    /// Leader address + per-follower acked sequences.
+    shared: TrackedMutex<Shared>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Where writes should go (the `not_leader` redirect target while
+    /// a follower; informational once promoted).
+    leader_addr: String,
+    /// Peer address -> highest acked sequence, for connected
+    /// followers (leader side).
+    followers: HashMap<String, u64>,
+}
+
+impl ReplHub {
+    fn new(follower: bool, epoch: u64, leader_addr: String) -> ReplHub {
+        ReplHub {
+            follower: AtomicBool::new(follower),
+            epoch: AtomicU64::new(epoch),
+            applied: AtomicU64::new(0),
+            source_synced: AtomicU64::new(0),
+            shared: TrackedMutex::new(
+                &classes::REPL_STATE,
+                Shared {
+                    leader_addr,
+                    followers: HashMap::new(),
+                },
+            ),
+        }
+    }
+
+    /// A hub for a node born leader (epoch 1).
+    pub fn leader() -> ReplHub {
+        ReplHub::new(false, 1, String::new())
+    }
+
+    /// A hub for a follower of `leader_addr` (epoch 1 until promoted).
+    pub fn follower(leader_addr: &str) -> ReplHub {
+        ReplHub::new(true, 1, leader_addr.to_string())
+    }
+
+    /// Is this node currently a follower?
+    pub fn is_follower(&self) -> bool {
+        // Relaxed: role and epoch are independent gauges; promotion
+        // correctness does not ride on ordering between them (a write
+        // racing a promotion is refused either before or after — both
+        // are correct at the linearization point of the flip).
+        self.follower.load(Ordering::Relaxed)
+    }
+
+    /// The current promotion epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Where writes should be sent (the redirect target).
+    pub fn leader_addr(&self) -> String {
+        self.shared.lock().leader_addr.clone()
+    }
+
+    /// Highest replicated sequence applied locally.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Records replicated progress (monotonic).
+    pub fn set_applied(&self, seq: u64) {
+        self.applied.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Records the leader's sync frontier as heard over the wire.
+    pub fn note_source_synced(&self, seq: u64) {
+        self.source_synced.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// The leader's sync frontier as last heard.
+    pub fn source_synced(&self) -> u64 {
+        self.source_synced.load(Ordering::Relaxed)
+    }
+
+    /// Leader side: records a connected follower's progress.
+    pub fn note_follower(&self, peer: &str, acked_seq: u64) {
+        let mut s = self.shared.lock();
+        let e = s.followers.entry(peer.to_string()).or_insert(0);
+        *e = (*e).max(acked_seq);
+    }
+
+    /// Leader side: forgets a disconnected follower.
+    pub fn drop_follower(&self, peer: &str) {
+        self.shared.lock().followers.remove(peer);
+    }
+
+    /// Flips this node to leader under a fresh epoch; returns the new
+    /// epoch. Idempotent on a leader (the epoch still bumps, which is
+    /// harmless: epochs only ever need to grow).
+    pub fn promote(&self) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.follower.store(false, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Builds the STATS gauge block. `wal_synced` is the local WAL
+    /// sync frontier ([`crate::group_commit::GroupWal::frontiers`]),
+    /// or the applied sequence for a node without local durability.
+    /// `ship_frontier` is what the shipper measures follower lag
+    /// against (leader only; pass `wal_synced` when in doubt).
+    pub fn report(&self, wal_synced: u64, ship_frontier: u64) -> ReplReport {
+        if self.is_follower() {
+            let applied = self.applied_seq();
+            ReplReport {
+                role: "follower",
+                epoch: self.epoch(),
+                wal_last_synced_seq: wal_synced,
+                applied_seq: Some(applied),
+                replication_lag_frames: self.source_synced().saturating_sub(applied),
+                followers: Vec::new(),
+            }
+        } else {
+            let s = self.shared.lock();
+            let mut followers: Vec<FollowerLag> = s
+                .followers
+                .iter()
+                .map(|(peer, &acked)| FollowerLag {
+                    peer: peer.clone(),
+                    acked_seq: acked,
+                    lag_frames: ship_frontier.saturating_sub(acked),
+                })
+                .collect();
+            drop(s);
+            followers.sort_by(|a, b| a.peer.cmp(&b.peer));
+            let max_lag = followers.iter().map(|f| f.lag_frames).max().unwrap_or(0);
+            ReplReport {
+                role: "leader",
+                epoch: self.epoch(),
+                wal_last_synced_seq: wal_synced,
+                applied_seq: None,
+                replication_lag_frames: max_lag,
+                followers,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_flips_role_and_bumps_epoch() {
+        let hub = ReplHub::follower("127.0.0.1:7000");
+        assert!(hub.is_follower());
+        assert_eq!(hub.epoch(), 1);
+        assert_eq!(hub.leader_addr(), "127.0.0.1:7000");
+        assert_eq!(hub.promote(), 2);
+        assert!(!hub.is_follower());
+        assert_eq!(hub.epoch(), 2);
+    }
+
+    #[test]
+    fn progress_gauges_are_monotonic() {
+        let hub = ReplHub::follower("x");
+        hub.set_applied(5);
+        hub.set_applied(3); // stale write must not regress
+        assert_eq!(hub.applied_seq(), 5);
+        hub.note_source_synced(9);
+        hub.note_source_synced(7);
+        assert_eq!(hub.source_synced(), 9);
+        let r = hub.report(5, 5);
+        assert_eq!(r.role, "follower");
+        assert_eq!(r.applied_seq, Some(5));
+        assert_eq!(r.replication_lag_frames, 4);
+    }
+
+    #[test]
+    fn leader_report_takes_max_follower_lag() {
+        let hub = ReplHub::leader();
+        hub.note_follower("a:1", 10);
+        hub.note_follower("b:2", 7);
+        hub.note_follower("a:1", 9); // stale ack must not regress
+        let r = hub.report(12, 12);
+        assert_eq!(r.role, "leader");
+        assert_eq!(r.replication_lag_frames, 5);
+        assert_eq!(r.followers.len(), 2);
+        assert_eq!(r.followers[0].peer, "a:1");
+        assert_eq!(r.followers[0].lag_frames, 2);
+        hub.drop_follower("b:2");
+        assert_eq!(hub.report(12, 12).replication_lag_frames, 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! The leader side of replication: a listener plus one session thread
+//! per connected follower.
+//!
+//! Each session is a tiny state machine over one TCP connection. The
+//! read timeout doubles as the pacing clock: every cycle the session
+//! first drains whatever the follower sent (`Hello`, `Ack`,
+//! `GetChunk`), then ships WAL frames between the follower's cursor
+//! and the durable frontier, opening a chunked snapshot transfer when
+//! the follower is behind the compacted WAL base, and finally emits a
+//! heartbeat when the link has been quiet.
+//!
+//! The shipper never touches the group-commit internals: it re-reads
+//! the WAL *file* with [`FrameIter`] and trusts
+//! [`AdmissionService::ship_frontier`] for what is safe to publish.
+//! Transient file races with a concurrent compaction (the file being
+//! swapped under us, a half-written snapshot) are simply skipped —
+//! the next cycle sees a consistent pair. During a snapshot transfer
+//! the whole image is pinned in memory, so a compaction replacing
+//! `snapshot.bin` mid-transfer cannot tear the bytes being served.
+
+use super::catchup::chunk_reply;
+use super::proto::{read_msg, write_msg, ReplMsg, DEFAULT_CHUNK};
+use crate::service::AdmissionService;
+use crate::snapshot::{parse_snapshot, SNAPSHOT_FILE};
+use crate::wal::{FrameIter, WAL_FILE};
+use std::fs;
+use std::io::{self, ErrorKind};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs for the leader's replication listener.
+#[derive(Clone, Debug)]
+pub struct ShipperConfig {
+    /// The leader's durability directory (WAL + snapshot live here).
+    pub dir: PathBuf,
+    /// Snapshot-transfer chunk size, bytes.
+    pub chunk_size: u32,
+    /// Per-cycle read timeout; also the shipping poll interval.
+    pub poll: Duration,
+    /// Heartbeat interval on a quiet link.
+    pub heartbeat: Duration,
+}
+
+impl ShipperConfig {
+    /// Defaults for `dir`: 64 KiB chunks, 25 ms poll, 250 ms
+    /// heartbeat.
+    pub fn new(dir: PathBuf) -> ShipperConfig {
+        ShipperConfig {
+            dir,
+            chunk_size: DEFAULT_CHUNK,
+            poll: Duration::from_millis(25),
+            heartbeat: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The running replication listener. Dropping it without [`Shipper::stop`]
+/// detaches the threads (they exit with the process); `stop` joins
+/// them.
+#[derive(Debug)]
+pub struct Shipper {
+    stop: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Shipper {
+    /// Starts accepting followers on `listener`. The service must have
+    /// a [`crate::repl::ReplHub`] attached and local durability (the
+    /// WAL file is what gets shipped).
+    pub fn spawn(
+        listener: TcpListener,
+        service: Arc<AdmissionService>,
+        cfg: ShipperConfig,
+    ) -> io::Result<Shipper> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept = thread::Builder::new()
+            .name("repl-ship".to_string())
+            .spawn(move || accept_loop(listener, service, cfg, accept_stop))?;
+        Ok(Shipper {
+            stop,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound replication address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every session, and joins the threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<AdmissionService>,
+    cfg: ShipperConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let mut sessions: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let service = Arc::clone(&service);
+                let cfg = cfg.clone();
+                let stop = Arc::clone(&stop);
+                let spawned = thread::Builder::new()
+                    .name(format!("repl-ship-{peer}"))
+                    .spawn(move || {
+                        let peer = peer.to_string();
+                        let _ = session(stream, &peer, &service, &cfg, &stop);
+                        if let Some(hub) = service.repl_hub() {
+                            hub.drop_follower(&peer);
+                        }
+                    });
+                if let Ok(h) = spawned {
+                    sessions.push(h);
+                }
+                sessions.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// One follower session. Returns when the peer disconnects, the
+/// shipper stops, or the protocol is violated.
+fn session(
+    stream: TcpStream,
+    peer: &str,
+    service: &AdmissionService,
+    cfg: &ShipperConfig,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let hub = service.repl_hub().ok_or_else(|| {
+        io::Error::new(ErrorKind::InvalidInput, "shipper without a replication hub")
+    })?;
+    let mut stream = stream;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.poll))?;
+
+    // Where this follower is: `None` until its Hello arrives. During a
+    // snapshot transfer the image is pinned here and frame shipping
+    // pauses until the follower re-Hellos at the snapshot sequence.
+    let mut cursor: Option<u64> = None;
+    let mut xfer: Option<Vec<u8>> = None;
+    let mut last_beat = Instant::now();
+
+    while !stop.load(Ordering::Relaxed) {
+        // Drain everything the follower sent this cycle.
+        loop {
+            match read_msg(&mut stream) {
+                Ok(ReplMsg::Hello { epoch, applied_seq }) => {
+                    if epoch > hub.epoch() {
+                        // A follower promoted past us: this leader is
+                        // deposed. Drop the session; the NOT_LEADER
+                        // gate stops writes independently.
+                        return Err(io::Error::other(format!("superseded by epoch {epoch}")));
+                    }
+                    let frontier = service.ship_frontier().unwrap_or(0);
+                    write_msg(
+                        &mut stream,
+                        &ReplMsg::Welcome {
+                            epoch: hub.epoch(),
+                            base_seq: service.wal_base_seq().unwrap_or(0),
+                            synced_seq: frontier,
+                        },
+                    )?;
+                    cursor = Some(applied_seq);
+                    xfer = None;
+                    hub.note_follower(peer, applied_seq);
+                }
+                Ok(ReplMsg::Ack { applied_seq }) => hub.note_follower(peer, applied_seq),
+                Ok(ReplMsg::GetChunk { index }) => {
+                    let image = xfer.as_deref().ok_or_else(|| {
+                        io::Error::new(ErrorKind::InvalidData, "GetChunk without a transfer")
+                    })?;
+                    let reply = chunk_reply(image, cfg.chunk_size, index).ok_or_else(|| {
+                        io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("GetChunk {index} out of range"),
+                        )
+                    })?;
+                    write_msg(&mut stream, &reply)?;
+                }
+                Ok(other) => {
+                    return Err(io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("unexpected {other:?} from a follower"),
+                    ))
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Ship WAL frames up to the durable frontier.
+        let frontier = service.ship_frontier().unwrap_or(0);
+        if let (Some(cur), None) = (cursor, &xfer) {
+            if frontier > cur {
+                // A compaction can swap the file between the read and
+                // the parse; treat any inconsistency as "try again
+                // next cycle" rather than a session error.
+                if let Some(advanced) = ship_cycle(&mut stream, cfg, cur, frontier, &mut xfer)? {
+                    cursor = Some(advanced);
+                    last_beat = Instant::now();
+                }
+            }
+        }
+
+        if last_beat.elapsed() >= cfg.heartbeat {
+            write_msg(
+                &mut stream,
+                &ReplMsg::Heartbeat {
+                    synced_seq: frontier,
+                },
+            )?;
+            last_beat = Instant::now();
+        }
+    }
+    Ok(())
+}
+
+/// One shipping pass: streams the frames in `(cur, frontier]`, or
+/// opens a snapshot transfer when the WAL base has moved past `cur`.
+/// Returns the advanced cursor, or `None` when a transient file race
+/// (mid-compaction) made this cycle unreadable. IO errors on the
+/// *socket* still propagate — only local file inconsistency is
+/// retried.
+fn ship_cycle(
+    stream: &mut TcpStream,
+    cfg: &ShipperConfig,
+    cur: u64,
+    frontier: u64,
+    xfer: &mut Option<Vec<u8>>,
+) -> io::Result<Option<u64>> {
+    let Ok(wal_bytes) = fs::read(cfg.dir.join(WAL_FILE)) else {
+        return Ok(None);
+    };
+    let Ok(frames) = FrameIter::new(&wal_bytes) else {
+        return Ok(None);
+    };
+    if frames.base_seq() > cur {
+        // The follower predates the compacted WAL: only a snapshot
+        // can bring it forward. Pin the image and offer the transfer;
+        // frames resume after the follower installs it and re-Hellos.
+        let Ok(image) = fs::read(cfg.dir.join(SNAPSHOT_FILE)) else {
+            return Ok(None);
+        };
+        let Ok(data) = parse_snapshot(&image) else {
+            return Ok(None);
+        };
+        write_msg(
+            stream,
+            &ReplMsg::SnapStart {
+                snap_seq: data.seq,
+                total_len: image.len() as u64,
+                crc: crate::wal::crc32(&image),
+                chunk_size: cfg.chunk_size,
+            },
+        )?;
+        *xfer = Some(image);
+        return Ok(Some(cur));
+    }
+    let mut advanced = cur;
+    for frame in frames {
+        if frame.seq > cur && frame.seq <= frontier {
+            write_msg(
+                stream,
+                &ReplMsg::Frame {
+                    seq: frame.seq,
+                    crc: frame.crc,
+                    payload: frame.payload.to_vec(),
+                },
+            )?;
+            advanced = frame.seq;
+        }
+    }
+    Ok(if advanced > cur { Some(advanced) } else { None })
+}

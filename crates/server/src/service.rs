@@ -70,6 +70,7 @@ use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
 use crate::protocol::{
     parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
 };
+use crate::repl::ReplHub;
 use crate::snapshot::{write_snapshot, DedupEntry, SnapshotData};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::Instant;
@@ -174,6 +175,10 @@ pub struct AdmissionService {
     /// Validate admissions under the shared lock, committing the
     /// pre-computed result under the exclusive one.
     optimistic: bool,
+    /// Replication state, when this node participates in replication.
+    /// Set once at startup ([`AdmissionService::attach_repl`]); absent
+    /// on a standalone node, whose request paths stay untouched.
+    repl: std::sync::OnceLock<Arc<ReplHub>>,
 }
 
 impl AdmissionService {
@@ -225,6 +230,33 @@ impl AdmissionService {
             pending_writes: AtomicU64::new(0),
             max_pending: 0,
             optimistic: false,
+            repl: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Attaches the replication hub (leader or follower role). Call
+    /// once at startup, before serving requests; a second call is
+    /// ignored.
+    pub fn attach_repl(&self, hub: Arc<ReplHub>) {
+        let _ = self.repl.set(hub);
+    }
+
+    /// The attached replication hub, if any.
+    pub fn repl_hub(&self) -> Option<&Arc<ReplHub>> {
+        self.repl.get()
+    }
+
+    /// `Some(error)` when this node is a follower: mutations are
+    /// redirected to the leader instead of being applied.
+    fn not_leader(&self) -> Option<Response> {
+        let hub = self.repl.get()?;
+        if hub.is_follower() {
+            Some(Response::error(
+                "not_leader",
+                format!("not the leader; leader is {}", hub.leader_addr()),
+            ))
+        } else {
+            None
         }
     }
 
@@ -358,6 +390,7 @@ impl AdmissionService {
                     Request::Query(_) => RequestKind::Query,
                     Request::Snapshot => RequestKind::Snapshot,
                     Request::Stats => RequestKind::Stats,
+                    Request::Promote => RequestKind::Promote,
                     Request::Shutdown => RequestKind::Shutdown,
                 };
                 let is_write = matches!(kind, RequestKind::Admit | RequestKind::Remove);
@@ -419,8 +452,186 @@ impl AdmissionService {
             Request::Query(id) => self.query(id),
             Request::Snapshot => self.snapshot(),
             Request::Stats => self.stats(),
+            Request::Promote => self.promote(),
             Request::Shutdown => Response::ShuttingDown,
         }
+    }
+
+    /// Promotes this follower to leader: audits the warm-standby state
+    /// (every cached bound re-derived offline, as at recovery), bumps
+    /// the epoch, flips the role, and syncs the WAL so the new leader
+    /// starts from a durable frontier. Refuses on a leader, without a
+    /// hub, or when the audit finds a divergence — a node that cannot
+    /// vouch for its state must not take writes.
+    pub fn promote(&self) -> Response {
+        let Some(hub) = self.repl.get() else {
+            return Response::error("no_replication", "replication is not configured");
+        };
+        if !hub.is_follower() {
+            return Response::error("already_leader", "this node is already the leader");
+        }
+        let audited = match self.audit() {
+            Ok(_) => true,
+            Err(e) => {
+                return Response::error(
+                    "audit_failed",
+                    format!("refusing promotion: state audit failed: {e}"),
+                )
+            }
+        };
+        // Land anything the replication stream buffered before the
+        // role flips; a failure here degrades (the flag is set by the
+        // usual paths) but the durable prefix is still a valid leader
+        // start.
+        self.flush();
+        let epoch = hub.promote();
+        Response::Promoted {
+            epoch,
+            streams: self.admitted_count() as u64,
+            audited,
+        }
+    }
+
+    /// The highest operation sequence the shipper may stream: records
+    /// past it could still be rolled back. Under `--fsync always`
+    /// that is the sync frontier (a flushed-but-unsynced batch rolls
+    /// back whole on a device error); under `interval`/`never`,
+    /// everything flushed to the file (publishes are never undone).
+    /// `None` without local durability.
+    pub fn ship_frontier(&self) -> Option<u64> {
+        let d = self.durability.as_ref()?;
+        let f = d.wal.frontiers();
+        Some(match d.wal.policy() {
+            FsyncPolicy::Always => f.synced,
+            FsyncPolicy::Interval(_) | FsyncPolicy::Never => f.flushed,
+        })
+    }
+
+    /// The local WAL's sync frontier (for STATS), falling back to the
+    /// replicated applied sequence on a node without local durability.
+    pub fn wal_synced_seq(&self) -> u64 {
+        match self.durability.as_ref() {
+            Some(d) => d.wal.frontiers().synced,
+            None => self.repl.get().map(|h| h.applied_seq()).unwrap_or_default(),
+        }
+    }
+
+    /// The leader WAL's base sequence — operations at or below it are
+    /// only reachable through a snapshot transfer. `None` without
+    /// local durability.
+    pub fn wal_base_seq(&self) -> Option<u64> {
+        self.durability
+            .as_ref()
+            .map(|d| d.wal.seq() - d.wal.records_since_reset())
+    }
+
+    /// Applies one replicated WAL frame on a follower. `seq` is the
+    /// frame's global operation sequence: exactly `local seq + 1`
+    /// applies (persisted locally first — ticket-before-apply, like a
+    /// live write — then applied through the same controller path the
+    /// leader used); at or below the local sequence is a duplicate
+    /// delivery and an idempotent no-op; anything further ahead is a
+    /// gap, reported as an error so the session reconnects and
+    /// re-requests from the last good sequence.
+    pub fn apply_replicated(&self, seq: u64, req_id: u64, op: &AcceptedOp) -> Result<(), String> {
+        let hub = self
+            .repl
+            .get()
+            .ok_or_else(|| "replication is not configured".to_string())?;
+        if !hub.is_follower() {
+            return Err("not a follower (promoted mid-stream?)".to_string());
+        }
+        let mut inner = self.write();
+        // Not `self.seq()`: that re-locks `inner` on a non-durable
+        // service, and the write lock is already held here.
+        let cur = match &self.durability {
+            Some(d) => d.wal.seq(),
+            None => inner.log.len() as u64,
+        };
+        if seq <= cur {
+            // Duplicate delivery (leader rewound to an older ack after
+            // a reconnect): already applied, by sequence.
+            hub.set_applied(cur);
+            return Ok(());
+        }
+        if seq != cur + 1 {
+            return Err(format!("replication gap: have {cur}, leader sent {seq}"));
+        }
+        let ticket = match op {
+            AcceptedOp::Admit { handle, spec } => {
+                let path = XyRouting
+                    .route(&self.mesh, spec.source, spec.dest)
+                    .map_err(|e| format!("replicated admit {handle}: routing failed: {e}"))?;
+                // The leader accepted this op, so the warm standby must
+                // too — a refusal is divergence, surfaced as an error.
+                let id = inner
+                    .ctl
+                    .admit(spec.clone(), path)
+                    .map_err(|e| format!("replicated admit {handle} refused: {e}"))?;
+                // Ticket after the decision, with rollback on refusal —
+                // the same order as a live admit, so the local WAL
+                // never holds a record the state does not.
+                let ticket = match self.persist(req_id, op) {
+                    Ok(t) => t,
+                    Err(refusal) => {
+                        inner.ctl.remove(id);
+                        return Err(format!("WAL refused the replicated record: {refusal:?}"));
+                    }
+                };
+                inner.handles.push(*handle);
+                debug_assert_eq!(inner.handles.len() - 1, id.index());
+                inner.next_handle = inner.next_handle.max(handle + 1);
+                if req_id != 0 {
+                    let bound = inner
+                        .ctl
+                        .bound(id)
+                        .value()
+                        .expect("admitted bound is bounded");
+                    inner.remember(DedupEntry {
+                        req_id,
+                        admit: true,
+                        handle: *handle,
+                        bound,
+                        deadline: spec.deadline,
+                    });
+                }
+                inner.log.push(Arc::new(op.clone()));
+                ticket
+            }
+            AcceptedOp::Remove { handle } => {
+                let idx = inner
+                    .handles
+                    .iter()
+                    .position(|h| h == handle)
+                    .ok_or_else(|| format!("replicated remove {handle}: unknown handle"))?;
+                let ticket = match self.persist(req_id, op) {
+                    Ok(t) => t,
+                    Err(refusal) => {
+                        return Err(format!("WAL refused the replicated record: {refusal:?}"));
+                    }
+                };
+                inner.ctl.remove(StreamId(idx as u32));
+                inner.handles.remove(idx);
+                if req_id != 0 {
+                    inner.remember(DedupEntry {
+                        req_id,
+                        admit: false,
+                        handle: *handle,
+                        bound: 0,
+                        deadline: 0,
+                    });
+                }
+                inner.log.push(Arc::new(op.clone()));
+                ticket
+            }
+        };
+        self.maybe_snapshot(&mut inner);
+        drop(inner);
+        if let Some(refusal) = self.await_durable(ticket) {
+            return Err(format!("replicated record not durable: {refusal:?}"));
+        }
+        hub.set_applied(seq);
+        Ok(())
     }
 
     /// Admits a candidate through the verifier gate and the incremental
@@ -436,6 +647,9 @@ impl AdmissionService {
         length: u64,
         deadline: Option<u64>,
     ) -> Response {
+        if let Some(redirect) = self.not_leader() {
+            return redirect;
+        }
         if self.is_degraded() {
             return Response::error("degraded", "service is read-only after a WAL device error");
         }
@@ -643,6 +857,9 @@ impl AdmissionService {
     }
 
     fn remove(&self, req_id: u64, handle: u64) -> Response {
+        if let Some(redirect) = self.not_leader() {
+            return redirect;
+        }
         if self.is_degraded() {
             return Response::error("degraded", "service is read-only after a WAL device error");
         }
@@ -855,7 +1072,11 @@ impl AdmissionService {
             let inner = self.read();
             inner.ctl.stats()
         };
-        Response::Stats(StatsReport {
+        let repl = self.repl.get().map(|hub| {
+            let synced = self.wal_synced_seq();
+            hub.report(synced, self.ship_frontier().unwrap_or(synced))
+        });
+        Response::Stats(Box::new(StatsReport {
             counts: m.counts,
             admitted: m.admitted,
             rejected: m.rejected,
@@ -880,7 +1101,8 @@ impl AdmissionService {
             service_p90_us: m.service_p90_us,
             service_p99_us: m.service_p99_us,
             service_max_us: m.service_max_us,
-        })
+            repl,
+        }))
     }
 
     /// Re-derives every admitted stream's bound with a fresh offline
@@ -1130,6 +1352,142 @@ mod tests {
                 DelayBound::Bounded(bound)
             );
         }
+    }
+
+    #[test]
+    fn follower_redirects_writes_and_serves_reads() {
+        let svc = service();
+        svc.attach_repl(Arc::new(ReplHub::follower("10.0.0.1:7000")));
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        let Response::Error { code, message } = r else {
+            panic!("{r:?}");
+        };
+        assert_eq!(code, "not_leader");
+        assert!(message.contains("10.0.0.1:7000"), "{message}");
+        let r = admit_line(&svc, "REMOVE 0");
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: "not_leader",
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // Reads are exactly what a warm standby is for.
+        assert!(matches!(
+            admit_line(&svc, "SNAPSHOT"),
+            Response::Snapshot { .. }
+        ));
+        let r = admit_line(&svc, "STATS");
+        let Response::Stats(s) = r else {
+            panic!("{r:?}")
+        };
+        let repl = s.repl.expect("replication gauges present");
+        assert_eq!(repl.role, "follower");
+        assert_eq!(repl.applied_seq, Some(0));
+    }
+
+    #[test]
+    fn promotion_flips_a_follower_into_a_serving_leader() {
+        let svc = service();
+        svc.attach_repl(Arc::new(ReplHub::follower("old:1")));
+        let r = admit_line(&svc, "PROMOTE");
+        let Response::Promoted {
+            epoch,
+            streams,
+            audited,
+        } = r
+        else {
+            panic!("{r:?}");
+        };
+        assert_eq!(epoch, 2);
+        assert_eq!(streams, 0);
+        assert!(audited);
+        // Writes flow now; a second PROMOTE is refused.
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        let r = admit_line(&svc, "PROMOTE");
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: "already_leader",
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn replicated_frames_apply_exactly_once_by_seq() {
+        let svc = service();
+        let hub = Arc::new(ReplHub::follower("leader:1"));
+        svc.attach_repl(Arc::clone(&hub));
+        let mesh = Mesh::mesh2d(10, 10);
+        let spec = StreamSpec::new(
+            mesh.node_at(&[0, 0]).unwrap(),
+            mesh.node_at(&[5, 0]).unwrap(),
+            2,
+            50,
+            4,
+            50,
+        );
+        let admit = AcceptedOp::Admit {
+            handle: 0,
+            spec: spec.clone(),
+        };
+        svc.apply_replicated(1, 11, &admit).unwrap();
+        assert_eq!(svc.admitted_count(), 1);
+        assert_eq!(hub.applied_seq(), 1);
+
+        // Duplicate delivery (same seq): idempotent no-op.
+        svc.apply_replicated(1, 11, &admit).unwrap();
+        assert_eq!(svc.admitted_count(), 1);
+        assert_eq!(svc.ops().len(), 1, "duplicate must not re-journal");
+
+        // A gap is refused so the session reconnects and re-requests.
+        let admit2 = AcceptedOp::Admit {
+            handle: 1,
+            spec: StreamSpec::new(
+                mesh.node_at(&[0, 1]).unwrap(),
+                mesh.node_at(&[5, 1]).unwrap(),
+                1,
+                60,
+                4,
+                60,
+            ),
+        };
+        let err = svc.apply_replicated(5, 0, &admit2).unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+        assert_eq!(svc.admitted_count(), 1);
+
+        svc.apply_replicated(2, 0, &admit2).unwrap();
+        svc.apply_replicated(3, 12, &AcceptedOp::Remove { handle: 0 })
+            .unwrap();
+        assert_eq!(svc.admitted_count(), 1);
+        assert_eq!(hub.applied_seq(), 3);
+
+        // Exactly-once across failover: after promotion, a client
+        // retrying the replicated request ids gets the original
+        // outcomes from the dedup window, not fresh state changes.
+        assert!(matches!(svc.promote(), Response::Promoted { .. }));
+        let r = admit_line(&svc, "@11 ADMIT 0,0 5,0 2 50 4");
+        assert!(
+            matches!(r, Response::Admitted { id: 0, .. }),
+            "retry must replay the original admission: {r:?}"
+        );
+        let r = admit_line(&svc, "@12 REMOVE 0");
+        assert!(matches!(r, Response::Removed { id: 0 }), "{r:?}");
+        assert_eq!(svc.admitted_count(), 1, "replays must not change state");
+
+        // Once promoted, replicated frames are refused (stale leader).
+        let err = svc
+            .apply_replicated(4, 0, &AcceptedOp::Remove { handle: 1 })
+            .unwrap_err();
+        assert!(err.contains("not a follower"), "{err}");
     }
 
     #[test]

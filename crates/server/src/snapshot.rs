@@ -172,6 +172,15 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> io::Result<()> {
     Ok(())
 }
 
+/// Decodes an in-memory snapshot image (magic + body + CRC trailer).
+///
+/// Replication ships `snapshot.bin` verbatim; both ends use this to
+/// validate the image and read its `seq` without touching the
+/// filesystem.
+pub fn parse_snapshot(bytes: &[u8]) -> io::Result<SnapshotData> {
+    decode(bytes)
+}
+
 /// Loads the snapshot from `dir`, if one exists. A stray staging file
 /// from a crashed snapshot write is removed. `Ok(None)` means "no
 /// snapshot"; a present-but-corrupt snapshot is an error.

@@ -176,6 +176,99 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// One intact frame of a WAL file, borrowed from the raw bytes.
+///
+/// `seq` is the service's operation sequence number **after** this
+/// frame is applied (record `i` of a file with base `b` has seq
+/// `b + i + 1`), matching [`Wal::seq`]'s "next append" convention: a
+/// replica whose applied seq is `n` needs exactly the frames with
+/// `seq > n`.
+#[derive(Clone, Copy, Debug)]
+pub struct Frame<'a> {
+    /// Byte offset of the frame's length prefix within the file.
+    pub offset: u64,
+    /// Operation sequence number after applying this frame.
+    pub seq: u64,
+    /// CRC-32 of the payload, as stored in the frame header.
+    pub crc: u32,
+    /// The raw record payload (see [`decode_payload`]).
+    pub payload: &'a [u8],
+}
+
+impl Frame<'_> {
+    /// Byte offset one past this frame — where the next frame starts.
+    pub fn end(&self) -> u64 {
+        self.offset + 8 + self.payload.len() as u64
+    }
+}
+
+/// Iterator over the intact frames of a raw WAL image, shared by
+/// recovery ([`Wal::open`]) and the replication shipper so there is a
+/// single frame parser. Stops at the first torn or corrupt frame;
+/// [`FrameIter::offset`] then points at the byte where the intact
+/// prefix ends (the truncation point for recovery, or the resume point
+/// for a shipper waiting on more durable bytes).
+#[derive(Debug)]
+pub struct FrameIter<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    base_seq: u64,
+    yielded: u64,
+}
+
+impl<'a> FrameIter<'a> {
+    /// Parses the `RTWCWAL1` header and positions the iterator at the
+    /// first record. Errors if the header is short or the magic is
+    /// wrong.
+    pub fn new(bytes: &'a [u8]) -> io::Result<FrameIter<'a>> {
+        if bytes.len() < WAL_HEADER_BYTES as usize || &bytes[..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "WAL header is corrupt (bad magic or short file)",
+            ));
+        }
+        let base_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        Ok(FrameIter {
+            bytes,
+            at: WAL_HEADER_BYTES as usize,
+            base_seq,
+            yielded: 0,
+        })
+    }
+
+    /// The snapshot sequence number the file continues from.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Byte offset of the next frame to parse — after exhaustion, one
+    /// past the last intact frame.
+    pub fn offset(&self) -> u64 {
+        self.at as u64
+    }
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = Frame<'a>;
+
+    fn next(&mut self) -> Option<Frame<'a>> {
+        let end = parse_frame(self.bytes, self.at)?;
+        let frame = Frame {
+            offset: self.at as u64,
+            seq: self.base_seq + self.yielded + 1,
+            crc: u32::from_le_bytes(
+                self.bytes[self.at + 4..self.at + 8]
+                    .try_into()
+                    .expect("4 bytes"),
+            ),
+            payload: &self.bytes[self.at + 8..end],
+        };
+        self.at = end;
+        self.yielded += 1;
+        Some(frame)
+    }
+}
+
 /// What [`Wal::open`] found in an existing file.
 #[derive(Debug)]
 pub struct WalOpen {
@@ -231,24 +324,18 @@ impl Wal {
                 },
             ));
         }
-        if bytes.len() < WAL_HEADER_BYTES as usize || &bytes[..8] != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "WAL header is corrupt (bad magic or short file)",
-            ));
-        }
-        let base_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let mut frames = FrameIter::new(&bytes)?;
+        let base_seq = frames.base_seq();
         let mut records = Vec::new();
         let mut at = WAL_HEADER_BYTES as usize;
         // Scan until the first frame that does not parse; everything
         // after it is a torn tail from a crash mid-append.
-        while let Some(rec_end) = parse_frame(&bytes, at) {
-            let payload = &bytes[at + 8..rec_end];
-            let Some(record) = decode_payload(payload) else {
+        for f in &mut frames {
+            let Some(record) = decode_payload(f.payload) else {
                 break;
             };
             records.push(record);
-            at = rec_end;
+            at = f.end() as usize;
         }
         let truncated = (bytes.len() - at) as u64;
         if truncated > 0 {
@@ -576,6 +663,39 @@ mod tests {
         let (_, opened) = open(&path, FsyncPolicy::Always);
         assert_eq!(opened.base_seq, 5);
         assert_eq!(opened.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frame_iter_yields_seqs_and_stops_at_torn_tail() {
+        let path = tmp("frameiter");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = open(&path, FsyncPolicy::Never);
+        for i in 0..3u64 {
+            wal.append(i + 1, &admit(i)).unwrap();
+        }
+        wal.reset(3).unwrap();
+        wal.append(9, &admit(3)).unwrap();
+        wal.append(10, &admit(4)).unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let frames: Vec<_> = FrameIter::new(&bytes).unwrap().collect();
+        assert_eq!(frames.len(), 2);
+        // Seq follows the "after applying" convention from base_seq.
+        assert_eq!(frames[0].seq, 4);
+        assert_eq!(frames[1].seq, 5);
+        assert_eq!(frames[0].offset, WAL_HEADER_BYTES);
+        assert_eq!(frames[1].offset, frames[0].end());
+        for f in &frames {
+            assert_eq!(crc32(f.payload), f.crc);
+            assert!(decode_payload(f.payload).is_some());
+        }
+        // A torn tail stops the iterator at the last intact boundary.
+        let cut = frames[1].end() as usize - 3;
+        let mut it = FrameIter::new(&bytes[..cut]).unwrap();
+        assert_eq!(it.by_ref().count(), 1);
+        assert_eq!(it.offset(), frames[0].end());
+        assert!(FrameIter::new(&bytes[..4]).is_err());
         std::fs::remove_file(&path).ok();
     }
 

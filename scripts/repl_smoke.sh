@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Leader kill-9 failover check for the replication subsystem.
+#
+# Starts a durable leader shipping its WAL and a warm-standby follower
+# as two real processes, admits streams over TCP (idempotent request
+# ids included), SIGKILLs the leader mid-cluster, promotes the
+# follower, and requires:
+#   1. the follower to reject writes with a NOT_LEADER redirect while
+#      the leader lives, then accept them once promoted;
+#   2. every pre-kill QUERY answer on the leader to be byte-identical
+#      on the promoted follower;
+#   3. a retried pre-kill ADMIT request id to replay its original
+#      outcome on the new leader instead of double-admitting.
+# Prints the "bit-identical" marker CI greps for on success.
+set -euo pipefail
+
+RTWC=${RTWC:-target/debug/rtwc}
+SPEC=${SPEC:-crates/cli/tests/fixtures/clean.streams}
+DIR=$(mktemp -d)
+LEADER=""
+FOLLOWER=""
+cleanup() {
+  [ -n "$LEADER" ] && kill -9 "$LEADER" 2>/dev/null || true
+  [ -n "$FOLLOWER" ] && kill -9 "$FOLLOWER" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_for() { # log pattern
+  for _ in $(seq 100); do
+    grep -q "$2" "$1" && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2
+  return 1
+}
+
+"$RTWC" serve "$SPEC" --addr 127.0.0.1:0 --wal-dir "$DIR/leader" \
+  --fsync always --repl-addr 127.0.0.1:0 > "$DIR/leader.log" &
+LEADER=$!
+wait_for "$DIR/leader.log" "^replication listening on"
+ADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$DIR/leader.log")
+REPL=$(sed -n 's/^replication listening on \([^ ]*\).*/\1/p' "$DIR/leader.log")
+test -n "$ADDR" && test -n "$REPL"
+
+"$RTWC" serve "$SPEC" --addr 127.0.0.1:0 --wal-dir "$DIR/follower" \
+  --fsync always --follower-of "$REPL" > "$DIR/follower.log" &
+FOLLOWER=$!
+wait_for "$DIR/follower.log" "^listening on"
+FADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$DIR/follower.log")
+test -n "$FADDR"
+
+# Admits with idempotency ids against the leader, plus a duplicate:
+# the retry must return the original acknowledgement byte for byte.
+"$RTWC" client "$ADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/admit1.json"
+"$RTWC" client "$ADDR" --req-id 102 ADMIT 0,2 6,2 3 60 4 > "$DIR/admit2.json"
+"$RTWC" client "$ADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/retry-live.json"
+cmp "$DIR/admit1.json" "$DIR/retry-live.json"
+
+# A standby must refuse writes and point at the leader: with no
+# retries the client reports the redirect instead of chasing it.
+if "$RTWC" client "$FADDR" --retries 0 ADMIT 0,4 6,4 1 80 2 \
+    > "$DIR/follower-write.json" 2> "$DIR/follower-write.err"; then
+  echo "follower accepted a write before promotion" >&2
+  exit 1
+fi
+grep -q "redirected to leader" "$DIR/follower-write.err"
+
+# Wait for the follower to apply the leader's whole stream (5 seeded
+# + 2 admitted = applied_seq 7), then record every admitted stream's
+# answer on the leader.
+for _ in $(seq 100); do
+  "$RTWC" client "$FADDR" STATS > "$DIR/fstats.json"
+  grep -q '"applied_seq":7' "$DIR/fstats.json" && break
+  sleep 0.1
+done
+grep -q '"applied_seq":7' "$DIR/fstats.json"
+for h in 0 1 2 3 4 5 6; do
+  "$RTWC" client "$ADDR" QUERY "$h" >> "$DIR/pre-kill.json"
+done
+
+kill -9 "$LEADER"
+wait "$LEADER" 2>/dev/null || true
+LEADER=""
+
+# Promote the standby and require the audited flip.
+"$RTWC" promote "$FADDR" > "$DIR/promote.json"
+grep -q '"status":"promoted"' "$DIR/promote.json"
+
+# Every answer the dead leader served must come back byte-identical.
+for h in 0 1 2 3 4 5 6; do
+  "$RTWC" client "$FADDR" QUERY "$h" >> "$DIR/post-kill.json"
+done
+cmp "$DIR/pre-kill.json" "$DIR/post-kill.json"
+
+# Exactly-once across failover: the pre-kill request id still replays
+# its original outcome on the new leader.
+"$RTWC" client "$FADDR" --req-id 101 ADMIT 0,0 5,0 2 50 4 > "$DIR/retry-promoted.json"
+cmp "$DIR/admit1.json" "$DIR/retry-promoted.json"
+
+# And the new leader takes fresh writes.
+"$RTWC" client "$FADDR" --req-id 201 ADMIT 0,4 6,4 1 80 2 > "$DIR/new-write.json"
+grep -q '"status":"admitted"' "$DIR/new-write.json"
+
+"$RTWC" client "$FADDR" SHUTDOWN > /dev/null
+wait "$FOLLOWER" 2>/dev/null || true
+FOLLOWER=""
+
+echo "leader kill-9 failover bit-identical: 7 stream(s) answered identically on the promoted follower"
