@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the sharded admission plane:
+//! steady-state admit cost through the monolithic controller vs the
+//! region-sharded one at several shard counts.
+//!
+//! The macro-scale sweep (throughput, percentiles, memory, the
+//! bit-identity assertion) lives in `rtwc bench-shard`
+//! (`results/BENCH_shard.json`); this bench isolates the per-admit
+//! cost of the two code paths over an identical pre-seeded resident
+//! set, so a regression in either path shows up without running the
+//! full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtwc_core::{AdmissionController, ShardMap, ShardedController, StreamId, StreamSpec};
+use wormnet_topology::{Mesh, Path, Routing, Topology, XyRouting};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic locality-bounded requests over the mesh (at most
+/// `locality` hops), the same workload shape as `rtwc bench-shard`.
+fn requests(mesh: &Mesh, n: usize, locality: i64, seed: u64) -> Vec<(StreamSpec, Path)> {
+    let (w, h) = (mesh.dims()[0] as i64, mesh.dims()[1] as i64);
+    let mut rng = seed;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let sx = (splitmix64(&mut rng) % w as u64) as i64;
+        let sy = (splitmix64(&mut rng) % h as u64) as i64;
+        let dx = (splitmix64(&mut rng) % (2 * locality as u64 + 1)) as i64 - locality;
+        let rem = locality - dx.abs();
+        let dy = (splitmix64(&mut rng) % (2 * rem as u64 + 1)) as i64 - rem;
+        if dx == 0 && dy == 0 {
+            continue;
+        }
+        let (tx, ty) = (sx + dx, sy + dy);
+        if tx < 0 || ty < 0 || tx >= w || ty >= h {
+            continue;
+        }
+        let s = mesh.node_at(&[sx as u32, sy as u32]).unwrap();
+        let d = mesh.node_at(&[tx as u32, ty as u32]).unwrap();
+        let priority = 1 + (splitmix64(&mut rng) % 4) as u32;
+        let length = 2 + splitmix64(&mut rng) % 6;
+        let period = 50 + 10 * (splitmix64(&mut rng) % 8);
+        let spec = StreamSpec::new(s, d, priority, period, length, period);
+        let path = XyRouting.route(mesh, s, d).unwrap();
+        out.push((spec, path));
+    }
+    out
+}
+
+fn bench_sharded_admit(c: &mut Criterion) {
+    let mesh = Mesh::mesh2d(64, 64);
+    const RESIDENT: usize = 512;
+    const PROBES: usize = 32;
+    let seedset = requests(&mesh, RESIDENT, 4, 42);
+    let probes = requests(&mesh, PROBES, 4, 1000);
+
+    let mut g = c.benchmark_group("sharded_admit");
+    g.sample_size(10);
+
+    // Monolithic: admit PROBES candidates into a pre-seeded resident
+    // set, removing each immediately so the set stays fixed.
+    g.bench_function("monolithic", |b| {
+        let mut ctl = AdmissionController::new();
+        for (spec, path) in &seedset {
+            let _ = ctl.admit(spec.clone(), path.clone());
+        }
+        b.iter(|| {
+            let mut admitted = 0u64;
+            for (spec, path) in &probes {
+                if let Ok(id) = ctl.admit(spec.clone(), path.clone()) {
+                    admitted += 1;
+                    ctl.remove(id);
+                }
+            }
+            admitted
+        })
+    });
+
+    for &shards in &[1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
+            let mut ctl = ShardedController::new(ShardMap::regions(&mesh, shards));
+            for (spec, path) in &seedset {
+                let _ = ctl.admit(spec.clone(), path.clone());
+            }
+            b.iter(|| {
+                let mut admitted = 0u64;
+                for (spec, path) in &probes {
+                    if let Ok(id) = ctl.admit(spec.clone(), path.clone()) {
+                        admitted += 1;
+                        ctl.remove(StreamId(id.0));
+                    }
+                }
+                admitted
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_admit);
+criterion_main!(benches);

@@ -1,0 +1,688 @@
+//! `rtwc bench-shard` — the sharded-admission-plane scaling benchmark.
+//!
+//! Drives the same deterministic admit/remove churn through the
+//! monolithic [`AdmissionController`] (the serial bit-identity
+//! reference) and through [`ShardedController`] at each requested
+//! shard count. The 1-shard phase is the *control*: every admission
+//! scans the whole resident set, exactly like the monolith, so the
+//! speedup of the multi-shard phases over it isolates what region
+//! sharding buys — component discovery confined to the shards a route
+//! actually touches.
+//!
+//! The workload is locality-bounded: routes are at most `locality`
+//! hops, and a resident cap keeps the set in steady-state churn
+//! (admissions and removals balance), which is the regime the paper's
+//! run-time scheme operates in. Every phase must produce the identical
+//! verdict sequence and final bounds as the serial reference — the
+//! benchmark doubles as a scale test of the bit-identity invariant.
+
+use rtwc_core::{
+    AdmissionController, DelayBound, ShardMap, ShardedController, StreamId, StreamSpec,
+};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use wormnet_topology::{Mesh, Path, Routing, Topology, XyRouting};
+
+/// One benchmark tier: a mesh size, an op count, and the shard counts
+/// to sweep.
+#[derive(Clone, Debug)]
+pub struct ShardBenchTier {
+    /// Mesh width.
+    pub width: u32,
+    /// Mesh height.
+    pub height: u32,
+    /// Total operations (admits + removes) per phase.
+    pub ops: usize,
+    /// Shard counts to sweep; 1 (the control) is added when absent.
+    pub shard_counts: Vec<usize>,
+    /// Resident-stream cap (0 = half the node count). Bounds
+    /// link-sharing component size: churn at the cap is the paper's
+    /// steady-state regime, and an uncapped dense set percolates into
+    /// one mesh-wide component that no partition can split.
+    pub resident_cap: usize,
+}
+
+/// Benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct ShardBenchConfig {
+    /// The tiers to run.
+    pub tiers: Vec<ShardBenchTier>,
+    /// Maximum route length in hops.
+    pub locality: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ShardBenchConfig {
+    fn default() -> Self {
+        ShardBenchConfig {
+            tiers: vec![ShardBenchTier {
+                width: 64,
+                height: 64,
+                ops: 100_000,
+                shard_counts: vec![1, 4, 16],
+                resident_cap: 0,
+            }],
+            // 4-hop routes keep link-sharing components inside (or
+            // near) one region tile, so shard-local admission cost is
+            // dominated by the per-shard resident scan — the term
+            // sharding actually divides.
+            locality: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Latency summary of the timed admits in one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmitLatency {
+    /// Timed admissions.
+    pub count: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The serial ([`AdmissionController`]) reference run.
+#[derive(Clone, Debug)]
+pub struct SerialOutcome {
+    /// Wall-clock for the whole op sequence.
+    pub elapsed: Duration,
+    /// Admit latency (all admits).
+    pub admit: AdmitLatency,
+    /// Interference-index memory at the end of the run, bytes.
+    pub index_bytes: u64,
+    /// Streams resident at the end of the run.
+    pub final_streams: u64,
+    /// Operations per second.
+    pub throughput: f64,
+}
+
+/// One sharded phase of a tier.
+#[derive(Clone, Debug)]
+pub struct PhaseOutcome {
+    /// Shard count this phase ran with (actual, from the map).
+    pub shards: usize,
+    /// Wall-clock for the whole op sequence.
+    pub elapsed: Duration,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Admit latency over every admission attempt.
+    pub admit: AdmitLatency,
+    /// Admit latency over shard-local admissions only: decisions that
+    /// touched exactly one shard, at insert and during convergence.
+    pub local_admit: AdmitLatency,
+    /// Fraction of successful admissions that crossed shards.
+    pub cross_admit_fraction: f64,
+    /// Successful admissions.
+    pub admitted: u64,
+    /// Refused admissions.
+    pub rejected: u64,
+    /// Removals.
+    pub removed: u64,
+    /// Committed cross-shard admissions.
+    pub cross_admits: u64,
+    /// Cross-shard admissions the analysis refused.
+    pub cross_aborts: u64,
+    /// `Cal_U` invocations across the run.
+    pub recomputations: u64,
+    /// Total resident index memory across shards at the end, bytes.
+    pub index_bytes_total: u64,
+    /// Largest single shard's resident index memory, bytes.
+    pub index_bytes_max_shard: u64,
+    /// Streams resident at the end of the run.
+    pub final_streams: u64,
+    /// Control wall-clock divided by this phase's (1.0 for the control
+    /// itself).
+    pub speedup_vs_control: f64,
+    /// True when the verdict sequence and final bounds matched the
+    /// serial reference exactly.
+    pub bit_identical_to_serial: bool,
+}
+
+/// One tier's results.
+#[derive(Clone, Debug)]
+pub struct TierOutcome {
+    /// Mesh width.
+    pub width: u32,
+    /// Mesh height.
+    pub height: u32,
+    /// Operations per phase.
+    pub ops: usize,
+    /// Resident cap in effect.
+    pub resident_cap: usize,
+    /// The serial reference.
+    pub serial: SerialOutcome,
+    /// The sharded phases, control (1 shard) first.
+    pub phases: Vec<PhaseOutcome>,
+    /// Minimum speedup over the 1-shard control across multi-shard
+    /// phases (the CI gate value).
+    pub min_speedup_vs_control: f64,
+}
+
+/// The whole benchmark's results.
+#[derive(Clone, Debug)]
+pub struct ShardBenchOutcome {
+    /// Workload seed.
+    pub seed: u64,
+    /// Route-length bound, hops.
+    pub locality: u32,
+    /// Per-tier results.
+    pub tiers: Vec<TierOutcome>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One generated operation.
+enum Op {
+    Admit(StreamSpec, Path),
+    Remove(usize),
+}
+
+/// Draws the next operation. The draw count depends only on the RNG
+/// state and the resident count — and resident counts evolve
+/// identically across runs because every run produces identical
+/// verdicts — so each phase sees the exact same op sequence.
+fn next_op(
+    rng: &mut u64,
+    mesh: &Mesh,
+    width: u32,
+    height: u32,
+    locality: u32,
+    resident: usize,
+    cap: usize,
+) -> Op {
+    let must_remove = resident >= cap;
+    let may_remove = resident > cap / 2 && splitmix64(rng) % 100 < 30;
+    if resident > 0 && (must_remove || may_remove) {
+        return Op::Remove((splitmix64(rng) as usize) % resident);
+    }
+    let span = i64::from(locality.max(1));
+    loop {
+        let sx = (splitmix64(rng) % u64::from(width)) as i64;
+        let sy = (splitmix64(rng) % u64::from(height)) as i64;
+        let dx = (splitmix64(rng) % (2 * span as u64 + 1)) as i64 - span;
+        let rem = span - dx.abs();
+        let dy = (splitmix64(rng) % (2 * rem as u64 + 1)) as i64 - rem;
+        if dx == 0 && dy == 0 {
+            continue;
+        }
+        let (tx, ty) = (sx + dx, sy + dy);
+        if tx < 0 || ty < 0 || tx >= i64::from(width) || ty >= i64::from(height) {
+            continue;
+        }
+        let source = mesh.node_at(&[sx as u32, sy as u32]).expect("in bounds");
+        let dest = mesh.node_at(&[tx as u32, ty as u32]).expect("in bounds");
+        let priority = 1 + (splitmix64(rng) % 4) as u32;
+        let length = 2 + splitmix64(rng) % 6;
+        let period = 50 + 10 * (splitmix64(rng) % 8);
+        let spec = StreamSpec::new(source, dest, priority, period, length, period);
+        let path = XyRouting.route(mesh, source, dest).expect("mesh routes");
+        return Op::Admit(spec, path);
+    }
+}
+
+/// The controller surface the op driver needs.
+trait Driver {
+    /// Tries the admission; `Ok(coordinated)` on success, where
+    /// `coordinated` means the decision touched more than one shard —
+    /// at insert *or* during neighborhood convergence. The complement
+    /// is a genuinely shard-local admit: one region lock, zero
+    /// cross-shard coordination.
+    fn admit(&mut self, spec: StreamSpec, path: Path) -> Result<bool, ()>;
+    /// Removes the stream with this dense id.
+    fn remove(&mut self, dense: usize);
+    /// Resident stream count.
+    fn resident(&self) -> usize;
+    /// Final bounds in admission order.
+    fn final_bounds(&self) -> Vec<DelayBound>;
+}
+
+impl Driver for AdmissionController {
+    fn admit(&mut self, spec: StreamSpec, path: Path) -> Result<bool, ()> {
+        AdmissionController::admit(self, spec, path)
+            .map(|_| false)
+            .map_err(|_| ())
+    }
+    fn remove(&mut self, dense: usize) {
+        AdmissionController::remove(self, StreamId(dense as u32));
+    }
+    fn resident(&self) -> usize {
+        self.len()
+    }
+    fn final_bounds(&self) -> Vec<DelayBound> {
+        self.bounds().to_vec()
+    }
+}
+
+impl Driver for ShardedController {
+    fn admit(&mut self, spec: StreamSpec, path: Path) -> Result<bool, ()> {
+        self.admit_detailed(spec, path)
+            .map(|a| a.shards_visited > 1)
+            .map_err(|_| ())
+    }
+    fn remove(&mut self, dense: usize) {
+        ShardedController::remove(self, StreamId(dense as u32));
+    }
+    fn resident(&self) -> usize {
+        self.len()
+    }
+    fn final_bounds(&self) -> Vec<DelayBound> {
+        self.bounds()
+    }
+}
+
+/// What one run records, for timing and for the bit-identity diff.
+struct RunTrace {
+    verdicts: Vec<bool>,
+    bounds: Vec<DelayBound>,
+    admit_ns: Vec<u64>,
+    local_ns: Vec<u64>,
+    admitted: u64,
+    rejected: u64,
+    removed: u64,
+    elapsed: Duration,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn latency(mut ns: Vec<u64>) -> AdmitLatency {
+    ns.sort_unstable();
+    AdmitLatency {
+        count: ns.len() as u64,
+        p50_ns: percentile(&ns, 50),
+        p99_ns: percentile(&ns, 99),
+    }
+}
+
+fn drive<D: Driver>(
+    cfg: &ShardBenchConfig,
+    tier: &ShardBenchTier,
+    cap: usize,
+    driver: &mut D,
+) -> RunTrace {
+    let mesh = Mesh::mesh2d(tier.width, tier.height);
+    let mut rng = cfg.seed;
+    let mut verdicts = Vec::with_capacity(tier.ops);
+    let mut admit_ns = Vec::new();
+    let mut local_ns = Vec::new();
+    let (mut admitted, mut rejected, mut removed) = (0u64, 0u64, 0u64);
+    let started = Instant::now();
+    for _ in 0..tier.ops {
+        match next_op(
+            &mut rng,
+            &mesh,
+            tier.width,
+            tier.height,
+            cfg.locality,
+            driver.resident(),
+            cap,
+        ) {
+            Op::Admit(spec, path) => {
+                let t = Instant::now();
+                let outcome = driver.admit(spec, path);
+                let ns = t.elapsed().as_nanos() as u64;
+                admit_ns.push(ns);
+                match outcome {
+                    Ok(coordinated) => {
+                        admitted += 1;
+                        if !coordinated {
+                            local_ns.push(ns);
+                        }
+                        verdicts.push(true);
+                    }
+                    Err(()) => {
+                        rejected += 1;
+                        verdicts.push(false);
+                    }
+                }
+            }
+            Op::Remove(dense) => {
+                driver.remove(dense);
+                removed += 1;
+                verdicts.push(true);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    RunTrace {
+        verdicts,
+        bounds: driver.final_bounds(),
+        admit_ns,
+        local_ns,
+        admitted,
+        rejected,
+        removed,
+        elapsed,
+    }
+}
+
+fn run_tier(cfg: &ShardBenchConfig, tier: &ShardBenchTier) -> Result<TierOutcome, String> {
+    let mesh = Mesh::mesh2d(tier.width, tier.height);
+    let cap = if tier.resident_cap == 0 {
+        ((tier.width as usize) * (tier.height as usize) / 2).max(16)
+    } else {
+        tier.resident_cap
+    };
+
+    // Serial reference: the monolithic controller.
+    let mut serial_ctl = AdmissionController::new();
+    let serial_trace = drive(cfg, tier, cap, &mut serial_ctl);
+    let serial = SerialOutcome {
+        elapsed: serial_trace.elapsed,
+        admit: latency(serial_trace.admit_ns.clone()),
+        index_bytes: serial_ctl.index().memory_bytes() as u64,
+        final_streams: serial_ctl.len() as u64,
+        throughput: tier.ops as f64 / serial_trace.elapsed.as_secs_f64().max(1e-9),
+    };
+
+    let mut counts = tier.shard_counts.clone();
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut phases = Vec::new();
+    let mut control_elapsed = None;
+    for &requested in &counts {
+        let map = ShardMap::regions(&mesh, requested);
+        let shards = map.len();
+        let mut ctl = ShardedController::new(map);
+        let trace = drive(cfg, tier, cap, &mut ctl);
+        let bit_identical = trace.verdicts == serial_trace.verdicts
+            && trace.bounds == serial_trace.bounds;
+        if !bit_identical {
+            return Err(format!(
+                "{}x{} @ {shards} shard(s): sharded run diverged from the serial reference",
+                tier.width, tier.height
+            ));
+        }
+        let gauges = ctl.gauges();
+        let index_bytes_total: u64 = gauges.iter().map(|g| g.index_bytes).sum();
+        let index_bytes_max_shard = gauges.iter().map(|g| g.index_bytes).max().unwrap_or(0);
+        if requested == 1 {
+            control_elapsed = Some(trace.elapsed);
+        }
+        let control = control_elapsed.expect("control phase runs first");
+        let cross_admit_fraction = if trace.admitted > 0 {
+            ctl.cross_admits() as f64 / trace.admitted as f64
+        } else {
+            0.0
+        };
+        phases.push(PhaseOutcome {
+            shards,
+            elapsed: trace.elapsed,
+            throughput: tier.ops as f64 / trace.elapsed.as_secs_f64().max(1e-9),
+            admit: latency(trace.admit_ns.clone()),
+            local_admit: latency(trace.local_ns.clone()),
+            cross_admit_fraction,
+            admitted: trace.admitted,
+            rejected: trace.rejected,
+            removed: trace.removed,
+            cross_admits: ctl.cross_admits(),
+            cross_aborts: ctl.cross_aborts(),
+            recomputations: ctl.recomputations(),
+            index_bytes_total,
+            index_bytes_max_shard,
+            final_streams: ctl.len() as u64,
+            speedup_vs_control: control.as_secs_f64() / trace.elapsed.as_secs_f64().max(1e-9),
+            bit_identical_to_serial: bit_identical,
+        });
+    }
+    let min_speedup_vs_control = phases
+        .iter()
+        .filter(|p| p.shards > 1)
+        .map(|p| p.speedup_vs_control)
+        .fold(f64::INFINITY, f64::min);
+    Ok(TierOutcome {
+        width: tier.width,
+        height: tier.height,
+        ops: tier.ops,
+        resident_cap: cap,
+        serial,
+        phases,
+        min_speedup_vs_control: if min_speedup_vs_control.is_finite() {
+            min_speedup_vs_control
+        } else {
+            1.0
+        },
+    })
+}
+
+/// Runs the whole benchmark.
+pub fn run_shard_bench(cfg: &ShardBenchConfig) -> Result<ShardBenchOutcome, String> {
+    let mut tiers = Vec::new();
+    for tier in &cfg.tiers {
+        if tier.width < 2 || tier.height < 2 {
+            return Err("bench-shard needs a mesh of at least 2x2".to_string());
+        }
+        if tier.ops == 0 {
+            return Err("bench-shard needs --ops >= 1".to_string());
+        }
+        tiers.push(run_tier(cfg, tier)?);
+    }
+    Ok(ShardBenchOutcome {
+        seed: cfg.seed,
+        locality: cfg.locality,
+        tiers,
+    })
+}
+
+fn write_latency(out: &mut String, key: &str, l: &AdmitLatency) {
+    let _ = write!(
+        out,
+        "\"{key}\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+        l.count, l.p50_ns, l.p99_ns
+    );
+}
+
+/// Renders the artifact JSON (hand-rolled: the build is offline).
+pub fn render_shard_json(o: &ShardBenchOutcome) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"shard\",\n  \"seed\": {},\n  \"locality\": {},\n  \"tiers\": [",
+        o.seed, o.locality
+    );
+    for (ti, t) in o.tiers.iter().enumerate() {
+        if ti > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"mesh\":[{},{}],\"ops\":{},\"resident_cap\":{},\n     \"serial\":{{\"elapsed_ms\":{:.3},\"throughput_ops_s\":{:.0},",
+            t.width,
+            t.height,
+            t.ops,
+            t.resident_cap,
+            t.serial.elapsed.as_secs_f64() * 1e3,
+            t.serial.throughput
+        );
+        write_latency(&mut out, "admit", &t.serial.admit);
+        let _ = write!(
+            out,
+            ",\"index_bytes\":{},\"final_streams\":{}}},\n     \"phases\":[",
+            t.serial.index_bytes, t.serial.final_streams
+        );
+        for (pi, p) in t.phases.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"shards\":{},\"elapsed_ms\":{:.3},\"throughput_ops_s\":{:.0},",
+                p.shards,
+                p.elapsed.as_secs_f64() * 1e3,
+                p.throughput
+            );
+            write_latency(&mut out, "admit", &p.admit);
+            out.push(',');
+            write_latency(&mut out, "local_admit", &p.local_admit);
+            let _ = write!(
+                out,
+                ",\"cross_admit_fraction\":{:.4},\"admitted\":{},\"rejected\":{},\"removed\":{},\"cross_admits\":{},\"cross_aborts\":{},\"recomputations\":{},\"index_bytes_total\":{},\"index_bytes_max_shard\":{},\"final_streams\":{},\"speedup_vs_control\":{:.3},\"bit_identical_to_serial\":{}}}",
+                p.cross_admit_fraction,
+                p.admitted,
+                p.rejected,
+                p.removed,
+                p.cross_admits,
+                p.cross_aborts,
+                p.recomputations,
+                p.index_bytes_total,
+                p.index_bytes_max_shard,
+                p.final_streams,
+                p.speedup_vs_control,
+                p.bit_identical_to_serial
+            );
+        }
+        let _ = write!(
+            out,
+            "],\n     \"min_speedup_vs_control\":{:.3}}}",
+            t.min_speedup_vs_control
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Runs the benchmark, writes the JSON artifact to `out`, and returns
+/// the human summary. With `min_speedup`, fails when any tier's
+/// minimum multi-shard speedup over the 1-shard control falls below
+/// the floor — the CI gate.
+pub fn run_bench_shard(
+    cfg: &ShardBenchConfig,
+    out: &str,
+    min_speedup: Option<f64>,
+) -> Result<String, String> {
+    let outcome = run_shard_bench(cfg)?;
+    let json = render_shard_json(&outcome);
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    if let Some(floor) = min_speedup {
+        for t in &outcome.tiers {
+            if t.phases.iter().any(|p| p.shards > 1) && t.min_speedup_vs_control < floor {
+                return Err(format!(
+                    "{}x{}: min multi-shard speedup {:.2}x below the --min-speedup floor of {floor:.2}x",
+                    t.width, t.height, t.min_speedup_vs_control
+                ));
+            }
+        }
+    }
+    let mut summary = render_shard_summary(&outcome);
+    let _ = writeln!(summary, "wrote {out}");
+    Ok(summary)
+}
+
+/// Renders the human summary.
+pub fn render_shard_summary(o: &ShardBenchOutcome) -> String {
+    let mut out = String::new();
+    for t in &o.tiers {
+        let _ = writeln!(
+            out,
+            "{}x{} mesh, {} ops, cap {} resident (seed {}, locality {}):",
+            t.width, t.height, t.ops, t.resident_cap, o.seed, o.locality
+        );
+        let _ = writeln!(
+            out,
+            "  serial reference: {:.0} ops/s, admit p50 {}ns p99 {}ns, index {} KiB, {} resident",
+            t.serial.throughput,
+            t.serial.admit.p50_ns,
+            t.serial.admit.p99_ns,
+            t.serial.index_bytes / 1024,
+            t.serial.final_streams
+        );
+        for p in &t.phases {
+            let _ = writeln!(
+                out,
+                "  {:>3} shard(s): {:.0} ops/s ({:.2}x control), local admit p50 {}ns p99 {}ns, cross {:.1}%, max shard index {} KiB{}",
+                p.shards,
+                p.throughput,
+                p.speedup_vs_control,
+                p.local_admit.p50_ns,
+                p.local_admit.p99_ns,
+                p.cross_admit_fraction * 100.0,
+                p.index_bytes_max_shard / 1024,
+                if p.bit_identical_to_serial {
+                    ", bit-identical"
+                } else {
+                    ", DIVERGED"
+                }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ShardBenchConfig {
+        ShardBenchConfig {
+            tiers: vec![ShardBenchTier {
+                width: 10,
+                height: 10,
+                ops: 400,
+                shard_counts: vec![1, 4],
+                resident_cap: 40,
+            }],
+            locality: 5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn small_run_is_bit_identical_and_renders() {
+        let o = run_shard_bench(&tiny_cfg()).unwrap();
+        assert_eq!(o.tiers.len(), 1);
+        let t = &o.tiers[0];
+        assert_eq!(t.phases.len(), 2);
+        assert!(t.phases.iter().all(|p| p.bit_identical_to_serial));
+        assert_eq!(t.phases[0].shards, 1);
+        assert_eq!(t.phases[1].shards, 4);
+        assert!(t.phases[1].cross_admits > 0, "workload must cross shards");
+        assert!(t.phases[1].local_admit.count > 0);
+        assert!(
+            t.phases[1].index_bytes_max_shard < t.serial.index_bytes,
+            "per-shard index ({}) must undercut the monolith ({})",
+            t.phases[1].index_bytes_max_shard,
+            t.serial.index_bytes
+        );
+        let json = render_shard_json(&o);
+        assert!(json.contains("\"bench\": \"shard\""), "{json}");
+        assert!(json.contains("\"min_speedup_vs_control\""), "{json}");
+        assert!(json.contains("\"cross_admit_fraction\""), "{json}");
+        assert!(json.contains("\"bit_identical_to_serial\":true"), "{json}");
+        let summary = render_shard_summary(&o);
+        assert!(summary.contains("bit-identical"), "{summary}");
+    }
+
+    #[test]
+    fn phase_ops_counts_add_up() {
+        let o = run_shard_bench(&tiny_cfg()).unwrap();
+        for p in &o.tiers[0].phases {
+            assert_eq!(
+                p.admitted + p.rejected + p.removed,
+                o.tiers[0].ops as u64,
+                "every op is an admit attempt or a removal"
+            );
+        }
+    }
+}

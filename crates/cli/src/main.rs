@@ -16,7 +16,7 @@ USAGE:
     rtwc check    <SPEC> [--policy preemptive|li|classic|shared] [--cycles N] [--warmup N] [--no-verify]
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
     rtwc serve    <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync always|never|interval:MS]
-                         [--snapshot-every N] [--max-conns N] [--max-pending N]
+                         [--snapshot-every N] [--max-conns N] [--max-pending N] [--shards N|auto]
                          [--repl-addr HOST:PORT | --follower-of HOST:PORT [--promote-grace-ms N]]
     rtwc client   <ADDR> [--timeout-ms N] [--retries N] [--req-id N] <REQUEST...>
     rtwc promote  <ADDR>
@@ -24,6 +24,8 @@ USAGE:
                      [--wal-sweep | --wal-dir DIR --fsync P [--snapshot-every N]]
     rtwc bench-repl  [--clients N] [--ops N | --duration SECS] [--mesh WxH] [--seed S]
                      [--grace-ms N] [--out FILE]
+    rtwc bench-shard [--mesh WxH] [--ops N] [--shards N,N,...] [--cap N] [--locality N]
+                     [--seed S] [--full] [--min-speedup X] [--out FILE]
     rtwc chaos    [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N] [--dir D]
 
 SPEC is a .streams file:
@@ -54,6 +56,11 @@ COMMANDS:
                (--wal-sweep adds per-fsync-policy durability costs)
     bench-repl replication bench: leader under load with a live follower,
                then a timed failover; writes results/BENCH_repl.json
+    bench-shard sharded-admission scaling bench: the same deterministic
+               churn through the monolith (serial reference) and each
+               shard count, asserting bit-identical verdicts and bounds;
+               writes results/BENCH_shard.json (--full adds 10x10 and
+               256x256 tiers)
     chaos      fault-injection harness: torn/short writes, fsync errors and
                kill-9 truncation; asserts recovery is bit-identical to a
                serial replay of the acknowledged history
@@ -114,7 +121,7 @@ fn run() -> Result<bool, String> {
     // takes an address, bench-serve takes no file at all).
     if matches!(
         command,
-        "serve" | "client" | "promote" | "bench-serve" | "bench-repl" | "chaos"
+        "serve" | "client" | "promote" | "bench-serve" | "bench-repl" | "bench-shard" | "chaos"
     ) {
         return rtwc_cli::run_service_command(command, rest);
     }

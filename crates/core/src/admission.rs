@@ -549,6 +549,69 @@ impl AdmissionController {
             self.bounds[new_id.index()] = bound;
         }
     }
+
+    // ------------------------------------------------------------------
+    // Shard-plane primitives (crate::shard). The sharded admission plane
+    // computes true *global* bounds over a link-sharing neighborhood and
+    // replicates each member into every shard its route touches; these
+    // entry points let it place pre-analyzed streams without re-running
+    // (or rolling back) the serial analysis above. They preserve the
+    // structural invariants (set == parts, index == build(set), bounds
+    // parallel) but NOT the feasibility invariant — the caller is
+    // responsible for only storing bounds produced by a real analysis.
+    // ------------------------------------------------------------------
+
+    /// Appends an already-analyzed stream with the next dense id and the
+    /// caller-supplied bound. No feasibility analysis runs.
+    pub(crate) fn insert_with_bound(
+        &mut self,
+        spec: StreamSpec,
+        path: Path,
+        bound: DelayBound,
+    ) -> StreamId {
+        let new_id = match self.set.as_mut() {
+            Some(set) => set
+                .push(spec.clone(), path.clone())
+                .expect("plane-validated spec"),
+            None => {
+                self.set = Some(
+                    StreamSet::from_parts(vec![(spec.clone(), path.clone())])
+                        .expect("plane-validated spec"),
+                );
+                StreamId(0)
+            }
+        };
+        let set = self.set.as_ref().expect("set just populated");
+        self.index.insert_last(set.get(new_id));
+        self.parts.push((spec, path));
+        self.bounds.push(bound);
+        new_id
+    }
+
+    /// Overwrites the cached bound of an admitted stream with one the
+    /// plane recomputed globally.
+    pub(crate) fn set_bound(&mut self, id: StreamId, bound: DelayBound) {
+        self.bounds[id.index()] = bound;
+    }
+
+    /// Removes a stream *without* refreshing anyone's bound — the plane
+    /// recomputes affected members globally and writes them back via
+    /// [`AdmissionController::set_bound`]. Ids above `id` shift down by
+    /// one, exactly as in [`AdmissionController::remove`].
+    pub(crate) fn detach(&mut self, id: StreamId) {
+        assert!(id.index() < self.parts.len(), "unknown stream {id}");
+        self.parts.remove(id.index());
+        self.bounds.remove(id.index());
+        self.index.remove(id);
+        if self.parts.is_empty() {
+            self.set = None;
+        } else {
+            self.set
+                .as_mut()
+                .expect("non-empty controller has a set")
+                .remove(id);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,41 @@ impl InterferenceIndex {
         self.affects_row(a)[b.index() >> 6] >> (b.index() & 63) & 1 == 1
     }
 
+    /// Resident heap footprint in bytes: both bit matrices plus the
+    /// occupancy tables, counted by *capacity* (what the allocator
+    /// actually holds), not length. This is the gauge the sharded
+    /// admission plane reports per shard.
+    pub fn memory_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u64>();
+        let matrices = (self.affects.capacity() + self.affected_by.capacity()) * word;
+        let occupancy = self.link_streams.capacity() * std::mem::size_of::<Vec<StreamId>>()
+            + self
+                .link_streams
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<StreamId>())
+                .sum::<usize>();
+        let links = self.stream_links.capacity() * std::mem::size_of::<Vec<LinkId>>()
+            + self
+                .stream_links
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<LinkId>())
+                .sum::<usize>();
+        matrices + occupancy + links + self.priorities.capacity() * std::mem::size_of::<Priority>()
+    }
+
+    /// Matrix bytes a stride compaction could release right now: the
+    /// difference between what the two matrices hold and the minimal
+    /// `n * ceil(n/64)`-word layout. Removals shrink the stride with
+    /// hysteresis (see [`InterferenceIndex::remove`]), so this stays a
+    /// bounded slack rather than a ratchet; it is surfaced in STATS so
+    /// long-lived serve processes can watch it.
+    pub fn reclaimable_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u64>();
+        let held = (self.affects.capacity() + self.affected_by.capacity()) * word;
+        let minimal = 2 * self.n * self.n.div_ceil(64) * word;
+        held.saturating_sub(minimal)
+    }
+
     /// Streams whose path uses channel `l`, in increasing id order.
     /// Channels beyond every indexed path are empty.
     pub fn link_streams(&self, l: LinkId) -> &[StreamId] {
@@ -240,6 +275,7 @@ impl InterferenceIndex {
         self.n -= 1;
         self.affects.truncate(self.n * self.stride);
         self.affected_by.truncate(self.n * self.stride);
+        self.maybe_shrink();
     }
 
     /// Removes stream `id`, shifting every id above it down by one —
@@ -270,6 +306,7 @@ impl InterferenceIndex {
             }
         }
         self.n -= 1;
+        self.maybe_shrink();
     }
 
     /// Builds the HP set of `target` off the adjacency rows: backward
@@ -390,21 +427,68 @@ impl InterferenceIndex {
         self.affected_by[b.index() * self.stride + (a.index() >> 6)] |= 1u64 << (a.index() & 63);
     }
 
-    /// Re-lays both matrices out with a wider row stride (old words are
-    /// copied, new words are zero). Amortized: called every 64th (and
-    /// with geometric growth, ever rarer) insert.
+    /// Re-lays both matrices out with a different row stride. Growing
+    /// copies old words and zero-fills the rest (amortized: called every
+    /// 64th, and with geometric growth ever rarer, insert). Shrinking
+    /// copies the still-populated prefix of each row — callers only
+    /// shrink below the high-water mark of set bits, which
+    /// [`InterferenceIndex::maybe_shrink`] guarantees by never going
+    /// under `ceil(n / 64)` words. The fresh allocation also releases
+    /// capacity slack left behind by `truncate`/`drain`.
     fn restride(&mut self, new_stride: usize) {
         let old = self.stride;
+        if new_stride == old {
+            return;
+        }
+        let copy = old.min(new_stride);
         for matrix in [&mut self.affects, &mut self.affected_by] {
-            let mut wide = vec![0u64; self.n * new_stride];
-            if old > 0 {
+            debug_assert!(
+                matrix
+                    .chunks_exact(old.max(1))
+                    .all(|row| row[copy..].iter().all(|&w| w == 0)),
+                "shrink would drop set bits"
+            );
+            let mut fresh = vec![0u64; self.n * new_stride];
+            if copy > 0 {
                 for (r, row) in matrix.chunks_exact(old).enumerate() {
-                    wide[r * new_stride..r * new_stride + old].copy_from_slice(row);
+                    fresh[r * new_stride..r * new_stride + copy].copy_from_slice(&row[..copy]);
                 }
             }
-            *matrix = wide;
+            *matrix = fresh;
         }
         self.stride = new_stride;
+    }
+
+    /// Releases matrix memory after removals. `delete_bit` compacts ids
+    /// within rows but never narrows them, so without this a serve
+    /// process that churned up to n streams and back down would hold
+    /// O(n²) bits forever. Policy, with hysteresis so the admit path's
+    /// trial-insert/rollback never thrashes:
+    ///
+    /// * empty index → reset to the pristine zero-capacity state;
+    /// * stride ≥ 4 × `ceil(n / 64)` → restride down to 2 ×, mirroring
+    ///   the doubling growth (grow again only after n doubles, shrink
+    ///   again only after it halves);
+    /// * otherwise, if the vectors hold ≥ 4 × their length in capacity
+    ///   (truncate/drain never release), give the slack back.
+    fn maybe_shrink(&mut self) {
+        if self.n == 0 {
+            *self = Self::default();
+            return;
+        }
+        let needed = self.n.div_ceil(64);
+        if self.stride >= needed * 4 {
+            self.restride(needed * 2);
+        } else if self.affects.capacity() >= 4 * self.n * self.stride {
+            self.affects.shrink_to_fit();
+            self.affected_by.shrink_to_fit();
+        }
+    }
+
+    /// Matrix capacity alone (the part removals used to ratchet).
+    #[cfg(test)]
+    fn matrix_bytes(&self) -> usize {
+        (self.affects.capacity() + self.affected_by.capacity()) * std::mem::size_of::<u64>()
     }
 }
 
@@ -599,6 +683,102 @@ mod tests {
             .collect();
         let smaller = StreamSet::from_parts(parts).unwrap();
         assert_eq!(pruned, InterferenceIndex::build(&smaller));
+    }
+
+    /// 300+ pairwise-disjoint single-hop streams on a 20x20 mesh: each
+    /// occupies one distinct horizontal channel, so inserts/removals in
+    /// bulk exercise stride growth past several word boundaries.
+    fn disjoint_set() -> StreamSet {
+        let m = Mesh::mesh2d(20, 20);
+        let mut specs = Vec::new();
+        for y in 0..16u32 {
+            for x in 0..19u32 {
+                specs.push(StreamSpec::new(
+                    m.node_at(&[x, y]).unwrap(),
+                    m.node_at(&[x + 1, y]).unwrap(),
+                    1 + (x + y) % 5,
+                    100,
+                    2,
+                    100,
+                ));
+            }
+        }
+        StreamSet::resolve(&m, &XyRouting, &specs).unwrap()
+    }
+
+    #[test]
+    fn removal_shrinks_matrix_memory() {
+        let set = disjoint_set();
+        let mut index = InterferenceIndex::build(&set);
+        let full = index.matrix_bytes();
+        let full_total = index.memory_bytes();
+        // Remove from the front (worst case: every removal shifts bits)
+        // until 10 streams remain. The stride needed drops from 5 words
+        // to 1; the shrink hysteresis must have fired along the way.
+        while index.len() > 10 {
+            index.remove(StreamId(0));
+        }
+        let small = index.matrix_bytes();
+        assert!(
+            small * 4 < full,
+            "matrix memory did not shrink: {full} -> {small} bytes"
+        );
+        assert!(
+            index.memory_bytes() < full_total,
+            "total footprint must drop too"
+        );
+        // Remaining slack is bounded (stride headroom + allocator
+        // capacity headroom, each at most one doubling) — before the
+        // shrink this was tens of kilobytes.
+        assert!(
+            index.reclaimable_bytes() < 1024,
+            "reclaimable slack ratcheted: {} bytes over {} streams",
+            index.reclaimable_bytes(),
+            index.len()
+        );
+        // Shrinking preserved the relation: identical to a fresh build.
+        let parts: Vec<_> = set
+            .iter()
+            .skip(set.len() - 10)
+            .map(|s| (s.spec.clone(), s.path.clone()))
+            .collect();
+        let survivors = StreamSet::from_parts(parts).unwrap();
+        assert_eq!(index, InterferenceIndex::build(&survivors));
+        assert_eq!(index.hp_sets(&survivors), generate_hp_sets_oracle(&survivors));
+    }
+
+    #[test]
+    fn draining_to_empty_releases_everything() {
+        let set = disjoint_set();
+        let mut index = InterferenceIndex::build(&set);
+        assert!(index.memory_bytes() > 0);
+        for _ in 0..set.len() {
+            index.remove_last();
+        }
+        assert!(index.is_empty());
+        assert_eq!(index.memory_bytes(), 0, "empty index must hold no heap");
+        assert_eq!(index.reclaimable_bytes(), 0);
+    }
+
+    #[test]
+    fn rollback_churn_does_not_thrash_or_leak() {
+        // The admit path's trial insert + rollback at a word boundary
+        // must neither restride up-and-down per cycle nor accumulate
+        // capacity. 64 resident streams, churn the 65th.
+        let set = disjoint_set();
+        let mut index = InterferenceIndex::new();
+        for s in set.iter().take(64) {
+            index.insert_last(s);
+        }
+        let churn = set.get(StreamId(64));
+        index.insert_last(churn);
+        index.remove_last();
+        let settled = index.memory_bytes();
+        for _ in 0..100 {
+            index.insert_last(churn);
+            index.remove_last();
+        }
+        assert_eq!(index.memory_bytes(), settled, "churn ratcheted memory");
     }
 
     #[test]

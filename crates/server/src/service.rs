@@ -68,22 +68,26 @@ use crate::group_commit::GroupWal;
 use crate::lock_order::{classes, TrackedRwLock, TrackedRwLockReadGuard, TrackedRwLockWriteGuard};
 use crate::metrics::{Metrics, MetricsSnapshot, RequestKind};
 use crate::protocol::{
-    parse_request, RejectReason, Request, Response, SnapshotStream, StatsReport,
+    parse_request, RejectReason, Request, Response, ShardStats, ShardsReport, SnapshotStream,
+    StatsReport,
 };
 use crate::repl::ReplHub;
+use crate::shard_plane::ShardPlane;
 use crate::snapshot::{write_snapshot, DedupEntry, SnapshotData};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::Instant;
 use crate::wal::FsyncPolicy;
 use rtwc_core::{
-    determine_feasibility, AdmissionController, AdmissionError, StreamId, StreamSet, StreamSpec,
+    determine_feasibility, plan_admit, plan_remove, scan_neighborhood, AdmissionController,
+    AdmissionError, DelayBound, KeyedRejection, NeighborMember, RegionShard, ShardId, ShardMap,
+    StreamId, StreamSet, StreamSpec,
 };
-use rtwc_verifier::{lint_candidate_routed, Diagnostic};
+use rtwc_verifier::{lint_candidate_indexed, lint_candidate_routed, Diagnostic};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-use wormnet_topology::{Mesh, Routing, Topology, XyRouting};
+use wormnet_topology::{LinkId, Mesh, Path, Routing, Topology, XyRouting};
 
 /// Most request ids remembered for idempotent replay. Oldest entries
 /// are evicted first; a client retrying within this window gets its
@@ -130,7 +134,15 @@ pub struct Durability {
 #[derive(Debug)]
 struct Inner {
     ctl: AdmissionController,
-    /// Stable ids, parallel to the controller's dense ids.
+    /// Sharded mode only: admitted specs parallel to `handles`, so
+    /// reads (`QUERY`, `SNAPSHOT`, audit) never touch a shard lock.
+    /// Empty in monolithic mode, where `ctl` holds the parts.
+    specs: Vec<StreamSpec>,
+    /// Sharded mode only: cached bounds parallel to `handles`.
+    bounds: Vec<u64>,
+    /// Stable ids, parallel to the controller's dense ids. Assigned
+    /// monotonically and removed in place, so the vector is always
+    /// sorted ascending — lookups may binary-search it.
     handles: Vec<u64>,
     next_handle: u64,
     /// The accepted-operation journal. Entries are `Arc`ed so snapshot
@@ -173,8 +185,13 @@ pub struct AdmissionService {
     /// Shed writes beyond this many pending (0 = never shed).
     max_pending: u64,
     /// Validate admissions under the shared lock, committing the
-    /// pre-computed result under the exclusive one.
+    /// pre-computed result under the exclusive one. Ignored when the
+    /// sharded plane is enabled (the plane is the concurrent path).
     optimistic: bool,
+    /// The sharded admission plane (`--shards`). When present, `ADMIT`
+    /// and `REMOVE` run two-phase over per-shard locks and `inner.ctl`
+    /// stays empty; reads serve from `inner.specs`/`inner.bounds`.
+    plane: Option<ShardPlane>,
     /// Replication state, when this node participates in replication.
     /// Set once at startup ([`AdmissionService::attach_repl`]); absent
     /// on a standalone node, whose request paths stay untouched.
@@ -189,6 +206,8 @@ impl AdmissionService {
             mesh,
             Inner {
                 ctl: AdmissionController::new(),
+                specs: Vec::new(),
+                bounds: Vec::new(),
                 handles: Vec::new(),
                 next_handle: 0,
                 log: Vec::new(),
@@ -208,6 +227,8 @@ impl AdmissionService {
     ) -> Self {
         let mut inner = Inner {
             ctl: state.ctl,
+            specs: Vec::new(),
+            bounds: Vec::new(),
             handles: state.handles,
             next_handle: state.next_handle,
             log: state.log,
@@ -230,8 +251,65 @@ impl AdmissionService {
             pending_writes: AtomicU64::new(0),
             max_pending: 0,
             optimistic: false,
+            plane: None,
             repl: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Splits the admission plane into region shards (`0` = auto: one
+    /// region per 16x16 mesh tile) and migrates any recovered state
+    /// into them. Call before sharing the service across threads —
+    /// writes then run two-phase over per-shard locks, and reads serve
+    /// from the spec table without touching a shard. Returns the
+    /// actual shard count (the mesh extents can cap the request).
+    pub fn enable_sharding(&mut self, shards: usize) -> usize {
+        let map = if shards == 0 {
+            ShardMap::auto(&self.mesh)
+        } else {
+            ShardMap::regions(&self.mesh, shards)
+        };
+        let plane = ShardPlane::new(map);
+        // Drain the monolithic controller first, then seed the plane
+        // without `inner` held: shard locks rank below the service
+        // lock, so they must never be acquired under it.
+        let (parts, bounds, handles) = {
+            let mut inner = self.inner.write();
+            let parts = inner.ctl.parts().to_vec();
+            let bounds: Vec<u64> = inner
+                .ctl
+                .bounds()
+                .iter()
+                .map(|b| b.value().expect("admitted bounds are bounded"))
+                .collect();
+            inner.ctl = AdmissionController::new();
+            (parts, bounds, inner.handles.clone())
+        };
+        for (i, (spec, path)) in parts.iter().enumerate() {
+            let owners = plane.map().shards_of(path.links().iter().copied());
+            let cross = owners.len() > 1;
+            for guard in plane.write_set(&owners).iter_mut() {
+                guard.insert_member(
+                    handles[i],
+                    spec.clone(),
+                    path.clone(),
+                    DelayBound::Bounded(bounds[i]),
+                    cross,
+                );
+            }
+        }
+        {
+            let mut inner = self.inner.write();
+            inner.specs = parts.into_iter().map(|(s, _)| s).collect();
+            inner.bounds = bounds;
+        }
+        let n = plane.shard_count();
+        self.plane = Some(plane);
+        n
+    }
+
+    /// The sharded admission plane, when enabled.
+    pub fn shard_plane(&self) -> Option<&ShardPlane> {
+        self.plane.as_ref()
     }
 
     /// Attaches the replication hub (leader or follower role). Call
@@ -337,7 +415,7 @@ impl AdmissionService {
 
     /// Number of streams currently admitted.
     pub fn admitted_count(&self) -> usize {
-        self.read().ctl.len()
+        self.read().handles.len()
     }
 
     /// The accepted-operation log, in serialization order. O(log
@@ -350,6 +428,14 @@ impl AdmissionService {
     /// The current cached bounds with their stable ids, in dense order.
     pub fn bounds_by_handle(&self) -> Vec<(u64, u64)> {
         let inner = self.read();
+        if self.plane.is_some() {
+            return inner
+                .handles
+                .iter()
+                .zip(&inner.bounds)
+                .map(|(&h, &b)| (h, b))
+                .collect();
+        }
         inner
             .handles
             .iter()
@@ -541,6 +627,12 @@ impl AdmissionService {
         if !hub.is_follower() {
             return Err("not a follower (promoted mid-stream?)".to_string());
         }
+        if self.plane.is_some() {
+            // Replication applies through the monolithic controller;
+            // the CLI keeps followers unsharded so this never fires in
+            // a correctly configured deployment.
+            return Err("sharded plane is leader-only; follower must run unsharded".to_string());
+        }
         let mut inner = self.write();
         // Not `self.seq()`: that re-locks `inner` on a non-durable
         // service, and the write lock is already held here.
@@ -673,6 +765,10 @@ impl AdmissionService {
         // the routing cannot connect is rejected by W004 below without
         // this path ever being used.
         let path = XyRouting.route(&self.mesh, source, dest).ok();
+
+        if self.plane.is_some() {
+            return self.admit_sharded(req_id, spec, deadline, path);
+        }
 
         // Optimistic phase: with concurrent validation enabled, the
         // lint and the whole component analysis run under the *shared*
@@ -812,6 +908,367 @@ impl AdmissionService {
         }
     }
 
+    /// Write-locks every shard in `touched` (canonical ascending
+    /// order) and scans the candidate's link-sharing neighborhood to
+    /// its fixpoint, re-acquiring from scratch with a widened shard
+    /// set whenever the closure escapes the held one. Returns the
+    /// guards, the final shard set, and the complete neighborhood.
+    fn converge_shards<'a>(
+        plane: &'a ShardPlane,
+        seed: &[LinkId],
+        mut touched: Vec<ShardId>,
+    ) -> (
+        Vec<TrackedRwLockWriteGuard<'a, RegionShard>>,
+        Vec<ShardId>,
+        rtwc_core::Neighborhood,
+    ) {
+        loop {
+            let guards = plane.write_set(&touched);
+            let held: Vec<(ShardId, &RegionShard)> = touched
+                .iter()
+                .zip(guards.iter())
+                .map(|(&s, g)| (s, &**g))
+                .collect();
+            let nb = scan_neighborhood(plane.map(), &held, seed);
+            drop(held);
+            if nb.missing.is_empty() {
+                return (guards, touched, nb);
+            }
+            touched.extend(nb.missing.iter().copied());
+            touched.sort_unstable();
+            touched.dedup();
+        }
+    }
+
+    /// The verifier gate for the sharded path, producing exactly the
+    /// findings the monolithic [`lint_candidate_routed`] would: the
+    /// candidate id is its would-be dense id, duplicate detection runs
+    /// over the full spec table, and the pairwise rules run over the
+    /// neighborhood members (which contain every admitted stream
+    /// sharing a channel with the candidate) with their dense ids.
+    fn lint_sharded(
+        mesh: &Mesh,
+        inner: &Inner,
+        members: &[NeighborMember],
+        spec: &StreamSpec,
+    ) -> Vec<Diagnostic> {
+        let cand_id = inner.handles.len() as u32;
+        let duplicate_of = inner.specs.iter().position(|s| s == spec).map(|i| i as u32);
+        let indexed: Vec<(u32, &StreamSpec, &Path)> = members
+            .iter()
+            .map(|m| {
+                let dense = inner
+                    .handles
+                    .binary_search(&m.key)
+                    .expect("member handle is live") as u32;
+                (dense, &m.spec, &m.path)
+            })
+            .collect();
+        lint_candidate_indexed(mesh, &XyRouting, cand_id, duplicate_of, &indexed, spec)
+    }
+
+    /// Translates a plane rejection (blockers/victims by stable
+    /// handle) into the [`AdmissionError`] shape, so the wire response
+    /// is byte-identical to the monolithic path's.
+    fn keyed_to_dense(handles: &[u64], e: KeyedRejection) -> AdmissionError {
+        let dense = |keys: Vec<u64>| -> Vec<StreamId> {
+            keys.into_iter()
+                .map(|k| {
+                    StreamId(handles.binary_search(&k).expect("blocker handle is live") as u32)
+                })
+                .collect()
+        };
+        match e {
+            KeyedRejection::CandidateInfeasible {
+                bound,
+                source,
+                dest,
+                blocked_by,
+            } => AdmissionError::CandidateInfeasible {
+                bound,
+                source,
+                dest,
+                blocked_by: dense(blocked_by),
+            },
+            KeyedRejection::BreaksExisting {
+                source,
+                dest,
+                victims,
+            } => AdmissionError::BreaksExisting {
+                source,
+                dest,
+                victims: dense(victims),
+            },
+            KeyedRejection::Invalid(msg) => AdmissionError::Invalid(msg),
+        }
+    }
+
+    /// `ADMIT` over the sharded plane: two-phase across the shards the
+    /// route touches. The analysis runs with only the shard guards
+    /// held; the service lock is taken afterwards just for the
+    /// decision's bookkeeping — and the shard guards are held *across*
+    /// that bookkeeping, so journal order equals analysis order for
+    /// every pair of conflicting operations and a serial replay of the
+    /// journal reproduces this exact state.
+    fn admit_sharded(
+        &self,
+        req_id: u64,
+        spec: StreamSpec,
+        deadline: u64,
+        path: Option<Path>,
+    ) -> Response {
+        let plane = self.plane.as_ref().expect("sharded path");
+        // Cheap dedup precheck before any shard lock; the
+        // authoritative recheck runs under the service lock below.
+        if req_id != 0 {
+            let inner = self.read();
+            if let Some(entry) = inner.dedup.get(&req_id) {
+                if entry.admit {
+                    self.metrics.count_replayed();
+                }
+                return Self::replay_dedup(entry, true);
+            }
+        }
+        // An unroutable candidate touches no shard: lint it against
+        // the spec table (W003/W004 are error severity) and refuse.
+        let Some(path) = path else {
+            let inner = self.read();
+            let findings = Self::lint_sharded(&self.mesh, &inner, &[], &spec);
+            if findings.iter().any(Diagnostic::is_error) {
+                return Self::lint_rejection(findings);
+            }
+            return Response::error("routing", "routing failed");
+        };
+        // Error gate before any shard lock, mirroring the optimistic
+        // path's shared-lock pre-lint. Error findings (W002-W007) are
+        // structural properties of the candidate alone, so they cannot
+        // appear or vanish between here and the authoritative re-lint
+        // below — and a candidate that passes here is sane enough for
+        // `plan_admit` (in particular it traverses at least one
+        // channel, which the analysis requires).
+        {
+            let inner = self.read();
+            let findings = Self::lint_sharded(&self.mesh, &inner, &[], &spec);
+            if findings.iter().any(Diagnostic::is_error) {
+                return Self::lint_rejection(findings);
+            }
+        }
+        let seed: Vec<LinkId> = path.sorted_links().to_vec();
+        let insert_shards = plane.map().shards_of(seed.iter().copied());
+        let cross = insert_shards.len() > 1;
+        let (mut guards, touched, nb) =
+            Self::converge_shards(plane, &seed, insert_shards.clone());
+        // Plan with only the shard guards held: the neighborhood
+        // cannot change under them, and disjoint admissions keep
+        // analyzing concurrently.
+        let plan = plan_admit(&nb.members, &spec, &path);
+        let mut inner = self.write();
+        if req_id != 0 {
+            if let Some(entry) = inner.dedup.get(&req_id) {
+                if entry.admit {
+                    self.metrics.count_replayed();
+                }
+                return Self::replay_dedup(entry, true);
+            }
+        }
+        let findings = Self::lint_sharded(&self.mesh, &inner, &nb.members, &spec);
+        if findings.iter().any(Diagnostic::is_error) {
+            return Self::lint_rejection(findings);
+        }
+        let warnings = findings;
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                if cross {
+                    plane.count_cross_abort();
+                }
+                return Self::rejection(&Self::keyed_to_dense(&inner.handles, e), &inner.handles);
+            }
+        };
+        plane.add_recomputations(plan.recomputed);
+        let handle = inner.next_handle;
+        let op = AcceptedOp::Admit {
+            handle,
+            spec: spec.clone(),
+        };
+        // Ticket before acknowledging, as on the monolithic path —
+        // but nothing has been applied yet, so a refused append
+        // leaves every shard untouched.
+        let ticket = match self.persist(req_id, &op) {
+            Ok(t) => t,
+            Err(refusal) => return refusal,
+        };
+        inner.next_handle += 1;
+        inner.handles.push(handle);
+        inner.specs.push(spec.clone());
+        inner.bounds.push(plan.candidate_bound);
+        inner.log.push(Arc::new(op));
+        if req_id != 0 {
+            inner.remember(DedupEntry {
+                req_id,
+                admit: true,
+                handle,
+                bound: plan.candidate_bound,
+                deadline,
+            });
+        }
+        for &sid in &insert_shards {
+            let pos = touched.binary_search(&sid).expect("insert shards are locked");
+            guards[pos].insert_member(
+                handle,
+                spec.clone(),
+                path.clone(),
+                DelayBound::Bounded(plan.candidate_bound),
+                cross,
+            );
+        }
+        for &(key, bound) in &plan.updates {
+            let member = nb
+                .members
+                .iter()
+                .find(|m| m.key == key)
+                .expect("update targets a neighborhood member");
+            let dense = inner
+                .handles
+                .binary_search(&key)
+                .expect("member handle is live");
+            inner.bounds[dense] = bound.value().expect("surviving member bounds are bounded");
+            for sid in plane.map().shards_of(member.path.links().iter().copied()) {
+                let pos = touched
+                    .binary_search(&sid)
+                    .expect("neighborhood shards are locked");
+                guards[pos].set_member_bound(key, bound);
+            }
+        }
+        self.maybe_snapshot(&mut inner);
+        drop(inner);
+        drop(guards);
+        if let Some(refusal) = self.await_durable(ticket) {
+            return refusal;
+        }
+        self.metrics.count_admitted();
+        if cross {
+            plane.count_cross_admit();
+        }
+        Response::Admitted {
+            id: handle,
+            bound: plan.candidate_bound,
+            deadline,
+            slack: deadline - plan.candidate_bound,
+            warnings,
+        }
+    }
+
+    /// `REMOVE` over the sharded plane. The victim's route (and so its
+    /// owner shards) is re-derived deterministically from the spec
+    /// table; the downstream recomputation then runs under the shard
+    /// guards exactly as on the admit path.
+    fn remove_sharded(&self, req_id: u64, handle: u64) -> Response {
+        let plane = self.plane.as_ref().expect("sharded path");
+        let path = {
+            let inner = self.read();
+            if req_id != 0 {
+                if let Some(entry) = inner.dedup.get(&req_id) {
+                    if !entry.admit {
+                        self.metrics.count_replayed();
+                    }
+                    return Self::replay_dedup(entry, false);
+                }
+            }
+            let Ok(idx) = inner.handles.binary_search(&handle) else {
+                return Response::error("unknown_id", format!("unknown stream id {handle}"));
+            };
+            let spec = &inner.specs[idx];
+            match XyRouting.route(&self.mesh, spec.source, spec.dest) {
+                Ok(p) => p,
+                Err(e) => return Response::error("routing", format!("routing failed: {e}")),
+            }
+        };
+        let seed: Vec<LinkId> = path.sorted_links().to_vec();
+        let owners = plane.map().shards_of(seed.iter().copied());
+        let (mut guards, touched, nb) = Self::converge_shards(plane, &seed, owners.clone());
+        // A racing client may have removed the victim between the
+        // lookup above and the shard locks; under its (locked) owner
+        // shards, residency is authoritative.
+        if !nb.members.iter().any(|m| m.key == handle) {
+            drop(guards);
+            let inner = self.read();
+            if req_id != 0 {
+                if let Some(entry) = inner.dedup.get(&req_id) {
+                    if !entry.admit {
+                        self.metrics.count_replayed();
+                    }
+                    return Self::replay_dedup(entry, false);
+                }
+            }
+            return Response::error("unknown_id", format!("unknown stream id {handle}"));
+        }
+        // Plan with only the shard guards held, as on the admit path.
+        let plan = plan_remove(&nb.members, handle);
+        let mut inner = self.write();
+        if req_id != 0 {
+            if let Some(entry) = inner.dedup.get(&req_id) {
+                if !entry.admit {
+                    self.metrics.count_replayed();
+                }
+                return Self::replay_dedup(entry, false);
+            }
+        }
+        let idx = inner
+            .handles
+            .binary_search(&handle)
+            .expect("victim is resident under its locked owner shards");
+        let op = AcceptedOp::Remove { handle };
+        let ticket = match self.persist(req_id, &op) {
+            Ok(t) => t,
+            Err(refusal) => return refusal,
+        };
+        plane.add_recomputations(plan.recomputed);
+        inner.handles.remove(idx);
+        inner.specs.remove(idx);
+        inner.bounds.remove(idx);
+        inner.log.push(Arc::new(op));
+        if req_id != 0 {
+            inner.remember(DedupEntry {
+                req_id,
+                admit: false,
+                handle,
+                bound: 0,
+                deadline: 0,
+            });
+        }
+        for &sid in &owners {
+            let pos = touched.binary_search(&sid).expect("owner shards are locked");
+            guards[pos].remove_member(handle);
+        }
+        for &(key, bound) in &plan.updates {
+            let member = nb
+                .members
+                .iter()
+                .find(|m| m.key == key)
+                .expect("update targets a neighborhood member");
+            let dense = inner
+                .handles
+                .binary_search(&key)
+                .expect("member handle is live");
+            inner.bounds[dense] = bound.value().expect("surviving member bounds are bounded");
+            for sid in plane.map().shards_of(member.path.links().iter().copied()) {
+                let pos = touched
+                    .binary_search(&sid)
+                    .expect("neighborhood shards are locked");
+                guards[pos].set_member_bound(key, bound);
+            }
+        }
+        self.maybe_snapshot(&mut inner);
+        drop(inner);
+        drop(guards);
+        if let Some(refusal) = self.await_durable(ticket) {
+            return refusal;
+        }
+        self.metrics.count_removed();
+        Response::Removed { id: handle }
+    }
+
     fn lint_rejection(findings: Vec<Diagnostic>) -> Response {
         let errors = findings.iter().filter(|d| d.is_error()).count();
         Response::Rejected {
@@ -862,6 +1319,9 @@ impl AdmissionService {
         }
         if self.is_degraded() {
             return Response::error("degraded", "service is read-only after a WAL device error");
+        }
+        if self.plane.is_some() {
+            return self.remove_sharded(req_id, handle);
         }
         let mut inner = self.write();
         if req_id != 0 {
@@ -986,12 +1446,21 @@ impl AdmissionService {
         if !due {
             return;
         }
-        let streams: Vec<(u64, StreamSpec)> = inner
-            .handles
-            .iter()
-            .zip(inner.ctl.parts())
-            .map(|(&h, (spec, _))| (h, spec.clone()))
-            .collect();
+        let streams: Vec<(u64, StreamSpec)> = if self.plane.is_some() {
+            inner
+                .handles
+                .iter()
+                .zip(&inner.specs)
+                .map(|(&h, spec)| (h, spec.clone()))
+                .collect()
+        } else {
+            inner
+                .handles
+                .iter()
+                .zip(inner.ctl.parts())
+                .map(|(&h, (spec, _))| (h, spec.clone()))
+                .collect()
+        };
         let dedup: Vec<DedupEntry> = inner
             .dedup_order
             .iter()
@@ -1020,12 +1489,18 @@ impl AdmissionService {
         let Some(idx) = inner.handles.iter().position(|&h| h == handle) else {
             return Response::error("unknown_id", format!("unknown stream id {handle}"));
         };
-        let (spec, _) = &inner.ctl.parts()[idx];
-        let bound = inner
-            .ctl
-            .bound(StreamId(idx as u32))
-            .value()
-            .expect("admitted bound is bounded");
+        let (spec, bound) = if self.plane.is_some() {
+            (&inner.specs[idx], inner.bounds[idx])
+        } else {
+            (
+                &inner.ctl.parts()[idx].0,
+                inner
+                    .ctl
+                    .bound(StreamId(idx as u32))
+                    .value()
+                    .expect("admitted bound is bounded"),
+            )
+        };
         Response::Query {
             id: handle,
             bound,
@@ -1044,21 +1519,40 @@ impl AdmissionService {
 
     fn snapshot(&self) -> Response {
         let inner = self.read();
-        let streams = inner
-            .ctl
-            .snapshot()
-            .zip(&inner.handles)
-            .map(|((_, spec, _, bound), &handle)| SnapshotStream {
-                id: handle,
-                src: self.coords(spec.source),
-                dst: self.coords(spec.dest),
-                priority: spec.priority,
-                period: spec.period,
-                length: spec.max_length,
-                deadline: spec.deadline,
-                bound,
-            })
-            .collect();
+        let streams = if self.plane.is_some() {
+            inner
+                .handles
+                .iter()
+                .zip(&inner.specs)
+                .zip(&inner.bounds)
+                .map(|((&handle, spec), &bound)| SnapshotStream {
+                    id: handle,
+                    src: self.coords(spec.source),
+                    dst: self.coords(spec.dest),
+                    priority: spec.priority,
+                    period: spec.period,
+                    length: spec.max_length,
+                    deadline: spec.deadline,
+                    bound: DelayBound::Bounded(bound),
+                })
+                .collect()
+        } else {
+            inner
+                .ctl
+                .snapshot()
+                .zip(&inner.handles)
+                .map(|((_, spec, _, bound), &handle)| SnapshotStream {
+                    id: handle,
+                    src: self.coords(spec.source),
+                    dst: self.coords(spec.dest),
+                    priority: spec.priority,
+                    period: spec.period,
+                    length: spec.max_length,
+                    deadline: spec.deadline,
+                    bound,
+                })
+                .collect()
+        };
         let dims = self.mesh.dims();
         Response::Snapshot {
             mesh: (dims[0], dims[1]),
@@ -1070,8 +1564,31 @@ impl AdmissionService {
         let m = self.metrics.snapshot();
         let (streams, recomputations) = {
             let inner = self.read();
-            inner.ctl.stats()
+            match &self.plane {
+                Some(plane) => (inner.handles.len(), plane.recomputations()),
+                None => inner.ctl.stats(),
+            }
         };
+        // Shard gauges are collected with no other lock held: shard
+        // locks rank below the service lock.
+        let shards = self.plane.as_ref().map(|plane| {
+            let gauges = plane.gauges();
+            ShardsReport {
+                count: plane.shard_count() as u64,
+                cross_admits: plane.cross_admits(),
+                cross_aborts: plane.cross_aborts(),
+                index_bytes: gauges.iter().map(|g| g.index_bytes).sum(),
+                reclaimable_bytes: gauges.iter().map(|g| g.reclaimable_bytes).sum(),
+                per_shard: gauges
+                    .iter()
+                    .map(|g| ShardStats {
+                        streams: g.streams,
+                        cross: g.cross,
+                        index_bytes: g.index_bytes,
+                    })
+                    .collect(),
+            }
+        });
         let repl = self.repl.get().map(|hub| {
             let synced = self.wal_synced_seq();
             hub.report(synced, self.ship_frontier().unwrap_or(synced))
@@ -1101,6 +1618,7 @@ impl AdmissionService {
             service_p90_us: m.service_p90_us,
             service_p99_us: m.service_p99_us,
             service_max_us: m.service_max_us,
+            shards,
             repl,
         }))
     }
@@ -1111,6 +1629,35 @@ impl AdmissionService {
     /// streams audited, or a description of the first mismatch.
     pub fn audit(&self) -> Result<usize, String> {
         let inner = self.read();
+        if self.plane.is_some() {
+            if inner.handles.is_empty() {
+                return Ok(0);
+            }
+            // Sharded mode: re-route the spec table deterministically
+            // and compare the served bounds against a fresh offline
+            // analysis, exactly as below.
+            let mut parts = Vec::with_capacity(inner.specs.len());
+            for spec in &inner.specs {
+                let path = XyRouting
+                    .route(&self.mesh, spec.source, spec.dest)
+                    .map_err(|e| format!("admitted stream no longer routes: {e}"))?;
+                parts.push((spec.clone(), path));
+            }
+            let set = StreamSet::from_parts(parts)
+                .map_err(|e| format!("admitted set no longer resolves: {e}"))?;
+            let fresh = determine_feasibility(&set);
+            for id in set.ids() {
+                let served = DelayBound::Bounded(inner.bounds[id.index()]);
+                if fresh.bound(id) != served {
+                    return Err(format!(
+                        "stream id {} (dense {id}): served bound {served} != offline bound {}",
+                        inner.handles[id.index()],
+                        fresh.bound(id)
+                    ));
+                }
+            }
+            return Ok(set.len());
+        }
         if inner.ctl.is_empty() {
             return Ok(0);
         }
@@ -1502,5 +2049,136 @@ mod tests {
             panic!("{r:?}");
         };
         assert!(warnings.iter().any(|d| d.code == "W001"), "{warnings:?}");
+    }
+
+    fn sharded_service(shards: usize) -> AdmissionService {
+        let mut svc = service();
+        let got = svc.enable_sharding(shards);
+        assert_eq!(got, shards, "10x10 supports {shards} region shards");
+        svc
+    }
+
+    /// A workload that exercises every response shape: shard-local and
+    /// region-spanning admits, an idempotent replay, a lint rejection,
+    /// an infeasible candidate, a breaks-existing candidate, a
+    /// duplicate-warning admit, removal, query, snapshot.
+    const PARITY_WORKLOAD: &[&str] = &[
+        "ADMIT 0,0 3,0 3 60 4",        // local to the north-west quadrant
+        "ADMIT 0,0 9,9 2 200 6",       // spans all four quadrants
+        "@17 ADMIT 6,6 9,6 2 50 4",    // local to the south-east quadrant
+        "@17 ADMIT 6,6 9,6 2 50 4",    // idempotent replay of the above
+        "ADMIT 2,2 2,2 1 50 4",        // lint-rejected (self-delivery)
+        "ADMIT 0,0 5,0 2 20 10",       // heavyweight crossing the x seam
+        "ADMIT 1,0 6,0 1 100 8 12",    // infeasible behind the above
+        "ADMIT 0,1 5,1 1 100 8 14",    // tight stream on row 1
+        "ADMIT 1,1 6,1 3 30 20",       // would break the above
+        "ADMIT 0,0 3,0 3 60 4",        // exact duplicate of stream 0 (W001)
+        "REMOVE 1",
+        "REMOVE 1",                    // unknown id now
+        "QUERY 0",
+        "QUERY 99",                    // unknown id
+        "SNAPSHOT",
+    ];
+
+    #[test]
+    fn sharded_responses_match_monolithic_byte_for_byte() {
+        let mono = service();
+        let sharded = sharded_service(4);
+        for line in PARITY_WORKLOAD {
+            let a = crate::protocol::render_response(&admit_line(&mono, line));
+            let b = crate::protocol::render_response(&admit_line(&sharded, line));
+            assert_eq!(a, b, "divergence on {line:?}");
+        }
+        assert_eq!(mono.bounds_by_handle(), sharded.bounds_by_handle());
+        assert_eq!(mono.ops(), sharded.ops(), "journals must be identical");
+        assert_eq!(sharded.audit().unwrap(), sharded.admitted_count());
+    }
+
+    #[test]
+    fn sharded_journal_replays_bit_identical() {
+        let svc = sharded_service(4);
+        for line in PARITY_WORKLOAD {
+            admit_line(&svc, line);
+        }
+        let replayed = replay(svc.mesh(), &svc.ops()).unwrap();
+        let live = svc.bounds_by_handle();
+        assert_eq!(replayed.len(), live.len());
+        for (i, &(_, bound)) in live.iter().enumerate() {
+            assert_eq!(
+                replayed.bound(StreamId(i as u32)),
+                DelayBound::Bounded(bound),
+                "stream {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn enable_sharding_migrates_admitted_streams() {
+        let mut svc = service();
+        admit_line(&svc, "ADMIT 0,0 9,9 2 200 6"); // will span all four shards
+        admit_line(&svc, "ADMIT 0,1 3,1 1 60 4 55");
+        let before = svc.bounds_by_handle();
+        assert_eq!(svc.enable_sharding(4), 4);
+        assert_eq!(svc.bounds_by_handle(), before);
+        assert_eq!(svc.audit().unwrap(), 2);
+        // The migrated index keeps interfering with fresh candidates.
+        let r = admit_line(&svc, "ADMIT 1,0 6,0 1 100 8 12");
+        assert!(
+            matches!(
+                r,
+                Response::Rejected {
+                    reason: RejectReason::CandidateInfeasible,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let plane = svc.shard_plane().expect("plane installed");
+        let streams: u64 = plane.gauges().iter().map(|g| g.streams).sum();
+        assert!(streams >= 3, "cross-shard stream resident in both owners");
+    }
+
+    #[test]
+    fn sharded_stats_surface_the_plane_gauges() {
+        let svc = sharded_service(4);
+        admit_line(&svc, "ADMIT 0,0 3,0 3 60 4"); // local
+        admit_line(&svc, "ADMIT 0,0 9,9 2 200 6"); // crosses all four
+        admit_line(&svc, "ADMIT 6,6 9,6 2 50 4"); // local
+        let r = admit_line(&svc, "STATS");
+        let Response::Stats(s) = r else {
+            panic!("{r:?}")
+        };
+        let sh = s.shards.as_ref().expect("shard gauges present");
+        assert_eq!(sh.count, 4);
+        assert_eq!(sh.per_shard.len(), 4);
+        assert_eq!(sh.cross_admits, 1);
+        assert_eq!(sh.cross_aborts, 0);
+        assert!(sh.index_bytes > 0);
+        // The spanning stream is resident in every quadrant it touches.
+        let resident: u64 = sh.per_shard.iter().map(|p| p.streams).sum();
+        assert!(resident > s.streams, "{sh:?}");
+        assert!(sh.per_shard.iter().all(|p| p.cross <= p.streams), "{sh:?}");
+        let line = crate::protocol::render_response(&Response::Stats(s));
+        assert!(line.contains("\"shards\":{\"count\":4"), "{line}");
+    }
+
+    #[test]
+    fn sharded_follower_configurations_are_refused() {
+        let svc = sharded_service(4);
+        svc.attach_repl(Arc::new(ReplHub::follower("leader:1")));
+        let mesh = Mesh::mesh2d(10, 10);
+        let op = AcceptedOp::Admit {
+            handle: 0,
+            spec: StreamSpec::new(
+                mesh.node_at(&[0, 0]).unwrap(),
+                mesh.node_at(&[5, 0]).unwrap(),
+                2,
+                50,
+                4,
+                50,
+            ),
+        };
+        let err = svc.apply_replicated(1, 0, &op).unwrap_err();
+        assert!(err.contains("leader-only"), "{err}");
     }
 }

@@ -1,0 +1,106 @@
+//! The server-side sharded admission plane: the core's
+//! [`RegionShard`]s behind per-shard locks.
+//!
+//! [`rtwc_core::ShardedController`] composes the region shards
+//! single-threadedly; this module is the concurrent wrapper the service
+//! uses instead. Each shard sits behind its own [`TrackedRwLock`]
+//! registered under the ordered `service.shard` lock class, with the
+//! shard id as the lock *instance* — the sentinel then enforces the
+//! canonical cross-shard order (ascending shard id) that makes the
+//! two-phase commit deadlock-free, and rejects any acquisition while a
+//! higher-ranked lock (the service's `inner`, the WAL) is held.
+//!
+//! The plane itself is deliberately dumb: it hands out ascending guard
+//! sets and keeps the cross-shard telemetry counters. All decision
+//! logic lives in `rtwc_core::shard` (`scan_neighborhood`,
+//! `plan_admit`, `plan_remove`), and all bookkeeping order — shard
+//! guards held *across* the service's journal append, so journal order
+//! equals analysis order for every pair of conflicting operations —
+//! lives in [`crate::service`].
+
+use crate::lock_order::{classes, TrackedRwLock, TrackedRwLockWriteGuard};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use rtwc_core::{RegionShard, ShardGauges, ShardId, ShardMap};
+
+/// The concurrent sharded admission plane.
+#[derive(Debug)]
+pub struct ShardPlane {
+    map: ShardMap,
+    shards: Vec<TrackedRwLock<RegionShard>>,
+    cross_admits: AtomicU64,
+    cross_aborts: AtomicU64,
+    recomputations: AtomicU64,
+}
+
+impl ShardPlane {
+    /// An empty plane over the given channel → shard map.
+    pub fn new(map: ShardMap) -> Self {
+        let shards = (0..map.len())
+            .map(|sid| {
+                TrackedRwLock::new_instance(&classes::SHARD, sid as u64, RegionShard::new())
+            })
+            .collect();
+        ShardPlane {
+            map,
+            shards,
+            cross_admits: AtomicU64::new(0),
+            cross_aborts: AtomicU64::new(0),
+            recomputations: AtomicU64::new(0),
+        }
+    }
+
+    /// The channel → shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Write-locks the given shards in the canonical (ascending) order.
+    /// `ids` must already be sorted ascending and deduplicated — which
+    /// is exactly what [`ShardMap::shards_of`] returns.
+    pub fn write_set(&self, ids: &[ShardId]) -> Vec<TrackedRwLockWriteGuard<'_, RegionShard>> {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids sorted + deduped");
+        ids.iter().map(|s| self.shards[s.index()].write()).collect()
+    }
+
+    /// Per-shard gauges, by shard id. Takes each shard's read lock
+    /// briefly in turn (never nested), so it must not be called with
+    /// any shard or higher-ranked lock held.
+    pub fn gauges(&self) -> Vec<ShardGauges> {
+        self.shards.iter().map(|s| s.read().gauges()).collect()
+    }
+
+    /// Counts a committed cross-shard (two-phase) admission.
+    pub fn count_cross_admit(&self) {
+        self.cross_admits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cross-shard admission the analysis rejected.
+    pub fn count_cross_abort(&self) {
+        self.cross_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `Cal_U` invocations performed by plane-side planning.
+    pub fn add_recomputations(&self, n: u64) {
+        self.recomputations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Committed cross-shard admissions.
+    pub fn cross_admits(&self) -> u64 {
+        self.cross_admits.load(Ordering::Relaxed)
+    }
+
+    /// Cross-shard admissions rejected by the analysis.
+    pub fn cross_aborts(&self) -> u64 {
+        self.cross_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Total `Cal_U` invocations across all plane-side planning.
+    pub fn recomputations(&self) -> u64 {
+        self.recomputations.load(Ordering::Relaxed)
+    }
+}

@@ -39,7 +39,7 @@ pub use rules::analysis::{
     RecoveryArtifact, DEFAULT_HORIZON_CAP,
 };
 pub use rules::sim::lint_sim_config;
-pub use rules::spec::{lint_candidate, lint_candidate_routed, lint_specs};
+pub use rules::spec::{lint_candidate, lint_candidate_indexed, lint_candidate_routed, lint_specs};
 
 use rtwc_core::{StreamSet, StreamSpec};
 use wormnet_topology::{Routing, Topology};

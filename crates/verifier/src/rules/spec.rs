@@ -267,21 +267,72 @@ where
     T: Topology,
     R: Routing<T>,
 {
-    let cand_id = admitted.len() as u32;
+    let duplicate_of = admitted
+        .iter()
+        .position(|(s, _)| s == candidate)
+        .map(|i| i as u32);
+    let indexed: Vec<(u32, &StreamSpec, &Path)> = admitted
+        .iter()
+        .enumerate()
+        .map(|(i, (s, p))| (i as u32, s, p))
+        .collect();
+    lint_candidate_indexed(
+        topo,
+        routing,
+        admitted.len() as u32,
+        duplicate_of,
+        &indexed,
+        candidate,
+    )
+}
+
+/// [`lint_candidate_routed`] with **caller-supplied stream ids**.
+///
+/// The sharded admission plane lints a candidate against only the
+/// streams resident in the shards its route touches — a subset of the
+/// admitted set whose dense ids are not contiguous. This entry point
+/// takes each admitted stream as an explicit `(id, spec, path)` triple
+/// plus the candidate's own id, so the findings carry the same stream
+/// ids a monolithic lint over the full set would produce.
+///
+/// Contract (the sharded caller upholds it, the monolithic wrapper
+/// satisfies it trivially):
+///
+/// * `admitted` is sorted by ascending id — `W008` findings come out in
+///   that order, matching the monolithic full scan;
+/// * every admitted stream sharing a directed channel with the
+///   candidate is present (true for shard-local members: any stream
+///   sharing link `l` with the candidate is resident in `l`'s shard,
+///   which the candidate touches);
+/// * `duplicate_of` is the id of the *first* exact duplicate across the
+///   **whole** admitted set, or `None` — duplicate detection needs no
+///   path and must not be restricted to the candidate's shards.
+pub fn lint_candidate_indexed<T, R>(
+    topo: &T,
+    routing: &R,
+    cand_id: u32,
+    duplicate_of: Option<u32>,
+    admitted: &[(u32, &StreamSpec, &Path)],
+    candidate: &StreamSpec,
+) -> Vec<Diagnostic>
+where
+    T: Topology,
+    R: Routing<T>,
+{
     let mut diags = Vec::new();
     let cand_path = single_stream_rules(topo, routing, candidate, cand_id, &mut diags);
 
-    if let Some(i) = admitted.iter().position(|(s, _)| s == candidate) {
-        diags.push(duplicate_finding(cand_id, i as u32));
+    if let Some(i) = duplicate_of {
+        diags.push(duplicate_finding(cand_id, i));
     }
 
     if let Some(cp) = &cand_path {
-        for (i, (s, p)) in admitted.iter().enumerate() {
+        for &(i, s, p) in admitted {
             if s.priority != candidate.priority || s == candidate || s.source == s.dest {
                 continue;
             }
             if let Some(&link) = p.shared_links(cp).first() {
-                diags.push(collision_finding(i as u32, cand_id, s.priority, link));
+                diags.push(collision_finding(i, cand_id, s.priority, link));
             }
         }
     }
