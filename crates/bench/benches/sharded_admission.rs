@@ -82,22 +82,26 @@ fn bench_sharded_admit(c: &mut Criterion) {
     });
 
     for &shards in &[1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
-            let mut ctl = ShardedController::new(ShardMap::regions(&mesh, shards));
-            for (spec, path) in &seedset {
-                let _ = ctl.admit(spec.clone(), path.clone());
-            }
-            b.iter(|| {
-                let mut admitted = 0u64;
-                for (spec, path) in &probes {
-                    if let Ok(id) = ctl.admit(spec.clone(), path.clone()) {
-                        admitted += 1;
-                        ctl.remove(StreamId(id.0));
-                    }
+        g.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                let mut ctl = ShardedController::new(ShardMap::regions(&mesh, shards));
+                for (spec, path) in &seedset {
+                    let _ = ctl.admit(spec.clone(), path.clone());
                 }
-                admitted
-            })
-        });
+                b.iter(|| {
+                    let mut admitted = 0u64;
+                    for (spec, path) in &probes {
+                        if let Ok(id) = ctl.admit(spec.clone(), path.clone()) {
+                            admitted += 1;
+                            ctl.remove(StreamId(id.0));
+                        }
+                    }
+                    admitted
+                })
+            },
+        );
     }
     g.finish();
 }

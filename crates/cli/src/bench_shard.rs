@@ -402,8 +402,8 @@ fn run_tier(cfg: &ShardBenchConfig, tier: &ShardBenchTier) -> Result<TierOutcome
         let shards = map.len();
         let mut ctl = ShardedController::new(map);
         let trace = drive(cfg, tier, cap, &mut ctl);
-        let bit_identical = trace.verdicts == serial_trace.verdicts
-            && trace.bounds == serial_trace.bounds;
+        let bit_identical =
+            trace.verdicts == serial_trace.verdicts && trace.bounds == serial_trace.bounds;
         if !bit_identical {
             return Err(format!(
                 "{}x{} @ {shards} shard(s): sharded run diverged from the serial reference",

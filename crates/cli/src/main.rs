@@ -17,7 +17,8 @@ USAGE:
     rtwc deploy   <JOBS> [--allocator first-fit|clustered|comm|random[:SEED]]
     rtwc serve    <SPEC> [--addr HOST:PORT] [--wal-dir DIR] [--fsync always|never|interval:MS]
                          [--snapshot-every N] [--max-conns N] [--max-pending N] [--shards N|auto]
-                         [--repl-addr HOST:PORT | --follower-of HOST:PORT [--promote-grace-ms N]]
+                         [--repl-addr HOST:PORT [--lease-ms N]
+                          | --follower-of HOST:PORT [--promote-grace-ms N]]
     rtwc client   <ADDR> [--timeout-ms N] [--retries N] [--req-id N] <REQUEST...>
     rtwc promote  <ADDR>
     rtwc bench-serve [--clients N] [--ops N] [--mesh WxH] [--seed S] [--out FILE]
@@ -27,6 +28,7 @@ USAGE:
     rtwc bench-shard [--mesh WxH] [--ops N] [--shards N,N,...] [--cap N] [--locality N]
                      [--seed S] [--full] [--min-speedup X] [--out FILE]
     rtwc chaos    [--seed S] [--ops N] [--mesh WxH] [--snapshot-every N] [--dir D]
+    rtwc netchaos <TARGET> [--listen HOST:PORT] [--seed S] [--script FILE]
 
 SPEC is a .streams file:
     mesh 10 10
@@ -47,8 +49,10 @@ COMMANDS:
     serve      run the online admission service over TCP (stop with SHUTDOWN);
                --wal-dir makes it crash-safe: ops are logged before the ack
                and a restart recovers (and audits) the exact admitted set;
-               --repl-addr ships the WAL to followers, --follower-of runs a
-               warm standby that serves reads and redirects writes
+               --repl-addr ships the WAL to followers (--lease-ms seals the
+               leader when follower acks stop, preventing split-brain),
+               --follower-of runs a warm standby that serves reads and
+               redirects writes
     client     send one request (ADMIT|REMOVE|QUERY|SNAPSHOT|STATS|PROMOTE|SHUTDOWN);
                --req-id N makes a retried ADMIT/REMOVE idempotent
     promote    flip a follower into the serving leader (audits first)
@@ -61,9 +65,15 @@ COMMANDS:
                shard count, asserting bit-identical verdicts and bounds;
                writes results/BENCH_shard.json (--full adds 10x10 and
                256x256 tiers)
-    chaos      fault-injection harness: torn/short writes, fsync errors and
-               kill-9 truncation; asserts recovery is bit-identical to a
-               serial replay of the acknowledged history
+    chaos      fault-injection harness: torn/short writes, fsync errors,
+               kill-9 truncation, and network partitions (symmetric,
+               one-way blackhole, heal-and-rejoin); asserts recovery is
+               bit-identical to a serial replay of the acknowledged
+               history and that a deposed leader fences, never dual-acks
+    netchaos   deterministic fault-injecting TCP proxy in front of TARGET;
+               partitions, one-way blackholes, latency, severs and
+               duplicate delivery, driven by stdin control lines or a
+               timed --script (e.g. 'at 100ms partition; at 2000ms heal')
 
 analyze, simulate, and check first run the lint rules and refuse
 workloads with error-severity findings; --no-verify skips the guard.
@@ -121,7 +131,14 @@ fn run() -> Result<bool, String> {
     // takes an address, bench-serve takes no file at all).
     if matches!(
         command,
-        "serve" | "client" | "promote" | "bench-serve" | "bench-repl" | "bench-shard" | "chaos"
+        "serve"
+            | "client"
+            | "promote"
+            | "bench-serve"
+            | "bench-repl"
+            | "bench-shard"
+            | "chaos"
+            | "netchaos"
     ) {
         return rtwc_cli::run_service_command(command, rest);
     }

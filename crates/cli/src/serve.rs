@@ -18,8 +18,8 @@ use rtwc_server::{
     catch_up, recover, render_bench_json, render_chaos_report, render_repl_json, render_response,
     render_sweep_json, run_bench, run_bench_repl, run_chaos, run_wal_sweep, AdmissionService,
     BenchConfig, CatchupOpts, ChaosConfig, Client, ClientConfig, Durability, Follower,
-    FollowerConfig, FsyncPolicy, GroupWal, ReplHub, Response, Server, ServerConfig, Shipper,
-    ShipperConfig,
+    FollowerConfig, FsyncPolicy, GroupWal, NetAction, NetChaos, NetSchedule, ReplHub, Response,
+    Server, ServerConfig, Shipper, ShipperConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -56,9 +56,14 @@ pub struct ServeOptions {
     /// has passed without leader contact (`None` = only explicit
     /// `PROMOTE` promotes).
     pub promote_grace: Option<Duration>,
+    /// Leader write lease: seal (shed writes with a retryable `sealed`
+    /// error) once this long has passed without a follower ack round
+    /// trip. Requires `--repl-addr`; `None` = never seal.
+    pub lease: Option<Duration>,
     /// Sharded admission plane: `None` = monolithic, `Some(0)` = auto
     /// (one region per 16x16 tile), `Some(n)` = n link-disjoint region
-    /// shards. Leader-only — incompatible with `--follower-of`.
+    /// shards. Valid on leaders and followers alike — a sharded
+    /// follower routes replicated frames through the same plane.
     pub shards: Option<usize>,
 }
 
@@ -75,6 +80,7 @@ impl Default for ServeOptions {
             repl_addr: None,
             follower_of: None,
             promote_grace: None,
+            lease: None,
             shards: None,
         }
     }
@@ -214,12 +220,8 @@ pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
     if opts.repl_addr.is_some() && opts.wal_dir.is_none() {
         return Err("--repl-addr needs --wal-dir (followers stream the WAL file)".to_string());
     }
-    if opts.shards.is_some() && opts.follower_of.is_some() {
-        return Err(
-            "--shards and --follower-of are mutually exclusive (the sharded plane is leader-only; \
-             a promoted follower can be restarted with --shards)"
-                .to_string(),
-        );
+    if opts.lease.is_some() && opts.repl_addr.is_none() {
+        return Err("--lease-ms needs --repl-addr (the lease is fed by follower acks)".to_string());
     }
     let (mut service, mut startup) = build_service(raw, opts)?;
     if let Some(requested) = opts.shards {
@@ -233,21 +235,17 @@ pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
     let service = Arc::new(service);
     let mut shipper = None;
     if let Some(repl_addr) = &opts.repl_addr {
-        service.attach_repl(Arc::new(ReplHub::leader()));
+        let hub = Arc::new(ReplHub::leader());
+        if let Some(lease) = opts.lease {
+            hub.set_lease(lease);
+        }
+        service.attach_repl(hub);
         let listener = std::net::TcpListener::bind(repl_addr)
             .map_err(|e| format!("cannot bind replication address {repl_addr}: {e}"))?;
         let dir = opts.wal_dir.clone().expect("checked above");
         let s = Shipper::spawn(listener, Arc::clone(&service), ShipperConfig::new(dir))
             .map_err(|e| format!("cannot start the WAL shipper: {e}"))?;
         shipper = Some(s);
-    }
-    let mut follower_loop = None;
-    if let Some(leader) = &opts.follower_of {
-        let mut follow_cfg = FollowerConfig::new(leader);
-        follow_cfg.promote_grace = opts.promote_grace;
-        let f = Follower::spawn(Arc::clone(&service), follow_cfg)
-            .map_err(|e| format!("cannot start the follower loop: {e}"))?;
-        follower_loop = Some(f);
     }
     let server = Server::bind_with_config(
         Arc::clone(&service),
@@ -261,6 +259,18 @@ pub fn run_serve(raw: &RawSpecFile, opts: &ServeOptions) -> Result<(), String> {
     let local = server
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // Spawned after the bind so a `--addr ...:0` follower advertises
+    // its *resolved* address — on promotion the fence tells the deposed
+    // leader where its clients should redirect.
+    let mut follower_loop = None;
+    if let Some(leader) = &opts.follower_of {
+        let mut follow_cfg = FollowerConfig::new(leader);
+        follow_cfg.promote_grace = opts.promote_grace;
+        follow_cfg.advertise = local.to_string();
+        let f = Follower::spawn(Arc::clone(&service), follow_cfg)
+            .map_err(|e| format!("cannot start the follower loop: {e}"))?;
+        follower_loop = Some(f);
+    }
     // Announced on stdout (line-buffered even when piped) so scripts
     // binding port 0 can read the real address back. The replication
     // line comes second so `^listening on` keeps matching first.
@@ -463,6 +473,89 @@ pub fn run_chaos_command(cfg: &ChaosConfig) -> Result<bool, String> {
     Ok(outcome.passed())
 }
 
+/// `rtwc netchaos <TARGET> [--listen HOST:PORT] [--seed S]
+/// [--script FILE]` — runs the deterministic fault-injecting TCP proxy
+/// in front of `TARGET`. Prints `netchaos listening on ADDR` (stdout,
+/// so scripts binding port 0 can read the address back), starts the
+/// `--script` timed schedule if one was given, then applies one control
+/// line per stdin line: `partition`, `heal`, `blackhole-up`,
+/// `blackhole-down`, `sever`, `latency MS`, `duplicate on|off`, or
+/// `quit`. Exits on `quit` or stdin EOF.
+pub fn run_netchaos_command(args: &[String]) -> Result<bool, String> {
+    const USAGE: &str =
+        "usage: rtwc netchaos <TARGET> [--listen HOST:PORT] [--seed S] [--script FILE]";
+    let (target, flags) = match args.split_first() {
+        Some((t, flags)) if !t.starts_with('-') => (t.clone(), flags),
+        _ => return Err(USAGE.to_string()),
+    };
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut seed = 0u64;
+    let mut script = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--script" => script = Some(value("--script")?),
+            other => return Err(format!("unknown netchaos flag '{other}'\n{USAGE}")),
+        }
+    }
+    let schedule = match &script {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(NetSchedule::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let proxy = NetChaos::spawn(listener, &target, seed)
+        .map_err(|e| format!("cannot start the proxy: {e}"))?;
+    println!(
+        "netchaos listening on {} -> {target} (seed {seed})",
+        proxy.addr()
+    );
+    let timer = schedule.map(|s| proxy.run_schedule(s));
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        match NetAction::parse(trimmed) {
+            Some(action) => {
+                proxy.handle().apply(action);
+                println!("netchaos: {trimmed}");
+            }
+            None => println!("netchaos: bad control line '{trimmed}'"),
+        }
+    }
+    if let Some(t) = timer {
+        let _ = t.join();
+    }
+    proxy.stop();
+    Ok(true)
+}
+
 fn parse_mesh(v: &str) -> Result<(u32, u32), String> {
     let (w, h) = v
         .split_once('x')
@@ -486,7 +579,7 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                          [--fsync always|never|interval:MS] [--snapshot-every N] \
                          [--max-conns N] [--max-pending N] [--workers N] \
                          [--shards N|auto] \
-                         [--repl-addr HOST:PORT | --follower-of HOST:PORT \
+                         [--repl-addr HOST:PORT [--lease-ms N] | --follower-of HOST:PORT \
                          [--promote-grace-ms N]]"
                             .to_string(),
                     )
@@ -529,8 +622,7 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                         opts.shards = Some(if v == "auto" {
                             0
                         } else {
-                            let n: usize =
-                                v.parse().map_err(|e| format!("bad --shards: {e}"))?;
+                            let n: usize = v.parse().map_err(|e| format!("bad --shards: {e}"))?;
                             if n == 0 {
                                 return Err("--shards must be >= 1 (or 'auto')".to_string());
                             }
@@ -547,6 +639,15 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                             return Err("--promote-grace-ms must be nonzero".to_string());
                         }
                         opts.promote_grace = Some(Duration::from_millis(ms));
+                    }
+                    "--lease-ms" => {
+                        let ms: u64 = value("--lease-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --lease-ms: {e}"))?;
+                        if ms == 0 {
+                            return Err("--lease-ms must be nonzero".to_string());
+                        }
+                        opts.lease = Some(Duration::from_millis(ms));
                     }
                     other => return Err(format!("unknown serve flag '{other}'")),
                 }
@@ -718,11 +819,10 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
                     }
                     "--shards" => {
                         let v = value("--shards")?;
-                        let counts: Result<Vec<usize>, _> =
-                            v.split(',').map(str::parse).collect();
+                        let counts: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
                         tier.shard_counts =
                             counts.map_err(|e| format!("bad --shards '{v}': {e}"))?;
-                        if tier.shard_counts.iter().any(|&c| c == 0) {
+                        if tier.shard_counts.contains(&0) {
                             return Err("--shards counts must be >= 1".to_string());
                         }
                     }
@@ -937,6 +1037,7 @@ pub fn run_service_command(command: &str, args: &[String]) -> Result<bool, Strin
             }
             run_chaos_command(&cfg)
         }
+        "netchaos" => run_netchaos_command(args),
         other => Err(format!("unknown service command '{other}'")),
     }
 }

@@ -744,7 +744,10 @@ mod tests {
             .collect();
         let survivors = StreamSet::from_parts(parts).unwrap();
         assert_eq!(index, InterferenceIndex::build(&survivors));
-        assert_eq!(index.hp_sets(&survivors), generate_hp_sets_oracle(&survivors));
+        assert_eq!(
+            index.hp_sets(&survivors),
+            generate_hp_sets_oracle(&survivors)
+        );
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub struct ShardMap {
 fn grid_for(requested: u32, w: u32, h: u32) -> (u32, u32) {
     let mut best: Option<((u32, u32), i64)> = None;
     for gx in 1..=requested {
-        if requested % gx != 0 {
+        if !requested.is_multiple_of(gx) {
             continue;
         }
         let gy = requested / gx;
@@ -231,7 +231,12 @@ impl RegionShard {
     pub fn member(&self, key: u64) -> Option<(&StreamSpec, &Path, DelayBound, bool)> {
         let pos = self.keys.binary_search(&key).ok()?;
         let (spec, path) = &self.ctl.parts()[pos];
-        Some((spec, path, self.ctl.bound(StreamId(pos as u32)), self.cross[pos]))
+        Some((
+            spec,
+            path,
+            self.ctl.bound(StreamId(pos as u32)),
+            self.cross[pos],
+        ))
     }
 
     /// Inserts a plane-analyzed member. Keys must arrive in increasing
@@ -747,7 +752,11 @@ impl ShardedController {
     /// Scans to the neighborhood fixpoint, widening the visited shard
     /// set as the closure escapes it. Returns the complete neighborhood
     /// and the shards visited.
-    fn converged_neighborhood(&self, seed: &[LinkId], start: Vec<ShardId>) -> (Neighborhood, Vec<ShardId>) {
+    fn converged_neighborhood(
+        &self,
+        seed: &[LinkId],
+        start: Vec<ShardId>,
+    ) -> (Neighborhood, Vec<ShardId>) {
         let mut touched = start;
         loop {
             let held: Vec<(ShardId, &RegionShard)> = touched
@@ -863,7 +872,15 @@ mod tests {
     use super::*;
     use wormnet_topology::{Mesh, Routing, XyRouting};
 
-    fn routed(m: &Mesh, s: [u32; 2], d: [u32; 2], p: u32, t: u64, c: u64, dl: u64) -> (StreamSpec, Path) {
+    fn routed(
+        m: &Mesh,
+        s: [u32; 2],
+        d: [u32; 2],
+        p: u32,
+        t: u64,
+        c: u64,
+        dl: u64,
+    ) -> (StreamSpec, Path) {
         let src = m.node_at(&s).unwrap();
         let dst = m.node_at(&d).unwrap();
         let path = XyRouting.route(m, src, dst).unwrap();
@@ -939,7 +956,7 @@ mod tests {
             assert_eq!(a, b, "BreaksExisting diagnostics diverged");
             assert!(matches!(a, AdmissionError::BreaksExisting { .. }));
             // Removals keep the planes in lockstep (including id shifts).
-            while mono.len() > 0 {
+            while !mono.is_empty() {
                 let victim = StreamId((mono.len() / 2) as u32);
                 mono.remove(victim);
                 plane.remove(victim);
@@ -983,8 +1000,8 @@ mod tests {
         let mut mono = AdmissionController::new();
         let mut plane = ShardedController::new(ShardMap::regions(&m, 4));
         for (spec, path) in [
-            routed(&m, [4, 0], [7, 0], 2, 40, 6, 40),  // NE-local
-            routed(&m, [2, 0], [6, 0], 3, 50, 6, 50),  // spans NW->NE
+            routed(&m, [4, 0], [7, 0], 2, 40, 6, 40), // NE-local
+            routed(&m, [2, 0], [6, 0], 3, 50, 6, 50), // spans NW->NE
         ] {
             mono.admit(spec.clone(), path.clone()).unwrap();
             plane.admit(spec, path).unwrap();

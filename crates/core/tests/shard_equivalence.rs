@@ -11,9 +11,7 @@
 //! decision already is.
 
 use proptest::prelude::*;
-use rtwc_core::{
-    AdmissionController, ShardMap, ShardedController, StreamId, StreamSpec,
-};
+use rtwc_core::{AdmissionController, ShardMap, ShardedController, StreamId, StreamSpec};
 use wormnet_topology::{Mesh, NodeId, Routing, XyRouting};
 
 /// One step of a random plane workload: admit the given spec, or (when

@@ -11,6 +11,8 @@
 
 use crate::client::Client;
 use crate::group_commit::{GroupCommitStats, GroupWal};
+use crate::netchaos::{NetAction, NetChaos};
+use crate::protocol::{Request, Response};
 use crate::recovery::recover;
 use crate::repl::follower::{Follower, FollowerConfig};
 use crate::repl::ship::{Shipper, ShipperConfig};
@@ -680,6 +682,191 @@ pub struct ReplBenchOutcome {
     /// Status of the verification write (`admitted` or `rejected` —
     /// either proves the write path reopened).
     pub write_after_failover: String,
+    /// The partition-failover phase: a fresh leader/standby pair split
+    /// by a network partition and timed through seal, promotion, first
+    /// served write, and the post-heal fence.
+    pub partition: PartitionBenchOutcome,
+}
+
+/// Timings from the partition-failover phase of the replication bench:
+/// a leader/standby pair joined through a [`NetChaos`] proxy is
+/// symmetrically partitioned, and the split-brain-safety milestones are
+/// measured from partition onset — the leader's lease lapsing into a
+/// seal, the standby's grace lapsing into a promotion, the first write
+/// the new leader serves, and (after the heal) the fence that
+/// permanently demotes the deposed leader.
+#[derive(Clone, Debug)]
+pub struct PartitionBenchOutcome {
+    /// Leader write lease the phase ran with (a third of the promotion
+    /// grace, so the seal strictly precedes the promotion).
+    pub lease: Duration,
+    /// Partition onset to the old leader sealing (shedding writes).
+    pub seal_ms: f64,
+    /// Partition onset to the standby promoting itself. Strictly after
+    /// [`PartitionBenchOutcome::seal_ms`] — the zero-dual-ack window.
+    pub promote_ms: f64,
+    /// Partition onset to the first write served by the new leader.
+    pub first_write_ms: f64,
+    /// Heal to the deposed leader acknowledging the fence.
+    pub fence_ms: f64,
+    /// Writes the old leader acknowledged inside the partition (before
+    /// its lease lapsed) that never replicated.
+    pub divergent_admits: u64,
+    /// Divergent suffix length the deposed leader audited at fence
+    /// time; must equal [`PartitionBenchOutcome::divergent_admits`].
+    pub divergence_ops: u64,
+}
+
+/// Polls `cond` every 2 ms until it holds or `timeout` passes.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+/// One fixed feasible admit on `row`, issued directly to the service
+/// (the partition rig has no text servers).
+fn mini_admit(service: &AdmissionService, req_id: u64, row: u32) -> Response {
+    service.handle(&Request::Admit {
+        req_id,
+        src: (0, row),
+        dst: (5, row),
+        priority: 1,
+        period: 500,
+        length: 2,
+        deadline: None,
+    })
+}
+
+/// Runs the partition-failover phase: builds a fresh durable
+/// leader/standby pair whose replication link crosses a [`NetChaos`]
+/// proxy, partitions it, and times the safety milestones. The lease is
+/// a third of `grace` so the deposed leader always seals before the
+/// standby promotes.
+fn run_partition_phase(dir: &Path, grace: Duration) -> io::Result<PartitionBenchOutcome> {
+    let lease = Duration::from_millis((grace.as_millis() as u64 / 3).max(40));
+    let old_dir = dir.join("part-old");
+    let new_dir = dir.join("part-new");
+    for d in [&old_dir, &new_dir] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d)?;
+    }
+
+    let durable = |d: &Path| -> io::Result<AdmissionService> {
+        let mesh = Mesh::mesh2d(8, 8);
+        let (state, wal, _) = recover(&mesh, d, FsyncPolicy::Always)?;
+        Ok(AdmissionService::with_durability(
+            mesh,
+            state,
+            Durability {
+                dir: d.to_path_buf(),
+                wal: GroupWal::new(wal),
+                snapshot_every: 0,
+            },
+        ))
+    };
+
+    let old = Arc::new(durable(&old_dir)?);
+    let old_hub = Arc::new(ReplHub::leader());
+    old_hub.set_lease(lease);
+    old.attach_repl(Arc::clone(&old_hub));
+    let mut ship_cfg = ShipperConfig::new(old_dir);
+    // Tight heartbeats keep ack round-trips — and so the lease — fresh
+    // on an idle link.
+    ship_cfg.heartbeat = Duration::from_millis(10);
+    let shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&old),
+        ship_cfg,
+    )?;
+    let proxy = NetChaos::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        &shipper.addr().to_string(),
+        0xbe7c_f007,
+    )?;
+    let proxy_addr = proxy.addr().to_string();
+
+    let new = Arc::new(durable(&new_dir)?);
+    let new_hub = Arc::new(ReplHub::follower(&proxy_addr));
+    new.attach_repl(Arc::clone(&new_hub));
+    let mut fcfg = FollowerConfig::new(&proxy_addr);
+    fcfg.promote_grace = Some(grace);
+    let follower_loop = Follower::spawn(Arc::clone(&new), fcfg)?;
+
+    // Preload a few streams and wait until the standby applied them
+    // AND the leader heard the ack back (the lease is armed).
+    let preload: u64 = 6;
+    for i in 0..preload {
+        let reply = mini_admit(&old, 700_000 + i, u32::try_from(i).unwrap_or(0));
+        if !matches!(reply, Response::Admitted { .. }) {
+            return Err(io::Error::other(format!(
+                "partition-phase preload admit refused: {reply:?}"
+            )));
+        }
+    }
+    let sync_ok = wait_until(Duration::from_secs(10), || new_hub.applied_seq() >= preload)
+        && wait_until(Duration::from_secs(10), || {
+            old_hub
+                .report(0, 0)
+                .followers
+                .iter()
+                .any(|f| f.acked_seq >= preload)
+        });
+    if !sync_ok {
+        return Err(io::Error::other("partition-phase standby never synced"));
+    }
+
+    proxy.handle().apply(NetAction::Partition);
+    let t0 = Instant::now();
+
+    // One write inside the lease window: acknowledged locally, never
+    // replicated — the divergent suffix the fence will audit.
+    let divergent_admits = u64::from(matches!(
+        mini_admit(&old, 700_100, 6),
+        Response::Admitted { .. }
+    ));
+
+    if !wait_until(Duration::from_secs(10), || old_hub.write_sealed()) {
+        return Err(io::Error::other("partitioned leader never sealed"));
+    }
+    let seal_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if !wait_until(Duration::from_secs(10), || !new_hub.is_follower()) {
+        return Err(io::Error::other("partitioned standby never promoted"));
+    }
+    let promote_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let served = wait_until(Duration::from_secs(10), || {
+        matches!(mini_admit(&new, 700_200, 7), Response::Admitted { .. })
+    });
+    if !served {
+        return Err(io::Error::other("promoted standby never served a write"));
+    }
+    let first_write_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let heal_t0 = Instant::now();
+    proxy.handle().apply(NetAction::Heal);
+    if !wait_until(Duration::from_secs(10), || old_hub.is_fenced()) {
+        return Err(io::Error::other("deposed leader never fenced after heal"));
+    }
+    let fence_ms = heal_t0.elapsed().as_secs_f64() * 1e3;
+    let divergence_ops = old_hub.divergence_ops();
+
+    follower_loop.stop();
+    shipper.stop();
+    proxy.stop();
+    Ok(PartitionBenchOutcome {
+        lease,
+        seal_ms,
+        promote_ms,
+        first_write_ms,
+        fence_ms,
+        divergent_admits,
+        divergence_ops,
+    })
 }
 
 /// Runs the replication bench: first a control phase (the same durable
@@ -706,6 +893,17 @@ pub fn run_bench_repl(
         let _ = std::fs::remove_dir_all(d);
         std::fs::create_dir_all(d)?;
     }
+
+    // The replication phases keep the WAL whole: a saturating leader
+    // on few cores can outrun the follower's apply rate, and a
+    // compaction past the follower's applied sequence would force the
+    // restart-to-catch-up contract mid-bench (the follower wedges at
+    // its last applied frame instead of draining). Snapshot churn is
+    // benched by the service bench; here the WAL tail must stay
+    // shippable end to end. The control runs with the same policy so
+    // the overhead comparison stays apples to apples.
+    let mut cfg = cfg.clone();
+    cfg.snapshot_every = 0;
 
     // Control phase: the committed BENCH_service.json numbers were
     // measured on other hardware, so the overhead comparison only
@@ -794,12 +992,20 @@ pub fn run_bench_repl(
 
     // Drain: the leader's background flusher keeps advancing the
     // frontier over the last buffered records; wait until the follower
-    // has applied a frontier that then stays put.
+    // has applied a frontier that then stays put. Progress-aware
+    // rather than a fixed cliff — on few cores the follower applies
+    // the backlog serially after the load stops, which can take far
+    // longer than the load itself ran; only a *stalled* follower (no
+    // applied progress for two seconds) or the hard cap ends the
+    // drain early.
     let drain_t0 = Instant::now();
-    let drain_deadline = drain_t0 + Duration::from_secs(10);
+    let drain_cap = drain_t0 + Duration::from_mins(2);
+    let mut last_applied = follower_hub.applied_seq();
+    let mut last_progress = Instant::now();
     let final_lag = loop {
         let frontier = leader.ship_frontier().unwrap_or(0);
-        if follower_hub.applied_seq() >= frontier {
+        let applied = follower_hub.applied_seq();
+        if applied >= frontier {
             thread::sleep(Duration::from_millis(20));
             let settled = leader.ship_frontier().unwrap_or(0);
             let lag = settled.saturating_sub(follower_hub.applied_seq());
@@ -807,11 +1013,13 @@ pub fn run_bench_repl(
                 break 0;
             }
         }
-        if Instant::now() > drain_deadline {
-            break leader
-                .ship_frontier()
-                .unwrap_or(0)
-                .saturating_sub(follower_hub.applied_seq());
+        if applied > last_applied {
+            last_applied = applied;
+            last_progress = Instant::now();
+        }
+        let now = Instant::now();
+        if now > drain_cap || now.duration_since(last_progress) > Duration::from_secs(2) {
+            break frontier.saturating_sub(applied);
         }
         thread::sleep(Duration::from_millis(2));
     };
@@ -849,6 +1057,11 @@ pub fn run_bench_repl(
     follower_thread.join().expect("follower server panicked")?;
     follower_loop.stop();
 
+    // The partition phase runs on its own mini-rig: the main pair is
+    // already torn down and its follower promoted, so the split-brain
+    // timings need a fresh leader/standby under a chaos proxy.
+    let partition = run_partition_phase(dir, grace)?;
+
     let leader = summarize(
         &leader_cfg,
         &logs,
@@ -875,12 +1088,14 @@ pub fn run_bench_repl(
         promoted_epoch: follower_hub.epoch(),
         promoted_streams,
         write_after_failover,
+        partition,
     })
 }
 
 /// Renders the replication bench as the `results/BENCH_repl.json`
 /// artifact: the leader load phase keeps the standard bench keys, the
-/// replication and failover numbers land under their own objects.
+/// replication, failover, and partition-failover numbers land under
+/// their own objects.
 pub fn render_repl_json(o: &ReplBenchOutcome) -> String {
     let base =
         render_bench_json(&o.leader).replacen("\"bench\": \"service\"", "\"bench\": \"repl\"", 1);
@@ -900,12 +1115,23 @@ pub fn render_repl_json(o: &ReplBenchOutcome) -> String {
         o.follower_applied_seq
     ));
     out.push_str(&format!(
-        "  \"failover\": {{\"failover_ms\": {:.1}, \"promote_grace_ms\": {}, \"promoted_epoch\": {}, \"promoted_streams\": {}, \"write_after_failover\": \"{}\"}}\n",
+        "  \"failover\": {{\"failover_ms\": {:.1}, \"promote_grace_ms\": {}, \"promoted_epoch\": {}, \"promoted_streams\": {}, \"write_after_failover\": \"{}\"}},\n",
         o.failover_ms,
         o.promote_grace.as_millis(),
         o.promoted_epoch,
         o.promoted_streams,
         o.write_after_failover
+    ));
+    let p = &o.partition;
+    out.push_str(&format!(
+        "  \"partition\": {{\"lease_ms\": {}, \"seal_ms\": {:.1}, \"promote_ms\": {:.1}, \"first_write_ms\": {:.1}, \"fence_ms\": {:.1}, \"divergent_admits\": {}, \"divergence_ops\": {}}}\n",
+        p.lease.as_millis(),
+        p.seal_ms,
+        p.promote_ms,
+        p.first_write_ms,
+        p.fence_ms,
+        p.divergent_admits,
+        p.divergence_ops
     ));
     out.push_str("}\n");
     out
@@ -1078,11 +1304,21 @@ mod tests {
             o.write_after_failover == "admitted" || o.write_after_failover == "rejected",
             "{o:?}"
         );
+        // Partition phase: the seal must strictly precede the
+        // promotion (zero-dual-ack ordering) and the fence audit must
+        // account for exactly the writes acknowledged in the split.
+        let p = &o.partition;
+        assert!(p.seal_ms < p.promote_ms, "{p:?}");
+        assert!(p.promote_ms <= p.first_write_ms, "{p:?}");
+        assert!(p.fence_ms > 0.0, "{p:?}");
+        assert_eq!(p.divergence_ops, p.divergent_admits, "{p:?}");
         let json = render_repl_json(&o);
         assert!(json.contains("\"bench\": \"repl\""), "{json}");
         assert!(json.contains("\"failover_ms\""), "{json}");
         assert!(json.contains("\"max_lag_frames\""), "{json}");
         assert!(json.contains("\"baseline_throughput_ops_per_s\""), "{json}");
+        assert!(json.contains("\"partition\""), "{json}");
+        assert!(json.contains("\"seal_ms\""), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,7 +4,9 @@
 //! deterministic workload while injecting one storage fault class
 //! (torn write, lying short write, fsync failure, kill-9 truncation,
 //! garbage tail, kill-9 mid-group-commit, snapshot compaction, leader
-//! kill-9 with failover, severed catch-up transfer), then
+//! kill-9 with failover, severed catch-up transfer) or one *network*
+//! fault class over the seeded [`crate::netchaos`] proxy (symmetric
+//! partition, one-way blackhole, partition-heal-rejoin), then
 //! "restarts" by running recovery over the surviving files and checks
 //! two properties:
 //!
@@ -22,6 +24,7 @@
 
 use crate::faultfs::{FailpointFile, FaultPlan, FaultState, RealFile, WalFile};
 use crate::group_commit::GroupWal;
+use crate::netchaos::{NetAction, NetChaos};
 use crate::protocol::{Request, Response};
 use crate::recovery::{recover_with_file, RecoveredState};
 use crate::repl::catchup::CatchupOpts;
@@ -34,6 +37,7 @@ use rtwc_core::{StreamId, StreamSpec};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use wormnet_topology::{Mesh, Topology};
 
 /// Chaos-run parameters.
@@ -910,6 +914,491 @@ fn scenario_repl_catchup_resume(cfg: &ChaosConfig, base: &Path) -> io::Result<Sc
     Ok(out)
 }
 
+/// Leader write lease used by the partition scenarios.
+const PARTITION_LEASE: Duration = Duration::from_millis(200);
+/// Follower promotion grace for the partition scenarios; must strictly
+/// exceed [`PARTITION_LEASE`] (the follower refuses to run otherwise).
+const PARTITION_GRACE: Duration = Duration::from_millis(550);
+
+/// Polls `cond` every 2 ms until it holds or `timeout` passes.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Admits exactly one seeded stream (re-drawing refused parameter
+/// combinations): `true` once an admit is acknowledged, `false` when
+/// the service sheds the write (`sealed` / `not_leader`) or nothing
+/// feasible was drawn.
+fn admit_one(service: &AdmissionService, mesh: &Mesh, req_id: u64, rng: &mut u64) -> bool {
+    let (width, height) = {
+        let d = mesh.dims();
+        (d[0], d[1])
+    };
+    for _ in 0..40 {
+        let sy = (splitmix64(rng) % u64::from(height)) as u32;
+        let sx = (splitmix64(rng) % 3) as u32;
+        let dx = sx + 4 + (splitmix64(rng) % (u64::from(width) - 7)) as u32;
+        let priority = 1 + (splitmix64(rng) % 5) as u32;
+        let period = 120 + splitmix64(rng) % 400;
+        let length = 2 + splitmix64(rng) % 6;
+        match service.handle(&Request::Admit {
+            req_id,
+            src: (sx, sy),
+            dst: (dx, sy),
+            priority,
+            period,
+            length,
+            deadline: None,
+        }) {
+            Response::Admitted { .. } => return true,
+            Response::Error { code, .. } if code == "sealed" || code == "not_leader" => {
+                return false
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The error code a write got, for probing sealed/fenced nodes.
+fn write_probe_code(service: &AdmissionService, req_id: u64) -> String {
+    match service.handle(&Request::Admit {
+        req_id,
+        src: (0, 0),
+        dst: (5, 0),
+        priority: 1,
+        period: 500,
+        length: 2,
+        deadline: None,
+    }) {
+        Response::Error { code, .. } => code.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// A leader/standby pair joined through a [`NetChaos`] proxy, with the
+/// lease/grace pair armed and the standby fully caught up — the common
+/// starting point of every partition scenario.
+struct PartitionRig {
+    mesh: Mesh,
+    old_dir: PathBuf,
+    new_dir: PathBuf,
+    /// The original leader (will be partitioned away and fenced).
+    old: Arc<AdmissionService>,
+    old_hub: Arc<ReplHub>,
+    /// The standby that will take over.
+    new: Arc<AdmissionService>,
+    new_hub: Arc<ReplHub>,
+    shipper: Shipper,
+    proxy: NetChaos,
+    follower_loop: Follower,
+    /// Standby applied everything and the leader heard the ack (the
+    /// lease is armed and fresh) before any fault was injected.
+    synced: bool,
+}
+
+fn partition_rig(
+    cfg: &ChaosConfig,
+    base: &Path,
+    name: &str,
+    new_snapshot_every: u64,
+    advertise: &str,
+    salt: u64,
+) -> io::Result<PartitionRig> {
+    let mesh = Mesh::mesh2d(cfg.width, cfg.height);
+    let old_dir = scenario_dir(base, &format!("{name}-old"))?;
+    let new_dir = scenario_dir(base, &format!("{name}-new"))?;
+
+    let file = Box::new(RealFile::open(&old_dir.join(WAL_FILE))?);
+    let old = Arc::new(durable_service(
+        &mesh,
+        &old_dir,
+        FsyncPolicy::Always,
+        0,
+        file,
+    )?);
+    let old_hub = Arc::new(ReplHub::leader());
+    old_hub.set_lease(PARTITION_LEASE);
+    old.attach_repl(Arc::clone(&old_hub));
+    let mut ship_cfg = ShipperConfig::new(old_dir.clone());
+    // A tight heartbeat keeps ack round-trips (and so the lease)
+    // fresh on an idle link without slowing the scenario down.
+    ship_cfg.heartbeat = Duration::from_millis(25);
+    let shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&old),
+        ship_cfg,
+    )?;
+
+    // Every byte between the peers crosses the seeded proxy.
+    let proxy = NetChaos::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        &shipper.addr().to_string(),
+        cfg.seed ^ salt,
+    )?;
+    let proxy_addr = proxy.addr().to_string();
+
+    let file = Box::new(RealFile::open(&new_dir.join(WAL_FILE))?);
+    let new = Arc::new(durable_service(
+        &mesh,
+        &new_dir,
+        FsyncPolicy::Always,
+        new_snapshot_every,
+        file,
+    )?);
+    let new_hub = Arc::new(ReplHub::follower(&proxy_addr));
+    new.attach_repl(Arc::clone(&new_hub));
+    let mut fcfg = FollowerConfig::new(&proxy_addr);
+    fcfg.promote_grace = Some(PARTITION_GRACE);
+    fcfg.advertise = advertise.to_string();
+    let follower_loop = Follower::spawn(Arc::clone(&new), fcfg)?;
+
+    let mut rng = cfg.seed ^ salt;
+    let driven = drive(&old, &mesh, cfg.ops, &mut rng);
+    let acked = driven.acked.len() as u64;
+    let synced = wait_for(Duration::from_secs(10), || new_hub.applied_seq() >= acked)
+        && wait_for(Duration::from_secs(10), || {
+            old_hub
+                .report(0, 0)
+                .followers
+                .iter()
+                .any(|f| f.acked_seq >= acked)
+        });
+
+    Ok(PartitionRig {
+        mesh,
+        old_dir,
+        new_dir,
+        old,
+        old_hub,
+        new,
+        new_hub,
+        shipper,
+        proxy,
+        follower_loop,
+        synced,
+    })
+}
+
+/// A symmetric partition between leader and standby: the leader's
+/// write lease lapses and it *seals* (sheds writes) strictly before
+/// the standby's promotion grace elapses, so there is no instant at
+/// which both sides can acknowledge a write. The merged epoch-stamped
+/// ack log proves the zero-dual-ack window; at heal time the promoted
+/// node's `Fence` lands, the deposed leader permanently demotes and
+/// audits its divergent suffix, and the survivor's durable state is
+/// bit-identical to a serial replay of its acknowledged history.
+fn scenario_partition_symmetric(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    const ADVERTISE: &str = "127.0.0.1:4242";
+    let rig = partition_rig(cfg, base, "partition-symmetric", 0, ADVERTISE, 0x5e1f)?;
+    let mut rng = cfg.seed ^ 0x5e1f_0001;
+
+    rig.proxy.handle().apply(NetAction::Partition);
+
+    // The merged ack log: (epoch, tick) per acknowledged write, plus
+    // ticks for the seal and promotion events, all on one logical
+    // clock. The no-dual-ack invariant is a total order on it.
+    let mut tick = 0u64;
+    let mut acks: Vec<(u64, u64)> = Vec::new();
+
+    // Inside the lease the partitioned leader still acks writes —
+    // the divergent suffix the fence will later audit.
+    let mut divergent = 0u64;
+    for i in 0..2u64 {
+        if admit_one(&rig.old, &rig.mesh, 9_000_000 + i, &mut rng) {
+            acks.push((rig.old_hub.epoch(), tick));
+            tick += 1;
+            divergent += 1;
+        }
+    }
+
+    // Lease lapse: the leader seals and sheds writes with a retryable
+    // error, strictly before anyone else can take over.
+    let sealed = wait_for(Duration::from_secs(5), || rig.old_hub.write_sealed());
+    let seal_tick = tick;
+    tick += 1;
+    let shed_code = write_probe_code(&rig.old, 9_000_100);
+
+    // Grace lapse: the standby promotes itself only after the leader
+    // is already sealed (grace > lease by construction).
+    let promoted = wait_for(Duration::from_secs(5), || !rig.new_hub.is_follower());
+    let promote_tick = tick;
+    tick += 1;
+
+    let mut new_acked = 0u64;
+    for i in 0..2u64 {
+        if admit_one(&rig.new, &rig.mesh, 8_000_000 + i, &mut rng) {
+            acks.push((rig.new_hub.epoch(), tick));
+            tick += 1;
+            new_acked += 1;
+        }
+    }
+
+    // Zero dual-ack window: every epoch-1 ack precedes the seal, which
+    // precedes the promotion, which precedes every epoch-2 ack.
+    let ordered = acks.iter().all(|&(e, t)| {
+        if e <= 1 {
+            t < seal_tick
+        } else {
+            t > promote_tick
+        }
+    });
+
+    // The partition alone must not fence: fencing needs the explicit
+    // higher-epoch message, and that is still blackholed.
+    let fenced_early = rig.old_hub.is_fenced();
+
+    rig.proxy.handle().apply(NetAction::Heal);
+    // At heal the promoted node's retrying Fence finally lands: the
+    // deposed leader permanently demotes and audits its suffix.
+    let fenced = wait_for(Duration::from_secs(10), || rig.old_hub.is_fenced());
+    let demoted_code = write_probe_code(&rig.old, 9_000_101);
+    let old_divergence = rig.old_hub.divergence_ops();
+    let redirect = rig.old_hub.leader_addr();
+
+    rig.follower_loop.stop();
+    rig.shipper.stop();
+    let journal: Vec<AcceptedOp> = rig.new.ops().iter().map(|op| (**op).clone()).collect();
+    drop(rig.old);
+    drop(rig.new);
+    rig.proxy.stop();
+
+    let (_, survived, identical, mut detail) =
+        recover_and_compare(&rig.mesh, &rig.new_dir, &journal)?;
+    detail = format!(
+        "synced={}, divergent={divergent} shed at tick {seal_tick} ({shed_code}), \
+         promoted={promoted} at tick {promote_tick}, new_acked={new_acked}, ordered={ordered}, \
+         fenced={fenced} (divergence={old_divergence}, redirect={redirect}), {detail}",
+        rig.synced
+    );
+    let acked_total = journal.len() as u64 + divergent;
+    let mut out = outcome(
+        "partition-symmetric",
+        acked_total as usize,
+        survived,
+        true,
+        identical,
+        detail,
+    );
+    out.bit_identical &= rig.synced
+        && divergent == 2
+        && sealed
+        && shed_code == "sealed"
+        && promoted
+        && new_acked == 2
+        && ordered
+        && !fenced_early
+        && fenced
+        && old_divergence == divergent
+        && demoted_code == "not_leader"
+        && redirect == ADVERTISE;
+    Ok(out)
+}
+
+/// A one-way blackhole leader→standby: the standby hears nothing and
+/// promotes, while its Hellos and reconnect attempts *keep reaching*
+/// the doomed leader. Because only ack round-trips feed the lease,
+/// those one-way Hellos must not keep the leader writable — it seals
+/// on schedule, before the promotion. The promoted node's `Fence` also
+/// crosses the still-open direction, so the old leader demotes even
+/// while the partition stands.
+fn scenario_partition_asymmetric(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    const ADVERTISE: &str = "127.0.0.1:4343";
+    let rig = partition_rig(cfg, base, "partition-asymmetric", 0, ADVERTISE, 0xa57e)?;
+    let mut rng = cfg.seed ^ 0xa57e_0001;
+
+    // Drop only leader→standby bytes; the reverse path stays open.
+    rig.proxy.handle().apply(NetAction::BlackholeDown);
+
+    // The leader keeps hearing the standby's Hellos, yet seals: a
+    // Hello only proves standby→leader reachability, and a lease fed
+    // by it would keep this doomed leader acking writes while the
+    // isolated standby promotes — the exact dual-ack bug this scenario
+    // guards against.
+    let sealed = wait_for(Duration::from_secs(5), || rig.old_hub.write_sealed());
+    let shed_code = write_probe_code(&rig.old, 9_100_000);
+    let sealed_before_promotion = sealed && rig.new_hub.is_follower();
+
+    let promoted = wait_for(Duration::from_secs(5), || !rig.new_hub.is_follower());
+
+    // The fence crosses the open direction without waiting for heal.
+    let fenced_during_fault = wait_for(Duration::from_secs(5), || rig.old_hub.is_fenced());
+
+    let mut new_acked = 0u64;
+    if admit_one(&rig.new, &rig.mesh, 8_100_000, &mut rng) {
+        new_acked += 1;
+    }
+
+    rig.proxy.handle().apply(NetAction::Heal);
+    // Post-heal the deposed leader stays demoted; nothing diverged
+    // (it took no writes while partitioned).
+    let demoted_code = write_probe_code(&rig.old, 9_100_001);
+    let old_divergence = rig.old_hub.divergence_ops();
+    let fence_events = rig.old_hub.fence_events();
+
+    rig.follower_loop.stop();
+    rig.shipper.stop();
+    let journal: Vec<AcceptedOp> = rig.new.ops().iter().map(|op| (**op).clone()).collect();
+    drop(rig.old);
+    drop(rig.new);
+    rig.proxy.stop();
+
+    let (_, survived, identical, mut detail) =
+        recover_and_compare(&rig.mesh, &rig.new_dir, &journal)?;
+    detail = format!(
+        "synced={}, sealed_before_promotion={sealed_before_promotion} ({shed_code}), \
+         promoted={promoted}, fenced_during_fault={fenced_during_fault} \
+         (fence_events={fence_events}, divergence={old_divergence}), new_acked={new_acked}, \
+         {detail}",
+        rig.synced
+    );
+    let mut out = outcome(
+        "partition-asymmetric",
+        journal.len(),
+        survived,
+        false,
+        identical,
+        detail,
+    );
+    out.bit_identical &= rig.synced
+        && sealed_before_promotion
+        && shed_code == "sealed"
+        && promoted
+        && fenced_during_fault
+        && new_acked == 1
+        && old_divergence == 0
+        && fence_events == 1
+        && demoted_code == "not_leader";
+    Ok(out)
+}
+
+/// Partition, failover, heal, **rejoin**: the deposed leader acks a
+/// divergent suffix inside its lease, is fenced at heal (emitting a
+/// `DivergenceReport` / A110 audit for the acked-but-discarded ops),
+/// and then rejoins as a follower through the chunked snapshot
+/// catch-up — the new leader has compacted past the shared prefix, so
+/// the catch-up resets the divergent WAL. The rejoined node's durable
+/// state must be bit-identical to a serial replay of the survivor's
+/// acknowledged history.
+fn scenario_partition_heal_rejoin(cfg: &ChaosConfig, base: &Path) -> io::Result<ScenarioOutcome> {
+    const ADVERTISE: &str = "127.0.0.1:4444";
+    // Aggressive compaction on the standby: its post-promotion writes
+    // move the WAL base past the shared prefix, forcing the rejoining
+    // node onto the snapshot path.
+    let rig = partition_rig(cfg, base, "partition-heal-rejoin", 4, ADVERTISE, 0xbea1)?;
+    let mut rng = cfg.seed ^ 0xbea1_0001;
+
+    rig.proxy.handle().apply(NetAction::Partition);
+
+    let mut divergent = 0u64;
+    for i in 0..2u64 {
+        if admit_one(&rig.old, &rig.mesh, 9_200_000 + i, &mut rng) {
+            divergent += 1;
+        }
+    }
+    let old_seq = rig.old.seq();
+    let sealed = wait_for(Duration::from_secs(5), || rig.old_hub.write_sealed());
+    let promoted = wait_for(Duration::from_secs(5), || !rig.new_hub.is_follower());
+
+    // Enough post-promotion history that the every-4-ops snapshot
+    // cadence compacts past the deposed leader's divergent WAL.
+    let mut new_acked = 0u64;
+    for i in 0..8u64 {
+        if admit_one(&rig.new, &rig.mesh, 8_200_000 + i, &mut rng) {
+            new_acked += 1;
+        }
+    }
+    let compacted_past = rig.new.wal_base_seq().unwrap_or(0) > old_seq;
+
+    rig.proxy.handle().apply(NetAction::Heal);
+    let fenced = wait_for(Duration::from_secs(10), || rig.old_hub.is_fenced());
+    let old_divergence = rig.old_hub.divergence_ops();
+
+    rig.follower_loop.stop();
+    rig.shipper.stop();
+    let journal: Vec<AcceptedOp> = rig.new.ops().iter().map(|op| (**op).clone()).collect();
+    let survivor_seq = rig.new.seq();
+    // The fenced node restarts as a follower of the winner: its
+    // divergent WAL is behind the winner's compacted base, so catch-up
+    // installs the snapshot and resets the WAL past the suffix.
+    drop(rig.old);
+    let rejoin_shipper = Shipper::spawn(
+        std::net::TcpListener::bind("127.0.0.1:0")?,
+        Arc::clone(&rig.new),
+        ShipperConfig::new(rig.new_dir.clone()),
+    )?;
+    let winner_addr = rejoin_shipper.addr().to_string();
+    let snap_installed = catch_up(
+        &winner_addr,
+        &rig.old_dir,
+        FsyncPolicy::Always,
+        &CatchupOpts::default(),
+    )?
+    .is_some();
+
+    let file = Box::new(RealFile::open(&rig.old_dir.join(WAL_FILE))?);
+    let rejoined = Arc::new(durable_service(
+        &rig.mesh,
+        &rig.old_dir,
+        FsyncPolicy::Always,
+        0,
+        file,
+    )?);
+    let rejoined_hub = Arc::new(ReplHub::follower(&winner_addr));
+    rejoined.attach_repl(Arc::clone(&rejoined_hub));
+    let rejoin_loop = Follower::spawn(Arc::clone(&rejoined), FollowerConfig::new(&winner_addr))?;
+    let rejoined_synced = wait_for(Duration::from_secs(10), || {
+        rejoined_hub.applied_seq() >= survivor_seq
+    });
+    rejoin_loop.stop();
+    rejoin_shipper.stop();
+    drop(rejoined);
+    drop(rig.new);
+    rig.proxy.stop();
+
+    // The headline comparison runs on the *rejoined* node's directory:
+    // after discarding its divergent suffix it must replay the
+    // survivor's history bit for bit.
+    let (_, survived, identical, mut detail) =
+        recover_and_compare(&rig.mesh, &rig.old_dir, &journal)?;
+    detail = format!(
+        "synced={}, divergent={divergent} audited (DivergenceReport/A110, \
+         divergence={old_divergence}), promoted={promoted}, new_acked={new_acked}, \
+         compacted_past={compacted_past}, snap_rejoin={snap_installed}, \
+         rejoined_synced={rejoined_synced}, {detail}",
+        rig.synced
+    );
+    let acked_total = journal.len() as u64 + divergent;
+    let mut out = outcome(
+        "partition-heal-rejoin",
+        acked_total as usize,
+        survived,
+        true,
+        identical,
+        detail,
+    );
+    out.bit_identical &= rig.synced
+        && divergent == 2
+        && sealed
+        && promoted
+        && new_acked == 8
+        && compacted_past
+        && fenced
+        && old_divergence == divergent
+        && snap_installed
+        && rejoined_synced;
+    Ok(out)
+}
+
 /// Runs every fault-class scenario with the same seed and returns the
 /// verdicts.
 pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
@@ -928,6 +1417,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> io::Result<ChaosOutcome> {
         scenario_snapshot_compaction(cfg, &base)?,
         scenario_repl_failover(cfg, &base)?,
         scenario_repl_catchup_resume(cfg, &base)?,
+        scenario_partition_symmetric(cfg, &base)?,
+        scenario_partition_asymmetric(cfg, &base)?,
+        scenario_partition_heal_rejoin(cfg, &base)?,
     ];
     if cfg.dir.is_none() {
         let _ = std::fs::remove_dir_all(&base);
@@ -984,7 +1476,7 @@ mod tests {
         let o = run_chaos(&cfg).unwrap();
         let report = render_chaos_report(&o);
         assert!(o.passed(), "{report}");
-        assert_eq!(o.scenarios.len(), 9);
+        assert_eq!(o.scenarios.len(), 12);
         assert!(report.contains("bit-identical"), "{report}");
         assert!(report.contains("CHAOS PASS"), "{report}");
         // The always-fsync classes lost nothing.

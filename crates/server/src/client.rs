@@ -10,8 +10,11 @@
 //! response may still arrive and desynchronize the stream), so the
 //! retrying wrappers always reconnect before trying again.
 //!
-//! [`Client::send_with_retry`] retries transport failures and `busy`
-//! shedding. For `ADMIT`/`REMOVE` a blind resend could apply the
+//! [`Client::send_with_retry`] retries transport failures, `busy`
+//! shedding, and `sealed` sheds from a leader whose write lease lapsed
+//! (transient by design: the lease re-arms on follower contact, or a
+//! fence turns the next attempt into a `not_leader` redirect). For
+//! `ADMIT`/`REMOVE` a blind resend could apply the
 //! operation twice (the loss happened *after* the server acted), so
 //! state-changing requests should go through
 //! [`Client::send_idempotent`], which stamps an `@REQID` prefix the
@@ -125,6 +128,14 @@ fn busy_retry_ms(reply: &str) -> Option<u64> {
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// True for a `sealed` shed: the leader's write lease lapsed. The
+/// condition is transient — the lease re-arms when follower contact
+/// returns, or a fence redirects the next attempt — so the client
+/// backs off and retries like `busy`.
+fn is_sealed(reply: &str) -> bool {
+    reply.contains("\"code\":\"sealed\"")
 }
 
 /// Extracts the leader address from a `not_leader` redirect ("not the
@@ -275,8 +286,9 @@ impl Client {
 
     /// Sends with retries: transport failures and timeouts reconnect
     /// and back off; `busy` responses honor the server's
-    /// `retry_after_ms` hint; `not_leader` redirects re-dial the
-    /// leader the follower names. **Not** safe for `ADMIT`/`REMOVE` unless
+    /// `retry_after_ms` hint; `sealed` sheds (a leader whose write
+    /// lease lapsed) back off and retry; `not_leader` redirects re-dial
+    /// the leader the follower names. **Not** safe for `ADMIT`/`REMOVE` unless
     /// the line carries an `@REQID` prefix — use
     /// [`Client::send_idempotent`] for those.
     pub fn send_with_retry(&mut self, request: &str) -> Result<String, ClientError> {
@@ -295,6 +307,14 @@ impl Client {
                     if let Some(ms) = busy_retry_ms(&reply) {
                         last = format!("server busy (retry_after_ms={ms})");
                         thread::sleep(Duration::from_millis(ms));
+                        continue;
+                    }
+                    // A sealed leader sheds writes only while its lease
+                    // is lapsed; back off and retry — by then either
+                    // the lease re-armed or a fence turned this into a
+                    // `not_leader` redirect.
+                    if is_sealed(&reply) {
+                        last = "leader sealed (write lease lapsed)".to_string();
                         continue;
                     }
                     // A follower redirects writes: chase the leader
@@ -345,6 +365,19 @@ mod tests {
             Some(25)
         );
         assert_eq!(busy_retry_ms("{\"status\":\"ok\"}"), None);
+    }
+
+    #[test]
+    fn sealed_sheds_are_recognized_as_retryable() {
+        assert!(is_sealed(
+            "{\"status\":\"error\",\"code\":\"sealed\",\
+             \"message\":\"write lease lapsed; retry\"}"
+        ));
+        assert!(!is_sealed("{\"status\":\"ok\"}"));
+        assert!(!is_sealed(
+            "{\"status\":\"error\",\"code\":\"not_leader\",\
+             \"message\":\"not the leader; leader is 10.0.0.1:7000\"}"
+        ));
     }
 
     #[test]

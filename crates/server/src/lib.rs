@@ -41,6 +41,10 @@
 //!   `rtwc chaos`: torn writes, lying short writes, fsync failures and
 //!   kill-9 truncation, each asserting the recovered state is
 //!   bit-identical to a serial replay of the acknowledged history;
+//! - [`netchaos`] — deterministic *network* fault injection: a seeded
+//!   in-process TCP proxy (partitions, one-way blackholes, latency,
+//!   severs, duplicate delivery) that the partition chaos classes and
+//!   `rtwc netchaos` drive with timed schedules;
 //! - [`sync`] / [`lock_order`] / [`dispatch`] — the concurrency
 //!   verification layer: a shim that swaps every lock, condvar, atomic
 //!   and thread spawn on the hot paths for `loom` model-checked
@@ -63,6 +67,7 @@ pub mod faultfs;
 pub mod group_commit;
 pub mod lock_order;
 pub mod metrics;
+pub mod netchaos;
 pub mod poll;
 pub mod protocol;
 pub mod recovery;
@@ -76,7 +81,7 @@ pub mod wal;
 
 pub use bench::{
     render_bench_json, render_repl_json, render_sweep_json, run_bench, run_bench_repl,
-    run_wal_sweep, BenchConfig, BenchOutcome, ReplBenchOutcome, WalSweep,
+    run_wal_sweep, BenchConfig, BenchOutcome, PartitionBenchOutcome, ReplBenchOutcome, WalSweep,
 };
 pub use chaos::{render_chaos_report, run_chaos, ChaosConfig, ChaosOutcome, ScenarioOutcome};
 pub use client::{Client, ClientConfig, ClientError};
@@ -88,6 +93,7 @@ pub use lock_order::{
     TrackedRwLockReadGuard, TrackedRwLockWriteGuard,
 };
 pub use metrics::{Metrics, MetricsSnapshot, RequestKind};
+pub use netchaos::{NetAction, NetChaos, NetChaosHandle, NetSchedule};
 pub use poll::{PollEvent, Poller};
 pub use protocol::{
     parse_request, render_response, FollowerLag, RejectReason, ReplReport, Request, Response,

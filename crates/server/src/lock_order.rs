@@ -81,7 +81,7 @@ pub mod classes {
     /// Region shards of the sharded admission plane
     /// (`shard_plane::ShardPlane`). Ordered: a cross-shard admission
     /// holds several shard locks at once, always acquired in ascending
-    /// shard-id order. Ranked below SERVICE_INNER so the admit path can
+    /// shard-id order. Ranked below `SERVICE_INNER` so the admit path can
     /// consult the handle table while holding its shards.
     pub static SHARD: LockClass = LockClass::new_ordered("service.shard", 25);
     /// The admission service's controller + id table
@@ -155,16 +155,15 @@ mod sentinel {
                 // an *ordered* class nest in ascending instance order.
                 let ordered_ok = same_class && class.ordered && hi < instance;
                 if h.rank >= class.rank && !ordered_ok {
-                    if same_class && class.ordered {
-                        panic!(
-                            "lock-order violation: acquiring \"{}\" instance {instance} while \
-                             holding instance {hi} — parallel instances of an ordered class \
-                             must be acquired in strictly ascending instance order (see the \
-                             lock-rank table in DESIGN.md)\n\
-                             \n--- acquisition attempted here ---\n{here}",
-                            class.name,
-                        );
-                    }
+                    assert!(
+                        !(same_class && class.ordered),
+                        "lock-order violation: acquiring \"{}\" instance {instance} while \
+                         holding instance {hi} — parallel instances of an ordered class \
+                         must be acquired in strictly ascending instance order (see the \
+                         lock-rank table in DESIGN.md)\n\
+                         \n--- acquisition attempted here ---\n{here}",
+                        class.name,
+                    );
                     let reverse = edges
                         .get(&(class.name, h.name))
                         .cloned()

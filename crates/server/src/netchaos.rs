@@ -1,0 +1,528 @@
+//! Deterministic network fault injection: a seeded in-process TCP
+//! proxy, the network sibling of [`crate::faultfs::FailpointFile`].
+//!
+//! The proxy sits between a replication (or client) endpoint and its
+//! peer and forwards bytes in both directions. Faults are flipped on a
+//! shared [`NetChaosHandle`] — from scenario code, from a timed
+//! [`NetSchedule`], or from `rtwc netchaos`'s stdin control channel:
+//!
+//! - **partition** — both directions blackhole: bytes are read and
+//!   discarded, so each side sees a live-but-silent peer (exactly what
+//!   a partition looks like to TCP until its own timers fire);
+//! - **blackhole up / down** — one direction only, the asymmetric
+//!   partition: `up` drops client→target bytes, `down` drops
+//!   target→client;
+//! - **latency** — a fixed delay added to every forwarded chunk;
+//! - **sever** — the current connections are dropped outright (each
+//!   side sees a clean disconnect and may reconnect through the still
+//!   healthy proxy);
+//! - **duplicate** — forwarded chunks are sometimes written twice,
+//!   seeded-deterministically, modelling duplicate delivery (the
+//!   replication protocol must treat re-sent frames as idempotent).
+//!
+//! Everything the proxy decides by chance (duplicate delivery) comes
+//! from a [splitmix64] stream owned by the handle, so one seed fixes
+//! the whole fault pattern: the chaos classes built on the proxy are
+//! reproducible run to run.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// One fault action the proxy can apply, either immediately (control
+/// channel) or at a scheduled offset ([`NetSchedule`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAction {
+    /// Blackhole both directions.
+    Partition,
+    /// Blackhole client→target only (the asymmetric partition).
+    BlackholeUp,
+    /// Blackhole target→client only.
+    BlackholeDown,
+    /// Clear every fault (latency included).
+    Heal,
+    /// Drop the current connections; new ones connect normally.
+    Sever,
+    /// Delay every forwarded chunk by this many milliseconds.
+    Latency(u64),
+    /// Turn seeded duplicate delivery on or off.
+    Duplicate(bool),
+}
+
+impl NetAction {
+    /// Parses one control word: `partition`, `blackhole-up`,
+    /// `blackhole-down`, `heal`, `sever`, `latency <ms>`,
+    /// `duplicate on|off`.
+    pub fn parse(line: &str) -> Option<NetAction> {
+        let mut words = line.split_whitespace();
+        let action = match (words.next()?, words.next()) {
+            ("partition", None) => NetAction::Partition,
+            ("blackhole-up", None) => NetAction::BlackholeUp,
+            ("blackhole-down", None) => NetAction::BlackholeDown,
+            ("heal", None) => NetAction::Heal,
+            ("sever", None) => NetAction::Sever,
+            ("latency", Some(ms)) => NetAction::Latency(ms.parse().ok()?),
+            ("duplicate", Some("on")) => NetAction::Duplicate(true),
+            ("duplicate", Some("off")) => NetAction::Duplicate(false),
+            _ => return None,
+        };
+        words.next().is_none().then_some(action)
+    }
+}
+
+/// A timed fault script: offset-stamped actions, applied by a runner
+/// thread once the proxy starts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetSchedule {
+    /// `(offset from start, action)`, in the order they were written.
+    pub steps: Vec<(Duration, NetAction)>,
+}
+
+impl NetSchedule {
+    /// Parses a schedule of the form
+    /// `at 100ms partition; at 500ms heal; at 600ms latency 5`.
+    /// Offsets are milliseconds with a mandatory `ms` suffix; steps are
+    /// `;`-separated and must be non-decreasing in time.
+    pub fn parse(text: &str) -> Result<NetSchedule, String> {
+        let mut steps = Vec::new();
+        let mut last = Duration::ZERO;
+        for step in text.split(';') {
+            let step = step.trim();
+            if step.is_empty() {
+                continue;
+            }
+            let rest = step
+                .strip_prefix("at ")
+                .ok_or_else(|| format!("step {step:?}: expected `at <N>ms <action>`"))?;
+            let (when, action) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("step {step:?}: missing action"))?;
+            let ms: u64 = when
+                .strip_suffix("ms")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("step {step:?}: bad offset {when:?}"))?;
+            let at = Duration::from_millis(ms);
+            if at < last {
+                return Err(format!("step {step:?}: offsets must not decrease"));
+            }
+            last = at;
+            let action = NetAction::parse(action)
+                .ok_or_else(|| format!("step {step:?}: unknown action {action:?}"))?;
+            steps.push((at, action));
+        }
+        Ok(NetSchedule { steps })
+    }
+}
+
+/// The shared fault switches every pump thread consults per chunk.
+#[derive(Debug)]
+struct NetState {
+    /// Connection generation: a sever bumps it and every connection
+    /// born under an older generation tears down.
+    generation: AtomicU64,
+    /// Discard client→target bytes.
+    drop_up: AtomicBool,
+    /// Discard target→client bytes.
+    drop_down: AtomicBool,
+    /// Added per-chunk delay, microseconds.
+    latency_us: AtomicU64,
+    /// Seeded duplicate delivery on forwarded chunks.
+    duplicate: AtomicBool,
+    /// splitmix64 state for every random decision.
+    rng: AtomicU64,
+    /// Proxy shutdown flag.
+    stop: AtomicBool,
+}
+
+/// Advances a splitmix64 stream held in an atomic — each caller gets a
+/// distinct, deterministic draw regardless of thread interleaving
+/// given a fixed per-chunk decision count.
+fn splitmix64(state: &AtomicU64) -> u64 {
+    let mut z = state
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The control half of a running proxy: flips faults atomically; every
+/// in-flight connection sees the change on its next chunk.
+#[derive(Clone, Debug)]
+pub struct NetChaosHandle {
+    state: Arc<NetState>,
+}
+
+impl NetChaosHandle {
+    /// Applies one action.
+    pub fn apply(&self, action: NetAction) {
+        match action {
+            NetAction::Partition => {
+                self.state.drop_up.store(true, Ordering::SeqCst);
+                self.state.drop_down.store(true, Ordering::SeqCst);
+            }
+            NetAction::BlackholeUp => self.state.drop_up.store(true, Ordering::SeqCst),
+            NetAction::BlackholeDown => self.state.drop_down.store(true, Ordering::SeqCst),
+            NetAction::Heal => {
+                self.state.drop_up.store(false, Ordering::SeqCst);
+                self.state.drop_down.store(false, Ordering::SeqCst);
+                self.state.latency_us.store(0, Ordering::SeqCst);
+                self.state.duplicate.store(false, Ordering::SeqCst);
+            }
+            NetAction::Sever => {
+                self.state.generation.fetch_add(1, Ordering::SeqCst);
+            }
+            NetAction::Latency(ms) => self
+                .state
+                .latency_us
+                .store(ms.saturating_mul(1000), Ordering::SeqCst),
+            NetAction::Duplicate(on) => self.state.duplicate.store(on, Ordering::SeqCst),
+        }
+    }
+
+    /// Is either direction currently blackholed?
+    pub fn faulted(&self) -> bool {
+        self.state.drop_up.load(Ordering::SeqCst) || self.state.drop_down.load(Ordering::SeqCst)
+    }
+}
+
+/// A running fault-injection proxy. Dropping it without
+/// [`NetChaos::stop`] detaches the threads (they exit with the
+/// process).
+#[derive(Debug)]
+pub struct NetChaos {
+    handle: NetChaosHandle,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl NetChaos {
+    /// Starts proxying `listener` to `target` under `seed`. Bind the
+    /// listener to port 0 and read [`NetChaos::addr`] to wire peers
+    /// through the proxy.
+    pub fn spawn(listener: TcpListener, target: &str, seed: u64) -> io::Result<NetChaos> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(NetState {
+            generation: AtomicU64::new(0),
+            drop_up: AtomicBool::new(false),
+            drop_down: AtomicBool::new(false),
+            latency_us: AtomicU64::new(0),
+            duplicate: AtomicBool::new(false),
+            rng: AtomicU64::new(seed),
+            stop: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let target = target.to_string();
+        let accept = thread::Builder::new()
+            .name("netchaos".to_string())
+            .spawn(move || accept_loop(&listener, &target, &accept_state))?;
+        Ok(NetChaos {
+            handle: NetChaosHandle { state },
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listening address (point peers here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The control handle (cloneable; share it with a schedule runner
+    /// or a control thread).
+    pub fn handle(&self) -> NetChaosHandle {
+        self.handle.clone()
+    }
+
+    /// Spawns a thread that applies `schedule` relative to now.
+    pub fn run_schedule(&self, schedule: NetSchedule) -> thread::JoinHandle<()> {
+        let handle = self.handle();
+        let state = Arc::clone(&self.handle.state);
+        thread::spawn(move || {
+            let start = std::time::Instant::now();
+            for (at, action) in schedule.steps {
+                while start.elapsed() < at {
+                    if state.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                handle.apply(action);
+            }
+        })
+    }
+
+    /// Stops accepting, tears every connection down, and joins.
+    pub fn stop(mut self) {
+        self.handle.state.stop.store(true, Ordering::SeqCst);
+        // A sever makes in-flight pumps notice the stop promptly.
+        self.handle.apply(NetAction::Sever);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, target: &str, state: &Arc<NetState>) {
+    let mut pumps: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let Ok(upstream) = TcpStream::connect(target) else {
+                    // The target is down: drop the client (it sees a
+                    // refused/closed connection, as it would without
+                    // the proxy in the middle).
+                    continue;
+                };
+                let born = state.generation.load(Ordering::SeqCst);
+                let _ = client.set_nodelay(true);
+                let _ = upstream.set_nodelay(true);
+                let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream.try_clone()) else {
+                    continue;
+                };
+                let up_state = Arc::clone(state);
+                let down_state = Arc::clone(state);
+                let up = thread::spawn(move || pump(&client, &u2, &up_state, born, true));
+                let down = thread::spawn(move || pump(&upstream, &c2, &down_state, born, false));
+                pumps.push(up);
+                pumps.push(down);
+                pumps.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for h in pumps {
+        let _ = h.join();
+    }
+}
+
+/// Forwards one direction until EOF, an IO error, a sever (generation
+/// bump), or proxy stop. Blackholed chunks are read *and discarded*:
+/// the sender's TCP keeps flowing, exactly like a partitioned-but-up
+/// peer, rather than backpressuring into a blocked write.
+fn pump(from: &TcpStream, to: &TcpStream, state: &Arc<NetState>, born: u64, up: bool) {
+    let mut from = from;
+    let mut to = to;
+    let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if state.stop.load(Ordering::SeqCst) || state.generation.load(Ordering::SeqCst) != born {
+            // Severed: drop both halves so each side sees a clean
+            // disconnect.
+            let _ = from.shutdown(std::net::Shutdown::Both);
+            let _ = to.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => {
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        };
+        let dropped = if up {
+            state.drop_up.load(Ordering::SeqCst)
+        } else {
+            state.drop_down.load(Ordering::SeqCst)
+        };
+        if dropped {
+            continue;
+        }
+        let latency = state.latency_us.load(Ordering::SeqCst);
+        if latency > 0 {
+            thread::sleep(Duration::from_micros(latency));
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            let _ = from.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        if state.duplicate.load(Ordering::SeqCst)
+            && splitmix64(&state.rng) & 1 == 0
+            && to.write_all(&buf[..n]).is_err()
+        {
+            let _ = from.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// An echo server that uppercases, so direction is observable.
+    fn echo_upper() -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            let out: Vec<u8> =
+                                buf[..n].iter().map(u8::to_ascii_uppercase).collect();
+                            if s.write_all(&out).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, h)
+    }
+
+    fn roundtrip(s: &mut TcpStream, msg: &[u8]) -> io::Result<Vec<u8>> {
+        s.write_all(msg)?;
+        let mut got = vec![0u8; msg.len()];
+        s.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn proxy_passes_bytes_until_partitioned_and_heals() {
+        let (target, _srv) = echo_upper();
+        let proxy = NetChaos::spawn(
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            &target.to_string(),
+            7,
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        assert_eq!(roundtrip(&mut s, b"hello").unwrap(), b"HELLO");
+
+        proxy.handle().apply(NetAction::Partition);
+        assert!(proxy.handle().faulted());
+        s.write_all(b"lost").unwrap();
+        let mut buf = [0u8; 4];
+        let err = s.read_exact(&mut buf).unwrap_err();
+        assert!(
+            matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+            "partitioned reads must time out, got {err:?}"
+        );
+
+        // Heal: the same connection flows again (the partition never
+        // tore TCP down, exactly like a real one).
+        proxy.handle().apply(NetAction::Heal);
+        assert!(!proxy.handle().faulted());
+        assert_eq!(roundtrip(&mut s, b"back!").unwrap(), b"BACK!");
+        proxy.stop();
+    }
+
+    #[test]
+    fn one_way_blackhole_is_asymmetric() {
+        let (target, _srv) = echo_upper();
+        let proxy = NetChaos::spawn(
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            &target.to_string(),
+            7,
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        assert_eq!(roundtrip(&mut s, b"ok").unwrap(), b"OK");
+
+        // Down blackhole: requests reach the echo server (its replies
+        // are discarded), so after healing only the *new* request is
+        // answered — the reply to the dropped one is gone for good.
+        proxy.handle().apply(NetAction::BlackholeDown);
+        s.write_all(b"x").unwrap();
+        let mut one = [0u8; 1];
+        assert!(s.read_exact(&mut one).is_err(), "reply must be dropped");
+        proxy.handle().apply(NetAction::Heal);
+        assert_eq!(roundtrip(&mut s, b"y").unwrap(), b"Y");
+        proxy.stop();
+    }
+
+    #[test]
+    fn sever_drops_connections_but_new_ones_reconnect() {
+        let (target, _srv) = echo_upper();
+        let proxy = NetChaos::spawn(
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            &target.to_string(),
+            7,
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        assert_eq!(roundtrip(&mut s, b"a").unwrap(), b"A");
+        proxy.handle().apply(NetAction::Sever);
+        // The severed connection dies (EOF or reset within the pump's
+        // poll interval); a fresh one works.
+        let mut one = [0u8; 1];
+        let dead = s.read_exact(&mut one).is_err();
+        assert!(dead, "severed connection must die");
+        let mut s2 = TcpStream::connect(proxy.addr()).unwrap();
+        s2.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        assert_eq!(roundtrip(&mut s2, b"b").unwrap(), b"B");
+        proxy.stop();
+    }
+
+    #[test]
+    fn schedule_parses_and_rejects_malformed_scripts() {
+        let sched =
+            NetSchedule::parse("at 100ms partition; at 500ms heal; at 600ms latency 5").unwrap();
+        assert_eq!(
+            sched.steps,
+            vec![
+                (Duration::from_millis(100), NetAction::Partition),
+                (Duration::from_millis(500), NetAction::Heal),
+                (Duration::from_millis(600), NetAction::Latency(5)),
+            ]
+        );
+        assert_eq!(NetSchedule::parse("").unwrap().steps, vec![]);
+        assert!(NetSchedule::parse("at 100ms warp-drive").is_err());
+        assert!(NetSchedule::parse("at 100 partition").is_err());
+        assert!(NetSchedule::parse("partition").is_err());
+        assert!(
+            NetSchedule::parse("at 500ms heal; at 100ms partition").is_err(),
+            "offsets must not decrease"
+        );
+        // Control words parse standalone too (the stdin channel).
+        assert_eq!(
+            NetAction::parse("duplicate on"),
+            Some(NetAction::Duplicate(true))
+        );
+        assert_eq!(
+            NetAction::parse("blackhole-up"),
+            Some(NetAction::BlackholeUp)
+        );
+        assert_eq!(NetAction::parse("latency abc"), None);
+        assert_eq!(NetAction::parse("partition now please"), None);
+    }
+
+    #[test]
+    fn seeded_duplicates_are_deterministic() {
+        // The rng stream is fixed by the seed: the same draw sequence
+        // decides duplication run after run.
+        let a = AtomicU64::new(42);
+        let b = AtomicU64::new(42);
+        let draws_a: Vec<u64> = (0..16).map(|_| splitmix64(&a)).collect();
+        let draws_b: Vec<u64> = (0..16).map(|_| splitmix64(&b)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().any(|d| d & 1 == 0));
+        assert!(draws_a.iter().any(|d| d & 1 == 1));
+    }
+}

@@ -267,6 +267,13 @@ pub struct ReplReport {
     pub replication_lag_frames: u64,
     /// Per-follower progress (leader only; empty on a follower).
     pub followers: Vec<FollowerLag>,
+    /// True while the node sheds writes: the leader's lease lapsed,
+    /// or the node was fenced by a higher epoch.
+    pub sealed: bool,
+    /// Configured write lease in milliseconds (0 = no lease).
+    pub lease_ms: u64,
+    /// Higher-epoch fence events this node has processed.
+    pub fence_events: u64,
 }
 
 /// One region shard's gauges in a [`ShardsReport`].
@@ -608,8 +615,14 @@ pub fn render_response(r: &Response) -> String {
             if let Some(repl) = &s.repl {
                 let _ = write!(
                     out,
-                    ",\"replication\":{{\"role\":\"{}\",\"epoch\":{},\"wal_last_synced_seq\":{},\"replication_lag_frames\":{}",
-                    repl.role, repl.epoch, repl.wal_last_synced_seq, repl.replication_lag_frames
+                    ",\"replication\":{{\"role\":\"{}\",\"epoch\":{},\"wal_last_synced_seq\":{},\"replication_lag_frames\":{},\"sealed\":{},\"lease_ms\":{},\"fence_events\":{}",
+                    repl.role,
+                    repl.epoch,
+                    repl.wal_last_synced_seq,
+                    repl.replication_lag_frames,
+                    repl.sealed,
+                    repl.lease_ms,
+                    repl.fence_events
                 );
                 if let Some(applied) = repl.applied_seq {
                     let _ = write!(out, ",\"applied_seq\":{applied}");
@@ -908,6 +921,9 @@ mod tests {
                     acked_seq: 37,
                     lag_frames: 3,
                 }],
+                sealed: false,
+                lease_ms: 750,
+                fence_events: 0,
             }),
             ..StatsReport::default()
         };
@@ -918,6 +934,10 @@ mod tests {
         );
         assert!(leader.contains("\"wal_last_synced_seq\":40"), "{leader}");
         assert!(leader.contains("\"replication_lag_frames\":3"), "{leader}");
+        assert!(
+            leader.contains("\"sealed\":false,\"lease_ms\":750,\"fence_events\":0"),
+            "{leader}"
+        );
         assert!(leader.contains("\"acked_seq\":37"), "{leader}");
         assert!(!leader.contains("applied_seq"), "{leader}");
 
@@ -928,9 +948,16 @@ mod tests {
             applied_seq: Some(37),
             replication_lag_frames: 3,
             followers: vec![],
+            sealed: true,
+            lease_ms: 0,
+            fence_events: 1,
         });
         let follower = render_response(&Response::Stats(Box::new(report)));
         assert!(follower.contains("\"role\":\"follower\""), "{follower}");
+        assert!(
+            follower.contains("\"sealed\":true,\"lease_ms\":0,\"fence_events\":1"),
+            "{follower}"
+        );
         assert!(follower.contains("\"applied_seq\":37"), "{follower}");
         assert!(!follower.contains("followers"), "{follower}");
 

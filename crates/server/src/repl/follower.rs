@@ -35,6 +35,59 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// A source of monotonic time, injected into the follower loop so the
+/// grace/lease state machine is unit-testable without waiting out real
+/// timeouts. Production uses [`SystemClock`]; tests substitute a
+/// manually advanced clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current instant on this clock.
+    fn now(&self) -> Instant;
+}
+
+/// The real monotonic clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// The promotion-grace state machine: tracks when the leader was last
+/// heard and decides whether the silence has lapsed the grace. Kept
+/// free of IO so the transitions are testable deterministically.
+#[derive(Debug)]
+pub struct GraceTimer {
+    clock: Arc<dyn Clock>,
+    last_contact: Instant,
+}
+
+impl GraceTimer {
+    /// A timer that treats "now" as the last contact.
+    pub fn new(clock: Arc<dyn Clock>) -> GraceTimer {
+        let last_contact = clock.now();
+        GraceTimer {
+            clock,
+            last_contact,
+        }
+    }
+
+    /// The leader was heard (frame, heartbeat, or handshake): the
+    /// grace window restarts from now.
+    pub fn touch(&mut self) {
+        self.last_contact = self.clock.now();
+    }
+
+    /// Has the leader been silent for at least `grace`?
+    pub fn lapsed(&self, grace: Duration) -> bool {
+        self.clock
+            .now()
+            .saturating_duration_since(self.last_contact)
+            >= grace
+    }
+}
+
 /// Knobs for the follower's replication loop.
 #[derive(Clone, Debug)]
 pub struct FollowerConfig {
@@ -47,17 +100,25 @@ pub struct FollowerConfig {
     pub reconnect_delay: Duration,
     /// Per-cycle read timeout on the session.
     pub poll: Duration,
+    /// This node's own client address, advertised in the `Fence` sent
+    /// to a deposed leader so it can redirect writes here. Empty =
+    /// nothing to advertise.
+    pub advertise: String,
+    /// Time source for the grace state machine.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl FollowerConfig {
     /// Defaults for `leader`: no auto-promotion, 50 ms reconnect
-    /// delay, 25 ms poll.
+    /// delay, 25 ms poll, the system clock.
     pub fn new(leader: &str) -> FollowerConfig {
         FollowerConfig {
             leader: leader.to_string(),
             promote_grace: None,
             reconnect_delay: Duration::from_millis(50),
             poll: Duration::from_millis(25),
+            advertise: String::new(),
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -108,30 +169,101 @@ fn run(service: &AdmissionService, cfg: &FollowerConfig, stop: &AtomicBool) {
     // no frames at all, and the gauge would otherwise sit at zero
     // (reporting a bogus lag) until the first new write.
     hub.set_applied(service.seq());
-    let mut last_contact = Instant::now();
+    let mut promoted = false;
+    let mut timer = GraceTimer::new(Arc::clone(&cfg.clock));
     while !stop.load(Ordering::Relaxed) && hub.is_follower() {
         if let Ok(stream) = connect(&cfg.leader) {
             // Any session error (disconnect, torn frame, gap, stale
             // leader) lands here; the reconnect below re-Hellos from
             // the applied sequence.
-            let _ = session(stream, service, cfg, stop, &mut last_contact);
+            if let Err(e) = session(stream, service, cfg, stop, &mut timer) {
+                if e.kind() == ErrorKind::InvalidInput {
+                    // The leader advertised a lease our grace does not
+                    // strictly exceed: promoting could overlap a live
+                    // lease and void the no-dual-ack guarantee. Refuse
+                    // to run at all rather than run unsafely.
+                    eprintln!("fatal: {e}");
+                    return;
+                }
+                if std::env::var_os("RTWC_REPL_DEBUG").is_some() {
+                    eprintln!("follower session error: {e}");
+                }
+            }
         }
         if stop.load(Ordering::Relaxed) || !hub.is_follower() {
             break;
         }
         if let Some(grace) = cfg.promote_grace {
-            if last_contact.elapsed() >= grace {
+            if timer.lapsed(grace) {
                 if let crate::protocol::Response::Promoted { epoch, .. } = service.promote() {
                     println!("promoted to leader (epoch {epoch}) after leader loss");
+                    promoted = true;
                 }
                 // Promotion flips the role and the loop exits; an
                 // audit refusal keeps retrying the leader instead.
-                last_contact = Instant::now();
+                timer.touch();
                 continue;
             }
         }
         thread::sleep(cfg.reconnect_delay);
     }
+    if promoted && !stop.load(Ordering::Relaxed) {
+        // Fence the deposed leader: keep dialing its replication
+        // address until the Fence lands (a partitioned peer hears it
+        // at heal time) so it permanently demotes and audits its
+        // divergent suffix instead of ever acking writes again.
+        if deliver_fence(&cfg.leader, &hub, &cfg.advertise, stop, cfg.reconnect_delay) {
+            println!(
+                "fenced deposed leader at {} (epoch {})",
+                cfg.leader,
+                hub.epoch()
+            );
+        }
+    }
+}
+
+/// Dials the deposed leader's replication address until a `Fence` for
+/// our epoch is delivered or `stop` is raised. Returns whether the
+/// fence was confirmed.
+///
+/// Confirmation is a heartbeat carrying an epoch at least ours: the
+/// peer only echoes that epoch after processing the fence. Accepting
+/// *any* reply would race a partitioned link — the fence bytes can be
+/// swallowed by the partition while a steady-state heartbeat (still
+/// stamped with the old epoch) crosses a just-healed link on the same
+/// connection, and a false confirmation here would lose the fence
+/// forever.
+fn deliver_fence(
+    leader: &str,
+    hub: &crate::repl::ReplHub,
+    advertise: &str,
+    stop: &AtomicBool,
+    retry: Duration,
+) -> bool {
+    while !stop.load(Ordering::Relaxed) {
+        if let Ok(mut s) = connect(leader) {
+            let _ = s.set_nodelay(true);
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let epoch = hub.epoch();
+            let sent = write_msg(
+                &mut s,
+                &ReplMsg::Fence {
+                    epoch,
+                    applied_seq: hub.applied_seq(),
+                    addr: advertise.to_string(),
+                },
+            );
+            let confirmed = matches!(
+                read_msg(&mut s),
+                Ok(ReplMsg::Heartbeat { epoch: e, .. }) if e >= epoch
+            );
+            if sent.is_ok() && confirmed {
+                return true;
+            }
+        }
+        thread::sleep(retry);
+    }
+    false
 }
 
 fn connect(leader: &str) -> io::Result<TcpStream> {
@@ -152,7 +284,7 @@ fn session(
     service: &AdmissionService,
     cfg: &FollowerConfig,
     stop: &AtomicBool,
-    last_contact: &mut Instant,
+    timer: &mut GraceTimer,
 ) -> io::Result<()> {
     let hub = service.repl_hub().expect("checked at spawn");
     stream.set_nodelay(true)?;
@@ -171,7 +303,10 @@ fn session(
     while !stop.load(Ordering::Relaxed) && hub.is_follower() {
         match read_msg(&mut stream) {
             Ok(ReplMsg::Welcome {
-                epoch, synced_seq, ..
+                epoch,
+                synced_seq,
+                lease_ms,
+                ..
             }) => {
                 if epoch < hub.epoch() {
                     return Err(io::Error::other(format!(
@@ -179,10 +314,39 @@ fn session(
                         hub.epoch()
                     )));
                 }
+                hub.observe_epoch(epoch);
+                if let Some(grace) = cfg.promote_grace {
+                    // The no-dual-ack argument needs the grace to
+                    // strictly exceed the leader's lease; a violating
+                    // pairing is fatal (caught in `run`, never
+                    // promotes) rather than silently unsafe.
+                    let grace_ms = u64::try_from(grace.as_millis()).unwrap_or(u64::MAX);
+                    if lease_ms > 0 && grace_ms <= lease_ms {
+                        return Err(io::Error::new(
+                            ErrorKind::InvalidInput,
+                            format!(
+                                "promotion grace {grace_ms}ms must strictly exceed the \
+                                 leader's lease {lease_ms}ms"
+                            ),
+                        ));
+                    }
+                }
                 hub.note_source_synced(synced_seq);
-                *last_contact = Instant::now();
+                timer.touch();
             }
-            Ok(ReplMsg::Frame { seq, crc, payload }) => {
+            Ok(ReplMsg::Frame {
+                seq,
+                epoch,
+                crc,
+                payload,
+            }) => {
+                if epoch < hub.epoch() {
+                    return Err(io::Error::other(format!(
+                        "frame from a stale epoch {epoch} (local {})",
+                        hub.epoch()
+                    )));
+                }
+                hub.observe_epoch(epoch);
                 if crc32(&payload) != crc {
                     return Err(io::Error::new(
                         ErrorKind::InvalidData,
@@ -198,19 +362,45 @@ fn session(
                 service
                     .apply_replicated(seq, record.req_id, &record.op)
                     .map_err(io::Error::other)?;
-                *last_contact = Instant::now();
+                timer.touch();
                 unacked += 1;
                 // Ack in small batches so leader-side lag gauges stay
                 // honest without an ack per frame.
                 if unacked >= 32 {
                     acked = hub.applied_seq();
                     unacked = 0;
-                    write_msg(&mut stream, &ReplMsg::Ack { applied_seq: acked })?;
+                    write_msg(
+                        &mut stream,
+                        &ReplMsg::Ack {
+                            epoch: hub.epoch(),
+                            applied_seq: acked,
+                        },
+                    )?;
                 }
             }
-            Ok(ReplMsg::Heartbeat { synced_seq }) => {
+            Ok(ReplMsg::Heartbeat { epoch, synced_seq }) => {
+                if epoch < hub.epoch() {
+                    return Err(io::Error::other(format!(
+                        "heartbeat from a stale epoch {epoch} (local {})",
+                        hub.epoch()
+                    )));
+                }
+                hub.observe_epoch(epoch);
                 hub.note_source_synced(synced_seq);
-                *last_contact = Instant::now();
+                timer.touch();
+                // Echo an ack so an idle leader keeps hearing us: the
+                // leader's write lease is fed only by acks (round-trip
+                // evidence), and a quiet-but-healthy link must not
+                // seal it.
+                acked = hub.applied_seq();
+                unacked = 0;
+                write_msg(
+                    &mut stream,
+                    &ReplMsg::Ack {
+                        epoch: hub.epoch(),
+                        applied_seq: acked,
+                    },
+                )?;
             }
             Ok(ReplMsg::SnapStart { .. }) => {
                 // Mid-run compaction past our applied sequence: the
@@ -235,12 +425,13 @@ fn session(
                     write_msg(
                         &mut stream,
                         &ReplMsg::Ack {
+                            epoch: hub.epoch(),
                             applied_seq: applied,
                         },
                     )?;
                 }
                 if let Some(grace) = cfg.promote_grace {
-                    if last_contact.elapsed() >= grace {
+                    if timer.lapsed(grace) {
                         return Err(io::Error::new(
                             ErrorKind::TimedOut,
                             "leader silent past the promotion grace",
@@ -480,6 +671,7 @@ mod tests {
                         epoch: 1,
                         base_seq: 0,
                         synced_seq: 1,
+                        lease_ms: 0,
                     },
                 )
                 .unwrap();
@@ -488,6 +680,7 @@ mod tests {
                     &mut s,
                     &ReplMsg::Frame {
                         seq: 1,
+                        epoch: 1,
                         // First attempt lies about the checksum.
                         crc: if attempt == 0 { crc ^ 0xffff } else { crc },
                         payload: payload.clone(),
@@ -541,6 +734,126 @@ mod tests {
 
         shipper.stop();
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A manually advanced clock for deterministic grace tests.
+    #[derive(Clone, Debug)]
+    struct TestClock(Arc<std::sync::Mutex<Instant>>);
+
+    impl TestClock {
+        fn new() -> TestClock {
+            TestClock(Arc::new(std::sync::Mutex::new(Instant::now())))
+        }
+
+        fn advance(&self, by: Duration) {
+            let mut t = self.0.lock().unwrap();
+            *t = t.checked_add(by).unwrap();
+        }
+    }
+
+    impl Clock for TestClock {
+        fn now(&self) -> Instant {
+            *self.0.lock().unwrap()
+        }
+    }
+
+    #[test]
+    fn grace_timer_lapses_and_resets_deterministically() {
+        let clock = TestClock::new();
+        let mut timer = GraceTimer::new(Arc::new(clock.clone()));
+        let grace = Duration::from_millis(100);
+        assert!(!timer.lapsed(grace), "fresh timer must not have lapsed");
+        clock.advance(Duration::from_millis(99));
+        assert!(!timer.lapsed(grace), "one ms short of the grace");
+        clock.advance(Duration::from_millis(1));
+        assert!(timer.lapsed(grace), "exactly the grace lapses");
+        // A heartbeat resets the window in full.
+        timer.touch();
+        assert!(!timer.lapsed(grace));
+        clock.advance(Duration::from_millis(99));
+        timer.touch(); // another heartbeat just in time
+        clock.advance(Duration::from_millis(99));
+        assert!(!timer.lapsed(grace), "each contact restarts the window");
+        clock.advance(Duration::from_millis(1));
+        assert!(timer.lapsed(grace));
+    }
+
+    #[test]
+    fn stale_leader_handshake_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let hello = read_msg(&mut s).unwrap();
+            let ReplMsg::Hello { epoch, .. } = hello else {
+                panic!("expected Hello, got {hello:?}");
+            };
+            assert_eq!(epoch, 5, "the follower must advertise its epoch");
+            // This "leader" is from a deposed epoch: the follower must
+            // hang up rather than apply anything it streams.
+            write_msg(
+                &mut s,
+                &ReplMsg::Welcome {
+                    epoch: 1,
+                    base_seq: 0,
+                    synced_seq: 9,
+                    lease_ms: 0,
+                },
+            )
+            .unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let err = read_msg(&mut s).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "{err:?}");
+        });
+
+        let standby = Arc::new(AdmissionService::new(mesh()));
+        let hub = Arc::new(ReplHub::follower(&addr.to_string()));
+        hub.observe_epoch(5);
+        standby.attach_repl(hub);
+        let follower =
+            Follower::spawn(Arc::clone(&standby), FollowerConfig::new(&addr.to_string())).unwrap();
+        fake.join().unwrap();
+        follower.stop();
+        assert_eq!(standby.seq(), 0, "nothing from a stale leader applies");
+    }
+
+    #[test]
+    fn unsafe_grace_versus_lease_refuses_to_promote() {
+        // The leader advertises a 10 s lease; the follower's 50 ms
+        // grace does not exceed it. An unchecked follower would
+        // promote after 50 ms of silence — inside the lease, while the
+        // leader still acks writes. The Welcome check must make this
+        // pairing fatal instead.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_msg(&mut s).unwrap();
+            write_msg(
+                &mut s,
+                &ReplMsg::Welcome {
+                    epoch: 1,
+                    base_seq: 0,
+                    synced_seq: 0,
+                    lease_ms: 10_000,
+                },
+            )
+            .unwrap();
+            // Go silent, holding the socket open past the grace.
+            thread::sleep(Duration::from_millis(400));
+        });
+
+        let standby = Arc::new(AdmissionService::new(mesh()));
+        let hub = Arc::new(ReplHub::follower(&addr.to_string()));
+        standby.attach_repl(Arc::clone(&hub));
+        let mut cfg = FollowerConfig::new(&addr.to_string());
+        cfg.promote_grace = Some(Duration::from_millis(50));
+        let follower = Follower::spawn(Arc::clone(&standby), cfg).unwrap();
+        thread::sleep(Duration::from_millis(300));
+        assert!(hub.is_follower(), "an unsafe grace must never promote");
+        assert_eq!(hub.epoch(), 1);
+        follower.stop();
+        fake.join().unwrap();
     }
 
     #[test]

@@ -50,20 +50,42 @@ use crate::lock_order::{classes, TrackedMutex};
 use crate::protocol::{FollowerLag, ReplReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Sentinel for "no follower ack heard yet": the lease is not armed
+/// until the first ack, so a leader that never had a follower never
+/// seals (nobody exists who could promote against it).
+const LEASE_UNARMED: u64 = u64::MAX;
 
 /// Shared replication state: role, epoch, and progress gauges. One hub
 /// is attached to the [`crate::service::AdmissionService`] of every
 /// node that participates in replication (leader or follower).
 #[derive(Debug)]
 pub struct ReplHub {
-    /// True while this node is a follower (write requests redirect).
-    follower: AtomicBool,
-    /// Promotion epoch; bumped by every takeover.
-    epoch: AtomicU64,
+    /// Role and epoch packed into one word (`epoch << 1 | follower`),
+    /// so the pair is always published and read atomically: a reader
+    /// that observes the leader role also observes the epoch that role
+    /// was taken under.
+    state: AtomicU64,
     /// Highest replicated sequence applied locally (followers).
     applied: AtomicU64,
     /// The leader's sync frontier as last heard (followers).
     source_synced: AtomicU64,
+    /// Write lease in ms (0 = no lease configured).
+    lease_ms: AtomicU64,
+    /// Milliseconds since `base` of the last follower ack heard
+    /// (leader side); [`LEASE_UNARMED`] until the first ack.
+    last_ack_ms: AtomicU64,
+    /// True while the lease has lapsed: writes shed with `sealed`.
+    sealed: AtomicBool,
+    /// True once a higher epoch was learned: permanently demoted.
+    fenced: AtomicBool,
+    /// How many fence events this node has processed.
+    fence_events: AtomicU64,
+    /// Operations audited as divergent at the last fence.
+    divergence: AtomicU64,
+    /// Monotonic base for the lease clock.
+    base: Instant,
     /// Leader address + per-follower acked sequences.
     shared: TrackedMutex<Shared>,
 }
@@ -81,10 +103,16 @@ struct Shared {
 impl ReplHub {
     fn new(follower: bool, epoch: u64, leader_addr: String) -> ReplHub {
         ReplHub {
-            follower: AtomicBool::new(follower),
-            epoch: AtomicU64::new(epoch),
+            state: AtomicU64::new(epoch << 1 | u64::from(follower)),
             applied: AtomicU64::new(0),
             source_synced: AtomicU64::new(0),
+            lease_ms: AtomicU64::new(0),
+            last_ack_ms: AtomicU64::new(LEASE_UNARMED),
+            sealed: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
+            fence_events: AtomicU64::new(0),
+            divergence: AtomicU64::new(0),
+            base: Instant::now(),
             shared: TrackedMutex::new(
                 &classes::REPL_STATE,
                 Shared {
@@ -107,16 +135,22 @@ impl ReplHub {
 
     /// Is this node currently a follower?
     pub fn is_follower(&self) -> bool {
-        // Relaxed: role and epoch are independent gauges; promotion
-        // correctness does not ride on ordering between them (a write
-        // racing a promotion is refused either before or after — both
-        // are correct at the linearization point of the flip).
-        self.follower.load(Ordering::Relaxed)
+        self.state.load(Ordering::Acquire) & 1 == 1
     }
 
     /// The current promotion epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.state.load(Ordering::Acquire) >> 1
+    }
+
+    /// Adopts a higher epoch heard over the wire without changing the
+    /// role (a follower tracking its leader's promotions).
+    pub fn observe_epoch(&self, epoch: u64) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (epoch > cur >> 1).then_some(epoch << 1 | (cur & 1))
+            });
     }
 
     /// Where writes should be sent (the redirect target).
@@ -144,11 +178,21 @@ impl ReplHub {
         self.source_synced.load(Ordering::Relaxed)
     }
 
-    /// Leader side: records a connected follower's progress.
+    /// Leader side: records a connected follower's progress (from a
+    /// `Hello`; does NOT feed the lease — see [`Self::note_follower_ack`]).
     pub fn note_follower(&self, peer: &str, acked_seq: u64) {
         let mut s = self.shared.lock();
         let e = s.followers.entry(peer.to_string()).or_insert(0);
         *e = (*e).max(acked_seq);
+    }
+
+    /// Leader side: records an `Ack` — progress plus the lease clock.
+    /// An ack is a *response*, so it proves the follower heard leader
+    /// traffic moments ago; that round-trip evidence is what makes
+    /// `lease < grace` a no-dual-ack guarantee.
+    pub fn note_follower_ack(&self, peer: &str, acked_seq: u64) {
+        self.note_follower(peer, acked_seq);
+        self.note_lease_contact();
     }
 
     /// Leader side: forgets a disconnected follower.
@@ -156,13 +200,136 @@ impl ReplHub {
         self.shared.lock().followers.remove(peer);
     }
 
-    /// Flips this node to leader under a fresh epoch; returns the new
-    /// epoch. Idempotent on a leader (the epoch still bumps, which is
-    /// harmless: epochs only ever need to grow).
+    /// Flips this node to leader under a fresh epoch; returns the
+    /// (possibly unchanged) epoch. Promoting an existing leader is a
+    /// true no-op: the role and epoch move together in one CAS, so a
+    /// reader can never observe the leader role paired with a stale
+    /// epoch, and concurrent promotions bump the epoch exactly once.
     pub fn promote(&self) -> u64 {
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-        self.follower.store(false, Ordering::Relaxed);
-        epoch
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            if cur & 1 == 0 {
+                return cur >> 1; // already leader: nothing to do
+            }
+            let next = ((cur >> 1) + 1) << 1;
+            if self
+                .state
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return next >> 1;
+            }
+        }
+    }
+
+    /// Arms the write lease: a leader sheds writes with `sealed` once
+    /// this long passes without hearing a follower ack.
+    pub fn set_lease(&self, lease: std::time::Duration) {
+        self.lease_ms.store(
+            u64::try_from(lease.as_millis()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The configured lease in milliseconds (0 = none).
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds on the hub's monotonic lease clock.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.base.elapsed().as_millis()).unwrap_or(u64::MAX - 1)
+    }
+
+    /// Records a follower ack on the lease clock (the only traffic
+    /// that proves the follower heard us recently — a `Hello` only
+    /// proves the follower-to-leader direction works, which is not
+    /// enough under a one-way blackhole).
+    fn note_lease_contact(&self) {
+        let now = self.now_ms();
+        // Not `fetch_max`: the unarmed sentinel is `u64::MAX`, which
+        // would win every max and keep the lease unarmed forever.
+        let _ = self
+            .last_ack_ms
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
+                (last == LEASE_UNARMED || now > last).then_some(now)
+            });
+    }
+
+    /// The seal decision at `now_ms`, split out so the state machine
+    /// is unit-testable without waiting out a real lease. Seals when
+    /// the armed lease has lapsed; un-seals when contact returns (a
+    /// healed partition whose follower never promoted).
+    fn seal_check(&self, now_ms: u64) -> bool {
+        if self.fenced.load(Ordering::Acquire) {
+            return true;
+        }
+        let lease = self.lease_ms.load(Ordering::Relaxed);
+        if lease == 0 || self.is_follower() {
+            return false;
+        }
+        let last = self.last_ack_ms.load(Ordering::Relaxed);
+        if last == LEASE_UNARMED {
+            return false;
+        }
+        let lapsed = now_ms.saturating_sub(last) > lease;
+        self.sealed.store(lapsed, Ordering::Release);
+        lapsed
+    }
+
+    /// Should the write path shed with `sealed` right now? Evaluated
+    /// lazily on every write, so the seal takes effect at the first
+    /// write after the lease lapses.
+    pub fn write_sealed(&self) -> bool {
+        self.seal_check(self.now_ms())
+    }
+
+    /// Is the node currently sealed (gauge; updated by the write
+    /// path's lease checks)?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire) || self.fenced.load(Ordering::Acquire)
+    }
+
+    /// Has this node been permanently demoted by a higher epoch?
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
+    /// Fence events processed (gauge).
+    pub fn fence_events(&self) -> u64 {
+        self.fence_events.load(Ordering::Relaxed)
+    }
+
+    /// Operations audited as divergent at the last fence (gauge).
+    pub fn divergence_ops(&self) -> u64 {
+        self.divergence.load(Ordering::Relaxed)
+    }
+
+    /// Permanently demotes this node under `epoch` (a higher epoch
+    /// was learned from a promoted peer). The role flips to follower,
+    /// the epoch adopts the fence's, and the node can never promote
+    /// or unseal again. `new_leader` (when non-empty) becomes the
+    /// redirect target; `divergence` is the audited count of acked
+    /// operations the new leader never saw. Returns `false` when the
+    /// fence is stale (its epoch does not exceed ours).
+    pub fn fence(&self, epoch: u64, new_leader: &str, divergence: u64) -> bool {
+        let raised = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (epoch > cur >> 1).then_some(epoch << 1 | 1)
+            })
+            .is_ok();
+        if !raised {
+            return false;
+        }
+        self.fenced.store(true, Ordering::Release);
+        self.sealed.store(true, Ordering::Release);
+        self.fence_events.fetch_add(1, Ordering::Relaxed);
+        self.divergence.store(divergence, Ordering::Relaxed);
+        if !new_leader.is_empty() {
+            self.shared.lock().leader_addr = new_leader.to_string();
+        }
+        true
     }
 
     /// Builds the STATS gauge block. `wal_synced` is the local WAL
@@ -180,6 +347,9 @@ impl ReplHub {
                 applied_seq: Some(applied),
                 replication_lag_frames: self.source_synced().saturating_sub(applied),
                 followers: Vec::new(),
+                sealed: self.is_sealed(),
+                lease_ms: self.lease_ms(),
+                fence_events: self.fence_events(),
             }
         } else {
             let s = self.shared.lock();
@@ -202,6 +372,9 @@ impl ReplHub {
                 applied_seq: None,
                 replication_lag_frames: max_lag,
                 followers,
+                sealed: self.write_sealed(),
+                lease_ms: self.lease_ms(),
+                fence_events: self.fence_events(),
             }
         }
     }
@@ -220,6 +393,82 @@ mod tests {
         assert_eq!(hub.promote(), 2);
         assert!(!hub.is_follower());
         assert_eq!(hub.epoch(), 2);
+    }
+
+    #[test]
+    fn promoting_a_leader_is_a_true_no_op() {
+        let hub = ReplHub::leader();
+        assert_eq!(hub.epoch(), 1);
+        assert_eq!(hub.promote(), 1, "a leader's epoch must not bump");
+        assert_eq!(hub.epoch(), 1);
+        assert!(!hub.is_follower());
+        // A real promotion still bumps exactly once.
+        let hub = ReplHub::follower("x");
+        assert_eq!(hub.promote(), 2);
+        assert_eq!(hub.promote(), 2, "second promote is a no-op");
+    }
+
+    #[test]
+    fn lease_seal_state_machine() {
+        let hub = ReplHub::leader();
+        // No lease configured: never seals.
+        assert!(!hub.seal_check(10_000_000));
+        hub.set_lease(std::time::Duration::from_millis(100));
+        // Lease armed only by the first ack.
+        assert!(!hub.seal_check(10_000_000), "unarmed lease never seals");
+        hub.note_follower_ack("f:1", 3);
+        let t0 = hub.last_ack_ms.load(Ordering::Relaxed);
+        assert!(!hub.seal_check(t0 + 100), "within the lease");
+        assert!(hub.seal_check(t0 + 101), "past the lease");
+        assert!(hub.is_sealed());
+        // Contact returning (healed partition, no promotion) un-seals.
+        hub.note_follower_ack("f:1", 4);
+        let t1 = hub.last_ack_ms.load(Ordering::Relaxed);
+        assert!(!hub.seal_check(t1 + 1));
+        assert!(!hub.is_sealed());
+    }
+
+    #[test]
+    fn followers_and_unleased_leaders_never_seal() {
+        let hub = ReplHub::follower("x");
+        hub.set_lease(std::time::Duration::from_millis(1));
+        hub.note_follower_ack("f:1", 1);
+        assert!(!hub.seal_check(u64::MAX - 2), "followers have no lease");
+    }
+
+    #[test]
+    fn fencing_is_permanent_and_epoch_guarded() {
+        let hub = ReplHub::leader();
+        hub.set_lease(std::time::Duration::from_millis(50));
+        // A stale fence (epoch not above ours) is refused.
+        assert!(!hub.fence(1, "new:1", 0));
+        assert!(!hub.is_fenced());
+        // A real fence demotes, adopts the epoch, and redirects.
+        assert!(hub.fence(3, "new:1", 7));
+        assert!(hub.is_fenced());
+        assert!(hub.is_follower());
+        assert_eq!(hub.epoch(), 3);
+        assert_eq!(hub.leader_addr(), "new:1");
+        assert_eq!(hub.fence_events(), 1);
+        assert_eq!(hub.divergence_ops(), 7);
+        // Fenced wins over fresh contact: no un-seal, no promotion.
+        hub.note_follower_ack("f:1", 9);
+        assert!(hub.is_sealed());
+        assert!(hub.seal_check(hub.now_ms()));
+        // Duplicate fence at the same epoch is ignored.
+        assert!(!hub.fence(3, "other:2", 1));
+        assert_eq!(hub.fence_events(), 1);
+        assert_eq!(hub.leader_addr(), "new:1");
+    }
+
+    #[test]
+    fn observe_epoch_tracks_without_role_change() {
+        let hub = ReplHub::follower("x");
+        hub.observe_epoch(5);
+        assert_eq!(hub.epoch(), 5);
+        assert!(hub.is_follower());
+        hub.observe_epoch(4); // stale: ignored
+        assert_eq!(hub.epoch(), 5);
     }
 
     #[test]

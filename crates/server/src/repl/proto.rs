@@ -23,16 +23,21 @@
 //! the follower asks only for chunks its manifest lacks). After
 //! installing the snapshot the follower re-sends `Hello` on the same
 //! connection and streaming resumes from the snapshot sequence.
-//! [`ReplMsg::Ack`] flows follower→leader after frames are applied;
-//! [`ReplMsg::Heartbeat`] flows leader→follower when there is nothing
-//! to ship, carrying the sync frontier so the follower can gauge lag
-//! and leader liveness.
+//! [`ReplMsg::Ack`] flows follower→leader after frames are applied
+//! (and in response to heartbeats, which is what feeds the leader's
+//! lease clock); [`ReplMsg::Heartbeat`] flows leader→follower when
+//! there is nothing to ship, carrying the sync frontier so the
+//! follower can gauge lag and leader liveness.
 //!
-//! Epoch rules: a leader that receives a `Hello` with an epoch greater
-//! than its own has been superseded by a promotion and must drop the
-//! connection (and stop accepting writes — the service's `NOT_LEADER`
-//! gate handles that); a follower that receives a `Welcome` with an
-//! epoch below its own is talking to a stale leader and disconnects.
+//! Epoch rules: every post-handshake message is epoch-stamped. A
+//! leader that learns of a greater epoch — from a `Hello`, an `Ack`,
+//! or an explicit [`ReplMsg::Fence`] sent by a promoted follower —
+//! has been superseded and permanently demotes (the service audits
+//! its unshipped WAL suffix into a divergence report first); a
+//! follower that receives a `Welcome` or `Frame` with an epoch below
+//! its own is talking to a stale leader and disconnects. `Welcome`
+//! also carries the leader's write lease so the follower can refuse
+//! to run with a promotion grace that does not strictly exceed it.
 
 use std::io::{self, Read, Write};
 
@@ -54,6 +59,7 @@ const TAG_SNAP_START: u8 = 5;
 const TAG_GET_CHUNK: u8 = 6;
 const TAG_CHUNK: u8 = 7;
 const TAG_HEARTBEAT: u8 = 8;
+const TAG_FENCE: u8 = 9;
 
 /// One replication message (see the module docs for the session
 /// shape).
@@ -77,18 +83,28 @@ pub enum ReplMsg {
         base_seq: u64,
         /// The leader's current sync frontier.
         synced_seq: u64,
+        /// The leader's write lease in milliseconds (0 = no lease).
+        /// A follower must run with a promotion grace strictly above
+        /// this, or refuse to auto-promote.
+        lease_ms: u64,
     },
     /// Leader → follower: one WAL record.
     Frame {
         /// The record's operation sequence.
         seq: u64,
+        /// The epoch the leader shipped this record under.
+        epoch: u64,
         /// CRC32 of `payload`, recomputed by the follower.
         crc: u32,
         /// The WAL payload bytes, verbatim.
         payload: Vec<u8>,
     },
     /// Follower → leader: everything up to `applied_seq` is applied.
+    /// Also sent in response to a heartbeat, so an idle leader keeps
+    /// hearing its followers (the lease feed).
     Ack {
+        /// The follower's promotion epoch.
+        epoch: u64,
         /// Highest contiguously-applied sequence.
         applied_seq: u64,
     },
@@ -121,8 +137,23 @@ pub enum ReplMsg {
     },
     /// Leader → follower: nothing to ship; carries the sync frontier.
     Heartbeat {
+        /// The sender's promotion epoch.
+        epoch: u64,
         /// The leader's current sync frontier.
         synced_seq: u64,
+    },
+    /// Promoted node → deposed leader: you have been superseded.
+    /// The receiver permanently demotes, audits the WAL suffix past
+    /// `applied_seq` as divergent, and redirects writes to `addr`.
+    Fence {
+        /// The sender's (higher) promotion epoch.
+        epoch: u64,
+        /// The highest sequence the sender applied from the old
+        /// leader's stream — the last point the histories share.
+        applied_seq: u64,
+        /// Where the fenced node should redirect clients (may be
+        /// empty when the new leader has no advertised address).
+        addr: String,
     },
 }
 
@@ -149,20 +180,29 @@ impl ReplMsg {
                 epoch,
                 base_seq,
                 synced_seq,
+                lease_ms,
             } => {
                 body.push(TAG_WELCOME);
                 body.extend_from_slice(&epoch.to_le_bytes());
                 body.extend_from_slice(&base_seq.to_le_bytes());
                 body.extend_from_slice(&synced_seq.to_le_bytes());
+                body.extend_from_slice(&lease_ms.to_le_bytes());
             }
-            ReplMsg::Frame { seq, crc, payload } => {
+            ReplMsg::Frame {
+                seq,
+                epoch,
+                crc,
+                payload,
+            } => {
                 body.push(TAG_FRAME);
                 body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&epoch.to_le_bytes());
                 body.extend_from_slice(&crc.to_le_bytes());
                 body.extend_from_slice(payload);
             }
-            ReplMsg::Ack { applied_seq } => {
+            ReplMsg::Ack { epoch, applied_seq } => {
                 body.push(TAG_ACK);
+                body.extend_from_slice(&epoch.to_le_bytes());
                 body.extend_from_slice(&applied_seq.to_le_bytes());
             }
             ReplMsg::SnapStart {
@@ -187,9 +227,20 @@ impl ReplMsg {
                 body.extend_from_slice(&crc.to_le_bytes());
                 body.extend_from_slice(bytes);
             }
-            ReplMsg::Heartbeat { synced_seq } => {
+            ReplMsg::Heartbeat { epoch, synced_seq } => {
                 body.push(TAG_HEARTBEAT);
+                body.extend_from_slice(&epoch.to_le_bytes());
                 body.extend_from_slice(&synced_seq.to_le_bytes());
+            }
+            ReplMsg::Fence {
+                epoch,
+                applied_seq,
+                addr,
+            } => {
+                body.push(TAG_FENCE);
+                body.extend_from_slice(&epoch.to_le_bytes());
+                body.extend_from_slice(&applied_seq.to_le_bytes());
+                body.extend_from_slice(addr.as_bytes());
             }
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -218,31 +269,34 @@ impl ReplMsg {
                 })
             }
             TAG_WELCOME => {
-                if body.len() != 24 {
+                if body.len() != 32 {
                     return None;
                 }
                 Some(ReplMsg::Welcome {
                     epoch: u64_at(body, 0)?,
                     base_seq: u64_at(body, 8)?,
                     synced_seq: u64_at(body, 16)?,
+                    lease_ms: u64_at(body, 24)?,
                 })
             }
             TAG_FRAME => {
-                if body.len() < 12 {
+                if body.len() < 20 {
                     return None;
                 }
                 Some(ReplMsg::Frame {
                     seq: u64_at(body, 0)?,
-                    crc: u32_at(body, 8)?,
-                    payload: body[12..].to_vec(),
+                    epoch: u64_at(body, 8)?,
+                    crc: u32_at(body, 16)?,
+                    payload: body[20..].to_vec(),
                 })
             }
             TAG_ACK => {
-                if body.len() != 8 {
+                if body.len() != 16 {
                     return None;
                 }
                 Some(ReplMsg::Ack {
-                    applied_seq: u64_at(body, 0)?,
+                    epoch: u64_at(body, 0)?,
+                    applied_seq: u64_at(body, 8)?,
                 })
             }
             TAG_SNAP_START => {
@@ -275,11 +329,22 @@ impl ReplMsg {
                 })
             }
             TAG_HEARTBEAT => {
-                if body.len() != 8 {
+                if body.len() != 16 {
                     return None;
                 }
                 Some(ReplMsg::Heartbeat {
-                    synced_seq: u64_at(body, 0)?,
+                    epoch: u64_at(body, 0)?,
+                    synced_seq: u64_at(body, 8)?,
+                })
+            }
+            TAG_FENCE => {
+                if body.len() < 16 {
+                    return None;
+                }
+                Some(ReplMsg::Fence {
+                    epoch: u64_at(body, 0)?,
+                    applied_seq: u64_at(body, 8)?,
+                    addr: String::from_utf8(body[16..].to_vec()).ok()?,
                 })
             }
             _ => None,
@@ -337,13 +402,18 @@ mod tests {
             epoch: 3,
             base_seq: 16,
             synced_seq: 44,
+            lease_ms: 500,
         });
         round_trip(ReplMsg::Frame {
             seq: 42,
+            epoch: 3,
             crc: 0xdead_beef,
             payload: vec![1, 2, 3, 4, 5],
         });
-        round_trip(ReplMsg::Ack { applied_seq: 42 });
+        round_trip(ReplMsg::Ack {
+            epoch: 3,
+            applied_seq: 42,
+        });
         round_trip(ReplMsg::SnapStart {
             snap_seq: 16,
             total_len: 100_000,
@@ -356,7 +426,20 @@ mod tests {
             crc: 17,
             bytes: vec![0; 4096],
         });
-        round_trip(ReplMsg::Heartbeat { synced_seq: 44 });
+        round_trip(ReplMsg::Heartbeat {
+            epoch: 3,
+            synced_seq: 44,
+        });
+        round_trip(ReplMsg::Fence {
+            epoch: 4,
+            applied_seq: 40,
+            addr: "127.0.0.1:7077".to_string(),
+        });
+        round_trip(ReplMsg::Fence {
+            epoch: 4,
+            applied_seq: 40,
+            addr: String::new(),
+        });
     }
 
     #[test]
@@ -386,7 +469,11 @@ mod tests {
         assert!(read_msg(&mut io::Cursor::new(&zero[..])).is_err());
 
         // Truncated body.
-        let frame = ReplMsg::Ack { applied_seq: 5 }.encode();
+        let frame = ReplMsg::Ack {
+            epoch: 1,
+            applied_seq: 5,
+        }
+        .encode();
         assert!(read_msg(&mut io::Cursor::new(&frame[..frame.len() - 2])).is_err());
 
         // Wrong body arity for a fixed-size message.
@@ -395,5 +482,22 @@ mod tests {
         short.push(4); // TAG_ACK with a 1-byte body
         short.push(9);
         assert!(read_msg(&mut io::Cursor::new(&short)).is_err());
+
+        // A Fence whose address is not UTF-8.
+        let mut fence = vec![];
+        let body_len: u32 = 1 + 16 + 2;
+        fence.extend_from_slice(&body_len.to_le_bytes());
+        fence.push(9); // TAG_FENCE
+        fence.extend_from_slice(&2u64.to_le_bytes());
+        fence.extend_from_slice(&7u64.to_le_bytes());
+        fence.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_msg(&mut io::Cursor::new(&fence)).is_err());
+
+        // A Fence too short to carry its fixed fields.
+        let mut stub = vec![];
+        stub.extend_from_slice(&9u32.to_le_bytes());
+        stub.push(9); // TAG_FENCE with an 8-byte body
+        stub.extend_from_slice(&2u64.to_le_bytes());
+        assert!(read_msg(&mut io::Cursor::new(&stub)).is_err());
     }
 }

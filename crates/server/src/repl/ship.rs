@@ -173,8 +173,9 @@ fn session(
                 Ok(ReplMsg::Hello { epoch, applied_seq }) => {
                     if epoch > hub.epoch() {
                         // A follower promoted past us: this leader is
-                        // deposed. Drop the session; the NOT_LEADER
-                        // gate stops writes independently.
+                        // deposed. Fence permanently (demote, audit
+                        // the divergent suffix) and drop the session.
+                        service.fence(epoch, applied_seq, "");
                         return Err(io::Error::other(format!("superseded by epoch {epoch}")));
                     }
                     let frontier = service.ship_frontier().unwrap_or(0);
@@ -184,13 +185,40 @@ fn session(
                             epoch: hub.epoch(),
                             base_seq: service.wal_base_seq().unwrap_or(0),
                             synced_seq: frontier,
+                            lease_ms: hub.lease_ms(),
                         },
                     )?;
                     cursor = Some(applied_seq);
                     xfer = None;
                     hub.note_follower(peer, applied_seq);
                 }
-                Ok(ReplMsg::Ack { applied_seq }) => hub.note_follower(peer, applied_seq),
+                Ok(ReplMsg::Ack { epoch, applied_seq }) => {
+                    if epoch > hub.epoch() {
+                        service.fence(epoch, applied_seq, "");
+                        return Err(io::Error::other(format!("superseded by epoch {epoch}")));
+                    }
+                    // An ack is round-trip evidence: it feeds the
+                    // leader's write lease as well as the lag gauges.
+                    hub.note_follower_ack(peer, applied_seq);
+                }
+                Ok(ReplMsg::Fence {
+                    epoch,
+                    applied_seq,
+                    addr,
+                }) => {
+                    // A promoted follower is fencing us explicitly.
+                    // Confirm delivery before dropping the session so
+                    // the promoted node's fence loop can stop retrying.
+                    service.fence(epoch, applied_seq, &addr);
+                    let _ = write_msg(
+                        &mut stream,
+                        &ReplMsg::Heartbeat {
+                            epoch: hub.epoch(),
+                            synced_seq: service.ship_frontier().unwrap_or(0),
+                        },
+                    );
+                    return Err(io::Error::other(format!("fenced by epoch {epoch}")));
+                }
                 Ok(ReplMsg::GetChunk { index }) => {
                     let image = xfer.as_deref().ok_or_else(|| {
                         io::Error::new(ErrorKind::InvalidData, "GetChunk without a transfer")
@@ -224,7 +252,9 @@ fn session(
                 // A compaction can swap the file between the read and
                 // the parse; treat any inconsistency as "try again
                 // next cycle" rather than a session error.
-                if let Some(advanced) = ship_cycle(&mut stream, cfg, cur, frontier, &mut xfer)? {
+                if let Some(advanced) =
+                    ship_cycle(&mut stream, cfg, hub.epoch(), cur, frontier, &mut xfer)?
+                {
                     cursor = Some(advanced);
                     last_beat = Instant::now();
                 }
@@ -235,6 +265,7 @@ fn session(
             write_msg(
                 &mut stream,
                 &ReplMsg::Heartbeat {
+                    epoch: hub.epoch(),
                     synced_seq: frontier,
                 },
             )?;
@@ -253,6 +284,7 @@ fn session(
 fn ship_cycle(
     stream: &mut TcpStream,
     cfg: &ShipperConfig,
+    epoch: u64,
     cur: u64,
     frontier: u64,
     xfer: &mut Option<Vec<u8>>,
@@ -292,6 +324,7 @@ fn ship_cycle(
                 stream,
                 &ReplMsg::Frame {
                     seq: frame.seq,
+                    epoch,
                     crc: frame.crc,
                     payload: frame.payload.to_vec(),
                 },

@@ -287,7 +287,7 @@ impl AdmissionService {
         for (i, (spec, path)) in parts.iter().enumerate() {
             let owners = plane.map().shards_of(path.links().iter().copied());
             let cross = owners.len() > 1;
-            for guard in plane.write_set(&owners).iter_mut() {
+            for guard in &mut plane.write_set(&owners) {
                 guard.insert_member(
                     handles[i],
                     spec.clone(),
@@ -336,6 +336,64 @@ impl AdmissionService {
         } else {
             None
         }
+    }
+
+    /// `Some(error)` when the leader's write lease has lapsed: the
+    /// follower may already be promoting, so acking a write here could
+    /// open a dual-ack window. The response is retryable — the client
+    /// backs off and retries, landing either here again (still sealed),
+    /// on the un-sealed leader (the partition healed without a
+    /// promotion), or on a `not_leader` redirect (we were fenced).
+    fn write_sealed(&self) -> Option<Response> {
+        let hub = self.repl.get()?;
+        if hub.write_sealed() {
+            Some(Response::error(
+                "sealed",
+                format!(
+                    "write lease lapsed ({} ms without a follower ack); retry",
+                    hub.lease_ms()
+                ),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Permanently demotes this node: a peer promoted under `epoch`
+    /// (strictly higher than ours), whose applied frontier when it took
+    /// over was `common_seq`. Audits the local WAL suffix past
+    /// `common_seq` — operations acknowledged here that the winning
+    /// history does not contain — as a `DivergenceReport` (verifier
+    /// rule A110) before the role flips, and records `new_leader` (when
+    /// known) as the redirect target. Returns `false` for a stale
+    /// fence.
+    pub fn fence(&self, epoch: u64, common_seq: u64, new_leader: &str) -> bool {
+        let Some(hub) = self.repl.get() else {
+            return false;
+        };
+        let fenced_epoch = hub.epoch();
+        // Land buffered writes first so the audited suffix is exactly
+        // what the local WAL will show an operator who inspects it.
+        self.flush();
+        let local_seq = self.seq();
+        let divergent = local_seq.saturating_sub(common_seq);
+        if !hub.fence(epoch, new_leader, divergent) {
+            return false;
+        }
+        let artifact = rtwc_verifier::DivergenceArtifact {
+            fenced_epoch,
+            winner_epoch: epoch,
+            common_seq,
+            local_seq,
+        };
+        eprintln!(
+            "DivergenceReport: fenced by epoch {epoch} (was {fenced_epoch}); local WAL at seq \
+             {local_seq}, shared history ends at {common_seq} ({divergent} divergent op(s))"
+        );
+        for d in rtwc_verifier::lint_divergence(&artifact) {
+            eprintln!("DivergenceReport: [{}] {}", d.code, d.message);
+        }
+        true
     }
 
     /// Sets the load-shedding threshold: writes beyond `n` pending are
@@ -556,6 +614,12 @@ impl AdmissionService {
         if !hub.is_follower() {
             return Response::error("already_leader", "this node is already the leader");
         }
+        if hub.is_fenced() {
+            return Response::error(
+                "fenced",
+                "a higher epoch fenced this node; it must rejoin as a follower, not promote",
+            );
+        }
         let audited = match self.audit() {
             Ok(_) => true,
             Err(e) => {
@@ -628,10 +692,10 @@ impl AdmissionService {
             return Err("not a follower (promoted mid-stream?)".to_string());
         }
         if self.plane.is_some() {
-            // Replication applies through the monolithic controller;
-            // the CLI keeps followers unsharded so this never fires in
-            // a correctly configured deployment.
-            return Err("sharded plane is leader-only; follower must run unsharded".to_string());
+            // A sharded follower replays through the shard plane, so a
+            // promotion serves sharded writes immediately, without a
+            // restart.
+            return self.apply_replicated_sharded(seq, req_id, op);
         }
         let mut inner = self.write();
         // Not `self.seq()`: that re-locks `inner` on a non-durable
@@ -726,6 +790,205 @@ impl AdmissionService {
         Ok(())
     }
 
+    /// [`Self::apply_replicated`] over the shard plane: the same
+    /// sequence discipline (duplicates no-op, gaps error), but the
+    /// decision lands in the owning region shards exactly as a live
+    /// sharded write would, so a promoted follower serves sharded
+    /// writes with no migration step. Shard guards are acquired before
+    /// the service lock (their rank is below it) and held across the
+    /// bookkeeping, mirroring `admit_sharded`/`remove_sharded`.
+    fn apply_replicated_sharded(
+        &self,
+        seq: u64,
+        req_id: u64,
+        op: &AcceptedOp,
+    ) -> Result<(), String> {
+        let hub = self.repl.get().expect("caller checked");
+        let plane = self.plane.as_ref().expect("caller checked");
+        // Authoritative sequence state is read under `inner` below;
+        // this precheck just keeps duplicate floods off the shard
+        // locks.
+        let cur = self.seq();
+        if seq <= cur {
+            hub.set_applied(cur);
+            return Ok(());
+        }
+        match op {
+            AcceptedOp::Admit { handle, spec } => {
+                let path = XyRouting
+                    .route(&self.mesh, spec.source, spec.dest)
+                    .map_err(|e| format!("replicated admit {handle}: routing failed: {e}"))?;
+                let seed: Vec<LinkId> = path.sorted_links().to_vec();
+                let insert_shards = plane.map().shards_of(seed.iter().copied());
+                let cross = insert_shards.len() > 1;
+                let (mut guards, touched, nb) =
+                    Self::converge_shards(plane, &seed, insert_shards.clone());
+                // The leader accepted this op, so the warm standby
+                // must too — a refusal is divergence, surfaced as an
+                // error that tears the session down.
+                let plan = plan_admit(&nb.members, spec, &path)
+                    .map_err(|e| format!("replicated admit {handle} refused: {e:?}"))?;
+                let mut inner = self.write();
+                let cur = match &self.durability {
+                    Some(d) => d.wal.seq(),
+                    None => inner.log.len() as u64,
+                };
+                if seq <= cur {
+                    hub.set_applied(cur);
+                    return Ok(());
+                }
+                if seq != cur + 1 {
+                    return Err(format!("replication gap: have {cur}, leader sent {seq}"));
+                }
+                let ticket = match self.persist(req_id, op) {
+                    Ok(t) => t,
+                    Err(refusal) => {
+                        return Err(format!("WAL refused the replicated record: {refusal:?}"))
+                    }
+                };
+                inner.next_handle = inner.next_handle.max(handle + 1);
+                inner.handles.push(*handle);
+                inner.specs.push(spec.clone());
+                inner.bounds.push(plan.candidate_bound);
+                inner.log.push(Arc::new(op.clone()));
+                if req_id != 0 {
+                    inner.remember(DedupEntry {
+                        req_id,
+                        admit: true,
+                        handle: *handle,
+                        bound: plan.candidate_bound,
+                        deadline: spec.deadline,
+                    });
+                }
+                for &sid in &insert_shards {
+                    let pos = touched
+                        .binary_search(&sid)
+                        .expect("insert shards are locked");
+                    guards[pos].insert_member(
+                        *handle,
+                        spec.clone(),
+                        path.clone(),
+                        DelayBound::Bounded(plan.candidate_bound),
+                        cross,
+                    );
+                }
+                for &(key, bound) in &plan.updates {
+                    let member = nb
+                        .members
+                        .iter()
+                        .find(|m| m.key == key)
+                        .expect("update targets a neighborhood member");
+                    let dense = inner
+                        .handles
+                        .binary_search(&key)
+                        .expect("member handle is live");
+                    inner.bounds[dense] =
+                        bound.value().expect("surviving member bounds are bounded");
+                    for sid in plane.map().shards_of(member.path.links().iter().copied()) {
+                        let pos = touched
+                            .binary_search(&sid)
+                            .expect("neighborhood shards are locked");
+                        guards[pos].set_member_bound(key, bound);
+                    }
+                }
+                self.maybe_snapshot(&mut inner);
+                drop(inner);
+                drop(guards);
+                if let Some(refusal) = self.await_durable(ticket) {
+                    return Err(format!("replicated record not durable: {refusal:?}"));
+                }
+            }
+            AcceptedOp::Remove { handle } => {
+                let path = {
+                    let inner = self.read();
+                    let idx = inner
+                        .handles
+                        .binary_search(handle)
+                        .map_err(|_| format!("replicated remove {handle}: unknown handle"))?;
+                    let spec = &inner.specs[idx];
+                    XyRouting
+                        .route(&self.mesh, spec.source, spec.dest)
+                        .map_err(|e| format!("replicated remove {handle}: routing failed: {e}"))?
+                };
+                let seed: Vec<LinkId> = path.sorted_links().to_vec();
+                let owners = plane.map().shards_of(seed.iter().copied());
+                let (mut guards, touched, nb) = Self::converge_shards(plane, &seed, owners.clone());
+                if !nb.members.iter().any(|m| m.key == *handle) {
+                    return Err(format!("replicated remove {handle}: not resident"));
+                }
+                let plan = plan_remove(&nb.members, *handle);
+                let mut inner = self.write();
+                let cur = match &self.durability {
+                    Some(d) => d.wal.seq(),
+                    None => inner.log.len() as u64,
+                };
+                if seq <= cur {
+                    hub.set_applied(cur);
+                    return Ok(());
+                }
+                if seq != cur + 1 {
+                    return Err(format!("replication gap: have {cur}, leader sent {seq}"));
+                }
+                let idx = inner
+                    .handles
+                    .binary_search(handle)
+                    .expect("victim is resident under its locked owner shards");
+                let ticket = match self.persist(req_id, op) {
+                    Ok(t) => t,
+                    Err(refusal) => {
+                        return Err(format!("WAL refused the replicated record: {refusal:?}"))
+                    }
+                };
+                inner.handles.remove(idx);
+                inner.specs.remove(idx);
+                inner.bounds.remove(idx);
+                inner.log.push(Arc::new(op.clone()));
+                if req_id != 0 {
+                    inner.remember(DedupEntry {
+                        req_id,
+                        admit: false,
+                        handle: *handle,
+                        bound: 0,
+                        deadline: 0,
+                    });
+                }
+                for &sid in &owners {
+                    let pos = touched
+                        .binary_search(&sid)
+                        .expect("owner shards are locked");
+                    guards[pos].remove_member(*handle);
+                }
+                for &(key, bound) in &plan.updates {
+                    let member = nb
+                        .members
+                        .iter()
+                        .find(|m| m.key == key)
+                        .expect("update targets a neighborhood member");
+                    let dense = inner
+                        .handles
+                        .binary_search(&key)
+                        .expect("member handle is live");
+                    inner.bounds[dense] =
+                        bound.value().expect("surviving member bounds are bounded");
+                    for sid in plane.map().shards_of(member.path.links().iter().copied()) {
+                        let pos = touched
+                            .binary_search(&sid)
+                            .expect("neighborhood shards are locked");
+                        guards[pos].set_member_bound(key, bound);
+                    }
+                }
+                self.maybe_snapshot(&mut inner);
+                drop(inner);
+                drop(guards);
+                if let Some(refusal) = self.await_durable(ticket) {
+                    return Err(format!("replicated record not durable: {refusal:?}"));
+                }
+            }
+        }
+        hub.set_applied(seq);
+        Ok(())
+    }
+
     /// Admits a candidate through the verifier gate and the incremental
     /// controller. See the module docs for the locking discipline.
     #[allow(clippy::too_many_arguments)] // mirrors the wire arity
@@ -741,6 +1004,9 @@ impl AdmissionService {
     ) -> Response {
         if let Some(redirect) = self.not_leader() {
             return redirect;
+        }
+        if let Some(sealed) = self.write_sealed() {
+            return sealed;
         }
         if self.is_degraded() {
             return Response::error("degraded", "service is read-only after a WAL device error");
@@ -973,9 +1239,9 @@ impl AdmissionService {
     fn keyed_to_dense(handles: &[u64], e: KeyedRejection) -> AdmissionError {
         let dense = |keys: Vec<u64>| -> Vec<StreamId> {
             keys.into_iter()
-                .map(|k| {
-                    StreamId(handles.binary_search(&k).expect("blocker handle is live") as u32)
-                })
+                .map(
+                    |k| StreamId(handles.binary_search(&k).expect("blocker handle is live") as u32),
+                )
                 .collect()
         };
         match e {
@@ -1056,8 +1322,7 @@ impl AdmissionService {
         let seed: Vec<LinkId> = path.sorted_links().to_vec();
         let insert_shards = plane.map().shards_of(seed.iter().copied());
         let cross = insert_shards.len() > 1;
-        let (mut guards, touched, nb) =
-            Self::converge_shards(plane, &seed, insert_shards.clone());
+        let (mut guards, touched, nb) = Self::converge_shards(plane, &seed, insert_shards.clone());
         // Plan with only the shard guards held: the neighborhood
         // cannot change under them, and disjoint admissions keep
         // analyzing concurrently.
@@ -1113,7 +1378,9 @@ impl AdmissionService {
             });
         }
         for &sid in &insert_shards {
-            let pos = touched.binary_search(&sid).expect("insert shards are locked");
+            let pos = touched
+                .binary_search(&sid)
+                .expect("insert shards are locked");
             guards[pos].insert_member(
                 handle,
                 spec.clone(),
@@ -1238,7 +1505,9 @@ impl AdmissionService {
             });
         }
         for &sid in &owners {
-            let pos = touched.binary_search(&sid).expect("owner shards are locked");
+            let pos = touched
+                .binary_search(&sid)
+                .expect("owner shards are locked");
             guards[pos].remove_member(handle);
         }
         for &(key, bound) in &plan.updates {
@@ -1316,6 +1585,9 @@ impl AdmissionService {
     fn remove(&self, req_id: u64, handle: u64) -> Response {
         if let Some(redirect) = self.not_leader() {
             return redirect;
+        }
+        if let Some(sealed) = self.write_sealed() {
+            return sealed;
         }
         if self.is_degraded() {
             return Response::error("degraded", "service is read-only after a WAL device error");
@@ -2063,20 +2335,20 @@ mod tests {
     /// an infeasible candidate, a breaks-existing candidate, a
     /// duplicate-warning admit, removal, query, snapshot.
     const PARITY_WORKLOAD: &[&str] = &[
-        "ADMIT 0,0 3,0 3 60 4",        // local to the north-west quadrant
-        "ADMIT 0,0 9,9 2 200 6",       // spans all four quadrants
-        "@17 ADMIT 6,6 9,6 2 50 4",    // local to the south-east quadrant
-        "@17 ADMIT 6,6 9,6 2 50 4",    // idempotent replay of the above
-        "ADMIT 2,2 2,2 1 50 4",        // lint-rejected (self-delivery)
-        "ADMIT 0,0 5,0 2 20 10",       // heavyweight crossing the x seam
-        "ADMIT 1,0 6,0 1 100 8 12",    // infeasible behind the above
-        "ADMIT 0,1 5,1 1 100 8 14",    // tight stream on row 1
-        "ADMIT 1,1 6,1 3 30 20",       // would break the above
-        "ADMIT 0,0 3,0 3 60 4",        // exact duplicate of stream 0 (W001)
+        "ADMIT 0,0 3,0 3 60 4",     // local to the north-west quadrant
+        "ADMIT 0,0 9,9 2 200 6",    // spans all four quadrants
+        "@17 ADMIT 6,6 9,6 2 50 4", // local to the south-east quadrant
+        "@17 ADMIT 6,6 9,6 2 50 4", // idempotent replay of the above
+        "ADMIT 2,2 2,2 1 50 4",     // lint-rejected (self-delivery)
+        "ADMIT 0,0 5,0 2 20 10",    // heavyweight crossing the x seam
+        "ADMIT 1,0 6,0 1 100 8 12", // infeasible behind the above
+        "ADMIT 0,1 5,1 1 100 8 14", // tight stream on row 1
+        "ADMIT 1,1 6,1 3 30 20",    // would break the above
+        "ADMIT 0,0 3,0 3 60 4",     // exact duplicate of stream 0 (W001)
         "REMOVE 1",
-        "REMOVE 1",                    // unknown id now
+        "REMOVE 1", // unknown id now
         "QUERY 0",
-        "QUERY 99",                    // unknown id
+        "QUERY 99", // unknown id
         "SNAPSHOT",
     ];
 
@@ -2163,22 +2435,113 @@ mod tests {
     }
 
     #[test]
-    fn sharded_follower_configurations_are_refused() {
-        let svc = sharded_service(4);
-        svc.attach_repl(Arc::new(ReplHub::follower("leader:1")));
-        let mesh = Mesh::mesh2d(10, 10);
-        let op = AcceptedOp::Admit {
-            handle: 0,
-            spec: StreamSpec::new(
-                mesh.node_at(&[0, 0]).unwrap(),
-                mesh.node_at(&[5, 0]).unwrap(),
-                2,
-                50,
-                4,
-                50,
+    fn sharded_follower_replay_matches_monolithic() {
+        // Drive a leader through the full parity workload, then replay
+        // its journal into a monolithic follower and a sharded one:
+        // identical streams, identical bounds, duplicate deliveries
+        // idempotent on both.
+        let leader = service();
+        for line in PARITY_WORKLOAD {
+            admit_line(&leader, line);
+        }
+        let journal = leader.ops();
+        assert!(journal.len() >= 5, "workload must accept operations");
+
+        let mono = service();
+        mono.attach_repl(Arc::new(ReplHub::follower("leader:1")));
+        let sharded = sharded_service(4);
+        sharded.attach_repl(Arc::new(ReplHub::follower("leader:1")));
+        for (i, op) in journal.iter().enumerate() {
+            let seq = i as u64 + 1;
+            mono.apply_replicated(seq, seq * 100, op).unwrap();
+            sharded.apply_replicated(seq, seq * 100, op).unwrap();
+            // Duplicate delivery (leader rewound): idempotent no-op on
+            // the sharded path too.
+            sharded.apply_replicated(seq, seq * 100, op).unwrap();
+        }
+        assert_eq!(mono.bounds_by_handle(), sharded.bounds_by_handle());
+        assert_eq!(mono.ops(), sharded.ops(), "journals must be identical");
+        assert_eq!(sharded.audit().unwrap(), sharded.admitted_count());
+
+        // A sequence gap is refused on the sharded path as well.
+        let err = sharded
+            .apply_replicated(99, 0, &AcceptedOp::Remove { handle: 0 })
+            .unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+
+        // Promotion serves sharded writes immediately — no restart, no
+        // migration step.
+        assert!(matches!(sharded.promote(), Response::Promoted { .. }));
+        let r = admit_line(&sharded, "ADMIT 0,2 5,2 2 50 4");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        let resident: u64 = sharded
+            .shard_plane()
+            .expect("plane installed")
+            .gauges()
+            .iter()
+            .map(|g| g.streams)
+            .sum();
+        assert!(resident > 0, "replayed streams live in the shards");
+    }
+
+    #[test]
+    fn sealed_leader_sheds_writes_until_contact_returns() {
+        let svc = service();
+        let hub = Arc::new(ReplHub::leader());
+        hub.set_lease(Duration::from_millis(40));
+        svc.attach_repl(Arc::clone(&hub));
+        // Unarmed lease (no follower ever acked): writes flow.
+        let r = admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+        // A follower acks, then goes silent past the lease.
+        hub.note_follower_ack("f:1", 1);
+        std::thread::sleep(Duration::from_millis(60));
+        let r = admit_line(&svc, "ADMIT 0,1 5,1 2 50 4");
+        assert!(matches!(r, Response::Error { code: "sealed", .. }), "{r:?}");
+        // Reads still serve while sealed.
+        let r = admit_line(&svc, "QUERY 0");
+        assert!(matches!(r, Response::Query { .. }), "{r:?}");
+        // Contact returns (partition healed, nobody promoted): unseal.
+        hub.note_follower_ack("f:1", 1);
+        let r = admit_line(&svc, "ADMIT 0,1 5,1 2 50 4");
+        assert!(matches!(r, Response::Admitted { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn fenced_node_demotes_audits_and_refuses_promotion() {
+        let svc = service();
+        let hub = Arc::new(ReplHub::leader());
+        svc.attach_repl(Arc::clone(&hub));
+        admit_line(&svc, "ADMIT 0,0 5,0 2 50 4");
+        admit_line(&svc, "ADMIT 0,1 5,1 2 50 4");
+        assert_eq!(svc.seq(), 2);
+
+        // A peer promoted to epoch 2 having applied only seq 1: one
+        // divergent op.
+        assert!(svc.fence(2, 1, "winner:9"));
+        assert!(hub.is_fenced());
+        assert!(hub.is_follower());
+        assert_eq!(hub.epoch(), 2);
+        assert_eq!(hub.divergence_ops(), 1);
+        assert_eq!(hub.leader_addr(), "winner:9");
+
+        // Writes now redirect to the winner...
+        let r = admit_line(&svc, "ADMIT 0,2 5,2 2 50 4");
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: "not_leader",
+                    ..
+                }
             ),
-        };
-        let err = svc.apply_replicated(1, 0, &op).unwrap_err();
-        assert!(err.contains("leader-only"), "{err}");
+            "{r:?}"
+        );
+        // ...and promotion is refused outright.
+        let r = admit_line(&svc, "PROMOTE");
+        assert!(matches!(r, Response::Error { code: "fenced", .. }), "{r:?}");
+        // A stale fence is ignored.
+        assert!(!svc.fence(2, 0, "other:1"));
+        assert_eq!(hub.fence_events(), 1);
     }
 }

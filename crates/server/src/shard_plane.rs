@@ -36,9 +36,7 @@ impl ShardPlane {
     /// An empty plane over the given channel → shard map.
     pub fn new(map: ShardMap) -> Self {
         let shards = (0..map.len())
-            .map(|sid| {
-                TrackedRwLock::new_instance(&classes::SHARD, sid as u64, RegionShard::new())
-            })
+            .map(|sid| TrackedRwLock::new_instance(&classes::SHARD, sid as u64, RegionShard::new()))
             .collect();
         ShardPlane {
             map,

@@ -35,8 +35,8 @@ pub use diag::{Diagnostic, Severity, Span};
 pub use registry::{rule, RuleInfo, RULES};
 pub use render::{json_escape, render_diagnostic_json, render_human, render_json};
 pub use rules::analysis::{
-    lint_analysis, lint_diagram, lint_hp_set, lint_recovered, lint_recovery_report,
-    RecoveryArtifact, DEFAULT_HORIZON_CAP,
+    lint_analysis, lint_diagram, lint_divergence, lint_hp_set, lint_recovered,
+    lint_recovery_report, DivergenceArtifact, RecoveryArtifact, DEFAULT_HORIZON_CAP,
 };
 pub use rules::sim::lint_sim_config;
 pub use rules::spec::{lint_candidate, lint_candidate_indexed, lint_candidate_routed, lint_specs};

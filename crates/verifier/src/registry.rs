@@ -137,6 +137,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a recovery report's accounting contradicts its snapshot and WAL inputs",
     },
     RuleInfo {
+        code: "A110",
+        name: "divergent-suffix",
+        severity: Severity::Error,
+        summary: "a fenced leader's WAL holds acknowledged operations absent from the winning epoch's history",
+    },
+    RuleInfo {
         code: "S200",
         name: "vc-undersupply",
         severity: Severity::Error,

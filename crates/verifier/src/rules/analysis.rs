@@ -383,6 +383,78 @@ pub fn lint_recovery_report(a: &RecoveryArtifact) -> Vec<Diagnostic> {
     diags
 }
 
+/// Neutral description of one fencing event: a leader deposed by a
+/// higher epoch, with the sequence frontier the winner acknowledged as
+/// the common history. The admission server's fence path maps onto
+/// this; keeping a plain struct here lets the verifier audit the
+/// arithmetic without a dependency on the server crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DivergenceArtifact {
+    /// The epoch this node held when it was fenced.
+    pub fenced_epoch: u64,
+    /// The winning (promoted) peer's epoch.
+    pub winner_epoch: u64,
+    /// Highest sequence the winner had applied from this node's stream
+    /// — the end of the shared history.
+    pub common_seq: u64,
+    /// Highest sequence this node's local WAL reaches.
+    pub local_seq: u64,
+}
+
+/// `A110`: audits a fenced leader's unshipped WAL suffix.
+///
+/// After a partition, the deposed leader's WAL may extend past the
+/// last sequence the promoted winner ever applied: every operation in
+/// `(common_seq, local_seq]` was acknowledged to some client but is
+/// absent from the surviving history, so the acknowledgement is void.
+/// The report names the divergent range explicitly — the operator (or
+/// the chaos harness) can then replay, compensate, or discard it
+/// deliberately instead of the suffix silently vanishing on rejoin. A
+/// fence whose epochs are not actually ordered is reported too: it
+/// means the fencing handshake itself is broken.
+pub fn lint_divergence(a: &DivergenceArtifact) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let span = Span::Workload;
+    if a.winner_epoch <= a.fenced_epoch {
+        diags.push(
+            Diagnostic::new(
+                "A110",
+                span,
+                format!(
+                    "bogus fence: winner epoch {} does not exceed the fenced epoch {}",
+                    a.winner_epoch, a.fenced_epoch
+                ),
+            )
+            .with_suggestion("a fence must only be honored for a strictly higher epoch"),
+        );
+        return diags;
+    }
+    if a.local_seq > a.common_seq {
+        let lost = a.local_seq - a.common_seq;
+        diags.push(
+            Diagnostic::new(
+                "A110",
+                span,
+                format!(
+                    "divergent suffix: {lost} acknowledged operation(s) in seq range {}..={} \
+                     exist only on the fenced leader (epoch {}); the epoch-{} history ends their \
+                     shared prefix at {}",
+                    a.common_seq + 1,
+                    a.local_seq,
+                    a.fenced_epoch,
+                    a.winner_epoch,
+                    a.common_seq
+                ),
+            )
+            .with_suggestion(
+                "rejoin discards this suffix; re-submit the operations against the new leader \
+                 if their acknowledgements must hold",
+            ),
+        );
+    }
+    diags
+}
+
 /// Compares two diagrams row by row: instance lists exactly, cells on a
 /// sampled grid (up to 64 samples per row).
 fn kernel_divergence(
@@ -588,6 +660,51 @@ mod tests {
         let diags = lint_recovery_report(&wrong);
         assert_eq!(diags.len(), 3, "{diags:?}");
         assert!(diags.iter().all(|d| d.code == "A109" && d.is_error()));
+    }
+
+    #[test]
+    fn divergence_audit_names_the_lost_suffix() {
+        // No divergence: the winner applied everything we had.
+        let clean = DivergenceArtifact {
+            fenced_epoch: 1,
+            winner_epoch: 2,
+            common_seq: 7,
+            local_seq: 7,
+        };
+        assert_eq!(lint_divergence(&clean), Vec::new());
+
+        // Behind the winner (we missed frames, not the reverse): the
+        // rejoin catch-up handles it; nothing was lost here.
+        let behind = DivergenceArtifact {
+            local_seq: 5,
+            ..clean
+        };
+        assert_eq!(lint_divergence(&behind), Vec::new());
+
+        // Three acked ops exist only on the fenced side.
+        let lost = DivergenceArtifact {
+            common_seq: 7,
+            local_seq: 10,
+            ..clean
+        };
+        let diags = lint_divergence(&lost);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].code == "A110" && diags[0].is_error());
+        assert!(
+            diags[0].message.contains("3 acknowledged operation(s)"),
+            "{diags:?}"
+        );
+        assert!(diags[0].message.contains("8..=10"), "{diags:?}");
+
+        // Unordered epochs mean the fence handshake is broken.
+        let bogus = DivergenceArtifact {
+            fenced_epoch: 2,
+            winner_epoch: 2,
+            ..lost
+        };
+        let diags = lint_divergence(&bogus);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("bogus fence"), "{diags:?}");
     }
 
     #[test]

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Leader kill-9 failover check for the replication subsystem.
+# Failover checks for the replication subsystem: a leader kill-9
+# scenario, then a network-partition scenario with a leader lease.
 #
-# Starts a durable leader shipping its WAL and a warm-standby follower
-# as two real processes, admits streams over TCP (idempotent request
-# ids included), SIGKILLs the leader mid-cluster, promotes the
-# follower, and requires:
+# Scenario 1 starts a durable leader shipping its WAL and a
+# warm-standby follower as two real processes, admits streams over TCP
+# (idempotent request ids included), SIGKILLs the leader mid-cluster,
+# promotes the follower, and requires:
 #   1. the follower to reject writes with a NOT_LEADER redirect while
 #      the leader lives, then accept them once promoted;
 #   2. every pre-kill QUERY answer on the leader to be byte-identical
 #      on the promoted follower;
 #   3. a retried pre-kill ADMIT request id to replay its original
 #      outcome on the new leader instead of double-admitting.
-# Prints the "bit-identical" marker CI greps for on success.
+#
+# Scenario 2 routes the replication link through the `rtwc netchaos`
+# proxy, partitions it, and requires the split-brain-safety chain:
+# the leased leader seals (sheds writes with a retryable `sealed`
+# error) before the standby's grace promotes it, the promoted standby
+# takes writes, and at heal time the deposed leader fences — emitting
+# a DivergenceReport and redirecting writes to the new leader.
+#
+# Prints the "bit-identical" and "partition failover" markers CI greps
+# for on success.
 set -euo pipefail
 
 RTWC=${RTWC:-target/debug/rtwc}
@@ -19,9 +29,11 @@ SPEC=${SPEC:-crates/cli/tests/fixtures/clean.streams}
 DIR=$(mktemp -d)
 LEADER=""
 FOLLOWER=""
+NETCHAOS=""
 cleanup() {
   [ -n "$LEADER" ] && kill -9 "$LEADER" 2>/dev/null || true
   [ -n "$FOLLOWER" ] && kill -9 "$FOLLOWER" 2>/dev/null || true
+  [ -n "$NETCHAOS" ] && kill -9 "$NETCHAOS" 2>/dev/null || true
   rm -rf "$DIR"
 }
 trap cleanup EXIT
@@ -108,3 +120,105 @@ wait "$FOLLOWER" 2>/dev/null || true
 FOLLOWER=""
 
 echo "leader kill-9 failover bit-identical: 7 stream(s) answered identically on the promoted follower"
+
+# ---------------------------------------------------------------------
+# Scenario 2: network partition with a leader lease. Fresh pair; the
+# replication link crosses the netchaos proxy, driven over a FIFO.
+# Lease 500ms < promotion grace 1500ms, so the deposed leader always
+# seals strictly before the standby starts serving writes.
+# ---------------------------------------------------------------------
+
+"$RTWC" serve "$SPEC" --addr 127.0.0.1:0 --wal-dir "$DIR/part-leader" \
+  --fsync always --repl-addr 127.0.0.1:0 --lease-ms 500 \
+  > "$DIR/part-leader.log" 2> "$DIR/part-leader.err" &
+LEADER=$!
+wait_for "$DIR/part-leader.log" "^replication listening on"
+ADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$DIR/part-leader.log")
+REPL=$(sed -n 's/^replication listening on \([^ ]*\).*/\1/p' "$DIR/part-leader.log")
+test -n "$ADDR" && test -n "$REPL"
+
+mkfifo "$DIR/chaosctl"
+"$RTWC" netchaos "$REPL" --seed 7 < "$DIR/chaosctl" > "$DIR/netchaos.log" &
+NETCHAOS=$!
+exec 3> "$DIR/chaosctl" # hold the write end open for the whole scenario
+wait_for "$DIR/netchaos.log" "^netchaos listening on"
+PROXY=$(sed -n 's/^netchaos listening on \([^ ]*\).*/\1/p' "$DIR/netchaos.log")
+test -n "$PROXY"
+
+"$RTWC" serve "$SPEC" --addr 127.0.0.1:0 --wal-dir "$DIR/part-follower" \
+  --fsync always --follower-of "$PROXY" --promote-grace-ms 1500 \
+  > "$DIR/part-follower.log" &
+FOLLOWER=$!
+wait_for "$DIR/part-follower.log" "^listening on"
+FADDR=$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$DIR/part-follower.log")
+test -n "$FADDR"
+
+# Two replicated admits, then wait until the standby applied the whole
+# stream (5 seeded + 2 admitted = applied_seq 7).
+"$RTWC" client "$ADDR" --req-id 211 ADMIT 0,0 5,0 2 50 4 > /dev/null
+"$RTWC" client "$ADDR" --req-id 212 ADMIT 0,2 6,2 3 60 4 > /dev/null
+for _ in $(seq 100); do
+  "$RTWC" client "$FADDR" STATS > "$DIR/part-fstats.json"
+  grep -q '"applied_seq":7' "$DIR/part-fstats.json" && break
+  sleep 0.1
+done
+grep -q '"applied_seq":7' "$DIR/part-fstats.json"
+
+echo "partition" >&3
+# One write inside the lease window: acknowledged on the old leader
+# only, never replicated — the divergent suffix the fence will audit.
+# (Losing the race against the seal is fine; the fence then audits 0.)
+"$RTWC" client "$ADDR" --retries 0 --req-id 301 ADMIT 0,4 6,4 1 80 2 \
+  > "$DIR/divergent.json" 2>/dev/null || true
+
+# The lease lapses without follower acks: the leader seals...
+for _ in $(seq 100); do
+  "$RTWC" client "$ADDR" STATS > "$DIR/part-lstats.json"
+  grep -q '"sealed":true' "$DIR/part-lstats.json" && break
+  sleep 0.1
+done
+grep -q '"sealed":true' "$DIR/part-lstats.json"
+
+# ...and sheds writes with the retryable `sealed` error.
+if "$RTWC" client "$ADDR" --retries 0 ADMIT 0,6 6,6 1 90 2 \
+    > "$DIR/sealed-write.json" 2> "$DIR/sealed-write.err"; then
+  echo "sealed leader accepted a write" >&2
+  exit 1
+fi
+grep -q "leader sealed" "$DIR/sealed-write.err"
+
+# The standby's grace lapses and it self-promotes into epoch 2.
+for _ in $(seq 100); do
+  "$RTWC" client "$FADDR" STATS > "$DIR/part-fstats.json"
+  grep -q '"role":"leader"' "$DIR/part-fstats.json" && break
+  sleep 0.1
+done
+grep -q '"role":"leader"' "$DIR/part-fstats.json"
+"$RTWC" client "$FADDR" --req-id 401 ADMIT 0,6 6,6 1 90 2 > "$DIR/part-new-write.json"
+grep -q '"status":"admitted"' "$DIR/part-new-write.json"
+
+# Heal: the promoted leader's fence reaches the deposed one, which
+# audits its divergent suffix and permanently demotes.
+echo "heal" >&3
+wait_for "$DIR/part-leader.err" "DivergenceReport: fenced by epoch 2"
+
+# The deposed leader now redirects writes at the promoted leader.
+if "$RTWC" client "$ADDR" --retries 0 ADMIT 0,7 6,7 1 95 2 \
+    > "$DIR/deposed-write.json" 2> "$DIR/deposed-write.err"; then
+  echo "deposed leader accepted a write after the fence" >&2
+  exit 1
+fi
+grep -q "redirected to leader $FADDR" "$DIR/deposed-write.err"
+
+"$RTWC" client "$FADDR" SHUTDOWN > /dev/null
+wait "$FOLLOWER" 2>/dev/null || true
+FOLLOWER=""
+"$RTWC" client "$ADDR" SHUTDOWN > /dev/null
+wait "$LEADER" 2>/dev/null || true
+LEADER=""
+echo "quit" >&3
+exec 3>&-
+wait "$NETCHAOS" 2>/dev/null || true
+NETCHAOS=""
+
+echo "partition failover: leader sealed before promotion, deposed leader fenced with a DivergenceReport and redirected writes to $FADDR"
